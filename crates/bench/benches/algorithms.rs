@@ -1,0 +1,55 @@
+//! Criterion benches for the audit algorithms — the runtime halves of
+//! Tables 1–2 in benchmark form: each algorithm at 500 and 7300 workers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairjob_bench::prepare_population;
+use fairjob_core::algorithms::{
+    all_attributes::AllAttributes, balanced::Balanced, unbalanced::Unbalanced, Algorithm,
+    AttributeChoice,
+};
+use fairjob_core::{AuditConfig, AuditContext};
+use fairjob_marketplace::scoring::{LinearScore, ScoringFunction};
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms");
+    group.sample_size(10);
+    for n in [500usize, 7300] {
+        let workers = prepare_population(n, 0xEDB7_2019);
+        let scores = LinearScore::alpha("f1", 0.5).score_all(&workers).expect("scores");
+        let ctx =
+            AuditContext::new(&workers, &scores, AuditConfig::default()).expect("audit context");
+        let algos: Vec<(&str, Box<dyn Algorithm>)> = vec![
+            ("unbalanced", Box::new(Unbalanced::new(AttributeChoice::Worst))),
+            ("r-unbalanced", Box::new(Unbalanced::new(AttributeChoice::Random { seed: 5 }))),
+            ("balanced", Box::new(Balanced::new(AttributeChoice::Worst))),
+            ("r-balanced", Box::new(Balanced::new(AttributeChoice::Random { seed: 6 }))),
+            ("all-attributes", Box::new(AllAttributes)),
+        ];
+        for (name, algo) in algos {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| algo.run(black_box(&ctx)).unwrap().unfairness)
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_unfairness_eval(c: &mut Criterion) {
+    // Cost of evaluating unfairness(P, f) on the full partitioning — the
+    // inner kernel that dominates the table runtimes.
+    let workers = prepare_population(7300, 0xEDB7_2019);
+    let scores = LinearScore::alpha("f1", 0.5).score_all(&workers).expect("scores");
+    let ctx = AuditContext::new(&workers, &scores, AuditConfig::default()).expect("ctx");
+    let full = AllAttributes.run(&ctx).expect("full partitioning");
+    let parts = full.partitioning.partitions().to_vec();
+    let mut group = c.benchmark_group("unfairness_full_partitioning_7300");
+    group.sample_size(10);
+    group.bench_function(format!("{}_partitions", parts.len()), |b| {
+        b.iter(|| ctx.unfairness(black_box(&parts)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_unfairness_eval);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion micro-benches for the columnar store: index split vs
+//! group-by scan, predicate filtering, histogram construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairjob_bench::prepare_population;
+use fairjob_hist::{BinSpec, Histogram};
+use fairjob_store::groupby::group_by;
+use fairjob_store::index::CategoricalIndex;
+use fairjob_store::{Predicate, RowSet};
+use std::hint::black_box;
+
+fn bench_split_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("split_7300_workers");
+    let table = prepare_population(7300, 3);
+    let all = RowSet::all(table.len());
+    let ethnicity = table.schema().index_of("ethnicity").expect("attr");
+    let index = CategoricalIndex::build(&table, ethnicity).expect("index");
+    group.bench_function("group_by_scan", |b| {
+        b.iter(|| group_by(black_box(&table), black_box(&all), ethnicity).unwrap())
+    });
+    group.bench_function("index_split", |b| {
+        b.iter(|| index.split(black_box(&all)))
+    });
+    group.bench_function("index_build", |b| {
+        b.iter(|| CategoricalIndex::build(black_box(&table), ethnicity).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_predicate_filter(c: &mut Criterion) {
+    let table = prepare_population(7300, 3);
+    let all = RowSet::all(table.len());
+    let gender = table.schema().index_of("gender").expect("attr");
+    let country = table.schema().index_of("country").expect("attr");
+    let mut group = c.benchmark_group("predicate_filter_7300");
+    for constraints in [1usize, 2] {
+        let pred = if constraints == 1 {
+            Predicate::eq(gender, 0)
+        } else {
+            Predicate::eq(gender, 0).and(country, 1)
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(constraints),
+            &pred,
+            |b, pred| b.iter(|| pred.filter(black_box(&table), black_box(&all)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_rowset_vs_bitmap(c: &mut Criterion) {
+    use fairjob_store::bitmap::Bitmap;
+    let universe = 7300usize;
+    let mut group = c.benchmark_group("set_intersection_7300_universe");
+    for density_pct in [1usize, 10, 50] {
+        let step = 100 / density_pct;
+        let a = RowSet::from_rows((0..universe as u32).step_by(step).collect());
+        let b = RowSet::from_rows((0..universe as u32).skip(1).step_by(step).chain(a.rows().iter().copied().take(a.len() / 2)).collect());
+        let ba = Bitmap::from_rowset(&a, universe);
+        let bb = Bitmap::from_rowset(&b, universe);
+        group.bench_with_input(
+            BenchmarkId::new("rowset", density_pct),
+            &density_pct,
+            |bench, _| bench.iter(|| black_box(&a).intersect(black_box(&b))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bitmap", density_pct),
+            &density_pct,
+            |bench, _| bench.iter(|| black_box(&ba).intersect(black_box(&bb))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_histogramming(c: &mut Criterion) {
+    let spec = BinSpec::equal_width(0.0, 1.0, 10).expect("spec");
+    let scores: Vec<f64> = (0..7300).map(|i| (i % 997) as f64 / 997.0).collect();
+    c.bench_function("histogram_7300_scores", |b| {
+        b.iter(|| Histogram::from_values(spec.clone(), black_box(&scores).iter().copied()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_split_paths,
+    bench_predicate_filter,
+    bench_rowset_vs_bitmap,
+    bench_histogramming
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Table 2 — average EMD and runtime, 7300 workers (the Stewart et al.
+//! estimate of the active Amazon Mechanical Turk population), random
+//! functions f1–f5, all five algorithms.
+//!
+//! ```text
+//! cargo run -p fairjob-bench --release --bin table2
+//! ```
+//!
+//! Expected shape: same ordering as Table 1 but uniformly *lower*
+//! unfairness than at 500 workers (larger partitions → less sampling
+//! noise in each histogram), and uniformly higher runtimes.
+
+use fairjob_bench::{prepare_population, run_sweep};
+use fairjob_marketplace::scoring::{LinearScore, ScoringFunction};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(7300);
+    let workers = prepare_population(n, 0xEDB7_2019);
+    let functions = LinearScore::paper_random_functions();
+    let refs: Vec<&dyn ScoringFunction> =
+        functions.iter().map(|f| f as &dyn ScoringFunction).collect();
+    let sweep = run_sweep(&workers, &refs, 10, 0xBEEF);
+
+    println!("=== Table 2: {n} workers, random functions f1..f5 ===\n");
+    println!("{}", sweep.render());
+
+    println!("paper (7300 workers), average EMD for reference:");
+    println!("  unbalanced     0.161 0.162 0.151 0.208 0.209");
+    println!("  r-unbalanced   0.162 0.163 0.151 0.208 0.209");
+    println!("  balanced       0.163 0.163 0.151 0.210 0.211");
+    println!("  r-balanced     0.163 0.163 0.122 0.210 0.211");
+    println!("  all-attributes 0.163 0.163 0.151 0.210 0.211");
+
+    // Shape check 1: f4/f5 above f1/f2/f3 per algorithm.
+    let mut shape_ok = true;
+    for (row, algo) in sweep.algorithms.iter().enumerate() {
+        let f1v = sweep.cells[row][0].unfairness;
+        let f4v = sweep.cells[row][3].unfairness;
+        let f5v = sweep.cells[row][4].unfairness;
+        if f4v <= f1v || f5v <= f1v {
+            shape_ok = false;
+            println!("!! shape deviation: {algo}: f4={f4v:.3} f5={f5v:.3} not above f1={f1v:.3}");
+        }
+    }
+    println!(
+        "\nshape check (f4/f5 most unfair): {}",
+        if shape_ok { "PASS" } else { "DEVIATION" }
+    );
+    println!("compare against table1 output to confirm 7300-worker values sit below 500-worker values");
+}

@@ -1,0 +1,177 @@
+//! `fairjob audit` — find the most-unfair partitioning for a scoring
+//! function over a population CSV.
+
+use crate::args::Args;
+use crate::CliError;
+use fairjob_core::algorithms::{
+    all_attributes::AllAttributes, balanced::Balanced, subsets::SubsetExact,
+    unbalanced::Unbalanced, Algorithm, AttributeChoice,
+};
+use fairjob_core::stats::permutation_test;
+use fairjob_core::{AuditConfig, AuditContext};
+use fairjob_hist::distance as hd;
+use fairjob_hist::HistogramDistance;
+use std::sync::Arc;
+
+fn resolve_algorithm(name: &str, seed: u64) -> Result<Box<dyn Algorithm>, CliError> {
+    Ok(match name {
+        "balanced" => Box::new(Balanced::new(AttributeChoice::Worst)),
+        "r-balanced" => Box::new(Balanced::new(AttributeChoice::Random { seed })),
+        "unbalanced" => Box::new(Unbalanced::new(AttributeChoice::Worst)),
+        "r-unbalanced" => Box::new(Unbalanced::new(AttributeChoice::Random { seed })),
+        "all-attributes" => Box::new(AllAttributes),
+        "subset-exact" => Box::new(SubsetExact::default()),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown algorithm `{other}` (balanced | r-balanced | unbalanced | r-unbalanced | all-attributes | subset-exact)"
+            )))
+        }
+    })
+}
+
+fn resolve_metric(name: &str) -> Result<Arc<dyn HistogramDistance>, CliError> {
+    Ok(match name {
+        "emd" => Arc::new(hd::Emd1d),
+        "tv" => Arc::new(hd::TotalVariation),
+        "ks" => Arc::new(hd::KolmogorovSmirnov),
+        "jsd" => Arc::new(hd::JensenShannon),
+        "hellinger" => Arc::new(hd::Hellinger),
+        "chi2" => Arc::new(hd::ChiSquare),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown metric `{other}` (emd | tv | ks | jsd | hellinger | chi2)"
+            )))
+        }
+    })
+}
+
+/// Run the subcommand; returns the audit report.
+///
+/// # Errors
+///
+/// [`CliError`] on bad flags, unreadable input, or audit failure.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(argv)?;
+    let workers = crate::commands::load_workers(args.required("workers")?, args.optional("schema"))?;
+    let seed: u64 = args.parsed_or("seed", 0xBEEF)?;
+    let scorer =
+        crate::commands::resolve_scorer(args.optional("function"), args.optional("alpha"), seed)?;
+    let algorithm = resolve_algorithm(args.optional("algorithm").unwrap_or("balanced"), seed)?;
+    let bins: usize = args.parsed_or("bins", 10)?;
+    let metric = resolve_metric(args.optional("metric").unwrap_or("emd"))?;
+    let permutations: usize = args.parsed_or("permutations", 0)?;
+
+    let scores = scorer
+        .score_all(&workers)
+        .map_err(|e| CliError::Run(format!("scoring with {}: {e}", scorer.name())))?;
+    let config = AuditConfig { bins, distance: metric, ..Default::default() };
+    let ctx = AuditContext::new(&workers, &scores, config)
+        .map_err(|e| CliError::Run(format!("audit setup: {e}")))?;
+    let result =
+        algorithm.run(&ctx).map_err(|e| CliError::Run(format!("{}: {e}", algorithm.name())))?;
+
+    if args.switch("json") {
+        return Ok(format!("{}\n", result.to_json(&ctx)));
+    }
+    let mut out = format!("scoring function: {}\n", scorer.name());
+    out.push_str(&result.render(&ctx, args.switch("histograms")));
+    if permutations > 0 {
+        let test = permutation_test(&ctx, &result.partitioning, permutations, seed)
+            .map_err(|e| CliError::Run(format!("permutation test: {e}")))?;
+        out.push_str(&format!(
+            "permutation test ({} replicates): null mean {:.4}, null max {:.4}, p = {:.4}\n",
+            test.replicates, test.null_mean, test.null_max, test.p_value
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::testutil::{argv, TempFile};
+
+    fn population() -> TempFile {
+        let tmp = TempFile::new("audit.csv");
+        crate::commands::generate::run(&argv(&["--size", "120", "--out", &tmp.path_str()]))
+            .unwrap();
+        tmp
+    }
+
+    #[test]
+    fn audits_biased_function() {
+        let tmp = population();
+        let out = run(&argv(&[
+            "--workers",
+            &tmp.path_str(),
+            "--function",
+            "f6",
+            "--permutations",
+            "19",
+        ]))
+        .unwrap();
+        assert!(out.contains("scoring function: f6"));
+        assert!(out.contains("gender=Male"));
+        assert!(out.contains("permutation test"));
+    }
+
+    #[test]
+    fn alpha_and_algorithm_and_metric_flags() {
+        let tmp = population();
+        let out = run(&argv(&[
+            "--workers",
+            &tmp.path_str(),
+            "--alpha",
+            "0.5",
+            "--algorithm",
+            "unbalanced",
+            "--metric",
+            "tv",
+            "--bins",
+            "20",
+        ]))
+        .unwrap();
+        assert!(out.contains("unbalanced"));
+        assert!(out.contains("total-variation"));
+    }
+
+    #[test]
+    fn json_output() {
+        let tmp = population();
+        let out = run(&argv(&[
+            "--workers",
+            &tmp.path_str(),
+            "--function",
+            "f6",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(out.trim_start().starts_with('{') && out.trim_end().ends_with('}'));
+        assert!(out.contains("\"algorithm\":\"balanced\""));
+        assert!(out.contains("\"unfairness\":"));
+    }
+
+    #[test]
+    fn bad_flags_rejected() {
+        let tmp = population();
+        assert!(run(&argv(&["--workers", &tmp.path_str()])).is_err()); // no function
+        assert!(run(&argv(&[
+            "--workers",
+            &tmp.path_str(),
+            "--function",
+            "f1",
+            "--algorithm",
+            "quantum"
+        ]))
+        .is_err());
+        assert!(run(&argv(&[
+            "--workers",
+            &tmp.path_str(),
+            "--function",
+            "f1",
+            "--metric",
+            "cosine"
+        ]))
+        .is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! `fairjob` — the command-line interface.
+//!
+//! Subcommands:
+//!
+//! * `generate` — create a worker population CSV (uniform or correlated).
+//! * `describe` — per-attribute summary of a population CSV.
+//! * `audit` — find the most-unfair partitioning for a scoring function.
+//! * `repair` — quantile-align scores against the audited partitioning.
+//!
+//! Run `fairjob help` (or any subcommand with `--help`) for usage. The
+//! command logic lives in [`commands`]; [`args`] is the dependency-free
+//! flag parser. Everything returns `Result<String, CliError>` so the
+//! whole surface is unit-testable without spawning processes.
+
+pub mod args;
+pub mod commands;
+
+use std::fmt;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line (unknown flag, missing value, unparsable number).
+    Usage(String),
+    /// File I/O failure.
+    Io(std::io::Error),
+    /// Any library-level failure, stringified with context.
+    Run(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Run(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+fairjob — explore fairness of ranking in online job marketplaces (EDBT 2019)
+
+USAGE:
+  fairjob generate --size N [--seed S] [--correlated] --out FILE.csv
+  fairjob describe --workers FILE.csv [--schema FILE]
+  fairjob audit    --workers FILE.csv (--function f1..f9 | --alpha A)
+                   [--algorithm balanced|unbalanced|r-balanced|r-unbalanced|all-attributes|subset-exact]
+                   [--bins N] [--metric emd|tv|ks|jsd|hellinger|chi2]
+                   [--permutations N] [--histograms] [--json] [--seed S]
+  fairjob repair   --workers FILE.csv (--function f1..f9 | --alpha A)
+                   [--lambda L] [--target median|pooled] --out SCORES.csv [--seed S]
+  fairjob rerank   --workers FILE.csv (--function f1..f9 | --alpha A)
+                   [--attribute NAME] [--quota Q] [--top K] [--seed S]
+  fairjob help
+
+Scoring functions: f1..f5 are the paper's linear blends of the two
+observed attributes (alpha = 0.5, 0.3, 0.7, 1.0, 0.0); f6..f9 are the
+biased-by-design rule scorers of the qualitative experiment; --alpha A
+builds a custom blend a*language_test + (1-a)*approval_rate.
+
+Every command reading --workers also accepts --schema FILE: a schema
+descriptor (see fairjob_store::schema_text) describing a non-default
+population layout; numeric protected attributes are auto-bucketised
+into 5 bands. Without --schema the paper's AMT worker schema is assumed.
+";
+
+/// Dispatch a full argument vector (excluding `argv[0]`).
+///
+/// # Errors
+///
+/// [`CliError`] for bad usage or failed runs; the caller prints it and
+/// exits non-zero.
+pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
+    let Some(command) = argv.first() else {
+        return Err(CliError::Usage(format!("missing subcommand\n\n{USAGE}")));
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "generate" => commands::generate::run(rest),
+        "describe" => commands::describe::run(rest),
+        "audit" => commands::audit::run(rest),
+        "repair" => commands::repair::run(rest),
+        "rerank" => commands::rerank::run(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!("unknown subcommand `{other}`\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_prints_usage() {
+        let out = dispatch(&["help".to_string()]).unwrap();
+        assert!(out.contains("fairjob generate"));
+    }
+
+    #[test]
+    fn missing_subcommand_is_usage_error() {
+        assert!(matches!(dispatch(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn unknown_subcommand_is_usage_error() {
+        let err = dispatch(&["frobnicate".to_string()]).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+}

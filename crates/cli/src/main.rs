@@ -1,0 +1,12 @@
+//! The `fairjob` binary: thin wrapper around [`fairjob_cli::dispatch`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match fairjob_cli::dispatch(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(err) => {
+            eprintln!("fairjob: {err}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The partitioning-search algorithms.
+//!
+//! All algorithms implement [`Algorithm`] and share the attribute-choice
+//! abstraction: the paper's heuristics split on the **worst** attribute
+//! (the one whose split maximises average pairwise EMD) while the
+//! `r-balanced` / `r-unbalanced` baselines pick uniformly at random.
+
+pub mod all_attributes;
+pub mod balanced;
+pub mod beam;
+pub mod exhaustive;
+pub mod lookahead;
+pub mod subsets;
+pub mod unbalanced;
+
+use crate::error::AuditError;
+use crate::report::AuditResult;
+use crate::AuditContext;
+
+/// How a heuristic picks its next split attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttributeChoice {
+    /// The paper's `worstAttribute`: try every remaining attribute and
+    /// keep the one whose split yields the highest average pairwise
+    /// distance.
+    Worst,
+    /// Uniform random choice among the remaining attributes (the
+    /// `r-balanced` / `r-unbalanced` baselines). Deterministic in the
+    /// seed.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// A partitioning-search algorithm.
+pub trait Algorithm {
+    /// Stable name used in result tables (`"balanced"`, `"r-unbalanced"`,
+    /// …).
+    fn name(&self) -> String;
+
+    /// Run the search over `ctx` and return the partitioning found.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError`] from distance evaluation, or
+    /// [`AuditError::BudgetExceeded`] for budgeted exhaustive searches.
+    fn run(&self, ctx: &AuditContext<'_>) -> Result<AuditResult, AuditError>;
+}
+
+/// Run a set of algorithms and collect their results (in input order).
+///
+/// # Errors
+///
+/// Fails fast on the first algorithm error.
+pub fn run_all(
+    ctx: &AuditContext<'_>,
+    algorithms: &[&dyn Algorithm],
+) -> Result<Vec<AuditResult>, AuditError> {
+    algorithms.iter().map(|a| a.run(ctx)).collect()
+}
+
+/// The paper's five-way comparison: `unbalanced`, `r-unbalanced`,
+/// `balanced`, `r-balanced`, `all-attributes` (the row order of
+/// Tables 1–3). Random variants use `seed`.
+pub fn paper_algorithms(seed: u64) -> Vec<Box<dyn Algorithm>> {
+    vec![
+        Box::new(unbalanced::Unbalanced::new(AttributeChoice::Worst)),
+        Box::new(unbalanced::Unbalanced::new(AttributeChoice::Random { seed })),
+        Box::new(balanced::Balanced::new(AttributeChoice::Worst)),
+        Box::new(balanced::Balanced::new(AttributeChoice::Random { seed: seed.wrapping_add(1) })),
+        Box::new(all_attributes::AllAttributes),
+    ]
+}
+
+/// Internal helper: pick an attribute from `remaining` for splitting the
+/// given partitions, under `choice`. Returns `None` when no remaining
+/// attribute can split anything.
+///
+/// For [`AttributeChoice::Worst`] this evaluates, for every candidate
+/// attribute, the partitioning obtained by splitting **every** partition
+/// in `parts` by it (unsplittable partitions stay whole), and returns the
+/// attribute with the highest average pairwise distance (ties: first).
+/// `evaluations` is incremented once per candidate scored.
+pub(crate) fn choose_attribute(
+    ctx: &AuditContext<'_>,
+    parts: &[crate::Partition],
+    remaining: &[usize],
+    choice: AttributeChoice,
+    rng: &mut Option<rand::rngs::StdRng>,
+    evaluations: &mut usize,
+) -> Result<Option<usize>, AuditError> {
+    use rand::Rng;
+    // An attribute is viable if it can split at least one partition.
+    let viable: Vec<usize> = remaining
+        .iter()
+        .copied()
+        .filter(|&a| parts.iter().any(|p| ctx.split(p, a).is_some()))
+        .collect();
+    if viable.is_empty() {
+        return Ok(None);
+    }
+    match choice {
+        AttributeChoice::Random { .. } => {
+            let rng = rng.as_mut().expect("random choice carries an RNG");
+            Ok(Some(viable[rng.gen_range(0..viable.len())]))
+        }
+        AttributeChoice::Worst => {
+            let mut best: Option<(usize, f64)> = None;
+            for &a in &viable {
+                let candidate = split_all(ctx, parts, a);
+                let value = ctx.unfairness(&candidate)?;
+                *evaluations += 1;
+                if best.is_none_or(|(_, b)| value > b) {
+                    best = Some((a, value));
+                }
+            }
+            Ok(best.map(|(a, _)| a))
+        }
+    }
+}
+
+/// Split every partition in `parts` by `a`; partitions that cannot split
+/// are kept whole (this is what "splitting the current partitioning by
+/// attribute a" means once some branches have exhausted a's values).
+pub(crate) fn split_all(
+    ctx: &AuditContext<'_>,
+    parts: &[crate::Partition],
+    a: usize,
+) -> Vec<crate::Partition> {
+    let mut out = Vec::with_capacity(parts.len() * 2);
+    for p in parts {
+        match ctx.split(p, a) {
+            Some(children) => out.extend(children),
+            None => out.push(p.clone()),
+        }
+    }
+    out
+}

@@ -1,0 +1,431 @@
+//! Audit configuration and the shared evaluation context.
+
+use crate::error::AuditError;
+use crate::partition::Partition;
+use fairjob_hist::distance::Emd1d;
+use fairjob_hist::{BinSpec, Histogram, HistogramDistance};
+use fairjob_store::index::IndexSet;
+use fairjob_store::{Predicate, RowSet, Table};
+use std::sync::Arc;
+
+/// Configuration of an audit.
+pub struct AuditConfig {
+    /// Number of equal-width histogram bins over `[0, 1]` (the paper's
+    /// "equal bins over the range of f"; the bin count is unspecified
+    /// there — 10 is this library's default, swept in the ablations).
+    pub bins: usize,
+    /// Distance between per-partition score histograms. Defaults to the
+    /// paper's Earth Mover's Distance.
+    pub distance: Arc<dyn HistogramDistance>,
+    /// Protected attributes to audit, by name. `None` = every
+    /// categorical protected attribute in the schema.
+    pub attributes: Option<Vec<String>>,
+    /// Minimum rows a split child must keep for the split to be allowed.
+    /// The paper has no such floor (equivalent to 1); larger values are
+    /// an extension that suppresses noise-driven micro-partitions.
+    pub min_partition_size: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            bins: 10,
+            distance: Arc::new(Emd1d),
+            attributes: None,
+            min_partition_size: 1,
+        }
+    }
+}
+
+impl std::fmt::Debug for AuditConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuditConfig")
+            .field("bins", &self.bins)
+            .field("distance", &self.distance.name())
+            .field("attributes", &self.attributes)
+            .field("min_partition_size", &self.min_partition_size)
+            .finish()
+    }
+}
+
+impl AuditConfig {
+    /// Default config with a specific bin count.
+    pub fn with_bins(bins: usize) -> Self {
+        AuditConfig { bins, ..Default::default() }
+    }
+
+    /// Default config with a specific distance.
+    pub fn with_distance(distance: Arc<dyn HistogramDistance>) -> Self {
+        AuditConfig { distance, ..Default::default() }
+    }
+}
+
+/// Everything an algorithm needs to evaluate candidate partitionings:
+/// the table, the scores, the bin layout, the distance, the candidate
+/// attributes and their inverted indexes.
+pub struct AuditContext<'a> {
+    table: &'a Table,
+    scores: &'a [f64],
+    spec: BinSpec,
+    distance: Arc<dyn HistogramDistance>,
+    attributes: Vec<usize>,
+    indexes: IndexSet,
+    min_partition_size: usize,
+}
+
+impl std::fmt::Debug for AuditContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuditContext")
+            .field("rows", &self.table.len())
+            .field("bins", &self.spec.len())
+            .field("distance", &self.distance.name())
+            .field("attributes", &self.attributes)
+            .field("min_partition_size", &self.min_partition_size)
+            .finish()
+    }
+}
+
+impl<'a> AuditContext<'a> {
+    /// Validate inputs and build the context (scores row-aligned with
+    /// `table`, each in `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError`] for empty tables, misaligned or out-of-range
+    /// scores, unusable attribute selections, or bad bin counts.
+    pub fn new(
+        table: &'a Table,
+        scores: &'a [f64],
+        config: AuditConfig,
+    ) -> Result<Self, AuditError> {
+        if table.is_empty() {
+            return Err(AuditError::EmptyTable);
+        }
+        if scores.len() != table.len() {
+            return Err(AuditError::ScoreLength { rows: table.len(), scores: scores.len() });
+        }
+        for (row, &s) in scores.iter().enumerate() {
+            if !s.is_finite() || !(0.0..=1.0).contains(&s) {
+                return Err(AuditError::BadScore { row, value: s });
+            }
+        }
+        let spec = BinSpec::equal_width(0.0, 1.0, config.bins)
+            .map_err(|e| AuditError::Bins(e.to_string()))?;
+        let attributes = match &config.attributes {
+            None => table.schema().splittable(),
+            Some(names) => {
+                let splittable = table.schema().splittable();
+                let mut attrs = Vec::with_capacity(names.len());
+                for name in names {
+                    let idx = table.schema().index_of(name).map_err(|_| {
+                        AuditError::BadAttribute { name: name.clone(), reason: "unknown" }
+                    })?;
+                    if !splittable.contains(&idx) {
+                        return Err(AuditError::BadAttribute {
+                            name: name.clone(),
+                            reason: "not a categorical protected attribute",
+                        });
+                    }
+                    attrs.push(idx);
+                }
+                attrs
+            }
+        };
+        if attributes.is_empty() {
+            return Err(AuditError::NoAttributes);
+        }
+        let indexes = IndexSet::build(table)?;
+        Ok(AuditContext {
+            table,
+            scores,
+            spec,
+            distance: config.distance,
+            attributes,
+            indexes,
+            min_partition_size: config.min_partition_size.max(1),
+        })
+    }
+
+    /// The audited table.
+    pub fn table(&self) -> &Table {
+        self.table
+    }
+
+    /// The per-row scores.
+    pub fn scores(&self) -> &[f64] {
+        self.scores
+    }
+
+    /// The histogram bin layout.
+    pub fn spec(&self) -> &BinSpec {
+        &self.spec
+    }
+
+    /// The configured histogram distance.
+    pub fn distance(&self) -> &dyn HistogramDistance {
+        self.distance.as_ref()
+    }
+
+    /// Candidate protected attributes (schema indexes).
+    pub fn attributes(&self) -> &[usize] {
+        &self.attributes
+    }
+
+    /// The minimum-size floor for split children.
+    pub fn min_partition_size(&self) -> usize {
+        self.min_partition_size
+    }
+
+    /// Histogram of the scores of `rows`.
+    pub fn histogram(&self, rows: &RowSet) -> Histogram {
+        let mut h = Histogram::empty(self.spec.clone());
+        for row in rows.iter() {
+            h.add(self.scores[row]);
+        }
+        h
+    }
+
+    /// Build a [`Partition`] from a predicate and its rows.
+    pub fn partition(&self, predicate: Predicate, rows: RowSet) -> Partition {
+        let histogram = self.histogram(&rows);
+        Partition { predicate, rows, histogram }
+    }
+
+    /// The root partition: all workers, the always-true predicate.
+    pub fn root(&self) -> Partition {
+        self.partition(Predicate::always(), RowSet::all(self.table.len()))
+    }
+
+    /// Split `part` by attribute `attr`. Returns `None` when the split is
+    /// impossible or void: the attribute already constrains the
+    /// partition, every member shares one value (split would be a
+    /// no-op), or any child would fall below the minimum size.
+    pub fn split(&self, part: &Partition, attr: usize) -> Option<Vec<Partition>> {
+        if part.predicate.constrains(attr) {
+            return None;
+        }
+        let index = self.indexes.get(attr)?;
+        let groups = index.split(&part.rows);
+        if groups.len() <= 1 {
+            return None;
+        }
+        if groups.iter().any(|(_, rows)| rows.len() < self.min_partition_size) {
+            return None;
+        }
+        Some(
+            groups
+                .into_iter()
+                .map(|(code, rows)| self.partition(part.predicate.and(attr, code), rows))
+                .collect(),
+        )
+    }
+
+    /// Average pairwise distance over a set of partitions — Definition
+    /// 2's `unfairness(P, f)`. Zero for fewer than two non-empty
+    /// partitions; empty partitions are skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::Distance`] if the configured distance fails
+    /// (histogram layouts always match inside one context).
+    pub fn unfairness(&self, parts: &[Partition]) -> Result<f64, AuditError> {
+        let live: Vec<&Partition> = parts.iter().filter(|p| !p.is_empty()).collect();
+        if live.len() < 2 {
+            return Ok(0.0);
+        }
+        let mut sum = 0.0;
+        let mut pairs = 0usize;
+        for i in 0..live.len() {
+            for j in i + 1..live.len() {
+                sum += self.distance.distance(&live[i].histogram, &live[j].histogram)?;
+                pairs += 1;
+            }
+        }
+        Ok(sum / pairs as f64)
+    }
+
+    /// Average pairwise distance over the union of two partition groups
+    /// (used by `unbalanced`'s stopping rule: "what would the average
+    /// EMD be if `group` replaced the current partition next to
+    /// `siblings`").
+    ///
+    /// # Errors
+    ///
+    /// As for [`AuditContext::unfairness`].
+    pub fn unfairness_union(
+        &self,
+        group: &[Partition],
+        siblings: &[Partition],
+    ) -> Result<f64, AuditError> {
+        let mut all: Vec<Partition> = Vec::with_capacity(group.len() + siblings.len());
+        all.extend(group.iter().cloned());
+        all.extend(siblings.iter().cloned());
+        self.unfairness(&all)
+    }
+
+    /// Average distance over **cross pairs only** (`group` × `siblings`)
+    /// — the alternative, stricter reading of Algorithm 2's
+    /// `averageEMD(current, siblings)`; exposed for the ablation bench.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AuditContext::unfairness`].
+    pub fn unfairness_cross(
+        &self,
+        group: &[Partition],
+        siblings: &[Partition],
+    ) -> Result<f64, AuditError> {
+        let ga: Vec<&Partition> = group.iter().filter(|p| !p.is_empty()).collect();
+        let gb: Vec<&Partition> = siblings.iter().filter(|p| !p.is_empty()).collect();
+        if ga.is_empty() || gb.is_empty() {
+            return Ok(0.0);
+        }
+        let mut sum = 0.0;
+        for a in &ga {
+            for b in &gb {
+                sum += self.distance.distance(&a.histogram, &b.histogram)?;
+            }
+        }
+        Ok(sum / (ga.len() * gb.len()) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairjob_marketplace::toy::toy_workers;
+
+    fn ctx_on_toy<'a>(
+        table: &'a Table,
+        scores: &'a [f64],
+    ) -> AuditContext<'a> {
+        AuditContext::new(table, scores, AuditConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn validation_catches_bad_inputs() {
+        let (t, scores) = toy_workers();
+        // Misaligned scores.
+        let err = AuditContext::new(&t, &scores[..5], AuditConfig::default()).unwrap_err();
+        assert!(matches!(err, AuditError::ScoreLength { .. }));
+        // Out-of-range score.
+        let mut bad = scores.clone();
+        bad[0] = 1.5;
+        let err = AuditContext::new(&t, &bad, AuditConfig::default()).unwrap_err();
+        assert!(matches!(err, AuditError::BadScore { row: 0, .. }));
+        // NaN score.
+        bad[0] = f64::NAN;
+        assert!(AuditContext::new(&t, &bad, AuditConfig::default()).is_err());
+        // Zero bins.
+        let err = AuditContext::new(&t, &scores, AuditConfig::with_bins(0)).unwrap_err();
+        assert!(matches!(err, AuditError::Bins(_)));
+    }
+
+    #[test]
+    fn attribute_selection() {
+        let (t, scores) = toy_workers();
+        // Default: both protected attributes.
+        let ctx = ctx_on_toy(&t, &scores);
+        assert_eq!(ctx.attributes().len(), 2);
+        // Explicit selection.
+        let cfg = AuditConfig { attributes: Some(vec!["gender".into()]), ..Default::default() };
+        let ctx = AuditContext::new(&t, &scores, cfg).unwrap();
+        assert_eq!(ctx.attributes(), &[0]);
+        // Unknown name.
+        let cfg = AuditConfig { attributes: Some(vec!["nope".into()]), ..Default::default() };
+        assert!(matches!(
+            AuditContext::new(&t, &scores, cfg),
+            Err(AuditError::BadAttribute { .. })
+        ));
+        // Observed attribute is not splittable.
+        let cfg = AuditConfig { attributes: Some(vec!["score".into()]), ..Default::default() };
+        assert!(matches!(
+            AuditContext::new(&t, &scores, cfg),
+            Err(AuditError::BadAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn root_covers_everything() {
+        let (t, scores) = toy_workers();
+        let ctx = ctx_on_toy(&t, &scores);
+        let root = ctx.root();
+        assert_eq!(root.len(), 10);
+        assert_eq!(root.histogram.total(), 10.0);
+    }
+
+    #[test]
+    fn split_by_gender() {
+        let (t, scores) = toy_workers();
+        let ctx = ctx_on_toy(&t, &scores);
+        let children = ctx.split(&ctx.root(), 0).unwrap();
+        assert_eq!(children.len(), 2);
+        assert_eq!(children[0].len() + children[1].len(), 10);
+        // Splitting a child again by the same attribute is refused.
+        assert!(ctx.split(&children[0], 0).is_none());
+    }
+
+    #[test]
+    fn split_single_valued_partition_is_none() {
+        let (t, scores) = toy_workers();
+        let ctx = ctx_on_toy(&t, &scores);
+        let genders = ctx.split(&ctx.root(), 0).unwrap();
+        let females = genders.into_iter().find(|p| p.len() == 4).unwrap();
+        // All four females exist across three languages -> splits fine...
+        assert!(ctx.split(&females, 1).is_some());
+        // ...but a single-language subgroup cannot split by language.
+        let by_lang = ctx.split(&females, 1).unwrap();
+        for p in by_lang {
+            assert!(ctx.split(&p, 1).is_none());
+        }
+    }
+
+    #[test]
+    fn min_partition_size_blocks_small_splits() {
+        let (t, scores) = toy_workers();
+        let cfg = AuditConfig { min_partition_size: 3, ..Default::default() };
+        let ctx = AuditContext::new(&t, &scores, cfg).unwrap();
+        // Gender split gives 6 + 4: allowed.
+        assert!(ctx.split(&ctx.root(), 0).is_some());
+        // Language split gives 3 + 3 + 4: allowed; but splitting males by
+        // language gives 2 + 2 + 2: blocked.
+        let genders = ctx.split(&ctx.root(), 0).unwrap();
+        let males = genders.iter().find(|p| p.len() == 6).unwrap();
+        assert!(ctx.split(males, 1).is_none());
+    }
+
+    #[test]
+    fn unfairness_of_single_partition_is_zero() {
+        let (t, scores) = toy_workers();
+        let ctx = ctx_on_toy(&t, &scores);
+        assert_eq!(ctx.unfairness(&[ctx.root()]).unwrap(), 0.0);
+        assert_eq!(ctx.unfairness(&[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn unfairness_matches_hand_computation() {
+        let (t, scores) = toy_workers();
+        let ctx = ctx_on_toy(&t, &scores);
+        let genders = ctx.split(&ctx.root(), 0).unwrap();
+        // Males: bins 9,9,5,5,1,1 -> freq 1/3 each at bins 1,5,9.
+        // Females: all in bin 0.
+        // |CDF diffs| at the nine interior cuts: 1, 2/3, 2/3, 2/3, 2/3,
+        // 1/3, 1/3, 1/3, 1/3 -> sum 5, times bin width 0.1 -> EMD 0.5.
+        let u = ctx.unfairness(&genders).unwrap();
+        assert!((u - 0.5).abs() < 1e-9, "got {u}");
+    }
+
+    #[test]
+    fn union_and_cross_unfairness() {
+        let (t, scores) = toy_workers();
+        let ctx = ctx_on_toy(&t, &scores);
+        let genders = ctx.split(&ctx.root(), 0).unwrap();
+        let (m, f) = (genders[0].clone(), genders[1].clone());
+        let union = ctx
+            .unfairness_union(std::slice::from_ref(&m), std::slice::from_ref(&f))
+            .unwrap();
+        let cross = ctx.unfairness_cross(&[m], &[f]).unwrap();
+        assert!((union - cross).abs() < 1e-12, "two partitions: both views agree");
+        assert_eq!(ctx.unfairness_cross(&[], &[ctx.root()]).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Unfairness drift monitoring (extension).
+//!
+//! An audit is a snapshot; a deployed marketplace keeps re-scoring
+//! workers as their observed attributes evolve (see
+//! `fairjob_marketplace::hiring` for the feedback loop that drives
+//! this). [`DriftMonitor`] holds the partitioning a baseline audit
+//! found and tracks its unfairness across successive score vectors,
+//! flagging when it leaves the band the baseline established — the
+//! "alert when the ranking quietly becomes unfair" primitive.
+
+use crate::error::AuditError;
+use crate::partition::Partitioning;
+use fairjob_hist::{BinSpec, Histogram, HistogramDistance};
+use fairjob_store::RowSet;
+use std::sync::Arc;
+
+/// One observation of the monitored metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftPoint {
+    /// Observation index (0-based round number).
+    pub round: usize,
+    /// Unfairness of the monitored partitioning at this round.
+    pub unfairness: f64,
+    /// Whether the alert threshold was exceeded.
+    pub alert: bool,
+}
+
+/// Tracks the unfairness of a fixed partitioning over evolving scores.
+pub struct DriftMonitor {
+    groups: Vec<RowSet>,
+    spec: BinSpec,
+    distance: Arc<dyn HistogramDistance>,
+    /// Alert when unfairness exceeds `baseline * relative_threshold +
+    /// absolute_slack`.
+    baseline: f64,
+    relative_threshold: f64,
+    absolute_slack: f64,
+    history: Vec<DriftPoint>,
+}
+
+impl DriftMonitor {
+    /// Monitor the groups of an audited partitioning. `baseline` is the
+    /// audit-time unfairness; an observation alerts when it exceeds
+    /// `baseline * relative_threshold + absolute_slack`.
+    pub fn new(
+        partitioning: &Partitioning,
+        spec: BinSpec,
+        distance: Arc<dyn HistogramDistance>,
+        baseline: f64,
+        relative_threshold: f64,
+        absolute_slack: f64,
+    ) -> Self {
+        DriftMonitor {
+            groups: partitioning.partitions().iter().map(|p| p.rows.clone()).collect(),
+            spec,
+            distance,
+            baseline,
+            relative_threshold,
+            absolute_slack,
+            history: Vec::new(),
+        }
+    }
+
+    /// The alert threshold.
+    pub fn threshold(&self) -> f64 {
+        self.baseline * self.relative_threshold + self.absolute_slack
+    }
+
+    /// Feed a fresh score vector (row-aligned with the audited table);
+    /// returns the recorded point.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::ScoreLength`] when the vector length changed,
+    /// distance failures otherwise.
+    pub fn observe(&mut self, scores: &[f64]) -> Result<DriftPoint, AuditError> {
+        let rows: usize = self.groups.iter().map(RowSet::len).sum();
+        if scores.len() < rows {
+            return Err(AuditError::ScoreLength { rows, scores: scores.len() });
+        }
+        let hists: Vec<Histogram> = self
+            .groups
+            .iter()
+            .map(|g| {
+                let mut h = Histogram::empty(self.spec.clone());
+                for row in g.iter() {
+                    h.add(scores[row]);
+                }
+                h
+            })
+            .collect();
+        let refs: Vec<&Histogram> = hists.iter().collect();
+        let unfairness = crate::unfairness::average_pairwise(&refs, self.distance.as_ref())?;
+        let point = DriftPoint {
+            round: self.history.len(),
+            unfairness,
+            alert: unfairness > self.threshold(),
+        };
+        self.history.push(point);
+        Ok(point)
+    }
+
+    /// All recorded points.
+    pub fn history(&self) -> &[DriftPoint] {
+        &self.history
+    }
+
+    /// The first alerting round, if any.
+    pub fn first_alert(&self) -> Option<usize> {
+        self.history.iter().find(|p| p.alert).map(|p| p.round)
+    }
+
+    /// Sparkline-style rendering of the trajectory for reports.
+    pub fn render(&self, width: usize) -> String {
+        if self.history.is_empty() {
+            return "(no observations)".to_string();
+        }
+        let max = self
+            .history
+            .iter()
+            .map(|p| p.unfairness)
+            .fold(self.threshold(), f64::max)
+            .max(1e-9);
+        let mut out = String::new();
+        for p in &self.history {
+            let bar = ((p.unfairness / max) * width as f64).round() as usize;
+            out.push_str(&format!(
+                "round {:>4}  {:>7.4} {}{}\n",
+                p.round,
+                p.unfairness,
+                "#".repeat(bar),
+                if p.alert { "  << ALERT" } else { "" }
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{balanced::Balanced, Algorithm, AttributeChoice};
+    use crate::{AuditConfig, AuditContext};
+    use fairjob_hist::distance::Emd1d;
+    use fairjob_marketplace::scoring::{LinearScore, ScoringFunction};
+    use fairjob_marketplace::{bucketise_numeric_protected, generate_uniform};
+
+    fn monitored() -> (fairjob_store::Table, Vec<f64>, DriftMonitor) {
+        let mut workers = generate_uniform(300, 51);
+        bucketise_numeric_protected(&mut workers).unwrap();
+        let scores = LinearScore::alpha("f", 0.5).score_all(&workers).unwrap();
+        let cfg = AuditConfig { attributes: Some(vec!["gender".into()]), ..Default::default() };
+        let ctx = AuditContext::new(&workers, &scores, cfg).unwrap();
+        let audit = Balanced::new(AttributeChoice::Worst).run(&ctx).unwrap();
+        let monitor = DriftMonitor::new(
+            &audit.partitioning,
+            ctx.spec().clone(),
+            Arc::new(Emd1d),
+            audit.unfairness,
+            2.0,
+            0.02,
+        );
+        (workers, scores, monitor)
+    }
+
+    #[test]
+    fn stable_scores_do_not_alert() {
+        let (_, scores, mut monitor) = monitored();
+        for _ in 0..5 {
+            let point = monitor.observe(&scores).unwrap();
+            assert!(!point.alert, "{point:?}");
+        }
+        assert_eq!(monitor.history().len(), 5);
+        assert_eq!(monitor.first_alert(), None);
+    }
+
+    #[test]
+    fn injected_bias_alerts() {
+        let (workers, scores, mut monitor) = monitored();
+        // Round 0: baseline. Rounds 1..: progressively separate genders.
+        monitor.observe(&scores).unwrap();
+        let gender = workers.schema().index_of("gender").unwrap();
+        let codes = workers.column(gender).as_categorical().unwrap().to_vec();
+        let mut drifted = scores.clone();
+        for strength in [0.2, 0.5, 0.9] {
+            for (row, &code) in codes.iter().enumerate() {
+                let target = if code == 0 { 0.9 } else { 0.1 };
+                drifted[row] = scores[row] * (1.0 - strength) + target * strength;
+            }
+            monitor.observe(&drifted).unwrap();
+        }
+        let first = monitor.first_alert().expect("strong drift must alert");
+        assert!(first >= 1, "baseline round must not alert");
+        let render = monitor.render(20);
+        assert!(render.contains("ALERT"));
+    }
+
+    #[test]
+    fn short_score_vector_rejected() {
+        let (_, scores, mut monitor) = monitored();
+        assert!(matches!(
+            monitor.observe(&scores[..10]),
+            Err(AuditError::ScoreLength { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_render() {
+        let (_, _, monitor) = monitored();
+        assert!(monitor.render(10).contains("no observations"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Auditing *exposure* instead of scores (extension).
+//!
+//! The paper measures unfairness of the scoring function itself; the
+//! fairness-of-exposure line it cites (Singh & Joachims, KDD 2018)
+//! measures the downstream quantity — how much requester attention each
+//! worker actually receives across rankings. Both views fit the same
+//! machinery: normalise accumulated exposure into `[0, 1]` pseudo-scores
+//! and run the most-unfair-partitioning search on them, or compare group
+//! mean exposures directly ([`exposure_disparity`], the demographic-
+//! parity-of-exposure ratio).
+
+use crate::error::AuditError;
+use fairjob_store::{RowSet, StoreError, Table};
+
+/// Normalise accumulated exposure values into `[0, 1]` pseudo-scores
+/// (divide by the maximum) so they can be audited with
+/// [`crate::AuditContext`]. An all-zero vector maps to all zeros.
+///
+/// # Errors
+///
+/// [`AuditError::BadScore`] on negative or non-finite exposure.
+pub fn exposure_scores(exposure: &[f64]) -> Result<Vec<f64>, AuditError> {
+    let mut max = 0.0f64;
+    for (row, &e) in exposure.iter().enumerate() {
+        if !e.is_finite() || e < 0.0 {
+            return Err(AuditError::BadScore { row, value: e });
+        }
+        max = max.max(e);
+    }
+    if max <= 0.0 {
+        return Ok(vec![0.0; exposure.len()]);
+    }
+    Ok(exposure.iter().map(|e| e / max).collect())
+}
+
+/// Group-level exposure disparity for one categorical attribute.
+#[derive(Debug, Clone)]
+pub struct DisparityReport {
+    /// Per group code: `(code, mean exposure, group size)`.
+    pub per_group: Vec<(u32, f64, usize)>,
+    /// `min(group mean) / max(group mean)` — 1.0 is parity, 0.0 means a
+    /// group receives no attention at all. `None` when every group mean
+    /// is zero.
+    pub parity_ratio: Option<f64>,
+}
+
+/// Compute mean exposure per value of categorical attribute `attr` and
+/// the min/max parity ratio.
+///
+/// # Errors
+///
+/// [`AuditError::ScoreLength`] on misaligned input,
+/// [`StoreError::NotCategorical`] (wrapped) for bad attributes.
+pub fn exposure_disparity(
+    table: &Table,
+    exposure: &[f64],
+    attr: usize,
+) -> Result<DisparityReport, AuditError> {
+    if exposure.len() != table.len() {
+        return Err(AuditError::ScoreLength { rows: table.len(), scores: exposure.len() });
+    }
+    for (row, &e) in exposure.iter().enumerate() {
+        if !e.is_finite() || e < 0.0 {
+            return Err(AuditError::BadScore { row, value: e });
+        }
+    }
+    let groups = fairjob_store::groupby::group_by(table, &RowSet::all(table.len()), attr)
+        .map_err(AuditError::Store)?;
+    if groups.is_empty() {
+        return Err(AuditError::Store(StoreError::NoSuchAttribute {
+            name: table.schema().attribute(attr).name.clone(),
+        }));
+    }
+    let per_group: Vec<(u32, f64, usize)> = groups
+        .into_iter()
+        .map(|(code, rows)| {
+            let total: f64 = rows.iter().map(|r| exposure[r]).sum();
+            let n = rows.len();
+            (code, total / n as f64, n)
+        })
+        .collect();
+    let means: Vec<f64> = per_group.iter().map(|(_, m, _)| *m).collect();
+    let max = means.iter().copied().fold(0.0f64, f64::max);
+    let parity_ratio = if max > 0.0 {
+        Some(means.iter().copied().fold(f64::INFINITY, f64::min) / max)
+    } else {
+        None
+    };
+    Ok(DisparityReport { per_group, parity_ratio })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{balanced::Balanced, Algorithm, AttributeChoice};
+    use crate::{AuditConfig, AuditContext};
+    use fairjob_marketplace::platform::Platform;
+    use fairjob_marketplace::ranking::ExposureModel;
+    use fairjob_marketplace::scoring::RuleBasedScore;
+    use fairjob_marketplace::{bucketise_numeric_protected, generate_uniform};
+
+    #[test]
+    fn normalisation_and_validation() {
+        assert_eq!(exposure_scores(&[0.0, 2.0, 4.0]).unwrap(), vec![0.0, 0.5, 1.0]);
+        assert_eq!(exposure_scores(&[0.0, 0.0]).unwrap(), vec![0.0, 0.0]);
+        assert!(matches!(
+            exposure_scores(&[1.0, -0.1]),
+            Err(AuditError::BadScore { row: 1, .. })
+        ));
+        assert!(exposure_scores(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn biased_platform_exposure_is_auditable() {
+        // f6 gives all top slots to males; audit the *exposure* and the
+        // search should localise the disparity on gender.
+        let mut workers = generate_uniform(400, 61);
+        bucketise_numeric_protected(&mut workers).unwrap();
+        let mut platform = Platform::new(workers, ExposureModel::TopK { k: 60 });
+        let f6 = RuleBasedScore::f6(8);
+        for _ in 0..3 {
+            platform.post_task("gig", &f6, 60).unwrap();
+        }
+        let scores = exposure_scores(platform.exposure()).unwrap();
+        let ctx = AuditContext::new(platform.workers(), &scores, AuditConfig::default()).unwrap();
+        let audit = Balanced::new(AttributeChoice::Worst).run(&ctx).unwrap();
+        let gender = platform.workers().schema().index_of("gender").unwrap();
+        assert!(audit.partitioning.attributes_used().contains(&gender));
+
+        // Disparity ratio: females get zero exposure.
+        let report = exposure_disparity(platform.workers(), platform.exposure(), gender).unwrap();
+        assert_eq!(report.parity_ratio, Some(0.0));
+        let female = report.per_group.iter().find(|(c, _, _)| *c == 1).unwrap();
+        assert_eq!(female.1, 0.0);
+    }
+
+    #[test]
+    fn parity_ratio_of_even_exposure_is_one() {
+        let mut workers = generate_uniform(50, 62);
+        bucketise_numeric_protected(&mut workers).unwrap();
+        let gender = workers.schema().index_of("gender").unwrap();
+        let exposure = vec![0.5; workers.len()];
+        let report = exposure_disparity(&workers, &exposure, gender).unwrap();
+        assert!((report.parity_ratio.unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_exposure_has_no_ratio() {
+        let mut workers = generate_uniform(20, 63);
+        bucketise_numeric_protected(&mut workers).unwrap();
+        let gender = workers.schema().index_of("gender").unwrap();
+        let report = exposure_disparity(&workers, &[0.0; 20], gender).unwrap();
+        assert_eq!(report.parity_ratio, None);
+    }
+
+    #[test]
+    fn misaligned_exposure_rejected() {
+        let mut workers = generate_uniform(20, 64);
+        bucketise_numeric_protected(&mut workers).unwrap();
+        assert!(matches!(
+            exposure_disparity(&workers, &[0.0; 5], 0),
+            Err(AuditError::ScoreLength { .. })
+        ));
+    }
+}

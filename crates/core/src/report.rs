@@ -1,0 +1,191 @@
+//! Audit results and their human-readable / machine-readable rendering.
+
+use crate::partition::Partitioning;
+use crate::AuditContext;
+use std::time::Duration;
+
+/// Minimal JSON string escaping (the workspace deliberately carries no
+/// serialisation crates; audit reports are flat enough to emit by hand).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The outcome of running one algorithm on one audit context.
+#[derive(Debug, Clone)]
+pub struct AuditResult {
+    /// Which algorithm produced this result (`"balanced"`, …).
+    pub algorithm: String,
+    /// The most-unfair partitioning the algorithm found.
+    pub partitioning: Partitioning,
+    /// `unfairness(P, f)` of that partitioning — the average pairwise
+    /// histogram distance reported in the paper's tables.
+    pub unfairness: f64,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// How many candidate partitionings the algorithm evaluated (the
+    /// driver of the runtime differences in Tables 1–2).
+    pub candidates_evaluated: usize,
+}
+
+impl AuditResult {
+    /// Render a report in the style of Figure 1: the unfairness value
+    /// followed by one line per partition (predicate, size, score mean)
+    /// and optionally the per-partition histograms.
+    pub fn render(&self, ctx: &AuditContext<'_>, with_histograms: bool) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "algorithm: {}\nunfairness (avg pairwise {}): {:.4}\npartitions: {}\nattributes used: {}\nelapsed: {:?}\n",
+            self.algorithm,
+            ctx.distance().name(),
+            self.unfairness,
+            self.partitioning.len(),
+            self.partitioning
+                .attributes_used()
+                .iter()
+                .map(|&a| ctx.table().schema().attribute(a).name.clone())
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.elapsed,
+        ));
+        let mut parts: Vec<&crate::Partition> = self.partitioning.partitions().iter().collect();
+        parts.sort_by_key(|p| std::cmp::Reverse(p.len()));
+        for p in parts {
+            let mean = p.histogram.mean().map(|m| format!("{m:.3}")).unwrap_or_else(|| "-".into());
+            out.push_str(&format!("  {:<60} mean score {}\n", p.describe(ctx.table()), mean));
+            if with_histograms {
+                for line in p.histogram.render_ascii(30).lines() {
+                    out.push_str(&format!("    {line}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl AuditResult {
+    /// Machine-readable JSON rendering of the result (stable field
+    /// names; one object, no trailing newline).
+    pub fn to_json(&self, ctx: &AuditContext<'_>) -> String {
+        let schema = ctx.table().schema();
+        let attributes: Vec<String> = self
+            .partitioning
+            .attributes_used()
+            .iter()
+            .map(|&a| format!("\"{}\"", json_escape(&schema.attribute(a).name)))
+            .collect();
+        let partitions: Vec<String> = self
+            .partitioning
+            .partitions()
+            .iter()
+            .map(|p| {
+                let constraints: Vec<String> = p
+                    .predicate
+                    .constraints()
+                    .iter()
+                    .map(|c| {
+                        let attr = schema.attribute(c.attr);
+                        format!(
+                            "{{\"attribute\":\"{}\",\"value\":\"{}\"}}",
+                            json_escape(&attr.name),
+                            json_escape(attr.label_of(c.code).unwrap_or("?"))
+                        )
+                    })
+                    .collect();
+                let mean = p
+                    .histogram
+                    .mean()
+                    .map(|m| format!("{m:.6}"))
+                    .unwrap_or_else(|| "null".into());
+                format!(
+                    "{{\"constraints\":[{}],\"size\":{},\"mean_score\":{}}}",
+                    constraints.join(","),
+                    p.len(),
+                    mean
+                )
+            })
+            .collect();
+        format!(
+            "{{\"algorithm\":\"{}\",\"distance\":\"{}\",\"unfairness\":{:.6},\"elapsed_ms\":{:.3},\"candidates_evaluated\":{},\"attributes_used\":[{}],\"partitions\":[{}]}}",
+            json_escape(&self.algorithm),
+            json_escape(ctx.distance().name()),
+            self.unfairness,
+            self.elapsed.as_secs_f64() * 1000.0,
+            self.candidates_evaluated,
+            attributes.join(","),
+            partitions.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AuditConfig, AuditContext};
+    use fairjob_marketplace::toy::toy_workers;
+
+    #[test]
+    fn render_mentions_key_fields() {
+        let (t, scores) = toy_workers();
+        let ctx = AuditContext::new(&t, &scores, AuditConfig::default()).unwrap();
+        let genders = ctx.split(&ctx.root(), 0).unwrap();
+        let unfairness = ctx.unfairness(&genders).unwrap();
+        let result = AuditResult {
+            algorithm: "test".into(),
+            partitioning: Partitioning::new(genders),
+            unfairness,
+            elapsed: Duration::from_millis(1),
+            candidates_evaluated: 1,
+        };
+        let text = result.render(&ctx, false);
+        assert!(text.contains("algorithm: test"));
+        assert!(text.contains("0.5000"));
+        assert!(text.contains("gender=Male"));
+        assert!(text.contains("gender=Female"));
+        let with_hists = result.render(&ctx, true);
+        assert!(with_hists.len() > text.len());
+        assert!(with_hists.contains('#'));
+    }
+
+    #[test]
+    fn json_structure() {
+        let (t, scores) = toy_workers();
+        let ctx = AuditContext::new(&t, &scores, AuditConfig::default()).unwrap();
+        let genders = ctx.split(&ctx.root(), 0).unwrap();
+        let unfairness = ctx.unfairness(&genders).unwrap();
+        let result = AuditResult {
+            algorithm: "test\"quoted".into(),
+            partitioning: Partitioning::new(genders),
+            unfairness,
+            elapsed: Duration::from_millis(2),
+            candidates_evaluated: 3,
+        };
+        let json = result.to_json(&ctx);
+        // Balanced braces/brackets and escaped quote.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\\\"quoted"));
+        assert!(json.contains("\"unfairness\":0.500000"));
+        assert!(json.contains("\"attribute\":\"gender\""));
+        assert!(json.contains("\"value\":\"Male\""));
+        assert!(json.contains("\"candidates_evaluated\":3"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn json_escape_covers_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd\te\r"), "a\\\"b\\\\c\\nd\\te\\r");
+        assert_eq!(json_escape("\u{01}"), "\\u0001");
+    }
+}

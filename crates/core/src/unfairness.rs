@@ -1,0 +1,328 @@
+//! Average-pairwise-distance computations (Definition 2) over partition
+//! histograms, including the pairwise matrix used by reports and a
+//! threaded variant for large partitionings.
+
+use crate::error::AuditError;
+use crate::partition::Partition;
+use fairjob_hist::{Histogram, HistogramDistance};
+
+/// Average pairwise distance over a slice of histograms (empty
+/// histograms are skipped; fewer than two non-empty → 0).
+///
+/// # Errors
+///
+/// [`AuditError::Distance`] from the underlying distance.
+pub fn average_pairwise(
+    histograms: &[&Histogram],
+    distance: &dyn HistogramDistance,
+) -> Result<f64, AuditError> {
+    let live: Vec<&&Histogram> = histograms.iter().filter(|h| !h.is_empty()).collect();
+    if live.len() < 2 {
+        return Ok(0.0);
+    }
+    let mut sum = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..live.len() {
+        for j in i + 1..live.len() {
+            sum += distance.distance(live[i], live[j])?;
+            pairs += 1;
+        }
+    }
+    Ok(sum / pairs as f64)
+}
+
+/// The full pairwise distance matrix between partitions (symmetric, zero
+/// diagonal). Entry `(i, j)` involving an empty partition is 0.
+///
+/// # Errors
+///
+/// [`AuditError::Distance`] from the underlying distance.
+pub fn pairwise_matrix(
+    parts: &[Partition],
+    distance: &dyn HistogramDistance,
+) -> Result<Vec<Vec<f64>>, AuditError> {
+    let n = parts.len();
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            if parts[i].is_empty() || parts[j].is_empty() {
+                continue;
+            }
+            let d = distance.distance(&parts[i].histogram, &parts[j].histogram)?;
+            m[i][j] = d;
+            m[j][i] = d;
+        }
+    }
+    Ok(m)
+}
+
+/// Threaded average pairwise distance: splits the pair index space over
+/// `threads` OS threads. Exactly equal to [`average_pairwise`]; pays off
+/// once partition counts reach the high hundreds (the full partitioning
+/// of the 7300-worker dataset has ~1800 partitions → ~1.6 M pairs).
+///
+/// # Errors
+///
+/// [`AuditError::Distance`] from the underlying distance.
+pub fn average_pairwise_parallel(
+    histograms: &[&Histogram],
+    distance: &dyn HistogramDistance,
+    threads: usize,
+) -> Result<f64, AuditError> {
+    let live: Vec<&Histogram> = histograms.iter().filter(|h| !h.is_empty()).copied().collect();
+    let n = live.len();
+    if n < 2 {
+        return Ok(0.0);
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return average_pairwise(histograms, distance);
+    }
+    let results: Vec<Result<f64, AuditError>> = std::thread::scope(|scope| {
+        let live = &live;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    // Strided rows: thread t handles rows t, t+threads, ...
+                    let mut sum = 0.0;
+                    let mut i = t;
+                    while i < n {
+                        for j in i + 1..n {
+                            sum += distance.distance(live[i], live[j])?;
+                        }
+                        i += threads;
+                    }
+                    Ok(sum)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut total = 0.0;
+    for r in results {
+        total += r?;
+    }
+    let pairs = n * (n - 1) / 2;
+    Ok(total / pairs as f64)
+}
+
+/// Incremental average-pairwise-distance maintenance.
+///
+/// Search procedures repeatedly ask "what is the average pairwise
+/// distance if partition *p* were replaced by its children?" — a full
+/// recomputation costs O(k²) distances while the delta touches only the
+/// pairs involving *p* and its children. `PairwiseAverager` maintains
+/// the pairwise sum under insertions and removals at O(k) distances per
+/// operation.
+pub struct PairwiseAverager<'d> {
+    distance: &'d dyn HistogramDistance,
+    /// Live histograms, keyed by slot; removed slots are `None`.
+    slots: Vec<Option<Histogram>>,
+    live: usize,
+    pair_sum: f64,
+}
+
+impl<'d> PairwiseAverager<'d> {
+    /// An empty averager over the given distance.
+    pub fn new(distance: &'d dyn HistogramDistance) -> Self {
+        PairwiseAverager { distance, slots: Vec::new(), live: 0, pair_sum: 0.0 }
+    }
+
+    /// Seed with an initial set of histograms.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::Distance`] from the underlying distance.
+    pub fn with_histograms(
+        distance: &'d dyn HistogramDistance,
+        histograms: impl IntoIterator<Item = Histogram>,
+    ) -> Result<Self, AuditError> {
+        let mut this = PairwiseAverager::new(distance);
+        for h in histograms {
+            this.insert(h)?;
+        }
+        Ok(this)
+    }
+
+    /// Number of live histograms.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live histograms remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert a histogram, returning its slot id. Empty histograms are
+    /// accepted but contribute nothing (mirroring
+    /// [`average_pairwise`]'s skip rule).
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::Distance`] from the underlying distance.
+    pub fn insert(&mut self, histogram: Histogram) -> Result<usize, AuditError> {
+        if !histogram.is_empty() {
+            for other in self.slots.iter().flatten() {
+                if !other.is_empty() {
+                    self.pair_sum += self.distance.distance(&histogram, other)?;
+                }
+            }
+            self.live += 1;
+        }
+        self.slots.push(Some(histogram));
+        Ok(self.slots.len() - 1)
+    }
+
+    /// Remove the histogram at `slot` (no-op on already-removed slots).
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::Distance`] from the underlying distance.
+    pub fn remove(&mut self, slot: usize) -> Result<(), AuditError> {
+        let Some(victim) = self.slots.get_mut(slot).and_then(Option::take) else {
+            return Ok(());
+        };
+        if victim.is_empty() {
+            return Ok(());
+        }
+        for other in self.slots.iter().flatten() {
+            if !other.is_empty() {
+                self.pair_sum -= self.distance.distance(&victim, other)?;
+            }
+        }
+        self.live -= 1;
+        Ok(())
+    }
+
+    /// Current average pairwise distance (0 with fewer than two live
+    /// histograms).
+    pub fn average(&self) -> f64 {
+        if self.live < 2 {
+            return 0.0;
+        }
+        let pairs = self.live * (self.live - 1) / 2;
+        (self.pair_sum / pairs as f64).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairjob_hist::distance::Emd1d;
+    use fairjob_hist::BinSpec;
+
+    fn h(values: &[f64]) -> Histogram {
+        Histogram::from_values(BinSpec::equal_width(0.0, 1.0, 10).unwrap(), values.iter().copied())
+    }
+
+    #[test]
+    fn averages_all_pairs() {
+        let (a, b, c) = (h(&[0.05]), h(&[0.55]), h(&[0.95]));
+        // EMDs: a-b 0.5, a-c 0.9, b-c 0.4 -> avg 0.6.
+        let avg = average_pairwise(&[&a, &b, &c], &Emd1d).unwrap();
+        assert!((avg - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histograms_are_skipped() {
+        let (a, b) = (h(&[0.05]), h(&[0.95]));
+        let e = Histogram::empty(BinSpec::equal_width(0.0, 1.0, 10).unwrap());
+        let avg = average_pairwise(&[&a, &e, &b], &Emd1d).unwrap();
+        assert!((avg - 0.9).abs() < 1e-9);
+        assert_eq!(average_pairwise(&[&a, &e], &Emd1d).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn fewer_than_two_is_zero() {
+        let a = h(&[0.5]);
+        assert_eq!(average_pairwise(&[&a], &Emd1d).unwrap(), 0.0);
+        assert_eq!(average_pairwise(&[], &Emd1d).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let hists: Vec<Histogram> =
+            (0..25).map(|i| h(&[i as f64 / 25.0, (i as f64 / 25.0 + 0.3).min(1.0)])).collect();
+        let refs: Vec<&Histogram> = hists.iter().collect();
+        let serial = average_pairwise(&refs, &Emd1d).unwrap();
+        for threads in [1, 2, 4, 7, 32] {
+            let par = average_pairwise_parallel(&refs, &Emd1d, threads).unwrap();
+            assert!((serial - par).abs() < 1e-12, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn averager_matches_batch_computation() {
+        let values = [0.05, 0.15, 0.35, 0.55, 0.75, 0.95];
+        let hists: Vec<Histogram> = values.iter().map(|&v| h(&[v, (v + 0.2).min(1.0)])).collect();
+        let refs: Vec<&Histogram> = hists.iter().collect();
+        let batch = average_pairwise(&refs, &Emd1d).unwrap();
+        let avg = PairwiseAverager::with_histograms(&Emd1d, hists.clone()).unwrap();
+        assert!((avg.average() - batch).abs() < 1e-12);
+        assert_eq!(avg.len(), 6);
+    }
+
+    #[test]
+    fn averager_replace_one_by_children() {
+        // Replace slot 0 by two "children" and compare with a batch
+        // computation over the final set.
+        let hists: Vec<Histogram> = [0.1, 0.5, 0.9].iter().map(|&v| h(&[v])).collect();
+        let mut avg = PairwiseAverager::with_histograms(&Emd1d, hists).unwrap();
+        avg.remove(0).unwrap();
+        avg.insert(h(&[0.05])).unwrap();
+        avg.insert(h(&[0.15])).unwrap();
+        let final_set = [h(&[0.5]), h(&[0.9]), h(&[0.05]), h(&[0.15])];
+        let refs: Vec<&Histogram> = final_set.iter().collect();
+        let batch = average_pairwise(&refs, &Emd1d).unwrap();
+        assert!((avg.average() - batch).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averager_handles_empty_histograms_and_double_remove() {
+        let spec = BinSpec::equal_width(0.0, 1.0, 10).unwrap();
+        let mut avg = PairwiseAverager::new(&Emd1d);
+        let empty_slot = avg.insert(Histogram::empty(spec)).unwrap();
+        avg.insert(h(&[0.1])).unwrap();
+        avg.insert(h(&[0.9])).unwrap();
+        assert_eq!(avg.len(), 2, "empty histogram does not count");
+        assert!((avg.average() - 0.8).abs() < 1e-9);
+        avg.remove(empty_slot).unwrap();
+        avg.remove(empty_slot).unwrap(); // idempotent
+        assert!((avg.average() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn averager_degenerate_sizes() {
+        let mut avg = PairwiseAverager::new(&Emd1d);
+        assert!(avg.is_empty());
+        assert_eq!(avg.average(), 0.0);
+        let slot = avg.insert(h(&[0.4])).unwrap();
+        assert_eq!(avg.average(), 0.0);
+        avg.remove(slot).unwrap();
+        assert_eq!(avg.average(), 0.0);
+        assert!(avg.is_empty());
+    }
+
+    #[test]
+    fn matrix_is_symmetric_zero_diagonal() {
+        use fairjob_store::{Predicate, RowSet};
+        let parts: Vec<Partition> = [0.05, 0.55, 0.95]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Partition {
+                predicate: Predicate::always(),
+                rows: RowSet::from_rows(vec![i as u32]),
+                histogram: h(&[v]),
+            })
+            .collect();
+        let m = pairwise_matrix(&parts, &Emd1d).unwrap();
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, &value) in row.iter().enumerate() {
+                assert_eq!(value, m[j][i]);
+            }
+        }
+        assert!((m[0][2] - 0.9).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type shared by all EMD solvers.
+
+use std::fmt;
+
+/// Errors produced while validating inputs or solving an EMD instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmdError {
+    /// The two mass vectors (or a positions vector) differ in length.
+    LengthMismatch {
+        /// Length of the left-hand input.
+        left: usize,
+        /// Length of the right-hand input.
+        right: usize,
+    },
+    /// Inputs are empty.
+    Empty,
+    /// A mass entry is negative.
+    Negative {
+        /// Index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A mass or distance entry is NaN or infinite.
+    NonFinite {
+        /// Index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Total mass is zero so the input cannot be normalised.
+    ZeroMass,
+    /// Normalisation is disabled and total masses differ.
+    MassMismatch {
+        /// Total mass of the left-hand input.
+        left: f64,
+        /// Total mass of the right-hand input.
+        right: f64,
+    },
+    /// A ground-distance matrix is not square.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Length of the first offending row.
+        row_len: usize,
+    },
+    /// A grid specification is invalid (`lo >= hi` or zero bins).
+    BadGrid {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The solver failed to converge (should not happen on valid input;
+    /// indicates a bug or pathological floating-point input).
+    SolverStalled {
+        /// Which solver stalled.
+        solver: &'static str,
+    },
+}
+
+impl fmt::Display for EmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmdError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            EmdError::Empty => write!(f, "inputs are empty"),
+            EmdError::Negative { index, value } => {
+                write!(f, "negative mass {value} at index {index}")
+            }
+            EmdError::NonFinite { index, value } => {
+                write!(f, "non-finite value {value} at index {index}")
+            }
+            EmdError::ZeroMass => write!(f, "total mass is zero"),
+            EmdError::MassMismatch { left, right } => {
+                write!(f, "total masses differ: {left} vs {right} (normalisation disabled)")
+            }
+            EmdError::NotSquare { rows, row_len } => {
+                write!(f, "ground matrix not square: {rows} rows but a row of length {row_len}")
+            }
+            EmdError::BadGrid { reason } => write!(f, "bad grid: {reason}"),
+            EmdError::SolverStalled { solver } => write!(f, "{solver} solver stalled"),
+        }
+    }
+}
+
+impl std::error::Error for EmdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EmdError::LengthMismatch { left: 3, right: 4 };
+        assert!(e.to_string().contains("3 vs 4"));
+        let e = EmdError::MassMismatch { left: 1.0, right: 2.0 };
+        assert!(e.to_string().contains("normalisation disabled"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&EmdError::Empty);
+    }
+}

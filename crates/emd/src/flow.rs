@@ -1,0 +1,260 @@
+//! Minimum-cost flow via successive shortest paths with Johnson potentials.
+//!
+//! This is a general-purpose solver over real-valued capacities, used by
+//! [`crate::transport`] to solve EMD instances with arbitrary ground
+//! distances. Edge costs must be non-negative on the initial residual
+//! graph (true for any ground distance), which lets every shortest-path
+//! computation use Dijkstra on reduced costs.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::EmdError;
+
+/// Capacities below this are treated as saturated (floating-point slack).
+const CAP_EPS: f64 = 1e-12;
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    cap: f64,
+    cost: f64,
+}
+
+/// A min-cost-flow network over `f64` capacities and costs.
+///
+/// Edges are stored in forward/backward pairs (`i` and `i ^ 1`), the
+/// standard residual-graph layout.
+#[derive(Debug, Clone)]
+pub struct MinCostFlow {
+    edges: Vec<Edge>,
+    adj: Vec<Vec<usize>>,
+}
+
+/// Result of a [`MinCostFlow::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowResult {
+    /// Total flow actually routed from source to sink.
+    pub flow: f64,
+    /// Total cost of that flow.
+    pub cost: f64,
+}
+
+/// Min-heap entry for Dijkstra (`BinaryHeap` is a max-heap, so order is
+/// reversed).
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smallest distance first. Distances are always finite here.
+        other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl MinCostFlow {
+    /// Create a network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        MinCostFlow { edges: Vec::new(), adj: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Add a directed edge `from -> to` with the given capacity and cost.
+    ///
+    /// Returns the edge id; the flow on it can be read back after solving
+    /// with [`MinCostFlow::flow_on`]. Costs must be non-negative.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: f64, cost: f64) -> usize {
+        debug_assert!(from < self.adj.len() && to < self.adj.len());
+        debug_assert!(cap >= 0.0 && cost >= 0.0, "capacities and costs must be non-negative");
+        let id = self.edges.len();
+        self.edges.push(Edge { to, cap, cost });
+        self.edges.push(Edge { to: from, cap: 0.0, cost: -cost });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+        id
+    }
+
+    /// Flow currently routed through edge `id` (as returned by `add_edge`).
+    pub fn flow_on(&self, id: usize) -> f64 {
+        // Flow on the forward edge equals residual capacity of its reverse.
+        self.edges[id ^ 1].cap
+    }
+
+    /// Send up to `want` units of flow from `source` to `sink` at minimum
+    /// cost. Returns the routed amount (may be less than `want` if the
+    /// network saturates) and its cost.
+    ///
+    /// # Errors
+    ///
+    /// [`EmdError::SolverStalled`] if an internal invariant breaks (e.g.
+    /// negative reduced cost caused by non-finite input); valid inputs
+    /// never trigger it.
+    pub fn solve(&mut self, source: usize, sink: usize, want: f64) -> Result<FlowResult, EmdError> {
+        let n = self.adj.len();
+        let mut potential = vec![0.0f64; n];
+        let mut flow = 0.0;
+        let mut cost = 0.0;
+        // Each augmentation saturates >= 1 edge, so iterations are bounded
+        // by edge count; add slack for float re-saturation.
+        let max_rounds = 4 * self.edges.len() + 16;
+        let mut rounds = 0;
+        while want - flow > CAP_EPS {
+            rounds += 1;
+            if rounds > max_rounds {
+                return Err(EmdError::SolverStalled { solver: "min-cost-flow" });
+            }
+            // Dijkstra on reduced costs.
+            let mut dist = vec![f64::INFINITY; n];
+            let mut prev_edge = vec![usize::MAX; n];
+            dist[source] = 0.0;
+            let mut heap = BinaryHeap::new();
+            heap.push(HeapEntry { dist: 0.0, node: source });
+            while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+                if d > dist[u] + CAP_EPS {
+                    continue;
+                }
+                for &eid in &self.adj[u] {
+                    let e = &self.edges[eid];
+                    if e.cap <= CAP_EPS {
+                        continue;
+                    }
+                    let reduced = e.cost + potential[u] - potential[e.to];
+                    // Clamp tiny negative values from float error.
+                    let reduced = reduced.max(0.0);
+                    let nd = d + reduced;
+                    if nd + CAP_EPS < dist[e.to] {
+                        dist[e.to] = nd;
+                        prev_edge[e.to] = eid;
+                        heap.push(HeapEntry { dist: nd, node: e.to });
+                    }
+                }
+            }
+            if !dist[sink].is_finite() {
+                break; // no augmenting path left
+            }
+            for v in 0..n {
+                if dist[v].is_finite() {
+                    potential[v] += dist[v];
+                }
+            }
+            // Find bottleneck along the path.
+            let mut push = want - flow;
+            let mut v = sink;
+            while v != source {
+                let eid = prev_edge[v];
+                push = push.min(self.edges[eid].cap);
+                v = self.edges[eid ^ 1].to;
+            }
+            if push <= CAP_EPS {
+                break;
+            }
+            // Apply.
+            let mut v = sink;
+            while v != source {
+                let eid = prev_edge[v];
+                self.edges[eid].cap -= push;
+                self.edges[eid ^ 1].cap += push;
+                cost += push * self.edges[eid].cost;
+                v = self.edges[eid ^ 1].to;
+            }
+            flow += push;
+        }
+        Ok(FlowResult { flow, cost })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut g = MinCostFlow::new(2);
+        let e = g.add_edge(0, 1, 5.0, 2.0);
+        let r = g.solve(0, 1, 3.0).unwrap();
+        assert!((r.flow - 3.0).abs() < 1e-9);
+        assert!((r.cost - 6.0).abs() < 1e-9);
+        assert!((g.flow_on(e) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefers_cheap_path() {
+        // 0 -> 1 -> 3 (cost 1+1), 0 -> 2 -> 3 (cost 5+5); each path cap 1.
+        let mut g = MinCostFlow::new(4);
+        g.add_edge(0, 1, 1.0, 1.0);
+        g.add_edge(1, 3, 1.0, 1.0);
+        g.add_edge(0, 2, 1.0, 5.0);
+        g.add_edge(2, 3, 1.0, 5.0);
+        let r = g.solve(0, 3, 1.0).unwrap();
+        assert!((r.cost - 2.0).abs() < 1e-9);
+        // Asking for both units uses the expensive path too.
+        let mut g2 = MinCostFlow::new(4);
+        g2.add_edge(0, 1, 1.0, 1.0);
+        g2.add_edge(1, 3, 1.0, 1.0);
+        g2.add_edge(0, 2, 1.0, 5.0);
+        g2.add_edge(2, 3, 1.0, 5.0);
+        let r2 = g2.solve(0, 3, 2.0).unwrap();
+        assert!((r2.cost - 12.0).abs() < 1e-9);
+        assert!((r2.flow - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_returns_partial_flow() {
+        let mut g = MinCostFlow::new(2);
+        g.add_edge(0, 1, 1.0, 1.0);
+        let r = g.solve(0, 1, 10.0).unwrap();
+        assert!((r.flow - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rerouting_through_residual_edges() {
+        // Classic case where the greedy first path must be partially undone.
+        // 0->1 cap 1 cost 1, 1->3 cap 1 cost 0, 0->2 cap 1 cost 2,
+        // 1->2 cap 1 cost 0, 2->3 cap 1 cost 1.
+        let mut g = MinCostFlow::new(4);
+        g.add_edge(0, 1, 1.0, 1.0);
+        g.add_edge(1, 3, 1.0, 0.0);
+        g.add_edge(0, 2, 1.0, 2.0);
+        g.add_edge(1, 2, 1.0, 0.0);
+        g.add_edge(2, 3, 1.0, 1.0);
+        let r = g.solve(0, 3, 2.0).unwrap();
+        assert!((r.flow - 2.0).abs() < 1e-9);
+        // Optimal: 0->1->3 (1) and 0->2->3 (3) = 4 total.
+        assert!((r.cost - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_sink_gets_zero_flow() {
+        let mut g = MinCostFlow::new(3);
+        g.add_edge(0, 1, 1.0, 1.0);
+        let r = g.solve(0, 2, 1.0).unwrap();
+        assert_eq!(r.flow, 0.0);
+        assert_eq!(r.cost, 0.0);
+    }
+
+    #[test]
+    fn fractional_capacities() {
+        let mut g = MinCostFlow::new(3);
+        g.add_edge(0, 1, 0.25, 1.0);
+        g.add_edge(0, 1, 0.75, 3.0);
+        g.add_edge(1, 2, 1.0, 0.0);
+        let r = g.solve(0, 2, 1.0).unwrap();
+        assert!((r.flow - 1.0).abs() < 1e-9);
+        assert!((r.cost - (0.25 + 2.25)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,242 @@
+//! Ground-distance abstractions for the general EMD solvers.
+//!
+//! A ground distance assigns a transport cost to every (source bin, sink
+//! bin) pair. The solvers are generic over [`GroundDistance`] so the same
+//! code handles plain 1-D grids, explicit positions, arbitrary matrices,
+//! and thresholded (saturated) variants.
+
+use crate::EmdError;
+
+/// A cost function on pairs of bin indices.
+///
+/// Implementations must return finite, non-negative costs for all
+/// `i, j < size()`. A *metric* ground distance (symmetric, zero on the
+/// diagonal, triangle inequality) makes the resulting EMD a metric on
+/// distributions, but the solvers themselves only require non-negativity.
+pub trait GroundDistance {
+    /// Number of bins on each side.
+    fn size(&self) -> usize;
+    /// Cost of moving one unit of mass from bin `i` to bin `j`.
+    fn cost(&self, i: usize, j: usize) -> f64;
+
+    /// Largest pairwise cost; used for normalised variants and bounds.
+    fn max_cost(&self) -> f64 {
+        let n = self.size();
+        let mut m = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                m = m.max(self.cost(i, j));
+            }
+        }
+        m
+    }
+}
+
+/// Equal-width bins over `[lo, hi]`; cost is |centre(i) - centre(j)|.
+#[derive(Debug, Clone)]
+pub struct GridL1 {
+    lo: f64,
+    width: f64,
+    n: usize,
+}
+
+impl GridL1 {
+    /// Create a grid of `n` equal bins spanning `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// [`EmdError::BadGrid`] when `lo >= hi`, bounds are non-finite, or
+    /// `n == 0`.
+    // `!(lo < hi)` deliberately treats NaN bounds as invalid.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn new(lo: f64, hi: f64, n: usize) -> Result<Self, EmdError> {
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return Err(EmdError::BadGrid { reason: "require finite lo < hi" });
+        }
+        if n == 0 {
+            return Err(EmdError::BadGrid { reason: "zero bins" });
+        }
+        Ok(GridL1 { lo, width: (hi - lo) / n as f64, n })
+    }
+
+    /// Centre of bin `i`.
+    pub fn centre(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.width
+    }
+}
+
+impl GroundDistance for GridL1 {
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn cost(&self, i: usize, j: usize) -> f64 {
+        (i as f64 - j as f64).abs() * self.width
+    }
+
+    fn max_cost(&self) -> f64 {
+        (self.n as f64 - 1.0) * self.width
+    }
+}
+
+/// Bins at explicit 1-D positions; cost is |xi - xj|.
+#[derive(Debug, Clone)]
+pub struct PositionsL1 {
+    positions: Vec<f64>,
+}
+
+impl PositionsL1 {
+    /// Wrap a vector of bin positions (any order).
+    pub fn new(positions: Vec<f64>) -> Self {
+        PositionsL1 { positions }
+    }
+}
+
+impl GroundDistance for PositionsL1 {
+    fn size(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn cost(&self, i: usize, j: usize) -> f64 {
+        (self.positions[i] - self.positions[j]).abs()
+    }
+}
+
+/// An arbitrary dense ground-distance matrix.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    rows: Vec<Vec<f64>>,
+}
+
+impl Matrix {
+    /// Validate and wrap a square, finite, non-negative matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`EmdError::NotSquare`] for ragged/rectangular input,
+    /// [`EmdError::Negative`]/[`EmdError::NonFinite`] for bad entries.
+    pub fn new(rows: Vec<Vec<f64>>) -> Result<Self, EmdError> {
+        let n = rows.len();
+        for row in &rows {
+            if row.len() != n {
+                return Err(EmdError::NotSquare { rows: n, row_len: row.len() });
+            }
+            for (j, &c) in row.iter().enumerate() {
+                if !c.is_finite() {
+                    return Err(EmdError::NonFinite { index: j, value: c });
+                }
+                if c < 0.0 {
+                    return Err(EmdError::Negative { index: j, value: c });
+                }
+            }
+        }
+        Ok(Matrix { rows })
+    }
+}
+
+impl GroundDistance for Matrix {
+    fn size(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn cost(&self, i: usize, j: usize) -> f64 {
+        self.rows[i][j]
+    }
+}
+
+/// A ground distance saturated at a threshold:
+/// `cost(i, j) = min(inner.cost(i, j), t)`.
+///
+/// This is the robust ground distance of Pele & Werman (ICCV 2009): far
+/// bins all cost the same, which bounds the influence of outlier mass and
+/// empirically improves robustness of histogram comparison.
+#[derive(Debug, Clone)]
+pub struct Thresholded<D> {
+    inner: D,
+    threshold: f64,
+}
+
+impl<D: GroundDistance> Thresholded<D> {
+    /// Saturate `inner` at `threshold`.
+    pub fn new(inner: D, threshold: f64) -> Self {
+        Thresholded { inner, threshold }
+    }
+}
+
+impl<D: GroundDistance> GroundDistance for Thresholded<D> {
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn cost(&self, i: usize, j: usize) -> f64 {
+        self.inner.cost(i, j).min(self.threshold)
+    }
+
+    fn max_cost(&self) -> f64 {
+        self.inner.max_cost().min(self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_centres_and_costs() {
+        let g = GridL1::new(0.0, 1.0, 4).unwrap();
+        assert_eq!(g.size(), 4);
+        assert!((g.centre(0) - 0.125).abs() < 1e-12);
+        assert!((g.centre(3) - 0.875).abs() < 1e-12);
+        assert!((g.cost(0, 3) - 0.75).abs() < 1e-12);
+        assert!((g.max_cost() - 0.75).abs() < 1e-12);
+        assert_eq!(g.cost(2, 2), 0.0);
+    }
+
+    #[test]
+    fn grid_rejects_bad_specs() {
+        assert!(GridL1::new(1.0, 1.0, 4).is_err());
+        assert!(GridL1::new(0.0, 1.0, 0).is_err());
+        assert!(GridL1::new(f64::INFINITY, 1.0, 2).is_err());
+    }
+
+    #[test]
+    fn positions_costs() {
+        let p = PositionsL1::new(vec![0.0, 2.0, 5.0]);
+        assert_eq!(p.size(), 3);
+        assert!((p.cost(0, 2) - 5.0).abs() < 1e-12);
+        assert!((p.cost(2, 1) - 3.0).abs() < 1e-12);
+        assert!((p.max_cost() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_validation() {
+        assert!(Matrix::new(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).is_ok());
+        assert!(matches!(
+            Matrix::new(vec![vec![0.0, 1.0], vec![1.0]]),
+            Err(EmdError::NotSquare { .. })
+        ));
+        assert!(matches!(
+            Matrix::new(vec![vec![0.0, -1.0], vec![1.0, 0.0]]),
+            Err(EmdError::Negative { .. })
+        ));
+        assert!(matches!(
+            Matrix::new(vec![vec![0.0, f64::NAN], vec![1.0, 0.0]]),
+            Err(EmdError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn thresholded_saturates() {
+        let g = GridL1::new(0.0, 1.0, 10).unwrap();
+        let t = Thresholded::new(g, 0.2);
+        assert!((t.cost(0, 9) - 0.2).abs() < 1e-12);
+        assert!((t.cost(0, 1) - 0.1).abs() < 1e-12);
+        assert!((t.max_cost() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_max_cost_scans_all_pairs() {
+        let m = Matrix::new(vec![vec![0.0, 7.0], vec![7.0, 0.0]]).unwrap();
+        assert!((m.max_cost() - 7.0).abs() < 1e-12);
+    }
+}

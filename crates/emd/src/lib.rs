@@ -1,0 +1,307 @@
+//! Earth Mover's Distance (EMD) solvers.
+//!
+//! This crate is the numeric substrate for the fairness-auditing library:
+//! the EDBT 2019 paper quantifies unfairness of a scoring function as the
+//! average pairwise EMD between per-group score histograms, so everything
+//! above this crate ultimately calls into it.
+//!
+//! Three independent solver families are provided and cross-checked
+//! against each other in the test suite:
+//!
+//! * [`d1`] — closed-form one-dimensional EMD. For histograms whose bins
+//!   live on a line with an L1 ground distance the EMD equals the L1
+//!   distance between the cumulative distributions, which is computable in
+//!   a single pass. This is the fast path used by the auditing algorithms.
+//! * [`flow`] + [`transport`] — a general minimum-cost-flow formulation
+//!   solved with successive shortest paths and Johnson potentials. Handles
+//!   arbitrary ground-distance matrices (multi-dimensional embeddings,
+//!   thresholded distances).
+//! * [`simplex`] — the classical transportation simplex (north-west-corner
+//!   start + MODI pivoting). Slower in the worst case but an entirely
+//!   separate code path, which makes it a strong differential-testing
+//!   oracle for the flow solver.
+//!
+//! Ground distances are abstracted behind [`ground::GroundDistance`];
+//! [`ground::Thresholded`] implements the robust, saturated ground
+//! distance of Pele & Werman (ICCV 2009) which the paper cites for EMD.
+//!
+//! # Conventions
+//!
+//! * Mass vectors are non-negative `f64` slices. Unless stated otherwise,
+//!   the two sides of a comparison are normalised to unit total mass, so
+//!   the EMD is a true metric on distributions (given a metric ground
+//!   distance).
+//! * Positions are points on the real line for the 1-D fast path, or
+//!   arbitrary indices resolved through a ground-distance matrix for the
+//!   general solvers.
+//!
+//! # Example
+//!
+//! ```
+//! use fairjob_emd::{emd_1d_grid, EmdConfig, emd_between};
+//!
+//! // Two 4-bin histograms on the unit interval (bin centres 0.125 ... 0.875).
+//! let a = [1.0, 0.0, 0.0, 0.0];
+//! let b = [0.0, 0.0, 0.0, 1.0];
+//! let d = emd_1d_grid(&a, &b, 0.0, 1.0).unwrap();
+//! assert!((d - 0.75).abs() < 1e-12); // |0.125 - 0.875|
+//!
+//! // The general solver agrees.
+//! let d2 = emd_between(&a, &b, &EmdConfig::grid_l1(0.0, 1.0)).unwrap();
+//! assert!((d - d2).abs() < 1e-9);
+//! ```
+
+pub mod d1;
+pub mod error;
+pub mod flow;
+pub mod ground;
+pub mod signature;
+pub mod simplex;
+pub mod transport;
+
+pub use d1::{emd_1d_grid, emd_1d_positions, emd_1d_samples};
+pub use error::EmdError;
+pub use ground::{GridL1, GroundDistance, Matrix, PositionsL1, Thresholded};
+pub use transport::{Solver, TransportProblem, TransportSolution};
+
+/// Tolerance used throughout when comparing floating-point masses.
+pub const MASS_EPS: f64 = 1e-9;
+
+/// Configuration for the top-level [`emd_between`] entry point.
+#[derive(Debug, Clone)]
+pub struct EmdConfig {
+    /// Ground distance between bin indices.
+    pub ground: GroundKind,
+    /// Which exact solver to use when the closed form does not apply.
+    pub solver: Solver,
+    /// Normalise both inputs to unit mass before solving.
+    pub normalise: bool,
+}
+
+/// Ground-distance selection for [`EmdConfig`].
+#[derive(Debug, Clone)]
+pub enum GroundKind {
+    /// Bins are equal-width intervals of `[lo, hi]`; distance is the
+    /// absolute difference of bin centres. Admits the closed-form path.
+    GridL1 { lo: f64, hi: f64 },
+    /// Bins sit at explicit 1-D positions; distance is `|xi - xj|`.
+    /// Admits the closed-form path when positions are sorted.
+    PositionsL1(Vec<f64>),
+    /// Arbitrary dense ground-distance matrix (n×n).
+    Matrix(Vec<Vec<f64>>),
+    /// A grid-L1 ground distance saturated at `threshold` (Pele–Werman).
+    ThresholdedGridL1 { lo: f64, hi: f64, threshold: f64 },
+}
+
+impl EmdConfig {
+    /// Equal-width bins over `[lo, hi]` with L1 ground distance — the
+    /// configuration the fairness audits use.
+    pub fn grid_l1(lo: f64, hi: f64) -> Self {
+        EmdConfig { ground: GroundKind::GridL1 { lo, hi }, solver: Solver::Flow, normalise: true }
+    }
+
+    /// Explicit 1-D positions with L1 ground distance.
+    pub fn positions_l1(positions: Vec<f64>) -> Self {
+        EmdConfig {
+            ground: GroundKind::PositionsL1(positions),
+            solver: Solver::Flow,
+            normalise: true,
+        }
+    }
+
+    /// Arbitrary ground-distance matrix.
+    pub fn matrix(m: Vec<Vec<f64>>) -> Self {
+        EmdConfig { ground: GroundKind::Matrix(m), solver: Solver::Flow, normalise: true }
+    }
+
+    /// Saturated grid distance `min(|ci - cj|, threshold)`.
+    pub fn thresholded_grid(lo: f64, hi: f64, threshold: f64) -> Self {
+        EmdConfig {
+            ground: GroundKind::ThresholdedGridL1 { lo, hi, threshold },
+            solver: Solver::Flow,
+            normalise: true,
+        }
+    }
+
+    /// Use a specific exact solver when the closed form does not apply.
+    pub fn with_solver(mut self, solver: Solver) -> Self {
+        self.solver = solver;
+        self
+    }
+}
+
+/// Compute the EMD between two mass vectors under `config`.
+///
+/// Dispatches to the closed-form 1-D algorithm when the ground distance is
+/// an (unthresholded) L1 distance on the line, otherwise builds and solves
+/// a transportation problem with the configured exact solver.
+///
+/// # Errors
+///
+/// Returns [`EmdError`] when the inputs have mismatched lengths, negative
+/// or non-finite mass, or (when `normalise` is off) unequal totals.
+pub fn emd_between(a: &[f64], b: &[f64], config: &EmdConfig) -> Result<f64, EmdError> {
+    validate_masses(a)?;
+    validate_masses(b)?;
+    if a.len() != b.len() {
+        return Err(EmdError::LengthMismatch { left: a.len(), right: b.len() });
+    }
+    if a.is_empty() {
+        return Err(EmdError::Empty);
+    }
+    let (na, nb);
+    let (a, b): (&[f64], &[f64]) = if config.normalise {
+        na = normalise(a)?;
+        nb = normalise(b)?;
+        (&na, &nb)
+    } else {
+        let (ta, tb) = (total(a), total(b));
+        if (ta - tb).abs() > MASS_EPS * ta.max(tb).max(1.0) {
+            return Err(EmdError::MassMismatch { left: ta, right: tb });
+        }
+        (a, b)
+    };
+
+    match &config.ground {
+        GroundKind::GridL1 { lo, hi } => d1::emd_1d_grid(a, b, *lo, *hi),
+        GroundKind::PositionsL1(pos) => {
+            if pos.len() != a.len() {
+                return Err(EmdError::LengthMismatch { left: pos.len(), right: a.len() });
+            }
+            if pos.windows(2).all(|w| w[0] <= w[1]) {
+                d1::emd_1d_positions(a, b, pos)
+            } else {
+                let g = PositionsL1::new(pos.clone());
+                transport::solve_emd(a, b, &g, config.solver).map(|s| s.cost)
+            }
+        }
+        GroundKind::Matrix(m) => {
+            let g = Matrix::new(m.clone())?;
+            if g.size() != a.len() {
+                return Err(EmdError::LengthMismatch { left: g.size(), right: a.len() });
+            }
+            transport::solve_emd(a, b, &g, config.solver).map(|s| s.cost)
+        }
+        GroundKind::ThresholdedGridL1 { lo, hi, threshold } => {
+            let g = Thresholded::new(GridL1::new(*lo, *hi, a.len())?, *threshold);
+            transport::solve_emd(a, b, &g, config.solver).map(|s| s.cost)
+        }
+    }
+}
+
+/// Sum of a mass vector.
+pub fn total(v: &[f64]) -> f64 {
+    v.iter().sum()
+}
+
+/// Return a copy of `v` scaled to unit total mass.
+///
+/// # Errors
+///
+/// [`EmdError::ZeroMass`] if the total is (numerically) zero.
+pub fn normalise(v: &[f64]) -> Result<Vec<f64>, EmdError> {
+    let t = total(v);
+    if t <= MASS_EPS {
+        return Err(EmdError::ZeroMass);
+    }
+    Ok(v.iter().map(|x| x / t).collect())
+}
+
+/// Validate that every entry of `v` is a finite, non-negative mass.
+pub fn validate_masses(v: &[f64]) -> Result<(), EmdError> {
+    for (i, &x) in v.iter().enumerate() {
+        if !x.is_finite() {
+            return Err(EmdError::NonFinite { index: i, value: x });
+        }
+        if x < 0.0 {
+            return Err(EmdError::Negative { index: i, value: x });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_config_dispatches_to_closed_form() {
+        let a = [0.5, 0.5, 0.0, 0.0];
+        let b = [0.0, 0.0, 0.5, 0.5];
+        let d = emd_between(&a, &b, &EmdConfig::grid_l1(0.0, 1.0)).unwrap();
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalisation_scales_out() {
+        let a = [2.0, 0.0];
+        let b = [0.0, 8.0];
+        let d = emd_between(&a, &b, &EmdConfig::grid_l1(0.0, 1.0)).unwrap();
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unnormalised_mass_mismatch_is_an_error() {
+        let mut cfg = EmdConfig::grid_l1(0.0, 1.0);
+        cfg.normalise = false;
+        let err = emd_between(&[1.0, 0.0], &[0.0, 2.0], &cfg).unwrap_err();
+        assert!(matches!(err, EmdError::MassMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_negative_mass() {
+        let err =
+            emd_between(&[-1.0, 2.0], &[0.5, 0.5], &EmdConfig::grid_l1(0.0, 1.0)).unwrap_err();
+        assert!(matches!(err, EmdError::Negative { index: 0, .. }));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let err =
+            emd_between(&[f64::NAN, 1.0], &[0.5, 0.5], &EmdConfig::grid_l1(0.0, 1.0)).unwrap_err();
+        assert!(matches!(err, EmdError::NonFinite { index: 0, .. }));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let err = emd_between(&[1.0], &[0.5, 0.5], &EmdConfig::grid_l1(0.0, 1.0)).unwrap_err();
+        assert!(matches!(err, EmdError::LengthMismatch { left: 1, right: 2 }));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let err = emd_between(&[], &[], &EmdConfig::grid_l1(0.0, 1.0)).unwrap_err();
+        assert!(matches!(err, EmdError::Empty));
+    }
+
+    #[test]
+    fn rejects_zero_mass_when_normalising() {
+        let err =
+            emd_between(&[0.0, 0.0], &[1.0, 0.0], &EmdConfig::grid_l1(0.0, 1.0)).unwrap_err();
+        assert!(matches!(err, EmdError::ZeroMass));
+    }
+
+    #[test]
+    fn unsorted_positions_fall_back_to_exact_solver() {
+        // Positions deliberately out of order: 0.9, 0.1.
+        let cfg = EmdConfig::positions_l1(vec![0.9, 0.1]);
+        let d = emd_between(&[1.0, 0.0], &[0.0, 1.0], &cfg).unwrap();
+        assert!((d - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thresholded_ground_saturates() {
+        // Bins at 0.125 and 0.875 (4 bins over [0,1] -> centres .125 .375 .625 .875).
+        let a = [1.0, 0.0, 0.0, 0.0];
+        let b = [0.0, 0.0, 0.0, 1.0];
+        let d = emd_between(&a, &b, &EmdConfig::thresholded_grid(0.0, 1.0, 0.3)).unwrap();
+        assert!((d - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_inputs_have_zero_distance() {
+        let a = [0.25, 0.25, 0.25, 0.25];
+        let d = emd_between(&a, &a, &EmdConfig::grid_l1(0.0, 1.0)).unwrap();
+        assert!(d.abs() < 1e-12);
+    }
+}

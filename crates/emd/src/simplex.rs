@@ -1,0 +1,275 @@
+//! Transportation simplex (north-west-corner start + MODI pivoting).
+//!
+//! An entirely independent exact solver for the transportation problem,
+//! used both as a differential-testing oracle for the min-cost-flow path
+//! and as an alternative backend (it is competitive on dense instances).
+//!
+//! The implementation follows the classical tableau method:
+//!
+//! 1. Build a basic feasible solution with the north-west-corner rule,
+//!    keeping exactly `m + n - 1` basis cells (degenerate cells carry zero
+//!    flow).
+//! 2. Compute dual potentials `u`, `v` from the basis spanning tree.
+//! 3. Find the non-basic cell with the most negative reduced cost; if none
+//!    exists the plan is optimal.
+//! 4. Pivot around the unique cycle the entering cell closes in the basis
+//!    tree, remove the leaving cell, repeat.
+
+use crate::{EmdError, TransportSolution, MASS_EPS};
+
+/// Reduced costs above `-OPT_EPS` are considered non-improving.
+const OPT_EPS: f64 = 1e-10;
+
+/// Solve a balanced transportation problem to optimality.
+///
+/// `supplies` and `demands` must be non-negative with equal totals (the
+/// caller — [`crate::TransportProblem::solve`] — validates this).
+///
+/// # Errors
+///
+/// [`EmdError::SolverStalled`] if pivoting exceeds its iteration budget
+/// (cycling); does not occur on validated inputs in practice.
+pub fn solve(
+    supplies: &[f64],
+    demands: &[f64],
+    costs: &[Vec<f64>],
+) -> Result<TransportSolution, EmdError> {
+    let m = supplies.len();
+    let n = demands.len();
+    debug_assert!(m > 0 && n > 0);
+
+    // --- Phase 1: north-west-corner basic feasible solution. ---
+    let mut basis: Vec<(usize, usize, f64)> = Vec::with_capacity(m + n - 1);
+    {
+        let mut s: Vec<f64> = supplies.to_vec();
+        let mut d: Vec<f64> = demands.to_vec();
+        let (mut i, mut j) = (0usize, 0usize);
+        loop {
+            let q = s[i].min(d[j]);
+            basis.push((i, j, q));
+            s[i] -= q;
+            d[j] -= q;
+            if i == m - 1 && j == n - 1 {
+                break;
+            }
+            // Advance exactly one index per step so the basis stays a tree
+            // with m + n - 1 cells even under degeneracy (q exhausts both).
+            if s[i] <= MASS_EPS && i < m - 1 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+    }
+    debug_assert_eq!(basis.len(), m + n - 1);
+
+    // --- Phase 2: MODI iterations. ---
+    let max_iters = 64 * (m + n) * (m + n) + 256;
+    for _ in 0..max_iters {
+        let (u, v) = potentials(m, n, &basis, costs)?;
+
+        // Entering cell: most negative reduced cost among non-basic cells.
+        let mut in_basis = vec![false; m * n];
+        for &(i, j, _) in &basis {
+            in_basis[i * n + j] = true;
+        }
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..m {
+            for j in 0..n {
+                if in_basis[i * n + j] {
+                    continue;
+                }
+                let rc = costs[i][j] - u[i] - v[j];
+                if rc < -OPT_EPS && best.is_none_or(|(_, _, b)| rc < b) {
+                    best = Some((i, j, rc));
+                }
+            }
+        }
+        let Some((ei, ej, _)) = best else {
+            // Optimal.
+            let cost = basis.iter().map(|&(i, j, f)| f * costs[i][j]).sum();
+            let flows: Vec<_> = basis.iter().copied().filter(|&(_, _, f)| f > MASS_EPS).collect();
+            return Ok(TransportSolution { cost, flows });
+        };
+
+        // The entering cell (ei, ej) closes a unique cycle in the basis
+        // tree: entering cell, then the tree path from column ej back to
+        // row ei. Flow alternates +theta on the entering cell, -theta on
+        // the first path cell, +theta on the next, ...
+        let path = tree_path(m, n, &basis, ei, ej)
+            .ok_or(EmdError::SolverStalled { solver: "transportation simplex (no cycle)" })?;
+        let mut theta = f64::INFINITY;
+        let mut leave_pos = usize::MAX;
+        for (k, &bi) in path.iter().enumerate() {
+            if k % 2 == 0 && basis[bi].2 < theta {
+                theta = basis[bi].2;
+                leave_pos = bi;
+            }
+        }
+        debug_assert!(leave_pos != usize::MAX);
+        for (k, &bi) in path.iter().enumerate() {
+            if k % 2 == 0 {
+                basis[bi].2 -= theta;
+            } else {
+                basis[bi].2 += theta;
+            }
+        }
+        basis[leave_pos] = (ei, ej, theta);
+    }
+    Err(EmdError::SolverStalled { solver: "transportation simplex" })
+}
+
+/// Solve `u[i] + v[j] = c[i][j]` over the basis spanning tree, `u[0] = 0`.
+fn potentials(
+    m: usize,
+    n: usize,
+    basis: &[(usize, usize, f64)],
+    costs: &[Vec<f64>],
+) -> Result<(Vec<f64>, Vec<f64>), EmdError> {
+    // Bipartite nodes: rows 0..m, cols m..m+n; basis cells are edges.
+    let mut adj: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); m + n]; // (next, i, j)
+    for &(i, j, _) in basis {
+        adj[i].push((m + j, i, j));
+        adj[m + j].push((i, i, j));
+    }
+    let mut u = vec![0.0f64; m];
+    let mut v = vec![0.0f64; n];
+    let mut seen = vec![false; m + n];
+    seen[0] = true;
+    let mut stack = vec![0usize];
+    let mut visited = 1usize;
+    while let Some(node) = stack.pop() {
+        for &(next, i, j) in &adj[node] {
+            if seen[next] {
+                continue;
+            }
+            seen[next] = true;
+            visited += 1;
+            if next >= m {
+                v[j] = costs[i][j] - u[i];
+            } else {
+                u[i] = costs[i][j] - v[j];
+            }
+            stack.push(next);
+        }
+    }
+    if visited != m + n {
+        // Basis does not span all nodes — broken invariant.
+        return Err(EmdError::SolverStalled { solver: "transportation simplex (basis not a tree)" });
+    }
+    Ok((u, v))
+}
+
+/// Tree path (as basis-cell indices) from column node `ej` back to row
+/// node `ei`, ordered starting at the cell that shares column `ej` with
+/// the entering cell. Along the cycle entering(+) → path[0](−) →
+/// path[1](+) → …, parity alternates exactly in returned order.
+fn tree_path(
+    m: usize,
+    n: usize,
+    basis: &[(usize, usize, f64)],
+    ei: usize,
+    ej: usize,
+) -> Option<Vec<usize>> {
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); m + n]; // (next, basis idx)
+    for (bi, &(i, j, _)) in basis.iter().enumerate() {
+        adj[i].push((m + j, bi));
+        adj[m + j].push((i, bi));
+    }
+    let start = ei;
+    let goal = m + ej;
+    let mut prev: Vec<Option<(usize, usize)>> = vec![None; m + n];
+    let mut seen = vec![false; m + n];
+    seen[start] = true;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    while let Some(node) = queue.pop_front() {
+        if node == goal {
+            break;
+        }
+        for &(next, bi) in &adj[node] {
+            if !seen[next] {
+                seen[next] = true;
+                prev[next] = Some((node, bi));
+                queue.push_back(next);
+            }
+        }
+    }
+    if !seen[goal] {
+        return None;
+    }
+    let mut path = Vec::new();
+    let mut node = goal;
+    while node != start {
+        let (p, bi) = prev[node].expect("path exists");
+        path.push(bi);
+        node = p;
+    }
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_one_by_one() {
+        let sol = solve(&[1.0], &[1.0], &[vec![3.0]]).unwrap();
+        assert!((sol.cost - 3.0).abs() < 1e-12);
+        assert_eq!(sol.flows, vec![(0, 0, 1.0)]);
+    }
+
+    #[test]
+    fn two_by_two_crossing() {
+        // Cheapest is the anti-diagonal; NW corner starts on the diagonal,
+        // so at least one pivot is required.
+        let costs = vec![vec![10.0, 1.0], vec![1.0, 10.0]];
+        let sol = solve(&[1.0, 1.0], &[1.0, 1.0], &costs).unwrap();
+        assert!((sol.cost - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_supplies() {
+        // Supply exactly matches the first demand; NW corner degenerates.
+        let costs = vec![vec![1.0, 2.0], vec![3.0, 1.0]];
+        let sol = solve(&[1.0, 1.0], &[1.0, 1.0], &costs).unwrap();
+        assert!((sol.cost - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn textbook_instance() {
+        let sol = solve(
+            &[20.0, 30.0],
+            &[10.0, 25.0, 15.0],
+            &[vec![2.0, 4.0, 6.0], vec![5.0, 1.0, 3.0]],
+        )
+        .unwrap();
+        assert!((sol.cost - 120.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flows_form_valid_plan() {
+        let supplies = [5.0, 3.0, 2.0];
+        let demands = [4.0, 4.0, 2.0];
+        let costs = vec![vec![1.0, 5.0, 9.0], vec![4.0, 2.0, 7.0], vec![8.0, 3.0, 1.0]];
+        let sol = solve(&supplies, &demands, &costs).unwrap();
+        let mut out = [0.0; 3];
+        let mut inn = [0.0; 3];
+        for &(i, j, f) in &sol.flows {
+            assert!(f > 0.0);
+            out[i] += f;
+            inn[j] += f;
+        }
+        for k in 0..3 {
+            assert!((out[k] - supplies[k]).abs() < 1e-9);
+            assert!((inn[k] - demands[k]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_costs_any_plan_is_optimal() {
+        let costs = vec![vec![2.0; 3]; 3];
+        let sol = solve(&[1.0, 1.0, 1.0], &[1.0, 1.0, 1.0], &costs).unwrap();
+        assert!((sol.cost - 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,290 @@
+//! The transportation problem: EMD as minimum-cost mass transport.
+//!
+//! [`TransportProblem`] is the general supplies/demands/cost formulation;
+//! [`solve_emd`] is the convenience wrapper the rest of the workspace uses
+//! (equal-length mass vectors plus a [`GroundDistance`]).
+
+use crate::flow::MinCostFlow;
+use crate::ground::GroundDistance;
+use crate::{simplex, EmdError, MASS_EPS};
+
+/// Exact solver selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Solver {
+    /// Successive-shortest-paths min-cost flow (default).
+    Flow,
+    /// Transportation simplex (north-west corner + MODI). Independent code
+    /// path used for differential testing; also competitive on dense
+    /// instances.
+    Simplex,
+}
+
+/// A transportation-problem instance: move `supplies` to `demands` at
+/// minimum total cost, where moving one unit from supply `i` to demand `j`
+/// costs `cost[i][j]`.
+#[derive(Debug, Clone)]
+pub struct TransportProblem {
+    /// Supply at each source.
+    pub supplies: Vec<f64>,
+    /// Demand at each sink.
+    pub demands: Vec<f64>,
+    /// Dense cost matrix, `supplies.len()` × `demands.len()`.
+    pub costs: Vec<Vec<f64>>,
+}
+
+/// An optimal transport plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportSolution {
+    /// Total transport cost (the EMD when inputs are unit-mass).
+    pub cost: f64,
+    /// Non-zero flows as `(supply index, demand index, amount)`.
+    pub flows: Vec<(usize, usize, f64)>,
+}
+
+impl TransportProblem {
+    /// Validate shapes, signs and mass balance.
+    ///
+    /// # Errors
+    ///
+    /// The usual [`EmdError`] validation variants.
+    pub fn validate(&self) -> Result<(), EmdError> {
+        crate::validate_masses(&self.supplies)?;
+        crate::validate_masses(&self.demands)?;
+        if self.supplies.is_empty() || self.demands.is_empty() {
+            return Err(EmdError::Empty);
+        }
+        if self.costs.len() != self.supplies.len() {
+            return Err(EmdError::LengthMismatch {
+                left: self.costs.len(),
+                right: self.supplies.len(),
+            });
+        }
+        for row in &self.costs {
+            if row.len() != self.demands.len() {
+                return Err(EmdError::LengthMismatch {
+                    left: row.len(),
+                    right: self.demands.len(),
+                });
+            }
+            for (j, &c) in row.iter().enumerate() {
+                if !c.is_finite() {
+                    return Err(EmdError::NonFinite { index: j, value: c });
+                }
+                if c < 0.0 {
+                    return Err(EmdError::Negative { index: j, value: c });
+                }
+            }
+        }
+        let (ts, td) = (crate::total(&self.supplies), crate::total(&self.demands));
+        if (ts - td).abs() > MASS_EPS * ts.max(td).max(1.0) {
+            return Err(EmdError::MassMismatch { left: ts, right: td });
+        }
+        Ok(())
+    }
+
+    /// Solve to optimality with the chosen solver.
+    ///
+    /// # Errors
+    ///
+    /// Validation failures, or [`EmdError::SolverStalled`] on internal
+    /// failure (never on valid input).
+    pub fn solve(&self, solver: Solver) -> Result<TransportSolution, EmdError> {
+        self.validate()?;
+        match solver {
+            Solver::Flow => self.solve_flow(),
+            Solver::Simplex => simplex::solve(&self.supplies, &self.demands, &self.costs),
+        }
+    }
+
+    fn solve_flow(&self) -> Result<TransportSolution, EmdError> {
+        let (nl, nr) = (self.supplies.len(), self.demands.len());
+        // Node layout: 0 = source, 1..=nl supplies, nl+1..=nl+nr demands, last = sink.
+        let source = 0;
+        let sink = nl + nr + 1;
+        let mut g = MinCostFlow::new(nl + nr + 2);
+        let mut want = 0.0;
+        for (i, &s) in self.supplies.iter().enumerate() {
+            if s > MASS_EPS {
+                g.add_edge(source, 1 + i, s, 0.0);
+                want += s;
+            }
+        }
+        for (j, &d) in self.demands.iter().enumerate() {
+            if d > MASS_EPS {
+                g.add_edge(1 + nl + j, sink, d, 0.0);
+            }
+        }
+        let mut edge_ids = Vec::new();
+        for (i, &s) in self.supplies.iter().enumerate() {
+            if s <= MASS_EPS {
+                continue;
+            }
+            for (j, &d) in self.demands.iter().enumerate() {
+                if d <= MASS_EPS {
+                    continue;
+                }
+                let id = g.add_edge(1 + i, 1 + nl + j, s.min(d), self.costs[i][j]);
+                edge_ids.push((i, j, id));
+            }
+        }
+        let r = g.solve(source, sink, want)?;
+        if (r.flow - want).abs() > 1e-6 * want.max(1.0) {
+            return Err(EmdError::SolverStalled { solver: "min-cost-flow (unbalanced)" });
+        }
+        let mut flows = Vec::new();
+        for (i, j, id) in edge_ids {
+            let f = g.flow_on(id);
+            if f > MASS_EPS {
+                flows.push((i, j, f));
+            }
+        }
+        Ok(TransportSolution { cost: r.cost, flows })
+    }
+}
+
+/// Solve the EMD between two equal-length mass vectors under `ground`.
+///
+/// Both vectors must already carry (numerically) equal total mass; the
+/// top-level [`crate::emd_between`] handles normalisation.
+///
+/// # Errors
+///
+/// Validation failures as in [`TransportProblem::validate`].
+pub fn solve_emd<G: GroundDistance>(
+    a: &[f64],
+    b: &[f64],
+    ground: &G,
+    solver: Solver,
+) -> Result<TransportSolution, EmdError> {
+    if a.len() != b.len() || a.len() != ground.size() {
+        return Err(EmdError::LengthMismatch { left: a.len(), right: b.len().max(ground.size()) });
+    }
+    // Restrict to non-empty bins to keep instances small: typical score
+    // histograms are sparse for small partitions.
+    let srcs: Vec<usize> = (0..a.len()).filter(|&i| a[i] > MASS_EPS).collect();
+    let dsts: Vec<usize> = (0..b.len()).filter(|&j| b[j] > MASS_EPS).collect();
+    if srcs.is_empty() || dsts.is_empty() {
+        crate::validate_masses(a)?;
+        crate::validate_masses(b)?;
+        return Err(EmdError::ZeroMass);
+    }
+    let problem = TransportProblem {
+        supplies: srcs.iter().map(|&i| a[i]).collect(),
+        demands: dsts.iter().map(|&j| b[j]).collect(),
+        costs: srcs
+            .iter()
+            .map(|&i| dsts.iter().map(|&j| ground.cost(i, j)).collect())
+            .collect(),
+    };
+    let sol = problem.solve(solver)?;
+    Ok(TransportSolution {
+        cost: sol.cost,
+        flows: sol.flows.into_iter().map(|(i, j, f)| (srcs[i], dsts[j], f)).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::GridL1;
+
+    fn grid(n: usize) -> GridL1 {
+        GridL1::new(0.0, 1.0, n).unwrap()
+    }
+
+    #[test]
+    fn both_solvers_agree_on_simple_instance() {
+        let a = [0.5, 0.5, 0.0, 0.0];
+        let b = [0.0, 0.0, 0.25, 0.75];
+        let g = grid(4);
+        let f = solve_emd(&a, &b, &g, Solver::Flow).unwrap();
+        let s = solve_emd(&a, &b, &g, Solver::Simplex).unwrap();
+        assert!((f.cost - s.cost).abs() < 1e-9, "flow={} simplex={}", f.cost, s.cost);
+    }
+
+    #[test]
+    fn flows_conserve_mass() {
+        let a = [0.3, 0.3, 0.4, 0.0];
+        let b = [0.0, 0.1, 0.2, 0.7];
+        let g = grid(4);
+        let sol = solve_emd(&a, &b, &g, Solver::Flow).unwrap();
+        let mut out = [0.0; 4];
+        let mut inn = [0.0; 4];
+        for (i, j, f) in &sol.flows {
+            out[*i] += f;
+            inn[*j] += f;
+        }
+        for i in 0..4 {
+            assert!((out[i] - a[i]).abs() < 1e-9, "supply {i}");
+            assert!((inn[i] - b[i]).abs() < 1e-9, "demand {i}");
+        }
+    }
+
+    #[test]
+    fn matches_closed_form_1d() {
+        let a = [0.1, 0.2, 0.3, 0.4];
+        let b = [0.4, 0.3, 0.2, 0.1];
+        let g = grid(4);
+        let exact = crate::d1::emd_1d_grid(&a, &b, 0.0, 1.0).unwrap();
+        for solver in [Solver::Flow, Solver::Simplex] {
+            let sol = solve_emd(&a, &b, &g, solver).unwrap();
+            assert!((sol.cost - exact).abs() < 1e-9, "{solver:?}");
+        }
+    }
+
+    #[test]
+    fn unbalanced_problem_rejected() {
+        let p = TransportProblem {
+            supplies: vec![1.0],
+            demands: vec![2.0],
+            costs: vec![vec![1.0]],
+        };
+        assert!(matches!(p.solve(Solver::Flow), Err(EmdError::MassMismatch { .. })));
+    }
+
+    #[test]
+    fn ragged_cost_matrix_rejected() {
+        let p = TransportProblem {
+            supplies: vec![1.0, 1.0],
+            demands: vec![2.0],
+            costs: vec![vec![1.0], vec![]],
+        };
+        assert!(matches!(p.solve(Solver::Flow), Err(EmdError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn zero_mass_rejected() {
+        let g = grid(2);
+        assert!(matches!(
+            solve_emd(&[0.0, 0.0], &[1.0, 0.0], &g, Solver::Flow),
+            Err(EmdError::ZeroMass)
+        ));
+    }
+
+    #[test]
+    fn identical_histograms_cost_zero() {
+        let a = [0.25, 0.25, 0.25, 0.25];
+        let g = grid(4);
+        for solver in [Solver::Flow, Solver::Simplex] {
+            let sol = solve_emd(&a, &a, &g, solver).unwrap();
+            assert!(sol.cost.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn general_transport_instance() {
+        // Classic 2x3 instance solvable by hand.
+        // supplies: [20, 30]; demands: [10, 25, 15]
+        // costs: [[2, 4, 6], [5, 1, 3]]
+        // Optimal: x11=10, x13=10, x22=25, x23=5 -> 20+60+25+15 = 120.
+        let p = TransportProblem {
+            supplies: vec![20.0, 30.0],
+            demands: vec![10.0, 25.0, 15.0],
+            costs: vec![vec![2.0, 4.0, 6.0], vec![5.0, 1.0, 3.0]],
+        };
+        for solver in [Solver::Flow, Solver::Simplex] {
+            let sol = p.solve(solver).unwrap();
+            assert!((sol.cost - 120.0).abs() < 1e-6, "{solver:?}: {}", sol.cost);
+        }
+    }
+}

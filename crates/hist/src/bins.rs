@@ -1,0 +1,369 @@
+//! Bin layouts for score histograms.
+//!
+//! The paper builds histograms "by creating equal bins over the range of
+//! f"; [`BinSpec::equal_width`] is that layout. Quantile bins and the
+//! automatic bin-count rules exist for the bin-sensitivity ablation.
+
+use std::fmt;
+
+/// Errors from constructing or using a bin layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BinError {
+    /// `lo >= hi`, non-finite bound, or zero bins requested.
+    BadSpec(&'static str),
+    /// Explicit edges were not strictly increasing.
+    EdgesNotIncreasing {
+        /// Index of the first offending edge.
+        index: usize,
+    },
+    /// Not enough data to derive bins (quantile / auto rules).
+    NotEnoughData,
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinError::BadSpec(reason) => write!(f, "bad bin spec: {reason}"),
+            BinError::EdgesNotIncreasing { index } => {
+                write!(f, "bin edges must be strictly increasing (edge {index})")
+            }
+            BinError::NotEnoughData => write!(f, "not enough data to derive bins"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+/// A one-dimensional bin layout over a closed interval.
+///
+/// Values below the first edge clamp into the first bin and values above
+/// the last edge clamp into the last bin, so every finite value maps to a
+/// bin; scoring functions are supposed to emit values in `[lo, hi]` but
+/// clamping makes histogramming total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinSpec {
+    edges: Vec<f64>,
+    /// True when the layout is an equal-width grid (enables the
+    /// closed-form EMD fast path keyed on `(lo, hi, n)`).
+    uniform: bool,
+}
+
+impl BinSpec {
+    /// `n` equal-width bins spanning `[lo, hi]` — the paper's layout.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::BadSpec`] for non-finite bounds, `lo >= hi` or `n == 0`.
+    // `!(lo < hi)` deliberately treats NaN bounds as invalid.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn equal_width(lo: f64, hi: f64, n: usize) -> Result<Self, BinError> {
+        if !lo.is_finite() || !hi.is_finite() || !(lo < hi) {
+            return Err(BinError::BadSpec("require finite lo < hi"));
+        }
+        if n == 0 {
+            return Err(BinError::BadSpec("zero bins"));
+        }
+        let width = (hi - lo) / n as f64;
+        let edges = (0..=n).map(|i| lo + i as f64 * width).collect();
+        Ok(BinSpec { edges, uniform: true })
+    }
+
+    /// Bins from explicit, strictly increasing edges (`k+1` edges → `k`
+    /// bins).
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::BadSpec`] with fewer than two edges or non-finite
+    /// edges; [`BinError::EdgesNotIncreasing`] otherwise.
+    pub fn from_edges(edges: Vec<f64>) -> Result<Self, BinError> {
+        if edges.len() < 2 {
+            return Err(BinError::BadSpec("need at least two edges"));
+        }
+        for (i, w) in edges.windows(2).enumerate() {
+            if !w[0].is_finite() || !w[1].is_finite() {
+                return Err(BinError::BadSpec("non-finite edge"));
+            }
+            if w[0] >= w[1] {
+                return Err(BinError::EdgesNotIncreasing { index: i + 1 });
+            }
+        }
+        Ok(BinSpec { edges, uniform: false })
+    }
+
+    /// `n` bins holding (approximately) equal numbers of the given sample
+    /// values: edges at the `i/n` quantiles.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::NotEnoughData`] when fewer than 2 distinct values
+    /// exist; [`BinError::BadSpec`] for `n == 0`.
+    pub fn quantile(values: &[f64], n: usize) -> Result<Self, BinError> {
+        if n == 0 {
+            return Err(BinError::BadSpec("zero bins"));
+        }
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        if sorted.len() < 2 || sorted[0] == sorted[sorted.len() - 1] {
+            return Err(BinError::NotEnoughData);
+        }
+        let mut edges = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            let q = i as f64 / n as f64;
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            edges.push(sorted[idx]);
+        }
+        edges.dedup();
+        if edges.len() < 2 {
+            return Err(BinError::NotEnoughData);
+        }
+        BinSpec::from_edges(edges)
+    }
+
+    /// Sturges' rule: `ceil(log2 n) + 1` equal-width bins over the data
+    /// range.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::NotEnoughData`] without at least 2 distinct finite
+    /// values.
+    pub fn sturges(values: &[f64]) -> Result<Self, BinError> {
+        let (lo, hi, n) = finite_range(values)?;
+        let k = ((n as f64).log2().ceil() as usize + 1).max(1);
+        BinSpec::equal_width(lo, hi, k)
+    }
+
+    /// Scott's normal-reference rule: bin width `3.49 σ n^(-1/3)`.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::NotEnoughData`] without at least 2 distinct finite
+    /// values or with zero variance.
+    pub fn scott(values: &[f64]) -> Result<Self, BinError> {
+        let (lo, hi, n) = finite_range(values)?;
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        let sd = var.sqrt();
+        if sd == 0.0 {
+            return Err(BinError::NotEnoughData);
+        }
+        let width = 3.49 * sd * (n as f64).powf(-1.0 / 3.0);
+        let k = (((hi - lo) / width).ceil() as usize).max(1);
+        BinSpec::equal_width(lo, hi, k)
+    }
+
+    /// Freedman–Diaconis rule: bin width `2 · IQR · n^(-1/3)`.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::NotEnoughData`] without at least 2 distinct finite
+    /// values or with zero IQR.
+    pub fn freedman_diaconis(values: &[f64]) -> Result<Self, BinError> {
+        let (lo, hi, n) = finite_range(values)?;
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
+        let iqr = q(0.75) - q(0.25);
+        if iqr <= 0.0 {
+            return Err(BinError::NotEnoughData);
+        }
+        let width = 2.0 * iqr * (n as f64).powf(-1.0 / 3.0);
+        let k = (((hi - lo) / width).ceil() as usize).max(1);
+        BinSpec::equal_width(lo, hi, k)
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.edges.len() - 1
+    }
+
+    /// True when the spec has no bins (never constructible; for
+    /// completeness of the container API).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lowest edge.
+    pub fn lo(&self) -> f64 {
+        self.edges[0]
+    }
+
+    /// Highest edge.
+    pub fn hi(&self) -> f64 {
+        *self.edges.last().expect("at least two edges")
+    }
+
+    /// Whether this is an equal-width grid.
+    pub fn is_uniform(&self) -> bool {
+        self.uniform
+    }
+
+    /// The edges (length `len() + 1`).
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Centre of bin `i`.
+    pub fn centre(&self, i: usize) -> f64 {
+        (self.edges[i] + self.edges[i + 1]) / 2.0
+    }
+
+    /// All bin centres.
+    pub fn centres(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.centre(i)).collect()
+    }
+
+    /// Map a value to its bin index. Out-of-range values clamp to the
+    /// first/last bin; NaN maps to the first bin (histogram callers
+    /// should filter NaN upstream — scores are validated on creation).
+    // `!(value > lo)` deliberately routes NaN into the first bin.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn bin_index(&self, value: f64) -> usize {
+        let n = self.len();
+        if self.uniform {
+            let lo = self.lo();
+            let hi = self.hi();
+            if !(value > lo) {
+                return 0;
+            }
+            if value >= hi {
+                return n - 1;
+            }
+            let idx = ((value - lo) / (hi - lo) * n as f64) as usize;
+            idx.min(n - 1)
+        } else {
+            // Binary search over edges: find rightmost edge <= value.
+            if !(value > self.edges[0]) {
+                return 0;
+            }
+            if value >= self.edges[n] {
+                return n - 1;
+            }
+            match self.edges.binary_search_by(|e| e.partial_cmp(&value).expect("finite edges")) {
+                Ok(i) => i.min(n - 1),
+                Err(i) => i - 1,
+            }
+        }
+    }
+}
+
+fn finite_range(values: &[f64]) -> Result<(f64, f64, usize), BinError> {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.len() < 2 {
+        return Err(BinError::NotEnoughData);
+    }
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if lo == hi {
+        return Err(BinError::NotEnoughData);
+    }
+    Ok((lo, hi, finite.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_layout() {
+        let s = BinSpec::equal_width(0.0, 1.0, 10).unwrap();
+        assert_eq!(s.len(), 10);
+        assert!(s.is_uniform());
+        assert_eq!(s.lo(), 0.0);
+        assert_eq!(s.hi(), 1.0);
+        assert!((s.centre(0) - 0.05).abs() < 1e-12);
+        assert!((s.centre(9) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_width_rejects_bad_specs() {
+        assert!(BinSpec::equal_width(1.0, 0.0, 10).is_err());
+        assert!(BinSpec::equal_width(0.0, 1.0, 0).is_err());
+        assert!(BinSpec::equal_width(f64::NAN, 1.0, 3).is_err());
+    }
+
+    #[test]
+    fn bin_index_uniform() {
+        let s = BinSpec::equal_width(0.0, 1.0, 10).unwrap();
+        assert_eq!(s.bin_index(0.0), 0);
+        assert_eq!(s.bin_index(0.05), 0);
+        assert_eq!(s.bin_index(0.1), 1);
+        assert_eq!(s.bin_index(0.95), 9);
+        assert_eq!(s.bin_index(1.0), 9); // top edge is inclusive
+        assert_eq!(s.bin_index(-5.0), 0); // clamp
+        assert_eq!(s.bin_index(5.0), 9); // clamp
+    }
+
+    #[test]
+    fn bin_index_explicit_edges() {
+        let s = BinSpec::from_edges(vec![0.0, 0.1, 0.5, 1.0]).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_uniform());
+        assert_eq!(s.bin_index(0.05), 0);
+        assert_eq!(s.bin_index(0.1), 1); // edge belongs to the right bin
+        assert_eq!(s.bin_index(0.3), 1);
+        assert_eq!(s.bin_index(0.7), 2);
+        assert_eq!(s.bin_index(1.0), 2);
+    }
+
+    #[test]
+    fn edges_must_increase() {
+        assert!(matches!(
+            BinSpec::from_edges(vec![0.0, 0.5, 0.5, 1.0]),
+            Err(BinError::EdgesNotIncreasing { index: 2 })
+        ));
+        assert!(BinSpec::from_edges(vec![0.0]).is_err());
+    }
+
+    #[test]
+    fn quantile_bins_balance_counts() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = BinSpec::quantile(&values, 4).unwrap();
+        assert_eq!(s.len(), 4);
+        // Roughly a quarter of the data falls in each bin.
+        let mut counts = vec![0usize; 4];
+        for &v in &values {
+            counts[s.bin_index(v)] += 1;
+        }
+        for c in counts {
+            assert!((20..=30).contains(&c), "unbalanced quantile bin: {c}");
+        }
+    }
+
+    #[test]
+    fn quantile_needs_spread() {
+        assert!(matches!(BinSpec::quantile(&[1.0, 1.0, 1.0], 4), Err(BinError::NotEnoughData)));
+        assert!(matches!(BinSpec::quantile(&[], 4), Err(BinError::NotEnoughData)));
+    }
+
+    #[test]
+    fn sturges_bin_count() {
+        let values: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let s = BinSpec::sturges(&values).unwrap();
+        assert_eq!(s.len(), 7); // log2(64) + 1
+    }
+
+    #[test]
+    fn scott_and_fd_produce_reasonable_counts() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64 / 999.0).collect();
+        let scott = BinSpec::scott(&values).unwrap();
+        let fd = BinSpec::freedman_diaconis(&values).unwrap();
+        assert!(scott.len() >= 2 && scott.len() <= 100, "scott: {}", scott.len());
+        assert!(fd.len() >= 2 && fd.len() <= 100, "fd: {}", fd.len());
+    }
+
+    #[test]
+    fn auto_rules_need_variance() {
+        assert!(BinSpec::scott(&[2.0; 10]).is_err());
+        assert!(BinSpec::freedman_diaconis(&[2.0; 10]).is_err());
+        assert!(BinSpec::sturges(&[2.0; 10]).is_err());
+    }
+
+    #[test]
+    fn centres_cover_grid() {
+        let s = BinSpec::equal_width(0.0, 2.0, 4).unwrap();
+        let c = s.centres();
+        assert_eq!(c.len(), 4);
+        assert!((c[0] - 0.25).abs() < 1e-12);
+        assert!((c[3] - 1.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,432 @@
+//! Pluggable distances between histograms.
+//!
+//! The paper measures unfairness with the Earth Mover's Distance
+//! ([`Emd1d`], with [`EmdExact`] and [`EmdThresholded`] as general/robust
+//! variants) and lists "other formulations and metrics for fairness" as
+//! future work — those are the remaining implementations here. All of
+//! them operate on *normalised* histograms so that partition sizes do not
+//! leak into the distance.
+
+use crate::histogram::Histogram;
+use fairjob_emd::{EmdError, GridL1, Solver, Thresholded};
+use std::fmt;
+
+/// Errors from distance computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistanceError {
+    /// The two histograms use different bin layouts.
+    SpecMismatch,
+    /// One of the histograms holds no mass.
+    EmptyHistogram,
+    /// The underlying EMD solver failed.
+    Emd(EmdError),
+}
+
+impl fmt::Display for DistanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistanceError::SpecMismatch => write!(f, "histograms use different bin specs"),
+            DistanceError::EmptyHistogram => write!(f, "cannot compare an empty histogram"),
+            DistanceError::Emd(e) => write!(f, "emd: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistanceError {}
+
+impl From<EmdError> for DistanceError {
+    fn from(e: EmdError) -> Self {
+        DistanceError::Emd(e)
+    }
+}
+
+/// A distance (or divergence) between two histograms over the same bins.
+///
+/// Implementations must be symmetric unless documented otherwise
+/// ([`Kl`] is the one asymmetric member, kept for completeness).
+pub trait HistogramDistance: Send + Sync {
+    /// Distance between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistanceError::SpecMismatch`] for differing layouts,
+    /// [`DistanceError::EmptyHistogram`] when either side has no mass.
+    fn distance(&self, a: &Histogram, b: &Histogram) -> Result<f64, DistanceError>;
+
+    /// Short stable identifier for reports and benchmarks.
+    fn name(&self) -> &'static str;
+}
+
+fn frequencies(a: &Histogram, b: &Histogram) -> Result<(Vec<f64>, Vec<f64>), DistanceError> {
+    if a.spec() != b.spec() {
+        return Err(DistanceError::SpecMismatch);
+    }
+    let fa = a.frequencies().ok_or(DistanceError::EmptyHistogram)?;
+    let fb = b.frequencies().ok_or(DistanceError::EmptyHistogram)?;
+    Ok((fa, fb))
+}
+
+/// Closed-form 1-D EMD over bin positions — the paper's measure and the
+/// fast path used by the audit algorithms.
+///
+/// Uniform layouts use the grid closed form; non-uniform layouts use the
+/// sorted-positions closed form over bin centres. Either way the distance
+/// is in score units (for scores in `[0,1]`, at most `1 - binwidth`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Emd1d;
+
+impl HistogramDistance for Emd1d {
+    fn distance(&self, a: &Histogram, b: &Histogram) -> Result<f64, DistanceError> {
+        let (fa, fb) = frequencies(a, b)?;
+        let spec = a.spec();
+        if spec.is_uniform() {
+            Ok(fairjob_emd::emd_1d_grid(&fa, &fb, spec.lo(), spec.hi())?)
+        } else {
+            Ok(fairjob_emd::emd_1d_positions(&fa, &fb, &spec.centres())?)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "emd"
+    }
+}
+
+/// EMD via an exact transportation solver (flow or simplex). Numerically
+/// identical to [`Emd1d`] on 1-D grounds; exists for differential testing
+/// and for callers that want the simplex backend.
+#[derive(Debug, Clone, Copy)]
+pub struct EmdExact {
+    /// Which exact backend to use.
+    pub solver: Solver,
+}
+
+impl HistogramDistance for EmdExact {
+    fn distance(&self, a: &Histogram, b: &Histogram) -> Result<f64, DistanceError> {
+        let (fa, fb) = frequencies(a, b)?;
+        let spec = a.spec();
+        let ground = fairjob_emd::PositionsL1::new(spec.centres());
+        Ok(fairjob_emd::transport::solve_emd(&fa, &fb, &ground, self.solver)?.cost)
+    }
+
+    fn name(&self) -> &'static str {
+        match self.solver {
+            Solver::Flow => "emd-flow",
+            Solver::Simplex => "emd-simplex",
+        }
+    }
+}
+
+/// EMD with a saturated (thresholded) ground distance, after Pele &
+/// Werman (ICCV 2009): bins further apart than `threshold` all cost
+/// `threshold`. Robust to outlier mass.
+#[derive(Debug, Clone, Copy)]
+pub struct EmdThresholded {
+    /// Saturation distance in score units.
+    pub threshold: f64,
+}
+
+impl HistogramDistance for EmdThresholded {
+    fn distance(&self, a: &Histogram, b: &Histogram) -> Result<f64, DistanceError> {
+        let (fa, fb) = frequencies(a, b)?;
+        let spec = a.spec();
+        let ground = if spec.is_uniform() {
+            Thresholded::new(GridL1::new(spec.lo(), spec.hi(), spec.len())?, self.threshold)
+        } else {
+            // Build from centres via the grid-equivalent positions.
+            return {
+                let pos = fairjob_emd::PositionsL1::new(spec.centres());
+                let t = Thresholded::new(pos, self.threshold);
+                Ok(fairjob_emd::transport::solve_emd(&fa, &fb, &t, Solver::Flow)?.cost)
+            };
+        };
+        Ok(fairjob_emd::transport::solve_emd(&fa, &fb, &ground, Solver::Flow)?.cost)
+    }
+
+    fn name(&self) -> &'static str {
+        "emd-thresholded"
+    }
+}
+
+/// Total variation distance: `½ Σ |aᵢ - bᵢ|` ∈ [0, 1]. Ignores bin
+/// geometry entirely (a useful contrast with EMD in the metric ablation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TotalVariation;
+
+impl HistogramDistance for TotalVariation {
+    fn distance(&self, a: &Histogram, b: &Histogram) -> Result<f64, DistanceError> {
+        let (fa, fb) = frequencies(a, b)?;
+        Ok(0.5 * fa.iter().zip(&fb).map(|(x, y)| (x - y).abs()).sum::<f64>())
+    }
+
+    fn name(&self) -> &'static str {
+        "total-variation"
+    }
+}
+
+/// Kolmogorov–Smirnov statistic: `max |CDF_a - CDF_b|` ∈ [0, 1].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KolmogorovSmirnov;
+
+impl HistogramDistance for KolmogorovSmirnov {
+    fn distance(&self, a: &Histogram, b: &Histogram) -> Result<f64, DistanceError> {
+        let (fa, fb) = frequencies(a, b)?;
+        let mut ca = 0.0;
+        let mut cb = 0.0;
+        let mut m = 0.0f64;
+        for (x, y) in fa.iter().zip(&fb) {
+            ca += x;
+            cb += y;
+            m = m.max((ca - cb).abs());
+        }
+        Ok(m)
+    }
+
+    fn name(&self) -> &'static str {
+        "kolmogorov-smirnov"
+    }
+}
+
+/// Jensen–Shannon divergence (base-2, so the value is in [0, 1]);
+/// symmetric, finite smoothed KL to the mixture.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JensenShannon;
+
+impl HistogramDistance for JensenShannon {
+    fn distance(&self, a: &Histogram, b: &Histogram) -> Result<f64, DistanceError> {
+        let (fa, fb) = frequencies(a, b)?;
+        let mut d = 0.0;
+        for (&x, &y) in fa.iter().zip(&fb) {
+            let m = (x + y) / 2.0;
+            if x > 0.0 {
+                d += 0.5 * x * (x / m).log2();
+            }
+            if y > 0.0 {
+                d += 0.5 * y * (y / m).log2();
+            }
+        }
+        Ok(d.max(0.0))
+    }
+
+    fn name(&self) -> &'static str {
+        "jensen-shannon"
+    }
+}
+
+/// Smoothed Kullback–Leibler divergence `KL(a ‖ b)`. **Asymmetric**; bins
+/// are Laplace-smoothed with `epsilon` to keep the value finite when `b`
+/// has empty bins.
+#[derive(Debug, Clone, Copy)]
+pub struct Kl {
+    /// Additive smoothing mass per bin.
+    pub epsilon: f64,
+}
+
+impl Default for Kl {
+    fn default() -> Self {
+        Kl { epsilon: 1e-6 }
+    }
+}
+
+impl HistogramDistance for Kl {
+    fn distance(&self, a: &Histogram, b: &Histogram) -> Result<f64, DistanceError> {
+        let (fa, fb) = frequencies(a, b)?;
+        let n = fa.len() as f64;
+        let smooth = |v: f64| (v + self.epsilon) / (1.0 + n * self.epsilon);
+        let mut d = 0.0;
+        for (&x, &y) in fa.iter().zip(&fb) {
+            let (sx, sy) = (smooth(x), smooth(y));
+            d += sx * (sx / sy).ln();
+        }
+        Ok(d.max(0.0))
+    }
+
+    fn name(&self) -> &'static str {
+        "kl"
+    }
+}
+
+/// Hellinger distance `√(1 - Σ √(aᵢ bᵢ))` ∈ [0, 1]; a bounded metric.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hellinger;
+
+impl HistogramDistance for Hellinger {
+    fn distance(&self, a: &Histogram, b: &Histogram) -> Result<f64, DistanceError> {
+        let (fa, fb) = frequencies(a, b)?;
+        let bc: f64 = fa.iter().zip(&fb).map(|(x, y)| (x * y).sqrt()).sum();
+        Ok((1.0 - bc.min(1.0)).sqrt())
+    }
+
+    fn name(&self) -> &'static str {
+        "hellinger"
+    }
+}
+
+/// Symmetrised χ² distance: `½ Σ (aᵢ-bᵢ)² / (aᵢ+bᵢ)` ∈ [0, 1].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChiSquare;
+
+impl HistogramDistance for ChiSquare {
+    fn distance(&self, a: &Histogram, b: &Histogram) -> Result<f64, DistanceError> {
+        let (fa, fb) = frequencies(a, b)?;
+        let mut d = 0.0;
+        for (&x, &y) in fa.iter().zip(&fb) {
+            let s = x + y;
+            if s > 0.0 {
+                d += (x - y).powi(2) / s;
+            }
+        }
+        Ok(0.5 * d)
+    }
+
+    fn name(&self) -> &'static str {
+        "chi-square"
+    }
+}
+
+/// All bounded symmetric distances, for metric-sweep ablations.
+pub fn all_symmetric_distances() -> Vec<Box<dyn HistogramDistance>> {
+    vec![
+        Box::new(Emd1d),
+        Box::new(TotalVariation),
+        Box::new(KolmogorovSmirnov),
+        Box::new(JensenShannon),
+        Box::new(Hellinger),
+        Box::new(ChiSquare),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bins::BinSpec;
+
+    fn spec() -> BinSpec {
+        BinSpec::equal_width(0.0, 1.0, 10).unwrap()
+    }
+
+    fn h(values: &[f64]) -> Histogram {
+        Histogram::from_values(spec(), values.iter().copied())
+    }
+
+    #[test]
+    fn emd_extremes() {
+        let a = h(&[0.05]);
+        let b = h(&[0.95]);
+        let d = Emd1d.distance(&a, &b).unwrap();
+        assert!((d - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_distances_zero_on_identical() {
+        let a = h(&[0.1, 0.5, 0.9]);
+        for dist in all_symmetric_distances() {
+            let d = dist.distance(&a, &a).unwrap();
+            assert!(d.abs() < 1e-9, "{}: {d}", dist.name());
+        }
+        assert!(Kl::default().distance(&a, &a).unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_distances_symmetric() {
+        let a = h(&[0.1, 0.2, 0.5]);
+        let b = h(&[0.6, 0.9, 0.95]);
+        for dist in all_symmetric_distances() {
+            let d1 = dist.distance(&a, &b).unwrap();
+            let d2 = dist.distance(&b, &a).unwrap();
+            assert!((d1 - d2).abs() < 1e-12, "{}", dist.name());
+        }
+    }
+
+    #[test]
+    fn kl_is_asymmetric_but_nonnegative() {
+        let a = h(&[0.1, 0.1, 0.2]);
+        let b = h(&[0.8, 0.9]);
+        let d1 = Kl::default().distance(&a, &b).unwrap();
+        let d2 = Kl::default().distance(&b, &a).unwrap();
+        assert!(d1 > 0.0 && d2 > 0.0);
+        assert!((d1 - d2).abs() > 1e-6, "expected asymmetry: {d1} vs {d2}");
+    }
+
+    #[test]
+    fn spec_mismatch_detected() {
+        let a = h(&[0.5]);
+        let b = Histogram::from_values(BinSpec::equal_width(0.0, 1.0, 5).unwrap(), [0.5]);
+        for dist in all_symmetric_distances() {
+            assert!(matches!(dist.distance(&a, &b), Err(DistanceError::SpecMismatch)));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_detected() {
+        let a = h(&[0.5]);
+        let e = Histogram::empty(spec());
+        assert!(matches!(Emd1d.distance(&a, &e), Err(DistanceError::EmptyHistogram)));
+        assert!(matches!(Emd1d.distance(&e, &a), Err(DistanceError::EmptyHistogram)));
+    }
+
+    #[test]
+    fn tv_and_ks_bounded_by_one() {
+        let a = h(&[0.01; 5]);
+        let b = h(&[0.99; 5]);
+        assert!((TotalVariation.distance(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert!((KolmogorovSmirnov.distance(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsd_bounded_by_one_bit() {
+        let a = h(&[0.01; 5]);
+        let b = h(&[0.99; 5]);
+        let d = JensenShannon.distance(&a, &b).unwrap();
+        assert!(d <= 1.0 + 1e-12 && d > 0.99);
+    }
+
+    #[test]
+    fn hellinger_disjoint_supports() {
+        let a = h(&[0.05]);
+        let b = h(&[0.95]);
+        assert!((Hellinger.distance(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_bounded() {
+        let a = h(&[0.05]);
+        let b = h(&[0.95]);
+        let d = ChiSquare.distance(&a, &b).unwrap();
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_exact_matches_closed_form() {
+        let a = h(&[0.12, 0.34, 0.55, 0.9]);
+        let b = h(&[0.2, 0.21, 0.8]);
+        let closed = Emd1d.distance(&a, &b).unwrap();
+        for solver in [Solver::Flow, Solver::Simplex] {
+            let exact = EmdExact { solver }.distance(&a, &b).unwrap();
+            assert!((closed - exact).abs() < 1e-9, "{solver:?}");
+        }
+    }
+
+    #[test]
+    fn thresholded_caps_distance() {
+        let a = h(&[0.05]);
+        let b = h(&[0.95]);
+        let d = EmdThresholded { threshold: 0.25 }.distance(&a, &b).unwrap();
+        assert!((d - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn emd_on_non_uniform_spec_uses_centres() {
+        let s = BinSpec::from_edges(vec![0.0, 0.5, 0.6, 1.0]).unwrap();
+        let a = Histogram::from_values(s.clone(), [0.1].iter().copied()); // centre 0.25
+        let b = Histogram::from_values(s, [0.9].iter().copied()); // centre 0.8
+        let d = Emd1d.distance(&a, &b).unwrap();
+        assert!((d - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Emd1d.name(), "emd");
+        assert_eq!(EmdExact { solver: Solver::Flow }.name(), "emd-flow");
+        assert_eq!(EmdExact { solver: Solver::Simplex }.name(), "emd-simplex");
+    }
+}

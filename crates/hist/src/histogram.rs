@@ -1,0 +1,273 @@
+//! Dense counted histograms.
+
+use crate::bins::BinSpec;
+
+/// A dense histogram: a [`BinSpec`] plus one count per bin.
+///
+/// Counts are `f64` so histograms can hold weighted observations and
+/// normalised mass alike. `h(pᵢ, f)` in the paper is exactly
+/// `Histogram::from_values(spec, scores of partition pᵢ)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    spec: BinSpec,
+    counts: Vec<f64>,
+    total: f64,
+}
+
+impl Histogram {
+    /// An empty histogram over `spec`.
+    pub fn empty(spec: BinSpec) -> Self {
+        let n = spec.len();
+        Histogram { spec, counts: vec![0.0; n], total: 0.0 }
+    }
+
+    /// Build a histogram by binning an iterator of values (each with
+    /// weight 1). Non-finite values are skipped.
+    pub fn from_values(spec: BinSpec, values: impl IntoIterator<Item = f64>) -> Self {
+        let mut h = Histogram::empty(spec);
+        for v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Wrap precomputed counts (e.g. from the columnar store's group-by).
+    ///
+    /// # Panics
+    ///
+    /// When `counts.len() != spec.len()` — this is a programming error at
+    /// the store/histogram boundary, not a data error.
+    pub fn from_counts(spec: BinSpec, counts: Vec<f64>) -> Self {
+        assert_eq!(counts.len(), spec.len(), "count vector must match bin count");
+        let total = counts.iter().sum();
+        Histogram { spec, counts, total }
+    }
+
+    /// Add one observation with weight 1. Non-finite values are ignored.
+    pub fn add(&mut self, value: f64) {
+        self.add_weighted(value, 1.0);
+    }
+
+    /// Add one observation with the given non-negative weight. Non-finite
+    /// values or weights are ignored.
+    pub fn add_weighted(&mut self, value: f64, weight: f64) {
+        if !value.is_finite() || !weight.is_finite() || weight < 0.0 {
+            return;
+        }
+        let i = self.spec.bin_index(value);
+        self.counts[i] += weight;
+        self.total += weight;
+    }
+
+    /// The bin layout.
+    pub fn spec(&self) -> &BinSpec {
+        &self.spec
+    }
+
+    /// Raw per-bin counts.
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Total mass.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// True when no mass has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total <= 0.0
+    }
+
+    /// Per-bin relative frequencies (unit total mass), or `None` when the
+    /// histogram is empty.
+    pub fn frequencies(&self) -> Option<Vec<f64>> {
+        if self.is_empty() {
+            return None;
+        }
+        Some(self.counts.iter().map(|c| c / self.total).collect())
+    }
+
+    /// Merge another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// When the bin specs differ — merging across layouts is a
+    /// programming error.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.spec, other.spec, "cannot merge histograms with different bin specs");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Mean of the binned distribution (bin centres weighted by mass), or
+    /// `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        let s: f64 =
+            self.counts.iter().enumerate().map(|(i, c)| c * self.spec.centre(i)).sum();
+        Some(s / self.total)
+    }
+
+    /// Variance of the binned distribution, or `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let s: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c * (self.spec.centre(i) - mean).powi(2))
+            .sum();
+        Some(s / self.total)
+    }
+
+    /// Cumulative mass up to and including bin `i`, normalised to [0, 1].
+    /// Returns `None` when empty.
+    pub fn cdf(&self) -> Option<Vec<f64>> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut acc = 0.0;
+        Some(
+            self.counts
+                .iter()
+                .map(|c| {
+                    acc += c;
+                    acc / self.total
+                })
+                .collect(),
+        )
+    }
+
+    /// A compact ASCII rendering (one line per non-empty bin) used by the
+    /// audit reports and examples.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().fold(0.0f64, f64::max);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar_len = if max > 0.0 { ((c / max) * width as f64).round() as usize } else { 0 };
+            out.push_str(&format!(
+                "[{:6.3}, {:6.3}) {:>8.1} {}\n",
+                self.spec.edges()[i],
+                self.spec.edges()[i + 1],
+                c,
+                "#".repeat(bar_len)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec10() -> BinSpec {
+        BinSpec::equal_width(0.0, 1.0, 10).unwrap()
+    }
+
+    #[test]
+    fn from_values_counts_correctly() {
+        let h = Histogram::from_values(spec10(), [0.05, 0.07, 0.55, 0.95, 1.0].iter().copied());
+        assert_eq!(h.total(), 5.0);
+        assert_eq!(h.counts()[0], 2.0);
+        assert_eq!(h.counts()[5], 1.0);
+        assert_eq!(h.counts()[9], 2.0); // 0.95 and clamped 1.0
+    }
+
+    #[test]
+    fn nan_values_are_skipped() {
+        let h = Histogram::from_values(spec10(), [f64::NAN, 0.5].iter().copied());
+        assert_eq!(h.total(), 1.0);
+    }
+
+    #[test]
+    fn weighted_adds() {
+        let mut h = Histogram::empty(spec10());
+        h.add_weighted(0.5, 2.5);
+        h.add_weighted(0.5, -1.0); // ignored
+        h.add_weighted(0.5, f64::INFINITY); // ignored
+        assert_eq!(h.total(), 2.5);
+        assert_eq!(h.counts()[5], 2.5);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let h = Histogram::from_values(spec10(), (0..100).map(|i| i as f64 / 100.0));
+        let f = h.frequencies().unwrap();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_behaviour() {
+        let h = Histogram::empty(spec10());
+        assert!(h.is_empty());
+        assert!(h.frequencies().is_none());
+        assert!(h.mean().is_none());
+        assert!(h.variance().is_none());
+        assert!(h.cdf().is_none());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::from_values(spec10(), [0.1, 0.2].iter().copied());
+        let b = Histogram::from_values(spec10(), [0.2, 0.9].iter().copied());
+        a.merge(&b);
+        assert_eq!(a.total(), 4.0);
+        assert_eq!(a.counts()[2], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bin specs")]
+    fn merge_rejects_mismatched_specs() {
+        let mut a = Histogram::empty(spec10());
+        let b = Histogram::empty(BinSpec::equal_width(0.0, 1.0, 5).unwrap());
+        a.merge(&b);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        // All mass in bin centred at 0.55.
+        let h = Histogram::from_values(spec10(), [0.55, 0.55].iter().copied());
+        assert!((h.mean().unwrap() - 0.55).abs() < 1e-12);
+        assert!(h.variance().unwrap().abs() < 1e-12);
+        // Two extreme bins: mean 0.5, variance (0.45)^2.
+        let h = Histogram::from_values(spec10(), [0.0, 1.0].iter().copied());
+        assert!((h.mean().unwrap() - 0.5).abs() < 1e-12);
+        assert!((h.variance().unwrap() - 0.45 * 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let h = Histogram::from_values(spec10(), (0..50).map(|i| i as f64 / 50.0));
+        let cdf = h.cdf().unwrap();
+        for w in cdf.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_counts_roundtrip() {
+        let h = Histogram::from_counts(spec10(), vec![1.0; 10]);
+        assert_eq!(h.total(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match bin count")]
+    fn from_counts_rejects_wrong_len() {
+        let _ = Histogram::from_counts(spec10(), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn ascii_render_has_one_line_per_bin() {
+        let h = Histogram::from_values(spec10(), [0.1, 0.9].iter().copied());
+        let s = h.render_ascii(20);
+        assert_eq!(s.lines().count(), 10);
+        assert!(s.contains('#'));
+    }
+}

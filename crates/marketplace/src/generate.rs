@@ -1,0 +1,184 @@
+//! Worker-population generators.
+//!
+//! The paper populates all attribute values "randomly so as to avoid
+//! injecting any bias in the data ourselves" — that is
+//! [`generate_uniform`]. [`generate_correlated`] injects controllable
+//! skill↔demographic correlations and stands in for the real Qapa /
+//! TaskRabbit data the paper leaves to future work.
+
+use crate::schema::{amt_schema, COUNTRIES, ETHNICITIES, GENDERS, LANGUAGES};
+use fairjob_store::table::{Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate `size` workers with all attributes uniform at random
+/// (the paper's simulation setting). Deterministic in `seed`.
+pub fn generate_uniform(size: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut table = Table::new(amt_schema());
+    for _ in 0..size {
+        let row = [
+            Value::cat(GENDERS[rng.gen_range(0..GENDERS.len())]),
+            Value::cat(COUNTRIES[rng.gen_range(0..COUNTRIES.len())]),
+            Value::int(rng.gen_range(1950..=2009)),
+            Value::cat(LANGUAGES[rng.gen_range(0..LANGUAGES.len())]),
+            Value::cat(ETHNICITIES[rng.gen_range(0..ETHNICITIES.len())]),
+            Value::int(rng.gen_range(0..=30)),
+            Value::num(rng.gen_range(25.0..=100.0)),
+            Value::num(rng.gen_range(25.0..=100.0)),
+        ];
+        table.push_row(&row).expect("generated rows satisfy the schema");
+    }
+    table
+}
+
+/// Correlation knobs for [`generate_correlated`].
+///
+/// Each strength is in `[0, 1]`: 0 reproduces the uniform generator, 1
+/// pushes the correlated group's observed scores to the top of the range
+/// and the complementary group's to the bottom.
+#[derive(Debug, Clone, Copy)]
+pub struct CorrelationConfig {
+    /// How strongly `language = English` lifts the language-test score.
+    pub language_to_test: f64,
+    /// How strongly experience lifts the approval rate.
+    pub experience_to_approval: f64,
+    /// How strongly `country = America` lifts the approval rate
+    /// (a requester-familiarity effect observed on real platforms).
+    pub country_to_approval: f64,
+}
+
+impl Default for CorrelationConfig {
+    fn default() -> Self {
+        CorrelationConfig {
+            language_to_test: 0.6,
+            experience_to_approval: 0.4,
+            country_to_approval: 0.2,
+        }
+    }
+}
+
+/// Generate `size` workers whose observed attributes correlate with
+/// protected ones per `config` — the synthetic stand-in for real
+/// marketplace data. Deterministic in `seed`.
+pub fn generate_correlated(size: usize, seed: u64, config: &CorrelationConfig) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut table = Table::new(amt_schema());
+    for _ in 0..size {
+        let gender = GENDERS[rng.gen_range(0..GENDERS.len())];
+        let country = COUNTRIES[rng.gen_range(0..COUNTRIES.len())];
+        let yob = rng.gen_range(1950..=2009);
+        let language = LANGUAGES[rng.gen_range(0..LANGUAGES.len())];
+        let ethnicity = ETHNICITIES[rng.gen_range(0..ETHNICITIES.len())];
+        let experience = rng.gen_range(0..=30i64);
+
+        // Base signals, uniform in [0, 1].
+        let base_test: f64 = rng.gen();
+        let base_approval: f64 = rng.gen();
+
+        // Blend towards group-dependent targets.
+        let lang_target = if language == "English" { 1.0 } else { 0.25 };
+        let test = blend(base_test, lang_target, config.language_to_test);
+
+        let exp_target = experience as f64 / 30.0;
+        let country_target = if country == "America" { 1.0 } else { 0.4 };
+        let approval_mid = blend(base_approval, exp_target, config.experience_to_approval);
+        let approval = blend(approval_mid, country_target, config.country_to_approval);
+
+        let row = [
+            Value::cat(gender),
+            Value::cat(country),
+            Value::int(yob),
+            Value::cat(language),
+            Value::cat(ethnicity),
+            Value::int(experience),
+            Value::num(25.0 + 75.0 * test),
+            Value::num(25.0 + 75.0 * approval),
+        ];
+        table.push_row(&row).expect("generated rows satisfy the schema");
+    }
+    table
+}
+
+fn blend(base: f64, target: f64, strength: f64) -> f64 {
+    base * (1.0 - strength) + target * strength
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::names;
+    use fairjob_store::RowSet;
+
+    #[test]
+    fn uniform_is_deterministic_in_seed() {
+        let a = generate_uniform(50, 7);
+        let b = generate_uniform(50, 7);
+        let c = generate_uniform(50, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_respects_schema_ranges() {
+        let t = generate_uniform(200, 1);
+        assert_eq!(t.len(), 200);
+        let yob = t.column_by_name(names::YEAR_OF_BIRTH).unwrap().as_integer().unwrap();
+        assert!(yob.iter().all(|&y| (1950..=2009).contains(&y)));
+        let lt = t.column_by_name(names::LANGUAGE_TEST).unwrap().as_numeric().unwrap();
+        assert!(lt.iter().all(|&v| (25.0..=100.0).contains(&v)));
+    }
+
+    #[test]
+    fn uniform_uses_every_category() {
+        let t = generate_uniform(500, 2);
+        for attr in [names::GENDER, names::COUNTRY, names::LANGUAGE, names::ETHNICITY] {
+            let idx = t.schema().index_of(attr).unwrap();
+            let counts =
+                fairjob_store::groupby::value_counts(&t, &RowSet::all(t.len()), idx).unwrap();
+            assert!(counts.iter().all(|&c| c > 0), "{attr}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn correlated_lifts_english_language_tests() {
+        let cfg = CorrelationConfig { language_to_test: 0.8, ..Default::default() };
+        let t = generate_correlated(2000, 3, &cfg);
+        let lang_idx = t.schema().index_of(names::LANGUAGE).unwrap();
+        let test = t.column_by_name(names::LANGUAGE_TEST).unwrap().as_numeric().unwrap();
+        let codes = t.column(lang_idx).as_categorical().unwrap();
+        let mean = |code: u32| {
+            let vals: Vec<f64> = codes
+                .iter()
+                .zip(test)
+                .filter(|(c, _)| **c == code)
+                .map(|(_, v)| *v)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        let english = mean(0);
+        let indian = mean(1);
+        assert!(
+            english > indian + 20.0,
+            "expected a strong lift for English speakers: {english} vs {indian}"
+        );
+    }
+
+    #[test]
+    fn zero_strength_correlation_stays_in_range() {
+        let cfg = CorrelationConfig {
+            language_to_test: 0.0,
+            experience_to_approval: 0.0,
+            country_to_approval: 0.0,
+        };
+        let t = generate_correlated(300, 4, &cfg);
+        let ap = t.column_by_name(names::APPROVAL_RATE).unwrap().as_numeric().unwrap();
+        assert!(ap.iter().all(|&v| (25.0..=100.0).contains(&v)));
+    }
+
+    #[test]
+    fn correlated_is_deterministic_in_seed() {
+        let cfg = CorrelationConfig::default();
+        assert_eq!(generate_correlated(40, 9, &cfg), generate_correlated(40, 9, &cfg));
+    }
+}

@@ -1,0 +1,288 @@
+//! Multi-round hiring dynamics with reputation feedback.
+//!
+//! Ranking unfairness compounds: workers shown higher get hired more,
+//! hires raise the observed reputation signals (approval rate), and the
+//! next ranking amplifies the gap. This module simulates that loop —
+//! the mechanism that turns a *slightly* biased scoring function into a
+//! strongly stratified marketplace, and the reason auditing scoring
+//! functions (this library's core) matters before the loop runs.
+//!
+//! Each round:
+//! 1. every worker is scored by the task-qualification function;
+//! 2. the top-k are shown; a requester makes `hires_per_round` hires,
+//!    sampling shown workers proportionally to a position-bias weight;
+//! 3. each hired worker's approval rate rises by `approval_boost`
+//!    (clamped to the schema range).
+
+use crate::ranking::{rank, ExposureModel};
+use crate::schema::names;
+use crate::scoring::{ScoreError, ScoringFunction};
+use fairjob_store::{StoreError, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Configuration of a hiring simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct HiringConfig {
+    /// Number of rounds (posted tasks) to simulate.
+    pub rounds: usize,
+    /// Size of the displayed ranking per task.
+    pub top_k: usize,
+    /// Hires made per round.
+    pub hires_per_round: usize,
+    /// Position-bias model governing which shown worker gets hired.
+    pub position_bias: ExposureModel,
+    /// Approval-rate increase per successful hire.
+    pub approval_boost: f64,
+    /// RNG seed (hire sampling).
+    pub seed: u64,
+}
+
+impl Default for HiringConfig {
+    fn default() -> Self {
+        HiringConfig {
+            rounds: 50,
+            top_k: 20,
+            hires_per_round: 5,
+            position_bias: ExposureModel::Logarithmic,
+            approval_boost: 2.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Errors from the hiring simulation.
+#[derive(Debug)]
+pub enum HiringError {
+    /// The scoring function failed.
+    Score(ScoreError),
+    /// The store rejected an update.
+    Store(StoreError),
+    /// Config asks for zero rounds/hires/slots.
+    BadConfig(&'static str),
+}
+
+impl fmt::Display for HiringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HiringError::Score(e) => write!(f, "score: {e}"),
+            HiringError::Store(e) => write!(f, "store: {e}"),
+            HiringError::BadConfig(reason) => write!(f, "bad config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for HiringError {}
+
+impl From<ScoreError> for HiringError {
+    fn from(e: ScoreError) -> Self {
+        HiringError::Score(e)
+    }
+}
+
+impl From<StoreError> for HiringError {
+    fn from(e: StoreError) -> Self {
+        HiringError::Store(e)
+    }
+}
+
+/// Outcome of a hiring simulation.
+#[derive(Debug, Clone)]
+pub struct HiringOutcome {
+    /// Total hires per worker row.
+    pub hires: Vec<usize>,
+    /// Per-round hires per group code of the tracked attribute:
+    /// `hires_by_group[round][code]`.
+    pub hires_by_group: Vec<Vec<usize>>,
+    /// Scores at the final round (after all reputation updates).
+    pub final_scores: Vec<f64>,
+    /// Scores at round zero (before any update).
+    pub initial_scores: Vec<f64>,
+}
+
+impl HiringOutcome {
+    /// Cumulative hire share of a group code over all rounds.
+    pub fn hire_share(&self, code: u32) -> f64 {
+        let group: usize = self.hires_by_group.iter().map(|r| r[code as usize]).sum();
+        let total: usize = self.hires_by_group.iter().map(|r| r.iter().sum::<usize>()).sum();
+        if total == 0 {
+            0.0
+        } else {
+            group as f64 / total as f64
+        }
+    }
+}
+
+/// Run the feedback-loop simulation. Mutates `workers`' approval-rate
+/// column in place (callers wanting the original table should clone).
+/// `group_attr` is the categorical attribute to break hires down by.
+///
+/// # Errors
+///
+/// [`HiringError`] for config/scoring/store failures.
+pub fn simulate_hiring(
+    workers: &mut Table,
+    scorer: &dyn ScoringFunction,
+    group_attr: usize,
+    config: &HiringConfig,
+) -> Result<HiringOutcome, HiringError> {
+    if config.rounds == 0 || config.top_k == 0 || config.hires_per_round == 0 {
+        return Err(HiringError::BadConfig("rounds, top_k and hires_per_round must be positive"));
+    }
+    let approval_idx = workers.schema().index_of(names::APPROVAL_RATE)?;
+    let cardinality = workers
+        .schema()
+        .attribute(group_attr)
+        .cardinality()
+        .ok_or(HiringError::Store(StoreError::NotCategorical {
+            attribute: workers.schema().attribute(group_attr).name.clone(),
+        }))?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut hires = vec![0usize; workers.len()];
+    let mut hires_by_group = Vec::with_capacity(config.rounds);
+    let mut initial_scores = Vec::new();
+    let mut final_scores = Vec::new();
+
+    for round in 0..config.rounds {
+        let scores = scorer.score_all(workers)?;
+        if round == 0 {
+            initial_scores = scores.clone();
+        }
+        let shown = rank(&scores, Some(config.top_k));
+        let weights: Vec<f64> =
+            (0..shown.len()).map(|pos| config.position_bias.weight(pos)).collect();
+        let total_weight: f64 = weights.iter().sum();
+
+        let mut round_hires = vec![0usize; cardinality];
+        for _ in 0..config.hires_per_round {
+            if total_weight <= 0.0 || shown.is_empty() {
+                break;
+            }
+            // Sample a shown position proportional to its weight.
+            let mut target = rng.gen::<f64>() * total_weight;
+            let mut pick = shown.len() - 1;
+            for (pos, &w) in weights.iter().enumerate() {
+                if target < w {
+                    pick = pos;
+                    break;
+                }
+                target -= w;
+            }
+            let row = shown[pick].row as usize;
+            hires[row] += 1;
+            let code = workers.code_at(group_attr, row)?;
+            round_hires[code as usize] += 1;
+            // Reputation feedback: approval rate rises, clamped to range.
+            let current = workers.f64_at(approval_idx, row)?;
+            let boosted = (current + config.approval_boost).min(100.0);
+            workers.set_f64(approval_idx, row, boosted)?;
+        }
+        hires_by_group.push(round_hires);
+        if round + 1 == config.rounds {
+            final_scores = scorer.score_all(workers)?;
+        }
+    }
+    Ok(HiringOutcome { hires, hires_by_group, final_scores, initial_scores })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_correlated, generate_uniform, CorrelationConfig};
+    use crate::scoring::LinearScore;
+
+    #[test]
+    fn config_validation() {
+        let mut t = generate_uniform(20, 1);
+        let f = LinearScore::alpha("f", 0.5);
+        let bad = HiringConfig { rounds: 0, ..Default::default() };
+        assert!(matches!(
+            simulate_hiring(&mut t, &f, 0, &bad),
+            Err(HiringError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn non_categorical_group_attr_rejected() {
+        let mut t = generate_uniform(20, 1);
+        let f = LinearScore::alpha("f", 0.5);
+        let yob = t.schema().index_of(names::YEAR_OF_BIRTH).unwrap();
+        assert!(simulate_hiring(&mut t, &f, yob, &HiringConfig::default()).is_err());
+    }
+
+    #[test]
+    fn hires_accumulate_and_boost_reputation() {
+        let mut t = generate_uniform(100, 2);
+        let f = LinearScore::alpha("f", 0.0); // approval rate only
+        let gender = t.schema().index_of(names::GENDER).unwrap();
+        let cfg = HiringConfig { rounds: 10, hires_per_round: 3, ..Default::default() };
+        let before: Vec<f64> =
+            t.column_by_name(names::APPROVAL_RATE).unwrap().as_numeric().unwrap().to_vec();
+        let outcome = simulate_hiring(&mut t, &f, gender, &cfg).unwrap();
+        let total: usize = outcome.hires.iter().sum();
+        assert_eq!(total, 30);
+        assert_eq!(outcome.hires_by_group.len(), 10);
+        // Someone's approval rate rose.
+        let after = t.column_by_name(names::APPROVAL_RATE).unwrap().as_numeric().unwrap();
+        assert!(before.iter().zip(after).any(|(b, a)| a > b));
+        // Shares sum to one.
+        let share_sum: f64 = (0..2).map(|c| outcome.hire_share(c)).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let f = LinearScore::alpha("f", 0.3);
+        let cfg = HiringConfig { rounds: 5, ..Default::default() };
+        let run = |seed: u64| {
+            let mut t = generate_uniform(80, 3);
+            let gender = t.schema().index_of(names::GENDER).unwrap();
+            simulate_hiring(&mut t, &f, gender, &HiringConfig { seed, ..cfg }).unwrap().hires
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn feedback_amplifies_initial_advantage() {
+        // Strongly language-correlated tests + a language-test-heavy
+        // scorer: English speakers dominate the top; hiring boosts their
+        // approval too, compounding under a blended scorer.
+        let cfg_pop = CorrelationConfig { language_to_test: 0.9, ..Default::default() };
+        let mut t = generate_correlated(300, 4, &cfg_pop);
+        let lang = t.schema().index_of(names::LANGUAGE).unwrap();
+        let f = LinearScore::alpha("f", 0.7);
+        let cfg = HiringConfig { rounds: 60, hires_per_round: 5, top_k: 15, ..Default::default() };
+        let outcome = simulate_hiring(&mut t, &f, lang, &cfg).unwrap();
+        let english_share = outcome.hire_share(0);
+        assert!(
+            english_share > 0.7,
+            "English speakers (1/3 of workers) should take most hires: {english_share}"
+        );
+        // The score gap between hired and never-hired workers widened.
+        let gap = |scores: &[f64]| {
+            let hired_mean: f64 = outcome
+                .hires
+                .iter()
+                .zip(scores)
+                .filter(|(h, _)| **h > 0)
+                .map(|(_, s)| *s)
+                .sum::<f64>()
+                / outcome.hires.iter().filter(|h| **h > 0).count().max(1) as f64;
+            let rest_mean: f64 = outcome
+                .hires
+                .iter()
+                .zip(scores)
+                .filter(|(h, _)| **h == 0)
+                .map(|(_, s)| *s)
+                .sum::<f64>()
+                / outcome.hires.iter().filter(|h| **h == 0).count().max(1) as f64;
+            hired_mean - rest_mean
+        };
+        assert!(
+            gap(&outcome.final_scores) > gap(&outcome.initial_scores),
+            "reputation feedback should widen the hired/rest score gap"
+        );
+    }
+}

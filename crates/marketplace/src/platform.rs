@@ -1,0 +1,233 @@
+//! The crowdsourcing-platform event loop.
+//!
+//! A minimal but realistic simulation of the marketplace the paper
+//! audits: requesters post tasks, each task ranks the worker pool with
+//! its qualification function, and the platform records who was shown
+//! where. The resulting logs feed the audit layer (scores per task) and
+//! the examples (exposure summaries per demographic group).
+
+use crate::ranking::{accumulate_exposure, rank, ExposureModel, Ranked};
+use crate::scoring::{ScoreError, ScoringFunction};
+use fairjob_store::Table;
+
+/// A task posted to the platform.
+pub struct Task {
+    /// Task identifier.
+    pub id: u64,
+    /// Human-readable title ("help with HTML/CSS", "assemble furniture").
+    pub title: String,
+    /// The qualification function used to rank workers for this task.
+    pub scorer: Box<dyn ScoringFunction>,
+    /// How many workers the requester sees.
+    pub top_k: usize,
+}
+
+/// What the platform recorded for one task.
+#[derive(Debug, Clone)]
+pub struct RankingLog {
+    /// The task id.
+    pub task_id: u64,
+    /// The scoring-function name used.
+    pub function: String,
+    /// Scores for every worker (row-aligned with the table).
+    pub scores: Vec<f64>,
+    /// The top-k ranking that was shown.
+    pub shown: Vec<Ranked>,
+}
+
+/// The simulated platform: a worker pool plus accumulated logs.
+pub struct Platform {
+    workers: Table,
+    exposure_model: ExposureModel,
+    exposure: Vec<f64>,
+    logs: Vec<RankingLog>,
+    next_task_id: u64,
+}
+
+impl Platform {
+    /// Create a platform over a worker pool.
+    pub fn new(workers: Table, exposure_model: ExposureModel) -> Self {
+        let n = workers.len();
+        Platform { workers, exposure_model, exposure: vec![0.0; n], logs: Vec::new(), next_task_id: 0 }
+    }
+
+    /// The worker pool.
+    pub fn workers(&self) -> &Table {
+        &self.workers
+    }
+
+    /// Post a task: scores all workers, records the shown ranking and
+    /// its exposure, and returns the log entry.
+    ///
+    /// # Errors
+    ///
+    /// [`ScoreError`] when the task's scoring function cannot evaluate
+    /// the worker table.
+    pub fn post_task(
+        &mut self,
+        title: &str,
+        scorer: &dyn ScoringFunction,
+        top_k: usize,
+    ) -> Result<&RankingLog, ScoreError> {
+        let scores = scorer.score_all(&self.workers)?;
+        let shown = rank(&scores, Some(top_k));
+        accumulate_exposure(&shown, self.exposure_model, &mut self.exposure);
+        let log = RankingLog {
+            task_id: self.next_task_id,
+            function: scorer.name().to_string(),
+            scores,
+            shown,
+        };
+        self.next_task_id += 1;
+        let _ = title; // titles are informational; kept in the signature for callers' logs
+        self.logs.push(log);
+        Ok(self.logs.last().expect("just pushed"))
+    }
+
+    /// Post a [`crate::query::Query`]: requirements filter the pool
+    /// first, then the query's scorer ranks the eligible workers.
+    /// Exposure accrues only to shown (eligible) workers. Ineligible
+    /// workers carry NaN scores in the log, so audits of query logs can
+    /// restrict themselves to the eligible pool.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::query::QueryError`] from query evaluation.
+    pub fn post_query(
+        &mut self,
+        query: &crate::query::Query,
+        top_k: usize,
+    ) -> Result<&RankingLog, crate::query::QueryError> {
+        let result = query.evaluate(&self.workers, Some(top_k))?;
+        accumulate_exposure(&result.ranking, self.exposure_model, &mut self.exposure);
+        let log = RankingLog {
+            task_id: self.next_task_id,
+            function: query.scorer.name().to_string(),
+            scores: result.scores,
+            shown: result.ranking,
+        };
+        self.next_task_id += 1;
+        self.logs.push(log);
+        Ok(self.logs.last().expect("just pushed"))
+    }
+
+    /// All logs so far.
+    pub fn logs(&self) -> &[RankingLog] {
+        &self.logs
+    }
+
+    /// Accumulated exposure per worker row.
+    pub fn exposure(&self) -> &[f64] {
+        &self.exposure
+    }
+
+    /// Mean accumulated exposure of each value of a categorical
+    /// attribute: `(code, mean exposure, group size)` per non-empty
+    /// group. The coarse "is attention flowing evenly?" signal the
+    /// examples display alongside the EMD audit.
+    ///
+    /// # Errors
+    ///
+    /// [`fairjob_store::StoreError::NotCategorical`] for non-categorical
+    /// attributes.
+    pub fn exposure_by_group(
+        &self,
+        attr: usize,
+    ) -> Result<Vec<(u32, f64, usize)>, fairjob_store::StoreError> {
+        let groups = fairjob_store::groupby::group_by(
+            &self.workers,
+            &fairjob_store::RowSet::all(self.workers.len()),
+            attr,
+        )?;
+        Ok(groups
+            .into_iter()
+            .map(|(code, rows)| {
+                let total: f64 = rows.iter().map(|r| self.exposure[r]).sum();
+                let n = rows.len();
+                (code, total / n as f64, n)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate_uniform;
+    use crate::schema::names;
+    use crate::scoring::{LinearScore, RuleBasedScore};
+
+    #[test]
+    fn post_task_logs_and_ranks() {
+        let mut p = Platform::new(generate_uniform(50, 1), ExposureModel::Logarithmic);
+        let f = LinearScore::alpha("f1", 0.5);
+        let log = p.post_task("quickstart gig", &f, 10).unwrap();
+        assert_eq!(log.task_id, 0);
+        assert_eq!(log.function, "f1");
+        assert_eq!(log.scores.len(), 50);
+        assert_eq!(log.shown.len(), 10);
+        // Shown ranking is sorted descending.
+        for w in log.shown.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn exposure_accumulates_across_tasks() {
+        let mut p = Platform::new(generate_uniform(30, 2), ExposureModel::TopK { k: 5 });
+        let f = LinearScore::alpha("f4", 1.0);
+        p.post_task("a", &f, 5).unwrap();
+        p.post_task("b", &f, 5).unwrap();
+        let total: f64 = p.exposure().iter().sum();
+        assert!((total - 10.0).abs() < 1e-9); // 2 tasks x 5 slots x weight 1
+        assert_eq!(p.logs().len(), 2);
+    }
+
+    #[test]
+    fn biased_function_skews_group_exposure() {
+        let mut p = Platform::new(generate_uniform(400, 3), ExposureModel::TopK { k: 50 });
+        let f6 = RuleBasedScore::f6(9);
+        p.post_task("biased gig", &f6, 50).unwrap();
+        let gender = p.workers().schema().index_of(names::GENDER).unwrap();
+        let by_group = p.exposure_by_group(gender).unwrap();
+        let male = by_group.iter().find(|(c, _, _)| *c == 0).unwrap().1;
+        let female = by_group.iter().find(|(c, _, _)| *c == 1).unwrap().1;
+        assert!(male > 0.0);
+        assert_eq!(female, 0.0, "f6 keeps every female out of the top 50");
+    }
+
+    #[test]
+    fn post_query_filters_and_accrues_exposure() {
+        use crate::query::{Query, Requirement};
+        let mut p = Platform::new(generate_uniform(200, 5), ExposureModel::TopK { k: 10 });
+        let q = Query {
+            title: "needs strong language test".into(),
+            requirements: vec![Requirement {
+                attribute: names::LANGUAGE_TEST.into(),
+                min: 90.0,
+            }],
+            scorer: Box::new(LinearScore::alpha("f", 0.5)),
+        };
+        let log = p.post_query(&q, 10).unwrap();
+        // Every shown worker meets the requirement.
+        let shown_rows: Vec<usize> = log.shown.iter().map(|r| r.row as usize).collect();
+        let tests = p.workers().column_by_name(names::LANGUAGE_TEST).unwrap();
+        for row in shown_rows {
+            assert!(tests.value_as_f64(row).unwrap() >= 90.0);
+        }
+        // Ineligible rows have NaN in the score log.
+        let n_nan = p.logs()[0].scores.iter().filter(|s| s.is_nan()).count();
+        assert!(n_nan > 0, "some workers must be filtered");
+        // Exposure only on shown workers.
+        let exposed = p.exposure().iter().filter(|&&e| e > 0.0).count();
+        assert!(exposed <= 10);
+    }
+
+    #[test]
+    fn task_ids_increment() {
+        let mut p = Platform::new(generate_uniform(10, 4), ExposureModel::Reciprocal);
+        let f = LinearScore::alpha("f1", 0.5);
+        assert_eq!(p.post_task("a", &f, 3).unwrap().task_id, 0);
+        assert_eq!(p.post_task("b", &f, 3).unwrap().task_id, 1);
+    }
+}

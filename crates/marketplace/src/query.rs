@@ -1,0 +1,273 @@
+//! Requester queries: skill requirements + ranking.
+//!
+//! On real platforms a requester does not rank the whole worker pool —
+//! they "formulate a query" (paper, introduction): hard requirements on
+//! observed attributes narrow the pool first, and the qualification
+//! function ranks the eligible workers. Requirements interact with
+//! fairness: a threshold on a skill correlated with a protected
+//! attribute can exclude a group *before* the scoring function ever
+//! runs, which is why audits should run on the eligible set of each
+//! query, not just the global pool.
+
+use crate::scoring::{ScoreError, ScoringFunction};
+use fairjob_store::schema::{AttributeKind, DataType};
+use fairjob_store::{RowSet, StoreError, Table};
+
+/// A hard requirement on an observed numeric/integer attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Requirement {
+    /// Attribute name.
+    pub attribute: String,
+    /// Minimum acceptable value (inclusive).
+    pub min: f64,
+}
+
+/// A requester query: requirements plus the ranking function.
+pub struct Query {
+    /// Human-readable title.
+    pub title: String,
+    /// Conjunction of minimum-skill requirements.
+    pub requirements: Vec<Requirement>,
+    /// Ranking function over the eligible pool.
+    pub scorer: Box<dyn ScoringFunction>,
+}
+
+/// The outcome of evaluating a query against a worker pool.
+pub struct QueryResult {
+    /// Rows meeting every requirement.
+    pub eligible: RowSet,
+    /// Scores for eligible rows (aligned with `eligible` iteration
+    /// order); ineligible rows carry `f64::NAN`.
+    pub scores: Vec<f64>,
+    /// The displayed ranking (eligible rows only, best first).
+    pub ranking: Vec<crate::ranking::Ranked>,
+}
+
+/// Errors from query evaluation.
+#[derive(Debug)]
+pub enum QueryError {
+    /// A requirement references a missing/unusable attribute.
+    Requirement {
+        /// The attribute name.
+        attribute: String,
+        /// Why it cannot be used.
+        reason: String,
+    },
+    /// The scoring function failed.
+    Score(ScoreError),
+    /// Underlying store failure.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Requirement { attribute, reason } => {
+                write!(f, "requirement on `{attribute}`: {reason}")
+            }
+            QueryError::Score(e) => write!(f, "score: {e}"),
+            QueryError::Store(e) => write!(f, "store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ScoreError> for QueryError {
+    fn from(e: ScoreError) -> Self {
+        QueryError::Score(e)
+    }
+}
+
+impl From<StoreError> for QueryError {
+    fn from(e: StoreError) -> Self {
+        QueryError::Store(e)
+    }
+}
+
+impl Query {
+    /// Evaluate the query: filter by requirements, score the eligible
+    /// pool, rank the top `k` (or everyone with `None`).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError`] for bad requirements or scoring failures.
+    pub fn evaluate(&self, workers: &Table, k: Option<usize>) -> Result<QueryResult, QueryError> {
+        // Resolve requirements: observed numeric/integer attributes only.
+        let mut resolved = Vec::with_capacity(self.requirements.len());
+        for req in &self.requirements {
+            let idx = workers.schema().index_of(&req.attribute).map_err(|e| {
+                QueryError::Requirement { attribute: req.attribute.clone(), reason: e.to_string() }
+            })?;
+            let attr = workers.schema().attribute(idx);
+            if attr.kind != AttributeKind::Observed
+                || matches!(attr.dtype, DataType::Categorical { .. })
+            {
+                return Err(QueryError::Requirement {
+                    attribute: req.attribute.clone(),
+                    reason: "requirements may only constrain observed numeric attributes".into(),
+                });
+            }
+            if !req.min.is_finite() {
+                return Err(QueryError::Requirement {
+                    attribute: req.attribute.clone(),
+                    reason: "minimum must be finite".into(),
+                });
+            }
+            resolved.push((idx, req.min));
+        }
+        // Filter.
+        let mut rows = Vec::new();
+        'rows: for row in 0..workers.len() {
+            for &(idx, min) in &resolved {
+                if workers.f64_at(idx, row)? < min {
+                    continue 'rows;
+                }
+            }
+            rows.push(row as u32);
+        }
+        let eligible = RowSet::from_sorted(rows);
+        // Score everyone, then mask out ineligible rows with NaN so the
+        // ranking (which drops NaN) only shows the eligible pool.
+        let all_scores = self.scorer.score_all(workers)?;
+        let mut scores = vec![f64::NAN; workers.len()];
+        for row in eligible.iter() {
+            scores[row] = all_scores[row];
+        }
+        let ranking = crate::ranking::rank(&scores, k);
+        Ok(QueryResult { eligible, scores, ranking })
+    }
+}
+
+impl QueryResult {
+    /// Of each group (code) of a categorical attribute: what fraction of
+    /// its members is eligible? The "who got filtered out before
+    /// ranking even started" diagnostic.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotCategorical`] for non-categorical attributes.
+    pub fn eligibility_by_group(
+        &self,
+        workers: &Table,
+        attr: usize,
+    ) -> Result<Vec<(u32, f64, usize)>, StoreError> {
+        let all = RowSet::all(workers.len());
+        let groups = fairjob_store::groupby::group_by(workers, &all, attr)?;
+        Ok(groups
+            .into_iter()
+            .map(|(code, rows)| {
+                let eligible = rows.intersect(&self.eligible).len();
+                (code, eligible as f64 / rows.len() as f64, rows.len())
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_correlated, generate_uniform, CorrelationConfig};
+    use crate::schema::names;
+    use crate::scoring::LinearScore;
+
+    fn query(min_test: f64) -> Query {
+        Query {
+            title: "html gig".into(),
+            requirements: vec![Requirement {
+                attribute: names::LANGUAGE_TEST.into(),
+                min: min_test,
+            }],
+            scorer: Box::new(LinearScore::alpha("f", 0.5)),
+        }
+    }
+
+    #[test]
+    fn requirements_filter_the_pool() {
+        let workers = generate_uniform(300, 1);
+        let result = query(80.0).evaluate(&workers, None).unwrap();
+        let tests = workers.column_by_name(names::LANGUAGE_TEST).unwrap().as_numeric().unwrap();
+        for (row, &test_score) in tests.iter().enumerate() {
+            let eligible = result.eligible.contains(row as u32);
+            assert_eq!(eligible, test_score >= 80.0, "row {row}");
+            if !eligible {
+                assert!(result.scores[row].is_nan());
+            }
+        }
+        // Ranking only contains eligible rows.
+        assert_eq!(result.ranking.len(), result.eligible.len());
+    }
+
+    #[test]
+    fn no_requirements_means_everyone() {
+        let workers = generate_uniform(50, 2);
+        let q = Query {
+            title: "open call".into(),
+            requirements: vec![],
+            scorer: Box::new(LinearScore::alpha("f", 0.5)),
+        };
+        let result = q.evaluate(&workers, Some(10)).unwrap();
+        assert_eq!(result.eligible.len(), 50);
+        assert_eq!(result.ranking.len(), 10);
+    }
+
+    #[test]
+    fn bad_requirements_rejected() {
+        let workers = generate_uniform(10, 3);
+        for (attr, reason_fragment) in [
+            ("nope", "no attribute"),
+            (names::GENDER, "observed numeric"),
+            (names::YEAR_OF_BIRTH, "observed numeric"),
+        ] {
+            let q = Query {
+                title: "x".into(),
+                requirements: vec![Requirement { attribute: attr.into(), min: 1.0 }],
+                scorer: Box::new(LinearScore::alpha("f", 0.5)),
+            };
+            match q.evaluate(&workers, None) {
+                Err(QueryError::Requirement { reason, .. }) => {
+                    assert!(reason.contains(reason_fragment), "{attr}: {reason}")
+                }
+                other => panic!("{attr}: expected requirement error, got {other:?}", other = other.map(|_| ())),
+            }
+        }
+        let q = Query {
+            title: "x".into(),
+            requirements: vec![Requirement {
+                attribute: names::LANGUAGE_TEST.into(),
+                min: f64::NAN,
+            }],
+            scorer: Box::new(LinearScore::alpha("f", 0.5)),
+        };
+        assert!(q.evaluate(&workers, None).is_err());
+    }
+
+    #[test]
+    fn correlated_requirement_skews_eligibility() {
+        // A high language-test floor on a language-correlated population
+        // filters non-English speakers disproportionately — bias before
+        // any ranking happens.
+        let cfg = CorrelationConfig { language_to_test: 0.8, ..Default::default() };
+        let workers = generate_correlated(1000, 4, &cfg);
+        let result = query(70.0).evaluate(&workers, None).unwrap();
+        let language = workers.schema().index_of(names::LANGUAGE).unwrap();
+        let by_group = result.eligibility_by_group(&workers, language).unwrap();
+        let rate = |code: u32| by_group.iter().find(|(c, _, _)| *c == code).unwrap().1;
+        assert!(
+            rate(0) > rate(1) + 0.3,
+            "English eligibility {} should far exceed Indian {}",
+            rate(0),
+            rate(1)
+        );
+    }
+
+    #[test]
+    fn impossible_requirement_empties_the_ranking() {
+        let workers = generate_uniform(20, 5);
+        let result = query(100.5).evaluate(&workers, Some(5));
+        // min above the attribute range: nobody qualifies, not an error.
+        let result = result.unwrap();
+        assert!(result.eligible.is_empty());
+        assert!(result.ranking.is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Ranking workers for tasks and exposure accounting.
+//!
+//! A requester query turns into a ranked list of workers ordered by the
+//! scoring function — "a person who needs to hire someone for a job can
+//! formulate a query and is shown a ranked list of people". Exposure
+//! (how much requester attention each rank position receives) is the
+//! currency in which ranking unfairness manifests downstream, so the
+//! platform simulation tracks it per worker.
+
+/// One ranked entry: a worker row id and its score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ranked {
+    /// Row id of the worker.
+    pub row: u32,
+    /// The worker's score under the ranking function.
+    pub score: f64,
+}
+
+/// Rank workers by score, descending, with deterministic tie-breaking by
+/// row id (ascending). `k = None` returns the full ranking.
+///
+/// NaN scores are excluded from the ranking entirely (a worker without a
+/// valid score cannot be shown).
+pub fn rank(scores: &[f64], k: Option<usize>) -> Vec<Ranked> {
+    let mut ranked: Vec<Ranked> = scores
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_finite())
+        .map(|(row, &score)| Ranked { row: row as u32, score })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.score.partial_cmp(&a.score).expect("finite scores").then(a.row.cmp(&b.row))
+    });
+    if let Some(k) = k {
+        ranked.truncate(k);
+    }
+    ranked
+}
+
+/// A position-bias model mapping rank position (0-based) to the fraction
+/// of requester attention it receives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExposureModel {
+    /// `1 / log2(position + 2)` — the DCG discount.
+    Logarithmic,
+    /// `1 / (position + 1)` — a steeper reciprocal-rank discount.
+    Reciprocal,
+    /// Only the top `k` positions are seen, all equally.
+    TopK {
+        /// Number of visible positions.
+        k: usize,
+    },
+}
+
+impl ExposureModel {
+    /// Exposure weight of 0-based `position`.
+    pub fn weight(&self, position: usize) -> f64 {
+        match *self {
+            ExposureModel::Logarithmic => 1.0 / ((position + 2) as f64).log2(),
+            ExposureModel::Reciprocal => 1.0 / (position + 1) as f64,
+            ExposureModel::TopK { k } => {
+                if position < k {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Accumulate each worker's exposure across a ranking: `out[row] +=
+/// model.weight(position)`. `out` must have one slot per worker row.
+pub fn accumulate_exposure(ranking: &[Ranked], model: ExposureModel, out: &mut [f64]) {
+    for (pos, r) in ranking.iter().enumerate() {
+        out[r.row as usize] += model.weight(pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_descending_with_stable_ties() {
+        let scores = [0.5, 0.9, 0.5, 0.1];
+        let r = rank(&scores, None);
+        let rows: Vec<u32> = r.iter().map(|x| x.row).collect();
+        assert_eq!(rows, vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let scores = [0.1, 0.2, 0.3, 0.4];
+        let r = rank(&scores, Some(2));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].row, 3);
+        assert_eq!(r[1].row, 2);
+    }
+
+    #[test]
+    fn nan_scores_excluded() {
+        let scores = [0.5, f64::NAN, 0.7];
+        let r = rank(&scores, None);
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|x| x.row != 1));
+    }
+
+    #[test]
+    fn k_larger_than_population_is_fine() {
+        let r = rank(&[0.5], Some(10));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn exposure_models_decay() {
+        let log = ExposureModel::Logarithmic;
+        assert!((log.weight(0) - 1.0).abs() < 1e-12);
+        assert!(log.weight(1) < log.weight(0));
+        let rec = ExposureModel::Reciprocal;
+        assert!((rec.weight(0) - 1.0).abs() < 1e-12);
+        assert!((rec.weight(3) - 0.25).abs() < 1e-12);
+        let topk = ExposureModel::TopK { k: 2 };
+        assert_eq!(topk.weight(1), 1.0);
+        assert_eq!(topk.weight(2), 0.0);
+    }
+
+    #[test]
+    fn accumulate_exposure_sums_positions() {
+        let scores = [0.9, 0.1, 0.5];
+        let ranking = rank(&scores, None); // rows 0, 2, 1
+        let mut out = vec![0.0; 3];
+        accumulate_exposure(&ranking, ExposureModel::Reciprocal, &mut out);
+        assert!((out[0] - 1.0).abs() < 1e-12);
+        assert!((out[2] - 0.5).abs() < 1e-12);
+        assert!((out[1] - 1.0 / 3.0).abs() < 1e-12);
+        // A second ranking accumulates on top.
+        accumulate_exposure(&ranking, ExposureModel::Reciprocal, &mut out);
+        assert!((out[0] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+//! The paper's worker schema.
+//!
+//! Each worker has 6 protected attributes — Gender = {Male, Female},
+//! Country = {America, India, Other}, Year of Birth = [1950, 2009],
+//! Language = {English, Indian, Other}, Ethnicity = {White,
+//! African-American, Indian, Other}, Years of Experience = [0, 30] — and
+//! two observed attributes: LanguageTest = [25, 100] and ApprovalRate =
+//! [25, 100].
+
+use fairjob_store::bucketize::{bucketize, BucketSpec};
+use fairjob_store::schema::{AttributeKind, Schema};
+use fairjob_store::{StoreError, Table};
+
+/// Attribute names, so callers never spell them ad hoc.
+pub mod names {
+    /// Gender (protected, categorical).
+    pub const GENDER: &str = "gender";
+    /// Country (protected, categorical).
+    pub const COUNTRY: &str = "country";
+    /// Year of birth (protected, integer 1950–2009).
+    pub const YEAR_OF_BIRTH: &str = "year_of_birth";
+    /// Language (protected, categorical).
+    pub const LANGUAGE: &str = "language";
+    /// Ethnicity (protected, categorical).
+    pub const ETHNICITY: &str = "ethnicity";
+    /// Years of experience (protected, integer 0–30).
+    pub const EXPERIENCE: &str = "years_experience";
+    /// Language-test score (observed, 25–100).
+    pub const LANGUAGE_TEST: &str = "language_test";
+    /// Approval rate (observed, 25–100).
+    pub const APPROVAL_RATE: &str = "approval_rate";
+    /// Derived ≤5-value band of [`YEAR_OF_BIRTH`].
+    pub const YOB_BAND: &str = "yob_band";
+    /// Derived ≤5-value band of [`EXPERIENCE`].
+    pub const EXPERIENCE_BAND: &str = "experience_band";
+}
+
+/// Domain of the Gender attribute.
+pub const GENDERS: [&str; 2] = ["Male", "Female"];
+/// Domain of the Country attribute.
+pub const COUNTRIES: [&str; 3] = ["America", "India", "Other"];
+/// Domain of the Language attribute.
+pub const LANGUAGES: [&str; 3] = ["English", "Indian", "Other"];
+/// Domain of the Ethnicity attribute.
+pub const ETHNICITIES: [&str; 4] = ["White", "African-American", "Indian", "Other"];
+
+/// The worker schema of the paper's simulation.
+pub fn amt_schema() -> Schema {
+    Schema::builder()
+        .categorical(names::GENDER, AttributeKind::Protected, &GENDERS)
+        .categorical(names::COUNTRY, AttributeKind::Protected, &COUNTRIES)
+        .integer(names::YEAR_OF_BIRTH, AttributeKind::Protected, 1950, 2009)
+        .categorical(names::LANGUAGE, AttributeKind::Protected, &LANGUAGES)
+        .categorical(names::ETHNICITY, AttributeKind::Protected, &ETHNICITIES)
+        .integer(names::EXPERIENCE, AttributeKind::Protected, 0, 30)
+        .numeric(names::LANGUAGE_TEST, AttributeKind::Observed, 25.0, 100.0)
+        .numeric(names::APPROVAL_RATE, AttributeKind::Observed, 25.0, 100.0)
+        .build()
+        .expect("static schema is valid")
+}
+
+/// Discretise the two numeric protected attributes into 5 bands each
+/// (matching the paper's "maximum of 5 values" per attribute), making
+/// all six protected attributes splittable.
+///
+/// Appends [`names::YOB_BAND`] and [`names::EXPERIENCE_BAND`]; idempotent
+/// callers should only invoke this once per table.
+///
+/// # Errors
+///
+/// Propagates [`StoreError`] (duplicate column names on double
+/// invocation).
+pub fn bucketise_numeric_protected(table: &mut Table) -> Result<(), StoreError> {
+    bucketize(table, names::YEAR_OF_BIRTH, names::YOB_BAND, &BucketSpec::EqualWidth { n: 5 })?;
+    bucketize(table, names::EXPERIENCE, names::EXPERIENCE_BAND, &BucketSpec::EqualWidth { n: 5 })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairjob_store::table::Value;
+
+    #[test]
+    fn schema_shape_matches_paper() {
+        let s = amt_schema();
+        assert_eq!(s.width(), 8);
+        assert_eq!(s.indexes_of_kind(AttributeKind::Protected).len(), 6);
+        assert_eq!(s.indexes_of_kind(AttributeKind::Observed).len(), 2);
+        // Only the 4 categorical protected attributes split before
+        // bucketisation.
+        assert_eq!(s.splittable().len(), 4);
+    }
+
+    #[test]
+    fn bucketisation_makes_six_splittable() {
+        let mut t = Table::new(amt_schema());
+        t.push_row(&[
+            Value::cat("Male"),
+            Value::cat("America"),
+            Value::int(1980),
+            Value::cat("English"),
+            Value::cat("White"),
+            Value::int(10),
+            Value::num(80.0),
+            Value::num(90.0),
+        ])
+        .unwrap();
+        bucketise_numeric_protected(&mut t).unwrap();
+        assert_eq!(t.schema().splittable().len(), 6);
+        let yob_band = t.schema().index_of(names::YOB_BAND).unwrap();
+        assert_eq!(t.schema().attribute(yob_band).cardinality(), Some(5));
+        // 1980 falls in the middle band [1974, 1985.4).
+        assert_eq!(t.code_at(yob_band, 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn double_bucketisation_fails_cleanly() {
+        let mut t = Table::new(amt_schema());
+        t.push_row(&[
+            Value::cat("Male"),
+            Value::cat("America"),
+            Value::int(1980),
+            Value::cat("English"),
+            Value::cat("White"),
+            Value::int(10),
+            Value::num(80.0),
+            Value::num(90.0),
+        ])
+        .unwrap();
+        bucketise_numeric_protected(&mut t).unwrap();
+        assert!(bucketise_numeric_protected(&mut t).is_err());
+    }
+}

@@ -1,0 +1,650 @@
+//! Task-qualification (scoring) functions.
+//!
+//! Definition 1 of the paper: `f(w) = Σ αᵢ bᵢ` over observed attributes
+//! `bᵢ` with user-defined weights `αᵢ`, mapping workers to `[0, 1]`.
+//! [`LinearScore`] implements that family; the simulation's five random
+//! functions `f = α·LanguageTest + (1-α)·ApprovalRate` with
+//! `α ∈ {0, 0.3, 0.5, 0.7, 1}` come from
+//! [`LinearScore::paper_random_functions`].
+//!
+//! The qualitative experiment uses functions that are "unfair by design":
+//! they draw a worker's score uniformly from a range chosen by rules over
+//! **protected** attributes. [`RuleBasedScore`] implements those, with
+//! [`RuleBasedScore::f6`] … [`RuleBasedScore::f9`] matching the paper's
+//! constructions.
+
+use crate::schema::names;
+use fairjob_store::schema::{AttributeKind, DataType};
+use fairjob_store::{StoreError, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Errors from scoring-function construction or evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScoreError {
+    /// Underlying store error (unknown attribute, type mismatch, …).
+    Store(StoreError),
+    /// Weights are invalid (negative, non-finite, or summing above 1).
+    BadWeights {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A weighted attribute is not an observed numeric/integer attribute.
+    NotObserved {
+        /// The attribute name.
+        attribute: String,
+    },
+    /// A rule references an attribute unusable for its condition type.
+    BadRule {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A score range is invalid (outside `[0, 1]` or `lo > hi`).
+    BadRange {
+        /// The offending range.
+        lo: f64,
+        /// The offending range.
+        hi: f64,
+    },
+}
+
+impl fmt::Display for ScoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScoreError::Store(e) => write!(f, "store: {e}"),
+            ScoreError::BadWeights { reason } => write!(f, "bad weights: {reason}"),
+            ScoreError::NotObserved { attribute } => {
+                write!(f, "attribute `{attribute}` is not an observed numeric attribute")
+            }
+            ScoreError::BadRule { reason } => write!(f, "bad rule: {reason}"),
+            ScoreError::BadRange { lo, hi } => write!(f, "bad score range [{lo}, {hi}]"),
+        }
+    }
+}
+
+impl std::error::Error for ScoreError {}
+
+impl From<StoreError> for ScoreError {
+    fn from(e: StoreError) -> Self {
+        ScoreError::Store(e)
+    }
+}
+
+/// A function assigning each worker a qualification score in `[0, 1]`.
+pub trait ScoringFunction: Send + Sync {
+    /// Stable identifier (`"f1"`, `"f6"`, …) for reports and tables.
+    fn name(&self) -> &str;
+
+    /// Score every row of `table`, in row order.
+    ///
+    /// # Errors
+    ///
+    /// [`ScoreError`] when the table lacks the attributes the function
+    /// reads.
+    fn score_all(&self, table: &Table) -> Result<Vec<f64>, ScoreError>;
+}
+
+/// The paper's linear family: `f(w) = Σ αᵢ · norm(bᵢ)` with `norm`
+/// min-max normalisation by the attribute's declared range.
+#[derive(Debug, Clone)]
+pub struct LinearScore {
+    name: String,
+    weights: Vec<(String, f64)>,
+}
+
+impl LinearScore {
+    /// Build a named linear function from `(observed attribute, weight)`
+    /// pairs.
+    ///
+    /// # Errors
+    ///
+    /// [`ScoreError::BadWeights`] for negative/non-finite weights, a
+    /// weight sum outside `(0, 1]`, or duplicate attributes.
+    pub fn new(name: &str, weights: Vec<(String, f64)>) -> Result<Self, ScoreError> {
+        if weights.is_empty() {
+            return Err(ScoreError::BadWeights { reason: "no weights".into() });
+        }
+        let mut sum = 0.0;
+        for (i, (attr, w)) in weights.iter().enumerate() {
+            if !w.is_finite() || *w < 0.0 {
+                return Err(ScoreError::BadWeights { reason: format!("weight for `{attr}` is {w}") });
+            }
+            if weights[..i].iter().any(|(a, _)| a == attr) {
+                return Err(ScoreError::BadWeights { reason: format!("duplicate attribute `{attr}`") });
+            }
+            sum += w;
+        }
+        if sum <= 0.0 || sum > 1.0 + 1e-9 {
+            return Err(ScoreError::BadWeights {
+                reason: format!("weights must sum to (0, 1], got {sum}"),
+            });
+        }
+        Ok(LinearScore { name: name.to_string(), weights })
+    }
+
+    /// The two-attribute family of the simulation:
+    /// `α·LanguageTest + (1-α)·ApprovalRate`.
+    ///
+    /// # Panics
+    ///
+    /// Never — any `α ∈ [0, 1]` produces valid weights; out-of-range `α`
+    /// is clamped.
+    pub fn alpha(name: &str, alpha: f64) -> Self {
+        let a = alpha.clamp(0.0, 1.0);
+        LinearScore::new(
+            name,
+            vec![(names::LANGUAGE_TEST.into(), a), (names::APPROVAL_RATE.into(), 1.0 - a)],
+        )
+        .expect("alpha weights are always valid")
+    }
+
+    /// The five random-simulation functions of the paper, named f1–f5:
+    /// f1: α=0.5, f2: α=0.3, f3: α=0.7, f4: α=1 (LanguageTest only),
+    /// f5: α=0 (ApprovalRate only) — so that f4/f5 are the
+    /// single-attribute functions the paper singles out.
+    pub fn paper_random_functions() -> Vec<LinearScore> {
+        vec![
+            LinearScore::alpha("f1", 0.5),
+            LinearScore::alpha("f2", 0.3),
+            LinearScore::alpha("f3", 0.7),
+            LinearScore::alpha("f4", 1.0),
+            LinearScore::alpha("f5", 0.0),
+        ]
+    }
+
+    /// The `(attribute, weight)` pairs.
+    pub fn weights(&self) -> &[(String, f64)] {
+        &self.weights
+    }
+}
+
+impl ScoringFunction for LinearScore {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn score_all(&self, table: &Table) -> Result<Vec<f64>, ScoreError> {
+        // Resolve attributes once.
+        let mut resolved = Vec::with_capacity(self.weights.len());
+        for (attr_name, w) in &self.weights {
+            let idx = table.schema().index_of(attr_name)?;
+            let attr = table.schema().attribute(idx);
+            if attr.kind != AttributeKind::Observed {
+                return Err(ScoreError::NotObserved { attribute: attr_name.clone() });
+            }
+            let (min, max) = match &attr.dtype {
+                DataType::Numeric { min, max } => (*min, *max),
+                DataType::Integer { min, max } => (*min as f64, *max as f64),
+                DataType::Categorical { .. } => {
+                    return Err(ScoreError::NotObserved { attribute: attr_name.clone() })
+                }
+            };
+            let span = if max > min { max - min } else { 1.0 };
+            resolved.push((idx, *w, min, span));
+        }
+        let mut scores = Vec::with_capacity(table.len());
+        for row in 0..table.len() {
+            let mut s = 0.0;
+            for &(idx, w, min, span) in &resolved {
+                let v = table.f64_at(idx, row)?;
+                s += w * ((v - min) / span);
+            }
+            scores.push(s.clamp(0.0, 1.0));
+        }
+        Ok(scores)
+    }
+}
+
+/// A condition a rule can place on a worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Categorical attribute equals the given label.
+    CatEq {
+        /// Attribute name.
+        attribute: String,
+        /// Required label.
+        value: String,
+    },
+    /// Integer attribute lies in `[lo, hi]` (inclusive).
+    IntInRange {
+        /// Attribute name.
+        attribute: String,
+        /// Lower bound (inclusive).
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+    },
+}
+
+/// One scoring rule: if all conditions hold, draw the score uniformly
+/// from `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Conditions (conjunction).
+    pub conditions: Vec<Condition>,
+    /// Score range lower bound.
+    pub lo: f64,
+    /// Score range upper bound.
+    pub hi: f64,
+}
+
+/// A biased-by-design scoring function: first matching rule wins; rows
+/// matching no rule draw from the default range. Deterministic in the
+/// seed.
+#[derive(Debug, Clone)]
+pub struct RuleBasedScore {
+    name: String,
+    rules: Vec<Rule>,
+    default: (f64, f64),
+    seed: u64,
+}
+
+impl RuleBasedScore {
+    /// Build a rule-based scorer.
+    ///
+    /// # Errors
+    ///
+    /// [`ScoreError::BadRange`] when any range is invalid (`lo > hi` or
+    /// outside `[0, 1]`).
+    pub fn new(
+        name: &str,
+        rules: Vec<Rule>,
+        default: (f64, f64),
+        seed: u64,
+    ) -> Result<Self, ScoreError> {
+        for r in rules.iter().map(|r| (r.lo, r.hi)).chain([default]) {
+            let (lo, hi) = r;
+            if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi {
+                return Err(ScoreError::BadRange { lo, hi });
+            }
+        }
+        Ok(RuleBasedScore { name: name.to_string(), rules, default, seed })
+    }
+
+    fn cat(attribute: &str, value: &str) -> Condition {
+        Condition::CatEq { attribute: attribute.into(), value: value.into() }
+    }
+
+    /// f6 — discriminates against females: males score in `(0.8, 1]`,
+    /// females in `[0, 0.2)`.
+    pub fn f6(seed: u64) -> Self {
+        RuleBasedScore::new(
+            "f6",
+            vec![
+                Rule { conditions: vec![Self::cat(names::GENDER, "Male")], lo: 0.8, hi: 1.0 },
+                Rule { conditions: vec![Self::cat(names::GENDER, "Female")], lo: 0.0, hi: 0.2 },
+            ],
+            (0.0, 1.0),
+            seed,
+        )
+        .expect("static ranges are valid")
+    }
+
+    /// f7 — biased on gender × nationality: American males high, American
+    /// females low, Indians (either gender) mid, other-nationality
+    /// females high, other-nationality males low.
+    pub fn f7(seed: u64) -> Self {
+        RuleBasedScore::new(
+            "f7",
+            vec![
+                Rule {
+                    conditions: vec![
+                        Self::cat(names::GENDER, "Male"),
+                        Self::cat(names::COUNTRY, "America"),
+                    ],
+                    lo: 0.8,
+                    hi: 1.0,
+                },
+                Rule {
+                    conditions: vec![
+                        Self::cat(names::GENDER, "Female"),
+                        Self::cat(names::COUNTRY, "America"),
+                    ],
+                    lo: 0.0,
+                    hi: 0.2,
+                },
+                Rule { conditions: vec![Self::cat(names::COUNTRY, "India")], lo: 0.5, hi: 0.7 },
+                Rule { conditions: vec![Self::cat(names::GENDER, "Female")], lo: 0.8, hi: 1.0 },
+                Rule { conditions: vec![Self::cat(names::GENDER, "Male")], lo: 0.0, hi: 0.2 },
+            ],
+            (0.0, 1.0),
+            seed,
+        )
+        .expect("static ranges are valid")
+    }
+
+    /// f8 — grades females by nationality (American high, Indian mid,
+    /// other low); males are unconstrained (uniform noise).
+    pub fn f8(seed: u64) -> Self {
+        RuleBasedScore::new(
+            "f8",
+            vec![
+                Rule {
+                    conditions: vec![
+                        Self::cat(names::GENDER, "Female"),
+                        Self::cat(names::COUNTRY, "America"),
+                    ],
+                    lo: 0.8,
+                    hi: 1.0,
+                },
+                Rule {
+                    conditions: vec![
+                        Self::cat(names::GENDER, "Female"),
+                        Self::cat(names::COUNTRY, "India"),
+                    ],
+                    lo: 0.5,
+                    hi: 0.8,
+                },
+                Rule { conditions: vec![Self::cat(names::GENDER, "Female")], lo: 0.0, hi: 0.2 },
+            ],
+            (0.0, 1.0),
+            seed,
+        )
+        .expect("static ranges are valid")
+    }
+
+    /// f9 — correlates with ethnicity, language and year of birth "in the
+    /// same style as f7/f8" (the paper only sketches it): White English
+    /// speakers high, Indian-ethnicity Indian speakers mid, workers born
+    /// in or after 1990 low, everyone else mid-low.
+    pub fn f9(seed: u64) -> Self {
+        RuleBasedScore::new(
+            "f9",
+            vec![
+                Rule {
+                    conditions: vec![
+                        Self::cat(names::ETHNICITY, "White"),
+                        Self::cat(names::LANGUAGE, "English"),
+                    ],
+                    lo: 0.8,
+                    hi: 1.0,
+                },
+                Rule {
+                    conditions: vec![
+                        Self::cat(names::ETHNICITY, "Indian"),
+                        Self::cat(names::LANGUAGE, "Indian"),
+                    ],
+                    lo: 0.5,
+                    hi: 0.7,
+                },
+                Rule {
+                    conditions: vec![Condition::IntInRange {
+                        attribute: names::YEAR_OF_BIRTH.into(),
+                        lo: 1990,
+                        hi: 2009,
+                    }],
+                    lo: 0.0,
+                    hi: 0.2,
+                },
+            ],
+            (0.3, 0.6),
+            seed,
+        )
+        .expect("static ranges are valid")
+    }
+
+    /// The four biased functions of the qualitative experiment.
+    pub fn paper_biased_functions(seed: u64) -> Vec<RuleBasedScore> {
+        vec![
+            RuleBasedScore::f6(seed),
+            RuleBasedScore::f7(seed.wrapping_add(1)),
+            RuleBasedScore::f8(seed.wrapping_add(2)),
+            RuleBasedScore::f9(seed.wrapping_add(3)),
+        ]
+    }
+}
+
+/// A condition resolved against a concrete table.
+enum ResolvedCondition {
+    CatEq { attr: usize, code: u32 },
+    IntInRange { attr: usize, lo: i64, hi: i64 },
+}
+
+impl ResolvedCondition {
+    fn matches(&self, table: &Table, row: usize) -> bool {
+        match *self {
+            ResolvedCondition::CatEq { attr, code } => {
+                table.code_at(attr, row).map(|c| c == code).unwrap_or(false)
+            }
+            ResolvedCondition::IntInRange { attr, lo, hi } => table
+                .column(attr)
+                .as_integer()
+                .map(|v| (lo..=hi).contains(&v[row]))
+                .unwrap_or(false),
+        }
+    }
+}
+
+impl ScoringFunction for RuleBasedScore {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn score_all(&self, table: &Table) -> Result<Vec<f64>, ScoreError> {
+        // Resolve all rule conditions against the schema once.
+        let mut resolved: Vec<(Vec<ResolvedCondition>, f64, f64)> =
+            Vec::with_capacity(self.rules.len());
+        for rule in &self.rules {
+            let mut conds = Vec::with_capacity(rule.conditions.len());
+            for c in &rule.conditions {
+                match c {
+                    Condition::CatEq { attribute, value } => {
+                        let attr = table.schema().index_of(attribute)?;
+                        let code = table.schema().attribute(attr).code_of(value)?;
+                        conds.push(ResolvedCondition::CatEq { attr, code });
+                    }
+                    Condition::IntInRange { attribute, lo, hi } => {
+                        let attr = table.schema().index_of(attribute)?;
+                        if table.column(attr).as_integer().is_none() {
+                            return Err(ScoreError::BadRule {
+                                reason: format!("`{attribute}` is not an integer attribute"),
+                            });
+                        }
+                        conds.push(ResolvedCondition::IntInRange { attr, lo: *lo, hi: *hi });
+                    }
+                }
+            }
+            conds.shrink_to_fit();
+            resolved.push((conds, rule.lo, rule.hi));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut scores = Vec::with_capacity(table.len());
+        for row in 0..table.len() {
+            let (lo, hi) = resolved
+                .iter()
+                .find(|(conds, _, _)| conds.iter().all(|c| c.matches(table, row)))
+                .map(|(_, lo, hi)| (*lo, *hi))
+                .unwrap_or(self.default);
+            let score = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+            scores.push(score);
+        }
+        Ok(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate_uniform;
+    use crate::schema::names;
+
+    #[test]
+    fn linear_weights_validated() {
+        assert!(LinearScore::new("f", vec![]).is_err());
+        assert!(LinearScore::new("f", vec![("a".into(), -0.1)]).is_err());
+        assert!(LinearScore::new("f", vec![("a".into(), 0.6), ("b".into(), 0.6)]).is_err());
+        assert!(LinearScore::new("f", vec![("a".into(), 0.5), ("a".into(), 0.5)]).is_err());
+        assert!(LinearScore::new("f", vec![("a".into(), f64::NAN)]).is_err());
+        assert!(LinearScore::new("f", vec![("a".into(), 0.0), ("b".into(), 0.0)]).is_err());
+    }
+
+    #[test]
+    fn alpha_family_is_named_and_bounded() {
+        let fs = LinearScore::paper_random_functions();
+        assert_eq!(fs.len(), 5);
+        assert_eq!(fs[0].name(), "f1");
+        let t = generate_uniform(100, 5);
+        for f in &fs {
+            let scores = f.score_all(&t).unwrap();
+            assert_eq!(scores.len(), 100);
+            assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)), "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn alpha_one_reads_only_language_test() {
+        let t = generate_uniform(50, 6);
+        let f4 = LinearScore::alpha("f4", 1.0);
+        let scores = f4.score_all(&t).unwrap();
+        let lt = t.column_by_name(names::LANGUAGE_TEST).unwrap().as_numeric().unwrap();
+        for (s, v) in scores.iter().zip(lt) {
+            assert!((s - (v - 25.0) / 75.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn alpha_blends_linearly() {
+        let t = generate_uniform(50, 6);
+        let s4 = LinearScore::alpha("f4", 1.0).score_all(&t).unwrap();
+        let s5 = LinearScore::alpha("f5", 0.0).score_all(&t).unwrap();
+        let s1 = LinearScore::alpha("f1", 0.5).score_all(&t).unwrap();
+        for i in 0..50 {
+            assert!((s1[i] - 0.5 * (s4[i] + s5[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn linear_rejects_protected_attributes() {
+        let t = generate_uniform(10, 1);
+        let f = LinearScore::new("bad", vec![(names::YEAR_OF_BIRTH.into(), 1.0)]).unwrap();
+        assert!(matches!(f.score_all(&t), Err(ScoreError::NotObserved { .. })));
+        let f = LinearScore::new("bad", vec![(names::GENDER.into(), 1.0)]).unwrap();
+        assert!(matches!(f.score_all(&t), Err(ScoreError::NotObserved { .. })));
+        let f = LinearScore::new("bad", vec![("nope".into(), 1.0)]).unwrap();
+        assert!(matches!(f.score_all(&t), Err(ScoreError::Store(_))));
+    }
+
+    #[test]
+    fn f6_separates_genders() {
+        let t = generate_uniform(300, 11);
+        let scores = RuleBasedScore::f6(42).score_all(&t).unwrap();
+        let gender = t.column_by_name(names::GENDER).unwrap().as_categorical().unwrap();
+        for (s, &g) in scores.iter().zip(gender) {
+            if g == 0 {
+                assert!(*s >= 0.8, "male scored {s}");
+            } else {
+                assert!(*s < 0.2, "female scored {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn f7_rule_order_respects_paper_spec() {
+        let t = generate_uniform(500, 12);
+        let scores = RuleBasedScore::f7(42).score_all(&t).unwrap();
+        let gender = t.column_by_name(names::GENDER).unwrap().as_categorical().unwrap();
+        let country = t.column_by_name(names::COUNTRY).unwrap().as_categorical().unwrap();
+        for i in 0..t.len() {
+            let s = scores[i];
+            match (gender[i], country[i]) {
+                (0, 0) => assert!(s >= 0.8),          // male American
+                (1, 0) => assert!(s < 0.2),           // female American
+                (_, 1) => assert!((0.5..0.7).contains(&s)), // Indian
+                (1, 2) => assert!(s >= 0.8),          // female other
+                (0, 2) => assert!(s < 0.2),           // male other
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn f8_grades_females_only() {
+        let t = generate_uniform(500, 13);
+        let scores = RuleBasedScore::f8(42).score_all(&t).unwrap();
+        let gender = t.column_by_name(names::GENDER).unwrap().as_categorical().unwrap();
+        let country = t.column_by_name(names::COUNTRY).unwrap().as_categorical().unwrap();
+        for i in 0..t.len() {
+            if gender[i] == 1 {
+                let s = scores[i];
+                match country[i] {
+                    0 => assert!(s >= 0.8),
+                    1 => assert!((0.5..0.8).contains(&s)),
+                    _ => assert!(s < 0.2),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f9_uses_year_of_birth() {
+        let t = generate_uniform(500, 14);
+        let scores = RuleBasedScore::f9(42).score_all(&t).unwrap();
+        let eth = t.column_by_name(names::ETHNICITY).unwrap().as_categorical().unwrap();
+        let lang = t.column_by_name(names::LANGUAGE).unwrap().as_categorical().unwrap();
+        let yob = t.column_by_name(names::YEAR_OF_BIRTH).unwrap().as_integer().unwrap();
+        for i in 0..t.len() {
+            let s = scores[i];
+            if eth[i] == 0 && lang[i] == 0 {
+                assert!(s >= 0.8);
+            } else if eth[i] == 2 && lang[i] == 1 {
+                assert!((0.5..0.7).contains(&s));
+            } else if yob[i] >= 1990 {
+                assert!(s < 0.2);
+            } else {
+                assert!((0.3..0.6).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn rule_scores_deterministic_in_seed() {
+        let t = generate_uniform(100, 15);
+        let a = RuleBasedScore::f7(42).score_all(&t).unwrap();
+        let b = RuleBasedScore::f7(42).score_all(&t).unwrap();
+        let c = RuleBasedScore::f7(43).score_all(&t).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bad_ranges_rejected() {
+        assert!(matches!(
+            RuleBasedScore::new("x", vec![], (0.5, 0.2), 0),
+            Err(ScoreError::BadRange { .. })
+        ));
+        assert!(matches!(
+            RuleBasedScore::new("x", vec![], (0.0, 1.5), 0),
+            Err(ScoreError::BadRange { .. })
+        ));
+    }
+
+    #[test]
+    fn int_condition_on_non_integer_rejected() {
+        let t = generate_uniform(10, 16);
+        let f = RuleBasedScore::new(
+            "x",
+            vec![Rule {
+                conditions: vec![Condition::IntInRange {
+                    attribute: names::GENDER.into(),
+                    lo: 0,
+                    hi: 1,
+                }],
+                lo: 0.0,
+                hi: 1.0,
+            }],
+            (0.0, 1.0),
+            0,
+        )
+        .unwrap();
+        assert!(matches!(f.score_all(&t), Err(ScoreError::BadRule { .. })));
+    }
+
+    #[test]
+    fn degenerate_range_is_constant() {
+        let t = generate_uniform(10, 17);
+        let f = RuleBasedScore::new("x", vec![], (0.5, 0.5), 0).unwrap();
+        let scores = f.score_all(&t).unwrap();
+        assert!(scores.iter().all(|&s| s == 0.5));
+    }
+}

@@ -1,0 +1,186 @@
+//! Workload generation: streams of requester tasks.
+//!
+//! The simulation experiments score one function at a time; a live
+//! platform sees a *mix* of task categories, each with its own
+//! qualification weights and requirements, arriving over time. This
+//! module generates such workloads so the platform / audit layers can be
+//! exercised under realistic traffic (and so throughput benches have a
+//! driver).
+
+use crate::query::{Query, Requirement};
+use crate::schema::names;
+use crate::scoring::LinearScore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A task category: how requesters of this kind weigh skills and what
+/// they require.
+#[derive(Debug, Clone)]
+pub struct TaskCategory {
+    /// Category name ("web-dev", "moving", …).
+    pub name: String,
+    /// Relative arrival frequency (any positive weight).
+    pub frequency: f64,
+    /// The α of the category's `α·LanguageTest + (1-α)·ApprovalRate`
+    /// qualification blend.
+    pub alpha: f64,
+    /// Minimum language-test requirement, if any.
+    pub min_language_test: Option<f64>,
+    /// Minimum approval-rate requirement, if any.
+    pub min_approval_rate: Option<f64>,
+}
+
+/// The default category mix: language-heavy virtual gigs, skill-light
+/// physical gigs, and a demanding professional category.
+pub fn default_categories() -> Vec<TaskCategory> {
+    vec![
+        TaskCategory {
+            name: "virtual-gig".into(),
+            frequency: 5.0,
+            alpha: 0.7,
+            min_language_test: Some(50.0),
+            min_approval_rate: None,
+        },
+        TaskCategory {
+            name: "physical-gig".into(),
+            frequency: 3.0,
+            alpha: 0.1,
+            min_language_test: None,
+            min_approval_rate: Some(40.0),
+        },
+        TaskCategory {
+            name: "professional".into(),
+            frequency: 1.0,
+            alpha: 0.5,
+            min_language_test: Some(80.0),
+            min_approval_rate: Some(80.0),
+        },
+    ]
+}
+
+/// Deterministic generator of a task stream over a category mix.
+pub struct TaskStream {
+    categories: Vec<TaskCategory>,
+    total_frequency: f64,
+    rng: StdRng,
+    produced: usize,
+}
+
+impl TaskStream {
+    /// Build a stream over `categories` (weights need not sum to 1).
+    ///
+    /// # Panics
+    ///
+    /// When `categories` is empty or any frequency is non-positive /
+    /// non-finite — workload configs are program constants, not user
+    /// data.
+    pub fn new(categories: Vec<TaskCategory>, seed: u64) -> Self {
+        assert!(!categories.is_empty(), "need at least one task category");
+        for c in &categories {
+            assert!(
+                c.frequency.is_finite() && c.frequency > 0.0,
+                "category {} has invalid frequency",
+                c.name
+            );
+        }
+        let total_frequency = categories.iter().map(|c| c.frequency).sum();
+        TaskStream { categories, total_frequency, rng: StdRng::seed_from_u64(seed), produced: 0 }
+    }
+
+    /// Number of tasks produced so far.
+    pub fn produced(&self) -> usize {
+        self.produced
+    }
+
+    /// Draw the next task as a ready-to-evaluate [`Query`].
+    pub fn next_task(&mut self) -> Query {
+        let mut pick = self.rng.gen::<f64>() * self.total_frequency;
+        let mut category = &self.categories[self.categories.len() - 1];
+        for c in &self.categories {
+            if pick < c.frequency {
+                category = c;
+                break;
+            }
+            pick -= c.frequency;
+        }
+        let mut requirements = Vec::new();
+        if let Some(min) = category.min_language_test {
+            requirements.push(Requirement { attribute: names::LANGUAGE_TEST.into(), min });
+        }
+        if let Some(min) = category.min_approval_rate {
+            requirements.push(Requirement { attribute: names::APPROVAL_RATE.into(), min });
+        }
+        self.produced += 1;
+        Query {
+            title: format!("{} #{}", category.name, self.produced),
+            requirements,
+            scorer: Box::new(LinearScore::alpha(&category.name, category.alpha)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate_uniform;
+    use crate::platform::Platform;
+    use crate::ranking::ExposureModel;
+
+    #[test]
+    fn stream_respects_category_mix() {
+        let mut stream = TaskStream::new(default_categories(), 7);
+        let mut counts = std::collections::BTreeMap::new();
+        for _ in 0..900 {
+            let task = stream.next_task();
+            let cat = task.title.split(' ').next().unwrap().to_string();
+            *counts.entry(cat).or_insert(0usize) += 1;
+        }
+        assert_eq!(stream.produced(), 900);
+        // Frequencies 5:3:1 -> roughly 500/300/100.
+        let virtual_gigs = counts["virtual-gig"];
+        let physical = counts["physical-gig"];
+        let professional = counts["professional"];
+        assert!(virtual_gigs > physical && physical > professional, "{counts:?}");
+        assert!((400..600).contains(&virtual_gigs), "{virtual_gigs}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let titles = |seed: u64| {
+            let mut s = TaskStream::new(default_categories(), seed);
+            (0..20).map(|_| s.next_task().title).collect::<Vec<_>>()
+        };
+        assert_eq!(titles(3), titles(3));
+        assert_ne!(titles(3), titles(4));
+    }
+
+    #[test]
+    fn stream_drives_the_platform() {
+        let mut platform = Platform::new(generate_uniform(300, 9), ExposureModel::Logarithmic);
+        let mut stream = TaskStream::new(default_categories(), 11);
+        for _ in 0..25 {
+            let task = stream.next_task();
+            platform.post_query(&task, 10).unwrap();
+        }
+        assert_eq!(platform.logs().len(), 25);
+        // The professional category filters hard: some logs should show
+        // fewer than 10 shown workers or NaN-masked scores.
+        let filtered_logs =
+            platform.logs().iter().filter(|l| l.scores.iter().any(|s| s.is_nan())).count();
+        assert!(filtered_logs > 0, "requirement-bearing tasks must filter someone");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task category")]
+    fn empty_mix_panics() {
+        let _ = TaskStream::new(vec![], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid frequency")]
+    fn bad_frequency_panics() {
+        let mut cats = default_categories();
+        cats[0].frequency = 0.0;
+        let _ = TaskStream::new(cats, 0);
+    }
+}

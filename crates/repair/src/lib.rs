@@ -1,0 +1,330 @@
+//! Bias repair for ranked marketplaces.
+//!
+//! The paper's future work includes "studying ways of repairing bias in
+//! the context of ranking in online job marketplaces". This crate
+//! implements the canonical score-repair construction (Feldman et al.,
+//! KDD 2015, adapted from classification to ranking): once the audit has
+//! identified the most-unfair partitioning, each group's score
+//! distribution is pulled towards a common **target distribution** by
+//! quantile alignment:
+//!
+//! * a worker at quantile `q` of their group's scores is mapped to the
+//!   target distribution's value at quantile `q`;
+//! * the **partial repair** parameter `λ ∈ [0, 1]` interpolates between
+//!   the original score (`λ = 0`) and the fully aligned score (`λ = 1`).
+//!
+//! Quantile alignment is monotone within each group, so the *relative*
+//! ranking of workers inside a group is preserved — repair changes how
+//! groups compare, not how group members compare.
+//!
+//! # Example
+//!
+//! ```
+//! use fairjob_repair::{repair_scores, RepairConfig, RepairTarget};
+//! use fairjob_store::RowSet;
+//!
+//! // Two groups with disjoint score ranges.
+//! let scores = vec![0.9, 0.95, 0.1, 0.15];
+//! let groups = vec![RowSet::from_rows(vec![0, 1]), RowSet::from_rows(vec![2, 3])];
+//! let repaired = repair_scores(
+//!     &scores,
+//!     &groups,
+//!     &RepairConfig { lambda: 1.0, target: RepairTarget::Median },
+//! ).unwrap();
+//! // After full repair the two groups have identical score multisets.
+//! assert!((repaired[0] - repaired[2]).abs() < 1e-9);
+//! assert!((repaired[1] - repaired[3]).abs() < 1e-9);
+//! ```
+
+pub mod quantile;
+pub mod rerank;
+
+use fairjob_store::RowSet;
+use quantile::{interpolated_quantile, quantile_level};
+use std::fmt;
+
+/// Errors from the repair layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepairError {
+    /// λ outside `[0, 1]` or non-finite.
+    BadLambda {
+        /// The offending value.
+        lambda: f64,
+    },
+    /// The groups do not form a disjoint cover of the score rows.
+    BadGroups {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A score is non-finite.
+    BadScore {
+        /// Row of the offending score.
+        row: usize,
+    },
+    /// No groups were supplied.
+    NoGroups,
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::BadLambda { lambda } => write!(f, "lambda {lambda} not in [0, 1]"),
+            RepairError::BadGroups { reason } => write!(f, "bad groups: {reason}"),
+            RepairError::BadScore { row } => write!(f, "non-finite score at row {row}"),
+            RepairError::NoGroups => write!(f, "no groups supplied"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+/// Which distribution the groups are aligned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairTarget {
+    /// Per quantile level, the **median** of the groups' quantile values
+    /// (Feldman et al.'s choice — movement is small and the target is
+    /// robust to one outlier group).
+    Median,
+    /// The **pooled** distribution of all scores (every group is pulled
+    /// to the overall population's distribution).
+    Pooled,
+}
+
+/// Repair configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RepairConfig {
+    /// Partial-repair amount: 0 = no change, 1 = full alignment.
+    pub lambda: f64,
+    /// Target distribution.
+    pub target: RepairTarget,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig { lambda: 1.0, target: RepairTarget::Median }
+    }
+}
+
+/// Repair `scores` so that the given groups' score distributions align
+/// with the configured target. Returns the repaired score vector,
+/// row-aligned with `scores`.
+///
+/// # Errors
+///
+/// * [`RepairError::BadLambda`] for λ outside `[0, 1]`.
+/// * [`RepairError::BadScore`] for non-finite scores.
+/// * [`RepairError::BadGroups`] when groups overlap, reference rows out
+///   of range, or fail to cover all rows (a repair over a partial cover
+///   would silently leave workers unrepaired).
+/// * [`RepairError::NoGroups`] for an empty group list.
+pub fn repair_scores(
+    scores: &[f64],
+    groups: &[RowSet],
+    config: &RepairConfig,
+) -> Result<Vec<f64>, RepairError> {
+    if !(0.0..=1.0).contains(&config.lambda) || !config.lambda.is_finite() {
+        return Err(RepairError::BadLambda { lambda: config.lambda });
+    }
+    if groups.is_empty() {
+        return Err(RepairError::NoGroups);
+    }
+    for (row, s) in scores.iter().enumerate() {
+        if !s.is_finite() {
+            return Err(RepairError::BadScore { row });
+        }
+    }
+    // Disjoint-cover check.
+    let mut seen = vec![false; scores.len()];
+    for g in groups {
+        for row in g.iter() {
+            if row >= scores.len() {
+                return Err(RepairError::BadGroups {
+                    reason: format!("row {row} out of range ({} scores)", scores.len()),
+                });
+            }
+            if seen[row] {
+                return Err(RepairError::BadGroups {
+                    reason: format!("row {row} appears in two groups"),
+                });
+            }
+            seen[row] = true;
+        }
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(RepairError::BadGroups {
+            reason: format!("row {missing} not covered by any group"),
+        });
+    }
+
+    // Sorted score list per non-empty group.
+    let sorted_groups: Vec<Vec<f64>> = groups
+        .iter()
+        .filter(|g| !g.is_empty())
+        .map(|g| {
+            let mut v: Vec<f64> = g.iter().map(|r| scores[r]).collect();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            v
+        })
+        .collect();
+    let pooled: Vec<f64> = {
+        let mut v = scores.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v
+    };
+
+    // Target quantile function.
+    let target_at = |q: f64| -> f64 {
+        match config.target {
+            RepairTarget::Pooled => interpolated_quantile(&pooled, q),
+            RepairTarget::Median => {
+                let mut vals: Vec<f64> =
+                    sorted_groups.iter().map(|g| interpolated_quantile(g, q)).collect();
+                vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let n = vals.len();
+                if n % 2 == 1 {
+                    vals[n / 2]
+                } else {
+                    (vals[n / 2 - 1] + vals[n / 2]) / 2.0
+                }
+            }
+        }
+    };
+
+    let mut repaired = scores.to_vec();
+    for g in groups.iter().filter(|g| !g.is_empty()) {
+        let mut members: Vec<usize> = g.iter().collect();
+        // Rank members by score (ties by row id for determinism).
+        members
+            .sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite").then(a.cmp(&b)));
+        let n = members.len();
+        for (rank, &row) in members.iter().enumerate() {
+            let q = quantile_level(rank, n);
+            let aligned = target_at(q);
+            repaired[row] = (1.0 - config.lambda) * scores[row] + config.lambda * aligned;
+        }
+    }
+    Ok(repaired)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_groups() -> (Vec<f64>, Vec<RowSet>) {
+        // Group A: high scores; group B: low scores.
+        let scores = vec![0.8, 0.9, 1.0, 0.0, 0.1, 0.2];
+        let groups = vec![RowSet::from_rows(vec![0, 1, 2]), RowSet::from_rows(vec![3, 4, 5])];
+        (scores, groups)
+    }
+
+    #[test]
+    fn lambda_zero_is_identity() {
+        let (scores, groups) = two_groups();
+        let cfg = RepairConfig { lambda: 0.0, target: RepairTarget::Median };
+        let repaired = repair_scores(&scores, &groups, &cfg).unwrap();
+        assert_eq!(repaired, scores);
+    }
+
+    #[test]
+    fn full_repair_aligns_group_distributions() {
+        let (scores, groups) = two_groups();
+        let repaired = repair_scores(&scores, &groups, &RepairConfig::default()).unwrap();
+        // Same rank in both groups -> same repaired score.
+        assert!((repaired[0] - repaired[3]).abs() < 1e-12);
+        assert!((repaired[1] - repaired[4]).abs() < 1e-12);
+        assert!((repaired[2] - repaired[5]).abs() < 1e-12);
+        // Median target of two groups = midpoint of their quantiles.
+        assert!((repaired[0] - 0.4).abs() < 1e-12);
+        assert!((repaired[1] - 0.5).abs() < 1e-12);
+        assert!((repaired[2] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repair_preserves_within_group_order() {
+        let (scores, groups) = two_groups();
+        for lambda in [0.25, 0.5, 0.75, 1.0] {
+            let cfg = RepairConfig { lambda, target: RepairTarget::Median };
+            let repaired = repair_scores(&scores, &groups, &cfg).unwrap();
+            assert!(repaired[0] <= repaired[1] && repaired[1] <= repaired[2], "{lambda}");
+            assert!(repaired[3] <= repaired[4] && repaired[4] <= repaired[5], "{lambda}");
+        }
+    }
+
+    #[test]
+    fn pooled_target_aligns_to_population() {
+        let (scores, groups) = two_groups();
+        let cfg = RepairConfig { lambda: 1.0, target: RepairTarget::Pooled };
+        let repaired = repair_scores(&scores, &groups, &cfg).unwrap();
+        // Both groups become the pooled distribution's quantiles.
+        assert!((repaired[0] - repaired[3]).abs() < 1e-12);
+        assert!((repaired[1] - repaired[4]).abs() < 1e-12);
+        assert!((repaired[2] - repaired[5]).abs() < 1e-12);
+        // Group tops sit at quantile (2+0.5)/3 of the pooled sample
+        // [0, .1, .2, .8, .9, 1]: position 0.8333*6-0.5 = 4.5 -> 0.95.
+        assert!((repaired[2] - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (scores, groups) = two_groups();
+        let bad_lambda = RepairConfig { lambda: 1.5, target: RepairTarget::Median };
+        assert!(matches!(
+            repair_scores(&scores, &groups, &bad_lambda),
+            Err(RepairError::BadLambda { .. })
+        ));
+        assert!(matches!(
+            repair_scores(&scores, &[], &RepairConfig::default()),
+            Err(RepairError::NoGroups)
+        ));
+        // Overlap.
+        let overlap =
+            vec![RowSet::from_rows(vec![0, 1, 2, 3]), RowSet::from_rows(vec![3, 4, 5])];
+        assert!(matches!(
+            repair_scores(&scores, &overlap, &RepairConfig::default()),
+            Err(RepairError::BadGroups { .. })
+        ));
+        // Gap.
+        let gap = vec![RowSet::from_rows(vec![0, 1, 2]), RowSet::from_rows(vec![3, 4])];
+        assert!(matches!(
+            repair_scores(&scores, &gap, &RepairConfig::default()),
+            Err(RepairError::BadGroups { .. })
+        ));
+        // Out of range.
+        let oob = vec![RowSet::from_rows(vec![0, 1, 2, 3, 4, 5, 6])];
+        assert!(matches!(
+            repair_scores(&scores, &oob, &RepairConfig::default()),
+            Err(RepairError::BadGroups { .. })
+        ));
+        // NaN score.
+        let mut bad = scores.clone();
+        bad[0] = f64::NAN;
+        assert!(matches!(
+            repair_scores(&bad, &groups, &RepairConfig::default()),
+            Err(RepairError::BadScore { row: 0 })
+        ));
+    }
+
+    #[test]
+    fn single_group_full_repair_keeps_its_own_distribution() {
+        let scores = vec![0.3, 0.7, 0.5];
+        let groups = vec![RowSet::from_rows(vec![0, 1, 2])];
+        let repaired = repair_scores(&scores, &groups, &RepairConfig::default()).unwrap();
+        // Target = the group's own quantiles -> unchanged.
+        for (a, b) in repaired.iter().zip(&scores) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn groups_of_different_sizes_align() {
+        let scores = vec![0.9, 1.0, 0.0, 0.1, 0.2, 0.3];
+        let groups = vec![RowSet::from_rows(vec![0, 1]), RowSet::from_rows(vec![2, 3, 4, 5])];
+        let repaired = repair_scores(&scores, &groups, &RepairConfig::default()).unwrap();
+        assert!(repaired[0] < repaired[1]);
+        assert!(
+            repaired[2] <= repaired[3]
+                && repaired[3] <= repaired[4]
+                && repaired[4] <= repaired[5]
+        );
+    }
+}

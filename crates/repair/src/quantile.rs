@@ -1,0 +1,87 @@
+//! Empirical quantile helpers used by quantile-alignment repair.
+
+/// The quantile level assigned to rank `rank` (0-based) in a group of
+/// `n`: the midpoint convention `(rank + 0.5) / n`, which avoids pinning
+/// the extremes of small groups to the target's min/max.
+pub fn quantile_level(rank: usize, n: usize) -> f64 {
+    debug_assert!(n > 0 && rank < n);
+    (rank as f64 + 0.5) / n as f64
+}
+
+/// Linearly interpolated quantile of a **sorted** sample at level
+/// `q ∈ [0, 1]` (clamped), using the same midpoint convention: sample
+/// `i` sits at level `(i + 0.5) / n`.
+pub fn interpolated_quantile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let q = q.clamp(0.0, 1.0);
+    // Invert level(i) = (i + 0.5) / n  =>  i = q * n - 0.5.
+    let pos = q * n as f64 - 0.5;
+    if pos <= 0.0 {
+        return sorted[0];
+    }
+    if pos >= (n - 1) as f64 {
+        return sorted[n - 1];
+    }
+    let lo = pos.floor() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_midpoints() {
+        assert!((quantile_level(0, 4) - 0.125).abs() < 1e-12);
+        assert!((quantile_level(3, 4) - 0.875).abs() < 1e-12);
+        assert!((quantile_level(0, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_hit_sample_points() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        for (i, &x) in v.iter().enumerate() {
+            let q = quantile_level(i, v.len());
+            assert!((interpolated_quantile(&v, q) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate_between_points() {
+        let v = [0.0, 1.0];
+        // Levels 0.25 and 0.75 are the sample points; 0.5 is the middle.
+        assert!((interpolated_quantile(&v, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_clamp_at_extremes() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(interpolated_quantile(&v, 0.0), 1.0);
+        assert_eq!(interpolated_quantile(&v, 1.0), 3.0);
+        assert_eq!(interpolated_quantile(&v, -0.5), 1.0);
+        assert_eq!(interpolated_quantile(&v, 1.5), 3.0);
+    }
+
+    #[test]
+    fn singleton_sample() {
+        assert_eq!(interpolated_quantile(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    fn quantile_function_is_monotone() {
+        let v = [0.1, 0.4, 0.4, 0.9];
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let x = interpolated_quantile(&v, q);
+            assert!(x >= prev - 1e-12);
+            prev = x;
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Re-ranking repair: enforce proportional group representation in a
+//! ranking without touching the scores.
+//!
+//! Score repair ([`crate::repair_scores`]) changes what the platform
+//! stores; sometimes only the *displayed ranking* may be modified. This
+//! module implements a quota-constrained re-ranker in the spirit of
+//! FA*IR (Zehlike et al., CIKM 2017), generalised to any number of
+//! groups with deterministic floor quotas: in every prefix of length
+//! `k`, each group `g` must hold at least `floor(α · share(g) · k)`
+//! positions, where `share(g)` is the group's fraction of the ranked
+//! population and `α ∈ [0, 1]` relaxes the quota.
+//!
+//! The algorithm is an exchange-greedy: at each display position it
+//! places the globally best remaining item *unless* doing so would make
+//! some future prefix quota unsatisfiable (there would be more mandated
+//! placements due by some prefix than slots left); in that case the
+//! group with the earliest pending quota deadline supplies its best
+//! remaining member. Within each group the original score order is
+//! always preserved. Worst-case cost is O(n² · groups) over the quota
+//! jump points — re-ranking applies to displayed lists, not whole
+//! populations.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One entry of a ranking: an item id (worker row), its score, and its
+/// group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedItem {
+    /// Item (worker row) id.
+    pub id: u32,
+    /// The item's score.
+    pub score: f64,
+    /// The item's group label (dense, `0..n_groups`).
+    pub group: u32,
+}
+
+/// Errors from re-ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RerankError {
+    /// α outside `[0, 1]` or non-finite.
+    BadAlpha {
+        /// The offending value.
+        alpha: f64,
+    },
+    /// A group label is `>= n_groups`.
+    BadGroup {
+        /// The offending label.
+        group: u32,
+        /// The declared group count.
+        n_groups: u32,
+    },
+    /// The input ranking is empty.
+    Empty,
+}
+
+impl fmt::Display for RerankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RerankError::BadAlpha { alpha } => write!(f, "alpha {alpha} not in [0, 1]"),
+            RerankError::BadGroup { group, n_groups } => {
+                write!(f, "group {group} out of range (n_groups = {n_groups})")
+            }
+            RerankError::Empty => write!(f, "empty ranking"),
+        }
+    }
+}
+
+impl std::error::Error for RerankError {}
+
+/// Per-group required counts at every prefix: `required[g][k]` for
+/// prefix length `k` (index 0 unused).
+fn quota_table(items: &[RankedItem], n_groups: usize, alpha: f64) -> Vec<Vec<usize>> {
+    let n = items.len();
+    let mut sizes = vec![0usize; n_groups];
+    for item in items {
+        sizes[item.group as usize] += 1;
+    }
+    (0..n_groups)
+        .map(|g| {
+            let share = sizes[g] as f64 / n as f64;
+            (0..=n).map(|k| (alpha * share * k as f64).floor() as usize).collect()
+        })
+        .collect()
+}
+
+/// Re-rank `items` (given in display order, best first) so that every
+/// prefix satisfies the α-relaxed proportional quota for every group.
+/// Returns the new display order.
+///
+/// `α = 0` imposes no constraint (output = input order); `α = 1`
+/// demands full proportionality at every prefix.
+///
+/// # Errors
+///
+/// [`RerankError`] for invalid α, out-of-range group labels or an empty
+/// input.
+pub fn rerank_proportional(
+    items: &[RankedItem],
+    n_groups: u32,
+    alpha: f64,
+) -> Result<Vec<RankedItem>, RerankError> {
+    if !(0.0..=1.0).contains(&alpha) || !alpha.is_finite() {
+        return Err(RerankError::BadAlpha { alpha });
+    }
+    if items.is_empty() {
+        return Err(RerankError::Empty);
+    }
+    for item in items {
+        if item.group >= n_groups {
+            return Err(RerankError::BadGroup { group: item.group, n_groups });
+        }
+    }
+    let n = items.len();
+    let g = n_groups as usize;
+    let required = quota_table(items, g, alpha);
+
+    // Quota jump points: prefixes where some group's requirement rises.
+    let mut jump_points: Vec<usize> = (1..=n)
+        .filter(|&k| (0..g).any(|grp| required[grp][k] > required[grp][k - 1]))
+        .collect();
+    if jump_points.last() != Some(&n) {
+        jump_points.push(n);
+    }
+
+    // Per-group queues in original (score) order + the global order.
+    let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); g];
+    for (idx, item) in items.iter().enumerate() {
+        queues[item.group as usize].push_back(idx);
+    }
+    let mut global: VecDeque<usize> = (0..n).collect();
+    let mut taken = vec![false; n];
+    let mut placed = vec![0usize; g];
+
+    // Can the remaining quotas be met if, after filling prefix `k`,
+    // per-group placements are `placed`?
+    let feasible = |k: usize, placed: &[usize]| -> bool {
+        for &kp in &jump_points {
+            if kp < k {
+                continue;
+            }
+            let needed: usize =
+                (0..g).map(|grp| required[grp][kp].saturating_sub(placed[grp])).sum();
+            if needed > kp - k {
+                return false;
+            }
+        }
+        true
+    };
+
+    let mut out = Vec::with_capacity(n);
+    for k in 1..=n {
+        // Pop already-taken heads lazily.
+        while let Some(&front) = global.front() {
+            if taken[front] {
+                global.pop_front();
+            } else {
+                break;
+            }
+        }
+        let best = *global.front().expect("items remain");
+
+        // Tentatively place the globally best item.
+        placed[items[best].group as usize] += 1;
+        let choice = if feasible(k, &placed) {
+            best
+        } else {
+            placed[items[best].group as usize] -= 1;
+            // Pick the group with the earliest pending quota deadline.
+            let mut forced: Option<(usize, usize)> = None; // (deadline, group)
+            for grp in 0..g {
+                if queues[grp].iter().all(|&i| taken[i]) {
+                    continue;
+                }
+                let deadline = jump_points
+                    .iter()
+                    .copied()
+                    .find(|&kp| kp >= k && required[grp][kp] > placed[grp]);
+                if let Some(d) = deadline {
+                    if forced.is_none_or(|(fd, _)| d < fd) {
+                        forced = Some((d, grp));
+                    }
+                }
+            }
+            let (_, grp) = forced.expect("infeasibility implies a pending deadline");
+            placed[grp] += 1;
+            loop {
+                let head = queues[grp].pop_front().expect("group has pending members");
+                if !taken[head] {
+                    break head;
+                }
+            }
+        };
+        taken[choice] = true;
+        out.push(items[choice]);
+    }
+    Ok(out)
+}
+
+/// Check the α-quota on every prefix of a ranking; returns the first
+/// `(prefix, group)` whose quota is violated, or `None` when fair.
+pub fn first_quota_violation(
+    items: &[RankedItem],
+    n_groups: u32,
+    alpha: f64,
+) -> Option<(usize, u32)> {
+    let g = n_groups as usize;
+    let required = quota_table(items, g, alpha);
+    let mut counts = vec![0usize; g];
+    for (k, item) in items.iter().enumerate() {
+        counts[item.group as usize] += 1;
+        for (group, count) in counts.iter().enumerate() {
+            if *count < required[group][k + 1] {
+                return Some((k + 1, group as u32));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ranking where group 1 is severely under-ranked: all of group 0
+    /// first.
+    fn biased_ranking() -> Vec<RankedItem> {
+        let mut items = Vec::new();
+        for i in 0..10u32 {
+            items.push(RankedItem { id: i, score: 1.0 - i as f64 * 0.01, group: 0 });
+        }
+        for i in 10..20u32 {
+            items.push(RankedItem { id: i, score: 0.5 - (i - 10) as f64 * 0.01, group: 1 });
+        }
+        items
+    }
+
+    #[test]
+    fn alpha_zero_is_identity() {
+        let items = biased_ranking();
+        let out = rerank_proportional(&items, 2, 0.0).unwrap();
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn full_alpha_interleaves() {
+        let items = biased_ranking();
+        let out = rerank_proportional(&items, 2, 1.0).unwrap();
+        assert_eq!(out.len(), items.len());
+        assert_eq!(first_quota_violation(&out, 2, 1.0), None);
+        // The biased input violates early.
+        assert!(first_quota_violation(&items, 2, 1.0).is_some());
+        // Output is a permutation of the input.
+        let mut in_ids: Vec<u32> = items.iter().map(|i| i.id).collect();
+        let mut out_ids: Vec<u32> = out.iter().map(|i| i.id).collect();
+        in_ids.sort_unstable();
+        out_ids.sort_unstable();
+        assert_eq!(in_ids, out_ids);
+    }
+
+    #[test]
+    fn within_group_order_preserved() {
+        let items = biased_ranking();
+        let out = rerank_proportional(&items, 2, 1.0).unwrap();
+        for group in 0..2u32 {
+            let order: Vec<u32> = out.iter().filter(|i| i.group == group).map(|i| i.id).collect();
+            let original: Vec<u32> =
+                items.iter().filter(|i| i.group == group).map(|i| i.id).collect();
+            assert_eq!(order, original, "group {group}");
+        }
+    }
+
+    #[test]
+    fn partial_alpha_relaxes() {
+        let items = biased_ranking();
+        let half = rerank_proportional(&items, 2, 0.5).unwrap();
+        assert_eq!(first_quota_violation(&half, 2, 0.5), None);
+        // Under half-quota, group 0 keeps at least as many top spots as
+        // under the full quota.
+        let full = rerank_proportional(&items, 2, 1.0).unwrap();
+        let top5_g0 = |v: &[RankedItem]| v.iter().take(5).filter(|i| i.group == 0).count();
+        assert!(top5_g0(&half) >= top5_g0(&full));
+    }
+
+    #[test]
+    fn three_groups_with_simultaneous_quota_jumps() {
+        let mut items = Vec::new();
+        for i in 0..6u32 {
+            items.push(RankedItem { id: i, score: 1.0 - i as f64 * 0.01, group: 0 });
+        }
+        for i in 6..9u32 {
+            items.push(RankedItem { id: i, score: 0.4, group: 1 });
+        }
+        for i in 9..12u32 {
+            items.push(RankedItem { id: i, score: 0.3, group: 2 });
+        }
+        let out = rerank_proportional(&items, 3, 1.0).unwrap();
+        assert_eq!(first_quota_violation(&out, 3, 1.0), None);
+    }
+
+    #[test]
+    fn many_groups_stress() {
+        // 5 groups of different sizes; full quota must hold everywhere.
+        let mut items = Vec::new();
+        let mut id = 0u32;
+        for (group, count) in [(0u32, 12), (1, 7), (2, 5), (3, 3), (4, 1)] {
+            for _ in 0..count {
+                items.push(RankedItem {
+                    id,
+                    score: 1.0 - id as f64 * 0.001 - group as f64 * 0.2,
+                    group,
+                });
+                id += 1;
+            }
+        }
+        for alpha in [0.3, 0.7, 1.0] {
+            let out = rerank_proportional(&items, 5, alpha).unwrap();
+            assert_eq!(first_quota_violation(&out, 5, alpha), None, "alpha {alpha}");
+            assert_eq!(out.len(), items.len());
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let items = biased_ranking();
+        assert!(matches!(rerank_proportional(&items, 2, 1.5), Err(RerankError::BadAlpha { .. })));
+        assert!(matches!(rerank_proportional(&items, 1, 0.5), Err(RerankError::BadGroup { .. })));
+        assert!(matches!(rerank_proportional(&[], 2, 0.5), Err(RerankError::Empty)));
+    }
+
+    #[test]
+    fn single_group_unchanged() {
+        let items: Vec<RankedItem> =
+            (0..5u32).map(|i| RankedItem { id: i, score: 1.0 - i as f64 * 0.1, group: 0 }).collect();
+        let out = rerank_proportional(&items, 1, 1.0).unwrap();
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn already_fair_ranking_minimally_disturbed() {
+        // Alternating groups is already fair at alpha=1 for 50/50 shares.
+        let items: Vec<RankedItem> = (0..10u32)
+            .map(|i| RankedItem { id: i, score: 1.0 - i as f64 * 0.05, group: i % 2 })
+            .collect();
+        assert_eq!(first_quota_violation(&items, 2, 1.0), None);
+        let out = rerank_proportional(&items, 2, 1.0).unwrap();
+        assert_eq!(out, items, "fair input should pass through unchanged");
+    }
+}

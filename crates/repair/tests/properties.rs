@@ -1,0 +1,103 @@
+//! Property-based tests for score repair and quota re-ranking.
+
+use fairjob_repair::rerank::{first_quota_violation, rerank_proportional, RankedItem};
+use fairjob_repair::{repair_scores, RepairConfig, RepairTarget};
+use fairjob_store::RowSet;
+use proptest::prelude::*;
+
+/// Random disjoint cover of `n` rows into up to 4 groups, plus scores.
+fn grouped_scores() -> impl Strategy<Value = (Vec<f64>, Vec<RowSet>)> {
+    prop::collection::vec((0.0f64..1.0, 0u32..4), 4..80).prop_map(|rows| {
+        let scores: Vec<f64> = rows.iter().map(|r| r.0).collect();
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); 4];
+        for (i, (_, g)) in rows.iter().enumerate() {
+            groups[*g as usize].push(i as u32);
+        }
+        (scores, groups.into_iter().map(RowSet::from_rows).collect())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn full_repair_aligns_group_quantiles((scores, groups) in grouped_scores()) {
+        let repaired = repair_scores(
+            &scores,
+            &groups,
+            &RepairConfig { lambda: 1.0, target: RepairTarget::Median },
+        ).unwrap();
+        // After full repair, same-rank-quantile members of any two
+        // groups sit close together: compare group means as a robust
+        // proxy (they all converge to the target distribution's mean,
+        // up to interpolation error shrinking with group size).
+        let live: Vec<&RowSet> = groups.iter().filter(|g| g.len() >= 8).collect();
+        if live.len() >= 2 {
+            let means: Vec<f64> = live
+                .iter()
+                .map(|g| g.iter().map(|r| repaired[r]).sum::<f64>() / g.len() as f64)
+                .collect();
+            let spread = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - means.iter().cloned().fold(f64::INFINITY, f64::min);
+            let orig_means: Vec<f64> = live
+                .iter()
+                .map(|g| g.iter().map(|r| scores[r]).sum::<f64>() / g.len() as f64)
+                .collect();
+            let orig_spread = orig_means.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - orig_means.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assert!(
+                spread <= orig_spread + 0.05,
+                "repair should not widen the group-mean spread: {spread} vs {orig_spread}"
+            );
+            prop_assert!(spread < 0.2, "repaired group means should be close: {means:?}");
+        }
+    }
+
+    #[test]
+    fn partial_repair_is_between_endpoints((scores, groups) in grouped_scores()) {
+        let cfg = |lambda| RepairConfig { lambda, target: RepairTarget::Median };
+        let full = repair_scores(&scores, &groups, &cfg(1.0)).unwrap();
+        let half = repair_scores(&scores, &groups, &cfg(0.5)).unwrap();
+        for i in 0..scores.len() {
+            let expected = 0.5 * scores[i] + 0.5 * full[i];
+            prop_assert!((half[i] - expected).abs() < 1e-9, "λ interpolates linearly");
+        }
+    }
+
+    #[test]
+    fn rerank_always_satisfies_quota_and_permutes(
+        groups in prop::collection::vec(0u32..3, 2..60),
+        alpha in 0.0f64..=1.0,
+    ) {
+        let items: Vec<RankedItem> = groups
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| RankedItem { id: i as u32, score: 1.0 - i as f64 * 1e-3, group: g })
+            .collect();
+        let out = rerank_proportional(&items, 3, alpha).unwrap();
+        prop_assert_eq!(first_quota_violation(&out, 3, alpha), None);
+        // Permutation.
+        let mut in_ids: Vec<u32> = items.iter().map(|i| i.id).collect();
+        let mut out_ids: Vec<u32> = out.iter().map(|i| i.id).collect();
+        in_ids.sort_unstable();
+        out_ids.sort_unstable();
+        prop_assert_eq!(in_ids, out_ids);
+        // Within-group order preserved.
+        for g in 0..3u32 {
+            let before: Vec<u32> = items.iter().filter(|i| i.group == g).map(|i| i.id).collect();
+            let after: Vec<u32> = out.iter().filter(|i| i.group == g).map(|i| i.id).collect();
+            prop_assert_eq!(before, after);
+        }
+    }
+
+    #[test]
+    fn rerank_zero_alpha_is_identity(groups in prop::collection::vec(0u32..3, 2..40)) {
+        let items: Vec<RankedItem> = groups
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| RankedItem { id: i as u32, score: 1.0 - i as f64 * 1e-3, group: g })
+            .collect();
+        let out = rerank_proportional(&items, 3, 0.0).unwrap();
+        prop_assert_eq!(out, items);
+    }
+}

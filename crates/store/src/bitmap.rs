@@ -1,0 +1,229 @@
+//! Dense bitmaps — the alternative row-set representation.
+//!
+//! Sorted index vectors ([`crate::RowSet`]) win when sets are sparse
+//! relative to the table; dense bitmaps win for large sets (population-
+//! scale partitions) where intersection becomes word-parallel AND. The
+//! `store_ops` bench measures the crossover; the audit keeps `RowSet`
+//! as its working representation because split trees produce mostly
+//! small partitions, but the bitmap is available wherever whole-table
+//! masks are manipulated.
+
+use crate::RowSet;
+
+/// A fixed-universe dense bitset over rows `0..universe`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    universe: usize,
+}
+
+impl Bitmap {
+    /// An empty bitmap over `universe` rows.
+    pub fn new(universe: usize) -> Self {
+        Bitmap { words: vec![0; universe.div_ceil(64)], universe }
+    }
+
+    /// A bitmap with every row of the universe set.
+    pub fn full(universe: usize) -> Self {
+        let mut b = Bitmap::new(universe);
+        for i in 0..universe {
+            b.insert(i as u32);
+        }
+        b
+    }
+
+    /// Build from a row set (rows must be `< universe`).
+    ///
+    /// # Panics
+    ///
+    /// When a row is outside the universe (programming error at the
+    /// conversion boundary).
+    pub fn from_rowset(rows: &RowSet, universe: usize) -> Self {
+        let mut b = Bitmap::new(universe);
+        for row in rows.rows() {
+            assert!((*row as usize) < universe, "row {row} outside universe {universe}");
+            b.insert(*row);
+        }
+        b
+    }
+
+    /// The universe size.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Set a row bit.
+    ///
+    /// # Panics
+    ///
+    /// When `row >= universe`.
+    pub fn insert(&mut self, row: u32) {
+        let row = row as usize;
+        assert!(row < self.universe, "row {row} outside universe {}", self.universe);
+        self.words[row / 64] |= 1u64 << (row % 64);
+    }
+
+    /// Clear a row bit (no-op when out of universe).
+    pub fn remove(&mut self, row: u32) {
+        let row = row as usize;
+        if row < self.universe {
+            self.words[row / 64] &= !(1u64 << (row % 64));
+        }
+    }
+
+    /// Membership test (false outside the universe).
+    pub fn contains(&self, row: u32) -> bool {
+        let row = row as usize;
+        row < self.universe && self.words[row / 64] & (1u64 << (row % 64)) != 0
+    }
+
+    /// Number of set rows.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no rows are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Word-parallel intersection. Universes must match.
+    ///
+    /// # Panics
+    ///
+    /// On mismatched universes.
+    pub fn intersect(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        Bitmap {
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect(),
+            universe: self.universe,
+        }
+    }
+
+    /// Word-parallel union. Universes must match.
+    ///
+    /// # Panics
+    ///
+    /// On mismatched universes.
+    pub fn union(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        Bitmap {
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect(),
+            universe: self.universe,
+        }
+    }
+
+    /// Word-parallel difference `self \ other`. Universes must match.
+    ///
+    /// # Panics
+    ///
+    /// On mismatched universes.
+    pub fn difference(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        Bitmap {
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a & !b).collect(),
+            universe: self.universe,
+        }
+    }
+
+    /// Iterate set rows in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let bit = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(wi as u32 * 64 + bit)
+            })
+        })
+    }
+
+    /// Convert to a sorted row set.
+    pub fn to_rowset(&self) -> RowSet {
+        RowSet::from_sorted(self.iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut b = Bitmap::new(130);
+        b.insert(0);
+        b.insert(63);
+        b.insert(64);
+        b.insert(129);
+        assert!(b.contains(0) && b.contains(63) && b.contains(64) && b.contains(129));
+        assert!(!b.contains(1) && !b.contains(128));
+        assert!(!b.contains(500));
+        assert_eq!(b.len(), 4);
+        b.remove(63);
+        assert!(!b.contains(63));
+        assert_eq!(b.len(), 3);
+        b.remove(500); // out-of-universe remove is a no-op
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn insert_out_of_universe_panics() {
+        Bitmap::new(10).insert(10);
+    }
+
+    #[test]
+    fn set_algebra_matches_rowset() {
+        let a_rows = RowSet::from_rows(vec![1, 5, 63, 64, 99]);
+        let b_rows = RowSet::from_rows(vec![5, 64, 65, 98]);
+        let a = Bitmap::from_rowset(&a_rows, 128);
+        let b = Bitmap::from_rowset(&b_rows, 128);
+        assert_eq!(a.intersect(&b).to_rowset(), a_rows.intersect(&b_rows));
+        assert_eq!(a.union(&b).to_rowset(), a_rows.union(&b_rows));
+        assert_eq!(a.difference(&b).to_rowset(), a_rows.difference(&b_rows));
+    }
+
+    #[test]
+    fn roundtrip_rowset() {
+        let rows = RowSet::from_rows(vec![0, 2, 67, 126]);
+        let b = Bitmap::from_rowset(&rows, 127);
+        assert_eq!(b.to_rowset(), rows);
+        assert_eq!(b.len(), rows.len());
+    }
+
+    #[test]
+    fn full_and_empty() {
+        let full = Bitmap::full(70);
+        assert_eq!(full.len(), 70);
+        assert!(full.contains(69));
+        let empty = Bitmap::new(70);
+        assert!(empty.is_empty());
+        assert_eq!(full.intersect(&empty).len(), 0);
+        assert_eq!(full.difference(&empty).len(), 70);
+    }
+
+    #[test]
+    fn iter_is_sorted_ascending() {
+        let mut b = Bitmap::new(256);
+        for r in [200u32, 3, 77, 128, 4] {
+            b.insert(r);
+        }
+        let got: Vec<u32> = b.iter().collect();
+        assert_eq!(got, vec![3, 4, 77, 128, 200]);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn mismatched_universes_panic() {
+        let _ = Bitmap::new(64).intersect(&Bitmap::new(128));
+    }
+
+    #[test]
+    fn zero_universe() {
+        let b = Bitmap::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.iter().count(), 0);
+    }
+}

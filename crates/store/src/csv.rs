@@ -1,0 +1,259 @@
+//! Dependency-free CSV import/export.
+//!
+//! Enough of RFC 4180 for worker tables: comma separation, double-quote
+//! quoting with `""` escapes, a header row matching the schema. Used for
+//! persisting generated populations and exporting audit inputs; kept
+//! hand-rolled because the workspace's only allowed serialisation crate
+//! (`serde`) ships no wire format.
+
+use crate::schema::DataType;
+use crate::table::{Table, Value};
+use crate::StoreError;
+
+/// Serialise a table (header + one line per row).
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let header: Vec<String> =
+        table.schema().attributes().iter().map(|a| escape(&a.name)).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in 0..table.len() {
+        let values = table.row(row).expect("row in range");
+        let fields: Vec<String> = values
+            .iter()
+            .map(|v| match v {
+                Value::Cat(s) => escape(s),
+                Value::Num(x) => format_float(*x),
+                Value::Int(x) => x.to_string(),
+            })
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse CSV text into a table over `schema`. The header must name the
+/// schema's attributes in order.
+///
+/// # Errors
+///
+/// [`StoreError::Csv`] for malformed input; the usual ingestion errors
+/// (wrapped in `Csv` with line information) for invalid values.
+pub fn from_csv(schema: crate::Schema, text: &str) -> Result<Table, StoreError> {
+    let mut lines = split_records(text);
+    let header = lines
+        .next()
+        .ok_or(StoreError::Csv { line: 1, reason: "missing header".into() })?
+        .map_err(|reason| StoreError::Csv { line: 1, reason })?;
+    let expected: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
+    if header != expected {
+        return Err(StoreError::Csv {
+            line: 1,
+            reason: format!("header {header:?} does not match schema {expected:?}"),
+        });
+    }
+    let mut table = Table::new(schema);
+    for (lineno, record) in lines.enumerate() {
+        let line = lineno + 2;
+        let fields = record.map_err(|reason| StoreError::Csv { line, reason })?;
+        if fields.len() != table.schema().width() {
+            return Err(StoreError::Csv {
+                line,
+                reason: format!(
+                    "expected {} fields, found {}",
+                    table.schema().width(),
+                    fields.len()
+                ),
+            });
+        }
+        let mut values = Vec::with_capacity(fields.len());
+        for (attr, field) in table.schema().attributes().iter().zip(&fields) {
+            let value = match &attr.dtype {
+                DataType::Categorical { .. } => Value::Cat(field.clone()),
+                DataType::Numeric { .. } => Value::Num(field.parse::<f64>().map_err(|e| {
+                    StoreError::Csv { line, reason: format!("bad float `{field}`: {e}") }
+                })?),
+                DataType::Integer { .. } => Value::Int(field.parse::<i64>().map_err(|e| {
+                    StoreError::Csv { line, reason: format!("bad integer `{field}`: {e}") }
+                })?),
+            };
+            values.push(value);
+        }
+        table
+            .push_row(&values)
+            .map_err(|e| StoreError::Csv { line, reason: e.to_string() })?;
+    }
+    Ok(table)
+}
+
+fn format_float(x: f64) -> String {
+    // Shortest representation that round-trips (f64 Display in Rust is
+    // already round-trip-exact).
+    format!("{x}")
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Iterate records (handling quoted fields, including embedded newlines).
+/// Each item is the list of fields or an error description.
+fn split_records(text: &str) -> impl Iterator<Item = Result<Vec<String>, String>> + '_ {
+    let mut chars = text.chars().peekable();
+    let mut done = false;
+    std::iter::from_fn(move || {
+        if done || chars.peek().is_none() {
+            return None;
+        }
+        let mut fields = Vec::new();
+        let mut field = String::new();
+        let mut in_quotes = false;
+        loop {
+            match chars.next() {
+                None => {
+                    if in_quotes {
+                        done = true;
+                        return Some(Err("unterminated quoted field".into()));
+                    }
+                    fields.push(std::mem::take(&mut field));
+                    done = true;
+                    return Some(Ok(fields));
+                }
+                Some('"') if in_quotes => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                Some('"') if field.is_empty() => in_quotes = true,
+                Some('"') => {
+                    done = true;
+                    return Some(Err("quote inside unquoted field".into()));
+                }
+                Some(',') if !in_quotes => fields.push(std::mem::take(&mut field)),
+                Some('\n') if !in_quotes => {
+                    fields.push(std::mem::take(&mut field));
+                    return Some(Ok(fields));
+                }
+                Some('\r') if !in_quotes && chars.peek() == Some(&'\n') => {
+                    chars.next();
+                    fields.push(std::mem::take(&mut field));
+                    return Some(Ok(fields));
+                }
+                Some(c) => field.push(c),
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttributeKind, Schema};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .categorical("gender", AttributeKind::Protected, &["Male", "Female"])
+            .integer("yob", AttributeKind::Protected, 1950, 2009)
+            .numeric("approval", AttributeKind::Observed, 25.0, 100.0)
+            .build()
+            .unwrap()
+    }
+
+    fn sample_table() -> Table {
+        let mut t = Table::new(schema());
+        t.push_row(&[Value::cat("Male"), Value::int(1980), Value::num(75.5)]).unwrap();
+        t.push_row(&[Value::cat("Female"), Value::int(1999), Value::num(90.0)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample_table();
+        let csv = to_csv(&t);
+        let back = from_csv(schema(), &csv).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn header_written() {
+        let csv = to_csv(&sample_table());
+        assert!(csv.starts_with("gender,yob,approval\n"));
+    }
+
+    #[test]
+    fn quoted_fields_roundtrip() {
+        let s = Schema::builder()
+            .categorical("name", AttributeKind::Protected, &["a,b", "c\"d", "e\nf"])
+            .build()
+            .unwrap();
+        let mut t = Table::new(s.clone());
+        t.push_row(&[Value::cat("a,b")]).unwrap();
+        t.push_row(&[Value::cat("c\"d")]).unwrap();
+        t.push_row(&[Value::cat("e\nf")]).unwrap();
+        let csv = to_csv(&t);
+        let back = from_csv(s, &csv).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let csv = "a,b,c\n";
+        let err = from_csv(schema(), csv).unwrap_err();
+        assert!(matches!(err, StoreError::Csv { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_field_count_reported_with_line() {
+        let csv = "gender,yob,approval\nMale,1980\n";
+        let err = from_csv(schema(), csv).unwrap_err();
+        assert!(matches!(err, StoreError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        let csv = "gender,yob,approval\nMale,xyz,80\n";
+        let err = from_csv(schema(), csv).unwrap_err();
+        match err {
+            StoreError::Csv { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("xyz"));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_value_reported() {
+        let csv = "gender,yob,approval\nMale,1900,80\n";
+        let err = from_csv(schema(), csv).unwrap_err();
+        assert!(matches!(err, StoreError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let csv = "gender,yob,approval\n\"Male,1980,80\n";
+        assert!(from_csv(schema(), csv).is_err());
+    }
+
+    #[test]
+    fn crlf_accepted() {
+        let csv = "gender,yob,approval\r\nMale,1980,75.5\r\n";
+        let t = from_csv(schema(), csv).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_body_gives_empty_table() {
+        let csv = "gender,yob,approval\n";
+        let t = from_csv(schema(), csv).unwrap();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Error type for the columnar store.
+
+use std::fmt;
+
+/// Errors raised by schema construction, ingestion and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// Two attributes share a name.
+    DuplicateAttribute {
+        /// The repeated attribute name.
+        name: String,
+    },
+    /// A categorical attribute was declared with no values.
+    EmptyDomain {
+        /// The attribute name.
+        name: String,
+    },
+    /// A categorical attribute declares the same value twice.
+    DuplicateDomainValue {
+        /// The attribute name.
+        attribute: String,
+        /// The repeated value.
+        value: String,
+    },
+    /// A numeric/integer range has `min > max` or non-finite bounds.
+    BadRange {
+        /// The attribute name.
+        name: String,
+    },
+    /// The schema has no attributes.
+    EmptySchema,
+    /// Attribute name not present in the schema.
+    NoSuchAttribute {
+        /// The requested name.
+        name: String,
+    },
+    /// A row has the wrong number of values.
+    RowArity {
+        /// Expected number of values (schema width).
+        expected: usize,
+        /// Provided number of values.
+        got: usize,
+    },
+    /// A value's type does not match the column type.
+    TypeMismatch {
+        /// The attribute name.
+        attribute: String,
+        /// What the column stores.
+        expected: &'static str,
+    },
+    /// A categorical value is outside the attribute's declared domain.
+    UnknownCategory {
+        /// The attribute name.
+        attribute: String,
+        /// The offending value.
+        value: String,
+    },
+    /// A numeric/integer value is outside the attribute's declared range.
+    OutOfRange {
+        /// The attribute name.
+        attribute: String,
+        /// The offending value rendered as text.
+        value: String,
+    },
+    /// The referenced attribute is not categorical (split/group-by/index
+    /// require categorical attributes).
+    NotCategorical {
+        /// The attribute name.
+        attribute: String,
+    },
+    /// The referenced attribute is categorical where a numeric/integer one
+    /// is required (bucketisation).
+    NotNumeric {
+        /// The attribute name.
+        attribute: String,
+    },
+    /// A categorical code is out of range for the attribute's dictionary.
+    BadCode {
+        /// The attribute name.
+        attribute: String,
+        /// The offending code.
+        code: u32,
+    },
+    /// CSV parsing failed.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Bucketisation boundaries are invalid.
+    BadBuckets {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::DuplicateAttribute { name } => write!(f, "duplicate attribute `{name}`"),
+            StoreError::EmptyDomain { name } => {
+                write!(f, "categorical attribute `{name}` has an empty domain")
+            }
+            StoreError::DuplicateDomainValue { attribute, value } => {
+                write!(f, "attribute `{attribute}` declares value `{value}` twice")
+            }
+            StoreError::BadRange { name } => write!(f, "attribute `{name}` has an invalid range"),
+            StoreError::EmptySchema => write!(f, "schema has no attributes"),
+            StoreError::NoSuchAttribute { name } => write!(f, "no attribute named `{name}`"),
+            StoreError::RowArity { expected, got } => {
+                write!(f, "row has {got} values, schema expects {expected}")
+            }
+            StoreError::TypeMismatch { attribute, expected } => {
+                write!(f, "attribute `{attribute}` expects a {expected} value")
+            }
+            StoreError::UnknownCategory { attribute, value } => {
+                write!(f, "`{value}` is not in the domain of attribute `{attribute}`")
+            }
+            StoreError::OutOfRange { attribute, value } => {
+                write!(f, "value {value} out of range for attribute `{attribute}`")
+            }
+            StoreError::NotCategorical { attribute } => {
+                write!(f, "attribute `{attribute}` is not categorical")
+            }
+            StoreError::NotNumeric { attribute } => {
+                write!(f, "attribute `{attribute}` is not numeric")
+            }
+            StoreError::BadCode { attribute, code } => {
+                write!(f, "code {code} out of range for attribute `{attribute}`")
+            }
+            StoreError::Csv { line, reason } => write!(f, "csv line {line}: {reason}"),
+            StoreError::BadBuckets { reason } => write!(f, "bad buckets: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offenders() {
+        let e = StoreError::UnknownCategory { attribute: "gender".into(), value: "X".into() };
+        let s = e.to_string();
+        assert!(s.contains("gender") && s.contains('X'));
+    }
+}

@@ -1,0 +1,188 @@
+//! Inverted indexes on categorical columns.
+//!
+//! Splitting a partition by an attribute is the hot operation of every
+//! audit algorithm: `worstAttribute` tries every remaining attribute at
+//! every step. The inverted index turns a split into per-code row-set
+//! intersections instead of a full column scan.
+
+use crate::table::Table;
+use crate::{RowSet, StoreError};
+
+/// Inverted index for one categorical attribute: rows grouped by code.
+#[derive(Debug, Clone)]
+pub struct CategoricalIndex {
+    attr: usize,
+    /// `postings[code]` = sorted rows holding that code.
+    postings: Vec<RowSet>,
+}
+
+impl CategoricalIndex {
+    /// Build the index for categorical attribute `attr` of `table`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotCategorical`] when `attr` is not categorical.
+    pub fn build(table: &Table, attr: usize) -> Result<Self, StoreError> {
+        let codes = table.column(attr).as_categorical().ok_or_else(|| {
+            StoreError::NotCategorical { attribute: table.schema().attribute(attr).name.clone() }
+        })?;
+        let cardinality =
+            table.schema().attribute(attr).cardinality().expect("categorical has cardinality");
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cardinality];
+        for (row, &code) in codes.iter().enumerate() {
+            buckets[code as usize].push(row as u32);
+        }
+        Ok(CategoricalIndex {
+            attr,
+            postings: buckets.into_iter().map(RowSet::from_sorted).collect(),
+        })
+    }
+
+    /// The indexed attribute.
+    pub fn attribute(&self) -> usize {
+        self.attr
+    }
+
+    /// Rows with the given code across the whole table.
+    pub fn rows_with_code(&self, code: u32) -> &RowSet {
+        &self.postings[code as usize]
+    }
+
+    /// Split `within` by the indexed attribute: one `(code, rows)` pair
+    /// per code that is non-empty inside `within`.
+    pub fn split(&self, within: &RowSet) -> Vec<(u32, RowSet)> {
+        self.postings
+            .iter()
+            .enumerate()
+            .filter_map(|(code, posting)| {
+                let rows = posting.intersect(within);
+                (!rows.is_empty()).then_some((code as u32, rows))
+            })
+            .collect()
+    }
+}
+
+/// Indexes for every categorical protected attribute of a table.
+#[derive(Debug, Clone)]
+pub struct IndexSet {
+    indexes: Vec<Option<CategoricalIndex>>,
+}
+
+impl IndexSet {
+    /// Build indexes for all splittable (categorical protected)
+    /// attributes of `table`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from index construction (cannot occur
+    /// for attributes reported by [`crate::Schema::splittable`]).
+    pub fn build(table: &Table) -> Result<Self, StoreError> {
+        let mut indexes: Vec<Option<CategoricalIndex>> = Vec::new();
+        indexes.resize_with(table.schema().width(), || None);
+        for attr in table.schema().splittable() {
+            indexes[attr] = Some(CategoricalIndex::build(table, attr)?);
+        }
+        Ok(IndexSet { indexes })
+    }
+
+    /// The index for attribute `attr`, if one was built.
+    pub fn get(&self, attr: usize) -> Option<&CategoricalIndex> {
+        self.indexes.get(attr).and_then(Option::as_ref)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttributeKind, Schema};
+    use crate::table::Value;
+
+    fn table() -> Table {
+        let schema = Schema::builder()
+            .categorical("gender", AttributeKind::Protected, &["Male", "Female"])
+            .categorical("lang", AttributeKind::Protected, &["English", "Indian", "Other"])
+            .numeric("score", AttributeKind::Observed, 0.0, 1.0)
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for (g, l, s) in [
+            ("Male", "English", 0.9),
+            ("Male", "Indian", 0.8),
+            ("Female", "English", 0.7),
+            ("Female", "Other", 0.6),
+            ("Male", "English", 0.5),
+        ] {
+            t.push_row(&[Value::cat(g), Value::cat(l), Value::num(s)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn postings_cover_table() {
+        let t = table();
+        let idx = CategoricalIndex::build(&t, 0).unwrap();
+        assert_eq!(idx.rows_with_code(0).rows(), &[0, 1, 4]);
+        assert_eq!(idx.rows_with_code(1).rows(), &[2, 3]);
+        assert_eq!(idx.attribute(), 0);
+    }
+
+    #[test]
+    fn split_restricts_to_within() {
+        let t = table();
+        let idx = CategoricalIndex::build(&t, 1).unwrap();
+        let within = RowSet::from_rows(vec![0, 2, 3]);
+        let parts = idx.split(&within);
+        // English -> {0, 2}, Other -> {3}; Indian empty (dropped).
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].0, 0);
+        assert_eq!(parts[0].1.rows(), &[0, 2]);
+        assert_eq!(parts[1].0, 2);
+        assert_eq!(parts[1].1.rows(), &[3]);
+    }
+
+    #[test]
+    fn split_partitions_are_disjoint_and_cover() {
+        let t = table();
+        let idx = CategoricalIndex::build(&t, 0).unwrap();
+        let all = RowSet::all(t.len());
+        let parts = idx.split(&all);
+        let mut union = RowSet::empty();
+        for (i, (_, a)) in parts.iter().enumerate() {
+            for (_, b) in &parts[i + 1..] {
+                assert!(a.is_disjoint(b));
+            }
+            union = union.union(a);
+        }
+        assert_eq!(union, all);
+    }
+
+    #[test]
+    fn non_categorical_rejected() {
+        let t = table();
+        assert!(matches!(
+            CategoricalIndex::build(&t, 2),
+            Err(StoreError::NotCategorical { .. })
+        ));
+    }
+
+    #[test]
+    fn index_set_builds_for_splittable_only() {
+        let t = table();
+        let set = IndexSet::build(&t).unwrap();
+        assert!(set.get(0).is_some());
+        assert!(set.get(1).is_some());
+        assert!(set.get(2).is_none());
+    }
+
+    #[test]
+    fn empty_table_index() {
+        let schema = Schema::builder()
+            .categorical("g", AttributeKind::Protected, &["a", "b"])
+            .build()
+            .unwrap();
+        let t = Table::new(schema);
+        let idx = CategoricalIndex::build(&t, 0).unwrap();
+        assert!(idx.rows_with_code(0).is_empty());
+        assert!(idx.split(&RowSet::empty()).is_empty());
+    }
+}

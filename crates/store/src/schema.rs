@@ -1,0 +1,357 @@
+//! Attribute schemas.
+//!
+//! Definition 1 of the paper distinguishes **protected** attributes
+//! (inherent properties: gender, age, ethnicity, origin, …) from
+//! **observed** attributes (skills: reputation, language test, approval
+//! rate, …). Partitions may only be formed on protected attributes;
+//! scoring functions may only read observed attributes. Encoding the
+//! distinction in the schema lets the audit layer enforce both rules.
+
+use crate::StoreError;
+
+/// Whether an attribute is protected (groupable) or observed (scorable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttributeKind {
+    /// Inherent property of a person; fairness groups are defined on
+    /// these (gender, country, year of birth, …).
+    Protected,
+    /// A skill signal a scoring function may read (language test score,
+    /// approval rate, …).
+    Observed,
+    /// Neither: bookkeeping columns (ids, derived labels, …).
+    Metadata,
+}
+
+/// Physical/logical type of an attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataType {
+    /// Dictionary-encoded categorical with a fixed declared domain.
+    Categorical {
+        /// Allowed values, in declaration order (codes are indexes).
+        domain: Vec<String>,
+    },
+    /// Real-valued in `[min, max]`.
+    Numeric {
+        /// Smallest allowed value.
+        min: f64,
+        /// Largest allowed value.
+        max: f64,
+    },
+    /// Integer-valued in `[min, max]`.
+    Integer {
+        /// Smallest allowed value.
+        min: i64,
+        /// Largest allowed value.
+        max: i64,
+    },
+}
+
+impl DataType {
+    /// Short name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            DataType::Categorical { .. } => "categorical",
+            DataType::Numeric { .. } => "numeric",
+            DataType::Integer { .. } => "integer",
+        }
+    }
+}
+
+/// One named, typed, kinded attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeDef {
+    /// Attribute name, unique within a schema.
+    pub name: String,
+    /// Protected / observed / metadata.
+    pub kind: AttributeKind,
+    /// Value type.
+    pub dtype: DataType,
+}
+
+impl AttributeDef {
+    /// Number of categories for categorical attributes, `None` otherwise.
+    pub fn cardinality(&self) -> Option<usize> {
+        match &self.dtype {
+            DataType::Categorical { domain } => Some(domain.len()),
+            _ => None,
+        }
+    }
+
+    /// Resolve a categorical value to its code.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotCategorical`] or [`StoreError::UnknownCategory`].
+    pub fn code_of(&self, value: &str) -> Result<u32, StoreError> {
+        match &self.dtype {
+            DataType::Categorical { domain } => domain
+                .iter()
+                .position(|v| v == value)
+                .map(|i| i as u32)
+                .ok_or_else(|| StoreError::UnknownCategory {
+                    attribute: self.name.clone(),
+                    value: value.to_string(),
+                }),
+            _ => Err(StoreError::NotCategorical { attribute: self.name.clone() }),
+        }
+    }
+
+    /// Resolve a code back to its categorical label.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotCategorical`] or [`StoreError::BadCode`].
+    pub fn label_of(&self, code: u32) -> Result<&str, StoreError> {
+        match &self.dtype {
+            DataType::Categorical { domain } => domain
+                .get(code as usize)
+                .map(String::as_str)
+                .ok_or(StoreError::BadCode { attribute: self.name.clone(), code }),
+            _ => Err(StoreError::NotCategorical { attribute: self.name.clone() }),
+        }
+    }
+}
+
+/// An ordered collection of attributes with unique names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    attributes: Vec<AttributeDef>,
+}
+
+impl Schema {
+    /// Start building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder { attributes: Vec::new() }
+    }
+
+    /// All attributes, in declaration order.
+    pub fn attributes(&self) -> &[AttributeDef] {
+        &self.attributes
+    }
+
+    /// Number of attributes.
+    pub fn width(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Attribute by index.
+    pub fn attribute(&self, idx: usize) -> &AttributeDef {
+        &self.attributes[idx]
+    }
+
+    /// Look up an attribute index by name.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoSuchAttribute`].
+    pub fn index_of(&self, name: &str) -> Result<usize, StoreError> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| StoreError::NoSuchAttribute { name: name.to_string() })
+    }
+
+    /// Indexes of all attributes of the given kind.
+    pub fn indexes_of_kind(&self, kind: AttributeKind) -> Vec<usize> {
+        (0..self.attributes.len()).filter(|&i| self.attributes[i].kind == kind).collect()
+    }
+
+    /// Indexes of all **categorical protected** attributes — the ones the
+    /// audit algorithms may split on.
+    pub fn splittable(&self) -> Vec<usize> {
+        (0..self.attributes.len())
+            .filter(|&i| {
+                self.attributes[i].kind == AttributeKind::Protected
+                    && matches!(self.attributes[i].dtype, DataType::Categorical { .. })
+            })
+            .collect()
+    }
+}
+
+/// Builder for [`Schema`].
+#[derive(Debug, Clone)]
+pub struct SchemaBuilder {
+    attributes: Vec<AttributeDef>,
+}
+
+impl SchemaBuilder {
+    /// Add a categorical attribute with the given domain.
+    pub fn categorical(mut self, name: &str, kind: AttributeKind, domain: &[&str]) -> Self {
+        self.attributes.push(AttributeDef {
+            name: name.to_string(),
+            kind,
+            dtype: DataType::Categorical { domain: domain.iter().map(|s| s.to_string()).collect() },
+        });
+        self
+    }
+
+    /// Add a real-valued attribute constrained to `[min, max]`.
+    pub fn numeric(mut self, name: &str, kind: AttributeKind, min: f64, max: f64) -> Self {
+        self.attributes.push(AttributeDef {
+            name: name.to_string(),
+            kind,
+            dtype: DataType::Numeric { min, max },
+        });
+        self
+    }
+
+    /// Add an integer-valued attribute constrained to `[min, max]`.
+    pub fn integer(mut self, name: &str, kind: AttributeKind, min: i64, max: i64) -> Self {
+        self.attributes.push(AttributeDef {
+            name: name.to_string(),
+            kind,
+            dtype: DataType::Integer { min, max },
+        });
+        self
+    }
+
+    /// Add a pre-built attribute definition.
+    pub fn attribute(mut self, def: AttributeDef) -> Self {
+        self.attributes.push(def);
+        self
+    }
+
+    /// Validate and produce the schema.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::EmptySchema`], [`StoreError::DuplicateAttribute`],
+    /// [`StoreError::EmptyDomain`], [`StoreError::DuplicateDomainValue`]
+    /// or [`StoreError::BadRange`].
+    pub fn build(self) -> Result<Schema, StoreError> {
+        if self.attributes.is_empty() {
+            return Err(StoreError::EmptySchema);
+        }
+        for (i, a) in self.attributes.iter().enumerate() {
+            if self.attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(StoreError::DuplicateAttribute { name: a.name.clone() });
+            }
+            match &a.dtype {
+                DataType::Categorical { domain } => {
+                    if domain.is_empty() {
+                        return Err(StoreError::EmptyDomain { name: a.name.clone() });
+                    }
+                    for (j, v) in domain.iter().enumerate() {
+                        if domain[..j].contains(v) {
+                            return Err(StoreError::DuplicateDomainValue {
+                                attribute: a.name.clone(),
+                                value: v.clone(),
+                            });
+                        }
+                    }
+                }
+                DataType::Numeric { min, max } => {
+                    // `!(min <= max)` deliberately rejects NaN bounds.
+                    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                    if !(min <= max) || !min.is_finite() || !max.is_finite() {
+                        return Err(StoreError::BadRange { name: a.name.clone() });
+                    }
+                }
+                DataType::Integer { min, max } => {
+                    if min > max {
+                        return Err(StoreError::BadRange { name: a.name.clone() });
+                    }
+                }
+            }
+        }
+        Ok(Schema { attributes: self.attributes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::builder()
+            .categorical("gender", AttributeKind::Protected, &["Male", "Female"])
+            .categorical("country", AttributeKind::Protected, &["America", "India", "Other"])
+            .integer("yob", AttributeKind::Protected, 1950, 2009)
+            .numeric("approval", AttributeKind::Observed, 25.0, 100.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let s = sample();
+        assert_eq!(s.width(), 4);
+        assert_eq!(s.index_of("country").unwrap(), 1);
+        assert_eq!(s.attribute(1).name, "country");
+        assert!(matches!(
+            s.index_of("nope"),
+            Err(StoreError::NoSuchAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn kinds_filter() {
+        let s = sample();
+        assert_eq!(s.indexes_of_kind(AttributeKind::Protected), vec![0, 1, 2]);
+        assert_eq!(s.indexes_of_kind(AttributeKind::Observed), vec![3]);
+    }
+
+    #[test]
+    fn splittable_excludes_numeric_protected() {
+        let s = sample();
+        // yob is protected but numeric: not splittable until bucketised.
+        assert_eq!(s.splittable(), vec![0, 1]);
+    }
+
+    #[test]
+    fn code_label_roundtrip() {
+        let s = sample();
+        let g = s.attribute(0);
+        assert_eq!(g.code_of("Female").unwrap(), 1);
+        assert_eq!(g.label_of(1).unwrap(), "Female");
+        assert!(matches!(g.code_of("X"), Err(StoreError::UnknownCategory { .. })));
+        assert!(matches!(g.label_of(9), Err(StoreError::BadCode { code: 9, .. })));
+        assert_eq!(g.cardinality(), Some(2));
+        assert_eq!(s.attribute(2).cardinality(), None);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let r = Schema::builder()
+            .categorical("a", AttributeKind::Protected, &["x"])
+            .numeric("a", AttributeKind::Observed, 0.0, 1.0)
+            .build();
+        assert!(matches!(r, Err(StoreError::DuplicateAttribute { .. })));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(matches!(Schema::builder().build(), Err(StoreError::EmptySchema)));
+    }
+
+    #[test]
+    fn empty_domain_rejected() {
+        let r = Schema::builder().categorical("a", AttributeKind::Protected, &[]).build();
+        assert!(matches!(r, Err(StoreError::EmptyDomain { .. })));
+    }
+
+    #[test]
+    fn duplicate_domain_value_rejected() {
+        let r = Schema::builder().categorical("a", AttributeKind::Protected, &["x", "x"]).build();
+        assert!(matches!(r, Err(StoreError::DuplicateDomainValue { .. })));
+    }
+
+    #[test]
+    fn bad_ranges_rejected() {
+        assert!(Schema::builder().numeric("a", AttributeKind::Observed, 1.0, 0.0).build().is_err());
+        assert!(Schema::builder()
+            .numeric("a", AttributeKind::Observed, f64::NAN, 1.0)
+            .build()
+            .is_err());
+        assert!(Schema::builder().integer("a", AttributeKind::Observed, 5, 4).build().is_err());
+    }
+
+    #[test]
+    fn non_categorical_code_lookup_fails() {
+        let s = sample();
+        assert!(matches!(
+            s.attribute(3).code_of("50"),
+            Err(StoreError::NotCategorical { .. })
+        ));
+    }
+}

@@ -1,0 +1,248 @@
+//! A plain-text schema descriptor format.
+//!
+//! CSV worker files carry values but not types; this sidecar format
+//! makes populations self-describing so the CLI (and any downstream
+//! tool) can audit arbitrary marketplaces, not just the paper's AMT
+//! schema. One attribute per line:
+//!
+//! ```text
+//! # fairjob schema v1
+//! gender       protected categorical Male,Female
+//! country      protected categorical America,India,Other
+//! year_of_birth protected integer 1950 2009
+//! language_test observed numeric 25 100
+//! ```
+//!
+//! Kinds: `protected` | `observed` | `metadata`. Categorical domains are
+//! comma-separated (values therefore must not contain commas — rejected
+//! on write); attribute names must not contain whitespace. Blank lines
+//! and `#` comments are ignored.
+
+use crate::schema::{AttributeKind, DataType, Schema};
+use crate::StoreError;
+
+/// Serialise a schema to descriptor text.
+///
+/// # Errors
+///
+/// [`StoreError::Csv`]-style errors (reported with pseudo line numbers)
+/// when a name contains whitespace or a categorical value contains a
+/// comma/newline, which the format cannot represent.
+pub fn to_text(schema: &Schema) -> Result<String, StoreError> {
+    let mut out = String::from("# fairjob schema v1\n");
+    for (line, attr) in schema.attributes().iter().enumerate() {
+        if attr.name.chars().any(char::is_whitespace) {
+            return Err(StoreError::Csv {
+                line: line + 2,
+                reason: format!("attribute name `{}` contains whitespace", attr.name),
+            });
+        }
+        let kind = match attr.kind {
+            AttributeKind::Protected => "protected",
+            AttributeKind::Observed => "observed",
+            AttributeKind::Metadata => "metadata",
+        };
+        match &attr.dtype {
+            DataType::Categorical { domain } => {
+                for value in domain {
+                    if value.contains(',') || value.contains('\n') {
+                        return Err(StoreError::Csv {
+                            line: line + 2,
+                            reason: format!(
+                                "categorical value `{value}` contains a comma or newline"
+                            ),
+                        });
+                    }
+                }
+                out.push_str(&format!(
+                    "{} {} categorical {}\n",
+                    attr.name,
+                    kind,
+                    domain.join(",")
+                ));
+            }
+            DataType::Numeric { min, max } => {
+                out.push_str(&format!("{} {} numeric {} {}\n", attr.name, kind, min, max));
+            }
+            DataType::Integer { min, max } => {
+                out.push_str(&format!("{} {} integer {} {}\n", attr.name, kind, min, max));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parse descriptor text back into a schema.
+///
+/// # Errors
+///
+/// [`StoreError::Csv`] with the offending 1-based line, or schema
+/// validation failures from [`crate::schema::SchemaBuilder::build`].
+pub fn from_text(text: &str) -> Result<Schema, StoreError> {
+    let mut builder = Schema::builder();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (Some(name), Some(kind_token), Some(type_token)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(StoreError::Csv {
+                line,
+                reason: "expected `<name> <kind> <type> ...`".into(),
+            });
+        };
+        let kind = match kind_token {
+            "protected" => AttributeKind::Protected,
+            "observed" => AttributeKind::Observed,
+            "metadata" => AttributeKind::Metadata,
+            other => {
+                return Err(StoreError::Csv {
+                    line,
+                    reason: format!("unknown kind `{other}` (protected | observed | metadata)"),
+                })
+            }
+        };
+        match type_token {
+            "categorical" => {
+                let Some(domain_token) = parts.next() else {
+                    return Err(StoreError::Csv {
+                        line,
+                        reason: "categorical needs a comma-separated domain".into(),
+                    });
+                };
+                if parts.next().is_some() {
+                    return Err(StoreError::Csv {
+                        line,
+                        reason: "unexpected trailing tokens".into(),
+                    });
+                }
+                let domain: Vec<&str> = domain_token.split(',').collect();
+                builder = builder.categorical(name, kind, &domain);
+            }
+            "numeric" | "integer" => {
+                let (Some(min_token), Some(max_token), None) =
+                    (parts.next(), parts.next(), parts.next())
+                else {
+                    return Err(StoreError::Csv {
+                        line,
+                        reason: format!("{type_token} needs exactly `<min> <max>`"),
+                    });
+                };
+                if type_token == "numeric" {
+                    let min: f64 = min_token.parse().map_err(|e| StoreError::Csv {
+                        line,
+                        reason: format!("bad min `{min_token}`: {e}"),
+                    })?;
+                    let max: f64 = max_token.parse().map_err(|e| StoreError::Csv {
+                        line,
+                        reason: format!("bad max `{max_token}`: {e}"),
+                    })?;
+                    builder = builder.numeric(name, kind, min, max);
+                } else {
+                    let min: i64 = min_token.parse().map_err(|e| StoreError::Csv {
+                        line,
+                        reason: format!("bad min `{min_token}`: {e}"),
+                    })?;
+                    let max: i64 = max_token.parse().map_err(|e| StoreError::Csv {
+                        line,
+                        reason: format!("bad max `{max_token}`: {e}"),
+                    })?;
+                    builder = builder.integer(name, kind, min, max);
+                }
+            }
+            other => {
+                return Err(StoreError::Csv {
+                    line,
+                    reason: format!("unknown type `{other}` (categorical | numeric | integer)"),
+                })
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::builder()
+            .categorical("gender", AttributeKind::Protected, &["Male", "Female"])
+            .integer("yob", AttributeKind::Protected, 1950, 2009)
+            .numeric("approval", AttributeKind::Observed, 25.0, 100.0)
+            .categorical("tag", AttributeKind::Metadata, &["a", "b"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let schema = sample();
+        let text = to_text(&schema).unwrap();
+        let back = from_text(&text).unwrap();
+        assert_eq!(schema, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# comment\n\n  \ngender protected categorical Male,Female\n";
+        let schema = from_text(text).unwrap();
+        assert_eq!(schema.width(), 1);
+        assert_eq!(schema.attribute(0).cardinality(), Some(2));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        for (text, line, fragment) in [
+            ("gender protected\n", 1, "expected"),
+            ("x sacred categorical a,b\n", 1, "unknown kind"),
+            ("x protected blob 1 2\n", 1, "unknown type"),
+            ("\nx protected categorical\n", 2, "domain"),
+            ("x protected numeric 1\n", 1, "exactly"),
+            ("x protected numeric a b\n", 1, "bad min"),
+            ("x protected integer 1 2 3\n", 1, "exactly"),
+            ("x protected categorical a,b extra\n", 1, "trailing"),
+        ] {
+            match from_text(text) {
+                Err(StoreError::Csv { line: got, reason }) => {
+                    assert_eq!(got, line, "{text:?}");
+                    assert!(reason.contains(fragment), "{text:?}: {reason}");
+                }
+                other => panic!("{text:?}: expected Csv error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn schema_validation_still_applies() {
+        // Duplicate attribute names flow through to SchemaBuilder::build.
+        let text = "x protected categorical a,b\nx observed numeric 0 1\n";
+        assert!(matches!(from_text(text), Err(StoreError::DuplicateAttribute { .. })));
+    }
+
+    #[test]
+    fn unrepresentable_schemas_rejected_on_write() {
+        let with_space = Schema::builder()
+            .categorical("has space", AttributeKind::Protected, &["a"])
+            .build()
+            .unwrap();
+        assert!(to_text(&with_space).is_err());
+        let with_comma = Schema::builder()
+            .categorical("x", AttributeKind::Protected, &["a,b"])
+            .build()
+            .unwrap();
+        assert!(to_text(&with_comma).is_err());
+    }
+
+    #[test]
+    fn amt_style_floats_roundtrip() {
+        let text = "score observed numeric 0.25 0.75\n";
+        let schema = from_text(text).unwrap();
+        let again = to_text(&schema).unwrap();
+        assert!(again.contains("0.25 0.75"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-column summary statistics (the `describe` surface used by the
+//! CLI and reports).
+
+use crate::column::Column;
+use crate::table::Table;
+
+/// Summary of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnSummary {
+    /// Numeric / integer column summary.
+    Numeric {
+        /// Smallest value present.
+        min: f64,
+        /// Largest value present.
+        max: f64,
+        /// Mean.
+        mean: f64,
+        /// Population standard deviation.
+        std: f64,
+    },
+    /// Categorical column summary: `(label, count)` per domain value in
+    /// domain order (zero counts included).
+    Categorical {
+        /// Per-label counts.
+        counts: Vec<(String, usize)>,
+    },
+    /// The table is empty.
+    Empty,
+}
+
+/// Summarise one column.
+pub fn summarise(table: &Table, attr: usize) -> ColumnSummary {
+    if table.is_empty() {
+        return ColumnSummary::Empty;
+    }
+    match table.column(attr) {
+        Column::Categorical(codes) => {
+            let def = table.schema().attribute(attr);
+            let cardinality = def.cardinality().expect("categorical has cardinality");
+            let mut counts = vec![0usize; cardinality];
+            for &c in codes {
+                counts[c as usize] += 1;
+            }
+            ColumnSummary::Categorical {
+                counts: counts
+                    .into_iter()
+                    .enumerate()
+                    .map(|(code, n)| {
+                        (def.label_of(code as u32).expect("valid code").to_string(), n)
+                    })
+                    .collect(),
+            }
+        }
+        Column::Numeric(values) => numeric_summary(values.iter().copied()),
+        Column::Integer(values) => numeric_summary(values.iter().map(|&v| v as f64)),
+    }
+}
+
+fn numeric_summary(values: impl Iterator<Item = f64> + Clone) -> ColumnSummary {
+    let mut n = 0usize;
+    let mut sum = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for v in values.clone() {
+        n += 1;
+        sum += v;
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if n == 0 {
+        return ColumnSummary::Empty;
+    }
+    let mean = sum / n as f64;
+    let var = values.map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+    ColumnSummary::Numeric { min, max, mean, std: var.sqrt() }
+}
+
+/// Render a full-table description: one block per attribute.
+pub fn describe(table: &Table) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{} rows, {} attributes\n", table.len(), table.schema().width()));
+    for (idx, attr) in table.schema().attributes().iter().enumerate() {
+        out.push_str(&format!("\n{} ({:?}, {}):\n", attr.name, attr.kind, attr.dtype.type_name()));
+        match summarise(table, idx) {
+            ColumnSummary::Numeric { min, max, mean, std } => {
+                out.push_str(&format!(
+                    "  min {min:.3}  max {max:.3}  mean {mean:.3}  std {std:.3}\n"
+                ));
+            }
+            ColumnSummary::Categorical { counts } => {
+                for (label, n) in counts {
+                    out.push_str(&format!("  {label:<20} {n}\n"));
+                }
+            }
+            ColumnSummary::Empty => out.push_str("  (empty)\n"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttributeKind, Schema};
+    use crate::table::Value;
+
+    fn table() -> Table {
+        let schema = Schema::builder()
+            .categorical("gender", AttributeKind::Protected, &["Male", "Female"])
+            .integer("yob", AttributeKind::Protected, 1950, 2009)
+            .numeric("approval", AttributeKind::Observed, 25.0, 100.0)
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        for (g, y, a) in [("Male", 1960, 50.0), ("Male", 1980, 70.0), ("Female", 2000, 90.0)] {
+            t.push_row(&[Value::cat(g), Value::int(y), Value::num(a)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn categorical_counts_include_zeros() {
+        let t = table();
+        match summarise(&t, 0) {
+            ColumnSummary::Categorical { counts } => {
+                assert_eq!(counts, vec![("Male".to_string(), 2), ("Female".to_string(), 1)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numeric_summary_values() {
+        let t = table();
+        match summarise(&t, 2) {
+            ColumnSummary::Numeric { min, max, mean, std } => {
+                assert_eq!(min, 50.0);
+                assert_eq!(max, 90.0);
+                assert!((mean - 70.0).abs() < 1e-12);
+                // Population std of {50,70,90} = sqrt(800/3).
+                assert!((std - (800.0f64 / 3.0).sqrt()).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integer_column_summarised_as_numeric() {
+        let t = table();
+        assert!(matches!(summarise(&t, 1), ColumnSummary::Numeric { .. }));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(table().schema().clone());
+        assert_eq!(summarise(&t, 0), ColumnSummary::Empty);
+    }
+
+    #[test]
+    fn describe_renders_all_attributes() {
+        let text = describe(&table());
+        assert!(text.contains("3 rows"));
+        assert!(text.contains("gender") && text.contains("yob") && text.contains("approval"));
+        assert!(text.contains("Male") && text.contains("mean"));
+    }
+}

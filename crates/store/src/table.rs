@@ -1,0 +1,399 @@
+//! The row-aligned, column-stored worker table.
+
+use crate::column::Column;
+use crate::schema::{DataType, Schema};
+use crate::StoreError;
+
+/// A value being inserted into (or read out of) a table row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Categorical value by label.
+    Cat(String),
+    /// Real value.
+    Num(f64),
+    /// Integer value.
+    Int(i64),
+}
+
+impl Value {
+    /// Shorthand for a categorical value.
+    pub fn cat(label: &str) -> Value {
+        Value::Cat(label.to_string())
+    }
+
+    /// Shorthand for a numeric value.
+    pub fn num(x: f64) -> Value {
+        Value::Num(x)
+    }
+
+    /// Shorthand for an integer value.
+    pub fn int(x: i64) -> Value {
+        Value::Int(x)
+    }
+}
+
+/// A table of workers: a [`Schema`] plus one [`Column`] per attribute.
+///
+/// Ingestion validates every value against the schema (domain membership,
+/// range containment), so downstream code can rely on codes being valid
+/// dictionary indexes and numerics being in range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    len: usize,
+}
+
+impl Table {
+    /// An empty table over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let columns = schema.attributes().iter().map(|a| Column::empty_for(&a.dtype)).collect();
+        Table { schema, columns, len: 0 }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The physical column for attribute `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// The physical column for a named attribute.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoSuchAttribute`].
+    pub fn column_by_name(&self, name: &str) -> Result<&Column, StoreError> {
+        Ok(&self.columns[self.schema.index_of(name)?])
+    }
+
+    /// Append one row. Values must match the schema positionally.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::RowArity`], [`StoreError::TypeMismatch`],
+    /// [`StoreError::UnknownCategory`] or [`StoreError::OutOfRange`].
+    /// On error the table is left unchanged.
+    pub fn push_row(&mut self, values: &[Value]) -> Result<(), StoreError> {
+        if values.len() != self.schema.width() {
+            return Err(StoreError::RowArity { expected: self.schema.width(), got: values.len() });
+        }
+        // Validate everything before mutating anything.
+        let mut staged: Vec<StagedValue> = Vec::with_capacity(values.len());
+        for (attr, value) in self.schema.attributes().iter().zip(values) {
+            let staged_value = match (&attr.dtype, value) {
+                (DataType::Categorical { .. }, Value::Cat(label)) => {
+                    StagedValue::Code(attr.code_of(label)?)
+                }
+                (DataType::Numeric { min, max }, Value::Num(x)) => {
+                    if !x.is_finite() || *x < *min || *x > *max {
+                        return Err(StoreError::OutOfRange {
+                            attribute: attr.name.clone(),
+                            value: x.to_string(),
+                        });
+                    }
+                    StagedValue::Num(*x)
+                }
+                (DataType::Integer { min, max }, Value::Int(x)) => {
+                    if x < min || x > max {
+                        return Err(StoreError::OutOfRange {
+                            attribute: attr.name.clone(),
+                            value: x.to_string(),
+                        });
+                    }
+                    StagedValue::Int(*x)
+                }
+                (dtype, _) => {
+                    return Err(StoreError::TypeMismatch {
+                        attribute: attr.name.clone(),
+                        expected: dtype.type_name(),
+                    })
+                }
+            };
+            staged.push(staged_value);
+        }
+        for (column, staged_value) in self.columns.iter_mut().zip(staged) {
+            match (column, staged_value) {
+                (Column::Categorical(v), StagedValue::Code(c)) => v.push(c),
+                (Column::Numeric(v), StagedValue::Num(x)) => v.push(x),
+                (Column::Integer(v), StagedValue::Int(x)) => v.push(x),
+                _ => unreachable!("staged values are type-checked above"),
+            }
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Read back row `row` as labelled [`Value`]s (for reports and CSV
+    /// export). Returns `None` when `row >= len()`.
+    pub fn row(&self, row: usize) -> Option<Vec<Value>> {
+        if row >= self.len {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.schema.width());
+        for (attr, column) in self.schema.attributes().iter().zip(&self.columns) {
+            out.push(match column {
+                Column::Categorical(v) => {
+                    Value::Cat(attr.label_of(v[row]).expect("validated on insert").to_string())
+                }
+                Column::Numeric(v) => Value::Num(v[row]),
+                Column::Integer(v) => Value::Int(v[row]),
+            });
+        }
+        Some(out)
+    }
+
+    /// Categorical code of attribute `attr_idx` at row `row`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotCategorical`].
+    ///
+    /// # Panics
+    ///
+    /// When `row` is out of bounds (internal callers always hold valid
+    /// row ids from a [`crate::RowSet`] of this table).
+    pub fn code_at(&self, attr_idx: usize, row: usize) -> Result<u32, StoreError> {
+        self.columns[attr_idx]
+            .as_categorical()
+            .map(|codes| codes[row])
+            .ok_or_else(|| StoreError::NotCategorical {
+                attribute: self.schema.attribute(attr_idx).name.clone(),
+            })
+    }
+
+    /// Observed-attribute value as `f64` at `row` — the accessor scoring
+    /// functions use.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotNumeric`] for categorical attributes.
+    pub fn f64_at(&self, attr_idx: usize, row: usize) -> Result<f64, StoreError> {
+        self.columns[attr_idx].value_as_f64(row).ok_or_else(|| StoreError::NotNumeric {
+            attribute: self.schema.attribute(attr_idx).name.clone(),
+        })
+    }
+
+    /// Overwrite the numeric value of attribute `attr_idx` at `row`
+    /// (used by simulations that evolve observed attributes, e.g.
+    /// approval rates rising after successful hires).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotNumeric`] for non-numeric columns and
+    /// [`StoreError::OutOfRange`] for values outside the attribute's
+    /// declared range (or any value on integer columns — evolve those
+    /// via a dedicated integer setter if ever needed).
+    pub fn set_f64(&mut self, attr_idx: usize, row: usize, value: f64) -> Result<(), StoreError> {
+        let attr = self.schema.attribute(attr_idx);
+        let name = attr.name.clone();
+        match (&attr.dtype, &mut self.columns[attr_idx]) {
+            (DataType::Numeric { min, max }, Column::Numeric(v)) => {
+                if !value.is_finite() || value < *min || value > *max {
+                    return Err(StoreError::OutOfRange { attribute: name, value: value.to_string() });
+                }
+                if row >= v.len() {
+                    return Err(StoreError::RowArity { expected: v.len(), got: row });
+                }
+                v[row] = value;
+                Ok(())
+            }
+            _ => Err(StoreError::NotNumeric { attribute: name }),
+        }
+    }
+
+    /// Append a new column (and its attribute definition) to the table.
+    /// Used by bucketisation to add derived categorical attributes. The
+    /// column must already contain exactly one value per existing row.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::RowArity`] when the column length differs from the
+    /// table length; [`StoreError::DuplicateAttribute`] when the name is
+    /// taken.
+    pub fn append_column(
+        &mut self,
+        def: crate::schema::AttributeDef,
+        column: Column,
+    ) -> Result<(), StoreError> {
+        if column.len() != self.len {
+            return Err(StoreError::RowArity { expected: self.len, got: column.len() });
+        }
+        if self.schema.index_of(&def.name).is_ok() {
+            return Err(StoreError::DuplicateAttribute { name: def.name });
+        }
+        // Rebuild the schema with the new attribute appended.
+        let mut builder = Schema::builder();
+        for a in self.schema.attributes() {
+            builder = builder.attribute(a.clone());
+        }
+        builder = builder.attribute(def);
+        self.schema = builder.build()?;
+        self.columns.push(column);
+        Ok(())
+    }
+}
+
+enum StagedValue {
+    Code(u32),
+    Num(f64),
+    Int(i64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttributeKind, Schema};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .categorical("gender", AttributeKind::Protected, &["Male", "Female"])
+            .integer("yob", AttributeKind::Protected, 1950, 2009)
+            .numeric("approval", AttributeKind::Observed, 25.0, 100.0)
+            .build()
+            .unwrap()
+    }
+
+    fn table_with_rows() -> Table {
+        let mut t = Table::new(schema());
+        t.push_row(&[Value::cat("Male"), Value::int(1980), Value::num(75.0)]).unwrap();
+        t.push_row(&[Value::cat("Female"), Value::int(1999), Value::num(90.0)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let t = table_with_rows();
+        assert_eq!(t.len(), 2);
+        let row = t.row(1).unwrap();
+        assert_eq!(row[0], Value::cat("Female"));
+        assert_eq!(row[1], Value::int(1999));
+        assert_eq!(row[2], Value::num(90.0));
+        assert!(t.row(2).is_none());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = Table::new(schema());
+        let err = t.push_row(&[Value::cat("Male")]).unwrap_err();
+        assert!(matches!(err, StoreError::RowArity { expected: 3, got: 1 }));
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn type_mismatch_checked() {
+        let mut t = Table::new(schema());
+        let err =
+            t.push_row(&[Value::num(1.0), Value::int(1980), Value::num(50.0)]).unwrap_err();
+        assert!(matches!(err, StoreError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_category_checked() {
+        let mut t = Table::new(schema());
+        let err =
+            t.push_row(&[Value::cat("Robot"), Value::int(1980), Value::num(50.0)]).unwrap_err();
+        assert!(matches!(err, StoreError::UnknownCategory { .. }));
+    }
+
+    #[test]
+    fn range_checked() {
+        let mut t = Table::new(schema());
+        let err =
+            t.push_row(&[Value::cat("Male"), Value::int(1900), Value::num(50.0)]).unwrap_err();
+        assert!(matches!(err, StoreError::OutOfRange { .. }));
+        let err =
+            t.push_row(&[Value::cat("Male"), Value::int(1980), Value::num(101.0)]).unwrap_err();
+        assert!(matches!(err, StoreError::OutOfRange { .. }));
+        let err = t
+            .push_row(&[Value::cat("Male"), Value::int(1980), Value::num(f64::NAN)])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::OutOfRange { .. }));
+        assert_eq!(t.len(), 0, "failed inserts must not mutate the table");
+    }
+
+    #[test]
+    fn failed_insert_leaves_columns_aligned() {
+        let mut t = table_with_rows();
+        // Fails on the *last* value; earlier columns must not grow.
+        let _ = t.push_row(&[Value::cat("Male"), Value::int(1980), Value::num(999.0)]);
+        assert_eq!(t.column(0).len(), 2);
+        assert_eq!(t.column(1).len(), 2);
+        assert_eq!(t.column(2).len(), 2);
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let t = table_with_rows();
+        assert_eq!(t.code_at(0, 0).unwrap(), 0);
+        assert_eq!(t.code_at(0, 1).unwrap(), 1);
+        assert!(matches!(t.code_at(2, 0), Err(StoreError::NotCategorical { .. })));
+        assert_eq!(t.f64_at(2, 0).unwrap(), 75.0);
+        assert_eq!(t.f64_at(1, 1).unwrap(), 1999.0);
+        assert!(matches!(t.f64_at(0, 0), Err(StoreError::NotNumeric { .. })));
+    }
+
+    #[test]
+    fn column_by_name() {
+        let t = table_with_rows();
+        assert!(t.column_by_name("approval").unwrap().as_numeric().is_some());
+        assert!(t.column_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn set_f64_mutates_with_validation() {
+        let mut t = table_with_rows();
+        t.set_f64(2, 0, 99.0).unwrap();
+        assert_eq!(t.f64_at(2, 0).unwrap(), 99.0);
+        assert!(matches!(t.set_f64(2, 0, 200.0), Err(StoreError::OutOfRange { .. })));
+        assert!(matches!(t.set_f64(2, 0, f64::NAN), Err(StoreError::OutOfRange { .. })));
+        assert!(matches!(t.set_f64(0, 0, 1.0), Err(StoreError::NotNumeric { .. })));
+        assert!(matches!(t.set_f64(1, 0, 1980.0), Err(StoreError::NotNumeric { .. })));
+        assert!(matches!(t.set_f64(2, 9, 50.0), Err(StoreError::RowArity { .. })));
+    }
+
+    #[test]
+    fn append_column_extends_schema() {
+        let mut t = table_with_rows();
+        let def = crate::schema::AttributeDef {
+            name: "age_band".into(),
+            kind: AttributeKind::Protected,
+            dtype: crate::schema::DataType::Categorical {
+                domain: vec!["young".into(), "old".into()],
+            },
+        };
+        t.append_column(def, Column::Categorical(vec![1, 0])).unwrap();
+        assert_eq!(t.schema().width(), 4);
+        assert_eq!(t.code_at(3, 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn append_column_validates() {
+        let mut t = table_with_rows();
+        let def = crate::schema::AttributeDef {
+            name: "x".into(),
+            kind: AttributeKind::Metadata,
+            dtype: crate::schema::DataType::Categorical { domain: vec!["a".into()] },
+        };
+        // Wrong length.
+        let err = t.append_column(def.clone(), Column::Categorical(vec![0])).unwrap_err();
+        assert!(matches!(err, StoreError::RowArity { .. }));
+        // Duplicate name.
+        let dup = crate::schema::AttributeDef { name: "gender".into(), ..def };
+        let err = t.append_column(dup, Column::Categorical(vec![0, 0])).unwrap_err();
+        assert!(matches!(err, StoreError::DuplicateAttribute { .. }));
+    }
+}

@@ -1,0 +1,48 @@
+//! The paper's qualitative experiment: audit the functions that are
+//! unfair *by design* (f6–f9) and check the audit recovers exactly the
+//! attributes each function discriminates on.
+//!
+//! ```text
+//! cargo run --release --example biased_functions
+//! ```
+
+use fairjob::core::algorithms::{balanced::Balanced, unbalanced::Unbalanced};
+use fairjob::core::algorithms::{Algorithm, AttributeChoice};
+use fairjob::core::{AuditConfig, AuditContext};
+use fairjob::marketplace::scoring::{RuleBasedScore, ScoringFunction};
+use fairjob::marketplace::{bucketise_numeric_protected, generate_uniform};
+
+fn main() {
+    let mut workers = generate_uniform(2000, 123);
+    bucketise_numeric_protected(&mut workers).expect("bucketise");
+
+    for function in RuleBasedScore::paper_biased_functions(77) {
+        let scores = function.score_all(&workers).expect("scores");
+        let ctx = AuditContext::new(&workers, &scores, AuditConfig::default()).expect("ctx");
+
+        println!("==================== {} ====================", function.name());
+        let balanced = Balanced::new(AttributeChoice::Worst).run(&ctx).expect("balanced");
+        // Show histograms only for the compact partitionings.
+        let show_hists = balanced.partitioning.len() <= 4;
+        println!("{}", balanced.render(&ctx, show_hists));
+
+        let unbalanced = Unbalanced::new(AttributeChoice::Worst).run(&ctx).expect("unbalanced");
+        println!(
+            "unbalanced found {:.3} with {} partitions on {:?}\n",
+            unbalanced.unfairness,
+            unbalanced.partitioning.len(),
+            unbalanced
+                .partitioning
+                .attributes_used()
+                .iter()
+                .map(|&a| workers.schema().attribute(a).name.clone())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    println!(
+        "Expectation (paper, Table 3): f6 partitions on gender alone with EMD ≈ 0.8;\n\
+         f7 on gender+country; these values are far above anything seen on the\n\
+         random functions f1–f5, which is what makes the audit useful."
+    );
+}

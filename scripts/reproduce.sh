@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper plus the extension
+# experiments, writing outputs under results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+for bin in figure1 table1 table2 table3 exhaustive_blowup ablations variance scaling repair_sweep; do
+    echo "== $bin =="
+    cargo run -q --release -p fairjob-bench --bin "$bin" | tee "results/$bin.txt"
+    echo
+done

@@ -1,0 +1,99 @@
+//! Figure 1 reproduction: the toy example's optimum partitioning is
+//! {Male-English, Male-Indian, Male-Other, Female}, and the search
+//! algorithms relate to it as expected.
+
+use fairjob::core::algorithms::exhaustive::{exhaustive_cells, ExhaustiveTree};
+use fairjob::core::algorithms::{
+    balanced::Balanced, beam::Beam, unbalanced::Unbalanced, Algorithm, AttributeChoice,
+};
+use fairjob::core::{AuditConfig, AuditContext};
+use fairjob::marketplace::toy::toy_workers;
+
+fn figure1_partition_count(result: &fairjob::core::AuditResult) -> (usize, usize) {
+    let mut whole = 0;
+    let mut split = 0;
+    for p in result.partitioning.partitions() {
+        match p.predicate.constraints().len() {
+            1 => whole += 1,
+            2 => split += 1,
+            _ => {}
+        }
+    }
+    (whole, split)
+}
+
+#[test]
+fn exhaustive_tree_finds_the_figure() {
+    let (t, scores) = toy_workers();
+    let ctx = AuditContext::new(&t, &scores, AuditConfig::default()).unwrap();
+    let result = ExhaustiveTree::new(10_000).run(&ctx).unwrap();
+    assert_eq!(result.partitioning.len(), 4);
+    assert_eq!(figure1_partition_count(&result), (1, 3));
+    // Hand-computable optimum: pairs (ME,MI)=.4 (ME,MO)=.8 (ME,F)=.9
+    // (MI,MO)=.4 (MI,F)=.5 (MO,F)=.1 -> avg 3.1/6.
+    assert!((result.unfairness - 3.1 / 6.0).abs() < 1e-9);
+}
+
+#[test]
+fn unbalanced_recovers_the_figure_greedily() {
+    let (t, scores) = toy_workers();
+    let ctx = AuditContext::new(&t, &scores, AuditConfig::default()).unwrap();
+    let exhaustive = ExhaustiveTree::new(10_000).run(&ctx).unwrap();
+    let unbalanced = Unbalanced::new(AttributeChoice::Worst).run(&ctx).unwrap();
+    assert!((unbalanced.unfairness - exhaustive.unfairness).abs() < 1e-9);
+    assert_eq!(figure1_partition_count(&unbalanced), (1, 3));
+}
+
+#[test]
+fn balanced_cannot_express_the_unbalanced_optimum() {
+    // balanced splits *all* partitions per round, so the figure's
+    // asymmetric tree is outside its space; it stops at the gender split.
+    let (t, scores) = toy_workers();
+    let ctx = AuditContext::new(&t, &scores, AuditConfig::default()).unwrap();
+    let balanced = Balanced::new(AttributeChoice::Worst).run(&ctx).unwrap();
+    assert_eq!(balanced.partitioning.len(), 2);
+    assert!((balanced.unfairness - 0.5).abs() < 1e-9);
+    let exhaustive = ExhaustiveTree::new(10_000).run(&ctx).unwrap();
+    assert!(balanced.unfairness < exhaustive.unfairness);
+}
+
+#[test]
+fn heuristics_never_beat_the_exhaustive_tree_search() {
+    let (t, scores) = toy_workers();
+    let ctx = AuditContext::new(&t, &scores, AuditConfig::default()).unwrap();
+    let best = ExhaustiveTree::new(10_000).run(&ctx).unwrap().unfairness;
+    let algorithms: Vec<Box<dyn Algorithm>> = vec![
+        Box::new(Balanced::new(AttributeChoice::Worst)),
+        Box::new(Balanced::new(AttributeChoice::Random { seed: 1 })),
+        Box::new(Unbalanced::new(AttributeChoice::Worst)),
+        Box::new(Unbalanced::new(AttributeChoice::Random { seed: 2 })),
+        Box::new(Beam::new(4)),
+    ];
+    for algo in algorithms {
+        let r = algo.run(&ctx).unwrap();
+        assert!(r.unfairness <= best + 1e-9, "{} beat exhaustive?", r.algorithm);
+    }
+}
+
+#[test]
+fn cell_space_superset_bound_holds() {
+    let (t, scores) = toy_workers();
+    let ctx = AuditContext::new(&t, &scores, AuditConfig::default()).unwrap();
+    let tree = ExhaustiveTree::new(10_000).run(&ctx).unwrap();
+    let cells = exhaustive_cells(&ctx, 1_000_000).unwrap();
+    assert!(cells.unfairness >= tree.unfairness - 1e-12);
+}
+
+#[test]
+fn more_bins_refine_but_preserve_the_figure() {
+    let (t, scores) = toy_workers();
+    for bins in [5, 10, 20, 50] {
+        let ctx = AuditContext::new(&t, &scores, AuditConfig::with_bins(bins)).unwrap();
+        let result = ExhaustiveTree::new(10_000).run(&ctx).unwrap();
+        assert_eq!(
+            figure1_partition_count(&result),
+            (1, 3),
+            "figure optimum should be stable at {bins} bins"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Cross-crate property tests: for random populations and scoring
+//! functions, the audit algorithms maintain the Definition 1 invariants
+//! and sit below the exhaustive optimum on small instances.
+
+use fairjob::core::algorithms::exhaustive::ExhaustiveTree;
+use fairjob::core::algorithms::{
+    balanced::Balanced, unbalanced::Unbalanced, Algorithm, AttributeChoice,
+};
+use fairjob::core::{AuditConfig, AuditContext};
+use fairjob::store::schema::{AttributeKind, Schema};
+use fairjob::store::table::{Table, Value};
+use proptest::prelude::*;
+
+/// A small random population over a 3-attribute protected schema plus
+/// per-row scores.
+fn small_population() -> impl Strategy<Value = (Table, Vec<f64>)> {
+    prop::collection::vec((0u32..2, 0u32..3, 0u32..2, 0.0f64..=1.0), 4..40).prop_map(|rows| {
+        let schema = Schema::builder()
+            .categorical("g", AttributeKind::Protected, &["a", "b"])
+            .categorical("c", AttributeKind::Protected, &["x", "y", "z"])
+            .categorical("l", AttributeKind::Protected, &["p", "q"])
+            .numeric("score", AttributeKind::Observed, 0.0, 1.0)
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        let mut scores = Vec::new();
+        for (g, c, l, s) in rows {
+            t.push_row(&[
+                Value::cat(["a", "b"][g as usize]),
+                Value::cat(["x", "y", "z"][c as usize]),
+                Value::cat(["p", "q"][l as usize]),
+                Value::num(s),
+            ])
+            .unwrap();
+            scores.push(s);
+        }
+        (t, scores)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn algorithms_always_produce_disjoint_covers((t, scores) in small_population()) {
+        let ctx = AuditContext::new(&t, &scores, AuditConfig::default()).unwrap();
+        for algo in [
+            &Balanced::new(AttributeChoice::Worst) as &dyn Algorithm,
+            &Balanced::new(AttributeChoice::Random { seed: 9 }),
+            &Unbalanced::new(AttributeChoice::Worst),
+            &Unbalanced::new(AttributeChoice::Random { seed: 10 }),
+        ] {
+            let result = algo.run(&ctx).unwrap();
+            prop_assert!(result.partitioning.validate(t.len()).is_ok());
+            prop_assert!(result.unfairness.is_finite() && result.unfairness >= 0.0);
+        }
+    }
+
+    #[test]
+    fn heuristics_bounded_by_exhaustive((t, scores) in small_population()) {
+        let ctx = AuditContext::new(&t, &scores, AuditConfig::default()).unwrap();
+        let best = ExhaustiveTree::new(2_000_000).run(&ctx).unwrap().unfairness;
+        for algo in [
+            &Balanced::new(AttributeChoice::Worst) as &dyn Algorithm,
+            &Unbalanced::new(AttributeChoice::Worst),
+        ] {
+            let r = algo.run(&ctx).unwrap();
+            prop_assert!(
+                r.unfairness <= best + 1e-9,
+                "{} found {} above exhaustive {}", r.algorithm, r.unfairness, best
+            );
+        }
+    }
+
+    #[test]
+    fn unfairness_is_bounded_by_max_bin_distance((t, scores) in small_population()) {
+        // With 10 bins over [0,1] the largest possible EMD is 0.9.
+        let ctx = AuditContext::new(&t, &scores, AuditConfig::default()).unwrap();
+        let r = Balanced::new(AttributeChoice::Worst).run(&ctx).unwrap();
+        prop_assert!(r.unfairness <= 0.9 + 1e-12);
+    }
+
+    #[test]
+    fn repair_preserves_bounds_order_and_identity((t, scores) in small_population()) {
+        use fairjob::repair::{repair_scores, RepairConfig, RepairTarget};
+        use fairjob::store::RowSet;
+        let ctx = AuditContext::new(&t, &scores, AuditConfig::default()).unwrap();
+        let audit = Balanced::new(AttributeChoice::Worst).run(&ctx).unwrap();
+        let groups: Vec<RowSet> =
+            audit.partitioning.partitions().iter().map(|p| p.rows.clone()).collect();
+        // λ = 0 is the identity.
+        let zero = repair_scores(&scores, &groups,
+            &RepairConfig { lambda: 0.0, target: RepairTarget::Median }).unwrap();
+        prop_assert_eq!(&zero, &scores);
+        for lambda in [0.5, 1.0] {
+            for target in [RepairTarget::Median, RepairTarget::Pooled] {
+                let repaired =
+                    repair_scores(&scores, &groups, &RepairConfig { lambda, target }).unwrap();
+                // Repaired scores stay inside the original score range
+                // (targets are interpolations of original scores, and
+                // partial repair is a convex combination).
+                let lo = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                for &r in &repaired {
+                    prop_assert!(r >= lo - 1e-12 && r <= hi + 1e-12);
+                }
+                // Within-group score order is preserved.
+                for g in &groups {
+                    let members: Vec<usize> = g.iter().collect();
+                    for i in 0..members.len() {
+                        for j in 0..members.len() {
+                            if scores[members[i]] < scores[members[j]] {
+                                prop_assert!(
+                                    repaired[members[i]] <= repaired[members[j]] + 1e-12,
+                                    "order broken within a group"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Fast versions of the paper's qualitative claims (the full-scale
+//! regenerations live in `fairjob-bench`'s binaries):
+//!
+//! 1. Single-observed-attribute functions (f4, f5) look more unfair than
+//!    blended ones (Tables 1–2).
+//! 2. Larger populations look less unfair (Table 1 vs Table 2).
+//! 3. Biased-by-design functions dominate random ones, and `balanced`
+//!    recovers the designed attributes (Table 3).
+//! 4. `balanced` is the slowest algorithm (runtime columns).
+
+use fairjob::core::algorithms::{
+    all_attributes::AllAttributes, balanced::Balanced, unbalanced::Unbalanced, Algorithm,
+    AttributeChoice,
+};
+use fairjob::core::{AuditConfig, AuditContext};
+use fairjob::marketplace::scoring::{LinearScore, RuleBasedScore, ScoringFunction};
+use fairjob::marketplace::{bucketise_numeric_protected, generate_uniform};
+
+fn population(n: usize, seed: u64) -> fairjob::store::Table {
+    let mut workers = generate_uniform(n, seed);
+    bucketise_numeric_protected(&mut workers).unwrap();
+    workers
+}
+
+fn audit(workers: &fairjob::store::Table, f: &dyn ScoringFunction) -> fairjob::core::AuditResult {
+    let scores = f.score_all(workers).unwrap();
+    let ctx = AuditContext::new(workers, &scores, AuditConfig::default()).unwrap();
+    Balanced::new(AttributeChoice::Worst).run(&ctx).unwrap()
+}
+
+#[test]
+fn single_attribute_functions_look_most_unfair() {
+    let workers = population(500, 0xEDB7_2019);
+    let f1 = audit(&workers, &LinearScore::alpha("f1", 0.5)).unfairness;
+    let f4 = audit(&workers, &LinearScore::alpha("f4", 1.0)).unfairness;
+    let f5 = audit(&workers, &LinearScore::alpha("f5", 0.0)).unfairness;
+    assert!(f4 > f1, "f4 {f4} should exceed f1 {f1}");
+    assert!(f5 > f1, "f5 {f5} should exceed f1 {f1}");
+}
+
+#[test]
+fn larger_populations_look_less_unfair() {
+    let small = population(250, 3);
+    let large = population(2500, 3);
+    let f = LinearScore::alpha("f1", 0.5);
+    let u_small = audit(&small, &f).unfairness;
+    let u_large = audit(&large, &f).unfairness;
+    assert!(
+        u_small > u_large,
+        "noise-driven unfairness shrinks with population: {u_small} vs {u_large}"
+    );
+}
+
+#[test]
+fn biased_functions_dominate_and_are_localised() {
+    let workers = population(2000, 0xF00D);
+    let random = audit(&workers, &LinearScore::alpha("f1", 0.5));
+    let f6 = audit(&workers, &RuleBasedScore::f6(1));
+    let f7 = audit(&workers, &RuleBasedScore::f7(2));
+    assert!(f6.unfairness > 2.0 * random.unfairness);
+    assert!(f7.unfairness > random.unfairness);
+    // f6 splits on gender alone; f7 on gender and country.
+    let names = |r: &fairjob::core::AuditResult| {
+        r.partitioning
+            .attributes_used()
+            .iter()
+            .map(|&a| workers.schema().attribute(a).name.clone())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(names(&f6), vec!["gender"]);
+    let f7_names = names(&f7);
+    assert!(f7_names.contains(&"gender".to_string()) && f7_names.contains(&"country".to_string()));
+    assert_eq!(f7_names.len(), 2, "f7 should not split beyond gender and country: {f7_names:?}");
+}
+
+#[test]
+fn balanced_is_the_slowest_heuristic() {
+    let workers = population(1500, 5);
+    let scores = LinearScore::alpha("f1", 0.5).score_all(&workers).unwrap();
+    let ctx = AuditContext::new(&workers, &scores, AuditConfig::default()).unwrap();
+    let balanced = Balanced::new(AttributeChoice::Worst).run(&ctx).unwrap();
+    let unbalanced = Unbalanced::new(AttributeChoice::Worst).run(&ctx).unwrap();
+    let all_attrs = AllAttributes.run(&ctx).unwrap();
+    assert!(
+        balanced.elapsed > unbalanced.elapsed,
+        "balanced {:?} should out-slow unbalanced {:?}",
+        balanced.elapsed,
+        unbalanced.elapsed
+    );
+    assert!(
+        balanced.candidates_evaluated > all_attrs.candidates_evaluated,
+        "balanced evaluates many candidate partitionings"
+    );
+}
+
+#[test]
+fn unbalanced_cross_stopping_oversplits_on_f6() {
+    // The paper's Table 3 anomaly (unbalanced = 0.040 on f6, far below
+    // balanced's 0.800) reproduces under the cross-pair reading of the
+    // stopping rule: the algorithm keeps splitting inside each gender.
+    let workers = population(1500, 7);
+    let scores = RuleBasedScore::f6(3).score_all(&workers).unwrap();
+    let ctx = AuditContext::new(&workers, &scores, AuditConfig::default()).unwrap();
+    let literal = Unbalanced::new(AttributeChoice::Worst).run(&ctx).unwrap();
+    let cross = Unbalanced::new(AttributeChoice::Worst).with_cross_stopping().run(&ctx).unwrap();
+    assert!((literal.unfairness - 0.8).abs() < 0.05, "union reading stops at gender");
+    assert!(
+        cross.unfairness < 0.2 && cross.partitioning.len() > 10,
+        "cross reading over-splits: {} with {} partitions",
+        cross.unfairness,
+        cross.partitioning.len()
+    );
+}
+
+#[test]
+fn five_algorithm_sweep_matches_paper_row_order() {
+    use fairjob::core::algorithms::paper_algorithms;
+    let names: Vec<String> = paper_algorithms(1).iter().map(|a| a.name()).collect();
+    assert_eq!(
+        names,
+        vec!["unbalanced", "r-unbalanced", "balanced", "r-balanced", "all-attributes"]
+    );
+}
