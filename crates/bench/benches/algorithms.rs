@@ -16,14 +16,25 @@ fn bench_algorithms(c: &mut Criterion) {
     group.sample_size(10);
     for n in [500usize, 7300] {
         let workers = prepare_population(n, 0xEDB7_2019);
-        let scores = LinearScore::alpha("f1", 0.5).score_all(&workers).expect("scores");
+        let scores = LinearScore::alpha("f1", 0.5)
+            .score_all(&workers)
+            .expect("scores");
         let ctx =
             AuditContext::new(&workers, &scores, AuditConfig::default()).expect("audit context");
         let algos: Vec<(&str, Box<dyn Algorithm>)> = vec![
-            ("unbalanced", Box::new(Unbalanced::new(AttributeChoice::Worst))),
-            ("r-unbalanced", Box::new(Unbalanced::new(AttributeChoice::Random { seed: 5 }))),
+            (
+                "unbalanced",
+                Box::new(Unbalanced::new(AttributeChoice::Worst)),
+            ),
+            (
+                "r-unbalanced",
+                Box::new(Unbalanced::new(AttributeChoice::Random { seed: 5 })),
+            ),
             ("balanced", Box::new(Balanced::new(AttributeChoice::Worst))),
-            ("r-balanced", Box::new(Balanced::new(AttributeChoice::Random { seed: 6 }))),
+            (
+                "r-balanced",
+                Box::new(Balanced::new(AttributeChoice::Random { seed: 6 })),
+            ),
             ("all-attributes", Box::new(AllAttributes)),
         ];
         for (name, algo) in algos {
@@ -39,7 +50,9 @@ fn bench_unfairness_eval(c: &mut Criterion) {
     // Cost of evaluating unfairness(P, f) on the full partitioning — the
     // inner kernel that dominates the table runtimes.
     let workers = prepare_population(7300, 0xEDB7_2019);
-    let scores = LinearScore::alpha("f1", 0.5).score_all(&workers).expect("scores");
+    let scores = LinearScore::alpha("f1", 0.5)
+        .score_all(&workers)
+        .expect("scores");
     let ctx = AuditContext::new(&workers, &scores, AuditConfig::default()).expect("ctx");
     let full = AllAttributes.run(&ctx).expect("full partitioning");
     let parts = full.partitioning.partitions().to_vec();

@@ -27,12 +27,16 @@ fn bench_emd_solvers(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("flow", bins), &bins, |bench, _| {
             bench.iter(|| {
-                solve_emd(black_box(&a), black_box(&b), &ground, Solver::Flow).unwrap().cost
+                solve_emd(black_box(&a), black_box(&b), &ground, Solver::Flow)
+                    .unwrap()
+                    .cost
             })
         });
         group.bench_with_input(BenchmarkId::new("simplex", bins), &bins, |bench, _| {
             bench.iter(|| {
-                solve_emd(black_box(&a), black_box(&b), &ground, Solver::Simplex).unwrap().cost
+                solve_emd(black_box(&a), black_box(&b), &ground, Solver::Simplex)
+                    .unwrap()
+                    .cost
             })
         });
     }

@@ -18,9 +18,7 @@ fn bench_split_paths(c: &mut Criterion) {
     group.bench_function("group_by_scan", |b| {
         b.iter(|| group_by(black_box(&table), black_box(&all), ethnicity).unwrap())
     });
-    group.bench_function("index_split", |b| {
-        b.iter(|| index.split(black_box(&all)))
-    });
+    group.bench_function("index_split", |b| b.iter(|| index.split(black_box(&all))));
     group.bench_function("index_build", |b| {
         b.iter(|| CategoricalIndex::build(black_box(&table), ethnicity).unwrap())
     });
@@ -55,7 +53,13 @@ fn bench_rowset_vs_bitmap(c: &mut Criterion) {
     for density_pct in [1usize, 10, 50] {
         let step = 100 / density_pct;
         let a = RowSet::from_rows((0..universe as u32).step_by(step).collect());
-        let b = RowSet::from_rows((0..universe as u32).skip(1).step_by(step).chain(a.rows().iter().copied().take(a.len() / 2)).collect());
+        let b = RowSet::from_rows(
+            (0..universe as u32)
+                .skip(1)
+                .step_by(step)
+                .chain(a.rows().iter().copied().take(a.len() / 2))
+                .collect(),
+        );
         let ba = Bitmap::from_rowset(&a, universe);
         let bb = Bitmap::from_rowset(&b, universe);
         group.bench_with_input(

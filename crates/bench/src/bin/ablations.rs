@@ -34,8 +34,12 @@ use std::time::Instant;
 
 fn main() {
     let workers = prepare_population(500, 0xEDB7_2019);
-    let f1_scores = LinearScore::alpha("f1", 0.5).score_all(&workers).expect("scores");
-    let f6_scores = RuleBasedScore::f6(0xF00D).score_all(&workers).expect("scores");
+    let f1_scores = LinearScore::alpha("f1", 0.5)
+        .score_all(&workers)
+        .expect("scores");
+    let f6_scores = RuleBasedScore::f6(0xF00D)
+        .score_all(&workers)
+        .expect("scores");
 
     // 1. Bin-count sweep.
     println!("=== Ablation 1: histogram bin count (balanced, f1 and f6, 500 workers) ===\n");
@@ -43,14 +47,23 @@ fn main() {
     for bins in [5, 10, 20, 50, 100] {
         let mut row = vec![bins.to_string()];
         for scores in [&f1_scores, &f6_scores] {
-            let ctx = AuditContext::new(&workers, scores, AuditConfig::with_bins(bins))
-                .expect("ctx");
-            let r = Balanced::new(AttributeChoice::Worst).run(&ctx).expect("balanced");
-            row.push(format!("{:.3} ({} parts)", r.unfairness, r.partitioning.len()));
+            let ctx =
+                AuditContext::new(&workers, scores, AuditConfig::with_bins(bins)).expect("ctx");
+            let r = Balanced::new(AttributeChoice::Worst)
+                .run(&ctx)
+                .expect("balanced");
+            row.push(format!(
+                "{:.3} ({} parts)",
+                r.unfairness,
+                r.partitioning.len()
+            ));
         }
         rows.push(row);
     }
-    println!("{}", render_table(&["bins", "f1 (random)", "f6 (biased)"], &rows));
+    println!(
+        "{}",
+        render_table(&["bins", "f1 (random)", "f6 (biased)"], &rows)
+    );
 
     // 2. Metric sweep.
     println!("=== Ablation 2: distance metric (balanced, 500 workers) ===\n");
@@ -61,7 +74,9 @@ fn main() {
         for scores in [&f1_scores, &f6_scores] {
             let cfg = AuditConfig::with_distance(Arc::from(dist_clone(&*dist)));
             let ctx = AuditContext::new(&workers, scores, cfg).expect("ctx");
-            let r = Balanced::new(AttributeChoice::Worst).run(&ctx).expect("balanced");
+            let r = Balanced::new(AttributeChoice::Worst)
+                .run(&ctx)
+                .expect("balanced");
             let attrs: Vec<String> = r
                 .partitioning
                 .attributes_used()
@@ -72,16 +87,28 @@ fn main() {
         }
         rows.push(row);
     }
-    println!("{}", render_table(&["metric", "f1 (random)", "f6 (biased)"], &rows));
+    println!(
+        "{}",
+        render_table(&["metric", "f1 (random)", "f6 (biased)"], &rows)
+    );
 
     // 3. unbalanced ambiguity variants.
     println!("=== Ablation 3: unbalanced pseudocode ambiguities (f6, 500 workers) ===\n");
     let ctx = AuditContext::new(&workers, &f6_scores, AuditConfig::default()).expect("ctx");
     let mut rows = Vec::new();
     let variants: [(&str, Unbalanced); 4] = [
-        ("literal (union stop, local siblings)", Unbalanced::new(AttributeChoice::Worst)),
-        ("cross-pair stopping", Unbalanced::new(AttributeChoice::Worst).with_cross_stopping()),
-        ("ancestor siblings", Unbalanced::new(AttributeChoice::Worst).with_ancestor_siblings()),
+        (
+            "literal (union stop, local siblings)",
+            Unbalanced::new(AttributeChoice::Worst),
+        ),
+        (
+            "cross-pair stopping",
+            Unbalanced::new(AttributeChoice::Worst).with_cross_stopping(),
+        ),
+        (
+            "ancestor siblings",
+            Unbalanced::new(AttributeChoice::Worst).with_ancestor_siblings(),
+        ),
         (
             "cross + ancestors",
             Unbalanced::new(AttributeChoice::Worst)
@@ -97,7 +124,10 @@ fn main() {
             r.partitioning.len().to_string(),
         ]);
     }
-    println!("{}", render_table(&["variant", "unfairness", "partitions"], &rows));
+    println!(
+        "{}",
+        render_table(&["variant", "unfairness", "partitions"], &rows)
+    );
 
     // 4. Beam width.
     println!("=== Ablation 4: beam width (f1, 500 workers) ===\n");
@@ -112,14 +142,19 @@ fn main() {
             r.candidates_evaluated.to_string(),
         ]);
     }
-    let balanced = Balanced::new(AttributeChoice::Worst).run(&ctx).expect("balanced");
+    let balanced = Balanced::new(AttributeChoice::Worst)
+        .run(&ctx)
+        .expect("balanced");
     rows.push(vec![
         "balanced (greedy)".into(),
         format!("{:.4}", balanced.unfairness),
         format!("{:.2?}", balanced.elapsed),
         balanced.candidates_evaluated.to_string(),
     ]);
-    println!("{}", render_table(&["beam width", "unfairness", "time", "candidates"], &rows));
+    println!(
+        "{}",
+        render_table(&["beam width", "unfairness", "time", "candidates"], &rows)
+    );
 
     // 5. Parallel pairwise EMD.
     println!("=== Ablation 5: parallel pairwise EMD (1800-cell full partitioning scale) ===\n");
@@ -127,7 +162,10 @@ fn main() {
     let hists: Vec<Histogram> = (0..1200)
         .map(|i| {
             let base = (i % 97) as f64 / 97.0;
-            Histogram::from_values(spec.clone(), [base, (base + 0.31) % 1.0, (base + 0.62) % 1.0])
+            Histogram::from_values(
+                spec.clone(),
+                [base, (base + 0.31) % 1.0, (base + 0.62) % 1.0],
+            )
         })
         .collect();
     let refs: Vec<&Histogram> = hists.iter().collect();
@@ -136,11 +174,19 @@ fn main() {
     let t0 = Instant::now();
     let serial = average_pairwise(&refs, &dist).expect("serial");
     let serial_time = t0.elapsed();
-    rows.push(vec!["serial".into(), format!("{serial:.6}"), format!("{serial_time:.2?}")]);
+    rows.push(vec![
+        "serial".into(),
+        format!("{serial:.6}"),
+        format!("{serial_time:.2?}"),
+    ]);
     for threads in [2, 4, 8] {
         let t = Instant::now();
         let par = average_pairwise_parallel(&refs, &dist, threads).expect("parallel");
-        rows.push(vec![format!("{threads} threads"), format!("{par:.6}"), format!("{:.2?}", t.elapsed())]);
+        rows.push(vec![
+            format!("{threads} threads"),
+            format!("{par:.6}"),
+            format!("{:.2?}", t.elapsed()),
+        ]);
     }
     println!("{}", render_table(&["mode", "avg EMD", "time"], &rows));
 
@@ -150,19 +196,36 @@ fn main() {
     let biased_scores: Vec<(&str, &Vec<f64>)> = vec![("f1", &f1_scores), ("f6", &f6_scores)];
     for (name, scores) in biased_scores {
         let ctx = AuditContext::new(&workers, scores, AuditConfig::default()).expect("ctx");
-        let greedy = Balanced::new(AttributeChoice::Worst).run(&ctx).expect("balanced");
-        let exact =
-            fairjob_core::algorithms::subsets::SubsetExact::default().run(&ctx).expect("subsets");
+        let greedy = Balanced::new(AttributeChoice::Worst)
+            .run(&ctx)
+            .expect("balanced");
+        let exact = fairjob_core::algorithms::subsets::SubsetExact::default()
+            .run(&ctx)
+            .expect("subsets");
         rows.push(vec![
             name.to_string(),
-            format!("{:.4} ({} evals, {:.2?})", greedy.unfairness, greedy.candidates_evaluated, greedy.elapsed),
-            format!("{:.4} ({} evals, {:.2?})", exact.unfairness, exact.candidates_evaluated, exact.elapsed),
+            format!(
+                "{:.4} ({} evals, {:.2?})",
+                greedy.unfairness, greedy.candidates_evaluated, greedy.elapsed
+            ),
+            format!(
+                "{:.4} ({} evals, {:.2?})",
+                exact.unfairness, exact.candidates_evaluated, exact.elapsed
+            ),
             format!("{:.4}", exact.unfairness - greedy.unfairness),
         ]);
     }
     println!(
         "{}",
-        render_table(&["function", "greedy balanced", "subset-exact (63 subsets)", "gap"], &rows)
+        render_table(
+            &[
+                "function",
+                "greedy balanced",
+                "subset-exact (63 subsets)",
+                "gap"
+            ],
+            &rows
+        )
     );
 
     // 7. Incremental vs batch pairwise averaging (replace-one workload).
@@ -194,8 +257,12 @@ fn main() {
     let mut inc_last = 0.0;
     for k in 0..100 {
         averager.remove(k).expect("remove");
-        let a = averager.insert(base[(k + 1) % 400].clone()).expect("insert");
-        let b = averager.insert(base[(k + 2) % 400].clone()).expect("insert");
+        let a = averager
+            .insert(base[(k + 1) % 400].clone())
+            .expect("insert");
+        let b = averager
+            .insert(base[(k + 2) % 400].clone())
+            .expect("insert");
         inc_last = averager.average();
         // Undo so each step is a fresh replace-one probe.
         averager.remove(a).expect("remove");
@@ -206,10 +273,22 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["mode", "time (100 replace-one probes, 400 hists)", "last value"],
             &[
-                vec!["batch recompute".into(), format!("{batch_time:.2?}"), format!("{batch_last:.6}")],
-                vec!["incremental".into(), format!("{inc_time:.2?}"), format!("{inc_last:.6}")],
+                "mode",
+                "time (100 replace-one probes, 400 hists)",
+                "last value"
+            ],
+            &[
+                vec![
+                    "batch recompute".into(),
+                    format!("{batch_time:.2?}"),
+                    format!("{batch_last:.6}")
+                ],
+                vec![
+                    "incremental".into(),
+                    format!("{inc_time:.2?}"),
+                    format!("{inc_last:.6}")
+                ],
             ]
         )
     );

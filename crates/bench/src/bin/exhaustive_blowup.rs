@@ -21,14 +21,26 @@ use std::time::Instant;
 
 fn main() {
     let workers = prepare_population(500, 0xEDB7_2019);
-    let scores = LinearScore::alpha("f1", 0.5).score_all(&workers).expect("scores");
+    let scores = LinearScore::alpha("f1", 0.5)
+        .score_all(&workers)
+        .expect("scores");
     const CAP: u128 = 1_000_000_000_000_000;
 
-    let attr_names = ["gender", "country", "language", "ethnicity", "yob_band", "experience_band"];
+    let attr_names = [
+        "gender",
+        "country",
+        "language",
+        "ethnicity",
+        "yob_band",
+        "experience_band",
+    ];
     let mut rows = Vec::new();
     for k in 1..=attr_names.len() {
         let selection: Vec<String> = attr_names[..k].iter().map(|s| s.to_string()).collect();
-        let cfg = AuditConfig { attributes: Some(selection.clone()), ..Default::default() };
+        let cfg = AuditConfig {
+            attributes: Some(selection.clone()),
+            ..Default::default()
+        };
         let ctx = AuditContext::new(&workers, &scores, cfg).expect("ctx");
 
         let t0 = Instant::now();
@@ -49,7 +61,11 @@ fn main() {
         rows.push(vec![
             k.to_string(),
             attr_names[..k].join(","),
-            if count >= CAP { format!(">= {CAP}") } else { count.to_string() },
+            if count >= CAP {
+                format!(">= {CAP}")
+            } else {
+                count.to_string()
+            },
             format!("{count_time:.2?}"),
             outcome,
         ]);
@@ -62,7 +78,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["#attrs", "attributes", "split-tree partitionings", "count time", "budgeted search"],
+            &[
+                "#attrs",
+                "attributes",
+                "split-tree partitionings",
+                "count time",
+                "budgeted search"
+            ],
             &rows
         )
     );

@@ -28,7 +28,9 @@ fn main() {
     }
 
     println!("\n--- exhaustive search over attribute-split trees ---");
-    let tree = ExhaustiveTree::new(100_000).run(&ctx).expect("toy search is tiny");
+    let tree = ExhaustiveTree::new(100_000)
+        .run(&ctx)
+        .expect("toy search is tiny");
     println!("{}", tree.render(&ctx, true));
 
     println!("--- exhaustive search over cell set-partitions (Bell space) ---");
@@ -42,8 +44,12 @@ fn main() {
 
     println!("\n--- heuristics on the same data ---");
     for result in [
-        Balanced::new(AttributeChoice::Worst).run(&ctx).expect("balanced completes"),
-        Unbalanced::new(AttributeChoice::Worst).run(&ctx).expect("unbalanced completes"),
+        Balanced::new(AttributeChoice::Worst)
+            .run(&ctx)
+            .expect("balanced completes"),
+        Unbalanced::new(AttributeChoice::Worst)
+            .run(&ctx)
+            .expect("unbalanced completes"),
     ] {
         println!("{}", result.render(&ctx, false));
     }

@@ -38,33 +38,51 @@ fn main() {
     };
     let noise_ctx =
         AuditContext::new(&workers, &noise_scores, AuditConfig::default()).expect("ctx");
-    let noise_floor =
-        Balanced::new(AttributeChoice::Worst).run(&noise_ctx).expect("balanced").unfairness;
+    let noise_floor = Balanced::new(AttributeChoice::Worst)
+        .run(&noise_ctx)
+        .expect("balanced")
+        .unfairness;
 
     let lambdas = [0.0, 0.25, 0.5, 0.75, 1.0];
     let mut rows = Vec::new();
-    for function in RuleBasedScore::paper_biased_functions(0xF00D).iter().take(3) {
+    for function in RuleBasedScore::paper_biased_functions(0xF00D)
+        .iter()
+        .take(3)
+    {
         let scores = function.score_all(&workers).expect("scores");
         let ctx = AuditContext::new(&workers, &scores, AuditConfig::default()).expect("ctx");
-        let audit = Balanced::new(AttributeChoice::Worst).run(&ctx).expect("balanced");
-        let groups: Vec<RowSet> =
-            audit.partitioning.partitions().iter().map(|p| p.rows.clone()).collect();
+        let audit = Balanced::new(AttributeChoice::Worst)
+            .run(&ctx)
+            .expect("balanced");
+        let groups: Vec<RowSet> = audit
+            .partitioning
+            .partitions()
+            .iter()
+            .map(|p| p.rows.clone())
+            .collect();
 
         let mut audited_row = vec![format!("{} audited", function.name())];
         let mut fresh_row = vec![format!("{} re-audit", function.name())];
         for lambda in lambdas {
-            let cfg = RepairConfig { lambda, target: RepairTarget::Median };
+            let cfg = RepairConfig {
+                lambda,
+                target: RepairTarget::Median,
+            };
             let repaired = repair_scores(&scores, &groups, &cfg).expect("repair");
-            let rctx =
-                AuditContext::new(&workers, &repaired, AuditConfig::default()).expect("ctx");
+            let rctx = AuditContext::new(&workers, &repaired, AuditConfig::default()).expect("ctx");
             // (a) The audited partitioning under repaired scores.
             let parts: Vec<_> = groups
                 .iter()
                 .map(|g| rctx.partition(fairjob_store::Predicate::always(), g.clone()))
                 .collect();
-            audited_row.push(format!("{:.3}", rctx.unfairness(&parts).expect("unfairness")));
+            audited_row.push(format!(
+                "{:.3}",
+                rctx.unfairness(&parts).expect("unfairness")
+            ));
             // (b) A fresh search over the repaired scores.
-            let re = Balanced::new(AttributeChoice::Worst).run(&rctx).expect("balanced");
+            let re = Balanced::new(AttributeChoice::Worst)
+                .run(&rctx)
+                .expect("balanced");
             fresh_row.push(format!("{:.3}", re.unfairness));
         }
         rows.push(audited_row);
@@ -72,7 +90,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["function / view", "λ=0", "λ=0.25", "λ=0.5", "λ=0.75", "λ=1"], &rows)
+        render_table(
+            &["function / view", "λ=0", "λ=0.25", "λ=0.5", "λ=0.75", "λ=1"],
+            &rows
+        )
     );
     println!("noise floor (fresh balanced audit on uniform random scores): {noise_floor:.3}");
     println!("expectation: the audited view decreases to ~0 with λ; the re-audit view decreases");

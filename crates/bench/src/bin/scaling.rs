@@ -16,9 +16,14 @@ use fairjob_core::{AuditConfig, AuditContext};
 use fairjob_marketplace::scoring::{LinearScore, ScoringFunction};
 
 fn main() {
-    let max_n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(30_000);
-    let sizes: Vec<usize> =
-        [500usize, 2000, 7300, 30_000].into_iter().filter(|&n| n <= max_n).collect();
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30_000);
+    let sizes: Vec<usize> = [500usize, 2000, 7300, 30_000]
+        .into_iter()
+        .filter(|&n| n <= max_n)
+        .collect();
     let f1 = LinearScore::alpha("f1", 0.5);
 
     let mut rows = Vec::new();
@@ -39,7 +44,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["workers", "unbalanced", "r-unbalanced", "balanced", "r-balanced", "all-attrs", "subset-exact"],
+            &[
+                "workers",
+                "unbalanced",
+                "r-unbalanced",
+                "balanced",
+                "r-balanced",
+                "all-attrs",
+                "subset-exact"
+            ],
             &rows
         )
     );

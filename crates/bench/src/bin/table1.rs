@@ -20,8 +20,10 @@ fn main() {
         .unwrap_or(500);
     let workers = prepare_population(n, 0xEDB7_2019);
     let functions = LinearScore::paper_random_functions();
-    let refs: Vec<&dyn ScoringFunction> =
-        functions.iter().map(|f| f as &dyn ScoringFunction).collect();
+    let refs: Vec<&dyn ScoringFunction> = functions
+        .iter()
+        .map(|f| f as &dyn ScoringFunction)
+        .collect();
     let sweep = run_sweep(&workers, &refs, 10, 0xBEEF);
 
     println!("=== Table 1: {n} workers, random functions f1..f5 ===\n");

@@ -20,8 +20,10 @@ fn main() {
         .unwrap_or(7300);
     let workers = prepare_population(n, 0xEDB7_2019);
     let functions = LinearScore::paper_random_functions();
-    let refs: Vec<&dyn ScoringFunction> =
-        functions.iter().map(|f| f as &dyn ScoringFunction).collect();
+    let refs: Vec<&dyn ScoringFunction> = functions
+        .iter()
+        .map(|f| f as &dyn ScoringFunction)
+        .collect();
     let sweep = run_sweep(&workers, &refs, 10, 0xBEEF);
 
     println!("=== Table 2: {n} workers, random functions f1..f5 ===\n");
@@ -49,5 +51,7 @@ fn main() {
         "\nshape check (f4/f5 most unfair): {}",
         if shape_ok { "PASS" } else { "DEVIATION" }
     );
-    println!("compare against table1 output to confirm 7300-worker values sit below 500-worker values");
+    println!(
+        "compare against table1 output to confirm 7300-worker values sit below 500-worker values"
+    );
 }

@@ -24,8 +24,10 @@ fn main() {
         .unwrap_or(7300);
     let workers = prepare_population(n, 0xEDB7_2019);
     let functions = RuleBasedScore::paper_biased_functions(0xF00D);
-    let refs: Vec<&dyn ScoringFunction> =
-        functions.iter().map(|f| f as &dyn ScoringFunction).collect();
+    let refs: Vec<&dyn ScoringFunction> = functions
+        .iter()
+        .map(|f| f as &dyn ScoringFunction)
+        .collect();
     let sweep = run_sweep(&workers, &refs, 10, 0xBEEF);
 
     println!("=== Table 3: {n} workers, biased functions f6..f9 ===\n");
@@ -47,10 +49,15 @@ fn main() {
         ("f9", &["ethnicity", "language", "yob_band"]),
     ];
     for (f, expected) in expectations {
-        let function = functions.iter().find(|x| x.name() == f).expect("function exists");
+        let function = functions
+            .iter()
+            .find(|x| x.name() == f)
+            .expect("function exists");
         let scores = function.score_all(&workers).expect("scores");
         let ctx = AuditContext::new(&workers, &scores, AuditConfig::default()).expect("ctx");
-        let result = Balanced::new(AttributeChoice::Worst).run(&ctx).expect("balanced");
+        let result = Balanced::new(AttributeChoice::Worst)
+            .run(&ctx)
+            .expect("balanced");
         let used: Vec<String> = result
             .partitioning
             .attributes_used()

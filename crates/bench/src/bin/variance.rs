@@ -29,29 +29,43 @@ fn mean_std(values: &[f64]) -> (f64, f64) {
 }
 
 fn main() {
-    let runs: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(5);
+    let runs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
     let workers = prepare_population(2000, 0xEDB7_2019);
     println!("=== run variance over {runs} score seeds (2000 workers, f6 and f7) ===\n");
 
-    for make in [RuleBasedScore::f6 as fn(u64) -> RuleBasedScore, RuleBasedScore::f7] {
+    for make in [
+        RuleBasedScore::f6 as fn(u64) -> RuleBasedScore,
+        RuleBasedScore::f7,
+    ] {
         let name = make(0).name().to_string();
         let algorithms: Vec<(&str, Box<dyn Algorithm>)> = vec![
-            ("unbalanced (union stop)", Box::new(Unbalanced::new(AttributeChoice::Worst))),
+            (
+                "unbalanced (union stop)",
+                Box::new(Unbalanced::new(AttributeChoice::Worst)),
+            ),
             (
                 "unbalanced (cross stop)",
                 Box::new(Unbalanced::new(AttributeChoice::Worst).with_cross_stopping()),
             ),
-            ("r-unbalanced", Box::new(Unbalanced::new(AttributeChoice::Random { seed: 1 }))),
+            (
+                "r-unbalanced",
+                Box::new(Unbalanced::new(AttributeChoice::Random { seed: 1 })),
+            ),
             ("balanced", Box::new(Balanced::new(AttributeChoice::Worst))),
-            ("r-balanced", Box::new(Balanced::new(AttributeChoice::Random { seed: 2 }))),
+            (
+                "r-balanced",
+                Box::new(Balanced::new(AttributeChoice::Random { seed: 2 })),
+            ),
             ("all-attributes", Box::new(AllAttributes)),
         ];
         let mut per_algo: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
         let mut per_algo_parts: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
         for seed in 0..runs {
             let scores = make(0xF00D + seed).score_all(&workers).expect("scores");
-            let ctx =
-                AuditContext::new(&workers, &scores, AuditConfig::default()).expect("ctx");
+            let ctx = AuditContext::new(&workers, &scores, AuditConfig::default()).expect("ctx");
             for (i, (_, algo)) in algorithms.iter().enumerate() {
                 let r = algo.run(&ctx).expect("algorithm");
                 per_algo[i].push(r.unfairness);
@@ -72,7 +86,10 @@ fn main() {
             })
             .collect();
         println!("--- {name} ---");
-        println!("{}", render_table(&["algorithm", "avg EMD (mean ± std)", "partitions"], &rows));
+        println!(
+            "{}",
+            render_table(&["algorithm", "avg EMD (mean ± std)", "partitions"], &rows)
+        );
     }
     println!("paper remark: across runs, unbalanced sometimes matched balanced and sometimes");
     println!("over-split; the cross-stop variant shows the unstable regime explicitly.");

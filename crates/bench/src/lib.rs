@@ -59,7 +59,9 @@ pub fn run_sweep(
     let mut function_names = Vec::new();
     for f in functions {
         function_names.push(f.name().to_string());
-        let scores = f.score_all(workers).expect("scoring the generated population succeeds");
+        let scores = f
+            .score_all(workers)
+            .expect("scoring the generated population succeeds");
         let ctx = AuditContext::new(workers, &scores, AuditConfig::with_bins(config_bins))
             .expect("audit context over generated population");
         for (row, algorithm) in algorithms.iter().enumerate() {
@@ -163,7 +165,13 @@ mod tests {
         let sweep = run_sweep(&workers, &[&f1, &f4], 10, 7);
         assert_eq!(
             sweep.algorithms,
-            vec!["unbalanced", "r-unbalanced", "balanced", "r-balanced", "all-attributes"]
+            vec![
+                "unbalanced",
+                "r-unbalanced",
+                "balanced",
+                "r-balanced",
+                "all-attributes"
+            ]
         );
         assert_eq!(sweep.functions, vec!["f1", "f4"]);
         assert_eq!(sweep.cells.len(), 5);
@@ -176,7 +184,10 @@ mod tests {
     fn render_table_aligns() {
         let text = render_table(
             &["a", "long-header"],
-            &[vec!["x".into(), "y".into()], vec!["wide-cell".into(), "z".into()]],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["wide-cell".into(), "z".into()],
+            ],
         );
         assert_eq!(text.lines().count(), 4);
     }

@@ -36,7 +36,11 @@ impl Args {
             let Some(value) = argv.get(i + 1) else {
                 return Err(CliError::Usage(format!("flag `--{name}` needs a value")));
             };
-            if args.options.insert(name.to_string(), value.clone()).is_some() {
+            if args
+                .options
+                .insert(name.to_string(), value.clone())
+                .is_some()
+            {
                 return Err(CliError::Usage(format!("flag `--{name}` given twice")));
             }
             i += 2;

@@ -52,7 +52,8 @@ fn resolve_metric(name: &str) -> Result<Arc<dyn HistogramDistance>, CliError> {
 /// [`CliError`] on bad flags, unreadable input, or audit failure.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
     let args = Args::parse(argv)?;
-    let workers = crate::commands::load_workers(args.required("workers")?, args.optional("schema"))?;
+    let workers =
+        crate::commands::load_workers(args.required("workers")?, args.optional("schema"))?;
     let seed: u64 = args.parsed_or("seed", 0xBEEF)?;
     let scorer =
         crate::commands::resolve_scorer(args.optional("function"), args.optional("alpha"), seed)?;
@@ -64,11 +65,16 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let scores = scorer
         .score_all(&workers)
         .map_err(|e| CliError::Run(format!("scoring with {}: {e}", scorer.name())))?;
-    let config = AuditConfig { bins, distance: metric, ..Default::default() };
+    let config = AuditConfig {
+        bins,
+        distance: metric,
+        ..Default::default()
+    };
     let ctx = AuditContext::new(&workers, &scores, config)
         .map_err(|e| CliError::Run(format!("audit setup: {e}")))?;
-    let result =
-        algorithm.run(&ctx).map_err(|e| CliError::Run(format!("{}: {e}", algorithm.name())))?;
+    let result = algorithm
+        .run(&ctx)
+        .map_err(|e| CliError::Run(format!("{}: {e}", algorithm.name())))?;
 
     if args.switch("json") {
         return Ok(format!("{}\n", result.to_json(&ctx)));

@@ -10,7 +10,8 @@ use crate::CliError;
 /// [`CliError`] on bad flags or unreadable input.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
     let args = Args::parse(argv)?;
-    let workers = crate::commands::load_workers(args.required("workers")?, args.optional("schema"))?;
+    let workers =
+        crate::commands::load_workers(args.required("workers")?, args.optional("schema"))?;
     Ok(fairjob_store::stats::describe(&workers))
 }
 
@@ -22,13 +23,7 @@ mod tests {
     #[test]
     fn describes_generated_population() {
         let tmp = TempFile::new("describe.csv");
-        crate::commands::generate::run(&argv(&[
-            "--size",
-            "30",
-            "--out",
-            &tmp.path_str(),
-        ]))
-        .unwrap();
+        crate::commands::generate::run(&argv(&["--size", "30", "--out", &tmp.path_str()])).unwrap();
         let text = run(&argv(&["--workers", &tmp.path_str()])).unwrap();
         assert!(text.contains("30 rows"));
         assert!(text.contains("gender"));
@@ -50,7 +45,11 @@ mod tests {
         )
         .unwrap();
         let csv_file = TempFile::new("drivers.csv");
-        std::fs::write(&csv_file.0, "region,age,rating\nNorth,30,4.5\nSouth,55,3.2\n").unwrap();
+        std::fs::write(
+            &csv_file.0,
+            "region,age,rating\nNorth,30,4.5\nSouth,55,3.2\n",
+        )
+        .unwrap();
         let text = run(&argv(&[
             "--workers",
             &csv_file.path_str(),
@@ -60,6 +59,9 @@ mod tests {
         .unwrap();
         assert!(text.contains("2 rows"));
         assert!(text.contains("region"));
-        assert!(text.contains("age_band"), "numeric protected attrs are auto-bucketised");
+        assert!(
+            text.contains("age_band"),
+            "numeric protected attrs are auto-bucketised"
+        );
     }
 }

@@ -27,7 +27,11 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     std::fs::write(out, fairjob_store::csv::to_csv(&workers))?;
     Ok(format!(
         "wrote {size} {} workers to {out} (seed {seed})\n",
-        if args.switch("correlated") { "correlated" } else { "uniform" }
+        if args.switch("correlated") {
+            "correlated"
+        } else {
+            "uniform"
+        }
     ))
 }
 
@@ -39,7 +43,15 @@ mod tests {
     #[test]
     fn generates_and_roundtrips() {
         let tmp = TempFile::new("gen.csv");
-        let out = run(&argv(&["--size", "25", "--seed", "3", "--out", &tmp.path_str()])).unwrap();
+        let out = run(&argv(&[
+            "--size",
+            "25",
+            "--seed",
+            "3",
+            "--out",
+            &tmp.path_str(),
+        ]))
+        .unwrap();
         assert!(out.contains("25"));
         let loaded = crate::commands::load_workers(&tmp.path_str(), None).unwrap();
         assert_eq!(loaded.len(), 25);
@@ -49,8 +61,14 @@ mod tests {
     #[test]
     fn correlated_switch() {
         let tmp = TempFile::new("gen-corr.csv");
-        let out =
-            run(&argv(&["--size", "10", "--correlated", "--out", &tmp.path_str()])).unwrap();
+        let out = run(&argv(&[
+            "--size",
+            "10",
+            "--correlated",
+            "--out",
+            &tmp.path_str(),
+        ]))
+        .unwrap();
         assert!(out.contains("correlated"));
     }
 

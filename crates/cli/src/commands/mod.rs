@@ -48,9 +48,9 @@ pub(crate) fn resolve_scorer(
     seed: u64,
 ) -> Result<Box<dyn ScoringFunction>, CliError> {
     match (function, alpha) {
-        (Some(_), Some(_)) => {
-            Err(CliError::Usage("give either --function or --alpha, not both".into()))
-        }
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "give either --function or --alpha, not both".into(),
+        )),
         (None, None) => Err(CliError::Usage("need --function or --alpha".into())),
         (None, Some(raw)) => {
             let a: f64 = raw
@@ -71,7 +71,9 @@ pub(crate) fn resolve_scorer(
             "f7" => Ok(Box::new(RuleBasedScore::f7(seed))),
             "f8" => Ok(Box::new(RuleBasedScore::f8(seed))),
             "f9" => Ok(Box::new(RuleBasedScore::f9(seed))),
-            other => Err(CliError::Usage(format!("unknown function `{other}` (f1..f9)"))),
+            other => Err(CliError::Usage(format!(
+                "unknown function `{other}` (f1..f9)"
+            ))),
         },
     }
 }
@@ -117,11 +119,17 @@ mod tests {
         assert!(resolve_scorer(None, Some("nan"), 0).is_err());
         assert!(resolve_scorer(None, Some("1.5"), 0).is_err());
         assert_eq!(resolve_scorer(Some("f6"), None, 0).unwrap().name(), "f6");
-        assert_eq!(resolve_scorer(None, Some("0.25"), 0).unwrap().name(), "alpha-0.25");
+        assert_eq!(
+            resolve_scorer(None, Some("0.25"), 0).unwrap().name(),
+            "alpha-0.25"
+        );
     }
 
     #[test]
     fn load_workers_reports_missing_file() {
-        assert!(matches!(load_workers("/nonexistent/x.csv", None), Err(CliError::Io(_))));
+        assert!(matches!(
+            load_workers("/nonexistent/x.csv", None),
+            Err(CliError::Io(_))
+        ));
     }
 }

@@ -15,7 +15,8 @@ use fairjob_store::{Predicate, RowSet};
 /// [`CliError`] on bad flags or failed repair.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
     let args = Args::parse(argv)?;
-    let workers = crate::commands::load_workers(args.required("workers")?, args.optional("schema"))?;
+    let workers =
+        crate::commands::load_workers(args.required("workers")?, args.optional("schema"))?;
     let seed: u64 = args.parsed_or("seed", 0xBEEF)?;
     let scorer =
         crate::commands::resolve_scorer(args.optional("function"), args.optional("alpha"), seed)?;
@@ -24,7 +25,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "median" => RepairTarget::Median,
         "pooled" => RepairTarget::Pooled,
         other => {
-            return Err(CliError::Usage(format!("unknown target `{other}` (median | pooled)")))
+            return Err(CliError::Usage(format!(
+                "unknown target `{other}` (median | pooled)"
+            )))
         }
     };
     let out = args.required("out")?;
@@ -37,8 +40,12 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let audit = Balanced::new(AttributeChoice::Worst)
         .run(&ctx)
         .map_err(|e| CliError::Run(format!("audit: {e}")))?;
-    let groups: Vec<RowSet> =
-        audit.partitioning.partitions().iter().map(|p| p.rows.clone()).collect();
+    let groups: Vec<RowSet> = audit
+        .partitioning
+        .partitions()
+        .iter()
+        .map(|p| p.rows.clone())
+        .collect();
     let repaired = repair_scores(&scores, &groups, &RepairConfig { lambda, target })
         .map_err(|e| CliError::Run(format!("repair: {e}")))?;
 
@@ -46,10 +53,13 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     // scores.
     let rctx = AuditContext::new(&workers, &repaired, AuditConfig::default())
         .map_err(|e| CliError::Run(format!("re-audit setup: {e}")))?;
-    let parts: Vec<_> =
-        groups.iter().map(|g| rctx.partition(Predicate::always(), g.clone())).collect();
-    let residual =
-        rctx.unfairness(&parts).map_err(|e| CliError::Run(format!("re-audit: {e}")))?;
+    let parts: Vec<_> = groups
+        .iter()
+        .map(|g| rctx.partition(Predicate::always(), g.clone()))
+        .collect();
+    let residual = rctx
+        .unfairness(&parts)
+        .map_err(|e| CliError::Run(format!("re-audit: {e}")))?;
 
     // Write one score per line, header `score`.
     let mut csv = String::from("score\n");
@@ -76,13 +86,8 @@ mod tests {
     #[test]
     fn repairs_f6_to_near_zero_residual() {
         let workers = TempFile::new("repair-workers.csv");
-        crate::commands::generate::run(&argv(&[
-            "--size",
-            "200",
-            "--out",
-            &workers.path_str(),
-        ]))
-        .unwrap();
+        crate::commands::generate::run(&argv(&["--size", "200", "--out", &workers.path_str()]))
+            .unwrap();
         let out = TempFile::new("repair-scores.csv");
         let summary = run(&argv(&[
             "--workers",

@@ -14,7 +14,8 @@ use fairjob_repair::rerank::{first_quota_violation, rerank_proportional, RankedI
 /// [`CliError`] on bad flags or re-ranking failure.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
     let args = Args::parse(argv)?;
-    let workers = crate::commands::load_workers(args.required("workers")?, args.optional("schema"))?;
+    let workers =
+        crate::commands::load_workers(args.required("workers")?, args.optional("schema"))?;
     let seed: u64 = args.parsed_or("seed", 0xBEEF)?;
     let scorer =
         crate::commands::resolve_scorer(args.optional("function"), args.optional("alpha"), seed)?;
@@ -30,7 +31,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         .schema()
         .attribute(attr_idx)
         .cardinality()
-        .ok_or_else(|| CliError::Usage(format!("`{attribute}` is not categorical")))? as u32;
+        .ok_or_else(|| CliError::Usage(format!("`{attribute}` is not categorical")))?
+        as u32;
 
     let scores = scorer
         .score_all(&workers)
@@ -72,7 +74,12 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         out.push_str(&format!(
             "{:<5} {:<28} {:<28}\n",
             pos + 1,
-            format!("#{} {} ({:.3})", before.id, label(before.group), before.score),
+            format!(
+                "#{} {} ({:.3})",
+                before.id,
+                label(before.group),
+                before.score
+            ),
             format!("#{} {} ({:.3})", after.id, label(after.group), after.score),
         ));
     }
@@ -121,7 +128,10 @@ mod tests {
         // f6 puts only males on top; before violates, after satisfies.
         assert!(out.contains("quota check before: violated"));
         assert!(out.contains("quota check after:  satisfied"));
-        assert!(out.contains("Female"), "re-ranked list must surface females:\n{out}");
+        assert!(
+            out.contains("Female"),
+            "re-ranked list must surface females:\n{out}"
+        );
     }
 
     #[test]

@@ -92,7 +92,9 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "repair" => commands::repair::run(rest),
         "rerank" => commands::rerank::run(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(CliError::Usage(format!("unknown subcommand `{other}`\n\n{USAGE}"))),
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand `{other}`\n\n{USAGE}"
+        ))),
     }
 }
 

@@ -2,6 +2,7 @@
 //! producing the full cartesian partitioning (non-empty cells only).
 
 use super::Algorithm;
+use crate::engine::EvalEngine;
 use crate::error::AuditError;
 use crate::partition::{Partition, Partitioning};
 use crate::report::AuditResult;
@@ -36,13 +37,15 @@ impl Algorithm for AllAttributes {
             })
             .collect();
         let partitioning = Partitioning::new(partitions);
-        let unfairness = ctx.unfairness(partitioning.partitions())?;
+        let engine = EvalEngine::new(ctx);
+        let unfairness = engine.unfairness(partitioning.partitions())?;
         Ok(AuditResult {
             algorithm: self.name(),
             partitioning,
             unfairness,
             elapsed: start.elapsed(),
             candidates_evaluated: 1,
+            engine: engine.stats(),
         })
     }
 }

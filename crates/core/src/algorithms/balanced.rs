@@ -9,7 +9,8 @@
 //! Because every round splits all leaves with the same attribute, the
 //! resulting partition tree is balanced.
 
-use super::{choose_attribute, split_all, Algorithm, AttributeChoice};
+use super::{choose_attribute, Algorithm, AttributeChoice};
+use crate::engine::EvalEngine;
 use crate::error::AuditError;
 use crate::partition::Partitioning;
 use crate::report::AuditResult;
@@ -42,6 +43,7 @@ impl Algorithm for Balanced {
 
     fn run(&self, ctx: &AuditContext<'_>) -> Result<AuditResult, AuditError> {
         let start = Instant::now();
+        let engine = EvalEngine::new(ctx);
         let mut evaluations = 0usize;
         let mut rng = match self.choice {
             AttributeChoice::Random { seed } => Some(StdRng::seed_from_u64(seed)),
@@ -52,19 +54,26 @@ impl Algorithm for Balanced {
         let mut current = vec![ctx.root()];
 
         // Lines 1–4: the first split is unconditional.
-        if let Some(a) =
-            choose_attribute(ctx, &current, &remaining, self.choice, &mut rng, &mut evaluations)?
-        {
-            remaining.retain(|&x| x != a);
-            current = split_all(ctx, &current, a);
+        if let Some(chosen) = choose_attribute(
+            &engine,
+            &current,
+            &remaining,
+            self.choice,
+            &mut rng,
+            &mut evaluations,
+        )? {
+            remaining.retain(|&x| x != chosen.attr);
+            current = chosen.parts;
         }
-        let mut current_avg = ctx.unfairness(&current)?;
+        // Candidate scoring above already cached every pair distance, so
+        // this full evaluation is pure cache hits.
+        let mut current_avg = engine.unfairness(&current)?;
         evaluations += 1;
 
         // Lines 5–16: keep splitting while it strictly helps.
         while !remaining.is_empty() {
-            let Some(a) = choose_attribute(
-                ctx,
+            let Some(chosen) = choose_attribute(
+                &engine,
                 &current,
                 &remaining,
                 self.choice,
@@ -74,9 +83,9 @@ impl Algorithm for Balanced {
             else {
                 break; // nothing can split any partition any more
             };
-            remaining.retain(|&x| x != a);
-            let children = split_all(ctx, &current, a);
-            let children_avg = ctx.unfairness(&children)?;
+            remaining.retain(|&x| x != chosen.attr);
+            let children = chosen.parts;
+            let children_avg = engine.unfairness(&children)?;
             evaluations += 1;
             if current_avg >= children_avg {
                 break;
@@ -91,6 +100,7 @@ impl Algorithm for Balanced {
             unfairness: current_avg,
             elapsed: start.elapsed(),
             candidates_evaluated: evaluations,
+            engine: engine.stats(),
         })
     }
 }
@@ -120,8 +130,12 @@ mod tests {
     fn r_balanced_is_deterministic_in_seed() {
         let (t, scores) = toy_workers();
         let ctx = AuditContext::new(&t, &scores, AuditConfig::default()).unwrap();
-        let a = Balanced::new(AttributeChoice::Random { seed: 5 }).run(&ctx).unwrap();
-        let b = Balanced::new(AttributeChoice::Random { seed: 5 }).run(&ctx).unwrap();
+        let a = Balanced::new(AttributeChoice::Random { seed: 5 })
+            .run(&ctx)
+            .unwrap();
+        let b = Balanced::new(AttributeChoice::Random { seed: 5 })
+            .run(&ctx)
+            .unwrap();
         assert_eq!(a.partitioning.len(), b.partitioning.len());
         assert_eq!(a.unfairness, b.unfairness);
     }
@@ -129,13 +143,19 @@ mod tests {
     #[test]
     fn names() {
         assert_eq!(Balanced::new(AttributeChoice::Worst).name(), "balanced");
-        assert_eq!(Balanced::new(AttributeChoice::Random { seed: 0 }).name(), "r-balanced");
+        assert_eq!(
+            Balanced::new(AttributeChoice::Random { seed: 0 }).name(),
+            "r-balanced"
+        );
     }
 
     #[test]
     fn single_attribute_context_terminates() {
         let (t, scores) = toy_workers();
-        let cfg = AuditConfig { attributes: Some(vec!["gender".into()]), ..Default::default() };
+        let cfg = AuditConfig {
+            attributes: Some(vec!["gender".into()]),
+            ..Default::default()
+        };
         let ctx = AuditContext::new(&t, &scores, cfg).unwrap();
         let result = Balanced::new(AttributeChoice::Worst).run(&ctx).unwrap();
         assert_eq!(result.partitioning.len(), 2);

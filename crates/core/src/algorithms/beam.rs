@@ -8,6 +8,7 @@
 //! how much the greedy commitment loses.
 
 use super::{split_all, Algorithm};
+use crate::engine::EvalEngine;
 use crate::error::AuditError;
 use crate::partition::{Partition, Partitioning};
 use crate::report::AuditResult;
@@ -25,7 +26,9 @@ impl Beam {
     /// Beam search of the given width (width 1 ≈ `balanced` without its
     /// early stop).
     pub fn new(width: usize) -> Self {
-        Beam { width: width.max(1) }
+        Beam {
+            width: width.max(1),
+        }
     }
 }
 
@@ -44,6 +47,10 @@ impl Algorithm for Beam {
 
     fn run(&self, ctx: &AuditContext<'_>) -> Result<AuditResult, AuditError> {
         let start = Instant::now();
+        // Beam states overlap heavily (same round, different attribute
+        // orders reach the same predicates), so the shared memo cache
+        // collapses most of the width × attrs evaluations to lookups.
+        let engine = EvalEngine::new(ctx);
         let mut evaluations = 0usize;
         let root = State {
             parts: vec![ctx.root()],
@@ -61,12 +68,17 @@ impl Algorithm for Beam {
                     if parts.len() == state.parts.len() {
                         continue; // nothing split
                     }
-                    let value = ctx.unfairness(&parts)?;
+                    let value = engine.unfairness(&parts)?;
                     evaluations += 1;
                     candidates.push(State {
                         parts,
                         value,
-                        remaining: state.remaining.iter().copied().filter(|&x| x != a).collect(),
+                        remaining: state
+                            .remaining
+                            .iter()
+                            .copied()
+                            .filter(|&x| x != a)
+                            .collect(),
                     });
                 }
             }
@@ -87,6 +99,7 @@ impl Algorithm for Beam {
             unfairness: best.1,
             elapsed: start.elapsed(),
             candidates_evaluated: evaluations,
+            engine: engine.stats(),
         })
     }
 }

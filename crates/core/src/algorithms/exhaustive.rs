@@ -18,6 +18,7 @@
 //!   tree restriction gives up on small instances.
 
 use super::Algorithm;
+use crate::engine::EvalEngine;
 use crate::error::AuditError;
 use crate::partition::{Partition, Partitioning};
 use crate::report::AuditResult;
@@ -50,10 +51,20 @@ impl Algorithm for ExhaustiveTree {
     fn run(&self, ctx: &AuditContext<'_>) -> Result<AuditResult, AuditError> {
         let start = Instant::now();
         let mut counter = 0usize;
-        let all = options(ctx, &ctx.root(), ctx.attributes(), self.budget, &mut counter)?;
+        let all = options(
+            ctx,
+            &ctx.root(),
+            ctx.attributes(),
+            self.budget,
+            &mut counter,
+        )?;
+        // Candidate partitionings share almost all their partitions, so
+        // the memo cache turns the brute force's O(candidates × k²)
+        // distance computations into one computation per distinct pair.
+        let engine = EvalEngine::new(ctx);
         let mut best: Option<(Vec<Partition>, f64)> = None;
         for candidate in all {
-            let value = ctx.unfairness(&candidate)?;
+            let value = engine.unfairness(&candidate)?;
             if best.as_ref().is_none_or(|(_, b)| value > *b) {
                 best = Some((candidate, value));
             }
@@ -65,6 +76,7 @@ impl Algorithm for ExhaustiveTree {
             unfairness,
             elapsed: start.elapsed(),
             candidates_evaluated: counter,
+            engine: engine.stats(),
         })
     }
 }
@@ -85,7 +97,9 @@ fn options(
         return Err(AuditError::BudgetExceeded { budget });
     }
     for &a in remaining {
-        let Some(children) = ctx.split(part, a) else { continue };
+        let Some(children) = ctx.split(part, a) else {
+            continue;
+        };
         let rest: Vec<usize> = remaining.iter().copied().filter(|&x| x != a).collect();
         // Cartesian product of per-child subtree options. Size is
         // checked *before* materialising each stage — the product
@@ -124,7 +138,9 @@ pub fn count_tree_partitionings(
 ) -> u128 {
     let mut total: u128 = 1; // the leaf option
     for &a in remaining {
-        let Some(children) = ctx.split(part, a) else { continue };
+        let Some(children) = ctx.split(part, a) else {
+            continue;
+        };
         let rest: Vec<usize> = remaining.iter().copied().filter(|&x| x != a).collect();
         let mut product: u128 = 1;
         for child in &children {
@@ -232,7 +248,17 @@ pub fn exhaustive_cells(
 
     if n > 0 {
         assignment[0] = 0;
-        assign(1, 0, n, &mut assignment, &histograms, ctx, &mut best, &mut evaluated, budget)?;
+        assign(
+            1,
+            0,
+            n,
+            &mut assignment,
+            &histograms,
+            ctx,
+            &mut best,
+            &mut evaluated,
+            budget,
+        )?;
     }
     let (winner, unfairness) = best.unwrap_or((vec![0; n], 0.0));
     let blocks_count = winner.iter().copied().max().map_or(0, |m| m + 1);
@@ -270,7 +296,12 @@ mod tests {
         let ctx = AuditContext::new(&t, &scores, AuditConfig::default()).unwrap();
         let result = ExhaustiveTree::new(10_000).run(&ctx).unwrap();
         result.partitioning.validate(t.len()).unwrap();
-        assert_eq!(result.partitioning.len(), 4, "{}", result.partitioning.describe(&t));
+        assert_eq!(
+            result.partitioning.len(),
+            4,
+            "{}",
+            result.partitioning.describe(&t)
+        );
         // Female partition kept whole (one constraint), males split on
         // both gender and language (two constraints each).
         let mut whole = 0;

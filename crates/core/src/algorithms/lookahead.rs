@@ -11,6 +11,7 @@
 //! [`super::subsets::SubsetExact`].
 
 use super::{split_all, Algorithm};
+use crate::engine::EvalEngine;
 use crate::error::AuditError;
 use crate::partition::{Partition, Partitioning};
 use crate::report::AuditResult;
@@ -27,30 +28,35 @@ pub struct Lookahead {
 impl Lookahead {
     /// Lookahead search with the given horizon.
     pub fn new(depth: usize) -> Self {
-        Lookahead { depth: depth.max(1) }
+        Lookahead {
+            depth: depth.max(1),
+        }
     }
 }
 
 /// Best unfairness reachable from `parts` within `depth` more splits.
+/// Lookahead subtrees overlap massively (attribute *sets*, not orders,
+/// determine balanced partitionings), so routing through the engine's
+/// memo cache collapses the O(mᵈ) recomputation.
 fn horizon_value(
-    ctx: &AuditContext<'_>,
+    engine: &EvalEngine<'_, '_>,
     parts: &[Partition],
     remaining: &[usize],
     depth: usize,
     evaluations: &mut usize,
 ) -> Result<f64, AuditError> {
-    let mut best = ctx.unfairness(parts)?;
+    let mut best = engine.unfairness(parts)?;
     *evaluations += 1;
     if depth == 0 {
         return Ok(best);
     }
     for &a in remaining {
-        let children = split_all(ctx, parts, a);
+        let children = split_all(engine.ctx(), parts, a);
         if children.len() == parts.len() {
             continue;
         }
         let rest: Vec<usize> = remaining.iter().copied().filter(|&x| x != a).collect();
-        let v = horizon_value(ctx, &children, &rest, depth - 1, evaluations)?;
+        let v = horizon_value(engine, &children, &rest, depth - 1, evaluations)?;
         best = best.max(v);
     }
     Ok(best)
@@ -63,6 +69,7 @@ impl Algorithm for Lookahead {
 
     fn run(&self, ctx: &AuditContext<'_>) -> Result<AuditResult, AuditError> {
         let start = Instant::now();
+        let engine = EvalEngine::new(ctx);
         let mut evaluations = 0usize;
         let mut current = vec![ctx.root()];
         let mut current_value = 0.0;
@@ -78,10 +85,10 @@ impl Algorithm for Lookahead {
                     continue;
                 }
                 let rest: Vec<usize> = remaining.iter().copied().filter(|&x| x != a).collect();
-                let immediate = ctx.unfairness(&children)?;
+                let immediate = engine.unfairness(&children)?;
                 evaluations += 1;
                 let promise = if self.depth > 1 {
-                    horizon_value(ctx, &children, &rest, self.depth - 1, &mut evaluations)?
+                    horizon_value(&engine, &children, &rest, self.depth - 1, &mut evaluations)?
                 } else {
                     immediate
                 };
@@ -110,6 +117,7 @@ impl Algorithm for Lookahead {
             unfairness: current_value,
             elapsed: start.elapsed(),
             candidates_evaluated: evaluations,
+            engine: engine.stats(),
         })
     }
 }

@@ -13,6 +13,7 @@ pub mod lookahead;
 pub mod subsets;
 pub mod unbalanced;
 
+use crate::engine::{EvalEngine, IncrementalEval};
 use crate::error::AuditError;
 use crate::report::AuditResult;
 use crate::AuditContext;
@@ -66,58 +67,116 @@ pub fn run_all(
 pub fn paper_algorithms(seed: u64) -> Vec<Box<dyn Algorithm>> {
     vec![
         Box::new(unbalanced::Unbalanced::new(AttributeChoice::Worst)),
-        Box::new(unbalanced::Unbalanced::new(AttributeChoice::Random { seed })),
+        Box::new(unbalanced::Unbalanced::new(AttributeChoice::Random {
+            seed,
+        })),
         Box::new(balanced::Balanced::new(AttributeChoice::Worst)),
-        Box::new(balanced::Balanced::new(AttributeChoice::Random { seed: seed.wrapping_add(1) })),
+        Box::new(balanced::Balanced::new(AttributeChoice::Random {
+            seed: seed.wrapping_add(1),
+        })),
         Box::new(all_attributes::AllAttributes),
     ]
+}
+
+/// Per-partition candidate splits: `(partition index, children)` pairs,
+/// indexed ascending.
+type Splits = Vec<(usize, Vec<crate::Partition>)>;
+
+/// The outcome of [`choose_attribute`]: the winning attribute and the
+/// partitioning obtained by splitting every splittable partition by it
+/// (already materialised — callers must not re-split).
+pub(crate) struct ChosenSplit {
+    /// The chosen attribute.
+    pub attr: usize,
+    /// `parts` with every partition the attribute can split replaced by
+    /// its children (unsplittable partitions kept whole).
+    pub parts: Vec<crate::Partition>,
 }
 
 /// Internal helper: pick an attribute from `remaining` for splitting the
 /// given partitions, under `choice`. Returns `None` when no remaining
 /// attribute can split anything.
 ///
-/// For [`AttributeChoice::Worst`] this evaluates, for every candidate
-/// attribute, the partitioning obtained by splitting **every** partition
-/// in `parts` by it (unsplittable partitions stay whole), and returns the
-/// attribute with the highest average pairwise distance (ties: first).
-/// `evaluations` is incremented once per candidate scored.
+/// For [`AttributeChoice::Worst`] this scores every candidate attribute
+/// by delta evaluation ([`IncrementalEval`] seeded once with `parts`):
+/// replacing the split partitions by their children costs
+/// O(k · changed) distance lookups per candidate instead of the O(k²)
+/// full matrix, and every distance goes through `engine`'s memo cache.
+/// The attribute with the highest average pairwise distance wins (ties:
+/// first). `evaluations` is incremented once per candidate scored.
+///
+/// Each partition is split at most **once** per candidate attribute; the
+/// children are reused for both scoring and the returned partitioning
+/// (the seed version split twice — once for viability, once to score).
 pub(crate) fn choose_attribute(
-    ctx: &AuditContext<'_>,
+    engine: &EvalEngine<'_, '_>,
     parts: &[crate::Partition],
     remaining: &[usize],
     choice: AttributeChoice,
     rng: &mut Option<rand::rngs::StdRng>,
     evaluations: &mut usize,
-) -> Result<Option<usize>, AuditError> {
+) -> Result<Option<ChosenSplit>, AuditError> {
     use rand::Rng;
+    let ctx = engine.ctx();
     // An attribute is viable if it can split at least one partition.
-    let viable: Vec<usize> = remaining
-        .iter()
-        .copied()
-        .filter(|&a| parts.iter().any(|p| ctx.split(p, a).is_some()))
-        .collect();
-    if viable.is_empty() {
+    // Splits are computed once here and reused below.
+    let mut candidates: Vec<(usize, Splits)> = Vec::new();
+    for &a in remaining {
+        let splits: Splits = parts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| ctx.split(p, a).map(|children| (i, children)))
+            .collect();
+        if !splits.is_empty() {
+            candidates.push((a, splits));
+        }
+    }
+    if candidates.is_empty() {
         return Ok(None);
     }
-    match choice {
+    let winner = match choice {
         AttributeChoice::Random { .. } => {
             let rng = rng.as_mut().expect("random choice carries an RNG");
-            Ok(Some(viable[rng.gen_range(0..viable.len())]))
+            rng.gen_range(0..candidates.len())
         }
         AttributeChoice::Worst => {
+            let mut incremental = IncrementalEval::new(engine, parts)?;
             let mut best: Option<(usize, f64)> = None;
-            for &a in &viable {
-                let candidate = split_all(ctx, parts, a);
-                let value = ctx.unfairness(&candidate)?;
+            for (index, (_, splits)) in candidates.iter().enumerate() {
+                let replacements: Vec<(usize, &[crate::Partition])> = splits
+                    .iter()
+                    .map(|(i, children)| (*i, children.as_slice()))
+                    .collect();
+                let value = incremental.score_replacements(&replacements)?;
                 *evaluations += 1;
                 if best.is_none_or(|(_, b)| value > b) {
-                    best = Some((a, value));
+                    best = Some((index, value));
                 }
             }
-            Ok(best.map(|(a, _)| a))
+            best.expect("candidates is non-empty").0
+        }
+    };
+    let (attr, splits) = candidates.swap_remove(winner);
+    Ok(Some(ChosenSplit {
+        attr,
+        parts: materialise(parts, &splits),
+    }))
+}
+
+/// `parts` with each `(index, children)` substitution applied in order
+/// (splits are indexed ascending by construction).
+fn materialise(parts: &[crate::Partition], splits: &Splits) -> Vec<crate::Partition> {
+    let mut out = Vec::with_capacity(parts.len() + splits.len());
+    let mut next = 0;
+    for (i, p) in parts.iter().enumerate() {
+        if next < splits.len() && splits[next].0 == i {
+            out.extend(splits[next].1.iter().cloned());
+            next += 1;
+        } else {
+            out.push(p.clone());
         }
     }
+    out
 }
 
 /// Split every partition in `parts` by `a`; partitions that cannot split

@@ -11,6 +11,7 @@
 //! greedy worst-attribute commitment loses.
 
 use super::Algorithm;
+use crate::engine::EvalEngine;
 use crate::error::AuditError;
 use crate::partition::{Partition, Partitioning};
 use crate::report::AuditResult;
@@ -41,8 +42,14 @@ impl Algorithm for SubsetExact {
         let start = Instant::now();
         let attrs = ctx.attributes();
         if attrs.len() > self.max_attributes {
-            return Err(AuditError::BudgetExceeded { budget: 1 << self.max_attributes });
+            return Err(AuditError::BudgetExceeded {
+                budget: 1 << self.max_attributes,
+            });
         }
+        // Subset partitionings nest: every cell of subset S is a union
+        // of cells of S ∪ {a}, and identical predicates recur across
+        // masks — the memo cache deduplicates them.
+        let engine = EvalEngine::new(ctx);
         let mut best: Option<(Vec<Partition>, f64)> = None;
         let mut evaluated = 0usize;
         for mask in 1u64..(1u64 << attrs.len()) {
@@ -67,20 +74,20 @@ impl Algorithm for SubsetExact {
                     ctx.partition(pred, rows)
                 })
                 .collect();
-            let value = ctx.unfairness(&partitions)?;
+            let value = engine.unfairness(&partitions)?;
             evaluated += 1;
             if best.as_ref().is_none_or(|(_, b)| value > *b) {
                 best = Some((partitions, value));
             }
         }
-        let (partitions, unfairness) =
-            best.unwrap_or_else(|| (vec![ctx.root()], 0.0));
+        let (partitions, unfairness) = best.unwrap_or_else(|| (vec![ctx.root()], 0.0));
         Ok(AuditResult {
             algorithm: self.name(),
             partitioning: Partitioning::new(partitions),
             unfairness,
             elapsed: start.elapsed(),
             candidates_evaluated: evaluated,
+            engine: engine.stats(),
         })
     }
 }

@@ -19,6 +19,7 @@
 //!   ([`Unbalanced::with_cross_stopping`]).
 
 use super::{Algorithm, AttributeChoice};
+use crate::engine::EvalEngine;
 use crate::error::AuditError;
 use crate::partition::{Partition, Partitioning};
 use crate::report::AuditResult;
@@ -48,7 +49,11 @@ impl Unbalanced {
     /// `Unbalanced::new(AttributeChoice::Worst)` is the paper's
     /// `unbalanced`; `AttributeChoice::Random { .. }` is `r-unbalanced`.
     pub fn new(choice: AttributeChoice) -> Self {
-        Unbalanced { choice, stopping: StoppingRule::Union, ancestor_siblings: false }
+        Unbalanced {
+            choice,
+            stopping: StoppingRule::Union,
+            ancestor_siblings: false,
+        }
     }
 
     /// Use cross-pair averaging in the stopping rule.
@@ -66,7 +71,7 @@ impl Unbalanced {
 }
 
 struct Run<'c, 'a> {
-    ctx: &'c AuditContext<'a>,
+    engine: EvalEngine<'c, 'a>,
     choice: AttributeChoice,
     stopping: StoppingRule,
     ancestor_siblings: bool,
@@ -75,7 +80,11 @@ struct Run<'c, 'a> {
     output: Vec<Partition>,
 }
 
-impl Run<'_, '_> {
+impl<'a> Run<'_, 'a> {
+    fn ctx(&self) -> &AuditContext<'a> {
+        self.engine.ctx()
+    }
+
     fn level_avg(
         &mut self,
         group: &[Partition],
@@ -83,43 +92,47 @@ impl Run<'_, '_> {
     ) -> Result<f64, AuditError> {
         self.evaluations += 1;
         match self.stopping {
-            StoppingRule::Union => self.ctx.unfairness_union(group, siblings),
-            StoppingRule::Cross => self.ctx.unfairness_cross(group, siblings),
+            StoppingRule::Union => self.engine.unfairness_union(group, siblings),
+            StoppingRule::Cross => self.engine.unfairness_cross(group, siblings),
         }
     }
 
     /// `worstAttribute(current, f, A)` for a single partition: the
     /// attribute whose split of `current` has the highest internal
-    /// average pairwise distance. Random choice picks uniformly among
-    /// attributes that can split `current`.
+    /// average pairwise distance, returned **with** its children so
+    /// callers never re-split (the seed version split the winning
+    /// attribute up to three times: viability, scoring, commit). Random
+    /// choice picks uniformly among attributes that can split `current`.
     fn choose_for(
         &mut self,
         current: &Partition,
         remaining: &[usize],
-    ) -> Result<Option<usize>, AuditError> {
-        let viable: Vec<usize> =
-            remaining.iter().copied().filter(|&a| self.ctx.split(current, a).is_some()).collect();
-        if viable.is_empty() {
+    ) -> Result<Option<(usize, Vec<Partition>)>, AuditError> {
+        let mut candidates: Vec<(usize, Vec<Partition>)> = remaining
+            .iter()
+            .filter_map(|&a| self.ctx().split(current, a).map(|children| (a, children)))
+            .collect();
+        if candidates.is_empty() {
             return Ok(None);
         }
-        match self.choice {
+        let winner = match self.choice {
             AttributeChoice::Random { .. } => {
                 let rng = self.rng.as_mut().expect("random choice carries an RNG");
-                Ok(Some(viable[rng.gen_range(0..viable.len())]))
+                rng.gen_range(0..candidates.len())
             }
             AttributeChoice::Worst => {
                 let mut best: Option<(usize, f64)> = None;
-                for &a in &viable {
-                    let children = self.ctx.split(current, a).expect("viable");
-                    let value = self.ctx.unfairness(&children)?;
+                for (index, (_, children)) in candidates.iter().enumerate() {
+                    let value = self.engine.unfairness(children)?;
                     self.evaluations += 1;
                     if best.is_none_or(|(_, b)| value > b) {
-                        best = Some((a, value));
+                        best = Some((index, value));
                     }
                 }
-                Ok(best.map(|(a, _)| a))
+                best.expect("candidates is non-empty").0
             }
-        }
+        };
+        Ok(Some(candidates.swap_remove(winner)))
     }
 
     /// Algorithm 2's recursive body.
@@ -130,13 +143,12 @@ impl Run<'_, '_> {
         remaining: &[usize],
     ) -> Result<(), AuditError> {
         // Line 1: out of attributes -> emit.
-        let Some(a) = self.choose_for(&current, remaining)? else {
+        let Some((a, children)) = self.choose_for(&current, remaining)? else {
             self.output.push(current);
             return Ok(());
         };
         // Lines 4–9: compare the local level with and without the split.
         let current_avg = self.level_avg(std::slice::from_ref(&current), siblings)?;
-        let children = self.ctx.split(&current, a).expect("chosen attribute splits");
         let children_avg = self.level_avg(&children, siblings)?;
         if current_avg >= children_avg {
             self.output.push(current);
@@ -145,8 +157,12 @@ impl Run<'_, '_> {
         // Lines 12–14: recurse per child.
         let remaining: Vec<usize> = remaining.iter().copied().filter(|&x| x != a).collect();
         for (i, child) in children.iter().enumerate() {
-            let mut sibs: Vec<Partition> =
-                children.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, p)| p.clone()).collect();
+            let mut sibs: Vec<Partition> = children
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, p)| p.clone())
+                .collect();
             if self.ancestor_siblings {
                 sibs.extend(siblings.iter().cloned());
             }
@@ -167,7 +183,7 @@ impl Algorithm for Unbalanced {
     fn run(&self, ctx: &AuditContext<'_>) -> Result<AuditResult, AuditError> {
         let start = Instant::now();
         let mut run = Run {
-            ctx,
+            engine: EvalEngine::new(ctx),
             choice: self.choice,
             stopping: self.stopping,
             ancestor_siblings: self.ancestor_siblings,
@@ -184,10 +200,8 @@ impl Algorithm for Unbalanced {
         let remaining: Vec<usize> = ctx.attributes().to_vec();
         match run.choose_for(&root, &remaining)? {
             None => run.output.push(root),
-            Some(a) => {
-                let children = ctx.split(&root, a).expect("chosen attribute splits");
-                let remaining: Vec<usize> =
-                    remaining.iter().copied().filter(|&x| x != a).collect();
+            Some((a, children)) => {
+                let remaining: Vec<usize> = remaining.iter().copied().filter(|&x| x != a).collect();
                 for (i, child) in children.iter().enumerate() {
                     let sibs: Vec<Partition> = children
                         .iter()
@@ -200,14 +214,15 @@ impl Algorithm for Unbalanced {
             }
         }
 
-        let partitioning = Partitioning::new(run.output);
-        let unfairness = ctx.unfairness(partitioning.partitions())?;
+        let partitioning = Partitioning::new(std::mem::take(&mut run.output));
+        let unfairness = run.engine.unfairness(partitioning.partitions())?;
         Ok(AuditResult {
             algorithm: self.name(),
             partitioning,
             unfairness,
             elapsed: start.elapsed(),
             candidates_evaluated: run.evaluations,
+            engine: run.engine.stats(),
         })
     }
 }
@@ -242,27 +257,43 @@ mod tests {
         let result = Unbalanced::new(AttributeChoice::Worst).run(&ctx).unwrap();
         // Figure 1's optimum: Male-English, Male-Indian, Male-Other,
         // Female — males split by language, females kept whole.
-        assert_eq!(result.partitioning.len(), 4, "{}", result.partitioning.describe(&t));
+        assert_eq!(
+            result.partitioning.len(),
+            4,
+            "{}",
+            result.partitioning.describe(&t)
+        );
         let female_whole = result
             .partitioning
             .partitions()
             .iter()
             .any(|p| p.len() == 4 && p.predicate.constraints().len() == 1);
-        assert!(female_whole, "females should stay whole:\n{}", result.partitioning.describe(&t));
+        assert!(
+            female_whole,
+            "females should stay whole:\n{}",
+            result.partitioning.describe(&t)
+        );
     }
 
     #[test]
     fn names() {
         assert_eq!(Unbalanced::new(AttributeChoice::Worst).name(), "unbalanced");
-        assert_eq!(Unbalanced::new(AttributeChoice::Random { seed: 0 }).name(), "r-unbalanced");
+        assert_eq!(
+            Unbalanced::new(AttributeChoice::Random { seed: 0 }).name(),
+            "r-unbalanced"
+        );
     }
 
     #[test]
     fn deterministic_in_seed() {
         let (t, scores) = toy_workers();
         let ctx = AuditContext::new(&t, &scores, AuditConfig::default()).unwrap();
-        let a = Unbalanced::new(AttributeChoice::Random { seed: 11 }).run(&ctx).unwrap();
-        let b = Unbalanced::new(AttributeChoice::Random { seed: 11 }).run(&ctx).unwrap();
+        let a = Unbalanced::new(AttributeChoice::Random { seed: 11 })
+            .run(&ctx)
+            .unwrap();
+        let b = Unbalanced::new(AttributeChoice::Random { seed: 11 })
+            .run(&ctx)
+            .unwrap();
         assert_eq!(a.unfairness, b.unfairness);
         assert_eq!(a.partitioning.len(), b.partitioning.len());
     }

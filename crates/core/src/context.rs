@@ -51,12 +51,18 @@ impl std::fmt::Debug for AuditConfig {
 impl AuditConfig {
     /// Default config with a specific bin count.
     pub fn with_bins(bins: usize) -> Self {
-        AuditConfig { bins, ..Default::default() }
+        AuditConfig {
+            bins,
+            ..Default::default()
+        }
     }
 
     /// Default config with a specific distance.
     pub fn with_distance(distance: Arc<dyn HistogramDistance>) -> Self {
-        AuditConfig { distance, ..Default::default() }
+        AuditConfig {
+            distance,
+            ..Default::default()
+        }
     }
 }
 
@@ -102,7 +108,10 @@ impl<'a> AuditContext<'a> {
             return Err(AuditError::EmptyTable);
         }
         if scores.len() != table.len() {
-            return Err(AuditError::ScoreLength { rows: table.len(), scores: scores.len() });
+            return Err(AuditError::ScoreLength {
+                rows: table.len(),
+                scores: scores.len(),
+            });
         }
         for (row, &s) in scores.iter().enumerate() {
             if !s.is_finite() || !(0.0..=1.0).contains(&s) {
@@ -111,26 +120,30 @@ impl<'a> AuditContext<'a> {
         }
         let spec = BinSpec::equal_width(0.0, 1.0, config.bins)
             .map_err(|e| AuditError::Bins(e.to_string()))?;
-        let attributes = match &config.attributes {
-            None => table.schema().splittable(),
-            Some(names) => {
-                let splittable = table.schema().splittable();
-                let mut attrs = Vec::with_capacity(names.len());
-                for name in names {
-                    let idx = table.schema().index_of(name).map_err(|_| {
-                        AuditError::BadAttribute { name: name.clone(), reason: "unknown" }
-                    })?;
-                    if !splittable.contains(&idx) {
-                        return Err(AuditError::BadAttribute {
-                            name: name.clone(),
-                            reason: "not a categorical protected attribute",
-                        });
+        let attributes =
+            match &config.attributes {
+                None => table.schema().splittable(),
+                Some(names) => {
+                    let splittable = table.schema().splittable();
+                    let mut attrs = Vec::with_capacity(names.len());
+                    for name in names {
+                        let idx = table.schema().index_of(name).map_err(|_| {
+                            AuditError::BadAttribute {
+                                name: name.clone(),
+                                reason: "unknown",
+                            }
+                        })?;
+                        if !splittable.contains(&idx) {
+                            return Err(AuditError::BadAttribute {
+                                name: name.clone(),
+                                reason: "not a categorical protected attribute",
+                            });
+                        }
+                        attrs.push(idx);
                     }
-                    attrs.push(idx);
+                    attrs
                 }
-                attrs
-            }
-        };
+            };
         if attributes.is_empty() {
             return Err(AuditError::NoAttributes);
         }
@@ -188,7 +201,11 @@ impl<'a> AuditContext<'a> {
     /// Build a [`Partition`] from a predicate and its rows.
     pub fn partition(&self, predicate: Predicate, rows: RowSet) -> Partition {
         let histogram = self.histogram(&rows);
-        Partition { predicate, rows, histogram }
+        Partition {
+            predicate,
+            rows,
+            histogram,
+        }
     }
 
     /// The root partition: all workers, the always-true predicate.
@@ -209,7 +226,10 @@ impl<'a> AuditContext<'a> {
         if groups.len() <= 1 {
             return None;
         }
-        if groups.iter().any(|(_, rows)| rows.len() < self.min_partition_size) {
+        if groups
+            .iter()
+            .any(|(_, rows)| rows.len() < self.min_partition_size)
+        {
             return None;
         }
         Some(
@@ -229,7 +249,10 @@ impl<'a> AuditContext<'a> {
     /// [`AuditError::Distance`] if the configured distance fails
     /// (histogram layouts always match inside one context).
     pub fn unfairness(&self, parts: &[Partition]) -> Result<f64, AuditError> {
-        let live: Vec<&Partition> = parts.iter().filter(|p| !p.is_empty()).collect();
+        self.unfairness_refs(parts.iter().filter(|p| !p.is_empty()).collect())
+    }
+
+    fn unfairness_refs(&self, live: Vec<&Partition>) -> Result<f64, AuditError> {
         if live.len() < 2 {
             return Ok(0.0);
         }
@@ -237,7 +260,9 @@ impl<'a> AuditContext<'a> {
         let mut pairs = 0usize;
         for i in 0..live.len() {
             for j in i + 1..live.len() {
-                sum += self.distance.distance(&live[i].histogram, &live[j].histogram)?;
+                sum += self
+                    .distance
+                    .distance(&live[i].histogram, &live[j].histogram)?;
                 pairs += 1;
             }
         }
@@ -257,10 +282,15 @@ impl<'a> AuditContext<'a> {
         group: &[Partition],
         siblings: &[Partition],
     ) -> Result<f64, AuditError> {
-        let mut all: Vec<Partition> = Vec::with_capacity(group.len() + siblings.len());
-        all.extend(group.iter().cloned());
-        all.extend(siblings.iter().cloned());
-        self.unfairness(&all)
+        // Borrow, don't clone: histograms are the heavy part of a
+        // partition and this is called once per stopping decision.
+        self.unfairness_refs(
+            group
+                .iter()
+                .chain(siblings.iter())
+                .filter(|p| !p.is_empty())
+                .collect(),
+        )
     }
 
     /// Average distance over **cross pairs only** (`group` × `siblings`)
@@ -295,10 +325,7 @@ mod tests {
     use super::*;
     use fairjob_marketplace::toy::toy_workers;
 
-    fn ctx_on_toy<'a>(
-        table: &'a Table,
-        scores: &'a [f64],
-    ) -> AuditContext<'a> {
+    fn ctx_on_toy<'a>(table: &'a Table, scores: &'a [f64]) -> AuditContext<'a> {
         AuditContext::new(table, scores, AuditConfig::default()).unwrap()
     }
 
@@ -328,17 +355,26 @@ mod tests {
         let ctx = ctx_on_toy(&t, &scores);
         assert_eq!(ctx.attributes().len(), 2);
         // Explicit selection.
-        let cfg = AuditConfig { attributes: Some(vec!["gender".into()]), ..Default::default() };
+        let cfg = AuditConfig {
+            attributes: Some(vec!["gender".into()]),
+            ..Default::default()
+        };
         let ctx = AuditContext::new(&t, &scores, cfg).unwrap();
         assert_eq!(ctx.attributes(), &[0]);
         // Unknown name.
-        let cfg = AuditConfig { attributes: Some(vec!["nope".into()]), ..Default::default() };
+        let cfg = AuditConfig {
+            attributes: Some(vec!["nope".into()]),
+            ..Default::default()
+        };
         assert!(matches!(
             AuditContext::new(&t, &scores, cfg),
             Err(AuditError::BadAttribute { .. })
         ));
         // Observed attribute is not splittable.
-        let cfg = AuditConfig { attributes: Some(vec!["score".into()]), ..Default::default() };
+        let cfg = AuditConfig {
+            attributes: Some(vec!["score".into()]),
+            ..Default::default()
+        };
         assert!(matches!(
             AuditContext::new(&t, &scores, cfg),
             Err(AuditError::BadAttribute { .. })
@@ -383,7 +419,10 @@ mod tests {
     #[test]
     fn min_partition_size_blocks_small_splits() {
         let (t, scores) = toy_workers();
-        let cfg = AuditConfig { min_partition_size: 3, ..Default::default() };
+        let cfg = AuditConfig {
+            min_partition_size: 3,
+            ..Default::default()
+        };
         let ctx = AuditContext::new(&t, &scores, cfg).unwrap();
         // Gender split gives 6 + 4: allowed.
         assert!(ctx.split(&ctx.root(), 0).is_some());
@@ -425,7 +464,10 @@ mod tests {
             .unfairness_union(std::slice::from_ref(&m), std::slice::from_ref(&f))
             .unwrap();
         let cross = ctx.unfairness_cross(&[m], &[f]).unwrap();
-        assert!((union - cross).abs() < 1e-12, "two partitions: both views agree");
+        assert!(
+            (union - cross).abs() < 1e-12,
+            "two partitions: both views agree"
+        );
         assert_eq!(ctx.unfairness_cross(&[], &[ctx.root()]).unwrap(), 0.0);
     }
 }

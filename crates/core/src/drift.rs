@@ -51,7 +51,11 @@ impl DriftMonitor {
         absolute_slack: f64,
     ) -> Self {
         DriftMonitor {
-            groups: partitioning.partitions().iter().map(|p| p.rows.clone()).collect(),
+            groups: partitioning
+                .partitions()
+                .iter()
+                .map(|p| p.rows.clone())
+                .collect(),
             spec,
             distance,
             baseline,
@@ -76,7 +80,10 @@ impl DriftMonitor {
     pub fn observe(&mut self, scores: &[f64]) -> Result<DriftPoint, AuditError> {
         let rows: usize = self.groups.iter().map(RowSet::len).sum();
         if scores.len() < rows {
-            return Err(AuditError::ScoreLength { rows, scores: scores.len() });
+            return Err(AuditError::ScoreLength {
+                rows,
+                scores: scores.len(),
+            });
         }
         let hists: Vec<Histogram> = self
             .groups
@@ -149,7 +156,10 @@ mod tests {
         let mut workers = generate_uniform(300, 51);
         bucketise_numeric_protected(&mut workers).unwrap();
         let scores = LinearScore::alpha("f", 0.5).score_all(&workers).unwrap();
-        let cfg = AuditConfig { attributes: Some(vec!["gender".into()]), ..Default::default() };
+        let cfg = AuditConfig {
+            attributes: Some(vec!["gender".into()]),
+            ..Default::default()
+        };
         let ctx = AuditContext::new(&workers, &scores, cfg).unwrap();
         let audit = Balanced::new(AttributeChoice::Worst).run(&ctx).unwrap();
         let monitor = DriftMonitor::new(

@@ -1,0 +1,620 @@
+//! The incremental unfairness evaluation engine.
+//!
+//! Every search algorithm repeatedly evaluates `unfairness(P, f)` —
+//! the average pairwise histogram distance of Definition 2 — over
+//! partitionings that differ from one another in only a few positions:
+//! sibling candidate splits share every untouched partition, and
+//! consecutive greedy rounds share everything except the partitions the
+//! committed split replaced. Recomputing the full O(k²) distance matrix
+//! per evaluation (the seed behaviour) therefore wastes almost all of
+//! its work; on the paper's 7300-worker dataset the full partitioning
+//! has ~1800 partitions → ~1.6 M pairs per evaluation.
+//!
+//! [`EvalEngine`] fixes this at three levels:
+//!
+//! 1. **Memo cache** — every computed distance is cached under the
+//!    ordered pair of the partitions' predicate fingerprints
+//!    ([`fairjob_store::Predicate::fingerprint`]). Fingerprints are
+//!    structural, so the same subgroup reached through different split
+//!    orders hits the same entry. Distances between partitions untouched
+//!    by a candidate split are never recomputed — across sibling
+//!    candidates *and* across rounds.
+//! 2. **Delta evaluation** — [`IncrementalEval`] maintains a
+//!    [`PairwiseAverager`] over the current partitioning and scores
+//!    "replace partition p by its children" hypotheticals at
+//!    O(k · changed) distances instead of O(k²), reverting afterwards at
+//!    zero additional distance computations (the revert re-looks-up
+//!    distances that were just cached).
+//! 3. **Parallel path** — full evaluations over at least
+//!    [`EvalEngine::with_parallel_threshold`] live partitions classify
+//!    cache hits serially, compute the misses on scoped worker threads
+//!    (the pattern of
+//!    [`crate::unfairness::average_pairwise_parallel`]), and take the
+//!    final sum serially in pair order so the result is independent of
+//!    the thread count. A distance error in a worker propagates as
+//!    [`AuditError::Distance`], not a panic.
+//!
+//! The engine counts distances computed, cache hits, and cache bypasses
+//! ([`EngineStats`]); algorithms surface the counters through
+//! [`crate::report::AuditResult::engine`] and the CLI audit report.
+//! Every cached or incremental result stays within 1e-9 of the naive
+//! [`crate::AuditContext::unfairness`] on identical inputs.
+
+use crate::context::AuditContext;
+use crate::error::AuditError;
+use crate::partition::Partition;
+use crate::unfairness::{DistanceOracle, PairwiseAverager, UNKEYED_BIT};
+use fairjob_hist::Histogram;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// Counter snapshot of an engine's work (all monotonically increasing
+/// over the engine's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Distances actually computed (cache misses + bypasses).
+    pub distances_computed: u64,
+    /// Distance lookups served from the memo cache.
+    pub cache_hits: u64,
+    /// Distance computations that bypassed the cache because at least
+    /// one histogram carried no partition fingerprint.
+    pub cache_bypasses: u64,
+}
+
+impl EngineStats {
+    /// Total distance lookups the engine answered.
+    pub fn lookups(&self) -> u64 {
+        self.distances_computed + self.cache_hits
+    }
+}
+
+/// The shared evaluation engine: a fingerprint-keyed distance memo
+/// cache over one [`AuditContext`], plus the cached/incremental/parallel
+/// evaluation paths built on it. Create one per algorithm run and route
+/// every unfairness query through it.
+pub struct EvalEngine<'c, 'a> {
+    ctx: &'c AuditContext<'a>,
+    cache: RefCell<HashMap<(u128, u128), f64>>,
+    distances_computed: Cell<u64>,
+    cache_hits: Cell<u64>,
+    cache_bypasses: Cell<u64>,
+    parallel_threshold: usize,
+    threads: usize,
+    max_entries: usize,
+}
+
+impl<'c, 'a> EvalEngine<'c, 'a> {
+    /// An engine over `ctx` with default tuning: parallel evaluation
+    /// above 256 live partitions, up to 8 worker threads, cache capped
+    /// at 8 M entries.
+    pub fn new(ctx: &'c AuditContext<'a>) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(8);
+        EvalEngine {
+            ctx,
+            cache: RefCell::new(HashMap::new()),
+            distances_computed: Cell::new(0),
+            cache_hits: Cell::new(0),
+            cache_bypasses: Cell::new(0),
+            parallel_threshold: 256,
+            threads,
+            max_entries: 8_000_000,
+        }
+    }
+
+    /// Minimum number of live partitions in a full evaluation before
+    /// the parallel path kicks in (set `usize::MAX` to disable it).
+    pub fn with_parallel_threshold(mut self, partitions: usize) -> Self {
+        self.parallel_threshold = partitions;
+        self
+    }
+
+    /// Worker-thread count for the parallel path (clamped to ≥ 1). The
+    /// result is identical for every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The audited context this engine evaluates against.
+    pub fn ctx(&self) -> &'c AuditContext<'a> {
+        self.ctx
+    }
+
+    /// The cache key of a partition: its predicate's structural
+    /// fingerprint (top bit clear, so it never collides with
+    /// [`UNKEYED_BIT`]-marked averager keys).
+    pub fn key(part: &Partition) -> u128 {
+        part.predicate.fingerprint()
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            distances_computed: self.distances_computed.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_bypasses: self.cache_bypasses.get(),
+        }
+    }
+
+    fn bump(counter: &Cell<u64>) {
+        counter.set(counter.get() + 1);
+    }
+
+    fn insert_cache(&self, key: (u128, u128), d: f64) {
+        let mut cache = self.cache.borrow_mut();
+        if cache.len() >= self.max_entries {
+            cache.clear();
+        }
+        cache.insert(key, d);
+    }
+
+    /// Memoised distance between two keyed histograms; bypasses the
+    /// cache (but still computes) when either key is unkeyed.
+    fn cached_distance(
+        &self,
+        key_a: u128,
+        a: &Histogram,
+        key_b: u128,
+        b: &Histogram,
+    ) -> Result<f64, AuditError> {
+        if (key_a | key_b) & UNKEYED_BIT != 0 {
+            Self::bump(&self.cache_bypasses);
+            Self::bump(&self.distances_computed);
+            return Ok(self.ctx.distance().distance(a, b)?);
+        }
+        let key = if key_a <= key_b {
+            (key_a, key_b)
+        } else {
+            (key_b, key_a)
+        };
+        if let Some(&d) = self.cache.borrow().get(&key) {
+            Self::bump(&self.cache_hits);
+            return Ok(d);
+        }
+        let d = self.ctx.distance().distance(a, b)?;
+        Self::bump(&self.distances_computed);
+        self.insert_cache(key, d);
+        Ok(d)
+    }
+
+    /// Memoised distance between two partitions' histograms.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::Distance`] from the underlying distance.
+    pub fn pair_distance(&self, a: &Partition, b: &Partition) -> Result<f64, AuditError> {
+        self.cached_distance(Self::key(a), &a.histogram, Self::key(b), &b.histogram)
+    }
+
+    /// Cached full evaluation of `unfairness(parts, f)` — identical to
+    /// [`AuditContext::unfairness`] (pair order, skip rules, and final
+    /// division match exactly; only the distance computations are
+    /// memoised). Above the parallel threshold the misses are computed
+    /// on worker threads.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::Distance`] from the underlying distance, including
+    /// errors raised inside parallel workers.
+    pub fn unfairness(&self, parts: &[Partition]) -> Result<f64, AuditError> {
+        let refs: Vec<&Partition> = parts.iter().collect();
+        self.unfairness_refs(&refs)
+    }
+
+    /// Cached evaluation over the union of two partition groups, without
+    /// cloning either (the borrow-based replacement for the audit
+    /// context's clone-everything `unfairness_union`).
+    ///
+    /// # Errors
+    ///
+    /// As for [`EvalEngine::unfairness`].
+    pub fn unfairness_union(
+        &self,
+        group: &[Partition],
+        siblings: &[Partition],
+    ) -> Result<f64, AuditError> {
+        let refs: Vec<&Partition> = group.iter().chain(siblings.iter()).collect();
+        self.unfairness_refs(&refs)
+    }
+
+    /// Cached evaluation over cross pairs only (`group` × `siblings`),
+    /// mirroring [`AuditContext::unfairness_cross`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`EvalEngine::unfairness`].
+    pub fn unfairness_cross(
+        &self,
+        group: &[Partition],
+        siblings: &[Partition],
+    ) -> Result<f64, AuditError> {
+        let ga: Vec<&Partition> = group.iter().filter(|p| !p.is_empty()).collect();
+        let gb: Vec<&Partition> = siblings.iter().filter(|p| !p.is_empty()).collect();
+        if ga.is_empty() || gb.is_empty() {
+            return Ok(0.0);
+        }
+        let mut sum = 0.0;
+        for a in &ga {
+            for b in &gb {
+                sum += self.pair_distance(a, b)?;
+            }
+        }
+        Ok(sum / (ga.len() * gb.len()) as f64)
+    }
+
+    fn unfairness_refs(&self, parts: &[&Partition]) -> Result<f64, AuditError> {
+        let live: Vec<&Partition> = parts.iter().copied().filter(|p| !p.is_empty()).collect();
+        let n = live.len();
+        if n < 2 {
+            return Ok(0.0);
+        }
+        let pairs = n * (n - 1) / 2;
+        let keys: Vec<u128> = live.iter().map(|p| Self::key(p)).collect();
+        if n >= self.parallel_threshold && self.threads > 1 {
+            return self.unfairness_parallel(&live, &keys, pairs);
+        }
+        let mut sum = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                sum +=
+                    self.cached_distance(keys[i], &live[i].histogram, keys[j], &live[j].histogram)?;
+            }
+        }
+        Ok(sum / pairs as f64)
+    }
+
+    /// The parallel full evaluation: serial hit/miss classification,
+    /// scoped-thread miss computation, then a serial sum in (i, j) pair
+    /// order so the floating-point result is thread-count independent.
+    fn unfairness_parallel(
+        &self,
+        live: &[&Partition],
+        keys: &[u128],
+        pairs: usize,
+    ) -> Result<f64, AuditError> {
+        let n = live.len();
+        let mut vals: Vec<f64> = Vec::with_capacity(pairs);
+        // (position in `vals`, i, j) of each pair missing from the cache.
+        let mut misses: Vec<(usize, usize, usize)> = Vec::new();
+        {
+            let cache = self.cache.borrow();
+            let mut hits = 0u64;
+            for i in 0..n {
+                for j in i + 1..n {
+                    let key = if keys[i] <= keys[j] {
+                        (keys[i], keys[j])
+                    } else {
+                        (keys[j], keys[i])
+                    };
+                    match cache.get(&key) {
+                        Some(&d) => {
+                            vals.push(d);
+                            hits += 1;
+                        }
+                        None => {
+                            misses.push((vals.len(), i, j));
+                            vals.push(f64::NAN);
+                        }
+                    }
+                }
+            }
+            self.cache_hits.set(self.cache_hits.get() + hits);
+        }
+        if !misses.is_empty() {
+            let threads = self.threads.min(misses.len());
+            let chunk_len = misses.len().div_ceil(threads);
+            let distance = self.ctx.distance();
+            let results: Vec<Result<Vec<f64>, AuditError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = misses
+                    .chunks(chunk_len)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk
+                                .iter()
+                                .map(|&(_, i, j)| {
+                                    distance
+                                        .distance(&live[i].histogram, &live[j].histogram)
+                                        .map_err(AuditError::from)
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("unfairness worker panicked"))
+                    .collect()
+            });
+            let mut computed: Vec<f64> = Vec::with_capacity(misses.len());
+            for r in results {
+                computed.extend(r?);
+            }
+            self.distances_computed
+                .set(self.distances_computed.get() + computed.len() as u64);
+            {
+                let mut cache = self.cache.borrow_mut();
+                if cache.len() + computed.len() > self.max_entries {
+                    cache.clear();
+                }
+                for (&(at, i, j), &d) in misses.iter().zip(&computed) {
+                    vals[at] = d;
+                    let key = if keys[i] <= keys[j] {
+                        (keys[i], keys[j])
+                    } else {
+                        (keys[j], keys[i])
+                    };
+                    cache.insert(key, d);
+                }
+            }
+        }
+        let mut sum = 0.0;
+        for v in &vals {
+            sum += v;
+        }
+        Ok(sum / pairs as f64)
+    }
+}
+
+impl DistanceOracle for EvalEngine<'_, '_> {
+    fn keyed_distance(
+        &self,
+        key_a: u128,
+        a: &Histogram,
+        key_b: u128,
+        b: &Histogram,
+    ) -> Result<f64, AuditError> {
+        self.cached_distance(key_a, a, key_b, b)
+    }
+}
+
+/// Delta evaluation of candidate splits over one partitioning.
+///
+/// Seeded once per greedy round with the current partitioning (all pair
+/// distances already cached from the previous round, so seeding computes
+/// nothing new after round one), it answers "what would the average
+/// pairwise distance be if these partitions were replaced by their
+/// children?" at O(k · changed) distance lookups, restoring its state
+/// afterwards without recomputing a single distance.
+pub struct IncrementalEval<'e, 'c, 'a> {
+    engine: &'e EvalEngine<'c, 'a>,
+    averager: PairwiseAverager<'e>,
+    /// Averager slot of each seeded partition, by position in the seed
+    /// slice ([`EMPTY_SLOT`] for empty partitions, which are excluded
+    /// from the average exactly as in [`AuditContext::unfairness`]).
+    slots: Vec<usize>,
+}
+
+/// Slot sentinel for seeded partitions that are empty (and therefore not
+/// in the averager).
+const EMPTY_SLOT: usize = usize::MAX;
+
+impl<'e, 'c, 'a> IncrementalEval<'e, 'c, 'a> {
+    /// Seed the evaluator with the current partitioning. Empty
+    /// partitions are skipped, matching the naive evaluation's filter.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::Distance`] from the underlying distance.
+    pub fn new(engine: &'e EvalEngine<'c, 'a>, parts: &[Partition]) -> Result<Self, AuditError> {
+        let mut averager = PairwiseAverager::keyed(engine);
+        let mut slots = Vec::with_capacity(parts.len());
+        for p in parts {
+            slots.push(if p.is_empty() {
+                EMPTY_SLOT
+            } else {
+                averager.insert_keyed(EvalEngine::key(p), p.histogram.clone())?
+            });
+        }
+        Ok(IncrementalEval {
+            engine,
+            averager,
+            slots,
+        })
+    }
+
+    /// Average pairwise distance of the seeded partitioning.
+    pub fn average(&self) -> f64 {
+        self.averager.average()
+    }
+
+    /// Score the hypothetical partitioning obtained by replacing each
+    /// partition `index` (into the seed slice) with its `children`,
+    /// then restore the seeded state. The restore performs no new
+    /// distance computations — every distance it needs was computed (and
+    /// cached) on the way in.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::Distance`] from the underlying distance.
+    pub fn score_replacements(
+        &mut self,
+        replacements: &[(usize, &[Partition])],
+    ) -> Result<f64, AuditError> {
+        let mut removed: Vec<(usize, u128, Histogram)> = Vec::with_capacity(replacements.len());
+        for &(index, _) in replacements {
+            if self.slots[index] == EMPTY_SLOT {
+                continue;
+            }
+            if let Some((key, hist)) = self.averager.remove(self.slots[index])? {
+                removed.push((index, key, hist));
+            }
+        }
+        let mut child_slots: Vec<usize> = Vec::new();
+        for &(_, children) in replacements {
+            for child in children.iter().filter(|c| !c.is_empty()) {
+                child_slots.push(
+                    self.averager
+                        .insert_keyed(EvalEngine::key(child), child.histogram.clone())?,
+                );
+            }
+        }
+        let value = self.averager.average();
+        for slot in child_slots {
+            self.averager.remove(slot)?;
+        }
+        for (index, key, hist) in removed {
+            self.slots[index] = self.averager.insert_keyed(key, hist)?;
+        }
+        let _ = self.engine;
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Algorithm;
+    use crate::context::AuditConfig;
+    use fairjob_hist::distance::{DistanceError, HistogramDistance};
+    use fairjob_marketplace::toy::toy_workers;
+    use std::sync::Arc;
+
+    fn toy_ctx<'a>(table: &'a fairjob_store::table::Table, scores: &'a [f64]) -> AuditContext<'a> {
+        AuditContext::new(table, scores, AuditConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn cached_evaluation_is_bit_identical_to_naive() {
+        let (t, scores) = toy_workers();
+        let ctx = toy_ctx(&t, &scores);
+        let engine = EvalEngine::new(&ctx);
+        let parts = ctx.split(&ctx.root(), 1).unwrap(); // 3 language groups
+        let naive = ctx.unfairness(&parts).unwrap();
+        assert_eq!(engine.unfairness(&parts).unwrap(), naive);
+        let first = engine.stats();
+        assert_eq!(first.distances_computed, 3);
+        assert_eq!(first.cache_hits, 0);
+        // Second evaluation of the same partitioning: all hits.
+        assert_eq!(engine.unfairness(&parts).unwrap(), naive);
+        let second = engine.stats();
+        assert_eq!(second.distances_computed, 3);
+        assert_eq!(second.cache_hits, 3);
+        assert_eq!(second.cache_bypasses, 0);
+    }
+
+    #[test]
+    fn union_and_cross_match_the_context() {
+        let (t, scores) = toy_workers();
+        let ctx = toy_ctx(&t, &scores);
+        let engine = EvalEngine::new(&ctx);
+        let genders = ctx.split(&ctx.root(), 0).unwrap();
+        let langs = ctx.split(&genders[0], 1).unwrap();
+        let sibs = std::slice::from_ref(&genders[1]);
+        assert_eq!(
+            engine.unfairness_union(&langs, sibs).unwrap(),
+            ctx.unfairness_union(&langs, sibs).unwrap()
+        );
+        assert_eq!(
+            engine.unfairness_cross(&langs, sibs).unwrap(),
+            ctx.unfairness_cross(&langs, sibs).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_path_matches_serial_for_any_thread_count() {
+        let (t, scores) = toy_workers();
+        let ctx = toy_ctx(&t, &scores);
+        let parts = crate::algorithms::all_attributes::AllAttributes
+            .run(&ctx)
+            .unwrap()
+            .partitioning;
+        let serial = EvalEngine::new(&ctx).with_parallel_threshold(usize::MAX);
+        let expected = serial.unfairness(parts.partitions()).unwrap();
+        assert_eq!(expected, ctx.unfairness(parts.partitions()).unwrap());
+        for threads in [1, 2, 3, 7] {
+            let parallel = EvalEngine::new(&ctx)
+                .with_parallel_threshold(2)
+                .with_threads(threads);
+            // First pass: all misses go through workers. Bit-identical
+            // because the final sum runs serially in pair order.
+            assert_eq!(
+                parallel.unfairness(parts.partitions()).unwrap(),
+                expected,
+                "{threads}"
+            );
+            // Second pass: all hits.
+            assert_eq!(
+                parallel.unfairness(parts.partitions()).unwrap(),
+                expected,
+                "{threads}"
+            );
+            let stats = parallel.stats();
+            assert_eq!(stats.cache_hits, stats.distances_computed);
+        }
+    }
+
+    /// A distance that always fails, for exercising worker error paths.
+    struct AlwaysFails;
+
+    impl HistogramDistance for AlwaysFails {
+        fn distance(&self, _: &Histogram, _: &Histogram) -> Result<f64, DistanceError> {
+            Err(DistanceError::EmptyHistogram)
+        }
+        fn name(&self) -> &'static str {
+            "always-fails"
+        }
+    }
+
+    #[test]
+    fn distance_error_in_a_parallel_worker_propagates_as_audit_error() {
+        let (t, scores) = toy_workers();
+        let cfg = AuditConfig::with_distance(Arc::new(AlwaysFails));
+        let ctx = AuditContext::new(&t, &scores, cfg).unwrap();
+        let parts = ctx.split(&ctx.root(), 1).unwrap();
+        let engine = EvalEngine::new(&ctx)
+            .with_parallel_threshold(2)
+            .with_threads(4);
+        // Must come back as Err, not a worker panic.
+        let err = engine.unfairness(&parts).unwrap_err();
+        assert!(
+            matches!(err, AuditError::Distance(DistanceError::EmptyHistogram)),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_naive_and_reverts_for_free() {
+        let (t, scores) = toy_workers();
+        let ctx = toy_ctx(&t, &scores);
+        let engine = EvalEngine::new(&ctx);
+        let genders = ctx.split(&ctx.root(), 0).unwrap();
+        let male_langs = ctx.split(&genders[0], 1).unwrap();
+        let mut inc = IncrementalEval::new(&engine, &genders).unwrap();
+        assert!((inc.average() - ctx.unfairness(&genders).unwrap()).abs() < 1e-12);
+
+        // Score "replace Male by its language split" and compare with the
+        // naive evaluation of the materialised partitioning.
+        let mut replaced = male_langs.clone();
+        replaced.push(genders[1].clone());
+        let naive = ctx.unfairness(&replaced).unwrap();
+        let score = inc.score_replacements(&[(0, &male_langs)]).unwrap();
+        assert!((score - naive).abs() < 1e-9, "{score} vs {naive}");
+        // The evaluator reverted to the seeded state…
+        assert!((inc.average() - ctx.unfairness(&genders).unwrap()).abs() < 1e-12);
+        // …and re-scoring the same replacement computes nothing new.
+        let computed_before = engine.stats().distances_computed;
+        let again = inc.score_replacements(&[(0, &male_langs)]).unwrap();
+        assert_eq!(again, score);
+        assert_eq!(engine.stats().distances_computed, computed_before);
+    }
+
+    #[test]
+    fn unkeyed_histograms_bypass_the_cache() {
+        let (t, scores) = toy_workers();
+        let ctx = toy_ctx(&t, &scores);
+        let engine = EvalEngine::new(&ctx);
+        let genders = ctx.split(&ctx.root(), 0).unwrap();
+        let mut averager = PairwiseAverager::keyed(&engine);
+        // Plain inserts carry no fingerprint, so the engine computes
+        // without consulting or filling the cache.
+        averager.insert(genders[0].histogram.clone()).unwrap();
+        averager.insert(genders[1].histogram.clone()).unwrap();
+        averager.insert(genders[1].histogram.clone()).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.cache_bypasses, 3);
+        assert_eq!(stats.distances_computed, 3);
+        assert_eq!(stats.cache_hits, 0);
+    }
+}

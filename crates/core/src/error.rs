@@ -62,7 +62,10 @@ impl fmt::Display for AuditError {
             AuditError::Distance(e) => write!(f, "distance: {e}"),
             AuditError::Bins(reason) => write!(f, "bins: {reason}"),
             AuditError::BudgetExceeded { budget } => {
-                write!(f, "exhaustive search exceeded its budget of {budget} partitionings")
+                write!(
+                    f,
+                    "exhaustive search exceeded its budget of {budget} partitionings"
+                )
             }
         }
     }
@@ -88,7 +91,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = AuditError::ScoreLength { rows: 10, scores: 9 };
+        let e = AuditError::ScoreLength {
+            rows: 10,
+            scores: 9,
+        };
         assert!(e.to_string().contains("10") && e.to_string().contains('9'));
         let e = AuditError::BudgetExceeded { budget: 100 };
         assert!(e.to_string().contains("100"));

@@ -57,7 +57,10 @@ pub fn exposure_disparity(
     attr: usize,
 ) -> Result<DisparityReport, AuditError> {
     if exposure.len() != table.len() {
-        return Err(AuditError::ScoreLength { rows: table.len(), scores: exposure.len() });
+        return Err(AuditError::ScoreLength {
+            rows: table.len(),
+            scores: exposure.len(),
+        });
     }
     for (row, &e) in exposure.iter().enumerate() {
         if !e.is_finite() || e < 0.0 {
@@ -86,7 +89,10 @@ pub fn exposure_disparity(
     } else {
         None
     };
-    Ok(DisparityReport { per_group, parity_ratio })
+    Ok(DisparityReport {
+        per_group,
+        parity_ratio,
+    })
 }
 
 #[cfg(test)]
@@ -101,7 +107,10 @@ mod tests {
 
     #[test]
     fn normalisation_and_validation() {
-        assert_eq!(exposure_scores(&[0.0, 2.0, 4.0]).unwrap(), vec![0.0, 0.5, 1.0]);
+        assert_eq!(
+            exposure_scores(&[0.0, 2.0, 4.0]).unwrap(),
+            vec![0.0, 0.5, 1.0]
+        );
         assert_eq!(exposure_scores(&[0.0, 0.0]).unwrap(), vec![0.0, 0.0]);
         assert!(matches!(
             exposure_scores(&[1.0, -0.1]),

@@ -87,7 +87,10 @@ impl<'a> JointAuditContext<'a> {
         }
         for scores in [scores_a, scores_b] {
             if scores.len() != table.len() {
-                return Err(AuditError::ScoreLength { rows: table.len(), scores: scores.len() });
+                return Err(AuditError::ScoreLength {
+                    rows: table.len(),
+                    scores: scores.len(),
+                });
             }
             for (row, &s) in scores.iter().enumerate() {
                 if !s.is_finite() || !(0.0..=1.0).contains(&s) {
@@ -95,14 +98,21 @@ impl<'a> JointAuditContext<'a> {
                 }
             }
         }
-        let spec = BinSpec::equal_width(0.0, 1.0, bins)
-            .map_err(|e| AuditError::Bins(e.to_string()))?;
+        let spec =
+            BinSpec::equal_width(0.0, 1.0, bins).map_err(|e| AuditError::Bins(e.to_string()))?;
         let attributes = table.schema().splittable();
         if attributes.is_empty() {
             return Err(AuditError::NoAttributes);
         }
         let indexes = IndexSet::build(table)?;
-        Ok(JointAuditContext { table, scores_a, scores_b, spec, attributes, indexes })
+        Ok(JointAuditContext {
+            table,
+            scores_a,
+            scores_b,
+            spec,
+            attributes,
+            indexes,
+        })
     }
 
     /// The audited table.
@@ -121,7 +131,11 @@ impl<'a> JointAuditContext<'a> {
 
     fn partition(&self, predicate: Predicate, rows: RowSet) -> JointPartition {
         let histogram = self.histogram(&rows);
-        JointPartition { predicate, rows, histogram }
+        JointPartition {
+            predicate,
+            rows,
+            histogram,
+        }
     }
 
     /// Average pairwise 2-D EMD over non-empty partitions.
@@ -150,7 +164,10 @@ impl<'a> JointAuditContext<'a> {
         for p in parts {
             let splittable = !p.predicate.constrains(attr);
             let groups = if splittable {
-                self.indexes.get(attr).map(|idx| idx.split(&p.rows)).unwrap_or_default()
+                self.indexes
+                    .get(attr)
+                    .map(|idx| idx.split(&p.rows))
+                    .unwrap_or_default()
             } else {
                 Vec::new()
             };
@@ -174,8 +191,7 @@ impl<'a> JointAuditContext<'a> {
     /// [`AuditError::Distance`] from the solver.
     pub fn balanced_greedy(&self) -> Result<JointAuditResult, AuditError> {
         let start = Instant::now();
-        let mut current =
-            vec![self.partition(Predicate::always(), RowSet::all(self.table.len()))];
+        let mut current = vec![self.partition(Predicate::always(), RowSet::all(self.table.len()))];
         let mut current_value = 0.0;
         let mut remaining: Vec<usize> = self.attributes.clone();
         loop {
@@ -190,7 +206,9 @@ impl<'a> JointAuditContext<'a> {
                     best = Some((a, candidate, value));
                 }
             }
-            let Some((a, candidate, value)) = best else { break };
+            let Some((a, candidate, value)) = best else {
+                break;
+            };
             if value <= current_value + 1e-15 {
                 break;
             }
@@ -309,7 +327,10 @@ mod tests {
         let genders = jctx.split_all(&[root], gender);
         assert_eq!(genders.len(), 2);
         let noise = jctx.unfairness(&genders).unwrap();
-        assert!(noise < 0.15, "gender split of unbiased joint scores: {noise}");
+        assert!(
+            noise < 0.15,
+            "gender split of unbiased joint scores: {noise}"
+        );
 
         // The designed case on the same population for contrast.
         let codes = workers.column(gender).as_categorical().unwrap().to_vec();
@@ -322,6 +343,9 @@ mod tests {
         let root2 = jctx2.partition(Predicate::always(), RowSet::all(workers.len()));
         let genders2 = jctx2.split_all(&[root2], gender);
         let designed = jctx2.unfairness(&genders2).unwrap();
-        assert!(designed > 5.0 * noise, "designed {designed} vs noise {noise}");
+        assert!(
+            designed > 5.0 * noise,
+            "designed {designed} vs noise {noise}"
+        );
     }
 }

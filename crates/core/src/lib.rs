@@ -46,6 +46,7 @@
 pub mod algorithms;
 pub mod context;
 pub mod drift;
+pub mod engine;
 pub mod error;
 pub mod exposure;
 pub mod joint;
@@ -55,6 +56,7 @@ pub mod stats;
 pub mod unfairness;
 
 pub use context::{AuditConfig, AuditContext};
+pub use engine::{EngineStats, EvalEngine, IncrementalEval};
 pub use error::AuditError;
 pub use partition::{Partition, Partitioning};
 pub use report::AuditResult;

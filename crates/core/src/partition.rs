@@ -106,7 +106,11 @@ impl Partitioning {
     pub fn describe(&self, table: &Table) -> String {
         let mut parts: Vec<&Partition> = self.partitions.iter().collect();
         parts.sort_by_key(|p| std::cmp::Reverse(p.len()));
-        parts.iter().map(|p| p.describe(table)).collect::<Vec<_>>().join("\n")
+        parts
+            .iter()
+            .map(|p| p.describe(table))
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 }
 

@@ -1,5 +1,6 @@
 //! Audit results and their human-readable / machine-readable rendering.
 
+use crate::engine::EngineStats;
 use crate::partition::Partitioning;
 use crate::AuditContext;
 use std::time::Duration;
@@ -37,6 +38,10 @@ pub struct AuditResult {
     /// How many candidate partitionings the algorithm evaluated (the
     /// driver of the runtime differences in Tables 1–2).
     pub candidates_evaluated: usize,
+    /// Evaluation-engine counters for the run: distances actually
+    /// computed, memo-cache hits, and cache bypasses. All zero for
+    /// algorithms that do not route through [`crate::EvalEngine`].
+    pub engine: EngineStats,
 }
 
 impl AuditResult {
@@ -59,11 +64,25 @@ impl AuditResult {
                 .join(", "),
             self.elapsed,
         ));
+        if self.engine.lookups() > 0 {
+            out.push_str(&format!(
+                "engine: {} distances computed, {} cache hits, {} bypasses\n",
+                self.engine.distances_computed, self.engine.cache_hits, self.engine.cache_bypasses,
+            ));
+        }
         let mut parts: Vec<&crate::Partition> = self.partitioning.partitions().iter().collect();
         parts.sort_by_key(|p| std::cmp::Reverse(p.len()));
         for p in parts {
-            let mean = p.histogram.mean().map(|m| format!("{m:.3}")).unwrap_or_else(|| "-".into());
-            out.push_str(&format!("  {:<60} mean score {}\n", p.describe(ctx.table()), mean));
+            let mean = p
+                .histogram
+                .mean()
+                .map(|m| format!("{m:.3}"))
+                .unwrap_or_else(|| "-".into());
+            out.push_str(&format!(
+                "  {:<60} mean score {}\n",
+                p.describe(ctx.table()),
+                mean
+            ));
             if with_histograms {
                 for line in p.histogram.render_ascii(30).lines() {
                     out.push_str(&format!("    {line}\n"));
@@ -117,12 +136,15 @@ impl AuditResult {
             })
             .collect();
         format!(
-            "{{\"algorithm\":\"{}\",\"distance\":\"{}\",\"unfairness\":{:.6},\"elapsed_ms\":{:.3},\"candidates_evaluated\":{},\"attributes_used\":[{}],\"partitions\":[{}]}}",
+            "{{\"algorithm\":\"{}\",\"distance\":\"{}\",\"unfairness\":{:.6},\"elapsed_ms\":{:.3},\"candidates_evaluated\":{},\"engine\":{{\"distances_computed\":{},\"cache_hits\":{},\"cache_bypasses\":{}}},\"attributes_used\":[{}],\"partitions\":[{}]}}",
             json_escape(&self.algorithm),
             json_escape(ctx.distance().name()),
             self.unfairness,
             self.elapsed.as_secs_f64() * 1000.0,
             self.candidates_evaluated,
+            self.engine.distances_computed,
+            self.engine.cache_hits,
+            self.engine.cache_bypasses,
             attributes.join(","),
             partitions.join(",")
         )
@@ -147,9 +169,15 @@ mod tests {
             unfairness,
             elapsed: Duration::from_millis(1),
             candidates_evaluated: 1,
+            engine: EngineStats {
+                distances_computed: 4,
+                cache_hits: 96,
+                cache_bypasses: 0,
+            },
         };
         let text = result.render(&ctx, false);
         assert!(text.contains("algorithm: test"));
+        assert!(text.contains("engine: 4 distances computed, 96 cache hits, 0 bypasses"));
         assert!(text.contains("0.5000"));
         assert!(text.contains("gender=Male"));
         assert!(text.contains("gender=Female"));
@@ -170,6 +198,11 @@ mod tests {
             unfairness,
             elapsed: Duration::from_millis(2),
             candidates_evaluated: 3,
+            engine: EngineStats {
+                distances_computed: 7,
+                cache_hits: 2,
+                cache_bypasses: 1,
+            },
         };
         let json = result.to_json(&ctx);
         // Balanced braces/brackets and escaped quote.
@@ -180,6 +213,9 @@ mod tests {
         assert!(json.contains("\"attribute\":\"gender\""));
         assert!(json.contains("\"value\":\"Male\""));
         assert!(json.contains("\"candidates_evaluated\":3"));
+        assert!(json.contains(
+            "\"engine\":{\"distances_computed\":7,\"cache_hits\":2,\"cache_bypasses\":1}"
+        ));
         assert!(json.starts_with('{') && json.ends_with('}'));
     }
 

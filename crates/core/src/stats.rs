@@ -76,7 +76,11 @@ pub fn permutation_test(
     let replicates_f = replicates as f64;
     Ok(PermutationOutcome {
         observed,
-        null_mean: if replicates > 0 { sum / replicates_f } else { 0.0 },
+        null_mean: if replicates > 0 {
+            sum / replicates_f
+        } else {
+            0.0
+        },
         null_max: if replicates > 0 { max } else { 0.0 },
         p_value: (1.0 + at_least as f64) / (1.0 + replicates_f),
         replicates,
@@ -99,7 +103,10 @@ mod tests {
         let ctx = AuditContext::new(&workers, &scores, AuditConfig::default()).unwrap();
         let result = Balanced::new(AttributeChoice::Worst).run(&ctx).unwrap();
         let outcome = permutation_test(&ctx, &result.partitioning, 99, 3).unwrap();
-        assert!(outcome.p_value <= 0.05, "f6 unfairness should be significant: {outcome:?}");
+        assert!(
+            outcome.p_value <= 0.05,
+            "f6 unfairness should be significant: {outcome:?}"
+        );
         assert!(outcome.observed > outcome.null_mean);
     }
 
@@ -113,7 +120,10 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(5);
             (0..workers.len()).map(|_| rng.gen()).collect()
         };
-        let cfg = AuditConfig { attributes: Some(vec!["gender".into()]), ..Default::default() };
+        let cfg = AuditConfig {
+            attributes: Some(vec!["gender".into()]),
+            ..Default::default()
+        };
         let ctx = AuditContext::new(&workers, &scores, cfg).unwrap();
         let genders = ctx.split(&ctx.root(), 0).unwrap();
         let partitioning = Partitioning::new(genders);

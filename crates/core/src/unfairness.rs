@@ -69,7 +69,11 @@ pub fn average_pairwise_parallel(
     distance: &dyn HistogramDistance,
     threads: usize,
 ) -> Result<f64, AuditError> {
-    let live: Vec<&Histogram> = histograms.iter().filter(|h| !h.is_empty()).copied().collect();
+    let live: Vec<&Histogram> = histograms
+        .iter()
+        .filter(|h| !h.is_empty())
+        .copied()
+        .collect();
     let n = live.len();
     if n < 2 {
         return Ok(0.0);
@@ -96,7 +100,10 @@ pub fn average_pairwise_parallel(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     let mut total = 0.0;
     for r in results {
@@ -106,6 +113,71 @@ pub fn average_pairwise_parallel(
     Ok(total / pairs as f64)
 }
 
+/// Keyed distance lookup used by [`PairwiseAverager`] when driven by the
+/// evaluation engine ([`crate::engine::EvalEngine`]): keys identify the
+/// histograms' partitions so repeated pairs can be served from a memo
+/// cache instead of recomputed.
+pub trait DistanceOracle {
+    /// Distance between two histograms identified by cache keys. Keys
+    /// carrying [`UNKEYED_BIT`] must bypass any cache.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::Distance`] from the underlying distance.
+    fn keyed_distance(
+        &self,
+        key_a: u128,
+        a: &Histogram,
+        key_b: u128,
+        b: &Histogram,
+    ) -> Result<f64, AuditError>;
+}
+
+/// Sentinel bit marking keys the averager assigned itself to histograms
+/// inserted without a partition fingerprint ([`Predicate::fingerprint`]
+/// keeps this bit clear). Oracles bypass their cache for such pairs.
+///
+/// [`Predicate::fingerprint`]: fairjob_store::Predicate::fingerprint
+pub const UNKEYED_BIT: u128 = 1 << 127;
+
+/// How the averager resolves distances: a plain distance (every call
+/// computes) or a keyed oracle (calls may be served from a cache).
+enum Oracle<'d> {
+    Plain(&'d dyn HistogramDistance),
+    Keyed(&'d dyn DistanceOracle),
+}
+
+fn oracle_distance(
+    oracle: &Oracle<'_>,
+    key_a: u128,
+    a: &Histogram,
+    key_b: u128,
+    b: &Histogram,
+) -> Result<f64, AuditError> {
+    match oracle {
+        Oracle::Plain(d) => Ok(d.distance(a, b)?),
+        Oracle::Keyed(o) => o.keyed_distance(key_a, a, key_b, b),
+    }
+}
+
+/// Neumaier-compensated add: `sum += x` keeping the low-order bits lost
+/// to rounding in `comp`.
+fn neumaier_add(sum: &mut f64, comp: &mut f64, x: f64) {
+    let t = *sum + x;
+    *comp += if sum.abs() >= x.abs() {
+        (*sum - t) + x
+    } else {
+        (x - t) + *sum
+    };
+    *sum = t;
+}
+
+/// Recompute the pairwise sum exactly every this many insert/remove
+/// operations. Bounds drift without changing asymptotics: the rebuild is
+/// O(k²) distance *lookups* (cache hits under a keyed oracle), amortised
+/// to O(k²/4096) per operation.
+const REBUILD_EVERY: usize = 4096;
+
 /// Incremental average-pairwise-distance maintenance.
 ///
 /// Search procedures repeatedly ask "what is the average pairwise
@@ -114,18 +186,51 @@ pub fn average_pairwise_parallel(
 /// pairs involving *p* and its children. `PairwiseAverager` maintains
 /// the pairwise sum under insertions and removals at O(k) distances per
 /// operation.
+///
+/// The pairwise sum uses Neumaier-compensated summation plus a periodic
+/// exact rebuild, keeping the incremental value within 1e-9 of a batch
+/// computation over thousands of insert/remove cycles (load-bearing for
+/// the evaluation engine's delta scoring).
+///
+/// Freed slot ids are reused by later inserts, so `remove` is only
+/// idempotent until the next insert.
 pub struct PairwiseAverager<'d> {
-    distance: &'d dyn HistogramDistance,
-    /// Live histograms, keyed by slot; removed slots are `None`.
-    slots: Vec<Option<Histogram>>,
+    oracle: Oracle<'d>,
+    /// Live `(key, histogram)` entries by slot; removed slots are `None`.
+    slots: Vec<Option<(u128, Histogram)>>,
+    /// Slot ids freed by `remove`, reused by later inserts so the slots
+    /// vector does not grow under score/revert cycles.
+    free: Vec<usize>,
     live: usize,
     pair_sum: f64,
+    comp: f64,
+    ops_since_rebuild: usize,
+    next_unkeyed: u64,
 }
 
 impl<'d> PairwiseAverager<'d> {
-    /// An empty averager over the given distance.
+    /// An empty averager over the given distance (every pair computed).
     pub fn new(distance: &'d dyn HistogramDistance) -> Self {
-        PairwiseAverager { distance, slots: Vec::new(), live: 0, pair_sum: 0.0 }
+        Self::with_oracle(Oracle::Plain(distance))
+    }
+
+    /// An empty averager resolving distances through a keyed oracle
+    /// (pairs of keyed histograms may be served from the oracle's cache).
+    pub fn keyed(oracle: &'d dyn DistanceOracle) -> Self {
+        Self::with_oracle(Oracle::Keyed(oracle))
+    }
+
+    fn with_oracle(oracle: Oracle<'d>) -> Self {
+        PairwiseAverager {
+            oracle,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            pair_sum: 0.0,
+            comp: 0.0,
+            ops_since_rebuild: 0,
+            next_unkeyed: 0,
+        }
     }
 
     /// Seed with an initial set of histograms.
@@ -154,44 +259,110 @@ impl<'d> PairwiseAverager<'d> {
         self.live == 0
     }
 
-    /// Insert a histogram, returning its slot id. Empty histograms are
-    /// accepted but contribute nothing (mirroring
+    /// Insert a histogram without a cache key (pairs involving it are
+    /// always computed, never cached), returning its slot id. Empty
+    /// histograms are accepted but contribute nothing (mirroring
     /// [`average_pairwise`]'s skip rule).
     ///
     /// # Errors
     ///
     /// [`AuditError::Distance`] from the underlying distance.
     pub fn insert(&mut self, histogram: Histogram) -> Result<usize, AuditError> {
-        if !histogram.is_empty() {
-            for other in self.slots.iter().flatten() {
-                if !other.is_empty() {
-                    self.pair_sum += self.distance.distance(&histogram, other)?;
-                }
-            }
-            self.live += 1;
-        }
-        self.slots.push(Some(histogram));
-        Ok(self.slots.len() - 1)
+        let key = UNKEYED_BIT | u128::from(self.next_unkeyed);
+        self.next_unkeyed += 1;
+        self.insert_keyed(key, histogram)
     }
 
-    /// Remove the histogram at `slot` (no-op on already-removed slots).
+    /// Insert a histogram under a cache key (a partition fingerprint, or
+    /// a key previously returned by [`PairwiseAverager::remove`]),
+    /// returning its slot id.
     ///
     /// # Errors
     ///
     /// [`AuditError::Distance`] from the underlying distance.
-    pub fn remove(&mut self, slot: usize) -> Result<(), AuditError> {
-        let Some(victim) = self.slots.get_mut(slot).and_then(Option::take) else {
-            return Ok(());
-        };
-        if victim.is_empty() {
-            return Ok(());
+    pub fn insert_keyed(&mut self, key: u128, histogram: Histogram) -> Result<usize, AuditError> {
+        if !histogram.is_empty() {
+            let mut delta = 0.0;
+            let mut delta_comp = 0.0;
+            for (other_key, other) in self.slots.iter().flatten() {
+                if !other.is_empty() {
+                    let d = oracle_distance(&self.oracle, key, &histogram, *other_key, other)?;
+                    neumaier_add(&mut delta, &mut delta_comp, d);
+                }
+            }
+            neumaier_add(&mut self.pair_sum, &mut self.comp, delta + delta_comp);
+            self.live += 1;
         }
-        for other in self.slots.iter().flatten() {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some((key, histogram));
+                slot
+            }
+            None => {
+                self.slots.push(Some((key, histogram)));
+                self.slots.len() - 1
+            }
+        };
+        self.maybe_rebuild()?;
+        Ok(slot)
+    }
+
+    /// Remove the histogram at `slot`, returning its key and histogram
+    /// (`None` if the slot was already removed). The freed slot id is
+    /// reused by later inserts.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::Distance`] from the underlying distance.
+    pub fn remove(&mut self, slot: usize) -> Result<Option<(u128, Histogram)>, AuditError> {
+        let Some((key, victim)) = self.slots.get_mut(slot).and_then(Option::take) else {
+            return Ok(None);
+        };
+        self.free.push(slot);
+        if victim.is_empty() {
+            return Ok(Some((key, victim)));
+        }
+        let mut delta = 0.0;
+        let mut delta_comp = 0.0;
+        for (other_key, other) in self.slots.iter().flatten() {
             if !other.is_empty() {
-                self.pair_sum -= self.distance.distance(&victim, other)?;
+                let d = oracle_distance(&self.oracle, key, &victim, *other_key, other)?;
+                neumaier_add(&mut delta, &mut delta_comp, d);
             }
         }
+        neumaier_add(&mut self.pair_sum, &mut self.comp, -(delta + delta_comp));
         self.live -= 1;
+        self.maybe_rebuild()?;
+        Ok(Some((key, victim)))
+    }
+
+    fn maybe_rebuild(&mut self) -> Result<(), AuditError> {
+        self.ops_since_rebuild += 1;
+        if self.ops_since_rebuild < REBUILD_EVERY {
+            return Ok(());
+        }
+        let (sum, comp) = {
+            let live: Vec<(u128, &Histogram)> = self
+                .slots
+                .iter()
+                .flatten()
+                .filter(|(_, h)| !h.is_empty())
+                .map(|(k, h)| (*k, h))
+                .collect();
+            let mut sum = 0.0;
+            let mut comp = 0.0;
+            for i in 0..live.len() {
+                for j in i + 1..live.len() {
+                    let d =
+                        oracle_distance(&self.oracle, live[i].0, live[i].1, live[j].0, live[j].1)?;
+                    neumaier_add(&mut sum, &mut comp, d);
+                }
+            }
+            (sum, comp)
+        };
+        self.pair_sum = sum;
+        self.comp = comp;
+        self.ops_since_rebuild = 0;
         Ok(())
     }
 
@@ -202,7 +373,7 @@ impl<'d> PairwiseAverager<'d> {
             return 0.0;
         }
         let pairs = self.live * (self.live - 1) / 2;
-        (self.pair_sum / pairs as f64).max(0.0)
+        (self.pair_sum + self.comp) / pairs as f64
     }
 }
 
@@ -213,7 +384,10 @@ mod tests {
     use fairjob_hist::BinSpec;
 
     fn h(values: &[f64]) -> Histogram {
-        Histogram::from_values(BinSpec::equal_width(0.0, 1.0, 10).unwrap(), values.iter().copied())
+        Histogram::from_values(
+            BinSpec::equal_width(0.0, 1.0, 10).unwrap(),
+            values.iter().copied(),
+        )
     }
 
     #[test]
@@ -242,8 +416,9 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial() {
-        let hists: Vec<Histogram> =
-            (0..25).map(|i| h(&[i as f64 / 25.0, (i as f64 / 25.0 + 0.3).min(1.0)])).collect();
+        let hists: Vec<Histogram> = (0..25)
+            .map(|i| h(&[i as f64 / 25.0, (i as f64 / 25.0 + 0.3).min(1.0)]))
+            .collect();
         let refs: Vec<&Histogram> = hists.iter().collect();
         let serial = average_pairwise(&refs, &Emd1d).unwrap();
         for threads in [1, 2, 4, 7, 32] {
@@ -255,7 +430,10 @@ mod tests {
     #[test]
     fn averager_matches_batch_computation() {
         let values = [0.05, 0.15, 0.35, 0.55, 0.75, 0.95];
-        let hists: Vec<Histogram> = values.iter().map(|&v| h(&[v, (v + 0.2).min(1.0)])).collect();
+        let hists: Vec<Histogram> = values
+            .iter()
+            .map(|&v| h(&[v, (v + 0.2).min(1.0)]))
+            .collect();
         let refs: Vec<&Histogram> = hists.iter().collect();
         let batch = average_pairwise(&refs, &Emd1d).unwrap();
         let avg = PairwiseAverager::with_histograms(&Emd1d, hists.clone()).unwrap();
@@ -302,6 +480,55 @@ mod tests {
         avg.remove(slot).unwrap();
         assert_eq!(avg.average(), 0.0);
         assert!(avg.is_empty());
+    }
+
+    #[test]
+    fn averager_stays_exact_over_thousands_of_cycles() {
+        // Churn one averager through thousands of insert/remove cycles
+        // (crossing several exact-rebuild boundaries) and require the
+        // incremental average to stay within 1e-9 of a fresh batch
+        // computation. The old implementation drifted and masked it
+        // with `.max(0.0)`.
+        let fresh = |cycle: usize| {
+            h(&[
+                (cycle % 97) as f64 / 97.0,
+                ((cycle % 53) as f64 / 53.0 + 0.1).min(1.0),
+            ])
+        };
+        let base: Vec<Histogram> = (0..12)
+            .map(|i| h(&[i as f64 / 12.0, ((i as f64 + 3.0) / 12.0).min(1.0)]))
+            .collect();
+        let mut avg = PairwiseAverager::with_histograms(&Emd1d, base.clone()).unwrap();
+        let mut slots: Vec<usize> = (0..base.len()).collect();
+        let mut finals: Vec<Histogram> = base.clone();
+        for cycle in 0..5000usize {
+            let victim = cycle % base.len();
+            avg.remove(slots[victim]).unwrap();
+            slots[victim] = avg.insert(fresh(cycle)).unwrap();
+            finals[victim] = fresh(cycle);
+        }
+        let refs: Vec<&Histogram> = finals.iter().collect();
+        let batch = average_pairwise(&refs, &Emd1d).unwrap();
+        assert!(
+            (avg.average() - batch).abs() < 1e-9,
+            "incremental {} vs batch {} after 5000 cycles",
+            avg.average(),
+            batch
+        );
+        assert_eq!(avg.len(), base.len());
+    }
+
+    #[test]
+    fn freed_slots_are_reused() {
+        let mut avg = PairwiseAverager::new(&Emd1d);
+        let a = avg.insert(h(&[0.1])).unwrap();
+        let _b = avg.insert(h(&[0.5])).unwrap();
+        let (_, hist) = avg.remove(a).unwrap().expect("slot was live");
+        assert_eq!(hist.total(), 1.0);
+        assert!(avg.remove(a).unwrap().is_none(), "second remove is a no-op");
+        let c = avg.insert(h(&[0.9])).unwrap();
+        assert_eq!(c, a, "freed slot id is reused");
+        assert!((avg.average() - 0.4).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Parity guarantees for the evaluation engine: every cached,
+//! incremental, or parallel unfairness value must stay within 1e-9 of
+//! the naive O(k²) evaluation it replaces — across random populations,
+//! scoring functions, and every algorithm of the paper's comparison.
+
+use fairjob_core::algorithms::{beam::Beam, lookahead::Lookahead, unbalanced::Unbalanced};
+use fairjob_core::algorithms::{paper_algorithms, AttributeChoice};
+use fairjob_core::{AuditConfig, AuditContext, EvalEngine, IncrementalEval};
+use fairjob_marketplace::scoring::{LinearScore, RuleBasedScore, ScoringFunction};
+use fairjob_marketplace::{bucketise_numeric_protected, generate_uniform};
+use proptest::prelude::*;
+
+const TOLERANCE: f64 = 1e-9;
+
+/// A generated audit context input: population + scores.
+fn population(size: usize, seed: u64, rule: bool) -> (fairjob_store::table::Table, Vec<f64>) {
+    let mut workers = generate_uniform(size, seed);
+    bucketise_numeric_protected(&mut workers).unwrap();
+    let scores = if rule {
+        RuleBasedScore::f7(5).score_all(&workers).unwrap()
+    } else {
+        LinearScore::alpha("f1", 0.5).score_all(&workers).unwrap()
+    };
+    (workers, scores)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every algorithm's reported unfairness equals the naive recompute
+    /// of its final partitioning, and a fresh engine (serial and forced
+    /// parallel) agrees with the naive evaluation on that partitioning.
+    #[test]
+    fn algorithms_agree_with_naive_evaluation(
+        size in 60usize..220,
+        seed in 0u64..1_000,
+    ) {
+        let (workers, scores) = population(size, seed, seed % 2 == 0);
+        let ctx = AuditContext::new(&workers, &scores, AuditConfig::default()).unwrap();
+        let mut algos = paper_algorithms(seed);
+        algos.push(Box::new(Beam::new(2)));
+        algos.push(Box::new(Lookahead::new(2)));
+        algos.push(Box::new(Unbalanced::new(AttributeChoice::Worst).with_cross_stopping()));
+        for algo in &algos {
+            let result = algo.run(&ctx).unwrap();
+            let naive = ctx.unfairness(result.partitioning.partitions()).unwrap();
+            prop_assert!(
+                (result.unfairness - naive).abs() < TOLERANCE,
+                "{}: engine {} vs naive {}",
+                result.algorithm,
+                result.unfairness,
+                naive
+            );
+            // The engine never reports more computed distances than the
+            // lookups it answered.
+            prop_assert!(result.engine.distances_computed <= result.engine.lookups());
+
+            let serial = EvalEngine::new(&ctx).with_parallel_threshold(usize::MAX);
+            let parallel = EvalEngine::new(&ctx).with_parallel_threshold(2).with_threads(3);
+            let parts = result.partitioning.partitions();
+            prop_assert!((serial.unfairness(parts).unwrap() - naive).abs() < TOLERANCE);
+            prop_assert!((parallel.unfairness(parts).unwrap() - naive).abs() < TOLERANCE);
+        }
+    }
+
+    /// Delta evaluation of candidate splits matches materialise+naive.
+    #[test]
+    fn incremental_scores_match_materialised_naive(
+        size in 80usize..260,
+        seed in 0u64..1_000,
+    ) {
+        let (workers, scores) = population(size, seed, true);
+        let ctx = AuditContext::new(&workers, &scores, AuditConfig::default()).unwrap();
+        let engine = EvalEngine::new(&ctx);
+        // Start one split down so there is a level to delta-evaluate.
+        let attrs = ctx.attributes().to_vec();
+        let base = ctx.split(&ctx.root(), attrs[0]).unwrap_or_else(|| vec![ctx.root()]);
+        let mut incremental = IncrementalEval::new(&engine, &base).unwrap();
+        for &a in &attrs[1..] {
+            // Candidate: split every partition that can split by `a`.
+            let splits: Vec<(usize, Vec<fairjob_core::Partition>)> = base
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| ctx.split(p, a).map(|children| (i, children)))
+                .collect();
+            if splits.is_empty() {
+                continue;
+            }
+            let replacements: Vec<(usize, &[fairjob_core::Partition])> =
+                splits.iter().map(|(i, children)| (*i, children.as_slice())).collect();
+            let score = incremental.score_replacements(&replacements).unwrap();
+
+            let mut materialised: Vec<fairjob_core::Partition> = Vec::new();
+            let mut next = 0;
+            for (i, p) in base.iter().enumerate() {
+                if next < splits.len() && splits[next].0 == i {
+                    materialised.extend(splits[next].1.iter().cloned());
+                    next += 1;
+                } else {
+                    materialised.push(p.clone());
+                }
+            }
+            let naive = ctx.unfairness(&materialised).unwrap();
+            prop_assert!(
+                (score - naive).abs() < TOLERANCE,
+                "attr {a}: incremental {score} vs naive {naive}"
+            );
+        }
+    }
+}

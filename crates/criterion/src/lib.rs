@@ -1,0 +1,239 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no registry access, so the workspace pins
+//! this path crate in place of crates.io `criterion`. It keeps the same
+//! authoring surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`criterion_group!`],
+//! [`criterion_main!`], [`Bencher::iter`] — but the measurement core is
+//! deliberately simple: each benchmark runs a short warm-up followed by
+//! a fixed batch of timed iterations and prints mean wall-clock per
+//! iteration. No statistical analysis, outlier detection, plots, HTML
+//! reports, or CLI filtering.
+//!
+//! Benches therefore still *run* (useful for the correctness assertions
+//! embedded in them, e.g. the engine-counter checks in
+//! `crates/bench/benches/engine.rs`) and still produce comparable
+//! rough timings, without any external dependencies.
+
+use std::time::{Duration, Instant};
+
+/// Identifier for one parameterised benchmark case, rendered as
+/// `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id combining a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark name: `&str`, `String`, or
+/// [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (untimed) so cold caches don't dominate the tiny
+        // sample this stub takes.
+        for _ in 0..self.iters.min(2) {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn report(name: &str, iters: u64, elapsed: Duration) {
+    let per_iter = elapsed.as_secs_f64() / iters as f64;
+    let (value, unit) = if per_iter >= 1.0 {
+        (per_iter, "s")
+    } else if per_iter >= 1e-3 {
+        (per_iter * 1e3, "ms")
+    } else if per_iter >= 1e-6 {
+        (per_iter * 1e6, "µs")
+    } else {
+        (per_iter * 1e9, "ns")
+    };
+    println!("bench: {name:<60} {value:>10.3} {unit}/iter ({iters} iters)");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// In real criterion this sets the statistical sample count; here it
+    /// scales the fixed iteration batch (clamped to keep stub runs
+    /// fast).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).clamp(1, 100);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher {
+            iters: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&name, b.iters, b.elapsed);
+        self
+    }
+
+    /// Run one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher {
+            iters: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        report(&name, b.iters, b.elapsed);
+        self
+    }
+
+    /// No-op (real criterion emits the group summary here).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark context, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        self.benchmark_group("standalone").bench_function(id, f);
+        self
+    }
+}
+
+/// Re-export matching `criterion::black_box` (benches here import the
+/// std version directly, but keep the alias for API parity).
+pub use std::hint::black_box;
+
+/// Bundle benchmark functions under one name, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (CLI arguments are ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(5);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_runs_benches() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("solve", 128).into_id(), "solve/128");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+}

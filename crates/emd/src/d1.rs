@@ -27,13 +27,18 @@ use crate::{EmdError, MASS_EPS};
 #[allow(clippy::neg_cmp_op_on_partial_ord)]
 pub fn emd_1d_grid(a: &[f64], b: &[f64], lo: f64, hi: f64) -> Result<f64, EmdError> {
     if a.len() != b.len() {
-        return Err(EmdError::LengthMismatch { left: a.len(), right: b.len() });
+        return Err(EmdError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
     if a.is_empty() {
         return Err(EmdError::Empty);
     }
     if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
-        return Err(EmdError::BadGrid { reason: "require finite lo < hi" });
+        return Err(EmdError::BadGrid {
+            reason: "require finite lo < hi",
+        });
     }
     crate::validate_masses(a)?;
     crate::validate_masses(b)?;
@@ -65,13 +70,25 @@ pub fn emd_1d_grid(a: &[f64], b: &[f64], lo: f64, hi: f64) -> Result<f64, EmdErr
 ///
 /// Same validation failures as [`emd_1d_grid`].
 pub fn emd_1d_positions(a: &[f64], b: &[f64], positions: &[f64]) -> Result<f64, EmdError> {
-    if a.len() != b.len() || a.len() != positions.len() {
-        return Err(EmdError::LengthMismatch { left: a.len(), right: b.len().max(positions.len()) });
+    if a.len() != b.len() {
+        return Err(EmdError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    if a.len() != positions.len() {
+        return Err(EmdError::LengthMismatch {
+            left: a.len(),
+            right: positions.len(),
+        });
     }
     if a.is_empty() {
         return Err(EmdError::Empty);
     }
-    debug_assert!(positions.windows(2).all(|w| w[0] <= w[1]), "positions must be sorted");
+    debug_assert!(
+        positions.windows(2).all(|w| w[0] <= w[1]),
+        "positions must be sorted"
+    );
     crate::validate_masses(a)?;
     crate::validate_masses(b)?;
     for (i, &p) in positions.iter().enumerate() {
@@ -215,8 +232,14 @@ mod tests {
     #[test]
     fn bad_grid_rejected() {
         let a = [1.0];
-        assert!(matches!(emd_1d_grid(&a, &a, 1.0, 0.0), Err(EmdError::BadGrid { .. })));
-        assert!(matches!(emd_1d_grid(&a, &a, f64::NAN, 1.0), Err(EmdError::BadGrid { .. })));
+        assert!(matches!(
+            emd_1d_grid(&a, &a, 1.0, 0.0),
+            Err(EmdError::BadGrid { .. })
+        ));
+        assert!(matches!(
+            emd_1d_grid(&a, &a, f64::NAN, 1.0),
+            Err(EmdError::BadGrid { .. })
+        ));
     }
 
     #[test]
@@ -246,9 +269,15 @@ mod tests {
     #[test]
     fn samples_exact_wasserstein() {
         // {0, 0} vs {1, 1}: every unit travels 1.
-        assert!(close(emd_1d_samples(&[0.0, 0.0], &[1.0, 1.0]).unwrap(), 1.0));
+        assert!(close(
+            emd_1d_samples(&[0.0, 0.0], &[1.0, 1.0]).unwrap(),
+            1.0
+        ));
         // {0, 1} vs {0, 1}: identical.
-        assert!(close(emd_1d_samples(&[0.0, 1.0], &[1.0, 0.0]).unwrap(), 0.0));
+        assert!(close(
+            emd_1d_samples(&[0.0, 1.0], &[1.0, 0.0]).unwrap(),
+            0.0
+        ));
         // {0} vs {0, 1}: half the mass travels 1.
         assert!(close(emd_1d_samples(&[0.0], &[0.0, 1.0]).unwrap(), 0.5));
     }
@@ -273,6 +302,21 @@ mod tests {
         let xs = vec![0.25; 100];
         let ys = vec![0.75; 50];
         assert!(close(emd_1d_samples(&xs, &ys).unwrap(), 0.5));
+    }
+
+    #[test]
+    fn positions_length_mismatch_reports_the_offending_side() {
+        // a vs b mismatch reports b's length...
+        assert!(matches!(
+            emd_1d_positions(&[1.0, 1.0], &[1.0, 1.0, 1.0], &[0.0, 0.5]),
+            Err(EmdError::LengthMismatch { left: 2, right: 3 })
+        ));
+        // ...and a vs positions mismatch reports positions' length, not
+        // max(b.len(), positions.len()).
+        assert!(matches!(
+            emd_1d_positions(&[1.0, 1.0], &[1.0, 1.0], &[0.0, 0.5, 1.0, 1.5]),
+            Err(EmdError::LengthMismatch { left: 2, right: 4 })
+        ));
     }
 
     #[test]

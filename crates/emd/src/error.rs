@@ -72,10 +72,16 @@ impl fmt::Display for EmdError {
             }
             EmdError::ZeroMass => write!(f, "total mass is zero"),
             EmdError::MassMismatch { left, right } => {
-                write!(f, "total masses differ: {left} vs {right} (normalisation disabled)")
+                write!(
+                    f,
+                    "total masses differ: {left} vs {right} (normalisation disabled)"
+                )
             }
             EmdError::NotSquare { rows, row_len } => {
-                write!(f, "ground matrix not square: {rows} rows but a row of length {row_len}")
+                write!(
+                    f,
+                    "ground matrix not square: {rows} rows but a row of length {row_len}"
+                )
             }
             EmdError::BadGrid { reason } => write!(f, "bad grid: {reason}"),
             EmdError::SolverStalled { solver } => write!(f, "{solver} solver stalled"),
@@ -93,7 +99,10 @@ mod tests {
     fn display_is_informative() {
         let e = EmdError::LengthMismatch { left: 3, right: 4 };
         assert!(e.to_string().contains("3 vs 4"));
-        let e = EmdError::MassMismatch { left: 1.0, right: 2.0 };
+        let e = EmdError::MassMismatch {
+            left: 1.0,
+            right: 2.0,
+        };
         assert!(e.to_string().contains("normalisation disabled"));
     }
 

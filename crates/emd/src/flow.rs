@@ -53,7 +53,10 @@ impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: smallest distance first. Distances are always finite here.
-        other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -66,7 +69,10 @@ impl PartialOrd for HeapEntry {
 impl MinCostFlow {
     /// Create a network with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        MinCostFlow { edges: Vec::new(), adj: vec![Vec::new(); n] }
+        MinCostFlow {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -80,10 +86,17 @@ impl MinCostFlow {
     /// with [`MinCostFlow::flow_on`]. Costs must be non-negative.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: f64, cost: f64) -> usize {
         debug_assert!(from < self.adj.len() && to < self.adj.len());
-        debug_assert!(cap >= 0.0 && cost >= 0.0, "capacities and costs must be non-negative");
+        debug_assert!(
+            cap >= 0.0 && cost >= 0.0,
+            "capacities and costs must be non-negative"
+        );
         let id = self.edges.len();
         self.edges.push(Edge { to, cap, cost });
-        self.edges.push(Edge { to: from, cap: 0.0, cost: -cost });
+        self.edges.push(Edge {
+            to: from,
+            cap: 0.0,
+            cost: -cost,
+        });
         self.adj[from].push(id);
         self.adj[to].push(id + 1);
         id
@@ -116,14 +129,19 @@ impl MinCostFlow {
         while want - flow > CAP_EPS {
             rounds += 1;
             if rounds > max_rounds {
-                return Err(EmdError::SolverStalled { solver: "min-cost-flow" });
+                return Err(EmdError::SolverStalled {
+                    solver: "min-cost-flow",
+                });
             }
             // Dijkstra on reduced costs.
             let mut dist = vec![f64::INFINITY; n];
             let mut prev_edge = vec![usize::MAX; n];
             dist[source] = 0.0;
             let mut heap = BinaryHeap::new();
-            heap.push(HeapEntry { dist: 0.0, node: source });
+            heap.push(HeapEntry {
+                dist: 0.0,
+                node: source,
+            });
             while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
                 if d > dist[u] + CAP_EPS {
                     continue;
@@ -140,7 +158,10 @@ impl MinCostFlow {
                     if nd + CAP_EPS < dist[e.to] {
                         dist[e.to] = nd;
                         prev_edge[e.to] = eid;
-                        heap.push(HeapEntry { dist: nd, node: e.to });
+                        heap.push(HeapEntry {
+                            dist: nd,
+                            node: e.to,
+                        });
                     }
                 }
             }

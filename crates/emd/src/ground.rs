@@ -51,12 +51,20 @@ impl GridL1 {
     #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn new(lo: f64, hi: f64, n: usize) -> Result<Self, EmdError> {
         if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
-            return Err(EmdError::BadGrid { reason: "require finite lo < hi" });
+            return Err(EmdError::BadGrid {
+                reason: "require finite lo < hi",
+            });
         }
         if n == 0 {
-            return Err(EmdError::BadGrid { reason: "zero bins" });
+            return Err(EmdError::BadGrid {
+                reason: "zero bins",
+            });
         }
-        Ok(GridL1 { lo, width: (hi - lo) / n as f64, n })
+        Ok(GridL1 {
+            lo,
+            width: (hi - lo) / n as f64,
+            n,
+        })
     }
 
     /// Centre of bin `i`.
@@ -119,7 +127,10 @@ impl Matrix {
         let n = rows.len();
         for row in &rows {
             if row.len() != n {
-                return Err(EmdError::NotSquare { rows: n, row_len: row.len() });
+                return Err(EmdError::NotSquare {
+                    rows: n,
+                    row_len: row.len(),
+                });
             }
             for (j, &c) in row.iter().enumerate() {
                 if !c.is_finite() {

@@ -97,7 +97,11 @@ impl EmdConfig {
     /// Equal-width bins over `[lo, hi]` with L1 ground distance — the
     /// configuration the fairness audits use.
     pub fn grid_l1(lo: f64, hi: f64) -> Self {
-        EmdConfig { ground: GroundKind::GridL1 { lo, hi }, solver: Solver::Flow, normalise: true }
+        EmdConfig {
+            ground: GroundKind::GridL1 { lo, hi },
+            solver: Solver::Flow,
+            normalise: true,
+        }
     }
 
     /// Explicit 1-D positions with L1 ground distance.
@@ -111,7 +115,11 @@ impl EmdConfig {
 
     /// Arbitrary ground-distance matrix.
     pub fn matrix(m: Vec<Vec<f64>>) -> Self {
-        EmdConfig { ground: GroundKind::Matrix(m), solver: Solver::Flow, normalise: true }
+        EmdConfig {
+            ground: GroundKind::Matrix(m),
+            solver: Solver::Flow,
+            normalise: true,
+        }
     }
 
     /// Saturated grid distance `min(|ci - cj|, threshold)`.
@@ -144,7 +152,10 @@ pub fn emd_between(a: &[f64], b: &[f64], config: &EmdConfig) -> Result<f64, EmdE
     validate_masses(a)?;
     validate_masses(b)?;
     if a.len() != b.len() {
-        return Err(EmdError::LengthMismatch { left: a.len(), right: b.len() });
+        return Err(EmdError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
     if a.is_empty() {
         return Err(EmdError::Empty);
@@ -157,7 +168,10 @@ pub fn emd_between(a: &[f64], b: &[f64], config: &EmdConfig) -> Result<f64, EmdE
     } else {
         let (ta, tb) = (total(a), total(b));
         if (ta - tb).abs() > MASS_EPS * ta.max(tb).max(1.0) {
-            return Err(EmdError::MassMismatch { left: ta, right: tb });
+            return Err(EmdError::MassMismatch {
+                left: ta,
+                right: tb,
+            });
         }
         (a, b)
     };
@@ -166,7 +180,10 @@ pub fn emd_between(a: &[f64], b: &[f64], config: &EmdConfig) -> Result<f64, EmdE
         GroundKind::GridL1 { lo, hi } => d1::emd_1d_grid(a, b, *lo, *hi),
         GroundKind::PositionsL1(pos) => {
             if pos.len() != a.len() {
-                return Err(EmdError::LengthMismatch { left: pos.len(), right: a.len() });
+                return Err(EmdError::LengthMismatch {
+                    left: pos.len(),
+                    right: a.len(),
+                });
             }
             if pos.windows(2).all(|w| w[0] <= w[1]) {
                 d1::emd_1d_positions(a, b, pos)
@@ -178,7 +195,10 @@ pub fn emd_between(a: &[f64], b: &[f64], config: &EmdConfig) -> Result<f64, EmdE
         GroundKind::Matrix(m) => {
             let g = Matrix::new(m.clone())?;
             if g.size() != a.len() {
-                return Err(EmdError::LengthMismatch { left: g.size(), right: a.len() });
+                return Err(EmdError::LengthMismatch {
+                    left: g.size(),
+                    right: a.len(),
+                });
             }
             transport::solve_emd(a, b, &g, config.solver).map(|s| s.cost)
         }
@@ -265,7 +285,10 @@ mod tests {
     #[test]
     fn rejects_length_mismatch() {
         let err = emd_between(&[1.0], &[0.5, 0.5], &EmdConfig::grid_l1(0.0, 1.0)).unwrap_err();
-        assert!(matches!(err, EmdError::LengthMismatch { left: 1, right: 2 }));
+        assert!(matches!(
+            err,
+            EmdError::LengthMismatch { left: 1, right: 2 }
+        ));
     }
 
     #[test]
@@ -276,8 +299,7 @@ mod tests {
 
     #[test]
     fn rejects_zero_mass_when_normalising() {
-        let err =
-            emd_between(&[0.0, 0.0], &[1.0, 0.0], &EmdConfig::grid_l1(0.0, 1.0)).unwrap_err();
+        let err = emd_between(&[0.0, 0.0], &[1.0, 0.0], &EmdConfig::grid_l1(0.0, 1.0)).unwrap_err();
         assert!(matches!(err, EmdError::ZeroMass));
     }
 

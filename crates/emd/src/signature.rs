@@ -117,7 +117,11 @@ pub fn emd_signatures(a: &Signature, b: &Signature) -> Result<f64, EmdError> {
         supplies.push(tb - ta);
         costs.push(vec![0.0; demands.len()]);
     }
-    let problem = TransportProblem { supplies, demands, costs };
+    let problem = TransportProblem {
+        supplies,
+        demands,
+        costs,
+    };
     let solution = problem.solve(Solver::Flow)?;
     Ok(solution.cost / moved)
 }
@@ -136,7 +140,10 @@ pub fn emd_signatures(a: &Signature, b: &Signature) -> Result<f64, EmdError> {
 /// [`EmdError::Negative`].
 pub fn emd_hat(a: &Signature, b: &Signature, penalty_per_unit: f64) -> Result<f64, EmdError> {
     if !penalty_per_unit.is_finite() || penalty_per_unit < 0.0 {
-        return Err(EmdError::Negative { index: 0, value: penalty_per_unit });
+        return Err(EmdError::Negative {
+            index: 0,
+            value: penalty_per_unit,
+        });
     }
     let (ta, tb) = (a.total(), b.total());
     let surplus = (ta - tb).abs();
@@ -156,7 +163,11 @@ pub fn emd_hat(a: &Signature, b: &Signature, penalty_per_unit: f64) -> Result<f6
         supplies.push(tb - ta);
         costs.push(vec![0.0; demands.len()]);
     }
-    let problem = TransportProblem { supplies, demands, costs };
+    let problem = TransportProblem {
+        supplies,
+        demands,
+        costs,
+    };
     let solution = problem.solve(Solver::Flow)?;
     Ok(solution.cost + penalty_per_unit * surplus)
 }
@@ -246,15 +257,25 @@ mod tests {
         // fixed triples.
         let triples = [
             (sig(&[(0.0, 1.0)]), sig(&[(0.5, 2.0)]), sig(&[(1.0, 1.5)])),
-            (sig(&[(0.2, 3.0), (0.8, 1.0)]), sig(&[(0.5, 1.0)]), sig(&[(0.9, 2.0)])),
+            (
+                sig(&[(0.2, 3.0), (0.8, 1.0)]),
+                sig(&[(0.5, 1.0)]),
+                sig(&[(0.9, 2.0)]),
+            ),
             (sig(&[(0.1, 1.0)]), sig(&[(0.1, 4.0)]), sig(&[(0.7, 2.0)])),
         ];
         for (a, b, c) in &triples {
-            let penalty = diameter(a, b).max(diameter(b, c)).max(diameter(a, c)).max(1.0);
+            let penalty = diameter(a, b)
+                .max(diameter(b, c))
+                .max(diameter(a, c))
+                .max(1.0);
             let ab = emd_hat(a, b, penalty).unwrap();
             let bc = emd_hat(b, c, penalty).unwrap();
             let ac = emd_hat(a, c, penalty).unwrap();
-            assert!(ac <= ab + bc + 1e-9, "triangle violated: {ac} > {ab} + {bc}");
+            assert!(
+                ac <= ab + bc + 1e-9,
+                "triangle violated: {ac} > {ab} + {bc}"
+            );
         }
     }
 

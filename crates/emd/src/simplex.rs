@@ -88,7 +88,11 @@ pub fn solve(
         let Some((ei, ej, _)) = best else {
             // Optimal.
             let cost = basis.iter().map(|&(i, j, f)| f * costs[i][j]).sum();
-            let flows: Vec<_> = basis.iter().copied().filter(|&(_, _, f)| f > MASS_EPS).collect();
+            let flows: Vec<_> = basis
+                .iter()
+                .copied()
+                .filter(|&(_, _, f)| f > MASS_EPS)
+                .collect();
             return Ok(TransportSolution { cost, flows });
         };
 
@@ -96,8 +100,9 @@ pub fn solve(
         // tree: entering cell, then the tree path from column ej back to
         // row ei. Flow alternates +theta on the entering cell, -theta on
         // the first path cell, +theta on the next, ...
-        let path = tree_path(m, n, &basis, ei, ej)
-            .ok_or(EmdError::SolverStalled { solver: "transportation simplex (no cycle)" })?;
+        let path = tree_path(m, n, &basis, ei, ej).ok_or(EmdError::SolverStalled {
+            solver: "transportation simplex (no cycle)",
+        })?;
         let mut theta = f64::INFINITY;
         let mut leave_pos = usize::MAX;
         for (k, &bi) in path.iter().enumerate() {
@@ -116,7 +121,9 @@ pub fn solve(
         }
         basis[leave_pos] = (ei, ej, theta);
     }
-    Err(EmdError::SolverStalled { solver: "transportation simplex" })
+    Err(EmdError::SolverStalled {
+        solver: "transportation simplex",
+    })
 }
 
 /// Solve `u[i] + v[j] = c[i][j]` over the basis spanning tree, `u[0] = 0`.
@@ -155,7 +162,9 @@ fn potentials(
     }
     if visited != m + n {
         // Basis does not span all nodes — broken invariant.
-        return Err(EmdError::SolverStalled { solver: "transportation simplex (basis not a tree)" });
+        return Err(EmdError::SolverStalled {
+            solver: "transportation simplex (basis not a tree)",
+        });
     }
     Ok((u, v))
 }
@@ -251,7 +260,11 @@ mod tests {
     fn flows_form_valid_plan() {
         let supplies = [5.0, 3.0, 2.0];
         let demands = [4.0, 4.0, 2.0];
-        let costs = vec![vec![1.0, 5.0, 9.0], vec![4.0, 2.0, 7.0], vec![8.0, 3.0, 1.0]];
+        let costs = vec![
+            vec![1.0, 5.0, 9.0],
+            vec![4.0, 2.0, 7.0],
+            vec![8.0, 3.0, 1.0],
+        ];
         let sol = solve(&supplies, &demands, &costs).unwrap();
         let mut out = [0.0; 3];
         let mut inn = [0.0; 3];

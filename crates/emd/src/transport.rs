@@ -77,7 +77,10 @@ impl TransportProblem {
         }
         let (ts, td) = (crate::total(&self.supplies), crate::total(&self.demands));
         if (ts - td).abs() > MASS_EPS * ts.max(td).max(1.0) {
-            return Err(EmdError::MassMismatch { left: ts, right: td });
+            return Err(EmdError::MassMismatch {
+                left: ts,
+                right: td,
+            });
         }
         Ok(())
     }
@@ -129,7 +132,9 @@ impl TransportProblem {
         }
         let r = g.solve(source, sink, want)?;
         if (r.flow - want).abs() > 1e-6 * want.max(1.0) {
-            return Err(EmdError::SolverStalled { solver: "min-cost-flow (unbalanced)" });
+            return Err(EmdError::SolverStalled {
+                solver: "min-cost-flow (unbalanced)",
+            });
         }
         let mut flows = Vec::new();
         for (i, j, id) in edge_ids {
@@ -138,7 +143,10 @@ impl TransportProblem {
                 flows.push((i, j, f));
             }
         }
-        Ok(TransportSolution { cost: r.cost, flows })
+        Ok(TransportSolution {
+            cost: r.cost,
+            flows,
+        })
     }
 }
 
@@ -156,8 +164,17 @@ pub fn solve_emd<G: GroundDistance>(
     ground: &G,
     solver: Solver,
 ) -> Result<TransportSolution, EmdError> {
-    if a.len() != b.len() || a.len() != ground.size() {
-        return Err(EmdError::LengthMismatch { left: a.len(), right: b.len().max(ground.size()) });
+    if a.len() != b.len() {
+        return Err(EmdError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    if a.len() != ground.size() {
+        return Err(EmdError::LengthMismatch {
+            left: a.len(),
+            right: ground.size(),
+        });
     }
     // Restrict to non-empty bins to keep instances small: typical score
     // histograms are sparse for small partitions.
@@ -179,7 +196,11 @@ pub fn solve_emd<G: GroundDistance>(
     let sol = problem.solve(solver)?;
     Ok(TransportSolution {
         cost: sol.cost,
-        flows: sol.flows.into_iter().map(|(i, j, f)| (srcs[i], dsts[j], f)).collect(),
+        flows: sol
+            .flows
+            .into_iter()
+            .map(|(i, j, f)| (srcs[i], dsts[j], f))
+            .collect(),
     })
 }
 
@@ -199,7 +220,12 @@ mod tests {
         let g = grid(4);
         let f = solve_emd(&a, &b, &g, Solver::Flow).unwrap();
         let s = solve_emd(&a, &b, &g, Solver::Simplex).unwrap();
-        assert!((f.cost - s.cost).abs() < 1e-9, "flow={} simplex={}", f.cost, s.cost);
+        assert!(
+            (f.cost - s.cost).abs() < 1e-9,
+            "flow={} simplex={}",
+            f.cost,
+            s.cost
+        );
     }
 
     #[test]
@@ -239,7 +265,10 @@ mod tests {
             demands: vec![2.0],
             costs: vec![vec![1.0]],
         };
-        assert!(matches!(p.solve(Solver::Flow), Err(EmdError::MassMismatch { .. })));
+        assert!(matches!(
+            p.solve(Solver::Flow),
+            Err(EmdError::MassMismatch { .. })
+        ));
     }
 
     #[test]
@@ -249,7 +278,10 @@ mod tests {
             demands: vec![2.0],
             costs: vec![vec![1.0], vec![]],
         };
-        assert!(matches!(p.solve(Solver::Flow), Err(EmdError::LengthMismatch { .. })));
+        assert!(matches!(
+            p.solve(Solver::Flow),
+            Err(EmdError::LengthMismatch { .. })
+        ));
     }
 
     #[test]

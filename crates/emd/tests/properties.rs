@@ -1,16 +1,13 @@
 //! Property-based tests: the EMD solvers agree with each other and the
 //! closed form, and EMD is a metric on normalised histograms.
 
-use fairjob_emd::{
-    emd_1d_grid, emd_1d_samples, emd_between, normalise, EmdConfig, GridL1, Solver,
-};
+use fairjob_emd::{emd_1d_grid, emd_1d_samples, emd_between, normalise, EmdConfig, GridL1, Solver};
 use proptest::prelude::*;
 
 /// Strategy: a mass vector of length `n` with at least one positive entry.
 fn masses(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.0f64..10.0, n).prop_filter("non-zero total", |v| {
-        v.iter().sum::<f64>() > 1e-6
-    })
+    prop::collection::vec(0.0f64..10.0, n)
+        .prop_filter("non-zero total", |v| v.iter().sum::<f64>() > 1e-6)
 }
 
 proptest! {

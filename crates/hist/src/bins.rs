@@ -65,7 +65,10 @@ impl BinSpec {
         }
         let width = (hi - lo) / n as f64;
         let edges = (0..=n).map(|i| lo + i as f64 * width).collect();
-        Ok(BinSpec { edges, uniform: true })
+        Ok(BinSpec {
+            edges,
+            uniform: true,
+        })
     }
 
     /// Bins from explicit, strictly increasing edges (`k+1` edges → `k`
@@ -87,7 +90,10 @@ impl BinSpec {
                 return Err(BinError::EdgesNotIncreasing { index: i + 1 });
             }
         }
-        Ok(BinSpec { edges, uniform: false })
+        Ok(BinSpec {
+            edges,
+            uniform: false,
+        })
     }
 
     /// `n` bins holding (approximately) equal numbers of the given sample
@@ -238,7 +244,10 @@ impl BinSpec {
             if value >= self.edges[n] {
                 return n - 1;
             }
-            match self.edges.binary_search_by(|e| e.partial_cmp(&value).expect("finite edges")) {
+            match self
+                .edges
+                .binary_search_by(|e| e.partial_cmp(&value).expect("finite edges"))
+            {
                 Ok(i) => i.min(n - 1),
                 Err(i) => i - 1,
             }
@@ -331,8 +340,14 @@ mod tests {
 
     #[test]
     fn quantile_needs_spread() {
-        assert!(matches!(BinSpec::quantile(&[1.0, 1.0, 1.0], 4), Err(BinError::NotEnoughData)));
-        assert!(matches!(BinSpec::quantile(&[], 4), Err(BinError::NotEnoughData)));
+        assert!(matches!(
+            BinSpec::quantile(&[1.0, 1.0, 1.0], 4),
+            Err(BinError::NotEnoughData)
+        ));
+        assert!(matches!(
+            BinSpec::quantile(&[], 4),
+            Err(BinError::NotEnoughData)
+        ));
     }
 
     #[test]
@@ -347,7 +362,11 @@ mod tests {
         let values: Vec<f64> = (0..1000).map(|i| i as f64 / 999.0).collect();
         let scott = BinSpec::scott(&values).unwrap();
         let fd = BinSpec::freedman_diaconis(&values).unwrap();
-        assert!(scott.len() >= 2 && scott.len() <= 100, "scott: {}", scott.len());
+        assert!(
+            scott.len() >= 2 && scott.len() <= 100,
+            "scott: {}",
+            scott.len()
+        );
         assert!(fd.len() >= 2 && fd.len() <= 100, "fd: {}", fd.len());
     }
 

@@ -130,7 +130,10 @@ impl HistogramDistance for EmdThresholded {
         let (fa, fb) = frequencies(a, b)?;
         let spec = a.spec();
         let ground = if spec.is_uniform() {
-            Thresholded::new(GridL1::new(spec.lo(), spec.hi(), spec.len())?, self.threshold)
+            Thresholded::new(
+                GridL1::new(spec.lo(), spec.hi(), spec.len())?,
+                self.threshold,
+            )
         } else {
             // Build from centres via the grid-equivalent positions.
             return {
@@ -352,7 +355,10 @@ mod tests {
         let a = h(&[0.5]);
         let b = Histogram::from_values(BinSpec::equal_width(0.0, 1.0, 5).unwrap(), [0.5]);
         for dist in all_symmetric_distances() {
-            assert!(matches!(dist.distance(&a, &b), Err(DistanceError::SpecMismatch)));
+            assert!(matches!(
+                dist.distance(&a, &b),
+                Err(DistanceError::SpecMismatch)
+            ));
         }
     }
 
@@ -360,8 +366,14 @@ mod tests {
     fn empty_histogram_detected() {
         let a = h(&[0.5]);
         let e = Histogram::empty(spec());
-        assert!(matches!(Emd1d.distance(&a, &e), Err(DistanceError::EmptyHistogram)));
-        assert!(matches!(Emd1d.distance(&e, &a), Err(DistanceError::EmptyHistogram)));
+        assert!(matches!(
+            Emd1d.distance(&a, &e),
+            Err(DistanceError::EmptyHistogram)
+        ));
+        assert!(matches!(
+            Emd1d.distance(&e, &a),
+            Err(DistanceError::EmptyHistogram)
+        ));
     }
 
     #[test]
@@ -426,7 +438,19 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(Emd1d.name(), "emd");
-        assert_eq!(EmdExact { solver: Solver::Flow }.name(), "emd-flow");
-        assert_eq!(EmdExact { solver: Solver::Simplex }.name(), "emd-simplex");
+        assert_eq!(
+            EmdExact {
+                solver: Solver::Flow
+            }
+            .name(),
+            "emd-flow"
+        );
+        assert_eq!(
+            EmdExact {
+                solver: Solver::Simplex
+            }
+            .name(),
+            "emd-simplex"
+        );
     }
 }

@@ -26,7 +26,12 @@ impl Histogram2d {
     /// An empty 2-D histogram over the two bin layouts.
     pub fn empty(x_spec: BinSpec, y_spec: BinSpec) -> Self {
         let n = x_spec.len() * y_spec.len();
-        Histogram2d { x_spec, y_spec, counts: vec![0.0; n], total: 0.0 }
+        Histogram2d {
+            x_spec,
+            y_spec,
+            counts: vec![0.0; n],
+            total: 0.0,
+        }
     }
 
     /// Bin a sequence of `(x, y)` points (weight 1 each; non-finite
@@ -107,7 +112,10 @@ pub struct GridL1_2d {
 impl GridL1_2d {
     /// Ground distance for histograms over the given bin layouts.
     pub fn new(x_spec: &BinSpec, y_spec: &BinSpec) -> Self {
-        GridL1_2d { x_centres: x_spec.centres(), y_centres: y_spec.centres() }
+        GridL1_2d {
+            x_centres: x_spec.centres(),
+            y_centres: y_spec.centres(),
+        }
     }
 }
 
@@ -171,8 +179,9 @@ mod tests {
 
     #[test]
     fn marginals_match_direct_1d_histograms() {
-        let points: Vec<(f64, f64)> =
-            (0..50).map(|i| (i as f64 / 50.0, (i as f64 * 7.0 % 50.0) / 50.0)).collect();
+        let points: Vec<(f64, f64)> = (0..50)
+            .map(|i| (i as f64 / 50.0, (i as f64 * 7.0 % 50.0) / 50.0))
+            .collect();
         let h2 = Histogram2d::from_points(spec(10), spec(10), points.iter().copied());
         let hx = crate::Histogram::from_values(spec(10), points.iter().map(|p| p.0));
         let hy = crate::Histogram::from_values(spec(10), points.iter().map(|p| p.1));
@@ -217,8 +226,12 @@ mod tests {
         // joint EMD — the case motivating the joint audit.
         let diag = Histogram2d::from_points(spec(4), spec(4), [(0.1, 0.1), (0.9, 0.9)]);
         let anti = Histogram2d::from_points(spec(4), spec(4), [(0.1, 0.9), (0.9, 0.1)]);
-        let dx = Emd1d.distance(&diag.marginal_x(), &anti.marginal_x()).unwrap();
-        let dy = Emd1d.distance(&diag.marginal_y(), &anti.marginal_y()).unwrap();
+        let dx = Emd1d
+            .distance(&diag.marginal_x(), &anti.marginal_x())
+            .unwrap();
+        let dy = Emd1d
+            .distance(&diag.marginal_y(), &anti.marginal_y())
+            .unwrap();
         assert!(dx.abs() < 1e-12 && dy.abs() < 1e-12, "marginals identical");
         let joint = emd_2d(&diag, &anti).unwrap();
         assert!(joint > 0.7, "joint EMD sees the structure: {joint}");

@@ -18,7 +18,11 @@ impl Histogram {
     /// An empty histogram over `spec`.
     pub fn empty(spec: BinSpec) -> Self {
         let n = spec.len();
-        Histogram { spec, counts: vec![0.0; n], total: 0.0 }
+        Histogram {
+            spec,
+            counts: vec![0.0; n],
+            total: 0.0,
+        }
     }
 
     /// Build a histogram by binning an iterator of values (each with
@@ -38,9 +42,17 @@ impl Histogram {
     /// When `counts.len() != spec.len()` — this is a programming error at
     /// the store/histogram boundary, not a data error.
     pub fn from_counts(spec: BinSpec, counts: Vec<f64>) -> Self {
-        assert_eq!(counts.len(), spec.len(), "count vector must match bin count");
+        assert_eq!(
+            counts.len(),
+            spec.len(),
+            "count vector must match bin count"
+        );
         let total = counts.iter().sum();
-        Histogram { spec, counts, total }
+        Histogram {
+            spec,
+            counts,
+            total,
+        }
     }
 
     /// Add one observation with weight 1. Non-finite values are ignored.
@@ -95,7 +107,10 @@ impl Histogram {
     /// When the bin specs differ — merging across layouts is a
     /// programming error.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.spec, other.spec, "cannot merge histograms with different bin specs");
+        assert_eq!(
+            self.spec, other.spec,
+            "cannot merge histograms with different bin specs"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -108,8 +123,12 @@ impl Histogram {
         if self.is_empty() {
             return None;
         }
-        let s: f64 =
-            self.counts.iter().enumerate().map(|(i, c)| c * self.spec.centre(i)).sum();
+        let s: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c * self.spec.centre(i))
+            .sum();
         Some(s / self.total)
     }
 
@@ -149,7 +168,11 @@ impl Histogram {
         let max = self.counts.iter().copied().fold(0.0f64, f64::max);
         let mut out = String::new();
         for (i, &c) in self.counts.iter().enumerate() {
-            let bar_len = if max > 0.0 { ((c / max) * width as f64).round() as usize } else { 0 };
+            let bar_len = if max > 0.0 {
+                ((c / max) * width as f64).round() as usize
+            } else {
+                0
+            };
             out.push_str(&format!(
                 "[{:6.3}, {:6.3}) {:>8.1} {}\n",
                 self.spec.edges()[i],

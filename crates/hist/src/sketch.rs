@@ -58,7 +58,8 @@ impl P2Quantile {
         if self.warmup.len() < 5 {
             self.warmup.push(x);
             if self.warmup.len() == 5 {
-                self.warmup.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.warmup
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 for (i, &v) in self.warmup.iter().enumerate() {
                     self.heights[i] = v;
                 }
@@ -96,11 +97,12 @@ impl P2Quantile {
             if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
                 let s = d.signum();
                 let candidate = self.parabolic(i, s);
-                let new_height = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
-                    candidate
-                } else {
-                    self.linear(i, s)
-                };
+                let new_height =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, s)
+                    };
                 self.heights[i] = new_height;
                 self.positions[i] += s;
             }
@@ -165,7 +167,10 @@ impl QuantileBank {
 
     /// `(level, estimate)` pairs; empty estimates before data arrives.
     pub fn estimates(&self) -> Vec<(f64, Option<f64>)> {
-        self.estimators.iter().map(|(p, est)| (*p, est.estimate())).collect()
+        self.estimators
+            .iter()
+            .map(|(p, est)| (*p, est.estimate()))
+            .collect()
     }
 }
 
@@ -183,7 +188,9 @@ mod tests {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 11) as f64 / (1u64 << 53) as f64
             })
             .collect()
@@ -226,7 +233,10 @@ mod tests {
         }
         let exact = exact_quantile(&sorted, 0.5);
         let got = est.estimate().unwrap();
-        assert!((got - exact).abs() < 0.03, "exact {exact} vs estimate {got}");
+        assert!(
+            (got - exact).abs() < 0.03,
+            "exact {exact} vs estimate {got}"
+        );
     }
 
     #[test]
@@ -278,7 +288,10 @@ mod tests {
         // Monotone across levels.
         let values: Vec<f64> = estimates.iter().map(|(_, v)| v.unwrap()).collect();
         for w in values.windows(2) {
-            assert!(w[0] <= w[1] + 0.02, "quantiles should be monotone: {values:?}");
+            assert!(
+                w[0] <= w[1] + 0.02,
+                "quantiles should be monotone: {values:?}"
+            );
         }
     }
 

@@ -27,7 +27,9 @@ pub fn generate_uniform(size: usize, seed: u64) -> Table {
             Value::num(rng.gen_range(25.0..=100.0)),
             Value::num(rng.gen_range(25.0..=100.0)),
         ];
-        table.push_row(&row).expect("generated rows satisfy the schema");
+        table
+            .push_row(&row)
+            .expect("generated rows satisfy the schema");
     }
     table
 }
@@ -95,7 +97,9 @@ pub fn generate_correlated(size: usize, seed: u64, config: &CorrelationConfig) -
             Value::num(25.0 + 75.0 * test),
             Value::num(25.0 + 75.0 * approval),
         ];
-        table.push_row(&row).expect("generated rows satisfy the schema");
+        table
+            .push_row(&row)
+            .expect("generated rows satisfy the schema");
     }
     table
 }
@@ -123,16 +127,29 @@ mod tests {
     fn uniform_respects_schema_ranges() {
         let t = generate_uniform(200, 1);
         assert_eq!(t.len(), 200);
-        let yob = t.column_by_name(names::YEAR_OF_BIRTH).unwrap().as_integer().unwrap();
+        let yob = t
+            .column_by_name(names::YEAR_OF_BIRTH)
+            .unwrap()
+            .as_integer()
+            .unwrap();
         assert!(yob.iter().all(|&y| (1950..=2009).contains(&y)));
-        let lt = t.column_by_name(names::LANGUAGE_TEST).unwrap().as_numeric().unwrap();
+        let lt = t
+            .column_by_name(names::LANGUAGE_TEST)
+            .unwrap()
+            .as_numeric()
+            .unwrap();
         assert!(lt.iter().all(|&v| (25.0..=100.0).contains(&v)));
     }
 
     #[test]
     fn uniform_uses_every_category() {
         let t = generate_uniform(500, 2);
-        for attr in [names::GENDER, names::COUNTRY, names::LANGUAGE, names::ETHNICITY] {
+        for attr in [
+            names::GENDER,
+            names::COUNTRY,
+            names::LANGUAGE,
+            names::ETHNICITY,
+        ] {
             let idx = t.schema().index_of(attr).unwrap();
             let counts =
                 fairjob_store::groupby::value_counts(&t, &RowSet::all(t.len()), idx).unwrap();
@@ -142,10 +159,17 @@ mod tests {
 
     #[test]
     fn correlated_lifts_english_language_tests() {
-        let cfg = CorrelationConfig { language_to_test: 0.8, ..Default::default() };
+        let cfg = CorrelationConfig {
+            language_to_test: 0.8,
+            ..Default::default()
+        };
         let t = generate_correlated(2000, 3, &cfg);
         let lang_idx = t.schema().index_of(names::LANGUAGE).unwrap();
-        let test = t.column_by_name(names::LANGUAGE_TEST).unwrap().as_numeric().unwrap();
+        let test = t
+            .column_by_name(names::LANGUAGE_TEST)
+            .unwrap()
+            .as_numeric()
+            .unwrap();
         let codes = t.column(lang_idx).as_categorical().unwrap();
         let mean = |code: u32| {
             let vals: Vec<f64> = codes
@@ -172,13 +196,20 @@ mod tests {
             country_to_approval: 0.0,
         };
         let t = generate_correlated(300, 4, &cfg);
-        let ap = t.column_by_name(names::APPROVAL_RATE).unwrap().as_numeric().unwrap();
+        let ap = t
+            .column_by_name(names::APPROVAL_RATE)
+            .unwrap()
+            .as_numeric()
+            .unwrap();
         assert!(ap.iter().all(|&v| (25.0..=100.0).contains(&v)));
     }
 
     #[test]
     fn correlated_is_deterministic_in_seed() {
         let cfg = CorrelationConfig::default();
-        assert_eq!(generate_correlated(40, 9, &cfg), generate_correlated(40, 9, &cfg));
+        assert_eq!(
+            generate_correlated(40, 9, &cfg),
+            generate_correlated(40, 9, &cfg)
+        );
     }
 }

@@ -105,7 +105,11 @@ impl HiringOutcome {
     /// Cumulative hire share of a group code over all rounds.
     pub fn hire_share(&self, code: u32) -> f64 {
         let group: usize = self.hires_by_group.iter().map(|r| r[code as usize]).sum();
-        let total: usize = self.hires_by_group.iter().map(|r| r.iter().sum::<usize>()).sum();
+        let total: usize = self
+            .hires_by_group
+            .iter()
+            .map(|r| r.iter().sum::<usize>())
+            .sum();
         if total == 0 {
             0.0
         } else {
@@ -128,16 +132,19 @@ pub fn simulate_hiring(
     config: &HiringConfig,
 ) -> Result<HiringOutcome, HiringError> {
     if config.rounds == 0 || config.top_k == 0 || config.hires_per_round == 0 {
-        return Err(HiringError::BadConfig("rounds, top_k and hires_per_round must be positive"));
+        return Err(HiringError::BadConfig(
+            "rounds, top_k and hires_per_round must be positive",
+        ));
     }
     let approval_idx = workers.schema().index_of(names::APPROVAL_RATE)?;
-    let cardinality = workers
-        .schema()
-        .attribute(group_attr)
-        .cardinality()
-        .ok_or(HiringError::Store(StoreError::NotCategorical {
-            attribute: workers.schema().attribute(group_attr).name.clone(),
-        }))?;
+    let cardinality =
+        workers
+            .schema()
+            .attribute(group_attr)
+            .cardinality()
+            .ok_or(HiringError::Store(StoreError::NotCategorical {
+                attribute: workers.schema().attribute(group_attr).name.clone(),
+            }))?;
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut hires = vec![0usize; workers.len()];
     let mut hires_by_group = Vec::with_capacity(config.rounds);
@@ -150,8 +157,9 @@ pub fn simulate_hiring(
             initial_scores = scores.clone();
         }
         let shown = rank(&scores, Some(config.top_k));
-        let weights: Vec<f64> =
-            (0..shown.len()).map(|pos| config.position_bias.weight(pos)).collect();
+        let weights: Vec<f64> = (0..shown.len())
+            .map(|pos| config.position_bias.weight(pos))
+            .collect();
         let total_weight: f64 = weights.iter().sum();
 
         let mut round_hires = vec![0usize; cardinality];
@@ -183,7 +191,12 @@ pub fn simulate_hiring(
             final_scores = scorer.score_all(workers)?;
         }
     }
-    Ok(HiringOutcome { hires, hires_by_group, final_scores, initial_scores })
+    Ok(HiringOutcome {
+        hires,
+        hires_by_group,
+        final_scores,
+        initial_scores,
+    })
 }
 
 #[cfg(test)]
@@ -196,7 +209,10 @@ mod tests {
     fn config_validation() {
         let mut t = generate_uniform(20, 1);
         let f = LinearScore::alpha("f", 0.5);
-        let bad = HiringConfig { rounds: 0, ..Default::default() };
+        let bad = HiringConfig {
+            rounds: 0,
+            ..Default::default()
+        };
         assert!(matches!(
             simulate_hiring(&mut t, &f, 0, &bad),
             Err(HiringError::BadConfig(_))
@@ -216,15 +232,27 @@ mod tests {
         let mut t = generate_uniform(100, 2);
         let f = LinearScore::alpha("f", 0.0); // approval rate only
         let gender = t.schema().index_of(names::GENDER).unwrap();
-        let cfg = HiringConfig { rounds: 10, hires_per_round: 3, ..Default::default() };
-        let before: Vec<f64> =
-            t.column_by_name(names::APPROVAL_RATE).unwrap().as_numeric().unwrap().to_vec();
+        let cfg = HiringConfig {
+            rounds: 10,
+            hires_per_round: 3,
+            ..Default::default()
+        };
+        let before: Vec<f64> = t
+            .column_by_name(names::APPROVAL_RATE)
+            .unwrap()
+            .as_numeric()
+            .unwrap()
+            .to_vec();
         let outcome = simulate_hiring(&mut t, &f, gender, &cfg).unwrap();
         let total: usize = outcome.hires.iter().sum();
         assert_eq!(total, 30);
         assert_eq!(outcome.hires_by_group.len(), 10);
         // Someone's approval rate rose.
-        let after = t.column_by_name(names::APPROVAL_RATE).unwrap().as_numeric().unwrap();
+        let after = t
+            .column_by_name(names::APPROVAL_RATE)
+            .unwrap()
+            .as_numeric()
+            .unwrap();
         assert!(before.iter().zip(after).any(|(b, a)| a > b));
         // Shares sum to one.
         let share_sum: f64 = (0..2).map(|c| outcome.hire_share(c)).sum();
@@ -234,11 +262,16 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let f = LinearScore::alpha("f", 0.3);
-        let cfg = HiringConfig { rounds: 5, ..Default::default() };
+        let cfg = HiringConfig {
+            rounds: 5,
+            ..Default::default()
+        };
         let run = |seed: u64| {
             let mut t = generate_uniform(80, 3);
             let gender = t.schema().index_of(names::GENDER).unwrap();
-            simulate_hiring(&mut t, &f, gender, &HiringConfig { seed, ..cfg }).unwrap().hires
+            simulate_hiring(&mut t, &f, gender, &HiringConfig { seed, ..cfg })
+                .unwrap()
+                .hires
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
@@ -249,11 +282,19 @@ mod tests {
         // Strongly language-correlated tests + a language-test-heavy
         // scorer: English speakers dominate the top; hiring boosts their
         // approval too, compounding under a blended scorer.
-        let cfg_pop = CorrelationConfig { language_to_test: 0.9, ..Default::default() };
+        let cfg_pop = CorrelationConfig {
+            language_to_test: 0.9,
+            ..Default::default()
+        };
         let mut t = generate_correlated(300, 4, &cfg_pop);
         let lang = t.schema().index_of(names::LANGUAGE).unwrap();
         let f = LinearScore::alpha("f", 0.7);
-        let cfg = HiringConfig { rounds: 60, hires_per_round: 5, top_k: 15, ..Default::default() };
+        let cfg = HiringConfig {
+            rounds: 60,
+            hires_per_round: 5,
+            top_k: 15,
+            ..Default::default()
+        };
         let outcome = simulate_hiring(&mut t, &f, lang, &cfg).unwrap();
         let english_share = outcome.hire_share(0);
         assert!(

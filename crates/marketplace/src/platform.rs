@@ -48,7 +48,13 @@ impl Platform {
     /// Create a platform over a worker pool.
     pub fn new(workers: Table, exposure_model: ExposureModel) -> Self {
         let n = workers.len();
-        Platform { workers, exposure_model, exposure: vec![0.0; n], logs: Vec::new(), next_task_id: 0 }
+        Platform {
+            workers,
+            exposure_model,
+            exposure: vec![0.0; n],
+            logs: Vec::new(),
+            next_task_id: 0,
+        }
     }
 
     /// The worker pool.

@@ -96,9 +96,14 @@ impl Query {
         // Resolve requirements: observed numeric/integer attributes only.
         let mut resolved = Vec::with_capacity(self.requirements.len());
         for req in &self.requirements {
-            let idx = workers.schema().index_of(&req.attribute).map_err(|e| {
-                QueryError::Requirement { attribute: req.attribute.clone(), reason: e.to_string() }
-            })?;
+            let idx =
+                workers
+                    .schema()
+                    .index_of(&req.attribute)
+                    .map_err(|e| QueryError::Requirement {
+                        attribute: req.attribute.clone(),
+                        reason: e.to_string(),
+                    })?;
             let attr = workers.schema().attribute(idx);
             if attr.kind != AttributeKind::Observed
                 || matches!(attr.dtype, DataType::Categorical { .. })
@@ -135,7 +140,11 @@ impl Query {
             scores[row] = all_scores[row];
         }
         let ranking = crate::ranking::rank(&scores, k);
-        Ok(QueryResult { eligible, scores, ranking })
+        Ok(QueryResult {
+            eligible,
+            scores,
+            ranking,
+        })
     }
 }
 
@@ -186,7 +195,11 @@ mod tests {
     fn requirements_filter_the_pool() {
         let workers = generate_uniform(300, 1);
         let result = query(80.0).evaluate(&workers, None).unwrap();
-        let tests = workers.column_by_name(names::LANGUAGE_TEST).unwrap().as_numeric().unwrap();
+        let tests = workers
+            .column_by_name(names::LANGUAGE_TEST)
+            .unwrap()
+            .as_numeric()
+            .unwrap();
         for (row, &test_score) in tests.iter().enumerate() {
             let eligible = result.eligible.contains(row as u32);
             assert_eq!(eligible, test_score >= 80.0, "row {row}");
@@ -221,14 +234,20 @@ mod tests {
         ] {
             let q = Query {
                 title: "x".into(),
-                requirements: vec![Requirement { attribute: attr.into(), min: 1.0 }],
+                requirements: vec![Requirement {
+                    attribute: attr.into(),
+                    min: 1.0,
+                }],
                 scorer: Box::new(LinearScore::alpha("f", 0.5)),
             };
             match q.evaluate(&workers, None) {
                 Err(QueryError::Requirement { reason, .. }) => {
                     assert!(reason.contains(reason_fragment), "{attr}: {reason}")
                 }
-                other => panic!("{attr}: expected requirement error, got {other:?}", other = other.map(|_| ())),
+                other => panic!(
+                    "{attr}: expected requirement error, got {other:?}",
+                    other = other.map(|_| ())
+                ),
             }
         }
         let q = Query {
@@ -247,7 +266,10 @@ mod tests {
         // A high language-test floor on a language-correlated population
         // filters non-English speakers disproportionately — bias before
         // any ranking happens.
-        let cfg = CorrelationConfig { language_to_test: 0.8, ..Default::default() };
+        let cfg = CorrelationConfig {
+            language_to_test: 0.8,
+            ..Default::default()
+        };
         let workers = generate_correlated(1000, 4, &cfg);
         let result = query(70.0).evaluate(&workers, None).unwrap();
         let language = workers.schema().index_of(names::LANGUAGE).unwrap();

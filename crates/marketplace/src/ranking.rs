@@ -26,10 +26,16 @@ pub fn rank(scores: &[f64], k: Option<usize>) -> Vec<Ranked> {
         .iter()
         .enumerate()
         .filter(|(_, s)| s.is_finite())
-        .map(|(row, &score)| Ranked { row: row as u32, score })
+        .map(|(row, &score)| Ranked {
+            row: row as u32,
+            score,
+        })
         .collect();
     ranked.sort_by(|a, b| {
-        b.score.partial_cmp(&a.score).expect("finite scores").then(a.row.cmp(&b.row))
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite scores")
+            .then(a.row.cmp(&b.row))
     });
     if let Some(k) = k {
         ranked.truncate(k);

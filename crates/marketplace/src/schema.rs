@@ -71,8 +71,18 @@ pub fn amt_schema() -> Schema {
 /// Propagates [`StoreError`] (duplicate column names on double
 /// invocation).
 pub fn bucketise_numeric_protected(table: &mut Table) -> Result<(), StoreError> {
-    bucketize(table, names::YEAR_OF_BIRTH, names::YOB_BAND, &BucketSpec::EqualWidth { n: 5 })?;
-    bucketize(table, names::EXPERIENCE, names::EXPERIENCE_BAND, &BucketSpec::EqualWidth { n: 5 })?;
+    bucketize(
+        table,
+        names::YEAR_OF_BIRTH,
+        names::YOB_BAND,
+        &BucketSpec::EqualWidth { n: 5 },
+    )?;
+    bucketize(
+        table,
+        names::EXPERIENCE,
+        names::EXPERIENCE_BAND,
+        &BucketSpec::EqualWidth { n: 5 },
+    )?;
     Ok(())
 }
 

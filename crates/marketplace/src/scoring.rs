@@ -55,7 +55,10 @@ impl fmt::Display for ScoreError {
             ScoreError::Store(e) => write!(f, "store: {e}"),
             ScoreError::BadWeights { reason } => write!(f, "bad weights: {reason}"),
             ScoreError::NotObserved { attribute } => {
-                write!(f, "attribute `{attribute}` is not an observed numeric attribute")
+                write!(
+                    f,
+                    "attribute `{attribute}` is not an observed numeric attribute"
+                )
             }
             ScoreError::BadRule { reason } => write!(f, "bad rule: {reason}"),
             ScoreError::BadRange { lo, hi } => write!(f, "bad score range [{lo}, {hi}]"),
@@ -103,15 +106,21 @@ impl LinearScore {
     /// weight sum outside `(0, 1]`, or duplicate attributes.
     pub fn new(name: &str, weights: Vec<(String, f64)>) -> Result<Self, ScoreError> {
         if weights.is_empty() {
-            return Err(ScoreError::BadWeights { reason: "no weights".into() });
+            return Err(ScoreError::BadWeights {
+                reason: "no weights".into(),
+            });
         }
         let mut sum = 0.0;
         for (i, (attr, w)) in weights.iter().enumerate() {
             if !w.is_finite() || *w < 0.0 {
-                return Err(ScoreError::BadWeights { reason: format!("weight for `{attr}` is {w}") });
+                return Err(ScoreError::BadWeights {
+                    reason: format!("weight for `{attr}` is {w}"),
+                });
             }
             if weights[..i].iter().any(|(a, _)| a == attr) {
-                return Err(ScoreError::BadWeights { reason: format!("duplicate attribute `{attr}`") });
+                return Err(ScoreError::BadWeights {
+                    reason: format!("duplicate attribute `{attr}`"),
+                });
             }
             sum += w;
         }
@@ -120,7 +129,10 @@ impl LinearScore {
                 reason: format!("weights must sum to (0, 1], got {sum}"),
             });
         }
-        Ok(LinearScore { name: name.to_string(), weights })
+        Ok(LinearScore {
+            name: name.to_string(),
+            weights,
+        })
     }
 
     /// The two-attribute family of the simulation:
@@ -134,7 +146,10 @@ impl LinearScore {
         let a = alpha.clamp(0.0, 1.0);
         LinearScore::new(
             name,
-            vec![(names::LANGUAGE_TEST.into(), a), (names::APPROVAL_RATE.into(), 1.0 - a)],
+            vec![
+                (names::LANGUAGE_TEST.into(), a),
+                (names::APPROVAL_RATE.into(), 1.0 - a),
+            ],
         )
         .expect("alpha weights are always valid")
     }
@@ -171,13 +186,17 @@ impl ScoringFunction for LinearScore {
             let idx = table.schema().index_of(attr_name)?;
             let attr = table.schema().attribute(idx);
             if attr.kind != AttributeKind::Observed {
-                return Err(ScoreError::NotObserved { attribute: attr_name.clone() });
+                return Err(ScoreError::NotObserved {
+                    attribute: attr_name.clone(),
+                });
             }
             let (min, max) = match &attr.dtype {
                 DataType::Numeric { min, max } => (*min, *max),
                 DataType::Integer { min, max } => (*min as f64, *max as f64),
                 DataType::Categorical { .. } => {
-                    return Err(ScoreError::NotObserved { attribute: attr_name.clone() })
+                    return Err(ScoreError::NotObserved {
+                        attribute: attr_name.clone(),
+                    })
                 }
             };
             let span = if max > min { max - min } else { 1.0 };
@@ -259,11 +278,19 @@ impl RuleBasedScore {
                 return Err(ScoreError::BadRange { lo, hi });
             }
         }
-        Ok(RuleBasedScore { name: name.to_string(), rules, default, seed })
+        Ok(RuleBasedScore {
+            name: name.to_string(),
+            rules,
+            default,
+            seed,
+        })
     }
 
     fn cat(attribute: &str, value: &str) -> Condition {
-        Condition::CatEq { attribute: attribute.into(), value: value.into() }
+        Condition::CatEq {
+            attribute: attribute.into(),
+            value: value.into(),
+        }
     }
 
     /// f6 — discriminates against females: males score in `(0.8, 1]`,
@@ -272,8 +299,16 @@ impl RuleBasedScore {
         RuleBasedScore::new(
             "f6",
             vec![
-                Rule { conditions: vec![Self::cat(names::GENDER, "Male")], lo: 0.8, hi: 1.0 },
-                Rule { conditions: vec![Self::cat(names::GENDER, "Female")], lo: 0.0, hi: 0.2 },
+                Rule {
+                    conditions: vec![Self::cat(names::GENDER, "Male")],
+                    lo: 0.8,
+                    hi: 1.0,
+                },
+                Rule {
+                    conditions: vec![Self::cat(names::GENDER, "Female")],
+                    lo: 0.0,
+                    hi: 0.2,
+                },
             ],
             (0.0, 1.0),
             seed,
@@ -304,9 +339,21 @@ impl RuleBasedScore {
                     lo: 0.0,
                     hi: 0.2,
                 },
-                Rule { conditions: vec![Self::cat(names::COUNTRY, "India")], lo: 0.5, hi: 0.7 },
-                Rule { conditions: vec![Self::cat(names::GENDER, "Female")], lo: 0.8, hi: 1.0 },
-                Rule { conditions: vec![Self::cat(names::GENDER, "Male")], lo: 0.0, hi: 0.2 },
+                Rule {
+                    conditions: vec![Self::cat(names::COUNTRY, "India")],
+                    lo: 0.5,
+                    hi: 0.7,
+                },
+                Rule {
+                    conditions: vec![Self::cat(names::GENDER, "Female")],
+                    lo: 0.8,
+                    hi: 1.0,
+                },
+                Rule {
+                    conditions: vec![Self::cat(names::GENDER, "Male")],
+                    lo: 0.0,
+                    hi: 0.2,
+                },
             ],
             (0.0, 1.0),
             seed,
@@ -336,7 +383,11 @@ impl RuleBasedScore {
                     lo: 0.5,
                     hi: 0.8,
                 },
-                Rule { conditions: vec![Self::cat(names::GENDER, "Female")], lo: 0.0, hi: 0.2 },
+                Rule {
+                    conditions: vec![Self::cat(names::GENDER, "Female")],
+                    lo: 0.0,
+                    hi: 0.2,
+                },
             ],
             (0.0, 1.0),
             seed,
@@ -441,7 +492,11 @@ impl ScoringFunction for RuleBasedScore {
                                 reason: format!("`{attribute}` is not an integer attribute"),
                             });
                         }
-                        conds.push(ResolvedCondition::IntInRange { attr, lo: *lo, hi: *hi });
+                        conds.push(ResolvedCondition::IntInRange {
+                            attr,
+                            lo: *lo,
+                            hi: *hi,
+                        });
                     }
                 }
             }
@@ -488,7 +543,11 @@ mod tests {
         for f in &fs {
             let scores = f.score_all(&t).unwrap();
             assert_eq!(scores.len(), 100);
-            assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)), "{}", f.name());
+            assert!(
+                scores.iter().all(|s| (0.0..=1.0).contains(s)),
+                "{}",
+                f.name()
+            );
         }
     }
 
@@ -497,7 +556,11 @@ mod tests {
         let t = generate_uniform(50, 6);
         let f4 = LinearScore::alpha("f4", 1.0);
         let scores = f4.score_all(&t).unwrap();
-        let lt = t.column_by_name(names::LANGUAGE_TEST).unwrap().as_numeric().unwrap();
+        let lt = t
+            .column_by_name(names::LANGUAGE_TEST)
+            .unwrap()
+            .as_numeric()
+            .unwrap();
         for (s, v) in scores.iter().zip(lt) {
             assert!((s - (v - 25.0) / 75.0).abs() < 1e-12);
         }
@@ -518,9 +581,15 @@ mod tests {
     fn linear_rejects_protected_attributes() {
         let t = generate_uniform(10, 1);
         let f = LinearScore::new("bad", vec![(names::YEAR_OF_BIRTH.into(), 1.0)]).unwrap();
-        assert!(matches!(f.score_all(&t), Err(ScoreError::NotObserved { .. })));
+        assert!(matches!(
+            f.score_all(&t),
+            Err(ScoreError::NotObserved { .. })
+        ));
         let f = LinearScore::new("bad", vec![(names::GENDER.into(), 1.0)]).unwrap();
-        assert!(matches!(f.score_all(&t), Err(ScoreError::NotObserved { .. })));
+        assert!(matches!(
+            f.score_all(&t),
+            Err(ScoreError::NotObserved { .. })
+        ));
         let f = LinearScore::new("bad", vec![("nope".into(), 1.0)]).unwrap();
         assert!(matches!(f.score_all(&t), Err(ScoreError::Store(_))));
     }
@@ -529,7 +598,11 @@ mod tests {
     fn f6_separates_genders() {
         let t = generate_uniform(300, 11);
         let scores = RuleBasedScore::f6(42).score_all(&t).unwrap();
-        let gender = t.column_by_name(names::GENDER).unwrap().as_categorical().unwrap();
+        let gender = t
+            .column_by_name(names::GENDER)
+            .unwrap()
+            .as_categorical()
+            .unwrap();
         for (s, &g) in scores.iter().zip(gender) {
             if g == 0 {
                 assert!(*s >= 0.8, "male scored {s}");
@@ -543,16 +616,24 @@ mod tests {
     fn f7_rule_order_respects_paper_spec() {
         let t = generate_uniform(500, 12);
         let scores = RuleBasedScore::f7(42).score_all(&t).unwrap();
-        let gender = t.column_by_name(names::GENDER).unwrap().as_categorical().unwrap();
-        let country = t.column_by_name(names::COUNTRY).unwrap().as_categorical().unwrap();
+        let gender = t
+            .column_by_name(names::GENDER)
+            .unwrap()
+            .as_categorical()
+            .unwrap();
+        let country = t
+            .column_by_name(names::COUNTRY)
+            .unwrap()
+            .as_categorical()
+            .unwrap();
         for i in 0..t.len() {
             let s = scores[i];
             match (gender[i], country[i]) {
-                (0, 0) => assert!(s >= 0.8),          // male American
-                (1, 0) => assert!(s < 0.2),           // female American
+                (0, 0) => assert!(s >= 0.8),                // male American
+                (1, 0) => assert!(s < 0.2),                 // female American
                 (_, 1) => assert!((0.5..0.7).contains(&s)), // Indian
-                (1, 2) => assert!(s >= 0.8),          // female other
-                (0, 2) => assert!(s < 0.2),           // male other
+                (1, 2) => assert!(s >= 0.8),                // female other
+                (0, 2) => assert!(s < 0.2),                 // male other
                 _ => unreachable!(),
             }
         }
@@ -562,8 +643,16 @@ mod tests {
     fn f8_grades_females_only() {
         let t = generate_uniform(500, 13);
         let scores = RuleBasedScore::f8(42).score_all(&t).unwrap();
-        let gender = t.column_by_name(names::GENDER).unwrap().as_categorical().unwrap();
-        let country = t.column_by_name(names::COUNTRY).unwrap().as_categorical().unwrap();
+        let gender = t
+            .column_by_name(names::GENDER)
+            .unwrap()
+            .as_categorical()
+            .unwrap();
+        let country = t
+            .column_by_name(names::COUNTRY)
+            .unwrap()
+            .as_categorical()
+            .unwrap();
         for i in 0..t.len() {
             if gender[i] == 1 {
                 let s = scores[i];
@@ -580,9 +669,21 @@ mod tests {
     fn f9_uses_year_of_birth() {
         let t = generate_uniform(500, 14);
         let scores = RuleBasedScore::f9(42).score_all(&t).unwrap();
-        let eth = t.column_by_name(names::ETHNICITY).unwrap().as_categorical().unwrap();
-        let lang = t.column_by_name(names::LANGUAGE).unwrap().as_categorical().unwrap();
-        let yob = t.column_by_name(names::YEAR_OF_BIRTH).unwrap().as_integer().unwrap();
+        let eth = t
+            .column_by_name(names::ETHNICITY)
+            .unwrap()
+            .as_categorical()
+            .unwrap();
+        let lang = t
+            .column_by_name(names::LANGUAGE)
+            .unwrap()
+            .as_categorical()
+            .unwrap();
+        let yob = t
+            .column_by_name(names::YEAR_OF_BIRTH)
+            .unwrap()
+            .as_integer()
+            .unwrap();
         for i in 0..t.len() {
             let s = scores[i];
             if eth[i] == 0 && lang[i] == 0 {

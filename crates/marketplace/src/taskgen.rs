@@ -84,7 +84,12 @@ impl TaskStream {
             );
         }
         let total_frequency = categories.iter().map(|c| c.frequency).sum();
-        TaskStream { categories, total_frequency, rng: StdRng::seed_from_u64(seed), produced: 0 }
+        TaskStream {
+            categories,
+            total_frequency,
+            rng: StdRng::seed_from_u64(seed),
+            produced: 0,
+        }
     }
 
     /// Number of tasks produced so far.
@@ -105,10 +110,16 @@ impl TaskStream {
         }
         let mut requirements = Vec::new();
         if let Some(min) = category.min_language_test {
-            requirements.push(Requirement { attribute: names::LANGUAGE_TEST.into(), min });
+            requirements.push(Requirement {
+                attribute: names::LANGUAGE_TEST.into(),
+                min,
+            });
         }
         if let Some(min) = category.min_approval_rate {
-            requirements.push(Requirement { attribute: names::APPROVAL_RATE.into(), min });
+            requirements.push(Requirement {
+                attribute: names::APPROVAL_RATE.into(),
+                min,
+            });
         }
         self.produced += 1;
         Query {
@@ -140,7 +151,10 @@ mod tests {
         let virtual_gigs = counts["virtual-gig"];
         let physical = counts["physical-gig"];
         let professional = counts["professional"];
-        assert!(virtual_gigs > physical && physical > professional, "{counts:?}");
+        assert!(
+            virtual_gigs > physical && physical > professional,
+            "{counts:?}"
+        );
         assert!((400..600).contains(&virtual_gigs), "{virtual_gigs}");
     }
 
@@ -165,9 +179,15 @@ mod tests {
         assert_eq!(platform.logs().len(), 25);
         // The professional category filters hard: some logs should show
         // fewer than 10 shown workers or NaN-masked scores.
-        let filtered_logs =
-            platform.logs().iter().filter(|l| l.scores.iter().any(|s| s.is_nan())).count();
-        assert!(filtered_logs > 0, "requirement-bearing tasks must filter someone");
+        let filtered_logs = platform
+            .logs()
+            .iter()
+            .filter(|l| l.scores.iter().any(|s| s.is_nan()))
+            .count();
+        assert!(
+            filtered_logs > 0,
+            "requirement-bearing tasks must filter someone"
+        );
     }
 
     #[test]

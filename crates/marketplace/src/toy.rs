@@ -34,7 +34,11 @@ pub mod names {
 pub fn toy_schema() -> Schema {
     Schema::builder()
         .categorical(names::GENDER, AttributeKind::Protected, &["Male", "Female"])
-        .categorical(names::LANGUAGE, AttributeKind::Protected, &["English", "Indian", "Other"])
+        .categorical(
+            names::LANGUAGE,
+            AttributeKind::Protected,
+            &["English", "Indian", "Other"],
+        )
         .numeric(names::SCORE, AttributeKind::Observed, 0.0, 1.0)
         .build()
         .expect("static schema is valid")
@@ -79,14 +83,22 @@ mod tests {
     #[test]
     fn scores_column_matches_returned_scores() {
         let (t, scores) = toy_workers();
-        let col = t.column_by_name(names::SCORE).unwrap().as_numeric().unwrap();
+        let col = t
+            .column_by_name(names::SCORE)
+            .unwrap()
+            .as_numeric()
+            .unwrap();
         assert_eq!(col, &scores[..]);
     }
 
     #[test]
     fn females_share_one_bin_under_ten_bins() {
         let (t, scores) = toy_workers();
-        let gender = t.column_by_name(names::GENDER).unwrap().as_categorical().unwrap();
+        let gender = t
+            .column_by_name(names::GENDER)
+            .unwrap()
+            .as_categorical()
+            .unwrap();
         for (i, &g) in gender.iter().enumerate() {
             if g == 1 {
                 assert_eq!((scores[i] * 10.0) as usize, 0, "female scores all in bin 0");
@@ -97,8 +109,16 @@ mod tests {
     #[test]
     fn male_language_groups_are_separated() {
         let (t, scores) = toy_workers();
-        let gender = t.column_by_name(names::GENDER).unwrap().as_categorical().unwrap();
-        let lang = t.column_by_name(names::LANGUAGE).unwrap().as_categorical().unwrap();
+        let gender = t
+            .column_by_name(names::GENDER)
+            .unwrap()
+            .as_categorical()
+            .unwrap();
+        let lang = t
+            .column_by_name(names::LANGUAGE)
+            .unwrap()
+            .as_categorical()
+            .unwrap();
         let mut bins: Vec<Vec<usize>> = vec![Vec::new(); 3];
         for i in 0..t.len() {
             if gender[i] == 0 {

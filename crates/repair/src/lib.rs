@@ -101,7 +101,10 @@ pub struct RepairConfig {
 
 impl Default for RepairConfig {
     fn default() -> Self {
-        RepairConfig { lambda: 1.0, target: RepairTarget::Median }
+        RepairConfig {
+            lambda: 1.0,
+            target: RepairTarget::Median,
+        }
     }
 }
 
@@ -123,7 +126,9 @@ pub fn repair_scores(
     config: &RepairConfig,
 ) -> Result<Vec<f64>, RepairError> {
     if !(0.0..=1.0).contains(&config.lambda) || !config.lambda.is_finite() {
-        return Err(RepairError::BadLambda { lambda: config.lambda });
+        return Err(RepairError::BadLambda {
+            lambda: config.lambda,
+        });
     }
     if groups.is_empty() {
         return Err(RepairError::NoGroups);
@@ -177,8 +182,10 @@ pub fn repair_scores(
         match config.target {
             RepairTarget::Pooled => interpolated_quantile(&pooled, q),
             RepairTarget::Median => {
-                let mut vals: Vec<f64> =
-                    sorted_groups.iter().map(|g| interpolated_quantile(g, q)).collect();
+                let mut vals: Vec<f64> = sorted_groups
+                    .iter()
+                    .map(|g| interpolated_quantile(g, q))
+                    .collect();
                 vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 let n = vals.len();
                 if n % 2 == 1 {
@@ -194,8 +201,12 @@ pub fn repair_scores(
     for g in groups.iter().filter(|g| !g.is_empty()) {
         let mut members: Vec<usize> = g.iter().collect();
         // Rank members by score (ties by row id for determinism).
-        members
-            .sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite").then(a.cmp(&b)));
+        members.sort_by(|&a, &b| {
+            scores[a]
+                .partial_cmp(&scores[b])
+                .expect("finite")
+                .then(a.cmp(&b))
+        });
         let n = members.len();
         for (rank, &row) in members.iter().enumerate() {
             let q = quantile_level(rank, n);
@@ -213,14 +224,20 @@ mod tests {
     fn two_groups() -> (Vec<f64>, Vec<RowSet>) {
         // Group A: high scores; group B: low scores.
         let scores = vec![0.8, 0.9, 1.0, 0.0, 0.1, 0.2];
-        let groups = vec![RowSet::from_rows(vec![0, 1, 2]), RowSet::from_rows(vec![3, 4, 5])];
+        let groups = vec![
+            RowSet::from_rows(vec![0, 1, 2]),
+            RowSet::from_rows(vec![3, 4, 5]),
+        ];
         (scores, groups)
     }
 
     #[test]
     fn lambda_zero_is_identity() {
         let (scores, groups) = two_groups();
-        let cfg = RepairConfig { lambda: 0.0, target: RepairTarget::Median };
+        let cfg = RepairConfig {
+            lambda: 0.0,
+            target: RepairTarget::Median,
+        };
         let repaired = repair_scores(&scores, &groups, &cfg).unwrap();
         assert_eq!(repaired, scores);
     }
@@ -243,17 +260,29 @@ mod tests {
     fn repair_preserves_within_group_order() {
         let (scores, groups) = two_groups();
         for lambda in [0.25, 0.5, 0.75, 1.0] {
-            let cfg = RepairConfig { lambda, target: RepairTarget::Median };
+            let cfg = RepairConfig {
+                lambda,
+                target: RepairTarget::Median,
+            };
             let repaired = repair_scores(&scores, &groups, &cfg).unwrap();
-            assert!(repaired[0] <= repaired[1] && repaired[1] <= repaired[2], "{lambda}");
-            assert!(repaired[3] <= repaired[4] && repaired[4] <= repaired[5], "{lambda}");
+            assert!(
+                repaired[0] <= repaired[1] && repaired[1] <= repaired[2],
+                "{lambda}"
+            );
+            assert!(
+                repaired[3] <= repaired[4] && repaired[4] <= repaired[5],
+                "{lambda}"
+            );
         }
     }
 
     #[test]
     fn pooled_target_aligns_to_population() {
         let (scores, groups) = two_groups();
-        let cfg = RepairConfig { lambda: 1.0, target: RepairTarget::Pooled };
+        let cfg = RepairConfig {
+            lambda: 1.0,
+            target: RepairTarget::Pooled,
+        };
         let repaired = repair_scores(&scores, &groups, &cfg).unwrap();
         // Both groups become the pooled distribution's quantiles.
         assert!((repaired[0] - repaired[3]).abs() < 1e-12);
@@ -267,7 +296,10 @@ mod tests {
     #[test]
     fn validation_errors() {
         let (scores, groups) = two_groups();
-        let bad_lambda = RepairConfig { lambda: 1.5, target: RepairTarget::Median };
+        let bad_lambda = RepairConfig {
+            lambda: 1.5,
+            target: RepairTarget::Median,
+        };
         assert!(matches!(
             repair_scores(&scores, &groups, &bad_lambda),
             Err(RepairError::BadLambda { .. })
@@ -277,14 +309,19 @@ mod tests {
             Err(RepairError::NoGroups)
         ));
         // Overlap.
-        let overlap =
-            vec![RowSet::from_rows(vec![0, 1, 2, 3]), RowSet::from_rows(vec![3, 4, 5])];
+        let overlap = vec![
+            RowSet::from_rows(vec![0, 1, 2, 3]),
+            RowSet::from_rows(vec![3, 4, 5]),
+        ];
         assert!(matches!(
             repair_scores(&scores, &overlap, &RepairConfig::default()),
             Err(RepairError::BadGroups { .. })
         ));
         // Gap.
-        let gap = vec![RowSet::from_rows(vec![0, 1, 2]), RowSet::from_rows(vec![3, 4])];
+        let gap = vec![
+            RowSet::from_rows(vec![0, 1, 2]),
+            RowSet::from_rows(vec![3, 4]),
+        ];
         assert!(matches!(
             repair_scores(&scores, &gap, &RepairConfig::default()),
             Err(RepairError::BadGroups { .. })
@@ -318,13 +355,14 @@ mod tests {
     #[test]
     fn groups_of_different_sizes_align() {
         let scores = vec![0.9, 1.0, 0.0, 0.1, 0.2, 0.3];
-        let groups = vec![RowSet::from_rows(vec![0, 1]), RowSet::from_rows(vec![2, 3, 4, 5])];
+        let groups = vec![
+            RowSet::from_rows(vec![0, 1]),
+            RowSet::from_rows(vec![2, 3, 4, 5]),
+        ];
         let repaired = repair_scores(&scores, &groups, &RepairConfig::default()).unwrap();
         assert!(repaired[0] < repaired[1]);
         assert!(
-            repaired[2] <= repaired[3]
-                && repaired[3] <= repaired[4]
-                && repaired[4] <= repaired[5]
+            repaired[2] <= repaired[3] && repaired[3] <= repaired[4] && repaired[4] <= repaired[5]
         );
     }
 }

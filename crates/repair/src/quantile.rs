@@ -13,7 +13,10 @@ pub fn quantile_level(rank: usize, n: usize) -> f64 {
 /// `i` sits at level `(i + 0.5) / n`.
 pub fn interpolated_quantile(sorted: &[f64], q: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
     let n = sorted.len();
     if n == 1 {
         return sorted[0];

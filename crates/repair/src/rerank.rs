@@ -79,7 +79,9 @@ fn quota_table(items: &[RankedItem], n_groups: usize, alpha: f64) -> Vec<Vec<usi
     (0..n_groups)
         .map(|g| {
             let share = sizes[g] as f64 / n as f64;
-            (0..=n).map(|k| (alpha * share * k as f64).floor() as usize).collect()
+            (0..=n)
+                .map(|k| (alpha * share * k as f64).floor() as usize)
+                .collect()
         })
         .collect()
 }
@@ -108,7 +110,10 @@ pub fn rerank_proportional(
     }
     for item in items {
         if item.group >= n_groups {
-            return Err(RerankError::BadGroup { group: item.group, n_groups });
+            return Err(RerankError::BadGroup {
+                group: item.group,
+                n_groups,
+            });
         }
     }
     let n = items.len();
@@ -139,8 +144,9 @@ pub fn rerank_proportional(
             if kp < k {
                 continue;
             }
-            let needed: usize =
-                (0..g).map(|grp| required[grp][kp].saturating_sub(placed[grp])).sum();
+            let needed: usize = (0..g)
+                .map(|grp| required[grp][kp].saturating_sub(placed[grp]))
+                .sum();
             if needed > kp - k {
                 return false;
             }
@@ -227,10 +233,18 @@ mod tests {
     fn biased_ranking() -> Vec<RankedItem> {
         let mut items = Vec::new();
         for i in 0..10u32 {
-            items.push(RankedItem { id: i, score: 1.0 - i as f64 * 0.01, group: 0 });
+            items.push(RankedItem {
+                id: i,
+                score: 1.0 - i as f64 * 0.01,
+                group: 0,
+            });
         }
         for i in 10..20u32 {
-            items.push(RankedItem { id: i, score: 0.5 - (i - 10) as f64 * 0.01, group: 1 });
+            items.push(RankedItem {
+                id: i,
+                score: 0.5 - (i - 10) as f64 * 0.01,
+                group: 1,
+            });
         }
         items
     }
@@ -263,9 +277,16 @@ mod tests {
         let items = biased_ranking();
         let out = rerank_proportional(&items, 2, 1.0).unwrap();
         for group in 0..2u32 {
-            let order: Vec<u32> = out.iter().filter(|i| i.group == group).map(|i| i.id).collect();
-            let original: Vec<u32> =
-                items.iter().filter(|i| i.group == group).map(|i| i.id).collect();
+            let order: Vec<u32> = out
+                .iter()
+                .filter(|i| i.group == group)
+                .map(|i| i.id)
+                .collect();
+            let original: Vec<u32> = items
+                .iter()
+                .filter(|i| i.group == group)
+                .map(|i| i.id)
+                .collect();
             assert_eq!(order, original, "group {group}");
         }
     }
@@ -286,13 +307,25 @@ mod tests {
     fn three_groups_with_simultaneous_quota_jumps() {
         let mut items = Vec::new();
         for i in 0..6u32 {
-            items.push(RankedItem { id: i, score: 1.0 - i as f64 * 0.01, group: 0 });
+            items.push(RankedItem {
+                id: i,
+                score: 1.0 - i as f64 * 0.01,
+                group: 0,
+            });
         }
         for i in 6..9u32 {
-            items.push(RankedItem { id: i, score: 0.4, group: 1 });
+            items.push(RankedItem {
+                id: i,
+                score: 0.4,
+                group: 1,
+            });
         }
         for i in 9..12u32 {
-            items.push(RankedItem { id: i, score: 0.3, group: 2 });
+            items.push(RankedItem {
+                id: i,
+                score: 0.3,
+                group: 2,
+            });
         }
         let out = rerank_proportional(&items, 3, 1.0).unwrap();
         assert_eq!(first_quota_violation(&out, 3, 1.0), None);
@@ -323,15 +356,29 @@ mod tests {
     #[test]
     fn validation() {
         let items = biased_ranking();
-        assert!(matches!(rerank_proportional(&items, 2, 1.5), Err(RerankError::BadAlpha { .. })));
-        assert!(matches!(rerank_proportional(&items, 1, 0.5), Err(RerankError::BadGroup { .. })));
-        assert!(matches!(rerank_proportional(&[], 2, 0.5), Err(RerankError::Empty)));
+        assert!(matches!(
+            rerank_proportional(&items, 2, 1.5),
+            Err(RerankError::BadAlpha { .. })
+        ));
+        assert!(matches!(
+            rerank_proportional(&items, 1, 0.5),
+            Err(RerankError::BadGroup { .. })
+        ));
+        assert!(matches!(
+            rerank_proportional(&[], 2, 0.5),
+            Err(RerankError::Empty)
+        ));
     }
 
     #[test]
     fn single_group_unchanged() {
-        let items: Vec<RankedItem> =
-            (0..5u32).map(|i| RankedItem { id: i, score: 1.0 - i as f64 * 0.1, group: 0 }).collect();
+        let items: Vec<RankedItem> = (0..5u32)
+            .map(|i| RankedItem {
+                id: i,
+                score: 1.0 - i as f64 * 0.1,
+                group: 0,
+            })
+            .collect();
         let out = rerank_proportional(&items, 1, 1.0).unwrap();
         assert_eq!(out, items);
     }
@@ -340,7 +387,11 @@ mod tests {
     fn already_fair_ranking_minimally_disturbed() {
         // Alternating groups is already fair at alpha=1 for 50/50 shares.
         let items: Vec<RankedItem> = (0..10u32)
-            .map(|i| RankedItem { id: i, score: 1.0 - i as f64 * 0.05, group: i % 2 })
+            .map(|i| RankedItem {
+                id: i,
+                score: 1.0 - i as f64 * 0.05,
+                group: i % 2,
+            })
             .collect();
         assert_eq!(first_quota_violation(&items, 2, 1.0), None);
         let out = rerank_proportional(&items, 2, 1.0).unwrap();

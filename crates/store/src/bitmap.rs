@@ -20,7 +20,10 @@ pub struct Bitmap {
 impl Bitmap {
     /// An empty bitmap over `universe` rows.
     pub fn new(universe: usize) -> Self {
-        Bitmap { words: vec![0; universe.div_ceil(64)], universe }
+        Bitmap {
+            words: vec![0; universe.div_ceil(64)],
+            universe,
+        }
     }
 
     /// A bitmap with every row of the universe set.
@@ -41,7 +44,10 @@ impl Bitmap {
     pub fn from_rowset(rows: &RowSet, universe: usize) -> Self {
         let mut b = Bitmap::new(universe);
         for row in rows.rows() {
-            assert!((*row as usize) < universe, "row {row} outside universe {universe}");
+            assert!(
+                (*row as usize) < universe,
+                "row {row} outside universe {universe}"
+            );
             b.insert(*row);
         }
         b
@@ -59,7 +65,11 @@ impl Bitmap {
     /// When `row >= universe`.
     pub fn insert(&mut self, row: u32) {
         let row = row as usize;
-        assert!(row < self.universe, "row {row} outside universe {}", self.universe);
+        assert!(
+            row < self.universe,
+            "row {row} outside universe {}",
+            self.universe
+        );
         self.words[row / 64] |= 1u64 << (row % 64);
     }
 
@@ -95,7 +105,12 @@ impl Bitmap {
     pub fn intersect(&self, other: &Bitmap) -> Bitmap {
         assert_eq!(self.universe, other.universe, "universe mismatch");
         Bitmap {
-            words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
             universe: self.universe,
         }
     }
@@ -108,7 +123,12 @@ impl Bitmap {
     pub fn union(&self, other: &Bitmap) -> Bitmap {
         assert_eq!(self.universe, other.universe, "universe mismatch");
         Bitmap {
-            words: self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
             universe: self.universe,
         }
     }
@@ -121,7 +141,12 @@ impl Bitmap {
     pub fn difference(&self, other: &Bitmap) -> Bitmap {
         assert_eq!(self.universe, other.universe, "universe mismatch");
         Bitmap {
-            words: self.words.iter().zip(&other.words).map(|(a, b)| a & !b).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & !b)
+                .collect(),
             universe: self.universe,
         }
     }

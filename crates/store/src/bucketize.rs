@@ -52,23 +52,33 @@ pub fn bucketize(
         DataType::Numeric { min, max } => (*min, *max),
         DataType::Integer { min, max } => (*min as f64, *max as f64),
         DataType::Categorical { .. } => {
-            return Err(StoreError::NotNumeric { attribute: attr.name.clone() })
+            return Err(StoreError::NotNumeric {
+                attribute: attr.name.clone(),
+            })
         }
     };
     let edges: Vec<f64> = match spec {
         BucketSpec::EqualWidth { n } => {
             if *n == 0 {
-                return Err(StoreError::BadBuckets { reason: "zero buckets" });
+                return Err(StoreError::BadBuckets {
+                    reason: "zero buckets",
+                });
             }
             if lo >= hi && *n > 1 {
-                return Err(StoreError::BadBuckets { reason: "degenerate range" });
+                return Err(StoreError::BadBuckets {
+                    reason: "degenerate range",
+                });
             }
-            (0..=*n).map(|i| lo + (hi - lo) * i as f64 / *n as f64).collect()
+            (0..=*n)
+                .map(|i| lo + (hi - lo) * i as f64 / *n as f64)
+                .collect()
         }
         BucketSpec::Boundaries { cuts } => {
             for w in cuts.windows(2) {
                 if w[0] >= w[1] {
-                    return Err(StoreError::BadBuckets { reason: "cuts must strictly increase" });
+                    return Err(StoreError::BadBuckets {
+                        reason: "cuts must strictly increase",
+                    });
                 }
             }
             if cuts.iter().any(|c| !c.is_finite() || *c <= lo || *c >= hi) {
@@ -130,8 +140,7 @@ pub fn bucketize_all_protected(table: &mut Table, n: usize) -> Result<Vec<usize>
         .attributes()
         .iter()
         .filter(|a| {
-            a.kind == AttributeKind::Protected
-                && !matches!(a.dtype, DataType::Categorical { .. })
+            a.kind == AttributeKind::Protected && !matches!(a.dtype, DataType::Categorical { .. })
         })
         .map(|a| a.name.clone())
         .collect();
@@ -141,7 +150,12 @@ pub fn bucketize_all_protected(table: &mut Table, n: usize) -> Result<Vec<usize>
         if table.schema().index_of(&band).is_ok() {
             continue;
         }
-        added.push(bucketize(table, &name, &band, &BucketSpec::EqualWidth { n })?);
+        added.push(bucketize(
+            table,
+            &name,
+            &band,
+            &BucketSpec::EqualWidth { n },
+        )?);
     }
     Ok(added)
 }
@@ -184,7 +198,8 @@ mod tests {
             ("Female", 1999, 99.0),
             ("Male", 2009, 100.0),
         ] {
-            t.push_row(&[Value::cat(g), Value::int(y), Value::num(a)]).unwrap();
+            t.push_row(&[Value::cat(g), Value::int(y), Value::num(a)])
+                .unwrap();
         }
         t
     }
@@ -220,7 +235,9 @@ mod tests {
             &mut t,
             "approval",
             "approval_band",
-            &BucketSpec::Boundaries { cuts: vec![50.0, 90.0] },
+            &BucketSpec::Boundaries {
+                cuts: vec![50.0, 90.0],
+            },
         )
         .unwrap();
         let codes = t.column(idx).as_categorical().unwrap();
@@ -239,11 +256,23 @@ mod tests {
             Err(StoreError::BadBuckets { .. })
         ));
         assert!(matches!(
-            bucketize(&mut t, "yob", "b", &BucketSpec::Boundaries { cuts: vec![1990.0, 1960.0] }),
+            bucketize(
+                &mut t,
+                "yob",
+                "b",
+                &BucketSpec::Boundaries {
+                    cuts: vec![1990.0, 1960.0]
+                }
+            ),
             Err(StoreError::BadBuckets { .. })
         ));
         assert!(matches!(
-            bucketize(&mut t, "yob", "b", &BucketSpec::Boundaries { cuts: vec![1940.0] }),
+            bucketize(
+                &mut t,
+                "yob",
+                "b",
+                &BucketSpec::Boundaries { cuts: vec![1940.0] }
+            ),
             Err(StoreError::BadBuckets { .. })
         ));
         assert!(matches!(

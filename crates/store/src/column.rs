@@ -81,7 +81,9 @@ mod tests {
 
     #[test]
     fn empty_for_matches_dtype() {
-        let c = Column::empty_for(&DataType::Categorical { domain: vec!["x".into()] });
+        let c = Column::empty_for(&DataType::Categorical {
+            domain: vec!["x".into()],
+        });
         assert!(matches!(c, Column::Categorical(_)));
         assert!(c.is_empty());
         let n = Column::empty_for(&DataType::Numeric { min: 0.0, max: 1.0 });

@@ -13,8 +13,12 @@ use crate::StoreError;
 /// Serialise a table (header + one line per row).
 pub fn to_csv(table: &Table) -> String {
     let mut out = String::new();
-    let header: Vec<String> =
-        table.schema().attributes().iter().map(|a| escape(&a.name)).collect();
+    let header: Vec<String> = table
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| escape(&a.name))
+        .collect();
     out.push_str(&header.join(","));
     out.push('\n');
     for row in 0..table.len() {
@@ -44,9 +48,16 @@ pub fn from_csv(schema: crate::Schema, text: &str) -> Result<Table, StoreError> 
     let mut lines = split_records(text);
     let header = lines
         .next()
-        .ok_or(StoreError::Csv { line: 1, reason: "missing header".into() })?
+        .ok_or(StoreError::Csv {
+            line: 1,
+            reason: "missing header".into(),
+        })?
         .map_err(|reason| StoreError::Csv { line: 1, reason })?;
-    let expected: Vec<&str> = schema.attributes().iter().map(|a| a.name.as_str()).collect();
+    let expected: Vec<&str> = schema
+        .attributes()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
     if header != expected {
         return Err(StoreError::Csv {
             line: 1,
@@ -71,18 +82,25 @@ pub fn from_csv(schema: crate::Schema, text: &str) -> Result<Table, StoreError> 
         for (attr, field) in table.schema().attributes().iter().zip(&fields) {
             let value = match &attr.dtype {
                 DataType::Categorical { .. } => Value::Cat(field.clone()),
-                DataType::Numeric { .. } => Value::Num(field.parse::<f64>().map_err(|e| {
-                    StoreError::Csv { line, reason: format!("bad float `{field}`: {e}") }
-                })?),
-                DataType::Integer { .. } => Value::Int(field.parse::<i64>().map_err(|e| {
-                    StoreError::Csv { line, reason: format!("bad integer `{field}`: {e}") }
-                })?),
+                DataType::Numeric { .. } => {
+                    Value::Num(field.parse::<f64>().map_err(|e| StoreError::Csv {
+                        line,
+                        reason: format!("bad float `{field}`: {e}"),
+                    })?)
+                }
+                DataType::Integer { .. } => {
+                    Value::Int(field.parse::<i64>().map_err(|e| StoreError::Csv {
+                        line,
+                        reason: format!("bad integer `{field}`: {e}"),
+                    })?)
+                }
             };
             values.push(value);
         }
-        table
-            .push_row(&values)
-            .map_err(|e| StoreError::Csv { line, reason: e.to_string() })?;
+        table.push_row(&values).map_err(|e| StoreError::Csv {
+            line,
+            reason: e.to_string(),
+        })?;
     }
     Ok(table)
 }
@@ -169,8 +187,10 @@ mod tests {
 
     fn sample_table() -> Table {
         let mut t = Table::new(schema());
-        t.push_row(&[Value::cat("Male"), Value::int(1980), Value::num(75.5)]).unwrap();
-        t.push_row(&[Value::cat("Female"), Value::int(1999), Value::num(90.0)]).unwrap();
+        t.push_row(&[Value::cat("Male"), Value::int(1980), Value::num(75.5)])
+            .unwrap();
+        t.push_row(&[Value::cat("Female"), Value::int(1999), Value::num(90.0)])
+            .unwrap();
         t
     }
 

@@ -111,11 +111,17 @@ impl fmt::Display for StoreError {
             StoreError::RowArity { expected, got } => {
                 write!(f, "row has {got} values, schema expects {expected}")
             }
-            StoreError::TypeMismatch { attribute, expected } => {
+            StoreError::TypeMismatch {
+                attribute,
+                expected,
+            } => {
                 write!(f, "attribute `{attribute}` expects a {expected} value")
             }
             StoreError::UnknownCategory { attribute, value } => {
-                write!(f, "`{value}` is not in the domain of attribute `{attribute}`")
+                write!(
+                    f,
+                    "`{value}` is not in the domain of attribute `{attribute}`"
+                )
             }
             StoreError::OutOfRange { attribute, value } => {
                 write!(f, "value {value} out of range for attribute `{attribute}`")
@@ -143,7 +149,10 @@ mod tests {
 
     #[test]
     fn display_mentions_offenders() {
-        let e = StoreError::UnknownCategory { attribute: "gender".into(), value: "X".into() };
+        let e = StoreError::UnknownCategory {
+            attribute: "gender".into(),
+            value: "X".into(),
+        };
         let s = e.to_string();
         assert!(s.contains("gender") && s.contains('X'));
     }

@@ -11,12 +11,22 @@ use crate::{RowSet, StoreError};
 /// # Errors
 ///
 /// [`StoreError::NotCategorical`] when `attr` is not categorical.
-pub fn group_by(table: &Table, within: &RowSet, attr: usize) -> Result<Vec<(u32, RowSet)>, StoreError> {
-    let codes = table.column(attr).as_categorical().ok_or_else(|| {
-        StoreError::NotCategorical { attribute: table.schema().attribute(attr).name.clone() }
-    })?;
-    let cardinality =
-        table.schema().attribute(attr).cardinality().expect("categorical has cardinality");
+pub fn group_by(
+    table: &Table,
+    within: &RowSet,
+    attr: usize,
+) -> Result<Vec<(u32, RowSet)>, StoreError> {
+    let codes = table
+        .column(attr)
+        .as_categorical()
+        .ok_or_else(|| StoreError::NotCategorical {
+            attribute: table.schema().attribute(attr).name.clone(),
+        })?;
+    let cardinality = table
+        .schema()
+        .attribute(attr)
+        .cardinality()
+        .expect("categorical has cardinality");
     let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cardinality];
     for row in within.rows() {
         buckets[codes[*row as usize] as usize].push(*row);
@@ -46,18 +56,28 @@ pub fn group_by_many(
     }
     let mut code_slices = Vec::with_capacity(attrs.len());
     for &attr in attrs {
-        let codes = table.column(attr).as_categorical().ok_or_else(|| {
-            StoreError::NotCategorical { attribute: table.schema().attribute(attr).name.clone() }
-        })?;
+        let codes =
+            table
+                .column(attr)
+                .as_categorical()
+                .ok_or_else(|| StoreError::NotCategorical {
+                    attribute: table.schema().attribute(attr).name.clone(),
+                })?;
         code_slices.push(codes);
     }
     let mut groups: std::collections::BTreeMap<Vec<u32>, Vec<u32>> =
         std::collections::BTreeMap::new();
     for row in within.rows() {
-        let key: Vec<u32> = code_slices.iter().map(|codes| codes[*row as usize]).collect();
+        let key: Vec<u32> = code_slices
+            .iter()
+            .map(|codes| codes[*row as usize])
+            .collect();
         groups.entry(key).or_default().push(*row);
     }
-    Ok(groups.into_iter().map(|(k, rows)| (k, RowSet::from_sorted(rows))).collect())
+    Ok(groups
+        .into_iter()
+        .map(|(k, rows)| (k, RowSet::from_sorted(rows)))
+        .collect())
 }
 
 /// Per-code counts of `attr` within `within` (a group-by that skips
@@ -67,11 +87,17 @@ pub fn group_by_many(
 ///
 /// [`StoreError::NotCategorical`] when `attr` is not categorical.
 pub fn value_counts(table: &Table, within: &RowSet, attr: usize) -> Result<Vec<usize>, StoreError> {
-    let codes = table.column(attr).as_categorical().ok_or_else(|| {
-        StoreError::NotCategorical { attribute: table.schema().attribute(attr).name.clone() }
-    })?;
-    let cardinality =
-        table.schema().attribute(attr).cardinality().expect("categorical has cardinality");
+    let codes = table
+        .column(attr)
+        .as_categorical()
+        .ok_or_else(|| StoreError::NotCategorical {
+            attribute: table.schema().attribute(attr).name.clone(),
+        })?;
+    let cardinality = table
+        .schema()
+        .attribute(attr)
+        .cardinality()
+        .expect("categorical has cardinality");
     let mut counts = vec![0usize; cardinality];
     for row in within.rows() {
         counts[codes[*row as usize] as usize] += 1;
@@ -88,7 +114,11 @@ mod tests {
     fn table() -> Table {
         let schema = Schema::builder()
             .categorical("gender", AttributeKind::Protected, &["Male", "Female"])
-            .categorical("lang", AttributeKind::Protected, &["English", "Indian", "Other"])
+            .categorical(
+                "lang",
+                AttributeKind::Protected,
+                &["English", "Indian", "Other"],
+            )
             .numeric("score", AttributeKind::Observed, 0.0, 1.0)
             .build()
             .unwrap();
@@ -100,7 +130,8 @@ mod tests {
             ("Female", "Other", 0.6),
             ("Male", "English", 0.5),
         ] {
-            t.push_row(&[Value::cat(g), Value::cat(l), Value::num(s)]).unwrap();
+            t.push_row(&[Value::cat(g), Value::cat(l), Value::num(s)])
+                .unwrap();
         }
         t
     }

@@ -23,11 +23,18 @@ impl CategoricalIndex {
     ///
     /// [`StoreError::NotCategorical`] when `attr` is not categorical.
     pub fn build(table: &Table, attr: usize) -> Result<Self, StoreError> {
-        let codes = table.column(attr).as_categorical().ok_or_else(|| {
-            StoreError::NotCategorical { attribute: table.schema().attribute(attr).name.clone() }
-        })?;
-        let cardinality =
-            table.schema().attribute(attr).cardinality().expect("categorical has cardinality");
+        let codes =
+            table
+                .column(attr)
+                .as_categorical()
+                .ok_or_else(|| StoreError::NotCategorical {
+                    attribute: table.schema().attribute(attr).name.clone(),
+                })?;
+        let cardinality = table
+            .schema()
+            .attribute(attr)
+            .cardinality()
+            .expect("categorical has cardinality");
         let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cardinality];
         for (row, &code) in codes.iter().enumerate() {
             buckets[code as usize].push(row as u32);
@@ -100,7 +107,11 @@ mod tests {
     fn table() -> Table {
         let schema = Schema::builder()
             .categorical("gender", AttributeKind::Protected, &["Male", "Female"])
-            .categorical("lang", AttributeKind::Protected, &["English", "Indian", "Other"])
+            .categorical(
+                "lang",
+                AttributeKind::Protected,
+                &["English", "Indian", "Other"],
+            )
             .numeric("score", AttributeKind::Observed, 0.0, 1.0)
             .build()
             .unwrap();
@@ -112,7 +123,8 @@ mod tests {
             ("Female", "Other", 0.6),
             ("Male", "English", 0.5),
         ] {
-            t.push_row(&[Value::cat(g), Value::cat(l), Value::num(s)]).unwrap();
+            t.push_row(&[Value::cat(g), Value::cat(l), Value::num(s)])
+                .unwrap();
         }
         t
     }

@@ -32,7 +32,9 @@ impl Predicate {
 
     /// A single-constraint predicate.
     pub fn eq(attr: usize, code: u32) -> Self {
-        Predicate { constraints: vec![EqConstraint { attr, code }] }
+        Predicate {
+            constraints: vec![EqConstraint { attr, code }],
+        }
     }
 
     /// This predicate with one more constraint appended. Keeps
@@ -48,6 +50,33 @@ impl Predicate {
     /// The constraints, ordered by attribute index.
     pub fn constraints(&self) -> &[EqConstraint] {
         &self.constraints
+    }
+
+    /// A cheap 128-bit structural fingerprint, equal for structurally
+    /// equal predicates (constraints are kept sorted by attribute, so
+    /// build order does not matter). Used as a memo-cache key by the
+    /// audit layer's evaluation engine; the top bit is always clear so
+    /// callers can reserve it as a sentinel.
+    pub fn fingerprint(&self) -> u128 {
+        // Two independent 64-bit FNV-1a passes over the (attr, code)
+        // stream; 128 bits makes accidental collisions across the few
+        // thousand predicates of an audit astronomically unlikely.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut lo: u64 = OFFSET;
+        let mut hi: u64 = OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                lo = (lo ^ u64::from(byte)).wrapping_mul(PRIME);
+                hi = (hi ^ u64::from(byte.rotate_left(3))).wrapping_mul(PRIME);
+            }
+        };
+        mix(self.constraints.len() as u64);
+        for c in &self.constraints {
+            mix(c.attr as u64);
+            mix(u64::from(c.code));
+        }
+        (u128::from(hi) << 64 | u128::from(lo)) & !(1u128 << 127)
     }
 
     /// True when this predicate has no constraints.
@@ -126,8 +155,11 @@ impl fmt::Display for Predicate {
         if self.is_always() {
             return write!(f, "⊤");
         }
-        let parts: Vec<String> =
-            self.constraints.iter().map(|c| format!("a{}={}", c.attr, c.code)).collect();
+        let parts: Vec<String> = self
+            .constraints
+            .iter()
+            .map(|c| format!("a{}={}", c.attr, c.code))
+            .collect();
         write!(f, "{}", parts.join(" ∧ "))
     }
 }
@@ -141,7 +173,11 @@ mod tests {
     fn table() -> Table {
         let schema = Schema::builder()
             .categorical("gender", AttributeKind::Protected, &["Male", "Female"])
-            .categorical("lang", AttributeKind::Protected, &["English", "Indian", "Other"])
+            .categorical(
+                "lang",
+                AttributeKind::Protected,
+                &["English", "Indian", "Other"],
+            )
             .numeric("score", AttributeKind::Observed, 0.0, 1.0)
             .build()
             .unwrap();
@@ -153,7 +189,8 @@ mod tests {
             ("Female", "Other", 0.6),
             ("Male", "English", 0.5),
         ] {
-            t.push_row(&[Value::cat(g), Value::cat(l), Value::num(s)]).unwrap();
+            t.push_row(&[Value::cat(g), Value::cat(l), Value::num(s)])
+                .unwrap();
         }
         t
     }
@@ -214,6 +251,33 @@ mod tests {
         let p1 = Predicate::eq(0, 1).and(1, 2);
         let p2 = Predicate::eq(1, 2).and(0, 1);
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn fingerprint_is_structural_and_discriminating() {
+        // Equal predicates fingerprint equal regardless of build order.
+        let p1 = Predicate::eq(0, 1).and(1, 2);
+        let p2 = Predicate::eq(1, 2).and(0, 1);
+        assert_eq!(p1.fingerprint(), p2.fingerprint());
+        // Different predicates (including attr/code swaps and prefixes)
+        // fingerprint differently.
+        let variants = [
+            Predicate::always(),
+            Predicate::eq(0, 1),
+            Predicate::eq(1, 0),
+            Predicate::eq(0, 1).and(1, 2),
+            Predicate::eq(0, 2).and(1, 1),
+            Predicate::eq(0, 1).and(1, 2).and(2, 0),
+        ];
+        for (i, a) in variants.iter().enumerate() {
+            // Top bit stays clear (reserved for the engine's sentinel).
+            assert_eq!(a.fingerprint() >> 127, 0);
+            for (j, b) in variants.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a.fingerprint(), b.fingerprint(), "{a} vs {b}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,9 @@ impl RowSet {
 
     /// All rows `0..n`.
     pub fn all(n: usize) -> Self {
-        RowSet { rows: (0..n as u32).collect() }
+        RowSet {
+            rows: (0..n as u32).collect(),
+        }
     }
 
     /// From an arbitrary list of row ids (sorted and deduplicated).
@@ -34,7 +36,10 @@ impl RowSet {
     ///
     /// Debug-asserts the invariant; use [`RowSet::from_rows`] otherwise.
     pub fn from_sorted(rows: Vec<u32>) -> Self {
-        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must be sorted and unique");
+        debug_assert!(
+            rows.windows(2).all(|w| w[0] < w[1]),
+            "rows must be sorted and unique"
+        );
         RowSet { rows }
     }
 

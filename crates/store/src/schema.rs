@@ -92,7 +92,9 @@ impl AttributeDef {
                     attribute: self.name.clone(),
                     value: value.to_string(),
                 }),
-            _ => Err(StoreError::NotCategorical { attribute: self.name.clone() }),
+            _ => Err(StoreError::NotCategorical {
+                attribute: self.name.clone(),
+            }),
         }
     }
 
@@ -106,8 +108,13 @@ impl AttributeDef {
             DataType::Categorical { domain } => domain
                 .get(code as usize)
                 .map(String::as_str)
-                .ok_or(StoreError::BadCode { attribute: self.name.clone(), code }),
-            _ => Err(StoreError::NotCategorical { attribute: self.name.clone() }),
+                .ok_or(StoreError::BadCode {
+                    attribute: self.name.clone(),
+                    code,
+                }),
+            _ => Err(StoreError::NotCategorical {
+                attribute: self.name.clone(),
+            }),
         }
     }
 }
@@ -121,7 +128,9 @@ pub struct Schema {
 impl Schema {
     /// Start building a schema.
     pub fn builder() -> SchemaBuilder {
-        SchemaBuilder { attributes: Vec::new() }
+        SchemaBuilder {
+            attributes: Vec::new(),
+        }
     }
 
     /// All attributes, in declaration order.
@@ -148,12 +157,16 @@ impl Schema {
         self.attributes
             .iter()
             .position(|a| a.name == name)
-            .ok_or_else(|| StoreError::NoSuchAttribute { name: name.to_string() })
+            .ok_or_else(|| StoreError::NoSuchAttribute {
+                name: name.to_string(),
+            })
     }
 
     /// Indexes of all attributes of the given kind.
     pub fn indexes_of_kind(&self, kind: AttributeKind) -> Vec<usize> {
-        (0..self.attributes.len()).filter(|&i| self.attributes[i].kind == kind).collect()
+        (0..self.attributes.len())
+            .filter(|&i| self.attributes[i].kind == kind)
+            .collect()
     }
 
     /// Indexes of all **categorical protected** attributes — the ones the
@@ -180,7 +193,9 @@ impl SchemaBuilder {
         self.attributes.push(AttributeDef {
             name: name.to_string(),
             kind,
-            dtype: DataType::Categorical { domain: domain.iter().map(|s| s.to_string()).collect() },
+            dtype: DataType::Categorical {
+                domain: domain.iter().map(|s| s.to_string()).collect(),
+            },
         });
         self
     }
@@ -224,12 +239,16 @@ impl SchemaBuilder {
         }
         for (i, a) in self.attributes.iter().enumerate() {
             if self.attributes[..i].iter().any(|b| b.name == a.name) {
-                return Err(StoreError::DuplicateAttribute { name: a.name.clone() });
+                return Err(StoreError::DuplicateAttribute {
+                    name: a.name.clone(),
+                });
             }
             match &a.dtype {
                 DataType::Categorical { domain } => {
                     if domain.is_empty() {
-                        return Err(StoreError::EmptyDomain { name: a.name.clone() });
+                        return Err(StoreError::EmptyDomain {
+                            name: a.name.clone(),
+                        });
                     }
                     for (j, v) in domain.iter().enumerate() {
                         if domain[..j].contains(v) {
@@ -244,17 +263,23 @@ impl SchemaBuilder {
                     // `!(min <= max)` deliberately rejects NaN bounds.
                     #[allow(clippy::neg_cmp_op_on_partial_ord)]
                     if !(min <= max) || !min.is_finite() || !max.is_finite() {
-                        return Err(StoreError::BadRange { name: a.name.clone() });
+                        return Err(StoreError::BadRange {
+                            name: a.name.clone(),
+                        });
                     }
                 }
                 DataType::Integer { min, max } => {
                     if min > max {
-                        return Err(StoreError::BadRange { name: a.name.clone() });
+                        return Err(StoreError::BadRange {
+                            name: a.name.clone(),
+                        });
                     }
                 }
             }
         }
-        Ok(Schema { attributes: self.attributes })
+        Ok(Schema {
+            attributes: self.attributes,
+        })
     }
 }
 
@@ -265,7 +290,11 @@ mod tests {
     fn sample() -> Schema {
         Schema::builder()
             .categorical("gender", AttributeKind::Protected, &["Male", "Female"])
-            .categorical("country", AttributeKind::Protected, &["America", "India", "Other"])
+            .categorical(
+                "country",
+                AttributeKind::Protected,
+                &["America", "India", "Other"],
+            )
             .integer("yob", AttributeKind::Protected, 1950, 2009)
             .numeric("approval", AttributeKind::Observed, 25.0, 100.0)
             .build()
@@ -304,8 +333,14 @@ mod tests {
         let g = s.attribute(0);
         assert_eq!(g.code_of("Female").unwrap(), 1);
         assert_eq!(g.label_of(1).unwrap(), "Female");
-        assert!(matches!(g.code_of("X"), Err(StoreError::UnknownCategory { .. })));
-        assert!(matches!(g.label_of(9), Err(StoreError::BadCode { code: 9, .. })));
+        assert!(matches!(
+            g.code_of("X"),
+            Err(StoreError::UnknownCategory { .. })
+        ));
+        assert!(matches!(
+            g.label_of(9),
+            Err(StoreError::BadCode { code: 9, .. })
+        ));
         assert_eq!(g.cardinality(), Some(2));
         assert_eq!(s.attribute(2).cardinality(), None);
     }
@@ -321,29 +356,42 @@ mod tests {
 
     #[test]
     fn empty_schema_rejected() {
-        assert!(matches!(Schema::builder().build(), Err(StoreError::EmptySchema)));
+        assert!(matches!(
+            Schema::builder().build(),
+            Err(StoreError::EmptySchema)
+        ));
     }
 
     #[test]
     fn empty_domain_rejected() {
-        let r = Schema::builder().categorical("a", AttributeKind::Protected, &[]).build();
+        let r = Schema::builder()
+            .categorical("a", AttributeKind::Protected, &[])
+            .build();
         assert!(matches!(r, Err(StoreError::EmptyDomain { .. })));
     }
 
     #[test]
     fn duplicate_domain_value_rejected() {
-        let r = Schema::builder().categorical("a", AttributeKind::Protected, &["x", "x"]).build();
+        let r = Schema::builder()
+            .categorical("a", AttributeKind::Protected, &["x", "x"])
+            .build();
         assert!(matches!(r, Err(StoreError::DuplicateDomainValue { .. })));
     }
 
     #[test]
     fn bad_ranges_rejected() {
-        assert!(Schema::builder().numeric("a", AttributeKind::Observed, 1.0, 0.0).build().is_err());
+        assert!(Schema::builder()
+            .numeric("a", AttributeKind::Observed, 1.0, 0.0)
+            .build()
+            .is_err());
         assert!(Schema::builder()
             .numeric("a", AttributeKind::Observed, f64::NAN, 1.0)
             .build()
             .is_err());
-        assert!(Schema::builder().integer("a", AttributeKind::Observed, 5, 4).build().is_err());
+        assert!(Schema::builder()
+            .integer("a", AttributeKind::Observed, 5, 4)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -221,7 +221,10 @@ mod tests {
     fn schema_validation_still_applies() {
         // Duplicate attribute names flow through to SchemaBuilder::build.
         let text = "x protected categorical a,b\nx observed numeric 0 1\n";
-        assert!(matches!(from_text(text), Err(StoreError::DuplicateAttribute { .. })));
+        assert!(matches!(
+            from_text(text),
+            Err(StoreError::DuplicateAttribute { .. })
+        ));
     }
 
     #[test]

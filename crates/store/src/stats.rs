@@ -46,7 +46,10 @@ pub fn summarise(table: &Table, attr: usize) -> ColumnSummary {
                     .into_iter()
                     .enumerate()
                     .map(|(code, n)| {
-                        (def.label_of(code as u32).expect("valid code").to_string(), n)
+                        (
+                            def.label_of(code as u32).expect("valid code").to_string(),
+                            n,
+                        )
                     })
                     .collect(),
             }
@@ -72,17 +75,36 @@ fn numeric_summary(values: impl Iterator<Item = f64> + Clone) -> ColumnSummary {
     }
     let mean = sum / n as f64;
     let var = values.map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
-    ColumnSummary::Numeric { min, max, mean, std: var.sqrt() }
+    ColumnSummary::Numeric {
+        min,
+        max,
+        mean,
+        std: var.sqrt(),
+    }
 }
 
 /// Render a full-table description: one block per attribute.
 pub fn describe(table: &Table) -> String {
     let mut out = String::new();
-    out.push_str(&format!("{} rows, {} attributes\n", table.len(), table.schema().width()));
+    out.push_str(&format!(
+        "{} rows, {} attributes\n",
+        table.len(),
+        table.schema().width()
+    ));
     for (idx, attr) in table.schema().attributes().iter().enumerate() {
-        out.push_str(&format!("\n{} ({:?}, {}):\n", attr.name, attr.kind, attr.dtype.type_name()));
+        out.push_str(&format!(
+            "\n{} ({:?}, {}):\n",
+            attr.name,
+            attr.kind,
+            attr.dtype.type_name()
+        ));
         match summarise(table, idx) {
-            ColumnSummary::Numeric { min, max, mean, std } => {
+            ColumnSummary::Numeric {
+                min,
+                max,
+                mean,
+                std,
+            } => {
                 out.push_str(&format!(
                     "  min {min:.3}  max {max:.3}  mean {mean:.3}  std {std:.3}\n"
                 ));
@@ -112,8 +134,13 @@ mod tests {
             .build()
             .unwrap();
         let mut t = Table::new(schema);
-        for (g, y, a) in [("Male", 1960, 50.0), ("Male", 1980, 70.0), ("Female", 2000, 90.0)] {
-            t.push_row(&[Value::cat(g), Value::int(y), Value::num(a)]).unwrap();
+        for (g, y, a) in [
+            ("Male", 1960, 50.0),
+            ("Male", 1980, 70.0),
+            ("Female", 2000, 90.0),
+        ] {
+            t.push_row(&[Value::cat(g), Value::int(y), Value::num(a)])
+                .unwrap();
         }
         t
     }
@@ -123,7 +150,10 @@ mod tests {
         let t = table();
         match summarise(&t, 0) {
             ColumnSummary::Categorical { counts } => {
-                assert_eq!(counts, vec![("Male".to_string(), 2), ("Female".to_string(), 1)]);
+                assert_eq!(
+                    counts,
+                    vec![("Male".to_string(), 2), ("Female".to_string(), 1)]
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -133,7 +163,12 @@ mod tests {
     fn numeric_summary_values() {
         let t = table();
         match summarise(&t, 2) {
-            ColumnSummary::Numeric { min, max, mean, std } => {
+            ColumnSummary::Numeric {
+                min,
+                max,
+                mean,
+                std,
+            } => {
                 assert_eq!(min, 50.0);
                 assert_eq!(max, 90.0);
                 assert!((mean - 70.0).abs() < 1e-12);

@@ -47,8 +47,16 @@ pub struct Table {
 impl Table {
     /// An empty table over `schema`.
     pub fn new(schema: Schema) -> Self {
-        let columns = schema.attributes().iter().map(|a| Column::empty_for(&a.dtype)).collect();
-        Table { schema, columns, len: 0 }
+        let columns = schema
+            .attributes()
+            .iter()
+            .map(|a| Column::empty_for(&a.dtype))
+            .collect();
+        Table {
+            schema,
+            columns,
+            len: 0,
+        }
     }
 
     /// The schema.
@@ -89,7 +97,10 @@ impl Table {
     /// On error the table is left unchanged.
     pub fn push_row(&mut self, values: &[Value]) -> Result<(), StoreError> {
         if values.len() != self.schema.width() {
-            return Err(StoreError::RowArity { expected: self.schema.width(), got: values.len() });
+            return Err(StoreError::RowArity {
+                expected: self.schema.width(),
+                got: values.len(),
+            });
         }
         // Validate everything before mutating anything.
         let mut staged: Vec<StagedValue> = Vec::with_capacity(values.len());
@@ -146,9 +157,11 @@ impl Table {
         let mut out = Vec::with_capacity(self.schema.width());
         for (attr, column) in self.schema.attributes().iter().zip(&self.columns) {
             out.push(match column {
-                Column::Categorical(v) => {
-                    Value::Cat(attr.label_of(v[row]).expect("validated on insert").to_string())
-                }
+                Column::Categorical(v) => Value::Cat(
+                    attr.label_of(v[row])
+                        .expect("validated on insert")
+                        .to_string(),
+                ),
                 Column::Numeric(v) => Value::Num(v[row]),
                 Column::Integer(v) => Value::Int(v[row]),
             });
@@ -182,9 +195,11 @@ impl Table {
     ///
     /// [`StoreError::NotNumeric`] for categorical attributes.
     pub fn f64_at(&self, attr_idx: usize, row: usize) -> Result<f64, StoreError> {
-        self.columns[attr_idx].value_as_f64(row).ok_or_else(|| StoreError::NotNumeric {
-            attribute: self.schema.attribute(attr_idx).name.clone(),
-        })
+        self.columns[attr_idx]
+            .value_as_f64(row)
+            .ok_or_else(|| StoreError::NotNumeric {
+                attribute: self.schema.attribute(attr_idx).name.clone(),
+            })
     }
 
     /// Overwrite the numeric value of attribute `attr_idx` at `row`
@@ -203,10 +218,16 @@ impl Table {
         match (&attr.dtype, &mut self.columns[attr_idx]) {
             (DataType::Numeric { min, max }, Column::Numeric(v)) => {
                 if !value.is_finite() || value < *min || value > *max {
-                    return Err(StoreError::OutOfRange { attribute: name, value: value.to_string() });
+                    return Err(StoreError::OutOfRange {
+                        attribute: name,
+                        value: value.to_string(),
+                    });
                 }
                 if row >= v.len() {
-                    return Err(StoreError::RowArity { expected: v.len(), got: row });
+                    return Err(StoreError::RowArity {
+                        expected: v.len(),
+                        got: row,
+                    });
                 }
                 v[row] = value;
                 Ok(())
@@ -230,7 +251,10 @@ impl Table {
         column: Column,
     ) -> Result<(), StoreError> {
         if column.len() != self.len {
-            return Err(StoreError::RowArity { expected: self.len, got: column.len() });
+            return Err(StoreError::RowArity {
+                expected: self.len,
+                got: column.len(),
+            });
         }
         if self.schema.index_of(&def.name).is_ok() {
             return Err(StoreError::DuplicateAttribute { name: def.name });
@@ -269,8 +293,10 @@ mod tests {
 
     fn table_with_rows() -> Table {
         let mut t = Table::new(schema());
-        t.push_row(&[Value::cat("Male"), Value::int(1980), Value::num(75.0)]).unwrap();
-        t.push_row(&[Value::cat("Female"), Value::int(1999), Value::num(90.0)]).unwrap();
+        t.push_row(&[Value::cat("Male"), Value::int(1980), Value::num(75.0)])
+            .unwrap();
+        t.push_row(&[Value::cat("Female"), Value::int(1999), Value::num(90.0)])
+            .unwrap();
         t
     }
 
@@ -289,34 +315,44 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new(schema());
         let err = t.push_row(&[Value::cat("Male")]).unwrap_err();
-        assert!(matches!(err, StoreError::RowArity { expected: 3, got: 1 }));
+        assert!(matches!(
+            err,
+            StoreError::RowArity {
+                expected: 3,
+                got: 1
+            }
+        ));
         assert_eq!(t.len(), 0);
     }
 
     #[test]
     fn type_mismatch_checked() {
         let mut t = Table::new(schema());
-        let err =
-            t.push_row(&[Value::num(1.0), Value::int(1980), Value::num(50.0)]).unwrap_err();
+        let err = t
+            .push_row(&[Value::num(1.0), Value::int(1980), Value::num(50.0)])
+            .unwrap_err();
         assert!(matches!(err, StoreError::TypeMismatch { .. }));
     }
 
     #[test]
     fn unknown_category_checked() {
         let mut t = Table::new(schema());
-        let err =
-            t.push_row(&[Value::cat("Robot"), Value::int(1980), Value::num(50.0)]).unwrap_err();
+        let err = t
+            .push_row(&[Value::cat("Robot"), Value::int(1980), Value::num(50.0)])
+            .unwrap_err();
         assert!(matches!(err, StoreError::UnknownCategory { .. }));
     }
 
     #[test]
     fn range_checked() {
         let mut t = Table::new(schema());
-        let err =
-            t.push_row(&[Value::cat("Male"), Value::int(1900), Value::num(50.0)]).unwrap_err();
+        let err = t
+            .push_row(&[Value::cat("Male"), Value::int(1900), Value::num(50.0)])
+            .unwrap_err();
         assert!(matches!(err, StoreError::OutOfRange { .. }));
-        let err =
-            t.push_row(&[Value::cat("Male"), Value::int(1980), Value::num(101.0)]).unwrap_err();
+        let err = t
+            .push_row(&[Value::cat("Male"), Value::int(1980), Value::num(101.0)])
+            .unwrap_err();
         assert!(matches!(err, StoreError::OutOfRange { .. }));
         let err = t
             .push_row(&[Value::cat("Male"), Value::int(1980), Value::num(f64::NAN)])
@@ -340,7 +376,10 @@ mod tests {
         let t = table_with_rows();
         assert_eq!(t.code_at(0, 0).unwrap(), 0);
         assert_eq!(t.code_at(0, 1).unwrap(), 1);
-        assert!(matches!(t.code_at(2, 0), Err(StoreError::NotCategorical { .. })));
+        assert!(matches!(
+            t.code_at(2, 0),
+            Err(StoreError::NotCategorical { .. })
+        ));
         assert_eq!(t.f64_at(2, 0).unwrap(), 75.0);
         assert_eq!(t.f64_at(1, 1).unwrap(), 1999.0);
         assert!(matches!(t.f64_at(0, 0), Err(StoreError::NotNumeric { .. })));
@@ -358,11 +397,26 @@ mod tests {
         let mut t = table_with_rows();
         t.set_f64(2, 0, 99.0).unwrap();
         assert_eq!(t.f64_at(2, 0).unwrap(), 99.0);
-        assert!(matches!(t.set_f64(2, 0, 200.0), Err(StoreError::OutOfRange { .. })));
-        assert!(matches!(t.set_f64(2, 0, f64::NAN), Err(StoreError::OutOfRange { .. })));
-        assert!(matches!(t.set_f64(0, 0, 1.0), Err(StoreError::NotNumeric { .. })));
-        assert!(matches!(t.set_f64(1, 0, 1980.0), Err(StoreError::NotNumeric { .. })));
-        assert!(matches!(t.set_f64(2, 9, 50.0), Err(StoreError::RowArity { .. })));
+        assert!(matches!(
+            t.set_f64(2, 0, 200.0),
+            Err(StoreError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            t.set_f64(2, 0, f64::NAN),
+            Err(StoreError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            t.set_f64(0, 0, 1.0),
+            Err(StoreError::NotNumeric { .. })
+        ));
+        assert!(matches!(
+            t.set_f64(1, 0, 1980.0),
+            Err(StoreError::NotNumeric { .. })
+        ));
+        assert!(matches!(
+            t.set_f64(2, 9, 50.0),
+            Err(StoreError::RowArity { .. })
+        ));
     }
 
     #[test]
@@ -375,7 +429,8 @@ mod tests {
                 domain: vec!["young".into(), "old".into()],
             },
         };
-        t.append_column(def, Column::Categorical(vec![1, 0])).unwrap();
+        t.append_column(def, Column::Categorical(vec![1, 0]))
+            .unwrap();
         assert_eq!(t.schema().width(), 4);
         assert_eq!(t.code_at(3, 0).unwrap(), 1);
     }
@@ -386,14 +441,23 @@ mod tests {
         let def = crate::schema::AttributeDef {
             name: "x".into(),
             kind: AttributeKind::Metadata,
-            dtype: crate::schema::DataType::Categorical { domain: vec!["a".into()] },
+            dtype: crate::schema::DataType::Categorical {
+                domain: vec!["a".into()],
+            },
         };
         // Wrong length.
-        let err = t.append_column(def.clone(), Column::Categorical(vec![0])).unwrap_err();
+        let err = t
+            .append_column(def.clone(), Column::Categorical(vec![0]))
+            .unwrap_err();
         assert!(matches!(err, StoreError::RowArity { .. }));
         // Duplicate name.
-        let dup = crate::schema::AttributeDef { name: "gender".into(), ..def };
-        let err = t.append_column(dup, Column::Categorical(vec![0, 0])).unwrap_err();
+        let dup = crate::schema::AttributeDef {
+            name: "gender".into(),
+            ..def
+        };
+        let err = t
+            .append_column(dup, Column::Categorical(vec![0, 0]))
+            .unwrap_err();
         assert!(matches!(err, StoreError::DuplicateAttribute { .. }));
     }
 }

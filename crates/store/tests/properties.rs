@@ -16,7 +16,11 @@ fn rowset(max: u32) -> impl Strategy<Value = RowSet> {
 fn schema() -> Schema {
     Schema::builder()
         .categorical("gender", AttributeKind::Protected, &["Male", "Female"])
-        .categorical("country", AttributeKind::Protected, &["America", "India", "Other"])
+        .categorical(
+            "country",
+            AttributeKind::Protected,
+            &["America", "India", "Other"],
+        )
         .integer("yob", AttributeKind::Protected, 1950, 2009)
         .numeric("approval", AttributeKind::Observed, 25.0, 100.0)
         .build()
@@ -25,17 +29,20 @@ fn schema() -> Schema {
 
 /// Strategy: a populated random table over the fixed schema.
 fn table(max_rows: usize) -> impl Strategy<Value = Table> {
-    prop::collection::vec((0u32..2, 0u32..3, 1950i64..=2009, 25.0f64..=100.0), 1..max_rows)
-        .prop_map(|rows| {
-            let mut t = Table::new(schema());
-            for (g, c, y, a) in rows {
-                let gl = if g == 0 { "Male" } else { "Female" };
-                let cl = ["America", "India", "Other"][c as usize];
-                t.push_row(&[Value::cat(gl), Value::cat(cl), Value::int(y), Value::num(a)])
-                    .unwrap();
-            }
-            t
-        })
+    prop::collection::vec(
+        (0u32..2, 0u32..3, 1950i64..=2009, 25.0f64..=100.0),
+        1..max_rows,
+    )
+    .prop_map(|rows| {
+        let mut t = Table::new(schema());
+        for (g, c, y, a) in rows {
+            let gl = if g == 0 { "Male" } else { "Female" };
+            let cl = ["America", "India", "Other"][c as usize];
+            t.push_row(&[Value::cat(gl), Value::cat(cl), Value::int(y), Value::num(a)])
+                .unwrap();
+        }
+        t
+    })
 }
 
 proptest! {

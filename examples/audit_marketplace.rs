@@ -28,15 +28,30 @@ fn main() {
     let html_gig = LinearScore::alpha("html-css-jquery", 0.7);
     let moving_gig = LinearScore::alpha("furniture-assembly", 0.2);
     let biased_gig = RuleBasedScore::f7(99);
-    platform.post_task("help with HTML, JavaScript, CSS and JQuery", &html_gig, 20).expect("task");
-    platform.post_task("assemble two IKEA wardrobes", &moving_gig, 20).expect("task");
-    platform.post_task("logo design (biased requester)", &biased_gig, 20).expect("task");
+    platform
+        .post_task("help with HTML, JavaScript, CSS and JQuery", &html_gig, 20)
+        .expect("task");
+    platform
+        .post_task("assemble two IKEA wardrobes", &moving_gig, 20)
+        .expect("task");
+    platform
+        .post_task("logo design (biased requester)", &biased_gig, 20)
+        .expect("task");
 
     // Where did attention go, per language group?
-    let language = platform.workers().schema().index_of("language").expect("attr");
+    let language = platform
+        .workers()
+        .schema()
+        .index_of("language")
+        .expect("attr");
     println!("=== exposure per language group (3 tasks, log position bias) ===");
     for (code, mean, n) in platform.exposure_by_group(language).expect("groups") {
-        let label = platform.workers().schema().attribute(language).label_of(code).expect("label");
+        let label = platform
+            .workers()
+            .schema()
+            .attribute(language)
+            .label_of(code)
+            .expect("label");
         println!("  {label:<10} mean exposure {mean:.4}  (n={n})");
     }
 
@@ -44,7 +59,9 @@ fn main() {
     for log in platform.logs().to_vec() {
         let ctx = AuditContext::new(platform.workers(), &log.scores, AuditConfig::default())
             .expect("ctx");
-        let audit = Balanced::new(AttributeChoice::Worst).run(&ctx).expect("audit");
+        let audit = Balanced::new(AttributeChoice::Worst)
+            .run(&ctx)
+            .expect("audit");
         let significance =
             permutation_test(&ctx, &audit.partitioning, 99, 0xD1CE).expect("permutation test");
         println!(

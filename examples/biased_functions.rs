@@ -20,13 +20,20 @@ fn main() {
         let scores = function.score_all(&workers).expect("scores");
         let ctx = AuditContext::new(&workers, &scores, AuditConfig::default()).expect("ctx");
 
-        println!("==================== {} ====================", function.name());
-        let balanced = Balanced::new(AttributeChoice::Worst).run(&ctx).expect("balanced");
+        println!(
+            "==================== {} ====================",
+            function.name()
+        );
+        let balanced = Balanced::new(AttributeChoice::Worst)
+            .run(&ctx)
+            .expect("balanced");
         // Show histograms only for the compact partitionings.
         let show_hists = balanced.partitioning.len() <= 4;
         println!("{}", balanced.render(&ctx, show_hists));
 
-        let unbalanced = Unbalanced::new(AttributeChoice::Worst).run(&ctx).expect("unbalanced");
+        let unbalanced = Unbalanced::new(AttributeChoice::Worst)
+            .run(&ctx)
+            .expect("unbalanced");
         println!(
             "unbalanced found {:.3} with {} partitions on {:?}\n",
             unbalanced.unfairness,

@@ -33,9 +33,14 @@ fn main() {
     // Baseline audit across language groups only (the attribute the
     // platform owner decided to watch).
     let scores = scorer.score_all(&workers).expect("scores");
-    let cfg = AuditConfig { attributes: Some(vec!["language".into()]), ..Default::default() };
+    let cfg = AuditConfig {
+        attributes: Some(vec!["language".into()]),
+        ..Default::default()
+    };
     let ctx = AuditContext::new(&workers, &scores, cfg).expect("ctx");
-    let baseline = Balanced::new(AttributeChoice::Worst).run(&ctx).expect("audit");
+    let baseline = Balanced::new(AttributeChoice::Worst)
+        .run(&ctx)
+        .expect("audit");
     println!(
         "baseline: unfairness {:.3} across {} language groups",
         baseline.unfairness,
@@ -69,7 +74,11 @@ fn main() {
         monitor.observe(&fresh).expect("observation");
     }
 
-    println!("\ntrajectory (threshold {:.3}):\n{}", monitor.threshold(), monitor.render(30));
+    println!(
+        "\ntrajectory (threshold {:.3}):\n{}",
+        monitor.threshold(),
+        monitor.render(30)
+    );
     match monitor.first_alert() {
         Some(round) => println!(
             "ALERT first fired at epoch {round}: the hiring feedback loop pushed the\n\

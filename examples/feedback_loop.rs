@@ -35,13 +35,22 @@ fn main() {
     // scoring function treat them?
     let audit_unfairness = |workers: &fairjob::store::Table| -> f64 {
         let scores = scorer.score_all(workers).expect("scores");
-        let cfg = AuditConfig { attributes: Some(vec!["language".into()]), ..Default::default() };
+        let cfg = AuditConfig {
+            attributes: Some(vec!["language".into()]),
+            ..Default::default()
+        };
         let ctx = AuditContext::new(workers, &scores, cfg).expect("ctx");
-        Balanced::new(AttributeChoice::Worst).run(&ctx).expect("audit").unfairness
+        Balanced::new(AttributeChoice::Worst)
+            .run(&ctx)
+            .expect("audit")
+            .unfairness
     };
 
     println!("=== hiring feedback loop (1000 workers, 120 rounds) ===\n");
-    println!("language-group unfairness before any hiring: {:.3}", audit_unfairness(&workers));
+    println!(
+        "language-group unfairness before any hiring: {:.3}",
+        audit_unfairness(&workers)
+    );
 
     let config = HiringConfig {
         rounds: 120,
@@ -55,7 +64,10 @@ fn main() {
 
     // Population share of each language group vs its hire share.
     let total = workers.len() as f64;
-    println!("\n{:<10} {:>10} {:>10}", "language", "pop share", "hire share");
+    println!(
+        "\n{:<10} {:>10} {:>10}",
+        "language", "pop share", "hire share"
+    );
     for (code, label) in ["English", "Indian", "Other"].iter().enumerate() {
         let size = workers
             .column(language)
@@ -72,7 +84,10 @@ fn main() {
         );
     }
 
-    println!("\nlanguage-group unfairness after the loop:  {:.3}", audit_unfairness(&workers));
+    println!(
+        "\nlanguage-group unfairness after the loop:  {:.3}",
+        audit_unfairness(&workers)
+    );
     println!(
         "\nThe loop concentrated hires on the initially-advantaged group and\n\
          *raised* the measurable unfairness of the same scoring function —\n\

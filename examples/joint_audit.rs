@@ -25,7 +25,11 @@ fn main() {
     let mut workers = generate_uniform(2000, 77);
     bucketise_numeric_protected(&mut workers).expect("bucketise");
     let gender = workers.schema().index_of("gender").expect("attr");
-    let codes = workers.column(gender).as_categorical().expect("categorical").to_vec();
+    let codes = workers
+        .column(gender)
+        .as_categorical()
+        .expect("categorical")
+        .to_vec();
 
     // Two scores per worker: males correlated, females anti-correlated.
     let mut rng = StdRng::seed_from_u64(13);
@@ -40,7 +44,9 @@ fn main() {
     // --- Per-function audits see nothing. ---
     for (name, scores) in [("task A", &score_a), ("task B", &score_b)] {
         let ctx = AuditContext::new(&workers, scores, AuditConfig::default()).expect("ctx");
-        let audit = Balanced::new(AttributeChoice::Worst).run(&ctx).expect("audit");
+        let audit = Balanced::new(AttributeChoice::Worst)
+            .run(&ctx)
+            .expect("audit");
         println!(
             "per-function audit of {name}: unfairness {:.3} ({} partitions) — noise level",
             audit.unfairness,
@@ -60,8 +66,12 @@ fn main() {
         }
     }
     use fairjob::hist::distance::{Emd1d, HistogramDistance};
-    let marginal_a = Emd1d.distance(&male.marginal_x(), &female.marginal_x()).expect("emd");
-    let marginal_b = Emd1d.distance(&male.marginal_y(), &female.marginal_y()).expect("emd");
+    let marginal_a = Emd1d
+        .distance(&male.marginal_x(), &female.marginal_x())
+        .expect("emd");
+    let marginal_b = Emd1d
+        .distance(&male.marginal_y(), &female.marginal_y())
+        .expect("emd");
     let joint = emd_2d(&male, &female).expect("2d emd");
     println!("\nmarginal EMD between genders, task A: {marginal_a:.4}");
     println!("marginal EMD between genders, task B: {marginal_b:.4}");

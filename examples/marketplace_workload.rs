@@ -12,8 +12,8 @@
 //! cargo run --release --example marketplace_workload
 //! ```
 
-use fairjob::core::exposure::{exposure_disparity, exposure_scores};
 use fairjob::core::algorithms::{balanced::Balanced, Algorithm, AttributeChoice};
+use fairjob::core::exposure::{exposure_disparity, exposure_scores};
 use fairjob::core::{AuditConfig, AuditContext};
 use fairjob::marketplace::platform::Platform;
 use fairjob::marketplace::ranking::ExposureModel;
@@ -22,7 +22,10 @@ use fairjob::marketplace::{bucketise_numeric_protected, generate_correlated, Cor
 
 fn main() {
     // A language-correlated population (the realistic-data stand-in).
-    let population = CorrelationConfig { language_to_test: 0.6, ..Default::default() };
+    let population = CorrelationConfig {
+        language_to_test: 0.6,
+        ..Default::default()
+    };
     let mut workers = generate_correlated(1500, 51, &CorrelationConfig { ..population });
     bucketise_numeric_protected(&mut workers).expect("bucketise");
     let language = workers.schema().index_of("language").expect("attr");
@@ -38,15 +41,23 @@ fn main() {
         let category = task.title.split(' ').next().expect("titled").to_string();
         // Eligibility diagnostics before posting.
         let probe = task.evaluate(platform.workers(), None).expect("evaluate");
-        let by_group = probe.eligibility_by_group(platform.workers(), language).expect("groups");
-        let english = by_group.iter().find(|(c, _, _)| *c == 0).map(|g| g.1).unwrap_or(0.0);
+        let by_group = probe
+            .eligibility_by_group(platform.workers(), language)
+            .expect("groups");
+        let english = by_group
+            .iter()
+            .find(|(c, _, _)| *c == 0)
+            .map(|g| g.1)
+            .unwrap_or(0.0);
         let other: f64 = by_group
             .iter()
             .filter(|(c, _, _)| *c != 0)
             .map(|g| g.1)
             .sum::<f64>()
             / by_group.iter().filter(|(c, _, _)| *c != 0).count().max(1) as f64;
-        let entry = eligibility_by_category.entry(category).or_insert((0.0, 0.0, 0));
+        let entry = eligibility_by_category
+            .entry(category)
+            .or_insert((0.0, 0.0, 0));
         entry.0 += english;
         entry.1 += other;
         entry.2 += 1;
@@ -54,7 +65,10 @@ fn main() {
     }
 
     println!("=== eligibility per task category (fraction of group passing requirements) ===\n");
-    println!("{:<16} {:>8} {:>14} {:>6}", "category", "English", "other langs", "tasks");
+    println!(
+        "{:<16} {:>8} {:>14} {:>6}",
+        "category", "English", "other langs", "tasks"
+    );
     for (category, (english, other, n)) in &eligibility_by_category {
         println!(
             "{:<16} {:>7.0}% {:>13.0}% {:>6}",
@@ -70,8 +84,12 @@ fn main() {
         exposure_disparity(platform.workers(), platform.exposure(), language).expect("disparity");
     println!("\n=== end-of-day exposure by language group ===\n");
     for (code, mean, n) in &report.per_group {
-        let label =
-            platform.workers().schema().attribute(language).label_of(*code).expect("label");
+        let label = platform
+            .workers()
+            .schema()
+            .attribute(language)
+            .label_of(*code)
+            .expect("label");
         println!("  {label:<10} mean exposure {mean:.4}  (n={n})");
     }
     println!(
@@ -81,9 +99,14 @@ fn main() {
 
     // And the partitioning view of the same quantity.
     let pseudo = exposure_scores(platform.exposure()).expect("normalise");
-    let cfg = AuditConfig { attributes: Some(vec!["language".into()]), ..Default::default() };
+    let cfg = AuditConfig {
+        attributes: Some(vec!["language".into()]),
+        ..Default::default()
+    };
     let ctx = AuditContext::new(platform.workers(), &pseudo, cfg).expect("ctx");
-    let audit = Balanced::new(AttributeChoice::Worst).run(&ctx).expect("audit");
+    let audit = Balanced::new(AttributeChoice::Worst)
+        .run(&ctx)
+        .expect("audit");
     println!(
         "\nexposure-audit (EMD) unfairness across language groups: {:.3}",
         audit.unfairness

@@ -22,14 +22,18 @@ fn main() {
     // 3. A scoring function over the observed attributes — here the
     //    paper's f1: half language test, half approval rate.
     let f1 = LinearScore::alpha("f1", 0.5);
-    let scores = f1.score_all(&workers).expect("population has the observed attributes");
+    let scores = f1
+        .score_all(&workers)
+        .expect("population has the observed attributes");
 
     // 4. Audit: which split of the workers on protected attributes makes
     //    this function look most unfair (highest average pairwise EMD
     //    between per-group score histograms)?
     let ctx = AuditContext::new(&workers, &scores, AuditConfig::default())
         .expect("scores align with the table");
-    let result = Balanced::new(AttributeChoice::Worst).run(&ctx).expect("audit completes");
+    let result = Balanced::new(AttributeChoice::Worst)
+        .run(&ctx)
+        .expect("audit completes");
 
     println!("{}", result.render(&ctx, false));
     println!(

@@ -24,22 +24,34 @@ fn main() {
 
     // --- Audit. ---
     let ctx = AuditContext::new(&workers, &scores, AuditConfig::default()).expect("ctx");
-    let audit = Balanced::new(AttributeChoice::Worst).run(&ctx).expect("audit");
+    let audit = Balanced::new(AttributeChoice::Worst)
+        .run(&ctx)
+        .expect("audit");
     println!("=== before repair ===\n{}", audit.render(&ctx, false));
 
     // --- Repair against the audited groups. ---
-    let groups: Vec<RowSet> = audit.partitioning.partitions().iter().map(|p| p.rows.clone()).collect();
+    let groups: Vec<RowSet> = audit
+        .partitioning
+        .partitions()
+        .iter()
+        .map(|p| p.rows.clone())
+        .collect();
     let repaired = repair_scores(
         &scores,
         &groups,
-        &RepairConfig { lambda: 1.0, target: RepairTarget::Median },
+        &RepairConfig {
+            lambda: 1.0,
+            target: RepairTarget::Median,
+        },
     )
     .expect("repair");
 
     // --- Re-audit the same partitioning on repaired scores. ---
     let rctx = AuditContext::new(&workers, &repaired, AuditConfig::default()).expect("ctx");
-    let reparts: Vec<_> =
-        groups.iter().map(|g| rctx.partition(Predicate::always(), g.clone())).collect();
+    let reparts: Vec<_> = groups
+        .iter()
+        .map(|g| rctx.partition(Predicate::always(), g.clone()))
+        .collect();
     println!(
         "=== after full repair ===\nunfairness of the audited partitioning: {:.4} (was {:.4})",
         rctx.unfairness(&reparts).expect("unfairness"),
@@ -58,7 +70,11 @@ fn main() {
     };
     println!(
         "within-group ranking preserved in the largest audited group: {}",
-        if before == after { "yes" } else { "NO (unexpected)" }
+        if before == after {
+            "yes"
+        } else {
+            "NO (unexpected)"
+        }
     );
 
     // --- What the platform sees: top-10 gender mix before vs after. ---

@@ -63,7 +63,13 @@ fn run_all_returns_results_in_input_order() {
     let names: Vec<String> = results.iter().map(|r| r.algorithm.clone()).collect();
     assert_eq!(
         names,
-        vec!["unbalanced", "r-unbalanced", "balanced", "r-balanced", "all-attributes"]
+        vec![
+            "unbalanced",
+            "r-unbalanced",
+            "balanced",
+            "r-balanced",
+            "all-attributes"
+        ]
     );
     for r in &results {
         r.partitioning.validate(workers.len()).unwrap();
@@ -90,8 +96,12 @@ fn designed_bias_dominates_random_noise() {
     let biased = RuleBasedScore::f6(6).score_all(&workers).unwrap();
     let random_ctx = AuditContext::new(&workers, &random, AuditConfig::default()).unwrap();
     let biased_ctx = AuditContext::new(&workers, &biased, AuditConfig::default()).unwrap();
-    let random_audit = Balanced::new(AttributeChoice::Worst).run(&random_ctx).unwrap();
-    let biased_audit = Balanced::new(AttributeChoice::Worst).run(&biased_ctx).unwrap();
+    let random_audit = Balanced::new(AttributeChoice::Worst)
+        .run(&random_ctx)
+        .unwrap();
+    let biased_audit = Balanced::new(AttributeChoice::Worst)
+        .run(&biased_ctx)
+        .unwrap();
     assert!(
         biased_audit.unfairness > random_audit.unfairness + 0.3,
         "designed bias {:.3} should dominate noise {:.3}",
@@ -101,7 +111,10 @@ fn designed_bias_dominates_random_noise() {
     // And the audit pinpoints the designed attribute.
     let gender = workers.schema().index_of("gender").unwrap();
     assert_eq!(biased_audit.partitioning.attributes_used(), vec![gender]);
-    assert!((biased_audit.unfairness - 0.8).abs() < 0.05, "f6 separates genders by ~0.8");
+    assert!(
+        (biased_audit.unfairness - 0.8).abs() < 0.05,
+        "f6 separates genders by ~0.8"
+    );
 }
 
 #[test]
@@ -112,19 +125,31 @@ fn repair_after_audit_eliminates_the_found_unfairness() {
     let audit = Balanced::new(AttributeChoice::Worst).run(&ctx).unwrap();
     assert!(audit.unfairness > 0.3);
 
-    let groups: Vec<RowSet> =
-        audit.partitioning.partitions().iter().map(|p| p.rows.clone()).collect();
+    let groups: Vec<RowSet> = audit
+        .partitioning
+        .partitions()
+        .iter()
+        .map(|p| p.rows.clone())
+        .collect();
     let repaired = repair_scores(
         &scores,
         &groups,
-        &RepairConfig { lambda: 1.0, target: RepairTarget::Median },
+        &RepairConfig {
+            lambda: 1.0,
+            target: RepairTarget::Median,
+        },
     )
     .unwrap();
     let rctx = AuditContext::new(&workers, &repaired, AuditConfig::default()).unwrap();
-    let parts: Vec<_> =
-        groups.iter().map(|g| rctx.partition(Predicate::always(), g.clone())).collect();
+    let parts: Vec<_> = groups
+        .iter()
+        .map(|g| rctx.partition(Predicate::always(), g.clone()))
+        .collect();
     let residual = rctx.unfairness(&parts).unwrap();
-    assert!(residual < 0.02, "full repair should flatten the audited partitioning: {residual}");
+    assert!(
+        residual < 0.02,
+        "full repair should flatten the audited partitioning: {residual}"
+    );
 }
 
 #[test]
@@ -133,19 +158,28 @@ fn partial_repair_interpolates_monotonically() {
     let scores = RuleBasedScore::f6(10).score_all(&workers).unwrap();
     let ctx = AuditContext::new(&workers, &scores, AuditConfig::default()).unwrap();
     let audit = Balanced::new(AttributeChoice::Worst).run(&ctx).unwrap();
-    let groups: Vec<RowSet> =
-        audit.partitioning.partitions().iter().map(|p| p.rows.clone()).collect();
+    let groups: Vec<RowSet> = audit
+        .partitioning
+        .partitions()
+        .iter()
+        .map(|p| p.rows.clone())
+        .collect();
     let mut last = f64::INFINITY;
     for lambda in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let repaired = repair_scores(
             &scores,
             &groups,
-            &RepairConfig { lambda, target: RepairTarget::Median },
+            &RepairConfig {
+                lambda,
+                target: RepairTarget::Median,
+            },
         )
         .unwrap();
         let rctx = AuditContext::new(&workers, &repaired, AuditConfig::default()).unwrap();
-        let parts: Vec<_> =
-            groups.iter().map(|g| rctx.partition(Predicate::always(), g.clone())).collect();
+        let parts: Vec<_> = groups
+            .iter()
+            .map(|g| rctx.partition(Predicate::always(), g.clone()))
+            .collect();
         let residual = rctx.unfairness(&parts).unwrap();
         assert!(
             residual <= last + 1e-6,

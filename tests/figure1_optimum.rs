@@ -71,7 +71,11 @@ fn heuristics_never_beat_the_exhaustive_tree_search() {
     ];
     for algo in algorithms {
         let r = algo.run(&ctx).unwrap();
-        assert!(r.unfairness <= best + 1e-9, "{} beat exhaustive?", r.algorithm);
+        assert!(
+            r.unfairness <= best + 1e-9,
+            "{} beat exhaustive?",
+            r.algorithm
+        );
     }
 }
 

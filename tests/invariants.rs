@@ -38,6 +38,54 @@ fn small_population() -> impl Strategy<Value = (Table, Vec<f64>)> {
     })
 }
 
+/// The shrunk failure case checked into `invariants.proptest-regressions`
+/// (seed `add957d7…`), reconstructed explicitly: the vendored proptest
+/// shim does not replay regression files, so the case is pinned here.
+/// Four rows where two partitions tie at zero distance (both all-zero
+/// scores) — historically sensitive to the stopping rule's `>=`.
+#[test]
+fn regression_shrunk_tie_at_zero_distance() {
+    let schema = Schema::builder()
+        .categorical("g", AttributeKind::Protected, &["a", "b"])
+        .categorical("c", AttributeKind::Protected, &["x", "y", "z"])
+        .categorical("l", AttributeKind::Protected, &["p", "q"])
+        .numeric("score", AttributeKind::Observed, 0.0, 1.0)
+        .build()
+        .unwrap();
+    let mut t = Table::new(schema);
+    let scores = vec![0.0, 0.0, 0.9935006775308379, 0.5146487029770269];
+    for ((g, c), &s) in [("b", "x"), ("a", "x"), ("a", "y"), ("a", "x")]
+        .iter()
+        .zip(&scores)
+    {
+        t.push_row(&[Value::cat(g), Value::cat(c), Value::cat("p"), Value::num(s)])
+            .unwrap();
+    }
+    let ctx = AuditContext::new(&t, &scores, AuditConfig::default()).unwrap();
+    let best = ExhaustiveTree::new(2_000_000).run(&ctx).unwrap().unfairness;
+    for algo in [
+        &Balanced::new(AttributeChoice::Worst) as &dyn Algorithm,
+        &Balanced::new(AttributeChoice::Random { seed: 9 }),
+        &Unbalanced::new(AttributeChoice::Worst),
+        &Unbalanced::new(AttributeChoice::Random { seed: 10 }),
+    ] {
+        let r = algo.run(&ctx).unwrap();
+        r.partitioning.validate(t.len()).unwrap();
+        assert!(r.unfairness.is_finite() && r.unfairness >= 0.0);
+        assert!(
+            r.unfairness <= best + 1e-9,
+            "{} above exhaustive",
+            r.algorithm
+        );
+        let naive = ctx.unfairness(r.partitioning.partitions()).unwrap();
+        assert!(
+            (r.unfairness - naive).abs() < 1e-9,
+            "{} engine/naive drift",
+            r.algorithm
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

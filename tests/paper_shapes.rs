@@ -70,7 +70,11 @@ fn biased_functions_dominate_and_are_localised() {
     assert_eq!(names(&f6), vec!["gender"]);
     let f7_names = names(&f7);
     assert!(f7_names.contains(&"gender".to_string()) && f7_names.contains(&"country".to_string()));
-    assert_eq!(f7_names.len(), 2, "f7 should not split beyond gender and country: {f7_names:?}");
+    assert_eq!(
+        f7_names.len(),
+        2,
+        "f7 should not split beyond gender and country: {f7_names:?}"
+    );
 }
 
 #[test]
@@ -102,8 +106,14 @@ fn unbalanced_cross_stopping_oversplits_on_f6() {
     let scores = RuleBasedScore::f6(3).score_all(&workers).unwrap();
     let ctx = AuditContext::new(&workers, &scores, AuditConfig::default()).unwrap();
     let literal = Unbalanced::new(AttributeChoice::Worst).run(&ctx).unwrap();
-    let cross = Unbalanced::new(AttributeChoice::Worst).with_cross_stopping().run(&ctx).unwrap();
-    assert!((literal.unfairness - 0.8).abs() < 0.05, "union reading stops at gender");
+    let cross = Unbalanced::new(AttributeChoice::Worst)
+        .with_cross_stopping()
+        .run(&ctx)
+        .unwrap();
+    assert!(
+        (literal.unfairness - 0.8).abs() < 0.05,
+        "union reading stops at gender"
+    );
     assert!(
         cross.unfairness < 0.2 && cross.partitioning.len() > 10,
         "cross reading over-splits: {} with {} partitions",
@@ -118,6 +128,12 @@ fn five_algorithm_sweep_matches_paper_row_order() {
     let names: Vec<String> = paper_algorithms(1).iter().map(|a| a.name()).collect();
     assert_eq!(
         names,
-        vec!["unbalanced", "r-unbalanced", "balanced", "r-balanced", "all-attributes"]
+        vec![
+            "unbalanced",
+            "r-unbalanced",
+            "balanced",
+            "r-balanced",
+            "all-attributes"
+        ]
     );
 }
