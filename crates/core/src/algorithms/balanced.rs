@@ -9,14 +9,14 @@
 //! Because every round splits all leaves with the same attribute, the
 //! resulting partition tree is balanced.
 
-use super::{choose_attribute, Algorithm, AttributeChoice};
+use super::{choose_attribute, into_partitioning, Algorithm, AttributeChoice};
 use crate::engine::EvalEngine;
 use crate::error::AuditError;
-use crate::partition::Partitioning;
 use crate::report::AuditResult;
 use crate::AuditContext;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The `balanced` algorithm (Algorithm 1 of the paper).
@@ -51,7 +51,7 @@ impl Algorithm for Balanced {
         };
 
         let mut remaining: Vec<usize> = ctx.attributes().to_vec();
-        let mut current = vec![ctx.root()];
+        let mut current = vec![Arc::new(ctx.root())];
 
         // Lines 1–4: the first split is unconditional.
         if let Some(chosen) = choose_attribute(
@@ -96,7 +96,7 @@ impl Algorithm for Balanced {
 
         Ok(AuditResult {
             algorithm: self.name(),
-            partitioning: Partitioning::new(current),
+            partitioning: into_partitioning(current),
             unfairness: current_avg,
             elapsed: start.elapsed(),
             candidates_evaluated: evaluations,

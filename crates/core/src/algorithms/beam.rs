@@ -7,12 +7,13 @@
 //! predictable `width ×` cost factor. Used in the ablation bench to ask
 //! how much the greedy commitment loses.
 
-use super::{split_all, Algorithm};
+use super::{into_partitioning, Algorithm};
 use crate::engine::EvalEngine;
 use crate::error::AuditError;
-use crate::partition::{Partition, Partitioning};
+use crate::partition::Partition;
 use crate::report::AuditResult;
 use crate::AuditContext;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Balanced-style beam search with configurable width.
@@ -32,10 +33,11 @@ impl Beam {
     }
 }
 
-/// One beam state: the current partitioning, its value, and the
-/// attributes still unused on it.
+/// One beam state: the current partitioning (shared — beam rounds clone
+/// `Arc`s, not partitions), its value, and the attributes still unused
+/// on it.
 struct State {
-    parts: Vec<Partition>,
+    parts: Vec<Arc<Partition>>,
     value: f64,
     remaining: Vec<usize>,
 }
@@ -53,18 +55,18 @@ impl Algorithm for Beam {
         let engine = EvalEngine::new(ctx);
         let mut evaluations = 0usize;
         let root = State {
-            parts: vec![ctx.root()],
+            parts: vec![Arc::new(ctx.root())],
             value: 0.0,
             remaining: ctx.attributes().to_vec(),
         };
-        let mut best: (Vec<Partition>, f64) = (root.parts.clone(), root.value);
+        let mut best: (Vec<Arc<Partition>>, f64) = (root.parts.clone(), root.value);
         let mut beam: Vec<State> = vec![root];
 
         loop {
             let mut candidates: Vec<State> = Vec::new();
             for state in &beam {
                 for &a in &state.remaining {
-                    let parts = split_all(ctx, &state.parts, a);
+                    let parts = engine.split_all(&state.parts, a);
                     if parts.len() == state.parts.len() {
                         continue; // nothing split
                     }
@@ -95,7 +97,7 @@ impl Algorithm for Beam {
 
         Ok(AuditResult {
             algorithm: self.name(),
-            partitioning: Partitioning::new(best.0),
+            partitioning: into_partitioning(best.0),
             unfairness: best.1,
             elapsed: start.elapsed(),
             candidates_evaluated: evaluations,

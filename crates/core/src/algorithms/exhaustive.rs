@@ -17,15 +17,16 @@
 //!   Bell number of the cell count; it exists to measure how much the
 //!   tree restriction gives up on small instances.
 
-use super::Algorithm;
+use super::{into_partitioning, Algorithm};
 use crate::engine::EvalEngine;
 use crate::error::AuditError;
-use crate::partition::{Partition, Partitioning};
+use crate::partition::Partition;
 use crate::report::AuditResult;
 use crate::unfairness::average_pairwise;
 use crate::AuditContext;
 use fairjob_hist::Histogram;
 use fairjob_store::RowSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Budgeted exhaustive search over attribute-split trees.
@@ -50,19 +51,21 @@ impl Algorithm for ExhaustiveTree {
 
     fn run(&self, ctx: &AuditContext<'_>) -> Result<AuditResult, AuditError> {
         let start = Instant::now();
+        // Candidate partitionings share almost all their partitions, so
+        // the memo cache turns the brute force's O(candidates × k²)
+        // distance computations into one computation per distinct pair,
+        // and the split cache materialises each subtree's splits once
+        // even though sibling enumeration orders revisit them.
+        let engine = EvalEngine::new(ctx);
         let mut counter = 0usize;
         let all = options(
-            ctx,
-            &ctx.root(),
+            &engine,
+            &Arc::new(ctx.root()),
             ctx.attributes(),
             self.budget,
             &mut counter,
         )?;
-        // Candidate partitionings share almost all their partitions, so
-        // the memo cache turns the brute force's O(candidates × k²)
-        // distance computations into one computation per distinct pair.
-        let engine = EvalEngine::new(ctx);
-        let mut best: Option<(Vec<Partition>, f64)> = None;
+        let mut best: Option<(Vec<Arc<Partition>>, f64)> = None;
         for candidate in all {
             let value = engine.unfairness(&candidate)?;
             if best.as_ref().is_none_or(|(_, b)| value > *b) {
@@ -72,7 +75,7 @@ impl Algorithm for ExhaustiveTree {
         let (partitions, unfairness) = best.expect("at least the no-split partitioning exists");
         Ok(AuditResult {
             algorithm: self.name(),
-            partitioning: Partitioning::new(partitions),
+            partitioning: into_partitioning(partitions),
             unfairness,
             elapsed: start.elapsed(),
             candidates_evaluated: counter,
@@ -83,30 +86,31 @@ impl Algorithm for ExhaustiveTree {
 
 /// All partitionings of `part`'s rows expressible as split trees over
 /// `remaining`. Increments `counter` per produced partitioning and fails
-/// once it passes `budget`.
+/// once it passes `budget`. Partitions are shared between candidates —
+/// every combination holds `Arc`s into the engine's split cache.
 fn options(
-    ctx: &AuditContext<'_>,
-    part: &Partition,
+    engine: &EvalEngine<'_, '_>,
+    part: &Arc<Partition>,
     remaining: &[usize],
     budget: usize,
     counter: &mut usize,
-) -> Result<Vec<Vec<Partition>>, AuditError> {
-    let mut out: Vec<Vec<Partition>> = vec![vec![part.clone()]];
+) -> Result<Vec<Vec<Arc<Partition>>>, AuditError> {
+    let mut out: Vec<Vec<Arc<Partition>>> = vec![vec![Arc::clone(part)]];
     *counter += 1;
     if *counter > budget {
         return Err(AuditError::BudgetExceeded { budget });
     }
     for &a in remaining {
-        let Some(children) = ctx.split(part, a) else {
+        let Some(children) = engine.split(part, a) else {
             continue;
         };
         let rest: Vec<usize> = remaining.iter().copied().filter(|&x| x != a).collect();
         // Cartesian product of per-child subtree options. Size is
         // checked *before* materialising each stage — the product
         // explodes long before memory would.
-        let mut combos: Vec<Vec<Partition>> = vec![Vec::new()];
-        for child in &children {
-            let child_options = options(ctx, child, &rest, budget, counter)?;
+        let mut combos: Vec<Vec<Arc<Partition>>> = vec![Vec::new()];
+        for child in children.iter() {
+            let child_options = options(engine, child, &rest, budget, counter)?;
             let size = combos.len().saturating_mul(child_options.len());
             if size > budget || out.len().saturating_add(size) > budget {
                 return Err(AuditError::BudgetExceeded { budget });

@@ -10,12 +10,13 @@
 //! unconditional first split); large depths converge on
 //! [`super::subsets::SubsetExact`].
 
-use super::{split_all, Algorithm};
+use super::{into_partitioning, Algorithm};
 use crate::engine::EvalEngine;
 use crate::error::AuditError;
-use crate::partition::{Partition, Partitioning};
+use crate::partition::Partition;
 use crate::report::AuditResult;
 use crate::AuditContext;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Horizon-`depth` greedy search over balanced partitionings.
@@ -40,7 +41,7 @@ impl Lookahead {
 /// memo cache collapses the O(mᵈ) recomputation.
 fn horizon_value(
     engine: &EvalEngine<'_, '_>,
-    parts: &[Partition],
+    parts: &[Arc<Partition>],
     remaining: &[usize],
     depth: usize,
     evaluations: &mut usize,
@@ -51,7 +52,7 @@ fn horizon_value(
         return Ok(best);
     }
     for &a in remaining {
-        let children = split_all(engine.ctx(), parts, a);
+        let children = engine.split_all(parts, a);
         if children.len() == parts.len() {
             continue;
         }
@@ -71,16 +72,16 @@ impl Algorithm for Lookahead {
         let start = Instant::now();
         let engine = EvalEngine::new(ctx);
         let mut evaluations = 0usize;
-        let mut current = vec![ctx.root()];
+        let mut current = vec![Arc::new(ctx.root())];
         let mut current_value = 0.0;
         let mut remaining: Vec<usize> = ctx.attributes().to_vec();
 
         loop {
             // Pick the attribute whose subtree promises the best value
             // within the horizon.
-            let mut best: Option<(usize, Vec<Partition>, f64, f64)> = None;
+            let mut best: Option<(usize, Vec<Arc<Partition>>, f64, f64)> = None;
             for &a in &remaining {
-                let children = split_all(ctx, &current, a);
+                let children = engine.split_all(&current, a);
                 if children.len() == current.len() {
                     continue;
                 }
@@ -113,7 +114,7 @@ impl Algorithm for Lookahead {
         // it cannot: we stop before any non-improving commit.
         Ok(AuditResult {
             algorithm: self.name(),
-            partitioning: Partitioning::new(current),
+            partitioning: into_partitioning(current),
             unfairness: current_value,
             elapsed: start.elapsed(),
             candidates_evaluated: evaluations,

@@ -13,10 +13,11 @@ pub mod lookahead;
 pub mod subsets;
 pub mod unbalanced;
 
-use crate::engine::{EvalEngine, IncrementalEval};
+use crate::engine::{EvalEngine, IncrementalEval, SplitChildren};
 use crate::error::AuditError;
 use crate::report::AuditResult;
 use crate::AuditContext;
+use std::sync::Arc;
 
 /// How a heuristic picks its next split attribute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,8 +80,9 @@ pub fn paper_algorithms(seed: u64) -> Vec<Box<dyn Algorithm>> {
 }
 
 /// Per-partition candidate splits: `(partition index, children)` pairs,
-/// indexed ascending.
-type Splits = Vec<(usize, Vec<crate::Partition>)>;
+/// indexed ascending. Children are shared out of the engine's split
+/// cache, never cloned.
+type Splits = Vec<(usize, SplitChildren)>;
 
 /// The outcome of [`choose_attribute`]: the winning attribute and the
 /// partitioning obtained by splitting every splittable partition by it
@@ -89,43 +91,49 @@ pub(crate) struct ChosenSplit {
     /// The chosen attribute.
     pub attr: usize,
     /// `parts` with every partition the attribute can split replaced by
-    /// its children (unsplittable partitions kept whole).
-    pub parts: Vec<crate::Partition>,
+    /// its children (unsplittable partitions kept whole, shared).
+    pub parts: Vec<Arc<crate::Partition>>,
 }
 
 /// Internal helper: pick an attribute from `remaining` for splitting the
 /// given partitions, under `choice`. Returns `None` when no remaining
 /// attribute can split anything.
 ///
-/// For [`AttributeChoice::Worst`] this scores every candidate attribute
-/// by delta evaluation ([`IncrementalEval`] seeded once with `parts`):
-/// replacing the split partitions by their children costs
-/// O(k · changed) distance lookups per candidate instead of the O(k²)
-/// full matrix, and every distance goes through `engine`'s memo cache.
-/// The attribute with the highest average pairwise distance wins (ties:
-/// first). `evaluations` is incremented once per candidate scored.
-///
-/// Each partition is split at most **once** per candidate attribute; the
-/// children are reused for both scoring and the returned partitioning
-/// (the seed version split twice — once for viability, once to score).
+/// Candidate materialisation goes through one
+/// [`EvalEngine::split_batch`] over `remaining × parts`: splits seen in
+/// an earlier round come straight from the split cache, the rest run the
+/// single-pass kernel on worker threads, and losing candidates stay
+/// cached for the next round. For [`AttributeChoice::Worst`] the
+/// candidates are then scored by delta evaluation ([`IncrementalEval`]
+/// seeded once with `parts`): replacing the split partitions by their
+/// children costs O(k · changed) distance lookups per candidate instead
+/// of the O(k²) full matrix, and every distance goes through `engine`'s
+/// memo cache. The attribute with the highest average pairwise distance
+/// wins (ties: first). `evaluations` is incremented once per candidate
+/// scored.
 pub(crate) fn choose_attribute(
     engine: &EvalEngine<'_, '_>,
-    parts: &[crate::Partition],
+    parts: &[Arc<crate::Partition>],
     remaining: &[usize],
     choice: AttributeChoice,
     rng: &mut Option<rand::rngs::StdRng>,
     evaluations: &mut usize,
 ) -> Result<Option<ChosenSplit>, AuditError> {
     use rand::Rng;
-    let ctx = engine.ctx();
+    let requests: Vec<(&crate::Partition, usize)> = remaining
+        .iter()
+        .flat_map(|&a| parts.iter().map(move |p| (p.as_ref(), a)))
+        .collect();
+    let results = engine.split_batch(&requests);
     // An attribute is viable if it can split at least one partition.
-    // Splits are computed once here and reused below.
     let mut candidates: Vec<(usize, Splits)> = Vec::new();
-    for &a in remaining {
-        let splits: Splits = parts
-            .iter()
-            .enumerate()
-            .filter_map(|(i, p)| ctx.split(p, a).map(|children| (i, children)))
+    for (ai, &a) in remaining.iter().enumerate() {
+        let splits: Splits = (0..parts.len())
+            .filter_map(|i| {
+                results[ai * parts.len() + i]
+                    .clone()
+                    .map(|children| (i, children))
+            })
             .collect();
         if !splits.is_empty() {
             candidates.push((a, splits));
@@ -143,7 +151,7 @@ pub(crate) fn choose_attribute(
             let mut incremental = IncrementalEval::new(engine, parts)?;
             let mut best: Option<(usize, f64)> = None;
             for (index, (_, splits)) in candidates.iter().enumerate() {
-                let replacements: Vec<(usize, &[crate::Partition])> = splits
+                let replacements: Vec<(usize, &[Arc<crate::Partition>])> = splits
                     .iter()
                     .map(|(i, children)| (*i, children.as_slice()))
                     .collect();
@@ -164,8 +172,9 @@ pub(crate) fn choose_attribute(
 }
 
 /// `parts` with each `(index, children)` substitution applied in order
-/// (splits are indexed ascending by construction).
-fn materialise(parts: &[crate::Partition], splits: &Splits) -> Vec<crate::Partition> {
+/// (splits are indexed ascending by construction). Everything is shared:
+/// untouched partitions and children alike are `Arc` clones.
+fn materialise(parts: &[Arc<crate::Partition>], splits: &Splits) -> Vec<Arc<crate::Partition>> {
     let mut out = Vec::with_capacity(parts.len() + splits.len());
     let mut next = 0;
     for (i, p) in parts.iter().enumerate() {
@@ -173,26 +182,20 @@ fn materialise(parts: &[crate::Partition], splits: &Splits) -> Vec<crate::Partit
             out.extend(splits[next].1.iter().cloned());
             next += 1;
         } else {
-            out.push(p.clone());
+            out.push(Arc::clone(p));
         }
     }
     out
 }
 
-/// Split every partition in `parts` by `a`; partitions that cannot split
-/// are kept whole (this is what "splitting the current partitioning by
-/// attribute a" means once some branches have exhausted a's values).
-pub(crate) fn split_all(
-    ctx: &AuditContext<'_>,
-    parts: &[crate::Partition],
-    a: usize,
-) -> Vec<crate::Partition> {
-    let mut out = Vec::with_capacity(parts.len() * 2);
-    for p in parts {
-        match ctx.split(p, a) {
-            Some(children) => out.extend(children),
-            None => out.push(p.clone()),
-        }
-    }
-    out
+/// Deep-copy a shared partitioning into an owned [`crate::Partitioning`]
+/// (done once per run, at the very end — the search itself only moves
+/// `Arc`s around).
+pub(crate) fn into_partitioning(parts: Vec<Arc<crate::Partition>>) -> crate::Partitioning {
+    crate::Partitioning::new(
+        parts
+            .into_iter()
+            .map(|p| Arc::try_unwrap(p).unwrap_or_else(|shared| shared.as_ref().clone()))
+            .collect(),
+    )
 }

@@ -18,14 +18,15 @@
 //!   default here) or over *cross* pairs only
 //!   ([`Unbalanced::with_cross_stopping`]).
 
-use super::{Algorithm, AttributeChoice};
-use crate::engine::EvalEngine;
+use super::{into_partitioning, Algorithm, AttributeChoice};
+use crate::engine::{EvalEngine, SplitChildren};
 use crate::error::AuditError;
-use crate::partition::{Partition, Partitioning};
+use crate::partition::Partition;
 use crate::report::AuditResult;
 use crate::AuditContext;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How the stopping rule aggregates distances (see module docs).
@@ -77,18 +78,14 @@ struct Run<'c, 'a> {
     ancestor_siblings: bool,
     rng: Option<StdRng>,
     evaluations: usize,
-    output: Vec<Partition>,
+    output: Vec<Arc<Partition>>,
 }
 
-impl<'a> Run<'_, 'a> {
-    fn ctx(&self) -> &AuditContext<'a> {
-        self.engine.ctx()
-    }
-
+impl Run<'_, '_> {
     fn level_avg(
         &mut self,
-        group: &[Partition],
-        siblings: &[Partition],
+        group: &[Arc<Partition>],
+        siblings: &[Arc<Partition>],
     ) -> Result<f64, AuditError> {
         self.evaluations += 1;
         match self.stopping {
@@ -100,17 +97,22 @@ impl<'a> Run<'_, 'a> {
     /// `worstAttribute(current, f, A)` for a single partition: the
     /// attribute whose split of `current` has the highest internal
     /// average pairwise distance, returned **with** its children so
-    /// callers never re-split (the seed version split the winning
-    /// attribute up to three times: viability, scoring, commit). Random
+    /// callers never re-split. All remaining attributes are materialised
+    /// through one [`EvalEngine::split_batch`] — cached splits are free,
+    /// fresh ones run the kernel on worker threads — so each recursion
+    /// step's candidate search is parallel yet deterministic. Random
     /// choice picks uniformly among attributes that can split `current`.
     fn choose_for(
         &mut self,
         current: &Partition,
         remaining: &[usize],
-    ) -> Result<Option<(usize, Vec<Partition>)>, AuditError> {
-        let mut candidates: Vec<(usize, Vec<Partition>)> = remaining
+    ) -> Result<Option<(usize, SplitChildren)>, AuditError> {
+        let requests: Vec<(&Partition, usize)> = remaining.iter().map(|&a| (current, a)).collect();
+        let results = self.engine.split_batch(&requests);
+        let mut candidates: Vec<(usize, SplitChildren)> = remaining
             .iter()
-            .filter_map(|&a| self.ctx().split(current, a).map(|children| (a, children)))
+            .zip(results)
+            .filter_map(|(&a, r)| r.map(|children| (a, children)))
             .collect();
         if candidates.is_empty() {
             return Ok(None);
@@ -123,7 +125,7 @@ impl<'a> Run<'_, 'a> {
             AttributeChoice::Worst => {
                 let mut best: Option<(usize, f64)> = None;
                 for (index, (_, children)) in candidates.iter().enumerate() {
-                    let value = self.engine.unfairness(children)?;
+                    let value = self.engine.unfairness(children.as_slice())?;
                     self.evaluations += 1;
                     if best.is_none_or(|(_, b)| value > b) {
                         best = Some((index, value));
@@ -138,8 +140,8 @@ impl<'a> Run<'_, 'a> {
     /// Algorithm 2's recursive body.
     fn recurse(
         &mut self,
-        current: Partition,
-        siblings: &[Partition],
+        current: Arc<Partition>,
+        siblings: &[Arc<Partition>],
         remaining: &[usize],
     ) -> Result<(), AuditError> {
         // Line 1: out of attributes -> emit.
@@ -154,19 +156,20 @@ impl<'a> Run<'_, 'a> {
             self.output.push(current);
             return Ok(());
         }
-        // Lines 12–14: recurse per child.
+        // Lines 12–14: recurse per child. Sibling sets share the child
+        // partitions instead of deep-cloning them per recursion level.
         let remaining: Vec<usize> = remaining.iter().copied().filter(|&x| x != a).collect();
         for (i, child) in children.iter().enumerate() {
-            let mut sibs: Vec<Partition> = children
+            let mut sibs: Vec<Arc<Partition>> = children
                 .iter()
                 .enumerate()
                 .filter(|(j, _)| *j != i)
-                .map(|(_, p)| p.clone())
+                .map(|(_, p)| Arc::clone(p))
                 .collect();
             if self.ancestor_siblings {
                 sibs.extend(siblings.iter().cloned());
             }
-            self.recurse(child.clone(), &sibs, &remaining)?;
+            self.recurse(Arc::clone(child), &sibs, &remaining)?;
         }
         Ok(())
     }
@@ -196,25 +199,25 @@ impl Algorithm for Unbalanced {
         };
 
         // Initial split, exactly as balanced's first step.
-        let root = ctx.root();
+        let root = Arc::new(ctx.root());
         let remaining: Vec<usize> = ctx.attributes().to_vec();
         match run.choose_for(&root, &remaining)? {
             None => run.output.push(root),
             Some((a, children)) => {
                 let remaining: Vec<usize> = remaining.iter().copied().filter(|&x| x != a).collect();
                 for (i, child) in children.iter().enumerate() {
-                    let sibs: Vec<Partition> = children
+                    let sibs: Vec<Arc<Partition>> = children
                         .iter()
                         .enumerate()
                         .filter(|(j, _)| *j != i)
-                        .map(|(_, p)| p.clone())
+                        .map(|(_, p)| Arc::clone(p))
                         .collect();
-                    run.recurse(child.clone(), &sibs, &remaining)?;
+                    run.recurse(Arc::clone(child), &sibs, &remaining)?;
                 }
             }
         }
 
-        let partitioning = Partitioning::new(std::mem::take(&mut run.output));
+        let partitioning = into_partitioning(std::mem::take(&mut run.output));
         let unfairness = run.engine.unfairness(partitioning.partitions())?;
         Ok(AuditResult {
             algorithm: self.name(),

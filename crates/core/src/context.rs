@@ -24,6 +24,12 @@ pub struct AuditConfig {
     /// The paper has no such floor (equivalent to 1); larger values are
     /// an extension that suppresses noise-driven micro-partitions.
     pub min_partition_size: usize,
+    /// Worker-thread count for the evaluation engine's parallel paths.
+    /// `None` (the default) lets the engine pick from the machine's
+    /// available parallelism. Results are bit-identical for every
+    /// thread count; this knob exists for reproducible benchmarking
+    /// and resource capping.
+    pub threads: Option<usize>,
 }
 
 impl Default for AuditConfig {
@@ -33,6 +39,7 @@ impl Default for AuditConfig {
             distance: Arc::new(Emd1d),
             attributes: None,
             min_partition_size: 1,
+            threads: None,
         }
     }
 }
@@ -44,6 +51,7 @@ impl std::fmt::Debug for AuditConfig {
             .field("distance", &self.distance.name())
             .field("attributes", &self.attributes)
             .field("min_partition_size", &self.min_partition_size)
+            .field("threads", &self.threads)
             .finish()
     }
 }
@@ -77,6 +85,12 @@ pub struct AuditContext<'a> {
     attributes: Vec<usize>,
     indexes: IndexSet,
     min_partition_size: usize,
+    threads: Option<usize>,
+    /// `bin_of[row]` = the histogram bin of the row's score, computed
+    /// once at build (scores are immutable per audit). Every histogram
+    /// built during the search reads this array instead of re-binning
+    /// floats.
+    bin_of: Vec<u32>,
 }
 
 impl std::fmt::Debug for AuditContext<'_> {
@@ -148,6 +162,7 @@ impl<'a> AuditContext<'a> {
             return Err(AuditError::NoAttributes);
         }
         let indexes = IndexSet::build(table)?;
+        let bin_of: Vec<u32> = scores.iter().map(|&s| spec.bin_index(s) as u32).collect();
         Ok(AuditContext {
             table,
             scores,
@@ -156,6 +171,8 @@ impl<'a> AuditContext<'a> {
             attributes,
             indexes,
             min_partition_size: config.min_partition_size.max(1),
+            threads: config.threads,
+            bin_of,
         })
     }
 
@@ -189,13 +206,25 @@ impl<'a> AuditContext<'a> {
         self.min_partition_size
     }
 
-    /// Histogram of the scores of `rows`.
+    /// The configured engine worker-thread count (`None` = pick from
+    /// the machine's available parallelism).
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// The precomputed per-row bin indices (`bin_of()[row]` = histogram
+    /// bin of the row's score).
+    pub fn bin_of(&self) -> &[u32] {
+        &self.bin_of
+    }
+
+    /// Histogram of the scores of `rows`, built from the precomputed
+    /// bin-index array (no per-value float binning).
     pub fn histogram(&self, rows: &RowSet) -> Histogram {
-        let mut h = Histogram::empty(self.spec.clone());
-        for row in rows.iter() {
-            h.add(self.scores[row]);
-        }
-        h
+        Histogram::from_bin_indices(
+            self.spec.clone(),
+            rows.iter().map(|row| self.bin_of[row] as usize),
+        )
     }
 
     /// Build a [`Partition`] from a predicate and its rows.
@@ -217,7 +246,44 @@ impl<'a> AuditContext<'a> {
     /// impossible or void: the attribute already constrains the
     /// partition, every member shares one value (split would be a
     /// no-op), or any child would fall below the minimum size.
+    ///
+    /// Runs the single-pass split kernel: one walk over the partition's
+    /// rows produces all child row sets and child histograms at once
+    /// (O(|partition|) instead of the legacy O(table) posting
+    /// intersections — see [`AuditContext::split_legacy`]).
     pub fn split(&self, part: &Partition, attr: usize) -> Option<Vec<Partition>> {
+        if part.predicate.constrains(attr) {
+            return None;
+        }
+        let index = self.indexes.get(attr)?;
+        let groups = index.split_with_bins(&part.rows, &self.bin_of, self.spec.len());
+        if groups.len() <= 1 {
+            return None;
+        }
+        if groups
+            .iter()
+            .any(|child| child.rows.len() < self.min_partition_size)
+        {
+            return None;
+        }
+        Some(
+            groups
+                .into_iter()
+                .map(|child| Partition {
+                    predicate: part.predicate.and(attr, child.code),
+                    histogram: Histogram::from_counts(self.spec.clone(), child.bin_counts),
+                    rows: child.rows,
+                })
+                .collect(),
+        )
+    }
+
+    /// The legacy split path: per-code posting intersections followed by
+    /// a histogram build per child. Semantically identical to
+    /// [`AuditContext::split`]; kept as the kernel's differential-test
+    /// oracle and as the baseline the `split_search` bench measures
+    /// against.
+    pub fn split_legacy(&self, part: &Partition, attr: usize) -> Option<Vec<Partition>> {
         if part.predicate.constrains(attr) {
             return None;
         }

@@ -34,8 +34,26 @@
 //!    the thread count. A distance error in a worker propagates as
 //!    [`AuditError::Distance`], not a panic.
 //!
-//! The engine counts distances computed, cache hits, and cache bypasses
-//! ([`EngineStats`]); algorithms surface the counters through
+//! On top of the distance paths sits the **partition-materialisation
+//! fast path**:
+//!
+//! 4. **Split cache** — [`EvalEngine::split`] materialises candidate
+//!    splits through the single-pass kernel
+//!    ([`AuditContext::split`]) and memoises the children under the
+//!    parent's predicate fingerprint × attribute, sharing them as
+//!    [`Arc<Partition>`]s ([`SplitChildren`]). Losing candidates —
+//!    recomputed every greedy round by the seed — cost zero row scans
+//!    after first touch. Non-viable splits are negatively cached too,
+//!    since greedy loops retry them each round.
+//! 5. **Parallel candidate search** — [`EvalEngine::split_batch`]
+//!    classifies cache hits serially, computes the missing splits on
+//!    scoped worker threads (the kernel is pure), and inserts results
+//!    serially in request order, so every counter and every returned
+//!    child is identical for every thread count.
+//!
+//! The engine counts distances computed, cache hits, and cache bypasses,
+//! plus splits computed, split-cache hits, rows scanned, and histograms
+//! built ([`EngineStats`]); algorithms surface the counters through
 //! [`crate::report::AuditResult::engine`] and the CLI audit report.
 //! Every cached or incremental result stays within 1e-9 of the naive
 //! [`crate::AuditContext::unfairness`] on identical inputs.
@@ -45,8 +63,15 @@ use crate::error::AuditError;
 use crate::partition::Partition;
 use crate::unfairness::{DistanceOracle, PairwiseAverager, UNKEYED_BIT};
 use fairjob_hist::Histogram;
+use std::borrow::Borrow;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The shared children of one materialised split: the engine hands the
+/// same `Arc`s to every algorithm that asks, so a split is materialised
+/// (rows walked, histograms built) at most once per engine lifetime.
+pub type SplitChildren = Arc<Vec<Arc<Partition>>>;
 
 /// Counter snapshot of an engine's work (all monotonically increasing
 /// over the engine's lifetime).
@@ -59,12 +84,29 @@ pub struct EngineStats {
     /// Distance computations that bypassed the cache because at least
     /// one histogram carried no partition fingerprint.
     pub cache_bypasses: u64,
+    /// Splits materialised through the single-pass kernel (split-cache
+    /// misses; includes non-viable attempts, which are negatively
+    /// cached).
+    pub splits_computed: u64,
+    /// Split requests served from the split cache without touching a
+    /// single row.
+    pub split_cache_hits: u64,
+    /// Rows walked by the split kernel (the parent partition's size, per
+    /// computed split).
+    pub rows_scanned: u64,
+    /// Child histograms built by the split kernel.
+    pub histograms_built: u64,
 }
 
 impl EngineStats {
     /// Total distance lookups the engine answered.
     pub fn lookups(&self) -> u64 {
         self.distances_computed + self.cache_hits
+    }
+
+    /// Total split requests the engine answered.
+    pub fn split_lookups(&self) -> u64 {
+        self.splits_computed + self.split_cache_hits
     }
 }
 
@@ -75,9 +117,17 @@ impl EngineStats {
 pub struct EvalEngine<'c, 'a> {
     ctx: &'c AuditContext<'a>,
     cache: RefCell<HashMap<(u128, u128), f64>>,
+    /// Materialised splits keyed by parent fingerprint × attribute.
+    /// `None` = the split was attempted and is not viable (negative
+    /// cache — greedy loops retry losing attributes every round).
+    split_cache: RefCell<HashMap<(u128, usize), Option<SplitChildren>>>,
     distances_computed: Cell<u64>,
     cache_hits: Cell<u64>,
     cache_bypasses: Cell<u64>,
+    splits_computed: Cell<u64>,
+    split_cache_hits: Cell<u64>,
+    rows_scanned: Cell<u64>,
+    histograms_built: Cell<u64>,
     parallel_threshold: usize,
     threads: usize,
     max_entries: usize,
@@ -85,18 +135,29 @@ pub struct EvalEngine<'c, 'a> {
 
 impl<'c, 'a> EvalEngine<'c, 'a> {
     /// An engine over `ctx` with default tuning: parallel evaluation
-    /// above 256 live partitions, up to 8 worker threads, cache capped
-    /// at 8 M entries.
+    /// above 256 live partitions, worker threads from the context's
+    /// `threads` knob (default: up to 8, from the machine's available
+    /// parallelism), cache capped at 8 M entries.
     pub fn new(ctx: &'c AuditContext<'a>) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map_or(1, |n| n.get())
-            .min(8);
+        let threads = ctx
+            .threads()
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map_or(1, |n| n.get())
+                    .min(8)
+            })
+            .max(1);
         EvalEngine {
             ctx,
             cache: RefCell::new(HashMap::new()),
+            split_cache: RefCell::new(HashMap::new()),
             distances_computed: Cell::new(0),
             cache_hits: Cell::new(0),
             cache_bypasses: Cell::new(0),
+            splits_computed: Cell::new(0),
+            split_cache_hits: Cell::new(0),
+            rows_scanned: Cell::new(0),
+            histograms_built: Cell::new(0),
             parallel_threshold: 256,
             threads,
             max_entries: 8_000_000,
@@ -135,6 +196,10 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
             distances_computed: self.distances_computed.get(),
             cache_hits: self.cache_hits.get(),
             cache_bypasses: self.cache_bypasses.get(),
+            splits_computed: self.splits_computed.get(),
+            split_cache_hits: self.split_cache_hits.get(),
+            rows_scanned: self.rows_scanned.get(),
+            histograms_built: self.histograms_built.get(),
         }
     }
 
@@ -188,6 +253,118 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
         self.cached_distance(Self::key(a), &a.histogram, Self::key(b), &b.histogram)
     }
 
+    /// Materialise the split of `part` by `attr`, served from the split
+    /// cache when this (parent, attribute) pair was split before —
+    /// including negatively: a split the context refused is remembered
+    /// as `None` and never re-attempted. Cache misses run the
+    /// single-pass kernel ([`AuditContext::split`]).
+    pub fn split(&self, part: &Partition, attr: usize) -> Option<SplitChildren> {
+        self.split_batch(&[(part, attr)])
+            .pop()
+            .expect("one request, one result")
+    }
+
+    /// The deterministic parallel candidate search: answer a batch of
+    /// split requests at once. Cache hits are classified serially;
+    /// misses run the split kernel on scoped worker threads (the kernel
+    /// is pure — it only reads the context); results and counters are
+    /// then recorded serially in request order. Returned children,
+    /// counters, and cache state are identical for every thread count.
+    pub fn split_batch(&self, requests: &[(&Partition, usize)]) -> Vec<Option<SplitChildren>> {
+        let mut results: Vec<Option<Option<SplitChildren>>> = vec![None; requests.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        {
+            let cache = self.split_cache.borrow();
+            for (at, &(part, attr)) in requests.iter().enumerate() {
+                // `constrains` is a cheap predicate check, not a split:
+                // answered inline, neither cached nor counted.
+                if part.predicate.constrains(attr) {
+                    results[at] = Some(None);
+                    continue;
+                }
+                match cache.get(&(Self::key(part), attr)) {
+                    Some(cached) => {
+                        Self::bump(&self.split_cache_hits);
+                        results[at] = Some(cached.clone());
+                    }
+                    None => misses.push(at),
+                }
+            }
+        }
+        if !misses.is_empty() {
+            let computed: Vec<Option<Vec<Partition>>> = if misses.len() > 1 && self.threads > 1 {
+                let threads = self.threads.min(misses.len());
+                let chunk_len = misses.len().div_ceil(threads);
+                let ctx = self.ctx;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = misses
+                        .chunks(chunk_len)
+                        .map(|chunk| {
+                            scope.spawn(move || {
+                                chunk
+                                    .iter()
+                                    .map(|&at| {
+                                        let (part, attr) = requests[at];
+                                        ctx.split(part, attr)
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("split worker panicked"))
+                        .collect()
+                })
+            } else {
+                misses
+                    .iter()
+                    .map(|&at| {
+                        let (part, attr) = requests[at];
+                        self.ctx.split(part, attr)
+                    })
+                    .collect()
+            };
+            let mut cache = self.split_cache.borrow_mut();
+            if cache.len() + misses.len() > self.max_entries {
+                cache.clear();
+            }
+            for (&at, children) in misses.iter().zip(computed) {
+                let (part, attr) = requests[at];
+                Self::bump(&self.splits_computed);
+                self.rows_scanned
+                    .set(self.rows_scanned.get() + part.rows.len() as u64);
+                let entry: Option<SplitChildren> = children.map(|kids| {
+                    self.histograms_built
+                        .set(self.histograms_built.get() + kids.len() as u64);
+                    Arc::new(kids.into_iter().map(Arc::new).collect::<Vec<_>>())
+                });
+                cache.insert((Self::key(part), attr), entry.clone());
+                results[at] = Some(entry);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every request resolved"))
+            .collect()
+    }
+
+    /// Split every partition of `parts` by `attr` through the cache,
+    /// keeping unsplittable partitions whole (shared, not cloned) — the
+    /// engine-side counterpart of the algorithms' `split_all` helper.
+    pub fn split_all(&self, parts: &[Arc<Partition>], attr: usize) -> Vec<Arc<Partition>> {
+        let requests: Vec<(&Partition, usize)> = parts.iter().map(|p| (p.as_ref(), attr)).collect();
+        let results = self.split_batch(&requests);
+        let mut out = Vec::new();
+        for (part, children) in parts.iter().zip(results) {
+            match children {
+                Some(kids) => out.extend(kids.iter().cloned()),
+                None => out.push(Arc::clone(part)),
+            }
+        }
+        out
+    }
+
     /// Cached full evaluation of `unfairness(parts, f)` — identical to
     /// [`AuditContext::unfairness`] (pair order, skip rules, and final
     /// division match exactly; only the distance computations are
@@ -198,8 +375,8 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
     ///
     /// [`AuditError::Distance`] from the underlying distance, including
     /// errors raised inside parallel workers.
-    pub fn unfairness(&self, parts: &[Partition]) -> Result<f64, AuditError> {
-        let refs: Vec<&Partition> = parts.iter().collect();
+    pub fn unfairness<P: Borrow<Partition>>(&self, parts: &[P]) -> Result<f64, AuditError> {
+        let refs: Vec<&Partition> = parts.iter().map(Borrow::borrow).collect();
         self.unfairness_refs(&refs)
     }
 
@@ -210,12 +387,16 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
     /// # Errors
     ///
     /// As for [`EvalEngine::unfairness`].
-    pub fn unfairness_union(
+    pub fn unfairness_union<P: Borrow<Partition>, Q: Borrow<Partition>>(
         &self,
-        group: &[Partition],
-        siblings: &[Partition],
+        group: &[P],
+        siblings: &[Q],
     ) -> Result<f64, AuditError> {
-        let refs: Vec<&Partition> = group.iter().chain(siblings.iter()).collect();
+        let refs: Vec<&Partition> = group
+            .iter()
+            .map(Borrow::borrow)
+            .chain(siblings.iter().map(Borrow::borrow))
+            .collect();
         self.unfairness_refs(&refs)
     }
 
@@ -225,13 +406,21 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
     /// # Errors
     ///
     /// As for [`EvalEngine::unfairness`].
-    pub fn unfairness_cross(
+    pub fn unfairness_cross<P: Borrow<Partition>, Q: Borrow<Partition>>(
         &self,
-        group: &[Partition],
-        siblings: &[Partition],
+        group: &[P],
+        siblings: &[Q],
     ) -> Result<f64, AuditError> {
-        let ga: Vec<&Partition> = group.iter().filter(|p| !p.is_empty()).collect();
-        let gb: Vec<&Partition> = siblings.iter().filter(|p| !p.is_empty()).collect();
+        let ga: Vec<&Partition> = group
+            .iter()
+            .map(Borrow::borrow)
+            .filter(|p| !p.is_empty())
+            .collect();
+        let gb: Vec<&Partition> = siblings
+            .iter()
+            .map(Borrow::borrow)
+            .filter(|p| !p.is_empty())
+            .collect();
         if ga.is_empty() || gb.is_empty() {
             return Ok(0.0);
         }
@@ -397,10 +586,14 @@ impl<'e, 'c, 'a> IncrementalEval<'e, 'c, 'a> {
     /// # Errors
     ///
     /// [`AuditError::Distance`] from the underlying distance.
-    pub fn new(engine: &'e EvalEngine<'c, 'a>, parts: &[Partition]) -> Result<Self, AuditError> {
+    pub fn new<P: Borrow<Partition>>(
+        engine: &'e EvalEngine<'c, 'a>,
+        parts: &[P],
+    ) -> Result<Self, AuditError> {
         let mut averager = PairwiseAverager::keyed(engine);
         let mut slots = Vec::with_capacity(parts.len());
         for p in parts {
+            let p = p.borrow();
             slots.push(if p.is_empty() {
                 EMPTY_SLOT
             } else {
@@ -428,9 +621,9 @@ impl<'e, 'c, 'a> IncrementalEval<'e, 'c, 'a> {
     /// # Errors
     ///
     /// [`AuditError::Distance`] from the underlying distance.
-    pub fn score_replacements(
+    pub fn score_replacements<P: Borrow<Partition>>(
         &mut self,
-        replacements: &[(usize, &[Partition])],
+        replacements: &[(usize, &[P])],
     ) -> Result<f64, AuditError> {
         let mut removed: Vec<(usize, u128, Histogram)> = Vec::with_capacity(replacements.len());
         for &(index, _) in replacements {
@@ -443,7 +636,11 @@ impl<'e, 'c, 'a> IncrementalEval<'e, 'c, 'a> {
         }
         let mut child_slots: Vec<usize> = Vec::new();
         for &(_, children) in replacements {
-            for child in children.iter().filter(|c| !c.is_empty()) {
+            for child in children
+                .iter()
+                .map(Borrow::borrow)
+                .filter(|c| !c.is_empty())
+            {
                 child_slots.push(
                     self.averager
                         .insert_keyed(EvalEngine::key(child), child.histogram.clone())?,
@@ -598,6 +795,110 @@ mod tests {
         let again = inc.score_replacements(&[(0, &male_langs)]).unwrap();
         assert_eq!(again, score);
         assert_eq!(engine.stats().distances_computed, computed_before);
+    }
+
+    #[test]
+    fn split_cache_serves_repeat_requests_without_row_scans() {
+        let (t, scores) = toy_workers();
+        let ctx = toy_ctx(&t, &scores);
+        let engine = EvalEngine::new(&ctx);
+        let root = ctx.root();
+        let first = engine.split(&root, 0).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.splits_computed, 1);
+        assert_eq!(stats.split_cache_hits, 0);
+        assert_eq!(stats.rows_scanned, root.len() as u64);
+        assert_eq!(stats.histograms_built, first.len() as u64);
+        // Same request again: served from the cache, same Arcs, no scan.
+        let second = engine.split(&root, 0).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = engine.stats();
+        assert_eq!(stats.splits_computed, 1);
+        assert_eq!(stats.split_cache_hits, 1);
+        assert_eq!(stats.rows_scanned, root.len() as u64);
+        // The children match the context's direct split.
+        let direct = ctx.split(&root, 0).unwrap();
+        assert_eq!(first.len(), direct.len());
+        for (cached, fresh) in first.iter().zip(&direct) {
+            assert_eq!(cached.as_ref(), fresh);
+        }
+    }
+
+    #[test]
+    fn non_viable_splits_are_negatively_cached() {
+        let (t, scores) = toy_workers();
+        let cfg = AuditConfig {
+            min_partition_size: 3,
+            ..Default::default()
+        };
+        let ctx = AuditContext::new(&t, &scores, cfg).unwrap();
+        let engine = EvalEngine::new(&ctx);
+        let genders = ctx.split(&ctx.root(), 0).unwrap();
+        // Males split by language as 2+2+2: below the floor, non-viable.
+        let males = genders.iter().find(|p| p.len() == 6).unwrap();
+        assert!(engine.split(males, 1).is_none());
+        assert_eq!(engine.stats().splits_computed, 1);
+        // Retried (as every greedy round does): answered from the cache.
+        assert!(engine.split(males, 1).is_none());
+        let stats = engine.stats();
+        assert_eq!(stats.splits_computed, 1);
+        assert_eq!(stats.split_cache_hits, 1);
+        // An attribute already constrained by the predicate is answered
+        // inline without touching the cache or the counters.
+        assert!(engine.split(males, 0).is_none());
+        assert_eq!(engine.stats().split_lookups(), stats.split_lookups());
+    }
+
+    #[test]
+    fn split_batch_is_thread_count_independent() {
+        let (t, scores) = toy_workers();
+        let ctx = toy_ctx(&t, &scores);
+        let root = ctx.root();
+        let reference = EvalEngine::new(&ctx).with_threads(1);
+        let requests: Vec<(&Partition, usize)> = vec![(&root, 0), (&root, 1), (&root, 0)];
+        let expected = reference.split_batch(&requests);
+        let expected_stats = reference.stats();
+        for threads in [2, 3, 8] {
+            let engine = EvalEngine::new(&ctx).with_threads(threads);
+            let got = engine.split_batch(&requests);
+            assert_eq!(engine.stats(), expected_stats, "{threads} threads");
+            assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(&expected) {
+                match (g, e) {
+                    (Some(g), Some(e)) => {
+                        assert_eq!(g.len(), e.len());
+                        for (a, b) in g.iter().zip(e.iter()) {
+                            assert_eq!(a.as_ref(), b.as_ref());
+                        }
+                    }
+                    (None, None) => {}
+                    _ => panic!("viability differs at {threads} threads"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_all_keeps_unsplittable_partitions_whole() {
+        let (t, scores) = toy_workers();
+        let ctx = toy_ctx(&t, &scores);
+        let engine = EvalEngine::new(&ctx);
+        let genders: Vec<Arc<Partition>> = engine
+            .split(&ctx.root(), 0)
+            .unwrap()
+            .iter()
+            .cloned()
+            .collect();
+        let by_lang = engine.split_all(&genders, 1);
+        // Both genders split into 3 languages each on the toy data.
+        assert_eq!(by_lang.len(), 6);
+        // Splitting again by the same attribute is a no-op: every child
+        // is constrained, so the same Arcs come straight back.
+        let again = engine.split_all(&by_lang, 1);
+        assert_eq!(again.len(), by_lang.len());
+        for (a, b) in again.iter().zip(&by_lang) {
+            assert!(Arc::ptr_eq(a, b));
+        }
     }
 
     #[test]

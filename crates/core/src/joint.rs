@@ -65,6 +65,11 @@ pub struct JointAuditContext<'a> {
     spec: BinSpec,
     attributes: Vec<usize>,
     indexes: IndexSet,
+    /// Precomputed per-axis bin indices (`bin_a[row]` = the x-axis bin
+    /// of the row's first score), so the 2-D histogram path bumps cells
+    /// directly instead of re-binning floats per partition.
+    bin_a: Vec<u32>,
+    bin_b: Vec<u32>,
 }
 
 impl<'a> JointAuditContext<'a> {
@@ -105,6 +110,8 @@ impl<'a> JointAuditContext<'a> {
             return Err(AuditError::NoAttributes);
         }
         let indexes = IndexSet::build(table)?;
+        let bin_a: Vec<u32> = scores_a.iter().map(|&s| spec.bin_index(s) as u32).collect();
+        let bin_b: Vec<u32> = scores_b.iter().map(|&s| spec.bin_index(s) as u32).collect();
         Ok(JointAuditContext {
             table,
             scores_a,
@@ -112,6 +119,8 @@ impl<'a> JointAuditContext<'a> {
             spec,
             attributes,
             indexes,
+            bin_a,
+            bin_b,
         })
     }
 
@@ -120,11 +129,22 @@ impl<'a> JointAuditContext<'a> {
         self.table
     }
 
-    /// Joint histogram of a row set.
+    /// The first per-row score vector (x axis of the joint grid).
+    pub fn scores_a(&self) -> &[f64] {
+        self.scores_a
+    }
+
+    /// The second per-row score vector (y axis of the joint grid).
+    pub fn scores_b(&self) -> &[f64] {
+        self.scores_b
+    }
+
+    /// Joint histogram of a row set, built from the precomputed per-axis
+    /// bin indices (no per-row float binning).
     pub fn histogram(&self, rows: &RowSet) -> Histogram2d {
         let mut h = Histogram2d::empty(self.spec.clone(), self.spec.clone());
         for row in rows.iter() {
-            h.add(self.scores_a[row], self.scores_b[row]);
+            h.add_cell(self.bin_a[row] as usize, self.bin_b[row] as usize);
         }
         h
     }

@@ -56,7 +56,7 @@ pub mod stats;
 pub mod unfairness;
 
 pub use context::{AuditConfig, AuditContext};
-pub use engine::{EngineStats, EvalEngine, IncrementalEval};
+pub use engine::{EngineStats, EvalEngine, IncrementalEval, SplitChildren};
 pub use error::AuditError;
 pub use partition::{Partition, Partitioning};
 pub use report::AuditResult;

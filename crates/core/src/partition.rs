@@ -11,7 +11,7 @@ use fairjob_store::{Predicate, RowSet, Table};
 /// One group of workers: its defining predicate, its rows, and the
 /// histogram of its members' scores (precomputed — every algorithm
 /// compares histograms many times per split decision).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Partition {
     /// The conjunction of attribute constraints defining the group.
     pub predicate: Predicate,

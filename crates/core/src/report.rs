@@ -39,8 +39,10 @@ pub struct AuditResult {
     /// driver of the runtime differences in Tables 1–2).
     pub candidates_evaluated: usize,
     /// Evaluation-engine counters for the run: distances actually
-    /// computed, memo-cache hits, and cache bypasses. All zero for
-    /// algorithms that do not route through [`crate::EvalEngine`].
+    /// computed, memo-cache hits, and cache bypasses, plus the split
+    /// fast path's splits computed, split-cache hits, rows scanned, and
+    /// histograms built. All zero for algorithms that do not route
+    /// through [`crate::EvalEngine`].
     pub engine: EngineStats,
 }
 
@@ -68,6 +70,15 @@ impl AuditResult {
             out.push_str(&format!(
                 "engine: {} distances computed, {} cache hits, {} bypasses\n",
                 self.engine.distances_computed, self.engine.cache_hits, self.engine.cache_bypasses,
+            ));
+        }
+        if self.engine.split_lookups() > 0 {
+            out.push_str(&format!(
+                "splits: {} computed, {} cache hits, {} rows scanned, {} histograms built\n",
+                self.engine.splits_computed,
+                self.engine.split_cache_hits,
+                self.engine.rows_scanned,
+                self.engine.histograms_built,
             ));
         }
         let mut parts: Vec<&crate::Partition> = self.partitioning.partitions().iter().collect();
@@ -136,7 +147,7 @@ impl AuditResult {
             })
             .collect();
         format!(
-            "{{\"algorithm\":\"{}\",\"distance\":\"{}\",\"unfairness\":{:.6},\"elapsed_ms\":{:.3},\"candidates_evaluated\":{},\"engine\":{{\"distances_computed\":{},\"cache_hits\":{},\"cache_bypasses\":{}}},\"attributes_used\":[{}],\"partitions\":[{}]}}",
+            "{{\"algorithm\":\"{}\",\"distance\":\"{}\",\"unfairness\":{:.6},\"elapsed_ms\":{:.3},\"candidates_evaluated\":{},\"engine\":{{\"distances_computed\":{},\"cache_hits\":{},\"cache_bypasses\":{},\"splits_computed\":{},\"split_cache_hits\":{},\"rows_scanned\":{},\"histograms_built\":{}}},\"attributes_used\":[{}],\"partitions\":[{}]}}",
             json_escape(&self.algorithm),
             json_escape(ctx.distance().name()),
             self.unfairness,
@@ -145,6 +156,10 @@ impl AuditResult {
             self.engine.distances_computed,
             self.engine.cache_hits,
             self.engine.cache_bypasses,
+            self.engine.splits_computed,
+            self.engine.split_cache_hits,
+            self.engine.rows_scanned,
+            self.engine.histograms_built,
             attributes.join(","),
             partitions.join(",")
         )
@@ -173,11 +188,17 @@ mod tests {
                 distances_computed: 4,
                 cache_hits: 96,
                 cache_bypasses: 0,
+                splits_computed: 5,
+                split_cache_hits: 11,
+                rows_scanned: 320,
+                histograms_built: 12,
             },
         };
         let text = result.render(&ctx, false);
         assert!(text.contains("algorithm: test"));
         assert!(text.contains("engine: 4 distances computed, 96 cache hits, 0 bypasses"));
+        assert!(text
+            .contains("splits: 5 computed, 11 cache hits, 320 rows scanned, 12 histograms built"));
         assert!(text.contains("0.5000"));
         assert!(text.contains("gender=Male"));
         assert!(text.contains("gender=Female"));
@@ -202,6 +223,10 @@ mod tests {
                 distances_computed: 7,
                 cache_hits: 2,
                 cache_bypasses: 1,
+                splits_computed: 4,
+                split_cache_hits: 9,
+                rows_scanned: 250,
+                histograms_built: 8,
             },
         };
         let json = result.to_json(&ctx);
@@ -214,7 +239,7 @@ mod tests {
         assert!(json.contains("\"value\":\"Male\""));
         assert!(json.contains("\"candidates_evaluated\":3"));
         assert!(json.contains(
-            "\"engine\":{\"distances_computed\":7,\"cache_hits\":2,\"cache_bypasses\":1}"
+            "\"engine\":{\"distances_computed\":7,\"cache_hits\":2,\"cache_bypasses\":1,\"splits_computed\":4,\"split_cache_hits\":9,\"rows_scanned\":250,\"histograms_built\":8}"
         ));
         assert!(json.starts_with('{') && json.ends_with('}'));
     }

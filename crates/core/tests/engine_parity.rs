@@ -63,6 +63,88 @@ proptest! {
         }
     }
 
+    /// The single-pass split kernel produces exactly the children the
+    /// legacy posting-list path produced: same predicates, same rows,
+    /// same histograms, for every attribute at the root and one level
+    /// down.
+    #[test]
+    fn split_kernel_matches_legacy_at_core_level(
+        size in 60usize..220,
+        seed in 0u64..1_000,
+    ) {
+        let (workers, scores) = population(size, seed, seed % 2 == 1);
+        let ctx = AuditContext::new(&workers, &scores, AuditConfig::default()).unwrap();
+        let root = ctx.root();
+        for &a in ctx.attributes() {
+            prop_assert_eq!(ctx.split(&root, a), ctx.split_legacy(&root, a), "root attr {}", a);
+        }
+        // One level down: split by the first splittable attribute, then
+        // compare every remaining attribute on every child.
+        if let Some((first, children)) = ctx
+            .attributes()
+            .iter()
+            .find_map(|&a| ctx.split(&root, a).map(|c| (a, c)))
+        {
+            for child in &children {
+                for &a in ctx.attributes().iter().filter(|&&a| a != first) {
+                    prop_assert_eq!(
+                        ctx.split(child, a),
+                        ctx.split_legacy(child, a),
+                        "child of {} by attr {}",
+                        first,
+                        a
+                    );
+                }
+            }
+        }
+    }
+
+    /// The parallel candidate search is deterministic: every algorithm
+    /// returns a bit-identical unfairness value and the same
+    /// partitioning shape regardless of the worker thread count.
+    #[test]
+    fn algorithms_are_bit_identical_across_thread_counts(
+        size in 60usize..200,
+        seed in 0u64..1_000,
+    ) {
+        let (workers, scores) = population(size, seed, seed % 2 == 0);
+        let baseline = AuditContext::new(
+            &workers,
+            &scores,
+            AuditConfig { threads: Some(1), ..AuditConfig::default() },
+        )
+        .unwrap();
+        let suite = |seed: u64| {
+            let mut algos = paper_algorithms(seed);
+            algos.push(Box::new(Beam::new(2)));
+            algos.push(Box::new(Lookahead::new(2)));
+            algos.push(Box::new(Unbalanced::new(AttributeChoice::Worst).with_cross_stopping()));
+            algos
+        };
+        for threads in [3usize, 8] {
+            let ctx = AuditContext::new(
+                &workers,
+                &scores,
+                AuditConfig { threads: Some(threads), ..AuditConfig::default() },
+            )
+            .unwrap();
+            for (serial, parallel) in suite(seed).iter().zip(suite(seed).iter()) {
+                let a = serial.run(&baseline).unwrap();
+                let b = parallel.run(&ctx).unwrap();
+                prop_assert_eq!(
+                    a.unfairness.to_bits(),
+                    b.unfairness.to_bits(),
+                    "{} with {} threads: {} vs {}",
+                    a.algorithm,
+                    threads,
+                    a.unfairness,
+                    b.unfairness
+                );
+                prop_assert_eq!(a.partitioning.len(), b.partitioning.len());
+            }
+        }
+    }
+
     /// Delta evaluation of candidate splits matches materialise+naive.
     #[test]
     fn incremental_scores_match_materialised_naive(

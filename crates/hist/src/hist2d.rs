@@ -59,6 +59,25 @@ impl Histogram2d {
         self.total += 1.0;
     }
 
+    /// Add one point by precomputed cell indices, skipping the per-point
+    /// float binning of [`Histogram2d::add`] (the joint audit bins both
+    /// score vectors once at context build).
+    ///
+    /// # Panics
+    ///
+    /// When `ix` or `iy` is outside the grid — a programming error at
+    /// the caller's binning step.
+    pub fn add_cell(&mut self, ix: usize, iy: usize) {
+        assert!(
+            ix < self.x_spec.len() && iy < self.y_spec.len(),
+            "cell ({ix}, {iy}) outside {}x{} grid",
+            self.x_spec.len(),
+            self.y_spec.len()
+        );
+        self.counts[iy * self.x_spec.len() + ix] += 1.0;
+        self.total += 1.0;
+    }
+
     /// Total mass.
     pub fn total(&self) -> f64 {
         self.total
@@ -175,6 +194,25 @@ mod tests {
         assert_eq!(h.count(3, 3), 1.0);
         assert_eq!(h.count(3, 0), 1.0);
         assert_eq!(h.dims(), (4, 4));
+    }
+
+    #[test]
+    fn add_cell_matches_add() {
+        let points = [(0.1, 0.1), (0.9, 0.9), (0.9, 0.1), (0.4, 0.7)];
+        let direct = Histogram2d::from_points(spec(4), spec(4), points.iter().copied());
+        let (xs, ys) = (spec(4), spec(4));
+        let mut indexed = Histogram2d::empty(xs.clone(), ys.clone());
+        for &(x, y) in &points {
+            indexed.add_cell(xs.bin_index(x), ys.bin_index(y));
+        }
+        assert_eq!(indexed, direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn add_cell_rejects_out_of_grid() {
+        let mut h = Histogram2d::empty(spec(4), spec(2));
+        h.add_cell(4, 0);
     }
 
     #[test]

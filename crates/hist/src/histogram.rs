@@ -55,6 +55,29 @@ impl Histogram {
         }
     }
 
+    /// Build a histogram from precomputed bin indices (weight 1 each).
+    /// The caller binned the values once up front (e.g. the audit layer
+    /// bins every score at context build), so no float comparisons
+    /// happen here — just counter bumps.
+    ///
+    /// # Panics
+    ///
+    /// When an index is `>= spec.len()` — a programming error at the
+    /// caller's binning step, not a data error.
+    pub fn from_bin_indices(spec: BinSpec, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut counts = vec![0.0; spec.len()];
+        let mut total = 0.0;
+        for i in indices {
+            counts[i] += 1.0;
+            total += 1.0;
+        }
+        Histogram {
+            spec,
+            counts,
+            total,
+        }
+    }
+
     /// Add one observation with weight 1. Non-finite values are ignored.
     pub fn add(&mut self, value: f64) {
         self.add_weighted(value, 1.0);
@@ -200,6 +223,29 @@ mod tests {
         assert_eq!(h.counts()[0], 2.0);
         assert_eq!(h.counts()[5], 1.0);
         assert_eq!(h.counts()[9], 2.0); // 0.95 and clamped 1.0
+    }
+
+    #[test]
+    fn from_bin_indices_matches_from_values() {
+        let values = [0.05, 0.07, 0.55, 0.95, 1.0];
+        let direct = Histogram::from_values(spec10(), values.iter().copied());
+        let spec = spec10();
+        let indices: Vec<usize> = values.iter().map(|&v| spec.bin_index(v)).collect();
+        let indexed = Histogram::from_bin_indices(spec, indices);
+        assert_eq!(indexed, direct);
+        assert_eq!(indexed.total(), 5.0);
+    }
+
+    #[test]
+    fn from_bin_indices_empty_is_empty() {
+        let h = Histogram::from_bin_indices(spec10(), std::iter::empty());
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_bin_indices_rejects_out_of_range() {
+        let _ = Histogram::from_bin_indices(spec10(), [10usize]);
     }
 
     #[test]

@@ -8,12 +8,30 @@
 use crate::table::Table;
 use crate::{RowSet, StoreError};
 
+/// One child of a single-pass split: the code, its rows, and the bin
+/// counts of its members' scores (accumulated during the same walk that
+/// collected the rows).
+#[derive(Debug, Clone)]
+pub struct SplitChild {
+    /// The dictionary code shared by every member.
+    pub code: u32,
+    /// The member rows (sorted — inherited from the parent's order).
+    pub rows: RowSet,
+    /// Per-bin member counts (`bin_counts[bin_of[row]] += 1` per row).
+    pub bin_counts: Vec<f64>,
+}
+
 /// Inverted index for one categorical attribute: rows grouped by code.
 #[derive(Debug, Clone)]
 pub struct CategoricalIndex {
     attr: usize,
     /// `postings[code]` = sorted rows holding that code.
     postings: Vec<RowSet>,
+    /// The forward column: `codes[row]` = the row's dictionary code.
+    /// Lets [`CategoricalIndex::split_with_bins`] split a partition in
+    /// one walk over its rows instead of one posting intersection per
+    /// code.
+    codes: Vec<u32>,
 }
 
 impl CategoricalIndex {
@@ -42,6 +60,7 @@ impl CategoricalIndex {
         Ok(CategoricalIndex {
             attr,
             postings: buckets.into_iter().map(RowSet::from_sorted).collect(),
+            codes: codes.to_vec(),
         })
     }
 
@@ -57,6 +76,11 @@ impl CategoricalIndex {
 
     /// Split `within` by the indexed attribute: one `(code, rows)` pair
     /// per code that is non-empty inside `within`.
+    ///
+    /// This is the legacy posting-intersection path, kept as the
+    /// differential-test oracle for [`CategoricalIndex::split_with_bins`]
+    /// (it touches every posting, so it costs O(table) per split even
+    /// for tiny partitions).
     pub fn split(&self, within: &RowSet) -> Vec<(u32, RowSet)> {
         self.postings
             .iter()
@@ -64,6 +88,46 @@ impl CategoricalIndex {
             .filter_map(|(code, posting)| {
                 let rows = posting.intersect(within);
                 (!rows.is_empty()).then_some((code as u32, rows))
+            })
+            .collect()
+    }
+
+    /// The forward column: `codes()[row]` is the row's dictionary code.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Single-pass split kernel: one walk over `within`'s rows reading
+    /// the forward column directly, emitting every non-empty child's row
+    /// set **and** its score-bin counts simultaneously. `bin_of[row]`
+    /// must hold the precomputed bin index of the row's score (`< bins`).
+    ///
+    /// Equivalent to [`CategoricalIndex::split`] plus one histogram
+    /// build per child, at O(|within|) instead of O(table) cost.
+    ///
+    /// # Panics
+    ///
+    /// When `bin_of` is shorter than the table or holds an index
+    /// `>= bins` for a row of `within` (programming errors at the
+    /// store/audit boundary).
+    pub fn split_with_bins(&self, within: &RowSet, bin_of: &[u32], bins: usize) -> Vec<SplitChild> {
+        let cardinality = self.postings.len();
+        let mut child_rows: Vec<Vec<u32>> = vec![Vec::new(); cardinality];
+        let mut child_bins: Vec<Vec<f64>> = vec![vec![0.0; bins]; cardinality];
+        for &row in within.rows() {
+            let code = self.codes[row as usize] as usize;
+            child_rows[code].push(row);
+            child_bins[code][bin_of[row as usize] as usize] += 1.0;
+        }
+        child_rows
+            .into_iter()
+            .zip(child_bins)
+            .enumerate()
+            .filter(|(_, (rows, _))| !rows.is_empty())
+            .map(|(code, (rows, bin_counts))| SplitChild {
+                code: code as u32,
+                rows: RowSet::from_sorted(rows),
+                bin_counts,
             })
             .collect()
     }
@@ -175,6 +239,42 @@ mod tests {
             CategoricalIndex::build(&t, 2),
             Err(StoreError::NotCategorical { .. })
         ));
+    }
+
+    #[test]
+    fn split_with_bins_matches_legacy_split() {
+        let t = table();
+        let idx = CategoricalIndex::build(&t, 1).unwrap();
+        // Pretend scores fall in bins 0..3 per row.
+        let bin_of = [0u32, 1, 2, 1, 0];
+        let within = RowSet::from_rows(vec![0, 2, 3, 4]);
+        let kernel = idx.split_with_bins(&within, &bin_of, 3);
+        let legacy = idx.split(&within);
+        assert_eq!(kernel.len(), legacy.len());
+        for (child, (code, rows)) in kernel.iter().zip(&legacy) {
+            assert_eq!(child.code, *code);
+            assert_eq!(&child.rows, rows);
+            // Bin counts re-derivable from the rows and bin_of.
+            let mut expected = vec![0.0; 3];
+            for row in rows.iter() {
+                expected[bin_of[row] as usize] += 1.0;
+            }
+            assert_eq!(child.bin_counts, expected);
+        }
+    }
+
+    #[test]
+    fn split_with_bins_of_empty_set_is_empty() {
+        let t = table();
+        let idx = CategoricalIndex::build(&t, 0).unwrap();
+        assert!(idx.split_with_bins(&RowSet::empty(), &[0; 5], 4).is_empty());
+    }
+
+    #[test]
+    fn forward_codes_match_the_column() {
+        let t = table();
+        let idx = CategoricalIndex::build(&t, 0).unwrap();
+        assert_eq!(idx.codes(), t.column(0).as_categorical().unwrap());
     }
 
     #[test]

@@ -68,8 +68,23 @@ impl RowSet {
         self.rows.binary_search(&row).is_ok()
     }
 
-    /// Set intersection (linear merge).
+    /// Size ratio beyond which [`RowSet::intersect`] gallops the smaller
+    /// side through the larger instead of merging linearly. Intersecting
+    /// a full-table posting list with a small partition is the hot case
+    /// of the audit algorithms' legacy split path; galloping turns its
+    /// cost from O(posting) into O(partition · log posting).
+    const GALLOP_FACTOR: usize = 16;
+
+    /// Set intersection. Linear merge for similar sizes; when one side is
+    /// more than [`Self::GALLOP_FACTOR`]× larger, the smaller side is
+    /// galloped (exponential probe + binary search) through the larger.
     pub fn intersect(&self, other: &RowSet) -> RowSet {
+        if self.len().saturating_mul(Self::GALLOP_FACTOR) < other.len() {
+            return Self::intersect_gallop(&self.rows, &other.rows);
+        }
+        if other.len().saturating_mul(Self::GALLOP_FACTOR) < self.len() {
+            return Self::intersect_gallop(&other.rows, &self.rows);
+        }
         let mut out = Vec::with_capacity(self.len().min(other.len()));
         let (mut i, mut j) = (0, 0);
         while i < self.rows.len() && j < other.rows.len() {
@@ -81,6 +96,38 @@ impl RowSet {
                     i += 1;
                     j += 1;
                 }
+            }
+        }
+        RowSet { rows: out }
+    }
+
+    /// Gallop each element of `small` through the unvisited suffix of
+    /// `large`: exponential probing brackets the first candidate ≥ the
+    /// probe value, a binary search pins it down. O(m · log(n/m)) for
+    /// m ≪ n versus O(m + n) for the linear merge.
+    fn intersect_gallop(small: &[u32], large: &[u32]) -> RowSet {
+        let mut out = Vec::with_capacity(small.len());
+        let mut base = 0usize;
+        for &x in small {
+            if base >= large.len() {
+                break;
+            }
+            if large[base] < x {
+                // Invariant: large[base + prev] < x, and either
+                // base + bound is past the end or large[base + bound] >= x.
+                let mut prev = 0usize;
+                let mut bound = 1usize;
+                while base + bound < large.len() && large[base + bound] < x {
+                    prev = bound;
+                    bound <<= 1;
+                }
+                let hi = (base + bound + 1).min(large.len());
+                let offset = large[base + prev..hi].partition_point(|&v| v < x);
+                base += prev + offset;
+            }
+            if base < large.len() && large[base] == x {
+                out.push(x);
+                base += 1;
             }
         }
         RowSet { rows: out }
@@ -203,6 +250,40 @@ mod tests {
         let c = RowSet::from_rows(vec![3]);
         assert!(a.is_disjoint(&b));
         assert!(!a.is_disjoint(&c));
+    }
+
+    #[test]
+    fn asymmetric_intersect_gallops_to_the_same_result() {
+        // Sizes chosen to force the gallop path in both argument orders.
+        let small = RowSet::from_rows(vec![3, 250, 251, 999, 2000]);
+        let large = RowSet::from_rows((0..1500).map(|i| i * 2).collect());
+        let expected: Vec<u32> = small
+            .rows()
+            .iter()
+            .copied()
+            .filter(|&r| large.contains(r))
+            .collect();
+        assert_eq!(small.intersect(&large).rows(), &expected[..]);
+        assert_eq!(large.intersect(&small).rows(), &expected[..]);
+    }
+
+    #[test]
+    fn gallop_handles_probe_past_the_end() {
+        let small = RowSet::from_rows(vec![5, 9_999_999]);
+        let large = RowSet::from_rows((0..200).collect());
+        assert_eq!(small.intersect(&large).rows(), &[5]);
+        let all_past = RowSet::from_rows(vec![500, 600]);
+        assert!(all_past.intersect(&large).is_empty());
+    }
+
+    #[test]
+    fn gallop_single_element_sides() {
+        let one = RowSet::from_rows(vec![77]);
+        let large = RowSet::from_rows((0..100).collect());
+        assert_eq!(one.intersect(&large).rows(), &[77]);
+        assert_eq!(large.intersect(&one).rows(), &[77]);
+        let missing = RowSet::from_rows(vec![1000]);
+        assert!(missing.intersect(&large).is_empty());
     }
 
     #[test]
