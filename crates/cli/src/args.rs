@@ -11,7 +11,7 @@ pub struct Args {
 }
 
 /// Flags that take no value, per subcommand surface.
-const SWITCHES: &[&str] = &["correlated", "histograms", "json", "help"];
+const SWITCHES: &[&str] = &["correlated", "histograms", "json", "cold-check", "help"];
 
 impl Args {
     /// Parse an argument list.

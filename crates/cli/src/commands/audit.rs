@@ -13,7 +13,7 @@ use fairjob_hist::distance as hd;
 use fairjob_hist::HistogramDistance;
 use std::sync::Arc;
 
-fn resolve_algorithm(name: &str, seed: u64) -> Result<Box<dyn Algorithm>, CliError> {
+pub(crate) fn resolve_algorithm(name: &str, seed: u64) -> Result<Box<dyn Algorithm>, CliError> {
     Ok(match name {
         "balanced" => Box::new(Balanced::new(AttributeChoice::Worst)),
         "r-balanced" => Box::new(Balanced::new(AttributeChoice::Random { seed })),
@@ -29,7 +29,7 @@ fn resolve_algorithm(name: &str, seed: u64) -> Result<Box<dyn Algorithm>, CliErr
     })
 }
 
-fn resolve_metric(name: &str) -> Result<Arc<dyn HistogramDistance>, CliError> {
+pub(crate) fn resolve_metric(name: &str) -> Result<Arc<dyn HistogramDistance>, CliError> {
     Ok(match name {
         "emd" => Arc::new(hd::Emd1d),
         "tv" => Arc::new(hd::TotalVariation),

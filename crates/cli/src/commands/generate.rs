@@ -2,6 +2,7 @@
 
 use crate::args::Args;
 use crate::CliError;
+use fairjob_marketplace::stream::{generate_stream, StreamConfig};
 use fairjob_marketplace::{generate_correlated, generate_uniform, CorrelationConfig};
 
 /// Run the subcommand; returns the text to print.
@@ -25,14 +26,58 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     // Persist the raw (un-bucketised) population: derived bands are
     // recomputed on load so the CSV stays minimal and canonical.
     std::fs::write(out, fairjob_store::csv::to_csv(&workers))?;
-    Ok(format!(
+    let mut message = format!(
         "wrote {size} {} workers to {out} (seed {seed})\n",
         if args.switch("correlated") {
             "correlated"
         } else {
             "uniform"
         }
-    ))
+    );
+
+    // Optionally emit a matching event stream: same size and seed, so
+    // the stream's implied epoch-0 state is exactly this population.
+    let events_per_epoch: usize = args.parsed_or("events", 0)?;
+    match args.optional("events-out") {
+        None => {
+            if events_per_epoch > 0 {
+                return Err(CliError::Usage("--events needs --events-out FILE".into()));
+            }
+        }
+        Some(events_out) => {
+            if args.switch("correlated") {
+                return Err(CliError::Usage(
+                    "--events-out only supports uniform populations".into(),
+                ));
+            }
+            if events_per_epoch == 0 {
+                return Err(CliError::Usage(
+                    "--events-out needs --events N (events per epoch)".into(),
+                ));
+            }
+            let epochs: usize = args.parsed_or("epochs", 4)?;
+            let alpha: f64 = args.parsed_or("alpha", 0.5)?;
+            if !(0.0..=1.0).contains(&alpha) {
+                return Err(CliError::Usage("--alpha must be in [0, 1]".into()));
+            }
+            let scenario = generate_stream(&StreamConfig {
+                initial: size,
+                epochs,
+                events_per_epoch,
+                seed,
+                alpha,
+            });
+            std::fs::write(
+                events_out,
+                scenario.events.render(scenario.initial.schema()),
+            )?;
+            message.push_str(&format!(
+                "wrote {} epochs x {events_per_epoch} events to {events_out} (alpha {alpha})\n",
+                epochs
+            ));
+        }
+    }
+    Ok(message)
 }
 
 #[cfg(test)]
@@ -70,6 +115,74 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("correlated"));
+    }
+
+    #[test]
+    fn event_stream_roundtrip() {
+        let csv = TempFile::new("gen-ev.csv");
+        let evf = TempFile::new("gen-ev.events");
+        let out = run(&argv(&[
+            "--size",
+            "30",
+            "--seed",
+            "9",
+            "--out",
+            &csv.path_str(),
+            "--events",
+            "4",
+            "--epochs",
+            "2",
+            "--events-out",
+            &evf.path_str(),
+        ]))
+        .unwrap();
+        assert!(out.contains("2 epochs x 4 events"));
+        let text = std::fs::read_to_string(&evf.0).unwrap();
+        assert!(text.starts_with("fairjob-events v1"));
+        // The events parse against the bucketised schema of the CSV.
+        let loaded = crate::commands::load_workers(&csv.path_str(), None).unwrap();
+        let log = fairjob_marketplace::stream::EventLog::parse(&text, loaded.schema()).unwrap();
+        assert_eq!(log.epochs().len(), 2);
+        assert_eq!(log.total_events(), 8);
+    }
+
+    #[test]
+    fn event_flags_validated() {
+        let csv = TempFile::new("gen-ev-bad.csv");
+        let evf = TempFile::new("gen-ev-bad.events");
+        // --events without --events-out
+        assert!(run(&argv(&[
+            "--size",
+            "10",
+            "--out",
+            &csv.path_str(),
+            "--events",
+            "3"
+        ]))
+        .is_err());
+        // --events-out without --events
+        assert!(run(&argv(&[
+            "--size",
+            "10",
+            "--out",
+            &csv.path_str(),
+            "--events-out",
+            &evf.path_str()
+        ]))
+        .is_err());
+        // correlated populations have no event generator
+        assert!(run(&argv(&[
+            "--size",
+            "10",
+            "--correlated",
+            "--out",
+            &csv.path_str(),
+            "--events",
+            "3",
+            "--events-out",
+            &evf.path_str()
+        ]))
+        .is_err());
     }
 
     #[test]

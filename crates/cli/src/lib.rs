@@ -5,6 +5,7 @@
 //! * `generate` — create a worker population CSV (uniform or correlated).
 //! * `describe` — per-attribute summary of a population CSV.
 //! * `audit` — find the most-unfair partitioning for a scoring function.
+//! * `stream` — replay an event file, re-auditing incrementally each epoch.
 //! * `repair` — quantile-align scores against the audited partitioning.
 //!
 //! Run `fairjob help` (or any subcommand with `--help`) for usage. The
@@ -52,11 +53,15 @@ fairjob — explore fairness of ranking in online job marketplaces (EDBT 2019)
 
 USAGE:
   fairjob generate --size N [--seed S] [--correlated] --out FILE.csv
+                   [--events N --events-out FILE [--epochs E] [--alpha A]]
   fairjob describe --workers FILE.csv [--schema FILE]
   fairjob audit    --workers FILE.csv (--function f1..f9 | --alpha A)
                    [--algorithm balanced|unbalanced|r-balanced|r-unbalanced|all-attributes|subset-exact]
                    [--bins N] [--metric emd|tv|ks|jsd|hellinger|chi2]
                    [--permutations N] [--histograms] [--json] [--seed S]
+  fairjob stream   --workers FILE.csv --events FILE (--function f1..f9 | --alpha A)
+                   [--algorithm ...] [--bins N] [--metric ...]
+                   [--cold-check] [--json] [--seed S]
   fairjob repair   --workers FILE.csv (--function f1..f9 | --alpha A)
                    [--lambda L] [--target median|pooled] --out SCORES.csv [--seed S]
   fairjob rerank   --workers FILE.csv (--function f1..f9 | --alpha A)
@@ -72,6 +77,13 @@ Every command reading --workers also accepts --schema FILE: a schema
 descriptor (see fairjob_store::schema_text) describing a non-default
 population layout; numeric protected attributes are auto-bucketised
 into 5 bands. Without --schema the paper's AMT worker schema is assumed.
+
+`stream` replays a fairjob-events v1 file (generate one alongside a
+population with `generate --events N --events-out FILE`): it audits the
+initial population, then re-audits after every epoch of arrivals,
+departures, score updates and profile edits, reusing the previous
+epoch's engine caches via selective invalidation. --cold-check verifies
+each incremental audit bit-for-bit against a from-scratch rebuild.
 ";
 
 /// Dispatch a full argument vector (excluding `argv[0]`).
@@ -89,6 +101,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "generate" => commands::generate::run(rest),
         "describe" => commands::describe::run(rest),
         "audit" => commands::audit::run(rest),
+        "stream" => commands::stream::run(rest),
         "repair" => commands::repair::run(rest),
         "rerank" => commands::rerank::run(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),

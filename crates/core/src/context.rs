@@ -1,14 +1,16 @@
 //! Audit configuration and the shared evaluation context.
 
+use crate::engine::EngineCaches;
 use crate::error::AuditError;
 use crate::partition::Partition;
 use fairjob_hist::distance::Emd1d;
 use fairjob_hist::{BinSpec, Histogram, HistogramDistance};
 use fairjob_store::index::IndexSet;
 use fairjob_store::{Predicate, RowSet, Table};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Configuration of an audit.
+#[derive(Clone)]
 pub struct AuditConfig {
     /// Number of equal-width histogram bins over `[0, 1]` (the paper's
     /// "equal bins over the range of f"; the bin count is unspecified
@@ -83,14 +85,29 @@ pub struct AuditContext<'a> {
     spec: BinSpec,
     distance: Arc<dyn HistogramDistance>,
     attributes: Vec<usize>,
-    indexes: IndexSet,
+    /// Shared so a streaming view can hand its maintained indexes to a
+    /// fresh per-epoch context without a rebuild or deep copy.
+    indexes: Arc<IndexSet>,
     min_partition_size: usize,
     threads: Option<usize>,
     /// `bin_of[row]` = the histogram bin of the row's score, computed
     /// once at build (scores are immutable per audit). Every histogram
     /// built during the search reads this array instead of re-binning
-    /// floats.
-    bin_of: Vec<u32>,
+    /// floats. Shared for the same reason as `indexes`.
+    bin_of: Arc<Vec<u32>>,
+    /// The audited rows. `None` = every table row (the batch case);
+    /// `Some` = the live subset of a streaming view whose table keeps
+    /// tombstoned rows in place.
+    live: Option<RowSet>,
+    /// Epoch stamp of the underlying data version (0 for batch audits).
+    epoch: u64,
+    /// Warm engine caches handed across engine lifetimes: seeded before
+    /// a run via [`AuditContext::seed_engine_caches`], adopted by the
+    /// next [`crate::EvalEngine`], returned here when it drops. A
+    /// `Mutex` (not `RefCell`) so the context stays `Sync` for the
+    /// engine's scoped worker threads; it is only locked at engine
+    /// construction and drop.
+    engine_caches: Mutex<Option<EngineCaches>>,
 }
 
 impl std::fmt::Debug for AuditContext<'_> {
@@ -134,6 +151,99 @@ impl<'a> AuditContext<'a> {
         }
         let spec = BinSpec::equal_width(0.0, 1.0, config.bins)
             .map_err(|e| AuditError::Bins(e.to_string()))?;
+        let attributes = Self::resolve_attributes(table, &config)?;
+        let indexes = Arc::new(IndexSet::build(table)?);
+        let bin_of: Arc<Vec<u32>> =
+            Arc::new(scores.iter().map(|&s| spec.bin_index(s) as u32).collect());
+        Ok(AuditContext {
+            table,
+            scores,
+            spec,
+            distance: config.distance,
+            attributes,
+            indexes,
+            min_partition_size: config.min_partition_size.max(1),
+            threads: config.threads,
+            bin_of,
+            live: None,
+            epoch: 0,
+            engine_caches: Mutex::new(None),
+        })
+    }
+
+    /// Build a context from pre-maintained parts — the streaming fast
+    /// path: the view hands over its in-place-maintained indexes and
+    /// bin array (shared `Arc`s, no rebuild), the live row subset, and
+    /// an epoch stamp. Only cheap shape validation runs here; the
+    /// caller guarantees that every **live** row's score is finite in
+    /// `[0, 1]` and binned consistently with `config.bins` (the stream
+    /// view validates incrementally on mutation). Results over the live
+    /// subset are bit-identical to a cold [`AuditContext::new`] over a
+    /// compacted table of the same rows.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError`] for empty tables/live sets, misaligned scores,
+    /// index or bin arrays, unusable attribute selections, or bad bin
+    /// counts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        table: &'a Table,
+        scores: &'a [f64],
+        config: AuditConfig,
+        indexes: Arc<IndexSet>,
+        bin_of: Arc<Vec<u32>>,
+        live: Option<RowSet>,
+        epoch: u64,
+    ) -> Result<Self, AuditError> {
+        if table.is_empty() {
+            return Err(AuditError::EmptyTable);
+        }
+        if scores.len() != table.len() {
+            return Err(AuditError::ScoreLength {
+                rows: table.len(),
+                scores: scores.len(),
+            });
+        }
+        if bin_of.len() != table.len() {
+            return Err(AuditError::ScoreLength {
+                rows: table.len(),
+                scores: bin_of.len(),
+            });
+        }
+        let spec = BinSpec::equal_width(0.0, 1.0, config.bins)
+            .map_err(|e| AuditError::Bins(e.to_string()))?;
+        if let Some(live) = &live {
+            if live.is_empty() {
+                return Err(AuditError::EmptyTable);
+            }
+            if let Some(&last) = live.rows().last() {
+                if last as usize >= table.len() {
+                    return Err(AuditError::ScoreLength {
+                        rows: table.len(),
+                        scores: last as usize + 1,
+                    });
+                }
+            }
+        }
+        let attributes = Self::resolve_attributes(table, &config)?;
+        Ok(AuditContext {
+            table,
+            scores,
+            spec,
+            distance: config.distance,
+            attributes,
+            indexes,
+            min_partition_size: config.min_partition_size.max(1),
+            threads: config.threads,
+            bin_of,
+            live,
+            epoch,
+            engine_caches: Mutex::new(None),
+        })
+    }
+
+    fn resolve_attributes(table: &Table, config: &AuditConfig) -> Result<Vec<usize>, AuditError> {
         let attributes =
             match &config.attributes {
                 None => table.schema().splittable(),
@@ -161,19 +271,30 @@ impl<'a> AuditContext<'a> {
         if attributes.is_empty() {
             return Err(AuditError::NoAttributes);
         }
-        let indexes = IndexSet::build(table)?;
-        let bin_of: Vec<u32> = scores.iter().map(|&s| spec.bin_index(s) as u32).collect();
-        Ok(AuditContext {
-            table,
-            scores,
-            spec,
-            distance: config.distance,
-            attributes,
-            indexes,
-            min_partition_size: config.min_partition_size.max(1),
-            threads: config.threads,
-            bin_of,
-        })
+        Ok(attributes)
+    }
+
+    /// Seed warm engine caches for the next [`crate::EvalEngine`] built
+    /// on this context. The engine adopts them at construction and
+    /// hands them back (via [`AuditContext::take_engine_caches`]) when
+    /// it drops — the streaming audit loop's cache hand-off.
+    pub fn seed_engine_caches(&self, caches: EngineCaches) {
+        *self.engine_caches.lock().expect("caches mutex poisoned") = Some(caches);
+    }
+
+    /// Take back the engine caches currently parked on this context
+    /// (seeded but not yet adopted, or returned by a dropped engine).
+    pub fn take_engine_caches(&self) -> Option<EngineCaches> {
+        self.engine_caches
+            .lock()
+            .expect("caches mutex poisoned")
+            .take()
+    }
+
+    /// Park engine caches on the context (the engine-drop write-back
+    /// path; equivalent to [`AuditContext::seed_engine_caches`]).
+    pub fn store_engine_caches(&self, caches: EngineCaches) {
+        self.seed_engine_caches(caches);
     }
 
     /// The audited table.
@@ -215,7 +336,17 @@ impl<'a> AuditContext<'a> {
     /// The precomputed per-row bin indices (`bin_of()[row]` = histogram
     /// bin of the row's score).
     pub fn bin_of(&self) -> &[u32] {
-        &self.bin_of
+        self.bin_of.as_slice()
+    }
+
+    /// The audited row subset, when restricted (`None` = all rows).
+    pub fn live_rows(&self) -> Option<&RowSet> {
+        self.live.as_ref()
+    }
+
+    /// Epoch stamp of the audited data version (0 for batch audits).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Histogram of the scores of `rows`, built from the precomputed
@@ -237,9 +368,14 @@ impl<'a> AuditContext<'a> {
         }
     }
 
-    /// The root partition: all workers, the always-true predicate.
+    /// The root partition: all audited workers (the live subset for
+    /// streaming contexts), the always-true predicate.
     pub fn root(&self) -> Partition {
-        self.partition(Predicate::always(), RowSet::all(self.table.len()))
+        let rows = match &self.live {
+            Some(live) => live.clone(),
+            None => RowSet::all(self.table.len()),
+        };
+        self.partition(Predicate::always(), rows)
     }
 
     /// Split `part` by attribute `attr`. Returns `None` when the split is

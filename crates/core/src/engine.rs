@@ -62,16 +62,354 @@ use crate::context::AuditContext;
 use crate::error::AuditError;
 use crate::partition::Partition;
 use crate::unfairness::{DistanceOracle, PairwiseAverager, UNKEYED_BIT};
-use fairjob_hist::Histogram;
+use fairjob_hist::{BinSpec, Histogram};
+use fairjob_store::{Predicate, RowSet};
 use std::borrow::Borrow;
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// The shared children of one materialised split: the engine hands the
 /// same `Arc`s to every algorithm that asks, so a split is materialised
 /// (rows walked, histograms built) at most once per engine lifetime.
 pub type SplitChildren = Arc<Vec<Arc<Partition>>>;
+
+/// Facts about one row at a point in time, as predicates and histograms
+/// see it: the row's categorical codes (indexed by schema attribute id;
+/// only splittable attributes are meaningful) and the bin index of its
+/// score.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowFacts {
+    /// `codes[attr]` = dictionary code of attribute `attr` at this row.
+    pub codes: Vec<u32>,
+    /// Histogram bin of the row's score.
+    pub bin: u32,
+}
+
+/// One changed row of an epoch delta. `before == None` means the row
+/// was added within the epoch; `after == None` means it was removed.
+/// A row touched several times in one epoch must be reported once, with
+/// `before` its state at epoch start and `after` at epoch end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowChange {
+    /// The row id (stable across the stream view's lifetime).
+    pub row: u32,
+    /// State at epoch start (`None` for rows added this epoch).
+    pub before: Option<RowFacts>,
+    /// State at epoch end (`None` for rows removed this epoch).
+    pub after: Option<RowFacts>,
+}
+
+/// Does `pred` match a row in state `facts`? A missing state (the row
+/// does not exist on that side of the epoch) matches nothing.
+fn matches_facts(pred: &Predicate, facts: Option<&RowFacts>) -> bool {
+    let Some(facts) = facts else { return false };
+    pred.constraints()
+        .iter()
+        .all(|c| facts.codes.get(c.attr).copied() == Some(c.code))
+}
+
+/// What [`EngineCaches::invalidate`] did to a warm cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InvalidationReport {
+    /// Memoised distances dropped (a dirty or unknown endpoint).
+    pub distances_evicted: usize,
+    /// Memoised distances kept warm.
+    pub distances_retained: usize,
+    /// Split entries dropped (unknown parent, dirty negative entry, or
+    /// an unpatchable inconsistency).
+    pub splits_evicted: usize,
+    /// Split entries whose children were patched in place to reflect
+    /// the epoch's row changes (bit-identical to a recompute).
+    pub splits_patched: usize,
+    /// Split entries kept untouched (clean parent).
+    pub splits_retained: usize,
+}
+
+/// Default cap on each cache's entry count.
+const DEFAULT_CACHE_CAPACITY: usize = 8_000_000;
+
+/// The engine's cache state, detached from any engine lifetime so it
+/// can survive across epochs of a streaming audit: the EMD memo, the
+/// split cache, and a fingerprint → predicate registry that lets
+/// [`EngineCaches::invalidate`] map changed rows to affected entries.
+///
+/// Both caches are bounded (`capacity` entries each) with generation-
+/// based eviction: when a cache fills, entries not touched-by-insert
+/// since the previous sweep are dropped in one pass — a deterministic
+/// two-generation FIFO, so counters stay thread-count independent.
+#[derive(Debug)]
+pub struct EngineCaches {
+    /// Distance memo: ordered fingerprint pair → (distance, generation).
+    memo: HashMap<(u128, u128), (f64, u32)>,
+    /// Materialised splits: (parent fingerprint, attribute) →
+    /// (children or `None` for non-viable, generation).
+    splits: HashMap<(u128, usize), (Option<SplitChildren>, u32)>,
+    /// Every fingerprint that may appear in a cache key, with the
+    /// predicate it stands for. Fingerprints missing here are evicted
+    /// conservatively on invalidation.
+    registry: HashMap<u128, Predicate>,
+    memo_generation: u32,
+    split_generation: u32,
+    capacity: usize,
+}
+
+/// Drop stale generations from `map` once it reaches `capacity`.
+/// Returns the number of entries evicted.
+fn sweep<K: std::hash::Hash + Eq, V>(
+    map: &mut HashMap<K, (V, u32)>,
+    generation: &mut u32,
+    capacity: usize,
+) -> u64 {
+    if map.len() < capacity {
+        return 0;
+    }
+    let current = *generation;
+    let before = map.len();
+    map.retain(|_, (_, g)| *g == current);
+    *generation = generation.wrapping_add(1);
+    let mut evicted = (before - map.len()) as u64;
+    if map.len() >= capacity {
+        // Everything was current-generation: fall back to a full clear.
+        evicted += map.len() as u64;
+        map.clear();
+    }
+    evicted
+}
+
+impl Default for EngineCaches {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineCaches {
+    /// Empty caches with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Empty caches capped at `capacity` entries per cache (clamped
+    /// to ≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EngineCaches {
+            memo: HashMap::new(),
+            splits: HashMap::new(),
+            registry: HashMap::new(),
+            memo_generation: 0,
+            split_generation: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of memoised distances.
+    pub fn distances(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Number of cached split entries (positive and negative).
+    pub fn splits(&self) -> usize {
+        self.splits.len()
+    }
+
+    fn register(&mut self, fp: u128, pred: &Predicate) {
+        if self.registry.len() >= self.capacity {
+            // A full registry makes every fingerprint unknown at the
+            // next invalidation — conservative, never wrong.
+            self.registry.clear();
+        }
+        self.registry.entry(fp).or_insert_with(|| pred.clone());
+    }
+
+    fn get_distance(&self, key: (u128, u128)) -> Option<f64> {
+        self.memo.get(&key).map(|&(d, _)| d)
+    }
+
+    fn insert_distance(&mut self, key: (u128, u128), d: f64) -> u64 {
+        let evicted = sweep(&mut self.memo, &mut self.memo_generation, self.capacity);
+        self.memo.insert(key, (d, self.memo_generation));
+        evicted
+    }
+
+    fn get_split(&self, key: (u128, usize)) -> Option<Option<SplitChildren>> {
+        self.splits.get(&key).map(|(e, _)| e.clone())
+    }
+
+    fn insert_split(&mut self, key: (u128, usize), entry: Option<SplitChildren>) -> u64 {
+        let evicted = sweep(&mut self.splits, &mut self.split_generation, self.capacity);
+        self.splits.insert(key, (entry, self.split_generation));
+        evicted
+    }
+
+    /// Selective invalidation after an epoch of row changes: keep every
+    /// entry whose partitions the changes cannot have touched, patch
+    /// cached split children whose parent is dirty (bit-identical to a
+    /// recompute — integer bin arithmetic on exact f64 counts), and
+    /// evict only what cannot be salvaged (distances with a dirty
+    /// endpoint, dirty negative split entries, unknown fingerprints).
+    ///
+    /// `spec` and `min_partition_size` must match the audit context the
+    /// cache will be used with next (they decide patched histogram
+    /// layout and split viability).
+    pub fn invalidate(
+        &mut self,
+        changes: &[RowChange],
+        spec: &BinSpec,
+        min_partition_size: usize,
+    ) -> InvalidationReport {
+        let mut report = InvalidationReport::default();
+        if changes.is_empty() {
+            report.distances_retained = self.memo.len();
+            report.splits_retained = self.splits.len();
+            return report;
+        }
+        // 1. Dirty fingerprints: predicates matching any changed row's
+        //    before- or after-state. The always-true predicate (the
+        //    root) matches every change.
+        let mut dirty: HashSet<u128> = HashSet::new();
+        for (&fp, pred) in &self.registry {
+            if changes.iter().any(|c| {
+                matches_facts(pred, c.before.as_ref()) || matches_facts(pred, c.after.as_ref())
+            }) {
+                dirty.insert(fp);
+            }
+        }
+        // 2. Distance memo: drop pairs with a dirty or unknown endpoint.
+        let registry = &self.registry;
+        let before = self.memo.len();
+        self.memo.retain(|(a, b), _| {
+            registry.contains_key(a)
+                && registry.contains_key(b)
+                && !dirty.contains(a)
+                && !dirty.contains(b)
+        });
+        report.distances_evicted = before - self.memo.len();
+        report.distances_retained = self.memo.len();
+        // 3. Split cache: retain clean entries, patch dirty positive
+        //    entries, evict the rest.
+        let min_partition_size = min_partition_size.max(1);
+        let old = std::mem::take(&mut self.splits);
+        let mut new_children: Vec<(u128, Predicate)> = Vec::new();
+        for ((pfp, attr), (entry, generation)) in old {
+            let Some(parent) = self.registry.get(&pfp) else {
+                report.splits_evicted += 1;
+                continue;
+            };
+            if !dirty.contains(&pfp) {
+                self.splits.insert((pfp, attr), (entry, generation));
+                report.splits_retained += 1;
+                continue;
+            }
+            let patched = entry.as_ref().and_then(|kids| {
+                patch_children(parent, attr, kids, changes, spec, min_partition_size)
+            });
+            match patched {
+                // Dirty negative entries can't be patched (nothing was
+                // materialised), and inconsistent patches fall back to
+                // eviction — a later miss recomputes from scratch.
+                None => report.splits_evicted += 1,
+                Some(patched_entry) => {
+                    if let Some(kids) = &patched_entry {
+                        for kid in kids.iter() {
+                            new_children.push((kid.predicate.fingerprint(), kid.predicate.clone()));
+                        }
+                    }
+                    self.splits.insert((pfp, attr), (patched_entry, generation));
+                    report.splits_patched += 1;
+                }
+            }
+        }
+        for (fp, pred) in new_children {
+            self.registry.entry(fp).or_insert(pred);
+        }
+        report
+    }
+}
+
+/// Patch one cached split's children to reflect `changes`: rows leaving
+/// the parent are removed from the child of their old code (bin count
+/// decremented), rows entering are added to the child of their new code
+/// (created if missing), emptied children are dropped, and viability is
+/// re-checked under the same rules as [`AuditContext::split`]. All
+/// arithmetic is exact (integer-valued f64 counts), so the result is
+/// bit-identical to re-running the split kernel on the updated parent.
+///
+/// Returns `None` when the cached state is inconsistent with the
+/// changes (caller evicts), `Some(None)` when the patched split is no
+/// longer viable, `Some(Some(kids))` otherwise. Children are fresh
+/// `Arc`s — cached values shared with earlier snapshots are never
+/// mutated.
+fn patch_children(
+    parent: &Predicate,
+    attr: usize,
+    kids: &SplitChildren,
+    changes: &[RowChange],
+    spec: &BinSpec,
+    min_partition_size: usize,
+) -> Option<Option<SplitChildren>> {
+    let mut by_code: BTreeMap<u32, (RowSet, Vec<f64>)> = BTreeMap::new();
+    for kid in kids.iter() {
+        let code = kid
+            .predicate
+            .constraints()
+            .iter()
+            .find(|c| c.attr == attr)?
+            .code;
+        by_code.insert(code, (kid.rows.clone(), kid.histogram.counts().to_vec()));
+    }
+    for change in changes {
+        if let Some(state) = &change.before {
+            if matches_facts(parent, Some(state)) {
+                let code = state.codes.get(attr).copied()?;
+                let (rows, counts) = by_code.get_mut(&code)?;
+                if !rows.remove(change.row) {
+                    return None;
+                }
+                let bin = state.bin as usize;
+                if bin >= counts.len() || counts[bin] < 1.0 {
+                    return None;
+                }
+                counts[bin] -= 1.0;
+            }
+        }
+        if let Some(state) = &change.after {
+            if matches_facts(parent, Some(state)) {
+                let code = state.codes.get(attr).copied()?;
+                let bin = state.bin as usize;
+                if bin >= spec.len() {
+                    return None;
+                }
+                let (rows, counts) = by_code
+                    .entry(code)
+                    .or_insert_with(|| (RowSet::empty(), vec![0.0; spec.len()]));
+                if !rows.insert(change.row) {
+                    return None;
+                }
+                counts[bin] += 1.0;
+            }
+        }
+    }
+    by_code.retain(|_, (rows, _)| !rows.is_empty());
+    if by_code.len() <= 1
+        || by_code
+            .values()
+            .any(|(rows, _)| rows.len() < min_partition_size)
+    {
+        return Some(None);
+    }
+    Some(Some(Arc::new(
+        by_code
+            .into_iter()
+            .map(|(code, (rows, counts))| {
+                Arc::new(Partition {
+                    predicate: parent.and(attr, code),
+                    histogram: Histogram::from_counts(spec.clone(), counts),
+                    rows,
+                })
+            })
+            .collect(),
+    )))
+}
 
 /// Counter snapshot of an engine's work (all monotonically increasing
 /// over the engine's lifetime).
@@ -96,6 +434,12 @@ pub struct EngineStats {
     pub rows_scanned: u64,
     /// Child histograms built by the split kernel.
     pub histograms_built: u64,
+    /// Distance-memo entries dropped by generation-based eviction when
+    /// the cache hit its capacity.
+    pub cache_evictions: u64,
+    /// Split-cache entries dropped by generation-based eviction when
+    /// the cache hit its capacity.
+    pub split_evictions: u64,
 }
 
 impl EngineStats {
@@ -116,11 +460,15 @@ impl EngineStats {
 /// every unfairness query through it.
 pub struct EvalEngine<'c, 'a> {
     ctx: &'c AuditContext<'a>,
-    cache: RefCell<HashMap<(u128, u128), f64>>,
-    /// Materialised splits keyed by parent fingerprint × attribute.
-    /// `None` = the split was attempted and is not viable (negative
-    /// cache — greedy loops retry losing attributes every round).
-    split_cache: RefCell<HashMap<(u128, usize), Option<SplitChildren>>>,
+    /// Memo cache, split cache, and fingerprint registry — detachable
+    /// state ([`EngineCaches`]) so streaming audits can carry it across
+    /// engine lifetimes (seeded via
+    /// [`AuditContext::seed_engine_caches`], returned on drop).
+    caches: RefCell<EngineCaches>,
+    /// True when the caches were adopted from the context; only then
+    /// are they handed back on drop (engines built cold stay
+    /// independent, preserving per-run counter semantics).
+    adopted: bool,
     distances_computed: Cell<u64>,
     cache_hits: Cell<u64>,
     cache_bypasses: Cell<u64>,
@@ -128,16 +476,28 @@ pub struct EvalEngine<'c, 'a> {
     split_cache_hits: Cell<u64>,
     rows_scanned: Cell<u64>,
     histograms_built: Cell<u64>,
+    cache_evictions: Cell<u64>,
+    split_evictions: Cell<u64>,
     parallel_threshold: usize,
     threads: usize,
-    max_entries: usize,
+}
+
+impl Drop for EvalEngine<'_, '_> {
+    fn drop(&mut self) {
+        if self.adopted {
+            self.ctx
+                .store_engine_caches(std::mem::take(&mut *self.caches.borrow_mut()));
+        }
+    }
 }
 
 impl<'c, 'a> EvalEngine<'c, 'a> {
     /// An engine over `ctx` with default tuning: parallel evaluation
     /// above 256 live partitions, worker threads from the context's
     /// `threads` knob (default: up to 8, from the machine's available
-    /// parallelism), cache capped at 8 M entries.
+    /// parallelism), caches capped at 8 M entries each. When the
+    /// context carries seeded caches ([`AuditContext::seed_engine_caches`])
+    /// they are adopted warm and handed back when the engine drops.
     pub fn new(ctx: &'c AuditContext<'a>) -> Self {
         let threads = ctx
             .threads()
@@ -147,10 +507,14 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
                     .min(8)
             })
             .max(1);
+        let (caches, adopted) = match ctx.take_engine_caches() {
+            Some(seeded) => (seeded, true),
+            None => (EngineCaches::new(), false),
+        };
         EvalEngine {
             ctx,
-            cache: RefCell::new(HashMap::new()),
-            split_cache: RefCell::new(HashMap::new()),
+            caches: RefCell::new(caches),
+            adopted,
             distances_computed: Cell::new(0),
             cache_hits: Cell::new(0),
             cache_bypasses: Cell::new(0),
@@ -158,10 +522,19 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
             split_cache_hits: Cell::new(0),
             rows_scanned: Cell::new(0),
             histograms_built: Cell::new(0),
+            cache_evictions: Cell::new(0),
+            split_evictions: Cell::new(0),
             parallel_threshold: 256,
             threads,
-            max_entries: 8_000_000,
         }
+    }
+
+    /// Cap each cache (distance memo, split cache) at `capacity`
+    /// entries; overflow triggers generation-based eviction, counted in
+    /// [`EngineStats::cache_evictions`] / [`EngineStats::split_evictions`].
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        self.caches.borrow_mut().capacity = capacity.max(1);
+        self
     }
 
     /// Minimum number of live partitions in a full evaluation before
@@ -200,6 +573,8 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
             split_cache_hits: self.split_cache_hits.get(),
             rows_scanned: self.rows_scanned.get(),
             histograms_built: self.histograms_built.get(),
+            cache_evictions: self.cache_evictions.get(),
+            split_evictions: self.split_evictions.get(),
         }
     }
 
@@ -207,12 +582,19 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
         counter.set(counter.get() + 1);
     }
 
+    /// Record a partition's predicate in the cache registry so
+    /// selective invalidation can later map changed rows to its cache
+    /// entries. Returns the fingerprint.
+    fn register(&self, part: &Partition) -> u128 {
+        let fp = Self::key(part);
+        self.caches.borrow_mut().register(fp, &part.predicate);
+        fp
+    }
+
     fn insert_cache(&self, key: (u128, u128), d: f64) {
-        let mut cache = self.cache.borrow_mut();
-        if cache.len() >= self.max_entries {
-            cache.clear();
-        }
-        cache.insert(key, d);
+        let evicted = self.caches.borrow_mut().insert_distance(key, d);
+        self.cache_evictions
+            .set(self.cache_evictions.get() + evicted);
     }
 
     /// Memoised distance between two keyed histograms; bypasses the
@@ -234,7 +616,7 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
         } else {
             (key_b, key_a)
         };
-        if let Some(&d) = self.cache.borrow().get(&key) {
+        if let Some(d) = self.caches.borrow().get_distance(key) {
             Self::bump(&self.cache_hits);
             return Ok(d);
         }
@@ -250,7 +632,9 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
     ///
     /// [`AuditError::Distance`] from the underlying distance.
     pub fn pair_distance(&self, a: &Partition, b: &Partition) -> Result<f64, AuditError> {
-        self.cached_distance(Self::key(a), &a.histogram, Self::key(b), &b.histogram)
+        let key_a = self.register(a);
+        let key_b = self.register(b);
+        self.cached_distance(key_a, &a.histogram, key_b, &b.histogram)
     }
 
     /// Materialise the split of `part` by `attr`, served from the split
@@ -274,7 +658,7 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
         let mut results: Vec<Option<Option<SplitChildren>>> = vec![None; requests.len()];
         let mut misses: Vec<usize> = Vec::new();
         {
-            let cache = self.split_cache.borrow();
+            let caches = self.caches.borrow();
             for (at, &(part, attr)) in requests.iter().enumerate() {
                 // `constrains` is a cheap predicate check, not a split:
                 // answered inline, neither cached nor counted.
@@ -282,10 +666,10 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
                     results[at] = Some(None);
                     continue;
                 }
-                match cache.get(&(Self::key(part), attr)) {
+                match caches.get_split((Self::key(part), attr)) {
                     Some(cached) => {
                         Self::bump(&self.split_cache_hits);
-                        results[at] = Some(cached.clone());
+                        results[at] = Some(cached);
                     }
                     None => misses.push(at),
                 }
@@ -325,10 +709,7 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
                     })
                     .collect()
             };
-            let mut cache = self.split_cache.borrow_mut();
-            if cache.len() + misses.len() > self.max_entries {
-                cache.clear();
-            }
+            let mut caches = self.caches.borrow_mut();
             for (&at, children) in misses.iter().zip(computed) {
                 let (part, attr) = requests[at];
                 Self::bump(&self.splits_computed);
@@ -339,7 +720,16 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
                         .set(self.histograms_built.get() + kids.len() as u64);
                     Arc::new(kids.into_iter().map(Arc::new).collect::<Vec<_>>())
                 });
-                cache.insert((Self::key(part), attr), entry.clone());
+                let fp = Self::key(part);
+                caches.register(fp, &part.predicate);
+                if let Some(kids) = &entry {
+                    for kid in kids.iter() {
+                        caches.register(kid.predicate.fingerprint(), &kid.predicate);
+                    }
+                }
+                let evicted = caches.insert_split((fp, attr), entry.clone());
+                self.split_evictions
+                    .set(self.split_evictions.get() + evicted);
                 results[at] = Some(entry);
             }
         }
@@ -440,7 +830,7 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
             return Ok(0.0);
         }
         let pairs = n * (n - 1) / 2;
-        let keys: Vec<u128> = live.iter().map(|p| Self::key(p)).collect();
+        let keys: Vec<u128> = live.iter().map(|p| self.register(p)).collect();
         if n >= self.parallel_threshold && self.threads > 1 {
             return self.unfairness_parallel(&live, &keys, pairs);
         }
@@ -468,7 +858,7 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
         // (position in `vals`, i, j) of each pair missing from the cache.
         let mut misses: Vec<(usize, usize, usize)> = Vec::new();
         {
-            let cache = self.cache.borrow();
+            let caches = self.caches.borrow();
             let mut hits = 0u64;
             for i in 0..n {
                 for j in i + 1..n {
@@ -477,8 +867,8 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
                     } else {
                         (keys[j], keys[i])
                     };
-                    match cache.get(&key) {
-                        Some(&d) => {
+                    match caches.get_distance(key) {
+                        Some(d) => {
                             vals.push(d);
                             hits += 1;
                         }
@@ -523,10 +913,8 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
             self.distances_computed
                 .set(self.distances_computed.get() + computed.len() as u64);
             {
-                let mut cache = self.cache.borrow_mut();
-                if cache.len() + computed.len() > self.max_entries {
-                    cache.clear();
-                }
+                let mut caches = self.caches.borrow_mut();
+                let mut evicted = 0u64;
                 for (&(at, i, j), &d) in misses.iter().zip(&computed) {
                     vals[at] = d;
                     let key = if keys[i] <= keys[j] {
@@ -534,8 +922,10 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
                     } else {
                         (keys[j], keys[i])
                     };
-                    cache.insert(key, d);
+                    evicted += caches.insert_distance(key, d);
                 }
+                self.cache_evictions
+                    .set(self.cache_evictions.get() + evicted);
             }
         }
         let mut sum = 0.0;
@@ -597,7 +987,7 @@ impl<'e, 'c, 'a> IncrementalEval<'e, 'c, 'a> {
             slots.push(if p.is_empty() {
                 EMPTY_SLOT
             } else {
-                averager.insert_keyed(EvalEngine::key(p), p.histogram.clone())?
+                averager.insert_keyed(engine.register(p), p.histogram.clone())?
             });
         }
         Ok(IncrementalEval {
@@ -643,7 +1033,7 @@ impl<'e, 'c, 'a> IncrementalEval<'e, 'c, 'a> {
             {
                 child_slots.push(
                     self.averager
-                        .insert_keyed(EvalEngine::key(child), child.histogram.clone())?,
+                        .insert_keyed(self.engine.register(child), child.histogram.clone())?,
                 );
             }
         }
@@ -654,7 +1044,6 @@ impl<'e, 'c, 'a> IncrementalEval<'e, 'c, 'a> {
         for (index, key, hist) in removed {
             self.slots[index] = self.averager.insert_keyed(key, hist)?;
         }
-        let _ = self.engine;
         Ok(value)
     }
 }

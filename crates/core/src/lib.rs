@@ -56,7 +56,10 @@ pub mod stats;
 pub mod unfairness;
 
 pub use context::{AuditConfig, AuditContext};
-pub use engine::{EngineStats, EvalEngine, IncrementalEval, SplitChildren};
+pub use engine::{
+    EngineCaches, EngineStats, EvalEngine, IncrementalEval, InvalidationReport, RowChange,
+    RowFacts, SplitChildren,
+};
 pub use error::AuditError;
 pub use partition::{Partition, Partitioning};
 pub use report::AuditResult;

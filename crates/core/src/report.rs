@@ -81,6 +81,12 @@ impl AuditResult {
                 self.engine.histograms_built,
             ));
         }
+        if self.engine.cache_evictions + self.engine.split_evictions > 0 {
+            out.push_str(&format!(
+                "evictions: {} distance entries, {} split entries\n",
+                self.engine.cache_evictions, self.engine.split_evictions,
+            ));
+        }
         let mut parts: Vec<&crate::Partition> = self.partitioning.partitions().iter().collect();
         parts.sort_by_key(|p| std::cmp::Reverse(p.len()));
         for p in parts {
@@ -147,7 +153,7 @@ impl AuditResult {
             })
             .collect();
         format!(
-            "{{\"algorithm\":\"{}\",\"distance\":\"{}\",\"unfairness\":{:.6},\"elapsed_ms\":{:.3},\"candidates_evaluated\":{},\"engine\":{{\"distances_computed\":{},\"cache_hits\":{},\"cache_bypasses\":{},\"splits_computed\":{},\"split_cache_hits\":{},\"rows_scanned\":{},\"histograms_built\":{}}},\"attributes_used\":[{}],\"partitions\":[{}]}}",
+            "{{\"algorithm\":\"{}\",\"distance\":\"{}\",\"unfairness\":{:.6},\"elapsed_ms\":{:.3},\"candidates_evaluated\":{},\"engine\":{{\"distances_computed\":{},\"cache_hits\":{},\"cache_bypasses\":{},\"splits_computed\":{},\"split_cache_hits\":{},\"rows_scanned\":{},\"histograms_built\":{},\"cache_evictions\":{},\"split_evictions\":{}}},\"attributes_used\":[{}],\"partitions\":[{}]}}",
             json_escape(&self.algorithm),
             json_escape(ctx.distance().name()),
             self.unfairness,
@@ -160,6 +166,8 @@ impl AuditResult {
             self.engine.split_cache_hits,
             self.engine.rows_scanned,
             self.engine.histograms_built,
+            self.engine.cache_evictions,
+            self.engine.split_evictions,
             attributes.join(","),
             partitions.join(",")
         )
@@ -192,6 +200,8 @@ mod tests {
                 split_cache_hits: 11,
                 rows_scanned: 320,
                 histograms_built: 12,
+                cache_evictions: 2,
+                split_evictions: 0,
             },
         };
         let text = result.render(&ctx, false);
@@ -199,6 +209,7 @@ mod tests {
         assert!(text.contains("engine: 4 distances computed, 96 cache hits, 0 bypasses"));
         assert!(text
             .contains("splits: 5 computed, 11 cache hits, 320 rows scanned, 12 histograms built"));
+        assert!(text.contains("evictions: 2 distance entries, 0 split entries"));
         assert!(text.contains("0.5000"));
         assert!(text.contains("gender=Male"));
         assert!(text.contains("gender=Female"));
@@ -227,6 +238,8 @@ mod tests {
                 split_cache_hits: 9,
                 rows_scanned: 250,
                 histograms_built: 8,
+                cache_evictions: 0,
+                split_evictions: 3,
             },
         };
         let json = result.to_json(&ctx);
@@ -239,7 +252,7 @@ mod tests {
         assert!(json.contains("\"value\":\"Male\""));
         assert!(json.contains("\"candidates_evaluated\":3"));
         assert!(json.contains(
-            "\"engine\":{\"distances_computed\":7,\"cache_hits\":2,\"cache_bypasses\":1,\"splits_computed\":4,\"split_cache_hits\":9,\"rows_scanned\":250,\"histograms_built\":8}"
+            "\"engine\":{\"distances_computed\":7,\"cache_hits\":2,\"cache_bypasses\":1,\"splits_computed\":4,\"split_cache_hits\":9,\"rows_scanned\":250,\"histograms_built\":8,\"cache_evictions\":0,\"split_evictions\":3}"
         ));
         assert!(json.starts_with('{') && json.ends_with('}'));
     }

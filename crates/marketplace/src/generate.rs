@@ -16,21 +16,23 @@ use rand::{Rng, SeedableRng};
 pub fn generate_uniform(size: usize, seed: u64) -> Table {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut table = Table::new(amt_schema());
-    for _ in 0..size {
-        let row = [
-            Value::cat(GENDERS[rng.gen_range(0..GENDERS.len())]),
-            Value::cat(COUNTRIES[rng.gen_range(0..COUNTRIES.len())]),
-            Value::int(rng.gen_range(1950..=2009)),
-            Value::cat(LANGUAGES[rng.gen_range(0..LANGUAGES.len())]),
-            Value::cat(ETHNICITIES[rng.gen_range(0..ETHNICITIES.len())]),
-            Value::int(rng.gen_range(0..=30)),
-            Value::num(rng.gen_range(25.0..=100.0)),
-            Value::num(rng.gen_range(25.0..=100.0)),
-        ];
-        table
-            .push_row(&row)
-            .expect("generated rows satisfy the schema");
-    }
+    let rows: Vec<Vec<Value>> = (0..size)
+        .map(|_| {
+            vec![
+                Value::cat(GENDERS[rng.gen_range(0..GENDERS.len())]),
+                Value::cat(COUNTRIES[rng.gen_range(0..COUNTRIES.len())]),
+                Value::int(rng.gen_range(1950..=2009)),
+                Value::cat(LANGUAGES[rng.gen_range(0..LANGUAGES.len())]),
+                Value::cat(ETHNICITIES[rng.gen_range(0..ETHNICITIES.len())]),
+                Value::int(rng.gen_range(0..=30)),
+                Value::num(rng.gen_range(25.0..=100.0)),
+                Value::num(rng.gen_range(25.0..=100.0)),
+            ]
+        })
+        .collect();
+    table
+        .push_rows(&rows)
+        .expect("generated rows satisfy the schema");
     table
 }
 
@@ -66,6 +68,7 @@ impl Default for CorrelationConfig {
 pub fn generate_correlated(size: usize, seed: u64, config: &CorrelationConfig) -> Table {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut table = Table::new(amt_schema());
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(size);
     for _ in 0..size {
         let gender = GENDERS[rng.gen_range(0..GENDERS.len())];
         let country = COUNTRIES[rng.gen_range(0..COUNTRIES.len())];
@@ -87,7 +90,7 @@ pub fn generate_correlated(size: usize, seed: u64, config: &CorrelationConfig) -
         let approval_mid = blend(base_approval, exp_target, config.experience_to_approval);
         let approval = blend(approval_mid, country_target, config.country_to_approval);
 
-        let row = [
+        rows.push(vec![
             Value::cat(gender),
             Value::cat(country),
             Value::int(yob),
@@ -96,11 +99,11 @@ pub fn generate_correlated(size: usize, seed: u64, config: &CorrelationConfig) -
             Value::int(experience),
             Value::num(25.0 + 75.0 * test),
             Value::num(25.0 + 75.0 * approval),
-        ];
-        table
-            .push_row(&row)
-            .expect("generated rows satisfy the schema");
+        ]);
     }
+    table
+        .push_rows(&rows)
+        .expect("generated rows satisfy the schema");
     table
 }
 

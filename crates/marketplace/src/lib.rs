@@ -28,9 +28,11 @@ pub mod query;
 pub mod ranking;
 pub mod schema;
 pub mod scoring;
+pub mod stream;
 pub mod taskgen;
 pub mod toy;
 
 pub use generate::{generate_correlated, generate_uniform, CorrelationConfig};
 pub use schema::{amt_schema, bucketise_numeric_protected};
 pub use scoring::{LinearScore, RuleBasedScore, ScoreError, ScoringFunction};
+pub use stream::{generate_stream, Event, EventLog, StreamConfig, StreamScenario};

@@ -58,6 +58,15 @@ impl Bitmap {
         self.universe
     }
 
+    /// Grow the universe to `new_universe` rows (new rows start unset).
+    /// Shrinking is not supported; a smaller value is a no-op.
+    pub fn grow(&mut self, new_universe: usize) {
+        if new_universe > self.universe {
+            self.universe = new_universe;
+            self.words.resize(new_universe.div_ceil(64), 0);
+        }
+    }
+
     /// Set a row bit.
     ///
     /// # Panics

@@ -65,6 +65,10 @@ pub fn from_csv(schema: crate::Schema, text: &str) -> Result<Table, StoreError> 
         });
     }
     let mut table = Table::new(schema);
+    // Parse every record first, then commit the whole file as one
+    // batch append — the schema is resolved once per batch instead of
+    // once per line (`Table::push_rows`).
+    let mut rows: Vec<Vec<Value>> = Vec::new();
     for (lineno, record) in lines.enumerate() {
         let line = lineno + 2;
         let fields = record.map_err(|reason| StoreError::Csv { line, reason })?;
@@ -97,12 +101,38 @@ pub fn from_csv(schema: crate::Schema, text: &str) -> Result<Table, StoreError> 
             };
             values.push(value);
         }
-        table.push_row(&values).map_err(|e| StoreError::Csv {
-            line,
-            reason: e.to_string(),
-        })?;
+        rows.push(values);
     }
+    table.push_rows(&rows).map_err(|e| match e {
+        StoreError::BatchRow { row, error } => StoreError::Csv {
+            line: row + 2,
+            reason: error.to_string(),
+        },
+        other => StoreError::Csv {
+            line: 1,
+            reason: other.to_string(),
+        },
+    })?;
     Ok(table)
+}
+
+/// Render one CSV record (no trailing newline) from raw fields, quoting
+/// where needed. Public so sibling formats built on CSV records (the
+/// stream event log) share the exact quoting rules.
+pub fn render_record(fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| escape(f))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Iterate CSV records of `text` (quoted fields may embed commas,
+/// quotes and newlines). Each item is the record's fields or a parse
+/// error description. Public for sibling formats built on CSV records
+/// (the stream event log).
+pub fn parse_records(text: &str) -> impl Iterator<Item = Result<Vec<String>, String>> + '_ {
+    split_records(text)
 }
 
 fn format_float(x: f64) -> String {

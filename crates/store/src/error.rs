@@ -93,6 +93,14 @@ pub enum StoreError {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// A batch append ([`crate::Table::push_rows`]) rejected one row;
+    /// no row of the batch was committed.
+    BatchRow {
+        /// 0-based index of the offending row within the batch.
+        row: usize,
+        /// What was wrong with it.
+        error: Box<StoreError>,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -137,6 +145,7 @@ impl fmt::Display for StoreError {
             }
             StoreError::Csv { line, reason } => write!(f, "csv line {line}: {reason}"),
             StoreError::BadBuckets { reason } => write!(f, "bad buckets: {reason}"),
+            StoreError::BatchRow { row, error } => write!(f, "batch row {row}: {error}"),
         }
     }
 }

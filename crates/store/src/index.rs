@@ -97,6 +97,56 @@ impl CategoricalIndex {
         &self.codes
     }
 
+    /// Append the next row (id `codes().len()`) holding `code`.
+    /// In-place maintenance for the stream layer — the index stays
+    /// identical to a rebuild from the grown table.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadCode`] when `code` is outside the attribute's
+    /// dictionary.
+    pub fn push_row(&mut self, code: u32, attribute_name: &str) -> Result<(), StoreError> {
+        if code as usize >= self.postings.len() {
+            return Err(StoreError::BadCode {
+                attribute: attribute_name.to_string(),
+                code,
+            });
+        }
+        let row = self.codes.len() as u32;
+        self.postings[code as usize].insert(row);
+        self.codes.push(code);
+        Ok(())
+    }
+
+    /// Move `row` from its current code's posting to `new_code`'s
+    /// (no-op when the code is unchanged). In-place maintenance for the
+    /// stream layer's `AttributeChanged` events.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadCode`] for codes outside the dictionary or rows
+    /// outside the index.
+    pub fn set_code(
+        &mut self,
+        row: u32,
+        new_code: u32,
+        attribute_name: &str,
+    ) -> Result<(), StoreError> {
+        if new_code as usize >= self.postings.len() || row as usize >= self.codes.len() {
+            return Err(StoreError::BadCode {
+                attribute: attribute_name.to_string(),
+                code: new_code,
+            });
+        }
+        let old_code = self.codes[row as usize];
+        if old_code != new_code {
+            self.postings[old_code as usize].remove(row);
+            self.postings[new_code as usize].insert(row);
+            self.codes[row as usize] = new_code;
+        }
+        Ok(())
+    }
+
     /// Single-pass split kernel: one walk over `within`'s rows reading
     /// the forward column directly, emitting every non-empty child's row
     /// set **and** its score-bin counts simultaneously. `bin_of[row]`
@@ -159,6 +209,47 @@ impl IndexSet {
     /// The index for attribute `attr`, if one was built.
     pub fn get(&self, attr: usize) -> Option<&CategoricalIndex> {
         self.indexes.get(attr).and_then(Option::as_ref)
+    }
+
+    /// Append `table`'s last row to every maintained index (call after
+    /// `Table::push_row` on the same table).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when the table's last row disagrees with an
+    /// index's attribute (cannot occur when the indexes were built from
+    /// this table).
+    pub fn push_row(&mut self, table: &Table) -> Result<(), StoreError> {
+        let row = table.len().checked_sub(1).ok_or(StoreError::RowArity {
+            expected: 1,
+            got: 0,
+        })?;
+        for index in self.indexes.iter_mut().flatten() {
+            let attr = index.attribute();
+            let code = table.code_at(attr, row)?;
+            index.push_row(code, &table.schema().attribute(attr).name)?;
+        }
+        Ok(())
+    }
+
+    /// Re-home `row` under `new_code` in attribute `attr`'s index.
+    /// No-op when the attribute carries no index (non-splittable
+    /// categorical attributes are never constrained by predicates).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadCode`] for invalid codes/rows.
+    pub fn set_code(
+        &mut self,
+        attr: usize,
+        row: u32,
+        new_code: u32,
+        attribute_name: &str,
+    ) -> Result<(), StoreError> {
+        if let Some(index) = self.indexes.get_mut(attr).and_then(Option::as_mut) {
+            index.set_code(row, new_code, attribute_name)?;
+        }
+        Ok(())
     }
 }
 
@@ -284,6 +375,62 @@ mod tests {
         assert!(set.get(0).is_some());
         assert!(set.get(1).is_some());
         assert!(set.get(2).is_none());
+    }
+
+    #[test]
+    fn push_row_matches_rebuild() {
+        let mut t = table();
+        let mut set = IndexSet::build(&t).unwrap();
+        t.push_row(&[Value::cat("Female"), Value::cat("Indian"), Value::num(0.4)])
+            .unwrap();
+        set.push_row(&t).unwrap();
+        let rebuilt = IndexSet::build(&t).unwrap();
+        for attr in [0usize, 1] {
+            let maintained = set.get(attr).unwrap();
+            let fresh = rebuilt.get(attr).unwrap();
+            assert_eq!(maintained.codes(), fresh.codes());
+            for code in 0..3u32.min(fresh.codes().iter().max().unwrap() + 1) {
+                assert_eq!(maintained.rows_with_code(code), fresh.rows_with_code(code));
+            }
+        }
+    }
+
+    #[test]
+    fn set_code_moves_postings() {
+        let t = table();
+        let mut idx = CategoricalIndex::build(&t, 0).unwrap();
+        // Row 0 is Male (code 0); move to Female (code 1).
+        idx.set_code(0, 1, "gender").unwrap();
+        assert_eq!(idx.rows_with_code(0).rows(), &[1, 4]);
+        assert_eq!(idx.rows_with_code(1).rows(), &[0, 2, 3]);
+        assert_eq!(idx.codes()[0], 1);
+        // Same-code move is a no-op.
+        idx.set_code(0, 1, "gender").unwrap();
+        assert_eq!(idx.rows_with_code(1).rows(), &[0, 2, 3]);
+        // Bad code / bad row rejected.
+        assert!(idx.set_code(0, 9, "gender").is_err());
+        assert!(idx.set_code(99, 0, "gender").is_err());
+    }
+
+    #[test]
+    fn index_push_row_rejects_bad_code() {
+        let t = table();
+        let mut idx = CategoricalIndex::build(&t, 0).unwrap();
+        assert!(matches!(
+            idx.push_row(7, "gender"),
+            Err(StoreError::BadCode { code: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn index_set_set_code_skips_unindexed_attributes() {
+        let t = table();
+        let mut set = IndexSet::build(&t).unwrap();
+        // Attribute 2 is numeric: no index, silently skipped.
+        set.set_code(2, 0, 1, "score").unwrap();
+        // Attribute 0 is indexed: forwarded.
+        set.set_code(0, 0, 1, "gender").unwrap();
+        assert_eq!(set.get(0).unwrap().codes()[0], 1);
     }
 
     #[test]

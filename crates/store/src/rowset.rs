@@ -68,6 +68,31 @@ impl RowSet {
         self.rows.binary_search(&row).is_ok()
     }
 
+    /// Insert a row, keeping the set sorted. Returns `false` when the
+    /// row was already present. O(n) shift — intended for the stream
+    /// layer's small per-epoch patches, not bulk construction.
+    pub fn insert(&mut self, row: u32) -> bool {
+        match self.rows.binary_search(&row) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.rows.insert(pos, row);
+                true
+            }
+        }
+    }
+
+    /// Remove a row. Returns `false` when the row was not present.
+    /// O(n) shift — see [`RowSet::insert`].
+    pub fn remove(&mut self, row: u32) -> bool {
+        match self.rows.binary_search(&row) {
+            Ok(pos) => {
+                self.rows.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     /// Size ratio beyond which [`RowSet::intersect`] gallops the smaller
     /// side through the larger instead of merging linearly. Intersecting
     /// a full-table posting list with a small partition is the hot case

@@ -148,6 +148,131 @@ impl Table {
         Ok(())
     }
 
+    /// Append a batch of rows, resolving the schema's column layout once
+    /// per batch instead of once per row: arity is checked up front, then
+    /// each column is validated in one typed pass over the batch (one
+    /// dtype dispatch per *column*, not per cell). On error nothing is
+    /// committed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BatchRow`] wrapping the first offending row's
+    /// [`StoreError::RowArity`], [`StoreError::TypeMismatch`],
+    /// [`StoreError::UnknownCategory`] or [`StoreError::OutOfRange`].
+    pub fn push_rows(&mut self, rows: &[Vec<Value>]) -> Result<(), StoreError> {
+        fn batch(row: usize, error: StoreError) -> StoreError {
+            StoreError::BatchRow {
+                row,
+                error: Box::new(error),
+            }
+        }
+        let width = self.schema.width();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != width {
+                return Err(batch(
+                    i,
+                    StoreError::RowArity {
+                        expected: width,
+                        got: row.len(),
+                    },
+                ));
+            }
+        }
+        // Stage column-major; commit only after every cell validated.
+        let mut staged: Vec<StagedColumn> = Vec::with_capacity(width);
+        for (col, attr) in self.schema.attributes().iter().enumerate() {
+            let staged_column = match &attr.dtype {
+                DataType::Categorical { .. } => {
+                    let mut codes = Vec::with_capacity(rows.len());
+                    for (i, row) in rows.iter().enumerate() {
+                        match &row[col] {
+                            Value::Cat(label) => {
+                                codes.push(attr.code_of(label).map_err(|e| batch(i, e))?)
+                            }
+                            _ => {
+                                return Err(batch(
+                                    i,
+                                    StoreError::TypeMismatch {
+                                        attribute: attr.name.clone(),
+                                        expected: attr.dtype.type_name(),
+                                    },
+                                ))
+                            }
+                        }
+                    }
+                    StagedColumn::Codes(codes)
+                }
+                DataType::Numeric { min, max } => {
+                    let mut nums = Vec::with_capacity(rows.len());
+                    for (i, row) in rows.iter().enumerate() {
+                        match &row[col] {
+                            Value::Num(x) if x.is_finite() && *x >= *min && *x <= *max => {
+                                nums.push(*x)
+                            }
+                            Value::Num(x) => {
+                                return Err(batch(
+                                    i,
+                                    StoreError::OutOfRange {
+                                        attribute: attr.name.clone(),
+                                        value: x.to_string(),
+                                    },
+                                ))
+                            }
+                            _ => {
+                                return Err(batch(
+                                    i,
+                                    StoreError::TypeMismatch {
+                                        attribute: attr.name.clone(),
+                                        expected: attr.dtype.type_name(),
+                                    },
+                                ))
+                            }
+                        }
+                    }
+                    StagedColumn::Nums(nums)
+                }
+                DataType::Integer { min, max } => {
+                    let mut ints = Vec::with_capacity(rows.len());
+                    for (i, row) in rows.iter().enumerate() {
+                        match &row[col] {
+                            Value::Int(x) if x >= min && x <= max => ints.push(*x),
+                            Value::Int(x) => {
+                                return Err(batch(
+                                    i,
+                                    StoreError::OutOfRange {
+                                        attribute: attr.name.clone(),
+                                        value: x.to_string(),
+                                    },
+                                ))
+                            }
+                            _ => {
+                                return Err(batch(
+                                    i,
+                                    StoreError::TypeMismatch {
+                                        attribute: attr.name.clone(),
+                                        expected: attr.dtype.type_name(),
+                                    },
+                                ))
+                            }
+                        }
+                    }
+                    StagedColumn::Ints(ints)
+                }
+            };
+            staged.push(staged_column);
+        }
+        for (column, staged_column) in self.columns.iter_mut().zip(staged) {
+            match (column, staged_column) {
+                (Column::Categorical(v), StagedColumn::Codes(c)) => v.extend(c),
+                (Column::Numeric(v), StagedColumn::Nums(x)) => v.extend(x),
+                (Column::Integer(v), StagedColumn::Ints(x)) => v.extend(x),
+                _ => unreachable!("staged columns are type-checked above"),
+            }
+        }
+        self.len += rows.len();
+        Ok(())
+    }
+
     /// Read back row `row` as labelled [`Value`]s (for reports and CSV
     /// export). Returns `None` when `row >= len()`.
     pub fn row(&self, row: usize) -> Option<Vec<Value>> {
@@ -236,6 +361,41 @@ impl Table {
         }
     }
 
+    /// Overwrite the categorical value of attribute `attr_idx` at `row`
+    /// with `label` (used by the stream layer's `AttributeChanged`
+    /// events). Returns `(old_code, new_code)` so callers can maintain
+    /// inverted indexes in place.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotCategorical`] for non-categorical columns,
+    /// [`StoreError::UnknownCategory`] for labels outside the domain,
+    /// [`StoreError::RowArity`] for out-of-bounds rows.
+    pub fn set_cat(
+        &mut self,
+        attr_idx: usize,
+        row: usize,
+        label: &str,
+    ) -> Result<(u32, u32), StoreError> {
+        let attr = self.schema.attribute(attr_idx);
+        let new_code = attr.code_of(label)?;
+        let name = attr.name.clone();
+        match &mut self.columns[attr_idx] {
+            Column::Categorical(v) => {
+                if row >= v.len() {
+                    return Err(StoreError::RowArity {
+                        expected: v.len(),
+                        got: row,
+                    });
+                }
+                let old_code = v[row];
+                v[row] = new_code;
+                Ok((old_code, new_code))
+            }
+            _ => Err(StoreError::NotCategorical { attribute: name }),
+        }
+    }
+
     /// Append a new column (and its attribute definition) to the table.
     /// Used by bucketisation to add derived categorical attributes. The
     /// column must already contain exactly one value per existing row.
@@ -275,6 +435,12 @@ enum StagedValue {
     Code(u32),
     Num(f64),
     Int(i64),
+}
+
+enum StagedColumn {
+    Codes(Vec<u32>),
+    Nums(Vec<f64>),
+    Ints(Vec<i64>),
 }
 
 #[cfg(test)]
@@ -415,6 +581,102 @@ mod tests {
         ));
         assert!(matches!(
             t.set_f64(2, 9, 50.0),
+            Err(StoreError::RowArity { .. })
+        ));
+    }
+
+    #[test]
+    fn push_rows_matches_per_row_appends() {
+        let rows: Vec<Vec<Value>> = vec![
+            vec![Value::cat("Male"), Value::int(1980), Value::num(75.0)],
+            vec![Value::cat("Female"), Value::int(1999), Value::num(90.0)],
+            vec![Value::cat("Female"), Value::int(1955), Value::num(25.0)],
+        ];
+        let mut batched = Table::new(schema());
+        batched.push_rows(&rows).unwrap();
+        let mut one_by_one = Table::new(schema());
+        for row in &rows {
+            one_by_one.push_row(row).unwrap();
+        }
+        assert_eq!(batched, one_by_one);
+        // Appending onto a non-empty table works too.
+        batched.push_rows(&rows[..1]).unwrap();
+        assert_eq!(batched.len(), 4);
+        assert_eq!(batched.row(3).unwrap()[0], Value::cat("Male"));
+    }
+
+    #[test]
+    fn push_rows_rejects_atomically_with_row_index() {
+        let mut t = table_with_rows();
+        let err = t
+            .push_rows(&[
+                vec![Value::cat("Male"), Value::int(1980), Value::num(75.0)],
+                vec![Value::cat("Robot"), Value::int(1980), Value::num(75.0)],
+            ])
+            .unwrap_err();
+        match err {
+            StoreError::BatchRow { row, error } => {
+                assert_eq!(row, 1);
+                assert!(matches!(*error, StoreError::UnknownCategory { .. }));
+            }
+            other => panic!("expected BatchRow, got {other:?}"),
+        }
+        assert_eq!(t.len(), 2, "failed batches must not mutate the table");
+        for col in 0..3 {
+            assert_eq!(t.column(col).len(), 2);
+        }
+        // Arity failure reports the offending row as well.
+        let err = t
+            .push_rows(&[
+                vec![Value::cat("Male"), Value::int(1980), Value::num(75.0)],
+                vec![],
+            ])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::BatchRow { row: 1, .. }));
+        // Range and type failures carry the row too.
+        let err = t
+            .push_rows(&[vec![Value::cat("Male"), Value::int(1900), Value::num(75.0)]])
+            .unwrap_err();
+        match err {
+            StoreError::BatchRow { row: 0, error } => {
+                assert!(matches!(*error, StoreError::OutOfRange { .. }))
+            }
+            other => panic!("expected BatchRow, got {other:?}"),
+        }
+        let err = t
+            .push_rows(&[vec![Value::num(0.0), Value::int(1980), Value::num(75.0)]])
+            .unwrap_err();
+        match err {
+            StoreError::BatchRow { row: 0, error } => {
+                assert!(matches!(*error, StoreError::TypeMismatch { .. }))
+            }
+            other => panic!("expected BatchRow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_rows_empty_batch_is_noop() {
+        let mut t = table_with_rows();
+        t.push_rows(&[]).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn set_cat_swaps_code_and_reports_old() {
+        let mut t = table_with_rows();
+        let (old, new) = t.set_cat(0, 0, "Female").unwrap();
+        assert_eq!((old, new), (0, 1));
+        assert_eq!(t.code_at(0, 0).unwrap(), 1);
+        assert!(matches!(
+            t.set_cat(0, 0, "Robot"),
+            Err(StoreError::UnknownCategory { .. })
+        ));
+        assert!(matches!(
+            t.set_cat(2, 0, "Male"),
+            Err(StoreError::NotCategorical { .. })
+        ));
+        assert!(matches!(
+            t.set_cat(0, 9, "Male"),
             Err(StoreError::RowArity { .. })
         ));
     }

@@ -1,0 +1,251 @@
+//! The incremental audit loop: apply an epoch, selectively invalidate
+//! the warm engine caches, re-audit, keep the caches for the next
+//! epoch.
+
+use crate::error::StreamError;
+use crate::view::StreamView;
+use fairjob_core::algorithms::Algorithm;
+use fairjob_core::{AuditConfig, AuditContext, AuditResult, EngineCaches, InvalidationReport};
+use fairjob_marketplace::stream::Event;
+
+/// The outcome of one epoch of [`StreamAuditor::run_epoch`].
+#[derive(Debug)]
+pub struct EpochReport {
+    /// Epoch stamp of the audited state.
+    pub epoch: u64,
+    /// Events applied this epoch.
+    pub events: usize,
+    /// Net row changes after coalescing.
+    pub changes: usize,
+    /// What selective invalidation did to the warm caches.
+    pub invalidation: InvalidationReport,
+    /// Live workers at audit time.
+    pub live_workers: usize,
+    /// The audit itself (partitioning, unfairness, engine counters).
+    pub audit: AuditResult,
+}
+
+/// Maintains an audited view across epochs: each [`run_epoch`]
+/// (1) applies the events to the [`StreamView`], (2) selectively
+/// invalidates the engine caches carried over from the previous epoch
+/// against the epoch's net row changes, (3) seeds those caches into a
+/// fresh per-epoch [`AuditContext`] and runs the algorithm, and
+/// (4) takes the caches back for the next epoch.
+///
+/// The warm result is bit-identical to [`StreamAuditor::cold_audit`]
+/// (a from-scratch audit of the compacted live population): retained
+/// distances are exactly what a recompute would produce, and patched
+/// split entries are rebuilt with the same integer bin arithmetic as
+/// the split kernel.
+///
+/// [`run_epoch`]: StreamAuditor::run_epoch
+#[derive(Debug)]
+pub struct StreamAuditor {
+    view: StreamView,
+    config: AuditConfig,
+    caches: Option<EngineCaches>,
+}
+
+impl StreamAuditor {
+    /// Wrap a view. `config.bins` must match the view's histogram
+    /// layout.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::BinMismatch`] on disagreeing bin counts.
+    pub fn new(view: StreamView, config: AuditConfig) -> Result<Self, StreamError> {
+        if config.bins != view.spec().len() {
+            return Err(StreamError::BinMismatch {
+                view: view.spec().len(),
+                config: config.bins,
+            });
+        }
+        Ok(StreamAuditor {
+            view,
+            config,
+            caches: None,
+        })
+    }
+
+    /// The audited view.
+    pub fn view(&self) -> &StreamView {
+        &self.view
+    }
+
+    /// Audit the current state without applying events or bumping the
+    /// epoch — the initial audit that warms the caches.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError`] from context construction or the algorithm.
+    pub fn audit(&mut self, algorithm: &dyn Algorithm) -> Result<EpochReport, StreamError> {
+        self.run(None, algorithm)
+    }
+
+    /// Apply one epoch of events, then re-audit incrementally.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError`] from event application (on which the auditor
+    /// must be discarded — the view may hold a partial epoch), context
+    /// construction, or the algorithm.
+    pub fn run_epoch(
+        &mut self,
+        events: &[Event],
+        algorithm: &dyn Algorithm,
+    ) -> Result<EpochReport, StreamError> {
+        self.run(Some(events), algorithm)
+    }
+
+    fn run(
+        &mut self,
+        events: Option<&[Event]>,
+        algorithm: &dyn Algorithm,
+    ) -> Result<EpochReport, StreamError> {
+        let (event_count, changes) = match events {
+            Some(events) => {
+                let delta = self.view.apply_epoch(events)?;
+                (events.len(), delta.changes)
+            }
+            None => (0, Vec::new()),
+        };
+        let mut caches = self.caches.take().unwrap_or_default();
+        let invalidation = caches.invalidate(
+            &changes,
+            self.view.spec(),
+            self.config.min_partition_size.max(1),
+        );
+        let ctx = self.view.context(self.config.clone())?;
+        ctx.seed_engine_caches(caches);
+        let audit = algorithm.run(&ctx).map_err(StreamError::Audit)?;
+        // The engine adopted the seeded caches and parked them back on
+        // the context when it dropped (inside `run`).
+        self.caches = ctx.take_engine_caches();
+        Ok(EpochReport {
+            epoch: self.view.epoch(),
+            events: event_count,
+            changes: changes.len(),
+            invalidation,
+            live_workers: self.view.live_count(),
+            audit,
+        })
+    }
+
+    /// A from-scratch audit of the compacted live population — the
+    /// baseline the incremental path is verified against. Builds a
+    /// fresh table, fresh indexes and a cold engine; does not touch the
+    /// auditor's warm caches.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError`] from compaction, context construction, or the
+    /// algorithm.
+    pub fn cold_audit(&self, algorithm: &dyn Algorithm) -> Result<AuditResult, StreamError> {
+        let (table, scores) = self.view.compact()?;
+        let ctx = AuditContext::new(&table, &scores, self.config.clone())?;
+        algorithm.run(&ctx).map_err(StreamError::Audit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::same_partitioning;
+    use fairjob_core::algorithms::{balanced::Balanced, AttributeChoice};
+    use fairjob_marketplace::stream::{generate_stream, StreamConfig};
+
+    fn auditor(workers: usize, seed: u64) -> (StreamAuditor, Vec<Vec<Event>>) {
+        let scenario = generate_stream(&StreamConfig {
+            initial: workers,
+            epochs: 4,
+            events_per_epoch: 6,
+            seed,
+            alpha: 0.5,
+        });
+        let view = StreamView::new(scenario.initial, scenario.scores, 10).unwrap();
+        let auditor = StreamAuditor::new(view, AuditConfig::default()).unwrap();
+        (auditor, scenario.events.epochs().to_vec())
+    }
+
+    #[test]
+    fn bin_mismatch_is_rejected() {
+        let (auditor, _) = auditor(20, 1);
+        let view = auditor.view;
+        assert!(matches!(
+            StreamAuditor::new(view, AuditConfig::with_bins(5)),
+            Err(StreamError::BinMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn incremental_epochs_match_cold_rebuilds_bit_for_bit() {
+        let algorithm = Balanced::new(AttributeChoice::Worst);
+        let (mut auditor, epochs) = auditor(120, 7);
+        let initial = auditor.audit(&algorithm).unwrap();
+        assert_eq!(initial.epoch, 0);
+        assert_eq!(initial.live_workers, 120);
+        for events in &epochs {
+            let warm = auditor.run_epoch(events, &algorithm).unwrap();
+            let cold = auditor.cold_audit(&algorithm).unwrap();
+            assert!(
+                same_partitioning(&warm.audit.partitioning, &cold.partitioning),
+                "epoch {}: warm and cold partitionings diverge",
+                warm.epoch
+            );
+            assert_eq!(
+                warm.audit.unfairness.to_bits(),
+                cold.unfairness.to_bits(),
+                "epoch {}: unfairness diverges",
+                warm.epoch
+            );
+            assert_eq!(warm.live_workers, auditor.view().live_count());
+        }
+    }
+
+    #[test]
+    fn warm_epochs_reuse_cached_work() {
+        let algorithm = Balanced::new(AttributeChoice::Worst);
+        let (mut auditor, epochs) = auditor(150, 13);
+        auditor.audit(&algorithm).unwrap();
+        let warm = auditor.run_epoch(&epochs[0], &algorithm).unwrap();
+        let cold = auditor.cold_audit(&algorithm).unwrap();
+        assert!(
+            warm.invalidation.distances_retained > 0,
+            "selective invalidation kept no distances: {:?}",
+            warm.invalidation
+        );
+        assert!(
+            warm.audit.engine.distances_computed < cold.engine.distances_computed,
+            "warm run recomputed as many distances as cold ({} vs {})",
+            warm.audit.engine.distances_computed,
+            cold.engine.distances_computed
+        );
+        assert!(
+            warm.audit.engine.rows_scanned < cold.engine.rows_scanned,
+            "warm run scanned as many rows as cold ({} vs {})",
+            warm.audit.engine.rows_scanned,
+            cold.engine.rows_scanned
+        );
+    }
+
+    #[test]
+    fn empty_epoch_retains_everything() {
+        let algorithm = Balanced::new(AttributeChoice::Worst);
+        let (mut auditor, _) = auditor(60, 21);
+        let first = auditor.audit(&algorithm).unwrap();
+        assert_eq!(first.invalidation, InvalidationReport::default());
+        let second = auditor.run_epoch(&[], &algorithm).unwrap();
+        assert_eq!(second.epoch, 1);
+        assert_eq!(second.changes, 0);
+        assert_eq!(second.invalidation.distances_evicted, 0);
+        assert_eq!(second.invalidation.splits_evicted, 0);
+        assert!(second.invalidation.distances_retained > 0);
+        // Everything the audit needs is already cached.
+        assert_eq!(second.audit.engine.rows_scanned, 0);
+        assert_eq!(second.audit.engine.distances_computed, 0);
+        assert_eq!(
+            first.audit.unfairness.to_bits(),
+            second.audit.unfairness.to_bits()
+        );
+    }
+}

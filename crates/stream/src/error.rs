@@ -1,0 +1,69 @@
+//! Errors of the streaming layer.
+
+use fairjob_core::AuditError;
+use fairjob_store::StoreError;
+use std::fmt;
+
+/// Errors from applying events or running incremental audits.
+#[derive(Debug)]
+pub enum StreamError {
+    /// An event targets a worker id that is out of range or tombstoned.
+    UnknownWorker {
+        /// The offending worker id.
+        worker: u32,
+    },
+    /// An event carries a score outside `[0, 1]` (or non-finite).
+    BadScore {
+        /// The targeted worker id.
+        worker: u32,
+        /// The offending value.
+        value: f64,
+    },
+    /// The audit config's bin count disagrees with the view's maintained
+    /// bin array.
+    BinMismatch {
+        /// Bins the view was built with.
+        view: usize,
+        /// Bins the config asks for.
+        config: usize,
+    },
+    /// Underlying store error (bad attribute, unknown label, …).
+    Store(StoreError),
+    /// Underlying audit error.
+    Audit(AuditError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::UnknownWorker { worker } => {
+                write!(f, "worker {worker} does not exist or has left")
+            }
+            StreamError::BadScore { worker, value } => {
+                write!(f, "score {value} for worker {worker} is outside [0, 1]")
+            }
+            StreamError::BinMismatch { view, config } => {
+                write!(
+                    f,
+                    "view maintains {view} histogram bins but the audit config asks for {config}"
+                )
+            }
+            StreamError::Store(e) => write!(f, "store: {e}"),
+            StreamError::Audit(e) => write!(f, "audit: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<StoreError> for StreamError {
+    fn from(e: StoreError) -> Self {
+        StreamError::Store(e)
+    }
+}
+
+impl From<AuditError> for StreamError {
+    fn from(e: AuditError) -> Self {
+        StreamError::Audit(e)
+    }
+}

@@ -1,0 +1,520 @@
+//! The mutable, epoch-versioned view over a worker population.
+
+use crate::error::StreamError;
+use fairjob_core::{AuditConfig, AuditContext, AuditError, RowChange, RowFacts};
+use fairjob_hist::BinSpec;
+use fairjob_marketplace::stream::Event;
+use fairjob_store::bitmap::Bitmap;
+use fairjob_store::index::IndexSet;
+use fairjob_store::schema::DataType;
+use fairjob_store::table::{Table, Value};
+use fairjob_store::RowSet;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// What one epoch of events did to the view: the new epoch stamp and
+/// the coalesced per-row changes (one [`RowChange`] per touched row,
+/// `before` = state at epoch start, `after` = state at epoch end; rows
+/// added **and** removed within the epoch, or mutated back to their
+/// starting state, are dropped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochDelta {
+    /// The epoch the view is now at.
+    pub epoch: u64,
+    /// Net row changes, ascending by row id.
+    pub changes: Vec<RowChange>,
+}
+
+/// A mutable view over a worker population, maintained in place as
+/// events apply:
+///
+/// * the table is **append-only** — worker ids are row indices,
+///   assigned in arrival order, never reused;
+/// * departures set a tombstone in the `live` bitmap instead of
+///   deleting the row;
+/// * the dictionary indexes and the per-row score-bin array are
+///   maintained in place (no per-epoch rebuild);
+/// * every epoch bumps a version stamp and reports its net
+///   [`RowChange`]s for selective cache invalidation.
+///
+/// [`StreamView::context`] snapshots the view into an
+/// [`AuditContext`] restricted to the live rows; results over it are
+/// bit-identical to a cold audit of the compacted live population
+/// ([`StreamView::compact`]).
+#[derive(Debug)]
+pub struct StreamView {
+    table: Table,
+    scores: Vec<f64>,
+    live: Bitmap,
+    /// Shared with per-epoch contexts (`Arc` hand-off, no rebuild);
+    /// mutated via `Arc::make_mut` between audits, when no context is
+    /// borrowing them.
+    indexes: Arc<IndexSet>,
+    bin_of: Arc<Vec<u32>>,
+    spec: BinSpec,
+    epoch: u64,
+}
+
+impl StreamView {
+    /// Wrap an initial population. `scores` must be row-aligned with
+    /// `table` and each in `[0, 1]`; `bins` fixes the histogram layout
+    /// every epoch's audit will use.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError`] for an empty table, misaligned or out-of-range
+    /// scores, or a bad bin count.
+    pub fn new(table: Table, scores: Vec<f64>, bins: usize) -> Result<Self, StreamError> {
+        if table.is_empty() {
+            return Err(StreamError::Audit(AuditError::EmptyTable));
+        }
+        if scores.len() != table.len() {
+            return Err(StreamError::Audit(AuditError::ScoreLength {
+                rows: table.len(),
+                scores: scores.len(),
+            }));
+        }
+        for (row, &s) in scores.iter().enumerate() {
+            validate_score(row as u32, s)?;
+        }
+        let spec = BinSpec::equal_width(0.0, 1.0, bins)
+            .map_err(|e| StreamError::Audit(AuditError::Bins(e.to_string())))?;
+        let indexes = Arc::new(IndexSet::build(&table)?);
+        let bin_of: Arc<Vec<u32>> =
+            Arc::new(scores.iter().map(|&s| spec.bin_index(s) as u32).collect());
+        let live = Bitmap::full(table.len());
+        Ok(StreamView {
+            table,
+            scores,
+            live,
+            indexes,
+            bin_of,
+            spec,
+            epoch: 0,
+        })
+    }
+
+    /// The underlying (append-only) table, tombstoned rows included.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Per-row scores, aligned with [`StreamView::table`].
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// The histogram bin layout of this view.
+    pub fn spec(&self) -> &BinSpec {
+        &self.spec
+    }
+
+    /// The current epoch (0 until the first [`StreamView::apply_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of live (non-tombstoned) workers.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Is this worker id live?
+    pub fn is_live(&self, worker: u32) -> bool {
+        self.live.contains(worker)
+    }
+
+    /// The live rows as a sorted row set.
+    pub fn live_rows(&self) -> RowSet {
+        self.live.to_rowset()
+    }
+
+    /// Apply one epoch of events in order, maintaining every derived
+    /// structure in place, and report the net row changes.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError`] for events targeting dead or unknown workers,
+    /// invalid scores, or store-level failures (unknown attributes or
+    /// labels, wrong arity). **On error the view may have applied a
+    /// prefix of the epoch and must be discarded.**
+    pub fn apply_epoch(&mut self, events: &[Event]) -> Result<EpochDelta, StreamError> {
+        // Per touched row: its facts at epoch start (`None` = the row
+        // did not exist yet). BTreeMap for ascending, deterministic
+        // change order.
+        let mut touched: BTreeMap<u32, Option<RowFacts>> = BTreeMap::new();
+        for event in events {
+            match event {
+                Event::WorkerAdded { values, score } => {
+                    let row = self.table.len() as u32;
+                    validate_score(row, *score)?;
+                    self.table.push_row(values)?;
+                    Arc::make_mut(&mut self.indexes).push_row(&self.table)?;
+                    Arc::make_mut(&mut self.bin_of).push(self.spec.bin_index(*score) as u32);
+                    self.scores.push(*score);
+                    self.live.grow(self.table.len());
+                    self.live.insert(row);
+                    touched.entry(row).or_insert(None);
+                }
+                Event::ScoreUpdated { worker, score } => {
+                    self.ensure_live(*worker)?;
+                    validate_score(*worker, *score)?;
+                    self.record_before(&mut touched, *worker);
+                    self.scores[*worker as usize] = *score;
+                    Arc::make_mut(&mut self.bin_of)[*worker as usize] =
+                        self.spec.bin_index(*score) as u32;
+                }
+                Event::AttributeChanged {
+                    worker,
+                    attribute,
+                    value,
+                } => {
+                    self.ensure_live(*worker)?;
+                    let attr = self.table.schema().index_of(attribute)?;
+                    self.record_before(&mut touched, *worker);
+                    let (old, new) = self.table.set_cat(attr, *worker as usize, value)?;
+                    if old != new {
+                        let name = self.table.schema().attribute(attr).name.clone();
+                        Arc::make_mut(&mut self.indexes).set_code(attr, *worker, new, &name)?;
+                    }
+                }
+                Event::WorkerRemoved { worker } => {
+                    self.ensure_live(*worker)?;
+                    self.record_before(&mut touched, *worker);
+                    self.live.remove(*worker);
+                }
+            }
+        }
+        self.epoch += 1;
+        let changes = touched
+            .into_iter()
+            .filter_map(|(row, before)| {
+                let after = self.live.contains(row).then(|| self.facts(row));
+                // Net no-ops: added-and-removed within the epoch, or
+                // mutated back to the starting state.
+                if before == after {
+                    return None;
+                }
+                Some(RowChange { row, before, after })
+            })
+            .collect();
+        Ok(EpochDelta {
+            epoch: self.epoch,
+            changes,
+        })
+    }
+
+    /// Snapshot the view into an audit context over the live rows. The
+    /// maintained indexes and bin array are handed over as shared
+    /// `Arc`s — no rebuild, no copy.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::BinMismatch`] when `config.bins` disagrees with
+    /// the view's layout; [`AuditError`] for unusable configs.
+    pub fn context(&self, config: AuditConfig) -> Result<AuditContext<'_>, StreamError> {
+        if config.bins != self.spec.len() {
+            return Err(StreamError::BinMismatch {
+                view: self.spec.len(),
+                config: config.bins,
+            });
+        }
+        AuditContext::from_parts(
+            &self.table,
+            &self.scores,
+            config,
+            Arc::clone(&self.indexes),
+            Arc::clone(&self.bin_of),
+            Some(self.live.to_rowset()),
+            self.epoch,
+        )
+        .map_err(StreamError::Audit)
+    }
+
+    /// Materialise the live population as a fresh, compacted table (row
+    /// ids renumbered to `0..live_count`) with aligned scores — what a
+    /// cold batch audit of the current state would load.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Store`] — cannot occur for rows the view itself
+    /// maintains.
+    pub fn compact(&self) -> Result<(Table, Vec<f64>), StreamError> {
+        let mut table = Table::new(self.table.schema().clone());
+        let rows: Vec<Vec<Value>> = self
+            .live
+            .iter()
+            .map(|row| self.table.row(row as usize).expect("live row in range"))
+            .collect();
+        table.push_rows(&rows)?;
+        let scores = self
+            .live
+            .iter()
+            .map(|row| self.scores[row as usize])
+            .collect();
+        Ok((table, scores))
+    }
+
+    /// The row's current facts, as predicates and histograms see it.
+    fn facts(&self, row: u32) -> RowFacts {
+        let codes = self
+            .table
+            .schema()
+            .attributes()
+            .iter()
+            .enumerate()
+            .map(|(attr, def)| match def.dtype {
+                DataType::Categorical { .. } => self
+                    .table
+                    .code_at(attr, row as usize)
+                    .expect("categorical code in range"),
+                // Predicates never constrain non-categorical attributes;
+                // a sentinel no real dictionary code reaches.
+                _ => u32::MAX,
+            })
+            .collect();
+        RowFacts {
+            codes,
+            bin: self.bin_of[row as usize],
+        }
+    }
+
+    fn record_before(&self, touched: &mut BTreeMap<u32, Option<RowFacts>>, row: u32) {
+        touched.entry(row).or_insert_with(|| Some(self.facts(row)));
+    }
+
+    fn ensure_live(&self, worker: u32) -> Result<(), StreamError> {
+        if self.live.contains(worker) {
+            Ok(())
+        } else {
+            Err(StreamError::UnknownWorker { worker })
+        }
+    }
+}
+
+fn validate_score(worker: u32, score: f64) -> Result<(), StreamError> {
+    if score.is_finite() && (0.0..=1.0).contains(&score) {
+        Ok(())
+    } else {
+        Err(StreamError::BadScore {
+            worker,
+            value: score,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairjob_marketplace::stream::{generate_stream, StreamConfig};
+    use fairjob_marketplace::{bucketise_numeric_protected, generate_uniform};
+    use fairjob_store::index::IndexSet;
+
+    fn view(workers: usize, seed: u64) -> StreamView {
+        let scenario = generate_stream(&StreamConfig {
+            initial: workers,
+            epochs: 0,
+            events_per_epoch: 0,
+            seed,
+            alpha: 0.5,
+        });
+        StreamView::new(scenario.initial, scenario.scores, 10).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut t = generate_uniform(5, 1);
+        bucketise_numeric_protected(&mut t).unwrap();
+        assert!(matches!(
+            StreamView::new(t.clone(), vec![0.5; 4], 10),
+            Err(StreamError::Audit(AuditError::ScoreLength { .. }))
+        ));
+        assert!(matches!(
+            StreamView::new(t.clone(), vec![0.5, 0.5, 1.5, 0.5, 0.5], 10),
+            Err(StreamError::BadScore { worker: 2, .. })
+        ));
+        assert!(matches!(
+            StreamView::new(t, vec![0.5; 5], 0),
+            Err(StreamError::Audit(AuditError::Bins(_)))
+        ));
+    }
+
+    #[test]
+    fn score_update_moves_bin_and_reports_change() {
+        let mut v = view(8, 3);
+        let before_bin = v.bin_of[0];
+        let delta = v
+            .apply_epoch(&[Event::ScoreUpdated {
+                worker: 0,
+                score: 0.999,
+            }])
+            .unwrap();
+        assert_eq!(v.epoch(), 1);
+        assert_eq!(delta.epoch, 1);
+        assert_eq!(v.scores()[0], 0.999);
+        assert_eq!(v.bin_of[0], 9);
+        assert_eq!(delta.changes.len(), 1);
+        let c = &delta.changes[0];
+        assert_eq!(c.row, 0);
+        assert_eq!(c.before.as_ref().unwrap().bin, before_bin);
+        assert_eq!(c.after.as_ref().unwrap().bin, 9);
+    }
+
+    #[test]
+    fn arrival_extends_everything_in_place() {
+        let mut v = view(6, 4);
+        let scenario = generate_stream(&StreamConfig {
+            initial: 2,
+            epochs: 1,
+            events_per_epoch: 30,
+            seed: 9,
+            alpha: 0.5,
+        });
+        let add = scenario.events.epochs()[0]
+            .iter()
+            .find(|e| matches!(e, Event::WorkerAdded { .. }))
+            .expect("30 events contain an arrival")
+            .clone();
+        let delta = v.apply_epoch(std::slice::from_ref(&add)).unwrap();
+        assert_eq!(v.table().len(), 7);
+        assert_eq!(v.live_count(), 7);
+        assert!(v.is_live(6));
+        assert_eq!(v.scores().len(), 7);
+        assert_eq!(v.bin_of.len(), 7);
+        assert_eq!(delta.changes.len(), 1);
+        assert!(delta.changes[0].before.is_none());
+        assert!(delta.changes[0].after.is_some());
+        // The maintained indexes match a from-scratch rebuild.
+        let rebuilt = IndexSet::build(v.table()).unwrap();
+        for attr in v.table().schema().splittable() {
+            assert_eq!(
+                v.indexes.get(attr).unwrap().codes(),
+                rebuilt.get(attr).unwrap().codes()
+            );
+        }
+    }
+
+    #[test]
+    fn departure_tombstones_and_compaction_drops() {
+        let mut v = view(5, 5);
+        let delta = v
+            .apply_epoch(&[Event::WorkerRemoved { worker: 2 }])
+            .unwrap();
+        assert_eq!(v.table().len(), 5, "the table never shrinks");
+        assert_eq!(v.live_count(), 4);
+        assert!(!v.is_live(2));
+        assert!(delta.changes[0].after.is_none());
+        let (compacted, scores) = v.compact().unwrap();
+        assert_eq!(compacted.len(), 4);
+        assert_eq!(scores.len(), 4);
+        assert_eq!(
+            compacted.row(2),
+            v.table().row(3),
+            "ids shift past the hole"
+        );
+        // Mutating the dead worker now fails.
+        assert!(matches!(
+            v.apply_epoch(&[Event::ScoreUpdated {
+                worker: 2,
+                score: 0.5
+            }]),
+            Err(StreamError::UnknownWorker { worker: 2 })
+        ));
+    }
+
+    #[test]
+    fn add_then_remove_within_epoch_coalesces_away() {
+        let mut v = view(4, 6);
+        let scenario = generate_stream(&StreamConfig {
+            initial: 2,
+            epochs: 1,
+            events_per_epoch: 30,
+            seed: 10,
+            alpha: 0.5,
+        });
+        let add = scenario.events.epochs()[0]
+            .iter()
+            .find(|e| matches!(e, Event::WorkerAdded { .. }))
+            .unwrap()
+            .clone();
+        let delta = v
+            .apply_epoch(&[add, Event::WorkerRemoved { worker: 4 }])
+            .unwrap();
+        assert!(delta.changes.is_empty(), "net no-op reports no change");
+        assert_eq!(
+            v.table().len(),
+            5,
+            "the tombstoned row still occupies its id"
+        );
+        assert_eq!(v.live_count(), 4);
+    }
+
+    #[test]
+    fn mutating_back_to_start_coalesces_away() {
+        let mut v = view(4, 7);
+        let original = v.scores()[1];
+        let delta = v
+            .apply_epoch(&[
+                Event::ScoreUpdated {
+                    worker: 1,
+                    score: if original < 0.5 { 0.9 } else { 0.1 },
+                },
+                Event::ScoreUpdated {
+                    worker: 1,
+                    score: original,
+                },
+            ])
+            .unwrap();
+        assert!(delta.changes.is_empty());
+    }
+
+    #[test]
+    fn attribute_change_updates_table_and_index() {
+        let mut v = view(6, 8);
+        let attr = v.table().schema().index_of("gender").unwrap();
+        let old = v.table().code_at(attr, 3).unwrap();
+        let new_label = if old == 0 { "Female" } else { "Male" };
+        let delta = v
+            .apply_epoch(&[Event::AttributeChanged {
+                worker: 3,
+                attribute: "gender".into(),
+                value: new_label.into(),
+            }])
+            .unwrap();
+        let new = v.table().code_at(attr, 3).unwrap();
+        assert_ne!(old, new);
+        assert_eq!(v.indexes.get(attr).unwrap().codes()[3], new);
+        assert!(v.indexes.get(attr).unwrap().rows_with_code(new).contains(3));
+        assert!(!v.indexes.get(attr).unwrap().rows_with_code(old).contains(3));
+        let c = &delta.changes[0];
+        assert_eq!(c.before.as_ref().unwrap().codes[attr], old);
+        assert_eq!(c.after.as_ref().unwrap().codes[attr], new);
+        // Unknown label is rejected.
+        assert!(v
+            .apply_epoch(&[Event::AttributeChanged {
+                worker: 3,
+                attribute: "gender".into(),
+                value: "Nope".into(),
+            }])
+            .is_err());
+    }
+
+    #[test]
+    fn context_restricts_to_live_rows() {
+        let mut v = view(10, 11);
+        v.apply_epoch(&[Event::WorkerRemoved { worker: 0 }])
+            .unwrap();
+        let ctx = v.context(AuditConfig::default()).unwrap();
+        assert_eq!(ctx.root().len(), 9);
+        assert_eq!(ctx.epoch(), 1);
+        assert!(ctx.live_rows().is_some());
+        // Bin mismatch is caught.
+        assert!(matches!(
+            v.context(AuditConfig::with_bins(7)),
+            Err(StreamError::BinMismatch {
+                view: 10,
+                config: 7
+            })
+        ));
+    }
+}
