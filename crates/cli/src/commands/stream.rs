@@ -36,10 +36,13 @@ fn render_epoch(report: &EpochReport, initial: bool, checked: bool) -> String {
         )
     };
     out.push_str(&format!(
-        "\n  engine: {} distances computed, {} cache hits, {} rows scanned\n  unfairness {:.6} over {} partitions\n",
+        "\n  engine: {} distances computed, {} cache hits, {} rows scanned\n  bounds: {} pairs screened, {} exact solves, {} pool tasks\n  unfairness {:.6} over {} partitions\n",
         report.audit.engine.distances_computed,
         report.audit.engine.cache_hits,
         report.audit.engine.rows_scanned,
+        report.audit.engine.bounds_screened,
+        report.audit.engine.exact_solves,
+        report.audit.engine.pool_tasks,
         report.audit.unfairness,
         report.audit.partitioning.partitions().len(),
     ));
@@ -53,7 +56,7 @@ fn json_epoch(report: &EpochReport) -> String {
     format!(
         "{{\"epoch\":{},\"events\":{},\"changes\":{},\"live\":{},\"unfairness\":{},\"partitions\":{},\
 \"invalidation\":{{\"distances_evicted\":{},\"distances_retained\":{},\"splits_evicted\":{},\"splits_patched\":{},\"splits_retained\":{}}},\
-\"engine\":{{\"distances_computed\":{},\"cache_hits\":{},\"rows_scanned\":{}}}}}",
+\"engine\":{{\"distances_computed\":{},\"cache_hits\":{},\"rows_scanned\":{},\"bounds_screened\":{},\"exact_solves\":{},\"pool_tasks\":{}}}}}",
         report.epoch,
         report.events,
         report.changes,
@@ -68,6 +71,9 @@ fn json_epoch(report: &EpochReport) -> String {
         report.audit.engine.distances_computed,
         report.audit.engine.cache_hits,
         report.audit.engine.rows_scanned,
+        report.audit.engine.bounds_screened,
+        report.audit.engine.exact_solves,
+        report.audit.engine.pool_tasks,
     )
 }
 

@@ -13,7 +13,7 @@ pub mod lookahead;
 pub mod subsets;
 pub mod unbalanced;
 
-use crate::engine::{EvalEngine, IncrementalEval, SplitChildren};
+use crate::engine::{CandidateScore, EvalEngine, IncrementalEval, SplitChildren};
 use crate::error::AuditError;
 use crate::report::AuditResult;
 use crate::AuditContext;
@@ -109,8 +109,13 @@ pub(crate) struct ChosenSplit {
 /// children costs O(k · changed) distance lookups per candidate instead
 /// of the O(k²) full matrix, and every distance goes through `engine`'s
 /// memo cache. The attribute with the highest average pairwise distance
-/// wins (ties: first). `evaluations` is incremented once per candidate
-/// scored.
+/// wins (ties: first). Scoring is branch-and-bound: each candidate after
+/// the first is screened against the best value so far
+/// ([`IncrementalEval::score_replacements_bounded`]) and abandoned
+/// before any exact distance solve when its upper bound shows it cannot
+/// win — the winner and its value are bit-identical to the unpruned
+/// search. `evaluations` is incremented once per candidate considered,
+/// pruned or not.
 pub(crate) fn choose_attribute(
     engine: &EvalEngine<'_, '_>,
     parts: &[Arc<crate::Partition>],
@@ -155,10 +160,13 @@ pub(crate) fn choose_attribute(
                     .iter()
                     .map(|(i, children)| (*i, children.as_slice()))
                     .collect();
-                let value = incremental.score_replacements(&replacements)?;
+                let incumbent = best.map(|(_, b)| b);
+                let score = incremental.score_replacements_bounded(&replacements, incumbent)?;
                 *evaluations += 1;
-                if best.is_none_or(|(_, b)| value > b) {
-                    best = Some((index, value));
+                if let CandidateScore::Exact(value) = score {
+                    if best.is_none_or(|(_, b)| value > b) {
+                        best = Some((index, value));
+                    }
                 }
             }
             best.expect("candidates is non-empty").0

@@ -10,7 +10,7 @@
 //! its work; on the paper's 7300-worker dataset the full partitioning
 //! has ~1800 partitions → ~1.6 M pairs per evaluation.
 //!
-//! [`EvalEngine`] fixes this at three levels:
+//! [`EvalEngine`] fixes this at four levels:
 //!
 //! 1. **Memo cache** — every computed distance is cached under the
 //!    ordered pair of the partitions' predicate fingerprints
@@ -27,17 +27,26 @@
 //!    distances that were just cached).
 //! 3. **Parallel path** — full evaluations over at least
 //!    [`EvalEngine::with_parallel_threshold`] live partitions classify
-//!    cache hits serially, compute the misses on scoped worker threads
-//!    (the pattern of
-//!    [`crate::unfairness::average_pairwise_parallel`]), and take the
+//!    cache hits serially, compute the misses in fixed-size chunks on
+//!    the persistent worker pool ([`crate::pool::WorkerPool`] — spawned
+//!    once per process, reused across calls and epochs), and take the
 //!    final sum serially in pair order so the result is independent of
 //!    the thread count. A distance error in a worker propagates as
 //!    [`AuditError::Distance`], not a panic.
+//! 4. **Bound screen** — [`IncrementalEval::score_replacements_bounded`]
+//!    upper-bounds a candidate replacement from warm memo entries plus
+//!    the distance's cheap bounds
+//!    ([`fairjob_hist::HistogramDistance::bounds`], fed by each
+//!    histogram's cached prefix CDF) and abandons it before any exact
+//!    solve when the bound plus [`crate::unfairness::PRUNE_MARGIN`]
+//!    still falls short of the incumbent — the branch-and-bound step
+//!    of the candidate search. Pruned candidates provably cannot win,
+//!    so search results stay bit-identical.
 //!
 //! On top of the distance paths sits the **partition-materialisation
 //! fast path**:
 //!
-//! 4. **Split cache** — [`EvalEngine::split`] materialises candidate
+//! 5. **Split cache** — [`EvalEngine::split`] materialises candidate
 //!    splits through the single-pass kernel
 //!    ([`AuditContext::split`]) and memoises the children under the
 //!    parent's predicate fingerprint × attribute, sharing them as
@@ -45,11 +54,12 @@
 //!    recomputed every greedy round by the seed — cost zero row scans
 //!    after first touch. Non-viable splits are negatively cached too,
 //!    since greedy loops retry them each round.
-//! 5. **Parallel candidate search** — [`EvalEngine::split_batch`]
-//!    classifies cache hits serially, computes the missing splits on
-//!    scoped worker threads (the kernel is pure), and inserts results
-//!    serially in request order, so every counter and every returned
-//!    child is identical for every thread count.
+//! 6. **Parallel candidate search** — [`EvalEngine::split_batch`]
+//!    classifies cache hits serially, computes the missing splits in
+//!    fixed-size chunks on the persistent worker pool (the kernel is
+//!    pure), and inserts results serially in request order, so every
+//!    counter and every returned child is identical for every thread
+//!    count.
 //!
 //! The engine counts distances computed, cache hits, and cache bypasses,
 //! plus splits computed, split-cache hits, rows scanned, and histograms
@@ -61,7 +71,8 @@
 use crate::context::AuditContext;
 use crate::error::AuditError;
 use crate::partition::Partition;
-use crate::unfairness::{DistanceOracle, PairwiseAverager, UNKEYED_BIT};
+use crate::pool::WorkerPool;
+use crate::unfairness::{DistanceOracle, PairwiseAverager, PAIR_CHUNK, PRUNE_MARGIN, UNKEYED_BIT};
 use fairjob_hist::{BinSpec, Histogram};
 use fairjob_store::{Predicate, RowSet};
 use std::borrow::Borrow;
@@ -128,6 +139,12 @@ pub struct InvalidationReport {
 
 /// Default cap on each cache's entry count.
 const DEFAULT_CACHE_CAPACITY: usize = 8_000_000;
+
+/// Fixed chunk size (in split requests) for candidate-split batches
+/// dispatched to the worker pool. Independent of the thread count, so
+/// the `pool_tasks` counter — and the serial request-order insertion
+/// downstream — are identical no matter how many workers run.
+const SPLIT_CHUNK: usize = 8;
 
 /// The engine's cache state, detached from any engine lifetime so it
 /// can survive across epochs of a streaming audit: the EMD memo, the
@@ -440,6 +457,16 @@ pub struct EngineStats {
     /// Split-cache entries dropped by generation-based eviction when
     /// the cache hit its capacity.
     pub split_evictions: u64,
+    /// Candidate pairs settled by the bound screen alone — exact solves
+    /// the branch-and-bound pruning skipped.
+    pub bounds_screened: u64,
+    /// Distances computed while scoring candidates exactly (the
+    /// survivors of the bound screen; a subset of `distances_computed`).
+    pub exact_solves: u64,
+    /// Chunks dispatched through the persistent worker pool (counted
+    /// even when executed inline at one thread, so the counter is
+    /// thread-count independent).
+    pub pool_tasks: u64,
 }
 
 impl EngineStats {
@@ -478,6 +505,9 @@ pub struct EvalEngine<'c, 'a> {
     histograms_built: Cell<u64>,
     cache_evictions: Cell<u64>,
     split_evictions: Cell<u64>,
+    bounds_screened: Cell<u64>,
+    exact_solves: Cell<u64>,
+    pool_tasks: Cell<u64>,
     parallel_threshold: usize,
     threads: usize,
 }
@@ -524,6 +554,9 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
             histograms_built: Cell::new(0),
             cache_evictions: Cell::new(0),
             split_evictions: Cell::new(0),
+            bounds_screened: Cell::new(0),
+            exact_solves: Cell::new(0),
+            pool_tasks: Cell::new(0),
             parallel_threshold: 256,
             threads,
         }
@@ -575,11 +608,52 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
             histograms_built: self.histograms_built.get(),
             cache_evictions: self.cache_evictions.get(),
             split_evictions: self.split_evictions.get(),
+            bounds_screened: self.bounds_screened.get(),
+            exact_solves: self.exact_solves.get(),
+            pool_tasks: self.pool_tasks.get(),
         }
     }
 
     fn bump(counter: &Cell<u64>) {
         counter.set(counter.get() + 1);
+    }
+
+    fn note_screened(&self, pairs: u64) {
+        self.bounds_screened.set(self.bounds_screened.get() + pairs);
+    }
+
+    fn note_exact_solves(&self, solves: u64) {
+        self.exact_solves.set(self.exact_solves.get() + solves);
+    }
+
+    fn note_pool_tasks(&self, chunks: u64) {
+        self.pool_tasks.set(self.pool_tasks.get() + chunks);
+    }
+
+    /// An upper bound on the distance between two keyed histograms,
+    /// without computing it: a warm memo entry answers exactly (second
+    /// element `true`), otherwise the distance's bound provider answers
+    /// (`false`). `None` means neither is available and the caller must
+    /// fall back to exact scoring. Probes never touch the lookup
+    /// counters — a bound pass is not a distance lookup.
+    fn pair_upper(
+        &self,
+        key_a: u128,
+        a: &Histogram,
+        key_b: u128,
+        b: &Histogram,
+    ) -> Option<(f64, bool)> {
+        if (key_a | key_b) & UNKEYED_BIT == 0 {
+            let key = if key_a <= key_b {
+                (key_a, key_b)
+            } else {
+                (key_b, key_a)
+            };
+            if let Some(d) = self.caches.borrow().get_distance(key) {
+                return Some((d, true));
+            }
+        }
+        self.ctx.distance().bounds(a, b).map(|bd| (bd.upper, false))
     }
 
     /// Record a partition's predicate in the cache registry so
@@ -650,10 +724,11 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
 
     /// The deterministic parallel candidate search: answer a batch of
     /// split requests at once. Cache hits are classified serially;
-    /// misses run the split kernel on scoped worker threads (the kernel
-    /// is pure — it only reads the context); results and counters are
-    /// then recorded serially in request order. Returned children,
-    /// counters, and cache state are identical for every thread count.
+    /// misses run the split kernel in fixed-size chunks on the
+    /// persistent worker pool (the kernel is pure — it only reads the
+    /// context); results and counters are then recorded serially in
+    /// request order. Returned children, counters, and cache state are
+    /// identical for every thread count.
     pub fn split_batch(&self, requests: &[(&Partition, usize)]) -> Vec<Option<SplitChildren>> {
         let mut results: Vec<Option<Option<SplitChildren>>> = vec![None; requests.len()];
         let mut misses: Vec<usize> = Vec::new();
@@ -676,39 +751,22 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
             }
         }
         if !misses.is_empty() {
-            let computed: Vec<Option<Vec<Partition>>> = if misses.len() > 1 && self.threads > 1 {
-                let threads = self.threads.min(misses.len());
-                let chunk_len = misses.len().div_ceil(threads);
-                let ctx = self.ctx;
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = misses
-                        .chunks(chunk_len)
-                        .map(|chunk| {
-                            scope.spawn(move || {
-                                chunk
-                                    .iter()
-                                    .map(|&at| {
-                                        let (part, attr) = requests[at];
-                                        ctx.split(part, attr)
-                                    })
-                                    .collect::<Vec<_>>()
-                            })
+            let chunks: Vec<&[usize]> = misses.chunks(SPLIT_CHUNK).collect();
+            self.note_pool_tasks(chunks.len() as u64);
+            let ctx = self.ctx;
+            let computed: Vec<Option<Vec<Partition>>> = WorkerPool::global()
+                .run_chunks(self.threads, chunks.len(), |c| {
+                    chunks[c]
+                        .iter()
+                        .map(|&at| {
+                            let (part, attr) = requests[at];
+                            ctx.split(part, attr)
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .flat_map(|h| h.join().expect("split worker panicked"))
-                        .collect()
+                        .collect::<Vec<_>>()
                 })
-            } else {
-                misses
-                    .iter()
-                    .map(|&at| {
-                        let (part, attr) = requests[at];
-                        self.ctx.split(part, attr)
-                    })
-                    .collect()
-            };
+                .into_iter()
+                .flatten()
+                .collect();
             let mut caches = self.caches.borrow_mut();
             for (&at, children) in misses.iter().zip(computed) {
                 let (part, attr) = requests[at];
@@ -831,7 +889,10 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
         }
         let pairs = n * (n - 1) / 2;
         let keys: Vec<u128> = live.iter().map(|p| self.register(p)).collect();
-        if n >= self.parallel_threshold && self.threads > 1 {
+        // Note: no thread-count condition — at one thread the batched
+        // path runs its chunks inline, so counters (`pool_tasks`
+        // included) are identical for every thread count.
+        if n >= self.parallel_threshold {
             return self.unfairness_parallel(&live, &keys, pairs);
         }
         let mut sum = 0.0;
@@ -845,8 +906,9 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
     }
 
     /// The parallel full evaluation: serial hit/miss classification,
-    /// scoped-thread miss computation, then a serial sum in (i, j) pair
-    /// order so the floating-point result is thread-count independent.
+    /// miss computation in fixed-size chunks on the persistent worker
+    /// pool, then a serial sum in (i, j) pair order so the
+    /// floating-point result is thread-count independent.
     fn unfairness_parallel(
         &self,
         live: &[&Partition],
@@ -882,30 +944,22 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
             self.cache_hits.set(self.cache_hits.get() + hits);
         }
         if !misses.is_empty() {
-            let threads = self.threads.min(misses.len());
-            let chunk_len = misses.len().div_ceil(threads);
+            let chunk_count = misses.len().div_ceil(PAIR_CHUNK);
+            self.note_pool_tasks(chunk_count as u64);
             let distance = self.ctx.distance();
-            let results: Vec<Result<Vec<f64>, AuditError>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = misses
-                    .chunks(chunk_len)
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            chunk
-                                .iter()
-                                .map(|&(_, i, j)| {
-                                    distance
-                                        .distance(&live[i].histogram, &live[j].histogram)
-                                        .map_err(AuditError::from)
-                                })
-                                .collect()
+            let results: Vec<Result<Vec<f64>, AuditError>> =
+                WorkerPool::global().run_chunks(self.threads, chunk_count, |c| {
+                    let lo = c * PAIR_CHUNK;
+                    let hi = (lo + PAIR_CHUNK).min(misses.len());
+                    misses[lo..hi]
+                        .iter()
+                        .map(|&(_, i, j)| {
+                            distance
+                                .distance(&live[i].histogram, &live[j].histogram)
+                                .map_err(AuditError::from)
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("unfairness worker panicked"))
-                    .collect()
-            });
+                        .collect()
+                });
             let mut computed: Vec<f64> = Vec::with_capacity(misses.len());
             for r in results {
                 computed.extend(r?);
@@ -969,6 +1023,23 @@ pub struct IncrementalEval<'e, 'c, 'a> {
 /// in the averager).
 const EMPTY_SLOT: usize = usize::MAX;
 
+/// Outcome of a bounded candidate scoring
+/// ([`IncrementalEval::score_replacements_bounded`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CandidateScore {
+    /// The candidate was scored exactly — bit for bit the value
+    /// [`IncrementalEval::score_replacements`] would have returned.
+    Exact(f64),
+    /// The candidate was abandoned before any exact solve: its average
+    /// provably cannot exceed `upper_bound`, which fell short of the
+    /// caller's incumbent by more than
+    /// [`crate::unfairness::PRUNE_MARGIN`], so it cannot have won.
+    Pruned {
+        /// The bound screen's upper bound on the candidate's average.
+        upper_bound: f64,
+    },
+}
+
 impl<'e, 'c, 'a> IncrementalEval<'e, 'c, 'a> {
     /// Seed the evaluator with the current partitioning. Empty
     /// partitions are skipped, matching the naive evaluation's filter.
@@ -1015,6 +1086,32 @@ impl<'e, 'c, 'a> IncrementalEval<'e, 'c, 'a> {
         &mut self,
         replacements: &[(usize, &[P])],
     ) -> Result<f64, AuditError> {
+        match self.score_replacements_bounded(replacements, None)? {
+            CandidateScore::Exact(value) => Ok(value),
+            CandidateScore::Pruned { .. } => unreachable!("no incumbent was given"),
+        }
+    }
+
+    /// [`IncrementalEval::score_replacements`] with branch-and-bound:
+    /// given the incumbent best value, the candidate is first screened
+    /// with an upper bound assembled from warm memo entries and the
+    /// distance's cheap bounds — zero exact solves — and abandoned
+    /// ([`CandidateScore::Pruned`]) when the bound plus
+    /// [`crate::unfairness::PRUNE_MARGIN`] still falls short of the
+    /// incumbent. A pruned candidate provably cannot have replaced the
+    /// incumbent (replacement requires a strictly greater value), so
+    /// searches built on this method return bit-identical winners and
+    /// values. Candidates that survive the screen (or have no bound)
+    /// are scored exactly, same as [`IncrementalEval::score_replacements`].
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::Distance`] from the underlying distance.
+    pub fn score_replacements_bounded<P: Borrow<Partition>>(
+        &mut self,
+        replacements: &[(usize, &[P])],
+        incumbent: Option<f64>,
+    ) -> Result<CandidateScore, AuditError> {
         let mut removed: Vec<(usize, u128, Histogram)> = Vec::with_capacity(replacements.len());
         for &(index, _) in replacements {
             if self.slots[index] == EMPTY_SLOT {
@@ -1024,6 +1121,18 @@ impl<'e, 'c, 'a> IncrementalEval<'e, 'c, 'a> {
                 removed.push((index, key, hist));
             }
         }
+        if let Some(best) = incumbent {
+            if let Some((upper_bound, screened)) = self.candidate_upper_bound(replacements) {
+                if upper_bound + PRUNE_MARGIN < best {
+                    self.engine.note_screened(screened);
+                    for (index, key, hist) in removed {
+                        self.slots[index] = self.averager.insert_keyed(key, hist)?;
+                    }
+                    return Ok(CandidateScore::Pruned { upper_bound });
+                }
+            }
+        }
+        let before = self.engine.stats().distances_computed;
         let mut child_slots: Vec<usize> = Vec::new();
         for &(_, children) in replacements {
             for child in children
@@ -1044,7 +1153,52 @@ impl<'e, 'c, 'a> IncrementalEval<'e, 'c, 'a> {
         for (index, key, hist) in removed {
             self.slots[index] = self.averager.insert_keyed(key, hist)?;
         }
-        Ok(value)
+        self.engine
+            .note_exact_solves(self.engine.stats().distances_computed - before);
+        Ok(CandidateScore::Exact(value))
+    }
+
+    /// Upper-bound the candidate average "replace these partitions by
+    /// their children" from warm memo entries and cheap distance bounds
+    /// alone — zero exact solves. Returns the bound plus the number of
+    /// pairs settled by bounds rather than the memo (the exact solves a
+    /// prune skips), or `None` when some needed pair has neither (the
+    /// screen is inapplicable). Must be called with the replaced
+    /// partitions already removed from the averager.
+    fn candidate_upper_bound<P: Borrow<Partition>>(
+        &self,
+        replacements: &[(usize, &[P])],
+    ) -> Option<(f64, u64)> {
+        let children: Vec<(u128, &Histogram)> = replacements
+            .iter()
+            .flat_map(|&(_, kids)| kids.iter().map(Borrow::borrow))
+            .filter(|c| !c.is_empty())
+            .map(|c| (self.engine.register(c), &c.histogram))
+            .collect();
+        let total = self.averager.len() + children.len();
+        if total < 2 {
+            return Some((0.0, 0));
+        }
+        // The untouched pairs' sum is already maintained; only the
+        // child × untouched and child × child pairs need bounding.
+        let mut sum = self.averager.pair_sum();
+        let mut screened = 0u64;
+        for &(child_key, child) in &children {
+            for (other_key, other) in self.averager.live_entries() {
+                let (upper, warm) = self.engine.pair_upper(child_key, child, other_key, other)?;
+                sum += upper;
+                screened += u64::from(!warm);
+            }
+        }
+        for (i, &(key_a, a)) in children.iter().enumerate() {
+            for &(key_b, b) in &children[i + 1..] {
+                let (upper, warm) = self.engine.pair_upper(key_a, a, key_b, b)?;
+                sum += upper;
+                screened += u64::from(!warm);
+            }
+        }
+        let pairs = total * (total - 1) / 2;
+        Some((sum / pairs as f64, screened))
     }
 }
 
@@ -1184,6 +1338,44 @@ mod tests {
         let again = inc.score_replacements(&[(0, &male_langs)]).unwrap();
         assert_eq!(again, score);
         assert_eq!(engine.stats().distances_computed, computed_before);
+    }
+
+    #[test]
+    fn bounded_scoring_prunes_hopeless_candidates_and_matches_exact() {
+        let (t, scores) = toy_workers();
+        let ctx = toy_ctx(&t, &scores);
+        let engine = EvalEngine::new(&ctx);
+        let genders = ctx.split(&ctx.root(), 0).unwrap();
+        let male_langs = ctx.split(&genders[0], 1).unwrap();
+        let mut inc = IncrementalEval::new(&engine, &genders).unwrap();
+        let exact = inc.score_replacements(&[(0, &male_langs)]).unwrap();
+        // Beatable incumbent: the screen cannot prune, and the bounded
+        // path returns the exact value, bit for bit.
+        match inc
+            .score_replacements_bounded(&[(0, &male_langs)], Some(0.0))
+            .unwrap()
+        {
+            CandidateScore::Exact(v) => assert_eq!(v.to_bits(), exact.to_bits()),
+            CandidateScore::Pruned { .. } => panic!("candidate beats a zero incumbent"),
+        }
+        // Unbeatable incumbent: pruned without a single new distance,
+        // with the skipped pairs counted and the seeded state restored.
+        let stats = engine.stats();
+        match inc
+            .score_replacements_bounded(&[(0, &male_langs)], Some(1e6))
+            .unwrap()
+        {
+            CandidateScore::Pruned { upper_bound } => {
+                assert!(upper_bound >= exact - 1e-9, "{upper_bound} < {exact}");
+            }
+            CandidateScore::Exact(_) => panic!("nothing beats an incumbent of 1e6"),
+        }
+        assert_eq!(engine.stats().distances_computed, stats.distances_computed);
+        assert!(engine.stats().bounds_screened >= stats.bounds_screened);
+        assert!((inc.average() - ctx.unfairness(&genders).unwrap()).abs() < 1e-12);
+        // Scoring exactly again still matches the first run.
+        let again = inc.score_replacements(&[(0, &male_langs)]).unwrap();
+        assert_eq!(again.to_bits(), exact.to_bits());
     }
 
     #[test]

@@ -51,14 +51,15 @@ pub mod error;
 pub mod exposure;
 pub mod joint;
 pub mod partition;
+pub mod pool;
 pub mod report;
 pub mod stats;
 pub mod unfairness;
 
 pub use context::{AuditConfig, AuditContext};
 pub use engine::{
-    EngineCaches, EngineStats, EvalEngine, IncrementalEval, InvalidationReport, RowChange,
-    RowFacts, SplitChildren,
+    CandidateScore, EngineCaches, EngineStats, EvalEngine, IncrementalEval, InvalidationReport,
+    RowChange, RowFacts, SplitChildren,
 };
 pub use error::AuditError;
 pub use partition::{Partition, Partitioning};

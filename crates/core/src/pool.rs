@@ -1,0 +1,325 @@
+//! A persistent, lazily-spawned worker pool.
+//!
+//! Before this module, every parallel evaluation — candidate split
+//! batches, parallel pairwise-EMD sums — paid for a fresh set of
+//! `std::thread::scope` spawns, once per call, thousands of times per
+//! audit and again every streaming epoch. The pool here is spawned once
+//! (lazily, on the first parallel batch), parks between batches, and is
+//! shared by every engine and every [`fairjob-stream`] epoch in the
+//! process; [`WorkerPool::threads_spawned`] counts lifetime spawns so CI
+//! can assert the "no per-call spawns" contract with a real counter.
+//!
+//! # Determinism
+//!
+//! The pool deliberately exposes *indexed* work only:
+//! [`WorkerPool::run_chunks`] gives each chunk index its own result
+//! slot, workers self-schedule chunk indices work-stealing style
+//! (whoever is free claims the next index), and the caller reassembles
+//! results in index order. Which worker ran which chunk varies run to
+//! run; the returned `Vec` never does. Callers that need bit-identical
+//! floating-point results across thread counts get them by reducing the
+//! returned slots serially, in index order.
+//!
+//! # Panics
+//!
+//! A panic inside a chunk closure is caught on the worker, recorded,
+//! and re-raised on the calling thread after the batch drains — the
+//! same observable behaviour as `std::thread::scope`, without poisoning
+//! the long-lived workers.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Ceiling on global pool workers; matches the engine's default thread
+/// cap so `available_parallelism` boxes never oversubscribe.
+const MAX_GLOBAL_WORKERS: usize = 8;
+
+/// One batch posted to the pool: a type-erased pointer to the caller's
+/// work closure plus the rendezvous state the caller blocks on.
+struct Job {
+    /// `&(dyn Fn() + Sync)` borrowed from the submitting thread's
+    /// stack, lifetime-erased. Only dereferenced while the submitting
+    /// call frame is alive: claims happen under the queue lock, the
+    /// submitter removes the job from the queue (stopping new claims)
+    /// and then waits until `finished == taken` before returning.
+    work: *const (dyn Fn() + Sync),
+    /// Helper invocations still claimable by workers.
+    tickets: usize,
+    shared: Arc<JobShared>,
+}
+
+// SAFETY: `work` is only dereferenced under the protocol documented on
+// the field — the pointee outlives every dereference — and the pointee
+// is `Sync`, so concurrent invocation is allowed.
+unsafe impl Send for Job {}
+
+#[derive(Default)]
+struct JobShared {
+    state: Mutex<JobState>,
+    done: Condvar,
+}
+
+#[derive(Default)]
+struct JobState {
+    taken: usize,
+    finished: usize,
+    panicked: bool,
+}
+
+struct PoolInner {
+    queue: Mutex<Vec<Job>>,
+    available: Condvar,
+}
+
+/// The persistent pool. Use [`WorkerPool::global`] rather than
+/// constructing one per call site — sharing is the whole point.
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+    max_workers: usize,
+    /// Guards spawning; holds the number of workers spawned so far.
+    spawn: Mutex<usize>,
+    /// Lifetime spawn counter, readable without the lock.
+    threads_spawned: AtomicUsize,
+}
+
+impl WorkerPool {
+    /// A pool that will lazily spawn at most `max_workers` workers.
+    pub fn new(max_workers: usize) -> Self {
+        WorkerPool {
+            inner: Arc::new(PoolInner {
+                queue: Mutex::new(Vec::new()),
+                available: Condvar::new(),
+            }),
+            max_workers,
+            spawn: Mutex::new(0),
+            threads_spawned: AtomicUsize::new(0),
+        }
+    }
+
+    /// The process-wide shared pool, sized to the machine (capped at
+    /// 8 workers, like the engine's default thread count). Workers are
+    /// only spawned once a batch actually asks for helpers.
+    pub fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+            // The submitting thread participates too, so keep one core
+            // for it.
+            WorkerPool::new(cores.saturating_sub(1).min(MAX_GLOBAL_WORKERS))
+        })
+    }
+
+    /// Workers ever spawned by this pool. Stays flat across batches —
+    /// the counter CI uses to assert that per-call thread spawning is
+    /// gone.
+    pub fn threads_spawned(&self) -> usize {
+        self.threads_spawned.load(Ordering::Relaxed)
+    }
+
+    /// Maximum number of helper workers this pool will ever run.
+    pub fn max_workers(&self) -> usize {
+        self.max_workers
+    }
+
+    fn ensure_spawned(&self, wanted: usize) {
+        let wanted = wanted.min(self.max_workers);
+        let mut spawned = self.spawn.lock().expect("pool spawn lock");
+        while *spawned < wanted {
+            let inner = Arc::clone(&self.inner);
+            std::thread::Builder::new()
+                .name(format!("fairjob-pool-{spawned}"))
+                .spawn(move || worker_loop(&inner))
+                .expect("spawn pool worker");
+            *spawned += 1;
+            self.threads_spawned.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Run `work` on the calling thread *and* up to `helpers` pool
+    /// workers concurrently, returning once every started invocation
+    /// has finished. `work` must partition its own input (e.g. by
+    /// claiming indices from an atomic counter); extra invocations that
+    /// find nothing to claim simply return.
+    pub fn run(&self, helpers: usize, work: &(dyn Fn() + Sync)) {
+        let helpers = helpers.min(self.max_workers);
+        let shared = Arc::new(JobShared::default());
+        if helpers > 0 {
+            self.ensure_spawned(helpers);
+            // SAFETY: erases the borrow's lifetime so the job can sit in
+            // the 'static queue; `Job::work` documents why the pointer
+            // is never dereferenced after this call returns.
+            let work: *const (dyn Fn() + Sync) =
+                unsafe { std::mem::transmute(work as *const (dyn Fn() + Sync + '_)) };
+            self.inner.queue.lock().expect("pool queue").push(Job {
+                work,
+                tickets: helpers,
+                shared: Arc::clone(&shared),
+            });
+            self.inner.available.notify_all();
+        }
+        let caller = catch_unwind(AssertUnwindSafe(&work));
+        if helpers > 0 {
+            // Remove any unclaimed tickets — no new claims can start
+            // once the job is off the queue — then wait out the claimed
+            // invocations.
+            self.inner
+                .queue
+                .lock()
+                .expect("pool queue")
+                .retain(|job| !Arc::ptr_eq(&job.shared, &shared));
+            let mut state = shared.state.lock().expect("pool job state");
+            while state.finished < state.taken {
+                state = shared.done.wait(state).expect("pool job state");
+            }
+            if state.panicked && caller.is_ok() {
+                drop(state);
+                panic!("worker pool task panicked");
+            }
+        }
+        if let Err(payload) = caller {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Evaluate `f(0..chunks)` with up to `parallelism` concurrent
+    /// threads (the caller plus pool helpers) and return the results in
+    /// chunk order. `parallelism <= 1` runs everything inline on the
+    /// caller — same results, no synchronisation.
+    pub fn run_chunks<T, F>(&self, parallelism: usize, chunks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if chunks == 0 {
+            return Vec::new();
+        }
+        let parallelism = parallelism.max(1).min(chunks);
+        if parallelism == 1 {
+            return (0..chunks).map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let work = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= chunks {
+                break;
+            }
+            let value = f(i);
+            *slots[i].lock().expect("pool result slot") = Some(value);
+        };
+        self.run(parallelism - 1, &work);
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("pool result slot")
+                    .expect("every chunk completed")
+            })
+            .collect()
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    loop {
+        let (work, shared) = {
+            let mut queue = inner.queue.lock().expect("pool queue");
+            loop {
+                if let Some(pos) = queue.iter().position(|job| job.tickets > 0) {
+                    let job = &mut queue[pos];
+                    job.tickets -= 1;
+                    job.shared.state.lock().expect("pool job state").taken += 1;
+                    let claimed = (job.work, Arc::clone(&job.shared));
+                    if job.tickets == 0 {
+                        queue.remove(pos);
+                    }
+                    break claimed;
+                }
+                queue = inner.available.wait(queue).expect("pool queue");
+            }
+        };
+        // SAFETY: the claim above happened under the queue lock, before
+        // the submitter could remove the job, so the submitter is still
+        // blocked in `run` and the pointee is alive (see `Job::work`).
+        let work = unsafe { &*work };
+        let outcome = catch_unwind(AssertUnwindSafe(work));
+        let mut state = shared.state.lock().expect("pool job state");
+        state.finished += 1;
+        if outcome.is_err() {
+            state.panicked = true;
+        }
+        drop(state);
+        shared.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_chunks_returns_results_in_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool.run_chunks(4, 100, |i| i * i);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn inline_path_matches_parallel_path() {
+        let pool = WorkerPool::new(4);
+        let serial = pool.run_chunks(1, 37, |i| (i as f64).sqrt());
+        let parallel = pool.run_chunks(4, 37, |i| (i as f64).sqrt());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn workers_are_reused_across_batches() {
+        let pool = WorkerPool::new(3);
+        for _ in 0..50 {
+            let _ = pool.run_chunks(4, 16, |i| i + 1);
+        }
+        assert!(
+            pool.threads_spawned() <= 3,
+            "pool spawned {} threads for 50 batches",
+            pool.threads_spawned()
+        );
+    }
+
+    #[test]
+    fn zero_helpers_runs_inline_without_spawning() {
+        let pool = WorkerPool::new(0);
+        let out = pool.run_chunks(8, 5, |i| i);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(pool.threads_spawned(), 0);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_chunks(3, 64, |i| {
+                if i == 40 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err());
+        // The pool survives the panic and keeps serving batches.
+        let out = pool.run_chunks(3, 8, |i| i * 2);
+        assert_eq!(out[7], 14);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_capped() {
+        let a = WorkerPool::global();
+        let b = WorkerPool::global();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.max_workers() <= MAX_GLOBAL_WORKERS);
+    }
+}

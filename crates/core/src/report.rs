@@ -87,6 +87,12 @@ impl AuditResult {
                 self.engine.cache_evictions, self.engine.split_evictions,
             ));
         }
+        if self.engine.bounds_screened + self.engine.exact_solves + self.engine.pool_tasks > 0 {
+            out.push_str(&format!(
+                "bounds: {} pairs screened, {} exact solves, {} pool tasks\n",
+                self.engine.bounds_screened, self.engine.exact_solves, self.engine.pool_tasks,
+            ));
+        }
         let mut parts: Vec<&crate::Partition> = self.partitioning.partitions().iter().collect();
         parts.sort_by_key(|p| std::cmp::Reverse(p.len()));
         for p in parts {
@@ -153,7 +159,7 @@ impl AuditResult {
             })
             .collect();
         format!(
-            "{{\"algorithm\":\"{}\",\"distance\":\"{}\",\"unfairness\":{:.6},\"elapsed_ms\":{:.3},\"candidates_evaluated\":{},\"engine\":{{\"distances_computed\":{},\"cache_hits\":{},\"cache_bypasses\":{},\"splits_computed\":{},\"split_cache_hits\":{},\"rows_scanned\":{},\"histograms_built\":{},\"cache_evictions\":{},\"split_evictions\":{}}},\"attributes_used\":[{}],\"partitions\":[{}]}}",
+            "{{\"algorithm\":\"{}\",\"distance\":\"{}\",\"unfairness\":{:.6},\"elapsed_ms\":{:.3},\"candidates_evaluated\":{},\"engine\":{{\"distances_computed\":{},\"cache_hits\":{},\"cache_bypasses\":{},\"splits_computed\":{},\"split_cache_hits\":{},\"rows_scanned\":{},\"histograms_built\":{},\"cache_evictions\":{},\"split_evictions\":{},\"bounds_screened\":{},\"exact_solves\":{},\"pool_tasks\":{}}},\"attributes_used\":[{}],\"partitions\":[{}]}}",
             json_escape(&self.algorithm),
             json_escape(ctx.distance().name()),
             self.unfairness,
@@ -168,6 +174,9 @@ impl AuditResult {
             self.engine.histograms_built,
             self.engine.cache_evictions,
             self.engine.split_evictions,
+            self.engine.bounds_screened,
+            self.engine.exact_solves,
+            self.engine.pool_tasks,
             attributes.join(","),
             partitions.join(",")
         )
@@ -202,6 +211,9 @@ mod tests {
                 histograms_built: 12,
                 cache_evictions: 2,
                 split_evictions: 0,
+                bounds_screened: 40,
+                exact_solves: 6,
+                pool_tasks: 3,
             },
         };
         let text = result.render(&ctx, false);
@@ -210,6 +222,7 @@ mod tests {
         assert!(text
             .contains("splits: 5 computed, 11 cache hits, 320 rows scanned, 12 histograms built"));
         assert!(text.contains("evictions: 2 distance entries, 0 split entries"));
+        assert!(text.contains("bounds: 40 pairs screened, 6 exact solves, 3 pool tasks"));
         assert!(text.contains("0.5000"));
         assert!(text.contains("gender=Male"));
         assert!(text.contains("gender=Female"));
@@ -240,6 +253,9 @@ mod tests {
                 histograms_built: 8,
                 cache_evictions: 0,
                 split_evictions: 3,
+                bounds_screened: 20,
+                exact_solves: 5,
+                pool_tasks: 2,
             },
         };
         let json = result.to_json(&ctx);
@@ -252,7 +268,7 @@ mod tests {
         assert!(json.contains("\"value\":\"Male\""));
         assert!(json.contains("\"candidates_evaluated\":3"));
         assert!(json.contains(
-            "\"engine\":{\"distances_computed\":7,\"cache_hits\":2,\"cache_bypasses\":1,\"splits_computed\":4,\"split_cache_hits\":9,\"rows_scanned\":250,\"histograms_built\":8,\"cache_evictions\":0,\"split_evictions\":3}"
+            "\"engine\":{\"distances_computed\":7,\"cache_hits\":2,\"cache_bypasses\":1,\"splits_computed\":4,\"split_cache_hits\":9,\"rows_scanned\":250,\"histograms_built\":8,\"cache_evictions\":0,\"split_evictions\":3,\"bounds_screened\":20,\"exact_solves\":5,\"pool_tasks\":2}"
         ));
         assert!(json.starts_with('{') && json.ends_with('}'));
     }

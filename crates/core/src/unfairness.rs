@@ -1,10 +1,189 @@
 //! Average-pairwise-distance computations (Definition 2) over partition
-//! histograms, including the pairwise matrix used by reports and a
-//! threaded variant for large partitionings.
+//! histograms: the serial reference, the bound-pruned batch kernel
+//! ([`pairwise_emd_batch`]), the pairwise matrix used by reports, and
+//! the incremental [`PairwiseAverager`].
 
 use crate::error::AuditError;
 use crate::partition::Partition;
+use crate::pool::WorkerPool;
 use fairjob_hist::{Histogram, HistogramDistance};
+
+/// Floating-point slack added to every bound-vs-incumbent comparison
+/// before pruning. Pruning only ever *skips work whose outcome is
+/// already decided*: a candidate is abandoned only when its upper bound
+/// plus this margin is still below the incumbent, and the margin is
+/// orders of magnitude above the accumulated rounding error of an
+/// average over `< 2^32` pairs of values in `[0, 1]` (~1e-10), so a
+/// pruned candidate can never have won and results stay bit-identical
+/// to the unpruned search.
+pub const PRUNE_MARGIN: f64 = 1e-7;
+
+/// Fixed chunk size (in pairs) for batched exact solves. Independent of
+/// the thread count, so chunk counts — and therefore the `pool_tasks`
+/// counter and the serial chunk-order reduction — are identical no
+/// matter how many workers execute the chunks.
+pub(crate) const PAIR_CHUNK: usize = 1024;
+
+/// Counters from one [`pairwise_emd_batch`] evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Candidate pairs laid out in the arena.
+    pub pairs: u64,
+    /// Pairs settled by the bound screen alone (no exact solver ran).
+    pub bounds_screened: u64,
+    /// Pairs that survived the screen and paid an exact solve.
+    pub exact_solves: u64,
+    /// Chunks dispatched through the worker-pool scheduler (counted
+    /// even when executed inline at parallelism 1, so the counter is
+    /// thread-count independent).
+    pub pool_tasks: u64,
+}
+
+/// Result of one [`pairwise_emd_batch`] evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchValue {
+    /// The exact average pairwise distance — bit-identical to
+    /// [`average_pairwise`] over the same histograms whenever the
+    /// distance's exact bounds are (they are for `Emd1d`).
+    Average(f64),
+    /// The batch was abandoned: its average provably cannot exceed this
+    /// upper bound, which fell short of the caller's incumbent. No
+    /// exact solves were spent.
+    Abandoned(f64),
+}
+
+/// Value plus counters from one [`pairwise_emd_batch`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchOutcome {
+    /// The average, or the upper bound it was abandoned at.
+    pub value: BatchValue,
+    /// What the funnel did to get there.
+    pub stats: BatchStats,
+}
+
+/// Bound-pruned, batched pairwise-distance kernel.
+///
+/// Lays out every candidate pair in one flat structure-of-arrays arena
+/// (row-major upper triangle — the serial evaluation order), screens
+/// the arena with the distance's cheap bounds
+/// ([`HistogramDistance::bounds`], fed by each histogram's cached
+/// prefix CDF), and runs exact solves only on the survivors, in
+/// fixed-size chunks on the persistent worker pool. The final reduction
+/// is serial in pair order, so the result is bit-identical across
+/// thread counts — and bit-identical to [`average_pairwise`] whenever
+/// the screened values are (exact bounds reproduce `Emd1d` bit for
+/// bit; distances without bounds simply have every pair solved).
+///
+/// With `abandon_below = Some(best)`, the kernel additionally gives up
+/// on the whole batch — before any exact solve — when every pair had a
+/// bound and the average of the upper bounds plus [`PRUNE_MARGIN`]
+/// still falls below `best`. That is the branch-and-bound step of the
+/// candidate search: an abandoned candidate provably cannot beat the
+/// incumbent.
+///
+/// # Errors
+///
+/// [`AuditError::Distance`] from the underlying distance.
+pub fn pairwise_emd_batch(
+    histograms: &[&Histogram],
+    distance: &dyn HistogramDistance,
+    threads: usize,
+    abandon_below: Option<f64>,
+) -> Result<BatchOutcome, AuditError> {
+    let mut stats = BatchStats::default();
+    let live: Vec<&Histogram> = histograms
+        .iter()
+        .filter(|h| !h.is_empty())
+        .copied()
+        .collect();
+    let n = live.len();
+    if n < 2 {
+        return Ok(BatchOutcome {
+            value: BatchValue::Average(0.0),
+            stats,
+        });
+    }
+    let pair_count = n * (n - 1) / 2;
+    let mut pair_i: Vec<u32> = Vec::with_capacity(pair_count);
+    let mut pair_j: Vec<u32> = Vec::with_capacity(pair_count);
+    for i in 0..n {
+        for j in i + 1..n {
+            pair_i.push(i as u32);
+            pair_j.push(j as u32);
+        }
+    }
+    stats.pairs = pair_count as u64;
+
+    // Screen pass: settle what the cached-CDF bounds can, keep an upper
+    // bound on the whole sum, and collect the survivors.
+    let mut vals: Vec<f64> = vec![f64::NAN; pair_count];
+    let mut misses: Vec<usize> = Vec::new();
+    let mut upper_sum = 0.0;
+    let mut all_bounded = true;
+    for k in 0..pair_count {
+        let (a, b) = (live[pair_i[k] as usize], live[pair_j[k] as usize]);
+        match distance.bounds(a, b) {
+            Some(bd) if bd.exact => {
+                vals[k] = bd.lower;
+                upper_sum += bd.lower;
+            }
+            Some(bd) => {
+                misses.push(k);
+                upper_sum += bd.upper;
+            }
+            None => {
+                misses.push(k);
+                all_bounded = false;
+            }
+        }
+    }
+
+    if let Some(best) = abandon_below {
+        if all_bounded {
+            let upper_avg = upper_sum / pair_count as f64;
+            if upper_avg + PRUNE_MARGIN < best {
+                stats.bounds_screened = pair_count as u64;
+                return Ok(BatchOutcome {
+                    value: BatchValue::Abandoned(upper_avg),
+                    stats,
+                });
+            }
+        }
+    }
+    stats.bounds_screened = (pair_count - misses.len()) as u64;
+    stats.exact_solves = misses.len() as u64;
+
+    // Exact solves on the survivors through the persistent pool.
+    if !misses.is_empty() {
+        let chunks: Vec<&[usize]> = misses.chunks(PAIR_CHUNK).collect();
+        stats.pool_tasks = chunks.len() as u64;
+        let results: Vec<Result<Vec<f64>, AuditError>> =
+            WorkerPool::global().run_chunks(threads.max(1), chunks.len(), |c| {
+                chunks[c]
+                    .iter()
+                    .map(|&k| {
+                        let (a, b) = (live[pair_i[k] as usize], live[pair_j[k] as usize]);
+                        distance.distance(a, b).map_err(AuditError::from)
+                    })
+                    .collect()
+            });
+        for (chunk, result) in chunks.iter().zip(results) {
+            for (&k, d) in chunk.iter().zip(result?) {
+                vals[k] = d;
+            }
+        }
+    }
+
+    // Serial reduce in pair order.
+    let mut sum = 0.0;
+    for &v in &vals {
+        sum += v;
+    }
+    Ok(BatchOutcome {
+        value: BatchValue::Average(sum / pair_count as f64),
+        stats,
+    })
+}
 
 /// Average pairwise distance over a slice of histograms (empty
 /// histograms are skipped; fewer than two non-empty → 0).
@@ -34,6 +213,11 @@ pub fn average_pairwise(
 /// The full pairwise distance matrix between partitions (symmetric, zero
 /// diagonal). Entry `(i, j)` involving an empty partition is 0.
 ///
+/// Each unordered pair is computed once, on the strict upper triangle,
+/// and mirrored; liveness is resolved once per partition up front
+/// instead of twice per pair, and dead rows short-circuit their whole
+/// row of pair checks.
+///
 /// # Errors
 ///
 /// [`AuditError::Distance`] from the underlying distance.
@@ -42,10 +226,14 @@ pub fn pairwise_matrix(
     distance: &dyn HistogramDistance,
 ) -> Result<Vec<Vec<f64>>, AuditError> {
     let n = parts.len();
+    let live: Vec<bool> = parts.iter().map(|p| !p.is_empty()).collect();
     let mut m = vec![vec![0.0; n]; n];
     for i in 0..n {
+        if !live[i] {
+            continue;
+        }
         for j in i + 1..n {
-            if parts[i].is_empty() || parts[j].is_empty() {
+            if !live[j] {
                 continue;
             }
             let d = distance.distance(&parts[i].histogram, &parts[j].histogram)?;
@@ -56,10 +244,11 @@ pub fn pairwise_matrix(
     Ok(m)
 }
 
-/// Threaded average pairwise distance: splits the pair index space over
-/// `threads` OS threads. Exactly equal to [`average_pairwise`]; pays off
-/// once partition counts reach the high hundreds (the full partitioning
-/// of the 7300-worker dataset has ~1800 partitions → ~1.6 M pairs).
+/// Threaded average pairwise distance over the persistent worker pool.
+/// Bit-identical to [`average_pairwise`] for every thread count (the
+/// batch kernel reduces serially in pair order); pays off once
+/// partition counts reach the high hundreds (the full partitioning of
+/// the 7300-worker dataset has ~1800 partitions → ~1.6 M pairs).
 ///
 /// # Errors
 ///
@@ -69,48 +258,10 @@ pub fn average_pairwise_parallel(
     distance: &dyn HistogramDistance,
     threads: usize,
 ) -> Result<f64, AuditError> {
-    let live: Vec<&Histogram> = histograms
-        .iter()
-        .filter(|h| !h.is_empty())
-        .copied()
-        .collect();
-    let n = live.len();
-    if n < 2 {
-        return Ok(0.0);
+    match pairwise_emd_batch(histograms, distance, threads, None)?.value {
+        BatchValue::Average(value) => Ok(value),
+        BatchValue::Abandoned(_) => unreachable!("no abandon threshold was set"),
     }
-    let threads = threads.max(1).min(n);
-    if threads == 1 {
-        return average_pairwise(histograms, distance);
-    }
-    let results: Vec<Result<f64, AuditError>> = std::thread::scope(|scope| {
-        let live = &live;
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                scope.spawn(move || {
-                    // Strided rows: thread t handles rows t, t+threads, ...
-                    let mut sum = 0.0;
-                    let mut i = t;
-                    while i < n {
-                        for j in i + 1..n {
-                            sum += distance.distance(live[i], live[j])?;
-                        }
-                        i += threads;
-                    }
-                    Ok(sum)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    let mut total = 0.0;
-    for r in results {
-        total += r?;
-    }
-    let pairs = n * (n - 1) / 2;
-    Ok(total / pairs as f64)
 }
 
 /// Keyed distance lookup used by [`PairwiseAverager`] when driven by the
@@ -375,6 +526,23 @@ impl<'d> PairwiseAverager<'d> {
         let pairs = self.live * (self.live - 1) / 2;
         (self.pair_sum + self.comp) / pairs as f64
     }
+
+    /// The (compensated) pairwise distance sum over live entries — the
+    /// numerator of [`PairwiseAverager::average`]. Used by the
+    /// branch-and-bound scorer to extend the current sum with bounds on
+    /// hypothetical new pairs.
+    pub fn pair_sum(&self) -> f64 {
+        self.pair_sum + self.comp
+    }
+
+    /// Iterate the live `(key, histogram)` entries in slot order.
+    pub fn live_entries(&self) -> impl Iterator<Item = (u128, &Histogram)> {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|(_, h)| !h.is_empty())
+            .map(|(k, h)| (*k, h))
+    }
 }
 
 #[cfg(test)]
@@ -423,8 +591,75 @@ mod tests {
         let serial = average_pairwise(&refs, &Emd1d).unwrap();
         for threads in [1, 2, 4, 7, 32] {
             let par = average_pairwise_parallel(&refs, &Emd1d, threads).unwrap();
-            assert!((serial - par).abs() < 1e-12, "threads={threads}");
+            assert_eq!(
+                serial.to_bits(),
+                par.to_bits(),
+                "threads={threads}: serial {serial} vs parallel {par}"
+            );
         }
+    }
+
+    #[test]
+    fn batch_kernel_screens_emd_pairs_without_solving() {
+        let hists: Vec<Histogram> = (0..12)
+            .map(|i| h(&[i as f64 / 12.0, (i as f64 / 12.0 + 0.2).min(1.0)]))
+            .collect();
+        let refs: Vec<&Histogram> = hists.iter().collect();
+        let serial = average_pairwise(&refs, &Emd1d).unwrap();
+        let out = pairwise_emd_batch(&refs, &Emd1d, 2, None).unwrap();
+        assert_eq!(out.value, BatchValue::Average(serial));
+        assert_eq!(out.stats.pairs, 66);
+        // Emd1d has exact bounds, so the screen settles every pair.
+        assert_eq!(out.stats.bounds_screened, 66);
+        assert_eq!(out.stats.exact_solves, 0);
+        assert_eq!(out.stats.pool_tasks, 0);
+    }
+
+    #[test]
+    fn batch_kernel_solves_unbounded_distances_exactly() {
+        use fairjob_hist::distance::TotalVariation;
+        let hists: Vec<Histogram> = (0..10).map(|i| h(&[i as f64 / 10.0])).collect();
+        let refs: Vec<&Histogram> = hists.iter().collect();
+        let serial = average_pairwise(&refs, &TotalVariation).unwrap();
+        for threads in [1usize, 3] {
+            let out = pairwise_emd_batch(&refs, &TotalVariation, threads, None).unwrap();
+            // TotalVariation offers no bounds: every pair is solved, and
+            // the chunk count is thread-independent.
+            assert_eq!(out.value, BatchValue::Average(serial), "threads={threads}");
+            assert_eq!(out.stats.bounds_screened, 0);
+            assert_eq!(out.stats.exact_solves, 45);
+            assert_eq!(out.stats.pool_tasks, 1);
+        }
+    }
+
+    #[test]
+    fn batch_kernel_abandons_hopeless_candidates() {
+        let spread: Vec<Histogram> = vec![h(&[0.05]), h(&[0.95]), h(&[0.5])];
+        let tight: Vec<Histogram> = vec![h(&[0.48]), h(&[0.52]), h(&[0.5])];
+        let spread_refs: Vec<&Histogram> = spread.iter().collect();
+        let tight_refs: Vec<&Histogram> = tight.iter().collect();
+        let incumbent = average_pairwise(&spread_refs, &Emd1d).unwrap();
+        let out = pairwise_emd_batch(&tight_refs, &Emd1d, 1, Some(incumbent)).unwrap();
+        let BatchValue::Abandoned(upper) = out.value else {
+            panic!("tight candidate should be abandoned, got {:?}", out.value);
+        };
+        assert!(upper < incumbent);
+        assert_eq!(out.stats.bounds_screened, out.stats.pairs);
+        assert_eq!(out.stats.exact_solves, 0);
+        // The incumbent itself must never be abandoned against its own
+        // value (the upper bound equals the average for exact bounds).
+        let again = pairwise_emd_batch(&spread_refs, &Emd1d, 1, Some(incumbent)).unwrap();
+        assert_eq!(again.value, BatchValue::Average(incumbent));
+    }
+
+    #[test]
+    fn averager_exposes_sum_and_live_entries() {
+        let hists: Vec<Histogram> = [0.1, 0.5, 0.9].iter().map(|&v| h(&[v])).collect();
+        let avg = PairwiseAverager::with_histograms(&Emd1d, hists).unwrap();
+        let pairs = 3.0;
+        assert!((avg.pair_sum() / pairs - avg.average()).abs() < 1e-15);
+        assert_eq!(avg.live_entries().count(), 3);
+        assert!(avg.live_entries().all(|(k, _)| k & UNKEYED_BIT != 0));
     }
 
     #[test]
@@ -551,5 +786,61 @@ mod tests {
             }
         }
         assert!((m[0][2] - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matrix_parity_with_per_entry_reference() {
+        use fairjob_store::{Predicate, RowSet};
+        // Mix of live and empty partitions so both skip paths fire.
+        let hists = [
+            h(&[0.05, 0.1]),
+            h(&[]),
+            h(&[0.55]),
+            h(&[0.95, 0.9, 0.85]),
+            h(&[]),
+            h(&[0.3, 0.7]),
+        ];
+        let parts: Vec<Partition> = hists
+            .iter()
+            .enumerate()
+            .map(|(i, hist)| {
+                let rows = if hist.total() == 0.0 {
+                    Vec::new()
+                } else {
+                    vec![i as u32]
+                };
+                Partition {
+                    predicate: Predicate::always(),
+                    rows: RowSet::from_rows(rows),
+                    histogram: hist.clone(),
+                }
+            })
+            .collect();
+        let n = parts.len();
+        // Reference: the pre-deduplication behaviour — every ordered
+        // entry resolved independently, both liveness checks per pair.
+        let mut reference = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j || parts[i].is_empty() || parts[j].is_empty() {
+                    continue;
+                }
+                reference[i][j] = Emd1d
+                    .distance(&parts[i].histogram, &parts[j].histogram)
+                    .unwrap();
+            }
+        }
+        let m = pairwise_matrix(&parts, &Emd1d).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(
+                    m[i][j].to_bits(),
+                    reference[i][j].to_bits(),
+                    "entry ({i}, {j}) diverged: {} vs {}",
+                    m[i][j],
+                    reference[i][j]
+                );
+            }
+        }
     }
 }

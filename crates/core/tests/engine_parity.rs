@@ -3,14 +3,33 @@
 //! the naive O(k²) evaluation it replaces — across random populations,
 //! scoring functions, and every algorithm of the paper's comparison.
 
-use fairjob_core::algorithms::{beam::Beam, lookahead::Lookahead, unbalanced::Unbalanced};
-use fairjob_core::algorithms::{paper_algorithms, AttributeChoice};
+use fairjob_core::algorithms::Algorithm;
+use fairjob_core::algorithms::{balanced::Balanced, beam::Beam, lookahead::Lookahead};
+use fairjob_core::algorithms::{paper_algorithms, unbalanced::Unbalanced, AttributeChoice};
 use fairjob_core::{AuditConfig, AuditContext, EvalEngine, IncrementalEval};
+use fairjob_hist::distance::Emd1d;
+use fairjob_hist::{DistanceError, Histogram, HistogramDistance};
 use fairjob_marketplace::scoring::{LinearScore, RuleBasedScore, ScoringFunction};
 use fairjob_marketplace::{bucketise_numeric_protected, generate_uniform};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 const TOLERANCE: f64 = 1e-9;
+
+/// `Emd1d` stripped of its bound provider: identical distances, but the
+/// branch-and-bound screen can never fire, so every candidate is scored
+/// exactly. Used to prove pruning never changes a search result.
+#[derive(Debug)]
+struct NoBounds;
+
+impl HistogramDistance for NoBounds {
+    fn distance(&self, a: &Histogram, b: &Histogram) -> Result<f64, DistanceError> {
+        Emd1d.distance(a, b)
+    }
+    fn name(&self) -> &'static str {
+        "emd-no-bounds"
+    }
+}
 
 /// A generated audit context input: population + scores.
 fn population(size: usize, seed: u64, rule: bool) -> (fairjob_store::table::Table, Vec<f64>) {
@@ -142,6 +161,49 @@ proptest! {
                 );
                 prop_assert_eq!(a.partitioning.len(), b.partitioning.len());
             }
+        }
+    }
+
+    /// Branch-and-bound pruning never changes a search result: the same
+    /// Worst-attribute searches run with `Emd1d` (bounds available, the
+    /// screen prunes) and with the bound-less wrapper (every candidate
+    /// scored exactly) return bit-identical unfairness values and the
+    /// same partitioning shapes.
+    #[test]
+    fn pruned_search_matches_unpruned_search(
+        size in 60usize..200,
+        seed in 0u64..1_000,
+    ) {
+        let (workers, scores) = population(size, seed, seed % 2 == 0);
+        let pruned_ctx =
+            AuditContext::new(&workers, &scores, AuditConfig::default()).unwrap();
+        let unpruned_ctx = AuditContext::new(
+            &workers,
+            &scores,
+            AuditConfig::with_distance(Arc::new(NoBounds)),
+        )
+        .unwrap();
+        let suite = || -> Vec<Box<dyn Algorithm>> {
+            vec![
+                Box::new(Unbalanced::new(AttributeChoice::Worst)),
+                Box::new(Balanced::new(AttributeChoice::Worst)),
+                Box::new(Beam::new(2)),
+            ]
+        };
+        for (a, b) in suite().iter().zip(suite().iter()) {
+            let pruned = a.run(&pruned_ctx).unwrap();
+            let unpruned = b.run(&unpruned_ctx).unwrap();
+            prop_assert_eq!(
+                pruned.unfairness.to_bits(),
+                unpruned.unfairness.to_bits(),
+                "{}: pruned {} vs unpruned {}",
+                pruned.algorithm,
+                pruned.unfairness,
+                unpruned.unfairness
+            );
+            prop_assert_eq!(pruned.partitioning.len(), unpruned.partitioning.len());
+            // Without bounds the screen can never settle a pair.
+            prop_assert_eq!(unpruned.engine.bounds_screened, 0);
         }
     }
 

@@ -7,7 +7,7 @@
 //! single pass over the bins, which is what makes exploring thousands of
 //! candidate partitionings feasible for the auditing algorithms.
 
-use crate::{EmdError, MASS_EPS};
+use crate::EmdError;
 
 /// EMD between two histograms on a shared equal-width grid over `[lo, hi]`.
 ///
@@ -43,9 +43,8 @@ pub fn emd_1d_grid(a: &[f64], b: &[f64], lo: f64, hi: f64) -> Result<f64, EmdErr
     crate::validate_masses(a)?;
     crate::validate_masses(b)?;
     let (ta, tb) = (crate::total(a), crate::total(b));
-    if ta <= MASS_EPS || tb <= MASS_EPS {
-        return Err(EmdError::ZeroMass);
-    }
+    crate::validate_total(ta)?;
+    crate::validate_total(tb)?;
     // EMD = sum over the n-1 interior cut points of |CDF_a - CDF_b| * bin_width.
     let width = (hi - lo) / a.len() as f64;
     let mut ca = 0.0;
@@ -97,9 +96,8 @@ pub fn emd_1d_positions(a: &[f64], b: &[f64], positions: &[f64]) -> Result<f64, 
         }
     }
     let (ta, tb) = (crate::total(a), crate::total(b));
-    if ta <= MASS_EPS || tb <= MASS_EPS {
-        return Err(EmdError::ZeroMass);
-    }
+    crate::validate_total(ta)?;
+    crate::validate_total(tb)?;
     // Between consecutive positions, |CDF_a - CDF_b| mass must travel the gap.
     let mut ca = 0.0;
     let mut cb = 0.0;
@@ -316,6 +314,30 @@ mod tests {
         assert!(matches!(
             emd_1d_positions(&[1.0, 1.0], &[1.0, 1.0], &[0.0, 0.5, 1.0, 1.5]),
             Err(EmdError::LengthMismatch { left: 2, right: 4 })
+        ));
+    }
+
+    #[test]
+    fn overflowing_totals_are_rejected_not_zeroed() {
+        // Every entry is finite, but the totals overflow to +inf; dividing
+        // by them used to zero both CDFs and return a silent 0.0.
+        let huge = [1e308, 1e308];
+        let other = [1.0, 0.0];
+        assert!(matches!(
+            emd_1d_grid(&huge, &other, 0.0, 1.0),
+            Err(EmdError::NonFiniteTotal { .. })
+        ));
+        assert!(matches!(
+            emd_1d_grid(&other, &huge, 0.0, 1.0),
+            Err(EmdError::NonFiniteTotal { .. })
+        ));
+        assert!(matches!(
+            emd_1d_positions(&huge, &other, &[0.0, 1.0]),
+            Err(EmdError::NonFiniteTotal { .. })
+        ));
+        assert!(matches!(
+            crate::normalise(&huge),
+            Err(EmdError::NonFiniteTotal { .. })
         ));
     }
 

@@ -30,6 +30,12 @@ pub enum EmdError {
     },
     /// Total mass is zero so the input cannot be normalised.
     ZeroMass,
+    /// The total mass overflowed to infinity (every entry is finite but
+    /// their sum is not), so normalising would silently zero the input.
+    NonFiniteTotal {
+        /// The overflowed total.
+        value: f64,
+    },
     /// Normalisation is disabled and total masses differ.
     MassMismatch {
         /// Total mass of the left-hand input.
@@ -71,6 +77,9 @@ impl fmt::Display for EmdError {
                 write!(f, "non-finite value {value} at index {index}")
             }
             EmdError::ZeroMass => write!(f, "total mass is zero"),
+            EmdError::NonFiniteTotal { value } => {
+                write!(f, "total mass {value} is not finite")
+            }
             EmdError::MassMismatch { left, right } => {
                 write!(
                     f,

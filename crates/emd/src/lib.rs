@@ -21,6 +21,11 @@
 //!   separate code path, which makes it a strong differential-testing
 //!   oracle for the flow solver.
 //!
+//! [`bounds`] complements the solvers with cheap lower/upper bounds
+//! (projection, total-variation sandwich) and reusable prefix CDFs whose
+//! closed forms are bit-identical to [`d1`] — the screening layer the
+//! auditing kernel uses to avoid exact solves entirely.
+//!
 //! Ground distances are abstracted behind [`ground::GroundDistance`];
 //! [`ground::Thresholded`] implements the robust, saturated ground
 //! distance of Pele & Werman (ICCV 2009) which the paper cites for EMD.
@@ -51,6 +56,7 @@
 //! assert!((d - d2).abs() < 1e-9);
 //! ```
 
+pub mod bounds;
 pub mod d1;
 pub mod error;
 pub mod flow;
@@ -59,6 +65,7 @@ pub mod signature;
 pub mod simplex;
 pub mod transport;
 
+pub use bounds::PrefixCdf;
 pub use d1::{emd_1d_grid, emd_1d_positions, emd_1d_samples};
 pub use error::EmdError;
 pub use ground::{GridL1, GroundDistance, Matrix, PositionsL1, Thresholded};
@@ -218,13 +225,28 @@ pub fn total(v: &[f64]) -> f64 {
 ///
 /// # Errors
 ///
-/// [`EmdError::ZeroMass`] if the total is (numerically) zero.
+/// [`EmdError::ZeroMass`] if the total is (numerically) zero, and
+/// [`EmdError::NonFiniteTotal`] if it overflowed to infinity.
 pub fn normalise(v: &[f64]) -> Result<Vec<f64>, EmdError> {
     let t = total(v);
+    validate_total(t)?;
+    Ok(v.iter().map(|x| x / t).collect())
+}
+
+/// Validate that a mass total is finite and large enough to divide by.
+///
+/// Finite entries can still sum to `+inf` (e.g. two `1e308` bins), and
+/// dividing by an infinite total silently maps every entry to `0.0` —
+/// the distance would come out as a plausible-looking `0.0` instead of
+/// an error.
+pub(crate) fn validate_total(t: f64) -> Result<(), EmdError> {
+    if !t.is_finite() {
+        return Err(EmdError::NonFiniteTotal { value: t });
+    }
     if t <= MASS_EPS {
         return Err(EmdError::ZeroMass);
     }
-    Ok(v.iter().map(|x| x / t).collect())
+    Ok(())
 }
 
 /// Validate that every entry of `v` is a finite, non-negative mass.

@@ -1,6 +1,9 @@
 //! Property-based tests: the EMD solvers agree with each other and the
 //! closed form, and EMD is a metric on normalised histograms.
 
+use fairjob_emd::bounds::{
+    cdf_l1_grid, cdf_l1_positions, projection_lower, tv_lower, tv_upper, PrefixCdf,
+};
 use fairjob_emd::{emd_1d_grid, emd_1d_samples, emd_between, normalise, EmdConfig, GridL1, Solver};
 use proptest::prelude::*;
 
@@ -154,6 +157,80 @@ proptest! {
         let bc = emd_hat(&b, &c, 1.0).unwrap();
         let ac = emd_hat(&a, &c, 1.0).unwrap();
         prop_assert!(ac <= ab + bc + 1e-8, "triangle violated: {ac} > {ab} + {bc}");
+    }
+
+    #[test]
+    fn cdf_closed_form_is_bit_identical_on_grids(a in masses(10), b in masses(10)) {
+        let pa = PrefixCdf::build(&a).unwrap();
+        let pb = PrefixCdf::build(&b).unwrap();
+        let exact = emd_1d_grid(&a, &b, 0.0, 1.0).unwrap();
+        let cached = cdf_l1_grid(&pa, &pb, 0.0, 1.0).unwrap();
+        prop_assert_eq!(exact.to_bits(), cached.to_bits(),
+            "exact={} cached={}", exact, cached);
+    }
+
+    #[test]
+    fn cdf_closed_form_matches_positions_solver(
+        a in masses(8),
+        b in masses(8),
+        gaps in prop::collection::vec(0.0f64..5.0, 8),
+    ) {
+        // Arbitrary sorted positions built from non-negative gaps.
+        let mut pos = Vec::with_capacity(8);
+        let mut x = 0.0;
+        for g in gaps { x += g; pos.push(x); }
+        let pa = PrefixCdf::build(&a).unwrap();
+        let pb = PrefixCdf::build(&b).unwrap();
+        let exact = fairjob_emd::emd_1d_positions(&a, &b, &pos).unwrap();
+        let cached = cdf_l1_positions(&pa, &pb, &pos).unwrap();
+        prop_assert_eq!(exact.to_bits(), cached.to_bits(),
+            "exact={} cached={}", exact, cached);
+        prop_assert!((exact - cached).abs() <= 1e-12);
+    }
+
+    #[test]
+    fn bounds_sandwich_exact_emd_on_line_grounds(a in masses(9), b in masses(9)) {
+        // 9 bins over [0,1]: centres lo + (i + 0.5)/9.
+        let centres: Vec<f64> = (0..9).map(|i| (i as f64 + 0.5) / 9.0).collect();
+        let pa = PrefixCdf::build(&a).unwrap();
+        let pb = PrefixCdf::build(&b).unwrap();
+        let exact = emd_1d_grid(&a, &b, 0.0, 1.0).unwrap();
+        let lower = projection_lower(&pa, &pb, &centres).unwrap()
+            .max(tv_lower(&pa, &pb, 1.0 / 9.0).unwrap());
+        let upper = tv_upper(&pa, &pb, centres[8] - centres[0]).unwrap();
+        prop_assert!(lower <= exact + 1e-12, "lower {lower} > exact {exact}");
+        prop_assert!(exact <= upper + 1e-12, "exact {exact} > upper {upper}");
+    }
+
+    #[test]
+    fn bounds_sandwich_exact_emd_on_all_grounds(
+        a in masses(6),
+        b in masses(6),
+        t in 0.05f64..1.0,
+    ) {
+        // The TV sandwich must hold for every ground-distance family the
+        // solvers support: plain grid L1, thresholded grid, and a dense
+        // matrix ground (here |i - j|^1.5, a metric on indices).
+        let pa = PrefixCdf::build(&a).unwrap();
+        let pb = PrefixCdf::build(&b).unwrap();
+        let width = 1.0 / 6.0;
+
+        let plain = emd_between(&a, &b, &EmdConfig::grid_l1(0.0, 1.0)).unwrap();
+        let span = 5.0 * width;
+        prop_assert!(tv_lower(&pa, &pb, width).unwrap() <= plain + 1e-9);
+        prop_assert!(plain <= tv_upper(&pa, &pb, span).unwrap() + 1e-9);
+
+        let thresh = emd_between(&a, &b, &EmdConfig::thresholded_grid(0.0, 1.0, t)).unwrap();
+        prop_assert!(tv_lower(&pa, &pb, width.min(t)).unwrap() <= thresh + 1e-9);
+        prop_assert!(thresh <= tv_upper(&pa, &pb, span.min(t)).unwrap() + 1e-9);
+
+        let m: Vec<Vec<f64>> = (0..6)
+            .map(|i| (0..6).map(|j| ((i as f64) - (j as f64)).abs().powf(1.5)).collect())
+            .collect();
+        let matrix = emd_between(&a, &b, &EmdConfig::matrix(m)).unwrap();
+        let d_max = 5.0f64.powf(1.5);
+        prop_assert!(tv_lower(&pa, &pb, 1.0).unwrap() <= matrix + 1e-9);
+        prop_assert!(matrix <= tv_upper(&pa, &pb, d_max).unwrap() + 1e-9);
     }
 
     #[test]

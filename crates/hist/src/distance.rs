@@ -8,6 +8,7 @@
 //! leak into the distance.
 
 use crate::histogram::Histogram;
+use fairjob_emd::bounds;
 use fairjob_emd::{EmdError, GridL1, Solver, Thresholded};
 use std::fmt;
 
@@ -40,6 +41,20 @@ impl From<EmdError> for DistanceError {
     }
 }
 
+/// Cheap, provable bounds on a distance, used by the batch kernel to
+/// settle pairs without an exact solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceBounds {
+    /// Provable lower bound: `lower <= distance(a, b)`.
+    pub lower: f64,
+    /// Provable upper bound: `distance(a, b) <= upper`.
+    pub upper: f64,
+    /// When true, `lower == upper` **bit-identically equals** the value
+    /// [`HistogramDistance::distance`] would return — the bound *is* the
+    /// answer and no exact solve is ever needed.
+    pub exact: bool,
+}
+
 /// A distance (or divergence) between two histograms over the same bins.
 ///
 /// Implementations must be symmetric unless documented otherwise
@@ -55,6 +70,16 @@ pub trait HistogramDistance: Send + Sync {
 
     /// Short stable identifier for reports and benchmarks.
     fn name(&self) -> &'static str;
+
+    /// Cheap provable bounds on `distance(a, b)`, or `None` when this
+    /// distance has no screening support (the default) or the pair is
+    /// degenerate (mismatched specs, empty histograms). Callers fall
+    /// back to [`HistogramDistance::distance`] on `None`, so returning
+    /// it is always safe.
+    fn bounds(&self, a: &Histogram, b: &Histogram) -> Option<DistanceBounds> {
+        let _ = (a, b);
+        None
+    }
 }
 
 fn frequencies(a: &Histogram, b: &Histogram) -> Result<(Vec<f64>, Vec<f64>), DistanceError> {
@@ -89,6 +114,29 @@ impl HistogramDistance for Emd1d {
     fn name(&self) -> &'static str {
         "emd"
     }
+
+    /// Exact bounds from the cached prefix CDFs: Vallender's identity
+    /// makes the CDF-L1 closed form *equal* to the 1-D EMD, and
+    /// [`Histogram::cdf_stats`] + [`bounds::cdf_l1_grid`] replicate the
+    /// floating-point operation order of the `distance` path, so the
+    /// returned value is bit-identical to it.
+    fn bounds(&self, a: &Histogram, b: &Histogram) -> Option<DistanceBounds> {
+        if a.spec() != b.spec() {
+            return None;
+        }
+        let (sa, sb) = (a.cdf_stats()?, b.cdf_stats()?);
+        let spec = a.spec();
+        let d = if spec.is_uniform() {
+            bounds::cdf_l1_grid(&sa.cdf, &sb.cdf, spec.lo(), spec.hi()).ok()?
+        } else {
+            bounds::cdf_l1_positions(&sa.cdf, &sb.cdf, &spec.centres()).ok()?
+        };
+        Some(DistanceBounds {
+            lower: d,
+            upper: d,
+            exact: true,
+        })
+    }
 }
 
 /// EMD via an exact transportation solver (flow or simplex). Numerically
@@ -113,6 +161,23 @@ impl HistogramDistance for EmdExact {
             Solver::Flow => "emd-flow",
             Solver::Simplex => "emd-simplex",
         }
+    }
+
+    /// Projection lower bound and total-variation upper bound around the
+    /// transportation solvers. Not exact (the solvers take a different
+    /// numeric path), but valid for the L1-on-centres ground they use.
+    fn bounds(&self, a: &Histogram, b: &Histogram) -> Option<DistanceBounds> {
+        if a.spec() != b.spec() {
+            return None;
+        }
+        let (sa, sb) = (a.cdf_stats()?, b.cdf_stats()?);
+        let spec = a.spec();
+        let span = spec.centre(spec.len() - 1) - spec.centre(0);
+        Some(DistanceBounds {
+            lower: (sa.mean - sb.mean).abs(),
+            upper: bounds::tv_between(&sa.cdf, &sb.cdf) * span,
+            exact: false,
+        })
     }
 }
 
@@ -147,6 +212,33 @@ impl HistogramDistance for EmdThresholded {
 
     fn name(&self) -> &'static str {
         "emd-thresholded"
+    }
+
+    /// Total-variation sandwich for the saturated ground: off-diagonal
+    /// costs lie in `[min(gap, t), min(span, t)]`, so
+    /// `TV * d_min <= EMD_t <= TV * d_max`. The projection bound is *not*
+    /// valid here (it bounds the unthresholded EMD from below, which the
+    /// thresholded EMD can undercut).
+    fn bounds(&self, a: &Histogram, b: &Histogram) -> Option<DistanceBounds> {
+        if a.spec() != b.spec() || !self.threshold.is_finite() {
+            return None;
+        }
+        let (sa, sb) = (a.cdf_stats()?, b.cdf_stats()?);
+        let spec = a.spec();
+        let centres = spec.centres();
+        let span = centres[centres.len() - 1] - centres[0];
+        let min_gap = centres
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(f64::INFINITY, f64::min);
+        let tv = bounds::tv_between(&sa.cdf, &sb.cdf);
+        // A single bin has no off-diagonal cost; TV is 0 there anyway.
+        let d_min = if min_gap.is_finite() { min_gap } else { 0.0 };
+        Some(DistanceBounds {
+            lower: tv * d_min.min(self.threshold).max(0.0),
+            upper: tv * span.min(self.threshold).max(0.0),
+            exact: false,
+        })
     }
 }
 
@@ -433,6 +525,55 @@ mod tests {
         let b = Histogram::from_values(s, [0.9].iter().copied()); // centre 0.8
         let d = Emd1d.distance(&a, &b).unwrap();
         assert!((d - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd1d_bounds_are_exact_and_bit_identical() {
+        let a = h(&[0.12, 0.34, 0.55, 0.9]);
+        let b = h(&[0.2, 0.21, 0.8]);
+        let bd = Emd1d.bounds(&a, &b).unwrap();
+        assert!(bd.exact);
+        let d = Emd1d.distance(&a, &b).unwrap();
+        assert_eq!(bd.lower.to_bits(), d.to_bits());
+        assert_eq!(bd.upper.to_bits(), d.to_bits());
+
+        // Non-uniform specs get the positions closed form, still exact.
+        let s = BinSpec::from_edges(vec![0.0, 0.5, 0.6, 1.0]).unwrap();
+        let na = Histogram::from_values(s.clone(), [0.1, 0.55].iter().copied());
+        let nb = Histogram::from_values(s, [0.9, 0.55].iter().copied());
+        let bd = Emd1d.bounds(&na, &nb).unwrap();
+        assert!(bd.exact);
+        assert_eq!(
+            bd.lower.to_bits(),
+            Emd1d.distance(&na, &nb).unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn solver_bounds_sandwich_the_distance() {
+        let a = h(&[0.05, 0.1, 0.4]);
+        let b = h(&[0.6, 0.95]);
+        for solver in [Solver::Flow, Solver::Simplex] {
+            let dist = EmdExact { solver };
+            let bd = dist.bounds(&a, &b).unwrap();
+            assert!(!bd.exact);
+            let d = dist.distance(&a, &b).unwrap();
+            assert!(bd.lower <= d + 1e-9 && d <= bd.upper + 1e-9);
+        }
+        let dist = EmdThresholded { threshold: 0.25 };
+        let bd = dist.bounds(&a, &b).unwrap();
+        let d = dist.distance(&a, &b).unwrap();
+        assert!(bd.lower <= d + 1e-9 && d <= bd.upper + 1e-9);
+    }
+
+    #[test]
+    fn bounds_degenerate_pairs_return_none() {
+        let a = h(&[0.5]);
+        let other_spec = Histogram::from_values(BinSpec::equal_width(0.0, 1.0, 5).unwrap(), [0.5]);
+        assert!(Emd1d.bounds(&a, &other_spec).is_none());
+        assert!(Emd1d.bounds(&a, &Histogram::empty(spec())).is_none());
+        // Distances without screening support keep the default.
+        assert!(TotalVariation.bounds(&a, &a).is_none());
     }
 
     #[test]

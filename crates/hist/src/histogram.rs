@@ -1,17 +1,47 @@
 //! Dense counted histograms.
 
 use crate::bins::BinSpec;
+use fairjob_emd::bounds::PrefixCdf;
+use std::sync::{Arc, OnceLock};
+
+/// Lazily-built per-histogram CDF statistics, computed once and reused
+/// across every pair the histogram participates in.
+///
+/// The prefix CDF is built from [`Histogram::frequencies`] — *not* the
+/// raw counts — so that closed forms over it reproduce, bit for bit, the
+/// distance path that hands frequencies to [`fairjob_emd::emd_1d_grid`]
+/// (which renormalises its input a second time).
+#[derive(Debug, PartialEq)]
+pub struct CdfStats {
+    /// Prefix CDF over the histogram's frequencies.
+    pub cdf: PrefixCdf,
+    /// Mass-weighted mean over bin centres (same value as
+    /// [`Histogram::mean`]).
+    pub mean: f64,
+}
 
 /// A dense histogram: a [`BinSpec`] plus one count per bin.
 ///
 /// Counts are `f64` so histograms can hold weighted observations and
 /// normalised mass alike. `h(pᵢ, f)` in the paper is exactly
 /// `Histogram::from_values(spec, scores of partition pᵢ)`.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares the bin layout and counts only; the lazily-cached
+/// [`CdfStats`] is derived data and never observable through `==`.
+#[derive(Debug, Clone)]
 pub struct Histogram {
     spec: BinSpec,
     counts: Vec<f64>,
     total: f64,
+    /// `None` inside the lock = the stats were computed but the
+    /// histogram is empty (or its frequencies are degenerate).
+    stats: OnceLock<Option<Arc<CdfStats>>>,
+}
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.spec == other.spec && self.counts == other.counts && self.total == other.total
+    }
 }
 
 impl Histogram {
@@ -22,6 +52,7 @@ impl Histogram {
             spec,
             counts: vec![0.0; n],
             total: 0.0,
+            stats: OnceLock::new(),
         }
     }
 
@@ -52,6 +83,7 @@ impl Histogram {
             spec,
             counts,
             total,
+            stats: OnceLock::new(),
         }
     }
 
@@ -75,6 +107,7 @@ impl Histogram {
             spec,
             counts,
             total,
+            stats: OnceLock::new(),
         }
     }
 
@@ -92,6 +125,7 @@ impl Histogram {
         let i = self.spec.bin_index(value);
         self.counts[i] += weight;
         self.total += weight;
+        self.stats = OnceLock::new();
     }
 
     /// The bin layout.
@@ -138,6 +172,7 @@ impl Histogram {
             *a += b;
         }
         self.total += other.total;
+        self.stats = OnceLock::new();
     }
 
     /// Mean of the binned distribution (bin centres weighted by mass), or
@@ -165,6 +200,27 @@ impl Histogram {
             .map(|(i, c)| c * (self.spec.centre(i) - mean).powi(2))
             .sum();
         Some(s / self.total)
+    }
+
+    /// Cached CDF statistics for the bound-screening fast path, built on
+    /// first use and reused across every pairwise comparison this
+    /// histogram participates in. Returns `None` when the histogram is
+    /// empty.
+    ///
+    /// The cache is invalidated by every mutation ([`Histogram::add`],
+    /// [`Histogram::add_weighted`], [`Histogram::merge`]); the engine's
+    /// split-children patching path rebuilds histograms through
+    /// [`Histogram::from_counts`], so patched partitions start with a
+    /// fresh (unbuilt) cache and streaming stays bit-identical.
+    pub fn cdf_stats(&self) -> Option<&CdfStats> {
+        self.stats
+            .get_or_init(|| {
+                let freqs = self.frequencies()?;
+                let cdf = PrefixCdf::build(&freqs).ok()?;
+                let mean = self.mean()?;
+                Some(Arc::new(CdfStats { cdf, mean }))
+            })
+            .as_deref()
     }
 
     /// Cumulative mass up to and including bin `i`, normalised to [0, 1].
@@ -330,6 +386,49 @@ mod tests {
     #[should_panic(expected = "must match bin count")]
     fn from_counts_rejects_wrong_len() {
         let _ = Histogram::from_counts(spec10(), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn cdf_stats_match_frequencies_and_mean() {
+        let h = Histogram::from_values(spec10(), [0.1, 0.2, 0.2, 0.9].iter().copied());
+        let stats = h.cdf_stats().unwrap();
+        let expected = PrefixCdf::build(&h.frequencies().unwrap()).unwrap();
+        assert_eq!(stats.cdf, expected);
+        assert_eq!(stats.mean.to_bits(), h.mean().unwrap().to_bits());
+        // Second call returns the same cached object.
+        assert!(std::ptr::eq(h.cdf_stats().unwrap(), stats));
+    }
+
+    #[test]
+    fn cdf_stats_invalidated_by_mutation() {
+        let mut h = Histogram::from_values(spec10(), [0.1, 0.9].iter().copied());
+        let before = h.cdf_stats().unwrap().cdf.clone();
+        h.add(0.5);
+        let after = h.cdf_stats().unwrap();
+        assert_ne!(after.cdf, before);
+        assert_eq!(
+            after.cdf,
+            PrefixCdf::build(&h.frequencies().unwrap()).unwrap()
+        );
+
+        let mut m = Histogram::from_values(spec10(), [0.1].iter().copied());
+        let _ = m.cdf_stats();
+        m.merge(&h);
+        assert_eq!(
+            m.cdf_stats().unwrap().cdf,
+            PrefixCdf::build(&m.frequencies().unwrap()).unwrap()
+        );
+    }
+
+    #[test]
+    fn cdf_stats_none_when_empty_and_ignored_by_eq() {
+        let h = Histogram::empty(spec10());
+        assert!(h.cdf_stats().is_none());
+        // A histogram with a built cache still equals its cache-less clone.
+        let a = Histogram::from_values(spec10(), [0.3].iter().copied());
+        let b = a.clone();
+        let _ = a.cdf_stats();
+        assert_eq!(a, b);
     }
 
     #[test]

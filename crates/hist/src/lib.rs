@@ -35,5 +35,5 @@ pub mod histogram;
 pub mod sketch;
 
 pub use bins::BinSpec;
-pub use distance::{DistanceError, HistogramDistance};
-pub use histogram::Histogram;
+pub use distance::{DistanceBounds, DistanceError, HistogramDistance};
+pub use histogram::{CdfStats, Histogram};

@@ -1,7 +1,8 @@
 //! Property-based tests for histograms and histogram distances.
 
 use fairjob_hist::distance::{
-    all_symmetric_distances, Emd1d, EmdExact, HistogramDistance, JensenShannon, TotalVariation,
+    all_symmetric_distances, Emd1d, EmdExact, EmdThresholded, HistogramDistance, JensenShannon,
+    TotalVariation,
 };
 use fairjob_hist::{BinSpec, Histogram};
 use proptest::prelude::*;
@@ -77,6 +78,41 @@ proptest! {
         let emd = Emd1d.distance(&ha, &hb).unwrap();
         let tv = TotalVariation.distance(&ha, &hb).unwrap();
         prop_assert!(emd <= tv * 0.9 + 1e-9, "emd={emd} tv={tv}");
+    }
+
+    #[test]
+    fn emd1d_bounds_are_bitwise_exact(a in values(48), b in values(48), n in 2usize..16) {
+        let spec = BinSpec::equal_width(0.0, 1.0, n).unwrap();
+        let (ha, hb) = (hist(&spec, &a), hist(&spec, &b));
+        let bd = Emd1d.bounds(&ha, &hb).unwrap();
+        let d = Emd1d.distance(&ha, &hb).unwrap();
+        prop_assert!(bd.exact);
+        prop_assert_eq!(bd.lower.to_bits(), d.to_bits(), "lower={} d={}", bd.lower, d);
+        prop_assert_eq!(bd.upper.to_bits(), d.to_bits(), "upper={} d={}", bd.upper, d);
+    }
+
+    #[test]
+    fn all_bound_providers_sandwich_their_distance(
+        a in values(48),
+        b in values(48),
+        t in 0.05f64..1.0,
+    ) {
+        let spec = BinSpec::equal_width(0.0, 1.0, 8).unwrap();
+        let (ha, hb) = (hist(&spec, &a), hist(&spec, &b));
+        let dists: Vec<Box<dyn HistogramDistance>> = vec![
+            Box::new(Emd1d),
+            Box::new(EmdExact { solver: fairjob_emd::Solver::Flow }),
+            Box::new(EmdExact { solver: fairjob_emd::Solver::Simplex }),
+            Box::new(EmdThresholded { threshold: t }),
+        ];
+        for dist in dists {
+            let bd = dist.bounds(&ha, &hb).expect("bounds available");
+            let d = dist.distance(&ha, &hb).unwrap();
+            prop_assert!(bd.lower <= d + 1e-9,
+                "{}: lower {} > exact {}", dist.name(), bd.lower, d);
+            prop_assert!(d <= bd.upper + 1e-9,
+                "{}: exact {} > upper {}", dist.name(), d, bd.upper);
+        }
     }
 
     #[test]

@@ -38,6 +38,14 @@ pub struct EpochReport {
 /// split entries are rebuilt with the same integer bin arithmetic as
 /// the split kernel.
 ///
+/// Parallel work inside each epoch's audit (candidate-split batches,
+/// large pairwise evaluations) runs on the process-wide persistent
+/// worker pool ([`fairjob_core::pool::WorkerPool::global`]), so worker
+/// threads are spawned once for the life of the stream, not once per
+/// epoch; histogram prefix-CDF caches are rebuilt lazily per partition
+/// after patching, keeping warm-epoch bound screens as cheap as cold
+/// ones.
+///
 /// [`run_epoch`]: StreamAuditor::run_epoch
 #[derive(Debug)]
 pub struct StreamAuditor {
