@@ -32,6 +32,9 @@ pub(crate) fn resolve_algorithm(name: &str, seed: u64) -> Result<Box<dyn Algorit
 pub(crate) fn resolve_metric(name: &str) -> Result<Arc<dyn HistogramDistance>, CliError> {
     Ok(match name {
         "emd" => Arc::new(hd::Emd1d),
+        "emd-exact" => Arc::new(hd::EmdExact {
+            solver: fairjob_emd::Solver::Flow,
+        }),
         "tv" => Arc::new(hd::TotalVariation),
         "ks" => Arc::new(hd::KolmogorovSmirnov),
         "jsd" => Arc::new(hd::JensenShannon),
@@ -39,7 +42,7 @@ pub(crate) fn resolve_metric(name: &str) -> Result<Arc<dyn HistogramDistance>, C
         "chi2" => Arc::new(hd::ChiSquare),
         other => {
             return Err(CliError::Usage(format!(
-                "unknown metric `{other}` (emd | tv | ks | jsd | hellinger | chi2)"
+                "unknown metric `{other}` (emd | emd-exact | tv | ks | jsd | hellinger | chi2)"
             )))
         }
     })

@@ -36,13 +36,16 @@ fn render_epoch(report: &EpochReport, initial: bool, checked: bool) -> String {
         )
     };
     out.push_str(&format!(
-        "\n  engine: {} distances computed, {} cache hits, {} rows scanned\n  bounds: {} pairs screened, {} exact solves, {} pool tasks\n  unfairness {:.6} over {} partitions\n",
+        "\n  engine: {} distances computed, {} cache hits, {} rows scanned\n  bounds: {} pairs screened, {} exact solves, {} pool tasks\n  solver: {} ground cache hits, {} scratch reuses, {} warm starts\n  unfairness {:.6} over {} partitions\n",
         report.audit.engine.distances_computed,
         report.audit.engine.cache_hits,
         report.audit.engine.rows_scanned,
         report.audit.engine.bounds_screened,
         report.audit.engine.exact_solves,
         report.audit.engine.pool_tasks,
+        report.audit.engine.ground_cache_hits,
+        report.audit.engine.scratch_reuses,
+        report.audit.engine.warm_starts,
         report.audit.unfairness,
         report.audit.partitioning.partitions().len(),
     ));
@@ -56,7 +59,7 @@ fn json_epoch(report: &EpochReport) -> String {
     format!(
         "{{\"epoch\":{},\"events\":{},\"changes\":{},\"live\":{},\"unfairness\":{},\"partitions\":{},\
 \"invalidation\":{{\"distances_evicted\":{},\"distances_retained\":{},\"splits_evicted\":{},\"splits_patched\":{},\"splits_retained\":{}}},\
-\"engine\":{{\"distances_computed\":{},\"cache_hits\":{},\"rows_scanned\":{},\"bounds_screened\":{},\"exact_solves\":{},\"pool_tasks\":{}}}}}",
+\"engine\":{{\"distances_computed\":{},\"cache_hits\":{},\"rows_scanned\":{},\"bounds_screened\":{},\"exact_solves\":{},\"pool_tasks\":{},\"ground_cache_hits\":{},\"scratch_reuses\":{},\"warm_starts\":{}}}}}",
         report.epoch,
         report.events,
         report.changes,
@@ -74,6 +77,9 @@ fn json_epoch(report: &EpochReport) -> String {
         report.audit.engine.bounds_screened,
         report.audit.engine.exact_solves,
         report.audit.engine.pool_tasks,
+        report.audit.engine.ground_cache_hits,
+        report.audit.engine.scratch_reuses,
+        report.audit.engine.warm_starts,
     )
 }
 
@@ -223,6 +229,8 @@ mod tests {
         assert!(out.contains("epoch 0 (initial): live 90"));
         assert!(out.contains("epoch 3:"));
         assert!(out.contains("invalidation: distances"));
+        assert!(out.contains("solver: "));
+        assert!(out.contains("ground cache hits"));
         assert_eq!(out.matches("cold check: ok").count(), 4);
         assert!(out.contains("final:"));
     }
@@ -246,6 +254,9 @@ mod tests {
         assert!(out.contains("\"cold_checked\":false"));
         assert!(out.contains("\"epoch\":2"));
         assert!(out.contains("\"invalidation\":{\"distances_evicted\":"));
+        assert!(out.contains("\"ground_cache_hits\":"));
+        assert!(out.contains("\"scratch_reuses\":"));
+        assert!(out.contains("\"warm_starts\":"));
     }
 
     #[test]

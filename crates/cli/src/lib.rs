@@ -57,7 +57,7 @@ USAGE:
   fairjob describe --workers FILE.csv [--schema FILE]
   fairjob audit    --workers FILE.csv (--function f1..f9 | --alpha A)
                    [--algorithm balanced|unbalanced|r-balanced|r-unbalanced|all-attributes|subset-exact]
-                   [--bins N] [--metric emd|tv|ks|jsd|hellinger|chi2]
+                   [--bins N] [--metric emd|emd-exact|tv|ks|jsd|hellinger|chi2]
                    [--permutations N] [--histograms] [--json] [--seed S]
   fairjob stream   --workers FILE.csv --events FILE (--function f1..f9 | --alpha A)
                    [--algorithm ...] [--bins N] [--metric ...]

@@ -72,8 +72,9 @@ use crate::context::AuditContext;
 use crate::error::AuditError;
 use crate::partition::Partition;
 use crate::pool::WorkerPool;
+use crate::scratch::with_scratch;
 use crate::unfairness::{DistanceOracle, PairwiseAverager, PAIR_CHUNK, PRUNE_MARGIN, UNKEYED_BIT};
-use fairjob_hist::{BinSpec, Histogram};
+use fairjob_hist::{BinSpec, Histogram, ScratchStats};
 use fairjob_store::{Predicate, RowSet};
 use std::borrow::Borrow;
 use std::cell::{Cell, RefCell};
@@ -467,6 +468,18 @@ pub struct EngineStats {
     /// even when executed inline at one thread, so the counter is
     /// thread-count independent).
     pub pool_tasks: u64,
+    /// Exact solves whose ground matrix was served from a cache tier
+    /// (scratch-local slot or the process-wide ground cache) instead of
+    /// being rebuilt. Zero for closed-form distances, which never build
+    /// a ground matrix.
+    pub ground_cache_hits: u64,
+    /// Exact solves that reused a persistent solver workspace instead
+    /// of allocating a fresh solver (solves beyond the first in their
+    /// batch chunk).
+    pub scratch_reuses: u64,
+    /// Exact flow solves warm-started from the previous pair's round-1
+    /// Dijkstra (consecutive chunk pairs sharing a support set).
+    pub warm_starts: u64,
 }
 
 impl EngineStats {
@@ -508,6 +521,9 @@ pub struct EvalEngine<'c, 'a> {
     bounds_screened: Cell<u64>,
     exact_solves: Cell<u64>,
     pool_tasks: Cell<u64>,
+    ground_cache_hits: Cell<u64>,
+    scratch_reuses: Cell<u64>,
+    warm_starts: Cell<u64>,
     parallel_threshold: usize,
     threads: usize,
 }
@@ -557,6 +573,9 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
             bounds_screened: Cell::new(0),
             exact_solves: Cell::new(0),
             pool_tasks: Cell::new(0),
+            ground_cache_hits: Cell::new(0),
+            scratch_reuses: Cell::new(0),
+            warm_starts: Cell::new(0),
             parallel_threshold: 256,
             threads,
         }
@@ -611,6 +630,9 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
             bounds_screened: self.bounds_screened.get(),
             exact_solves: self.exact_solves.get(),
             pool_tasks: self.pool_tasks.get(),
+            ground_cache_hits: self.ground_cache_hits.get(),
+            scratch_reuses: self.scratch_reuses.get(),
+            warm_starts: self.warm_starts.get(),
         }
     }
 
@@ -628,6 +650,28 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
 
     fn note_pool_tasks(&self, chunks: u64) {
         self.pool_tasks.set(self.pool_tasks.get() + chunks);
+    }
+
+    fn note_scratch(&self, s: ScratchStats) {
+        self.ground_cache_hits
+            .set(self.ground_cache_hits.get() + s.ground_cache_hits);
+        self.scratch_reuses
+            .set(self.scratch_reuses.get() + s.scratch_reuses);
+        self.warm_starts.set(self.warm_starts.get() + s.warm_starts);
+    }
+
+    /// One serial exact distance on this thread's persistent scratch.
+    /// Each call is its own chunk (`begin_chunk`), so the counters it
+    /// yields never depend on what previously ran on this thread —
+    /// identical for every thread count and call interleaving.
+    fn scratch_distance(&self, a: &Histogram, b: &Histogram) -> Result<f64, AuditError> {
+        let (d, stats) = with_scratch(|scratch| {
+            scratch.begin_chunk();
+            let d = self.ctx.distance().distance_with(a, b, scratch);
+            (d, scratch.take_stats())
+        });
+        self.note_scratch(stats);
+        Ok(d?)
     }
 
     /// An upper bound on the distance between two keyed histograms,
@@ -683,7 +727,7 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
         if (key_a | key_b) & UNKEYED_BIT != 0 {
             Self::bump(&self.cache_bypasses);
             Self::bump(&self.distances_computed);
-            return Ok(self.ctx.distance().distance(a, b)?);
+            return self.scratch_distance(a, b);
         }
         let key = if key_a <= key_b {
             (key_a, key_b)
@@ -694,7 +738,7 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
             Self::bump(&self.cache_hits);
             return Ok(d);
         }
-        let d = self.ctx.distance().distance(a, b)?;
+        let d = self.scratch_distance(a, b)?;
         Self::bump(&self.distances_computed);
         self.insert_cache(key, d);
         Ok(d)
@@ -947,23 +991,35 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
             let chunk_count = misses.len().div_ceil(PAIR_CHUNK);
             self.note_pool_tasks(chunk_count as u64);
             let distance = self.ctx.distance();
-            let results: Vec<Result<Vec<f64>, AuditError>> =
-                WorkerPool::global().run_chunks(self.threads, chunk_count, |c| {
+            // Build the shared ground matrix once, serially, so no chunk
+            // races to construct it and `ground_cache_hits` is identical
+            // for every thread count.
+            distance.prime(&live[misses[0].1].histogram)?;
+            let results: Vec<Result<(Vec<f64>, ScratchStats), AuditError>> = WorkerPool::global()
+                .run_chunks(self.threads, chunk_count, |c| {
                     let lo = c * PAIR_CHUNK;
                     let hi = (lo + PAIR_CHUNK).min(misses.len());
-                    misses[lo..hi]
-                        .iter()
-                        .map(|&(_, i, j)| {
-                            distance
-                                .distance(&live[i].histogram, &live[j].histogram)
-                                .map_err(AuditError::from)
-                        })
-                        .collect()
+                    with_scratch(|scratch| {
+                        scratch.begin_chunk();
+                        let vals: Result<Vec<f64>, AuditError> = misses[lo..hi]
+                            .iter()
+                            .map(|&(_, i, j)| {
+                                distance
+                                    .distance_with(&live[i].histogram, &live[j].histogram, scratch)
+                                    .map_err(AuditError::from)
+                            })
+                            .collect();
+                        vals.map(|v| (v, scratch.take_stats()))
+                    })
                 });
             let mut computed: Vec<f64> = Vec::with_capacity(misses.len());
+            let mut solver = ScratchStats::default();
             for r in results {
-                computed.extend(r?);
+                let (vals, stats) = r?;
+                computed.extend(vals);
+                solver.merge(stats);
             }
+            self.note_scratch(solver);
             self.distances_computed
                 .set(self.distances_computed.get() + computed.len() as u64);
             {

@@ -53,6 +53,7 @@ pub mod joint;
 pub mod partition;
 pub mod pool;
 pub mod report;
+pub mod scratch;
 pub mod stats;
 pub mod unfairness;
 

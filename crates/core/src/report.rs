@@ -93,6 +93,13 @@ impl AuditResult {
                 self.engine.bounds_screened, self.engine.exact_solves, self.engine.pool_tasks,
             ));
         }
+        if self.engine.ground_cache_hits + self.engine.scratch_reuses + self.engine.warm_starts > 0
+        {
+            out.push_str(&format!(
+                "solver: {} ground cache hits, {} scratch reuses, {} warm starts\n",
+                self.engine.ground_cache_hits, self.engine.scratch_reuses, self.engine.warm_starts,
+            ));
+        }
         let mut parts: Vec<&crate::Partition> = self.partitioning.partitions().iter().collect();
         parts.sort_by_key(|p| std::cmp::Reverse(p.len()));
         for p in parts {
@@ -159,7 +166,7 @@ impl AuditResult {
             })
             .collect();
         format!(
-            "{{\"algorithm\":\"{}\",\"distance\":\"{}\",\"unfairness\":{:.6},\"elapsed_ms\":{:.3},\"candidates_evaluated\":{},\"engine\":{{\"distances_computed\":{},\"cache_hits\":{},\"cache_bypasses\":{},\"splits_computed\":{},\"split_cache_hits\":{},\"rows_scanned\":{},\"histograms_built\":{},\"cache_evictions\":{},\"split_evictions\":{},\"bounds_screened\":{},\"exact_solves\":{},\"pool_tasks\":{}}},\"attributes_used\":[{}],\"partitions\":[{}]}}",
+            "{{\"algorithm\":\"{}\",\"distance\":\"{}\",\"unfairness\":{:.6},\"elapsed_ms\":{:.3},\"candidates_evaluated\":{},\"engine\":{{\"distances_computed\":{},\"cache_hits\":{},\"cache_bypasses\":{},\"splits_computed\":{},\"split_cache_hits\":{},\"rows_scanned\":{},\"histograms_built\":{},\"cache_evictions\":{},\"split_evictions\":{},\"bounds_screened\":{},\"exact_solves\":{},\"pool_tasks\":{},\"ground_cache_hits\":{},\"scratch_reuses\":{},\"warm_starts\":{}}},\"attributes_used\":[{}],\"partitions\":[{}]}}",
             json_escape(&self.algorithm),
             json_escape(ctx.distance().name()),
             self.unfairness,
@@ -177,6 +184,9 @@ impl AuditResult {
             self.engine.bounds_screened,
             self.engine.exact_solves,
             self.engine.pool_tasks,
+            self.engine.ground_cache_hits,
+            self.engine.scratch_reuses,
+            self.engine.warm_starts,
             attributes.join(","),
             partitions.join(",")
         )
@@ -214,6 +224,9 @@ mod tests {
                 bounds_screened: 40,
                 exact_solves: 6,
                 pool_tasks: 3,
+                ground_cache_hits: 14,
+                scratch_reuses: 13,
+                warm_starts: 7,
             },
         };
         let text = result.render(&ctx, false);
@@ -223,6 +236,7 @@ mod tests {
             .contains("splits: 5 computed, 11 cache hits, 320 rows scanned, 12 histograms built"));
         assert!(text.contains("evictions: 2 distance entries, 0 split entries"));
         assert!(text.contains("bounds: 40 pairs screened, 6 exact solves, 3 pool tasks"));
+        assert!(text.contains("solver: 14 ground cache hits, 13 scratch reuses, 7 warm starts"));
         assert!(text.contains("0.5000"));
         assert!(text.contains("gender=Male"));
         assert!(text.contains("gender=Female"));
@@ -256,6 +270,9 @@ mod tests {
                 bounds_screened: 20,
                 exact_solves: 5,
                 pool_tasks: 2,
+                ground_cache_hits: 12,
+                scratch_reuses: 10,
+                warm_starts: 4,
             },
         };
         let json = result.to_json(&ctx);
@@ -268,7 +285,7 @@ mod tests {
         assert!(json.contains("\"value\":\"Male\""));
         assert!(json.contains("\"candidates_evaluated\":3"));
         assert!(json.contains(
-            "\"engine\":{\"distances_computed\":7,\"cache_hits\":2,\"cache_bypasses\":1,\"splits_computed\":4,\"split_cache_hits\":9,\"rows_scanned\":250,\"histograms_built\":8,\"cache_evictions\":0,\"split_evictions\":3,\"bounds_screened\":20,\"exact_solves\":5,\"pool_tasks\":2}"
+            "\"engine\":{\"distances_computed\":7,\"cache_hits\":2,\"cache_bypasses\":1,\"splits_computed\":4,\"split_cache_hits\":9,\"rows_scanned\":250,\"histograms_built\":8,\"cache_evictions\":0,\"split_evictions\":3,\"bounds_screened\":20,\"exact_solves\":5,\"pool_tasks\":2,\"ground_cache_hits\":12,\"scratch_reuses\":10,\"warm_starts\":4}"
         ));
         assert!(json.starts_with('{') && json.ends_with('}'));
     }

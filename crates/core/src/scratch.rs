@@ -1,0 +1,35 @@
+//! Thread-local persistent solver workspaces.
+//!
+//! The worker-pool threads live for the whole process, so giving each
+//! thread one [`SolveScratch`] means every workspace reaches its
+//! steady-state size once and is then reused for every chunk that
+//! thread ever executes — the exact-solve path stops touching the
+//! allocator entirely. The main thread gets one too, which serves the
+//! engine's serial distance path.
+
+use fairjob_hist::SolveScratch;
+use std::cell::RefCell;
+
+thread_local! {
+    static SOLVE_SCRATCH: RefCell<SolveScratch> = RefCell::new(SolveScratch::new());
+}
+
+/// Run `f` on this thread's persistent [`SolveScratch`].
+pub fn with_scratch<T>(f: impl FnOnce(&mut SolveScratch) -> T) -> T {
+    SOLVE_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_persists_within_a_thread() {
+        let first = with_scratch(|s| {
+            s.begin_chunk();
+            s as *const SolveScratch as usize
+        });
+        let second = with_scratch(|s| s as *const SolveScratch as usize);
+        assert_eq!(first, second, "same thread must reuse one workspace");
+    }
+}

@@ -6,7 +6,8 @@
 use crate::error::AuditError;
 use crate::partition::Partition;
 use crate::pool::WorkerPool;
-use fairjob_hist::{Histogram, HistogramDistance};
+use crate::scratch::with_scratch;
+use fairjob_hist::{Histogram, HistogramDistance, ScratchStats};
 
 /// Floating-point slack added to every bound-vs-incumbent comparison
 /// before pruning. Pruning only ever *skips work whose outcome is
@@ -37,6 +38,17 @@ pub struct BatchStats {
     /// even when executed inline at parallelism 1, so the counter is
     /// thread-count independent).
     pub pool_tasks: u64,
+    /// Exact solves whose ground matrix came from a cache tier (the
+    /// scratch-local slot or the process-wide ground cache). With a
+    /// primed distance this equals `exact_solves` — no worker ever
+    /// rebuilds a ground matrix.
+    pub ground_cache_hits: u64,
+    /// Exact solves beyond the first in their chunk — each one reused
+    /// the worker's persistent solver workspace instead of allocating.
+    pub scratch_reuses: u64,
+    /// Exact flow solves that warm-started from the previous pair's
+    /// round-1 Dijkstra (consecutive pairs sharing a support set).
+    pub warm_starts: u64,
 }
 
 /// Result of one [`pairwise_emd_batch`] evaluation.
@@ -153,25 +165,41 @@ pub fn pairwise_emd_batch(
     stats.bounds_screened = (pair_count - misses.len()) as u64;
     stats.exact_solves = misses.len() as u64;
 
-    // Exact solves on the survivors through the persistent pool.
+    // Exact solves on the survivors through the persistent pool. Prime
+    // the distance's shared ground cache once, serially, so the workers
+    // below only ever *hit* the cache — the build never races and the
+    // hit counters stay independent of the thread schedule.
     if !misses.is_empty() {
+        distance.prime(live[pair_i[misses[0]] as usize])?;
         let chunks: Vec<&[usize]> = misses.chunks(PAIR_CHUNK).collect();
         stats.pool_tasks = chunks.len() as u64;
-        let results: Vec<Result<Vec<f64>, AuditError>> =
-            WorkerPool::global().run_chunks(threads.max(1), chunks.len(), |c| {
-                chunks[c]
-                    .iter()
-                    .map(|&k| {
-                        let (a, b) = (live[pair_i[k] as usize], live[pair_j[k] as usize]);
-                        distance.distance(a, b).map_err(AuditError::from)
-                    })
-                    .collect()
+        let results: Vec<Result<(Vec<f64>, ScratchStats), AuditError>> = WorkerPool::global()
+            .run_chunks(threads.max(1), chunks.len(), |c| {
+                with_scratch(|scratch| {
+                    scratch.begin_chunk();
+                    let chunk_vals: Result<Vec<f64>, AuditError> = chunks[c]
+                        .iter()
+                        .map(|&k| {
+                            let (a, b) = (live[pair_i[k] as usize], live[pair_j[k] as usize]);
+                            distance
+                                .distance_with(a, b, scratch)
+                                .map_err(AuditError::from)
+                        })
+                        .collect();
+                    chunk_vals.map(|v| (v, scratch.take_stats()))
+                })
             });
+        let mut solver = ScratchStats::default();
         for (chunk, result) in chunks.iter().zip(results) {
-            for (&k, d) in chunk.iter().zip(result?) {
+            let (chunk_vals, chunk_stats) = result?;
+            solver.merge(chunk_stats);
+            for (&k, d) in chunk.iter().zip(chunk_vals) {
                 vals[k] = d;
             }
         }
+        stats.ground_cache_hits = solver.ground_cache_hits;
+        stats.scratch_reuses = solver.scratch_reuses;
+        stats.warm_starts = solver.warm_starts;
     }
 
     // Serial reduce in pair order.

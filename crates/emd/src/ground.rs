@@ -4,6 +4,17 @@
 //! bin) pair. The solvers are generic over [`GroundDistance`] so the same
 //! code handles plain 1-D grids, explicit positions, arbitrary matrices,
 //! and thresholded (saturated) variants.
+//!
+//! [`GroundMatrix`] materialises any ground distance into a flat
+//! row-major matrix behind an `Arc<[f64]>`, validated once at build
+//! time, and [`GroundCache`] shares those matrices process-wide keyed by
+//! an exact bin-grid fingerprint ([`GroundKey`]) — every pair in an
+//! audit shares one bin grid, so the matrix is built once per grid per
+//! process instead of once per pair.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::EmdError;
 
@@ -29,6 +40,14 @@ pub trait GroundDistance {
             }
         }
         m
+    }
+
+    /// Whether every cost this ground can return is known finite and
+    /// non-negative by construction, letting solvers skip the O(m·n)
+    /// cost-matrix validation walk. Defaults to `false`; only override
+    /// for types whose constructor (or build path) already validates.
+    fn prevalidated(&self) -> bool {
+        false
     }
 }
 
@@ -85,6 +104,12 @@ impl GroundDistance for GridL1 {
     fn max_cost(&self) -> f64 {
         (self.n as f64 - 1.0) * self.width
     }
+
+    fn prevalidated(&self) -> bool {
+        // `new` guarantees finite lo < hi, so every |i - j| * width is
+        // finite and non-negative.
+        true
+    }
 }
 
 /// Bins at explicit 1-D positions; cost is |xi - xj|.
@@ -110,14 +135,19 @@ impl GroundDistance for PositionsL1 {
     }
 }
 
-/// An arbitrary dense ground-distance matrix.
+/// An arbitrary dense ground-distance matrix, stored flat row-major.
+///
+/// The nested-`Vec` constructor is kept as a compatibility shim; internal
+/// storage is a single contiguous buffer so cost lookups are one indexed
+/// load.
 #[derive(Debug, Clone)]
 pub struct Matrix {
-    rows: Vec<Vec<f64>>,
+    data: Vec<f64>,
+    n: usize,
 }
 
 impl Matrix {
-    /// Validate and wrap a square, finite, non-negative matrix.
+    /// Validate and flatten a square, finite, non-negative matrix.
     ///
     /// # Errors
     ///
@@ -125,6 +155,7 @@ impl Matrix {
     /// [`EmdError::Negative`]/[`EmdError::NonFinite`] for bad entries.
     pub fn new(rows: Vec<Vec<f64>>) -> Result<Self, EmdError> {
         let n = rows.len();
+        let mut data = Vec::with_capacity(n * n);
         for row in &rows {
             if row.len() != n {
                 return Err(EmdError::NotSquare {
@@ -140,18 +171,29 @@ impl Matrix {
                     return Err(EmdError::Negative { index: j, value: c });
                 }
             }
+            data.extend_from_slice(row);
         }
-        Ok(Matrix { rows })
+        Ok(Matrix { data, n })
+    }
+
+    /// The flat row-major cost buffer (`n * n` entries).
+    pub fn flat(&self) -> &[f64] {
+        &self.data
     }
 }
 
 impl GroundDistance for Matrix {
     fn size(&self) -> usize {
-        self.rows.len()
+        self.n
     }
 
     fn cost(&self, i: usize, j: usize) -> f64 {
-        self.rows[i][j]
+        self.data[i * self.n + j]
+    }
+
+    fn prevalidated(&self) -> bool {
+        // `new` rejects non-finite and negative entries.
+        true
     }
 }
 
@@ -185,6 +227,171 @@ impl<D: GroundDistance> GroundDistance for Thresholded<D> {
 
     fn max_cost(&self) -> f64 {
         self.inner.max_cost().min(self.threshold)
+    }
+
+    fn prevalidated(&self) -> bool {
+        // `min` with a non-negative finite threshold preserves the inner
+        // ground's guarantees; a NaN threshold is ruled out by `>= 0.0`.
+        self.inner.prevalidated() && self.threshold >= 0.0 && self.threshold.is_finite()
+    }
+}
+
+/// A ground-distance matrix materialised once and shared: flat row-major
+/// costs behind an `Arc<[f64]>`, validated at build time (so solvers may
+/// skip their per-instance cost walk), with the max cost precomputed.
+///
+/// Cloning is cheap — the cost buffer is shared, which is how
+/// [`GroundCache`] hands the same matrix to every solve in the process.
+#[derive(Debug, Clone)]
+pub struct GroundMatrix {
+    costs: Arc<[f64]>,
+    n: usize,
+    max_cost: f64,
+}
+
+impl GroundMatrix {
+    /// Materialise `ground` into a validated flat matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`EmdError::NonFinite`]/[`EmdError::Negative`] if the ground
+    /// produces an invalid cost (the index reported is the column).
+    pub fn build<G: GroundDistance + ?Sized>(ground: &G) -> Result<Self, EmdError> {
+        let n = ground.size();
+        let mut costs = Vec::with_capacity(n * n);
+        let mut max_cost = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                let c = ground.cost(i, j);
+                if !c.is_finite() {
+                    return Err(EmdError::NonFinite { index: j, value: c });
+                }
+                if c < 0.0 {
+                    return Err(EmdError::Negative { index: j, value: c });
+                }
+                max_cost = max_cost.max(c);
+                costs.push(c);
+            }
+        }
+        Ok(GroundMatrix {
+            costs: costs.into(),
+            n,
+            max_cost,
+        })
+    }
+
+    /// The flat row-major cost buffer (`n * n` entries).
+    pub fn flat(&self) -> &[f64] {
+        &self.costs
+    }
+}
+
+impl GroundDistance for GroundMatrix {
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn cost(&self, i: usize, j: usize) -> f64 {
+        self.costs[i * self.n + j]
+    }
+
+    fn max_cost(&self) -> f64 {
+        self.max_cost
+    }
+
+    fn prevalidated(&self) -> bool {
+        // `build` rejected non-finite and negative entries.
+        true
+    }
+}
+
+/// An exact fingerprint of a ground distance: the full defining data as
+/// `u64` words (a tag plus bit patterns of the defining floats), not a
+/// hash — two grids share a cache entry only when they are identical.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GroundKey(Box<[u64]>);
+
+impl GroundKey {
+    /// Wrap a signature produced by a caller (see the tag constants on
+    /// the hist-layer distances for the conventions used there).
+    pub fn new(words: &[u64]) -> Self {
+        GroundKey(words.into())
+    }
+}
+
+impl std::borrow::Borrow<[u64]> for GroundKey {
+    fn borrow(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+/// Process-wide cache of materialised ground matrices.
+///
+/// The map lock is held across a build, so a grid is materialised *at
+/// most once* per process no matter how many workers race for it; the
+/// `hits`/`builds` counters let benches assert exactly that.
+pub struct GroundCache {
+    map: Mutex<HashMap<GroundKey, GroundMatrix>>,
+    hits: AtomicU64,
+    builds: AtomicU64,
+}
+
+impl GroundCache {
+    /// An empty cache. Prefer [`GroundCache::global`].
+    pub fn new() -> Self {
+        GroundCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide shared cache. Audits, streaming epochs and
+    /// benches in one process all resolve their bin grids here, so a
+    /// grid survives across batches and epochs for free.
+    pub fn global() -> &'static GroundCache {
+        static CACHE: OnceLock<GroundCache> = OnceLock::new();
+        CACHE.get_or_init(GroundCache::new)
+    }
+
+    /// Fetch the matrix for `key`, building (and validating) it with
+    /// `build` on first use. Returns the matrix and whether it was
+    /// served from the cache.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `build` returns; failed builds are not cached.
+    pub fn get_or_build(
+        &self,
+        key: &[u64],
+        build: impl FnOnce() -> Result<GroundMatrix, EmdError>,
+    ) -> Result<(GroundMatrix, bool), EmdError> {
+        let mut map = self.map.lock().expect("ground cache lock");
+        if let Some(m) = map.get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((m.clone(), true));
+        }
+        let m = build()?;
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        map.insert(GroundKey::new(key), m.clone());
+        Ok((m, false))
+    }
+
+    /// Lifetime cache hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime matrix builds — flat across repeated batches on the same
+    /// grid, which is the counter the `exact_solver` bench asserts.
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for GroundCache {
+    fn default() -> Self {
+        GroundCache::new()
     }
 }
 
@@ -249,5 +456,84 @@ mod tests {
     fn default_max_cost_scans_all_pairs() {
         let m = Matrix::new(vec![vec![0.0, 7.0], vec![7.0, 0.0]]).unwrap();
         assert!((m.max_cost() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_flattens_row_major() {
+        let m = Matrix::new(vec![vec![0.0, 1.0], vec![2.0, 0.0]]).unwrap();
+        assert_eq!(m.flat(), &[0.0, 1.0, 2.0, 0.0]);
+        assert_eq!(m.cost(1, 0), 2.0);
+    }
+
+    #[test]
+    fn ground_matrix_matches_its_source() {
+        let g = GridL1::new(0.0, 1.0, 5).unwrap();
+        let m = GroundMatrix::build(&g).unwrap();
+        assert_eq!(m.size(), 5);
+        assert!(m.prevalidated());
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(m.cost(i, j).to_bits(), g.cost(i, j).to_bits());
+            }
+        }
+        assert_eq!(m.max_cost().to_bits(), g.max_cost().to_bits());
+    }
+
+    #[test]
+    fn ground_matrix_build_rejects_bad_costs() {
+        let p = PositionsL1::new(vec![0.0, f64::NAN]);
+        assert!(matches!(
+            GroundMatrix::build(&p),
+            Err(EmdError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn prevalidated_flags() {
+        let g = GridL1::new(0.0, 1.0, 4).unwrap();
+        assert!(g.prevalidated());
+        assert!(!PositionsL1::new(vec![0.0, 1.0]).prevalidated());
+        assert!(Thresholded::new(g.clone(), 0.5).prevalidated());
+        assert!(!Thresholded::new(g.clone(), -1.0).prevalidated());
+        assert!(!Thresholded::new(g, f64::NAN).prevalidated());
+        assert!(!Thresholded::new(PositionsL1::new(vec![0.0]), 0.5).prevalidated());
+    }
+
+    #[test]
+    fn cache_builds_once_and_hits_after() {
+        let cache = GroundCache::new();
+        let key = [7u64, 1, 2, 3];
+        let build = || GroundMatrix::build(&GridL1::new(0.0, 1.0, 3).unwrap());
+        let (first, was_hit) = cache.get_or_build(&key, build).unwrap();
+        assert!(!was_hit);
+        let (second, was_hit) = cache.get_or_build(&key, build).unwrap();
+        assert!(was_hit);
+        assert_eq!(first.flat(), second.flat());
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.hits(), 1);
+        // A different key builds its own matrix.
+        let (_, was_hit) = cache
+            .get_or_build(&[8u64], || {
+                GroundMatrix::build(&GridL1::new(0.0, 2.0, 4).unwrap())
+            })
+            .unwrap();
+        assert!(!was_hit);
+        assert_eq!(cache.builds(), 2);
+    }
+
+    #[test]
+    fn cache_does_not_retain_failed_builds() {
+        let cache = GroundCache::new();
+        let bad = || GroundMatrix::build(&PositionsL1::new(vec![f64::NAN]));
+        assert!(cache.get_or_build(&[1u64], bad).is_err());
+        assert_eq!(cache.builds(), 0);
+        // The key is still free for a good build.
+        let (_, was_hit) = cache
+            .get_or_build(&[1u64], || {
+                GroundMatrix::build(&GridL1::new(0.0, 1.0, 2).unwrap())
+            })
+            .unwrap();
+        assert!(!was_hit);
+        assert_eq!(cache.builds(), 1);
     }
 }

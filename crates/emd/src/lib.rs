@@ -56,6 +56,8 @@
 //! assert!((d - d2).abs() < 1e-9);
 //! ```
 
+pub mod arena;
+mod bipartite;
 pub mod bounds;
 pub mod d1;
 pub mod error;
@@ -65,11 +67,16 @@ pub mod signature;
 pub mod simplex;
 pub mod transport;
 
+pub use arena::{ScratchStats, SolveScratch};
 pub use bounds::PrefixCdf;
 pub use d1::{emd_1d_grid, emd_1d_positions, emd_1d_samples};
 pub use error::EmdError;
-pub use ground::{GridL1, GroundDistance, Matrix, PositionsL1, Thresholded};
-pub use transport::{Solver, TransportProblem, TransportSolution};
+pub use ground::{
+    GridL1, GroundCache, GroundDistance, GroundKey, GroundMatrix, Matrix, PositionsL1, Thresholded,
+};
+pub use transport::{
+    emd_cost_in, solve_emd, solve_emd_in, Solver, TransportProblem, TransportSolution,
+};
 
 /// Tolerance used throughout when comparing floating-point masses.
 pub const MASS_EPS: f64 = 1e-9;

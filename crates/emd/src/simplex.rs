@@ -14,11 +14,89 @@
 //!    exists the plan is optimal.
 //! 4. Pivot around the unique cycle the entering cell closes in the basis
 //!    tree, remove the leaving cell, repeat.
+//!
+//! All working storage lives in [`SimplexScratch`]: the basis, the
+//! `in_basis` membership bitmap (maintained incrementally across pivots
+//! instead of being rebuilt every iteration), one shared basis-tree
+//! adjacency (built once per MODI iteration and used by both the
+//! potential solve and the cycle search), and the DFS/BFS scratch. A
+//! reused scratch makes repeated solves allocation-free at steady state;
+//! the plain [`solve`] entry point spins up a fresh scratch per call.
 
 use crate::{EmdError, TransportSolution, MASS_EPS};
 
 /// Reduced costs above `-OPT_EPS` are considered non-improving.
 const OPT_EPS: f64 = 1e-10;
+
+/// Reusable working storage for the transportation simplex.
+#[derive(Debug, Clone, Default)]
+pub struct SimplexScratch {
+    /// Basis cells `(i, j, flow)` — exactly `m + n - 1` entries.
+    basis: Vec<(usize, usize, f64)>,
+    /// Working copies of supplies/demands for the north-west corner.
+    s: Vec<f64>,
+    d: Vec<f64>,
+    /// Dual potentials.
+    u: Vec<f64>,
+    v: Vec<f64>,
+    /// `m * n` basis-membership bitmap, maintained across pivots.
+    in_basis: Vec<bool>,
+    /// Basis-tree adjacency over bipartite nodes (rows `0..m`, columns
+    /// `m..m + n`); entries are `(next node, basis index)`. Built once
+    /// per MODI iteration, shared by the potential DFS and the cycle
+    /// BFS.
+    adj: Vec<Vec<(usize, usize)>>,
+    /// Live adjacency row count (rows beyond it are left clean).
+    adj_live: usize,
+    seen: Vec<bool>,
+    stack: Vec<usize>,
+    /// BFS predecessors `(prev node, basis index)`; `usize::MAX` = unset.
+    prev: Vec<(usize, usize)>,
+    queue: std::collections::VecDeque<usize>,
+    path: Vec<usize>,
+}
+
+impl SimplexScratch {
+    /// An empty scratch; buffers grow on first use and are kept after.
+    pub fn new() -> Self {
+        SimplexScratch::default()
+    }
+
+    /// Total element capacity of every buffer (allocation probe).
+    pub fn footprint(&self) -> usize {
+        self.basis.capacity()
+            + self.s.capacity()
+            + self.d.capacity()
+            + self.u.capacity()
+            + self.v.capacity()
+            + self.in_basis.capacity()
+            + self.adj.capacity()
+            + self.adj.iter().map(Vec::capacity).sum::<usize>()
+            + self.seen.capacity()
+            + self.stack.capacity()
+            + self.prev.capacity()
+            + self.queue.capacity()
+            + self.path.capacity()
+    }
+
+    /// Clear and rebuild the shared basis-tree adjacency from the
+    /// current basis.
+    fn rebuild_adj(&mut self, m: usize, n: usize) {
+        let nodes = m + n;
+        let dirty = self.adj_live.min(self.adj.len());
+        for row in self.adj.iter_mut().take(dirty) {
+            row.clear();
+        }
+        if self.adj.len() < nodes {
+            self.adj.resize_with(nodes, Vec::new);
+        }
+        self.adj_live = nodes;
+        for (bi, &(i, j, _)) in self.basis.iter().enumerate() {
+            self.adj[i].push((m + j, bi));
+            self.adj[m + j].push((i, bi));
+        }
+    }
+}
 
 /// Solve a balanced transportation problem to optimality.
 ///
@@ -34,19 +112,78 @@ pub fn solve(
     demands: &[f64],
     costs: &[Vec<f64>],
 ) -> Result<TransportSolution, EmdError> {
+    let mut scratch = SimplexScratch::new();
+    solve_in(&mut scratch, supplies, demands, |i, j| costs[i][j])
+}
+
+/// [`solve`] over caller-owned scratch and an arbitrary cost lookup —
+/// the allocation-free path. Produces bit-identical results to [`solve`]
+/// on the same instance regardless of what the scratch was used for
+/// before.
+///
+/// # Errors
+///
+/// As [`solve`].
+pub fn solve_in(
+    scratch: &mut SimplexScratch,
+    supplies: &[f64],
+    demands: &[f64],
+    cost: impl Fn(usize, usize) -> f64,
+) -> Result<TransportSolution, EmdError> {
+    let cost_total = optimise(scratch, supplies, demands, &cost)?;
+    let flows: Vec<_> = scratch
+        .basis
+        .iter()
+        .copied()
+        .filter(|&(_, _, f)| f > MASS_EPS)
+        .collect();
+    Ok(TransportSolution {
+        cost: cost_total,
+        flows,
+    })
+}
+
+/// [`solve_in`] without materialising the flow list: just the optimal
+/// cost. The hot audit path only needs the scalar.
+///
+/// # Errors
+///
+/// As [`solve`].
+pub fn solve_cost_in(
+    scratch: &mut SimplexScratch,
+    supplies: &[f64],
+    demands: &[f64],
+    cost: impl Fn(usize, usize) -> f64,
+) -> Result<f64, EmdError> {
+    optimise(scratch, supplies, demands, &cost)
+}
+
+/// Run NW-corner + MODI to optimality, leaving the optimal basis in
+/// `scratch.basis`, and return the optimal cost.
+fn optimise(
+    scratch: &mut SimplexScratch,
+    supplies: &[f64],
+    demands: &[f64],
+    cost: &impl Fn(usize, usize) -> f64,
+) -> Result<f64, EmdError> {
     let m = supplies.len();
     let n = demands.len();
     debug_assert!(m > 0 && n > 0);
 
     // --- Phase 1: north-west-corner basic feasible solution. ---
-    let mut basis: Vec<(usize, usize, f64)> = Vec::with_capacity(m + n - 1);
+    scratch.basis.clear();
+    scratch.basis.reserve(m + n - 1);
     {
-        let mut s: Vec<f64> = supplies.to_vec();
-        let mut d: Vec<f64> = demands.to_vec();
+        let s = &mut scratch.s;
+        let d = &mut scratch.d;
+        s.clear();
+        s.extend_from_slice(supplies);
+        d.clear();
+        d.extend_from_slice(demands);
         let (mut i, mut j) = (0usize, 0usize);
         loop {
             let q = s[i].min(d[j]);
-            basis.push((i, j, q));
+            scratch.basis.push((i, j, q));
             s[i] -= q;
             d[j] -= q;
             if i == m - 1 && j == n - 1 {
@@ -61,25 +198,32 @@ pub fn solve(
             }
         }
     }
-    debug_assert_eq!(basis.len(), m + n - 1);
+    debug_assert_eq!(scratch.basis.len(), m + n - 1);
+
+    // Basis membership, maintained incrementally across pivots instead of
+    // being rebuilt from the basis every iteration.
+    scratch.in_basis.clear();
+    scratch.in_basis.resize(m * n, false);
+    for &(i, j, _) in &scratch.basis {
+        scratch.in_basis[i * n + j] = true;
+    }
 
     // --- Phase 2: MODI iterations. ---
     let max_iters = 64 * (m + n) * (m + n) + 256;
     for _ in 0..max_iters {
-        let (u, v) = potentials(m, n, &basis, costs)?;
+        // One adjacency build serves both the potential solve and the
+        // cycle search this iteration.
+        scratch.rebuild_adj(m, n);
+        potentials(scratch, m, n, cost)?;
 
         // Entering cell: most negative reduced cost among non-basic cells.
-        let mut in_basis = vec![false; m * n];
-        for &(i, j, _) in &basis {
-            in_basis[i * n + j] = true;
-        }
         let mut best: Option<(usize, usize, f64)> = None;
         for i in 0..m {
             for j in 0..n {
-                if in_basis[i * n + j] {
+                if scratch.in_basis[i * n + j] {
                     continue;
                 }
-                let rc = costs[i][j] - u[i] - v[j];
+                let rc = cost(i, j) - scratch.u[i] - scratch.v[j];
                 if rc < -OPT_EPS && best.is_none_or(|(_, _, b)| rc < b) {
                     best = Some((i, j, rc));
                 }
@@ -87,77 +231,77 @@ pub fn solve(
         }
         let Some((ei, ej, _)) = best else {
             // Optimal.
-            let cost = basis.iter().map(|&(i, j, f)| f * costs[i][j]).sum();
-            let flows: Vec<_> = basis
-                .iter()
-                .copied()
-                .filter(|&(_, _, f)| f > MASS_EPS)
-                .collect();
-            return Ok(TransportSolution { cost, flows });
+            return Ok(scratch.basis.iter().map(|&(i, j, f)| f * cost(i, j)).sum());
         };
 
         // The entering cell (ei, ej) closes a unique cycle in the basis
         // tree: entering cell, then the tree path from column ej back to
         // row ei. Flow alternates +theta on the entering cell, -theta on
         // the first path cell, +theta on the next, ...
-        let path = tree_path(m, n, &basis, ei, ej).ok_or(EmdError::SolverStalled {
-            solver: "transportation simplex (no cycle)",
-        })?;
+        if !tree_path(scratch, m, n, ei, ej) {
+            return Err(EmdError::SolverStalled {
+                solver: "transportation simplex (no cycle)",
+            });
+        }
         let mut theta = f64::INFINITY;
         let mut leave_pos = usize::MAX;
-        for (k, &bi) in path.iter().enumerate() {
-            if k % 2 == 0 && basis[bi].2 < theta {
-                theta = basis[bi].2;
+        for (k, &bi) in scratch.path.iter().enumerate() {
+            if k % 2 == 0 && scratch.basis[bi].2 < theta {
+                theta = scratch.basis[bi].2;
                 leave_pos = bi;
             }
         }
         debug_assert!(leave_pos != usize::MAX);
-        for (k, &bi) in path.iter().enumerate() {
+        for (k, &bi) in scratch.path.iter().enumerate() {
             if k % 2 == 0 {
-                basis[bi].2 -= theta;
+                scratch.basis[bi].2 -= theta;
             } else {
-                basis[bi].2 += theta;
+                scratch.basis[bi].2 += theta;
             }
         }
-        basis[leave_pos] = (ei, ej, theta);
+        let (li, lj, _) = scratch.basis[leave_pos];
+        scratch.in_basis[li * n + lj] = false;
+        scratch.in_basis[ei * n + ej] = true;
+        scratch.basis[leave_pos] = (ei, ej, theta);
     }
     Err(EmdError::SolverStalled {
         solver: "transportation simplex",
     })
 }
 
-/// Solve `u[i] + v[j] = c[i][j]` over the basis spanning tree, `u[0] = 0`.
+/// Solve `u[i] + v[j] = c[i][j]` over the basis spanning tree (using the
+/// prebuilt `scratch.adj`), `u[0] = 0`.
 fn potentials(
+    scratch: &mut SimplexScratch,
     m: usize,
     n: usize,
-    basis: &[(usize, usize, f64)],
-    costs: &[Vec<f64>],
-) -> Result<(Vec<f64>, Vec<f64>), EmdError> {
-    // Bipartite nodes: rows 0..m, cols m..m+n; basis cells are edges.
-    let mut adj: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); m + n]; // (next, i, j)
-    for &(i, j, _) in basis {
-        adj[i].push((m + j, i, j));
-        adj[m + j].push((i, i, j));
-    }
-    let mut u = vec![0.0f64; m];
-    let mut v = vec![0.0f64; n];
-    let mut seen = vec![false; m + n];
-    seen[0] = true;
-    let mut stack = vec![0usize];
+    cost: &impl Fn(usize, usize) -> f64,
+) -> Result<(), EmdError> {
+    scratch.u.clear();
+    scratch.u.resize(m, 0.0);
+    scratch.v.clear();
+    scratch.v.resize(n, 0.0);
+    scratch.seen.clear();
+    scratch.seen.resize(m + n, false);
+    scratch.seen[0] = true;
+    scratch.stack.clear();
+    scratch.stack.push(0);
     let mut visited = 1usize;
-    while let Some(node) = stack.pop() {
-        for &(next, i, j) in &adj[node] {
-            if seen[next] {
+    while let Some(node) = scratch.stack.pop() {
+        for idx in 0..scratch.adj[node].len() {
+            let (next, bi) = scratch.adj[node][idx];
+            if scratch.seen[next] {
                 continue;
             }
-            seen[next] = true;
+            scratch.seen[next] = true;
             visited += 1;
+            let (i, j, _) = scratch.basis[bi];
             if next >= m {
-                v[j] = costs[i][j] - u[i];
+                scratch.v[j] = cost(i, j) - scratch.u[i];
             } else {
-                u[i] = costs[i][j] - v[j];
+                scratch.u[i] = cost(i, j) - scratch.v[j];
             }
-            stack.push(next);
+            scratch.stack.push(next);
         }
     }
     if visited != m + n {
@@ -166,55 +310,50 @@ fn potentials(
             solver: "transportation simplex (basis not a tree)",
         });
     }
-    Ok((u, v))
+    Ok(())
 }
 
-/// Tree path (as basis-cell indices) from column node `ej` back to row
-/// node `ei`, ordered starting at the cell that shares column `ej` with
-/// the entering cell. Along the cycle entering(+) → path[0](−) →
-/// path[1](+) → …, parity alternates exactly in returned order.
-fn tree_path(
-    m: usize,
-    n: usize,
-    basis: &[(usize, usize, f64)],
-    ei: usize,
-    ej: usize,
-) -> Option<Vec<usize>> {
-    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); m + n]; // (next, basis idx)
-    for (bi, &(i, j, _)) in basis.iter().enumerate() {
-        adj[i].push((m + j, bi));
-        adj[m + j].push((i, bi));
-    }
+/// Tree path (as basis-cell indices, left in `scratch.path`) from column
+/// node `ej` back to row node `ei`, ordered starting at the cell that
+/// shares column `ej` with the entering cell. Along the cycle
+/// entering(+) → path[0](−) → path[1](+) → …, parity alternates exactly
+/// in returned order. Returns `false` when no path exists.
+fn tree_path(scratch: &mut SimplexScratch, m: usize, n: usize, ei: usize, ej: usize) -> bool {
+    const UNSET: (usize, usize) = (usize::MAX, usize::MAX);
     let start = ei;
     let goal = m + ej;
-    let mut prev: Vec<Option<(usize, usize)>> = vec![None; m + n];
-    let mut seen = vec![false; m + n];
-    seen[start] = true;
-    let mut queue = std::collections::VecDeque::new();
-    queue.push_back(start);
-    while let Some(node) = queue.pop_front() {
+    scratch.prev.clear();
+    scratch.prev.resize(m + n, UNSET);
+    scratch.seen.clear();
+    scratch.seen.resize(m + n, false);
+    scratch.seen[start] = true;
+    scratch.queue.clear();
+    scratch.queue.push_back(start);
+    while let Some(node) = scratch.queue.pop_front() {
         if node == goal {
             break;
         }
-        for &(next, bi) in &adj[node] {
-            if !seen[next] {
-                seen[next] = true;
-                prev[next] = Some((node, bi));
-                queue.push_back(next);
+        for idx in 0..scratch.adj[node].len() {
+            let (next, bi) = scratch.adj[node][idx];
+            if !scratch.seen[next] {
+                scratch.seen[next] = true;
+                scratch.prev[next] = (node, bi);
+                scratch.queue.push_back(next);
             }
         }
     }
-    if !seen[goal] {
-        return None;
+    if !scratch.seen[goal] {
+        return false;
     }
-    let mut path = Vec::new();
+    scratch.path.clear();
     let mut node = goal;
     while node != start {
-        let (p, bi) = prev[node].expect("path exists");
-        path.push(bi);
+        let (p, bi) = scratch.prev[node];
+        debug_assert!(p != usize::MAX, "path exists");
+        scratch.path.push(bi);
         node = p;
     }
-    Some(path)
+    true
 }
 
 #[cfg(test)]
@@ -284,5 +423,41 @@ mod tests {
         let costs = vec![vec![2.0; 3]; 3];
         let sol = solve(&[1.0, 1.0, 1.0], &[1.0, 1.0, 1.0], &costs).unwrap();
         assert!((sol.cost - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reused_scratch_is_bit_identical_to_fresh() {
+        type Instance = (Vec<f64>, Vec<f64>, Vec<Vec<f64>>);
+        let instances: Vec<Instance> = vec![
+            (
+                vec![1.0, 1.0],
+                vec![1.0, 1.0],
+                vec![vec![10.0, 1.0], vec![1.0, 10.0]],
+            ),
+            (
+                vec![20.0, 30.0],
+                vec![10.0, 25.0, 15.0],
+                vec![vec![2.0, 4.0, 6.0], vec![5.0, 1.0, 3.0]],
+            ),
+            (vec![1.0], vec![1.0], vec![vec![3.0]]),
+            (
+                vec![5.0, 3.0, 2.0],
+                vec![4.0, 4.0, 2.0],
+                vec![
+                    vec![1.0, 5.0, 9.0],
+                    vec![4.0, 2.0, 7.0],
+                    vec![8.0, 3.0, 1.0],
+                ],
+            ),
+        ];
+        let mut scratch = SimplexScratch::new();
+        for (s, d, c) in &instances {
+            let fresh = solve(s, d, c).unwrap();
+            let reused = solve_in(&mut scratch, s, d, |i, j| c[i][j]).unwrap();
+            assert_eq!(fresh.cost.to_bits(), reused.cost.to_bits());
+            assert_eq!(fresh.flows, reused.flows);
+            let cost_only = solve_cost_in(&mut scratch, s, d, |i, j| c[i][j]).unwrap();
+            assert_eq!(fresh.cost.to_bits(), cost_only.to_bits());
+        }
     }
 }

@@ -3,8 +3,19 @@
 //! [`TransportProblem`] is the general supplies/demands/cost formulation;
 //! [`solve_emd`] is the convenience wrapper the rest of the workspace uses
 //! (equal-length mass vectors plus a [`GroundDistance`]).
+//!
+//! Every solve runs through a [`SolveScratch`] workspace. The plain
+//! entry points ([`TransportProblem::solve`], [`solve_emd`]) spin up a
+//! fresh scratch per call; the `_in` variants
+//! ([`TransportProblem::solve_in`], [`solve_emd_in`], [`emd_cost_in`])
+//! reuse a caller-owned one, which makes a stream of same-sized solves
+//! allocation-free and enables the round-1 warm start between
+//! consecutive pairs that share a support set. Both paths produce
+//! bit-identical results.
 
-use crate::flow::MinCostFlow;
+use std::mem;
+
+use crate::arena::SolveScratch;
 use crate::ground::GroundDistance;
 use crate::{simplex, EmdError, MASS_EPS};
 
@@ -92,19 +103,43 @@ impl TransportProblem {
     /// Validation failures, or [`EmdError::SolverStalled`] on internal
     /// failure (never on valid input).
     pub fn solve(&self, solver: Solver) -> Result<TransportSolution, EmdError> {
+        self.solve_in(&mut SolveScratch::new(), solver)
+    }
+
+    /// [`TransportProblem::solve`] on a caller-owned workspace: repeated
+    /// same-sized solves reuse every buffer. Results are bit-identical
+    /// to `solve`.
+    ///
+    /// # Errors
+    ///
+    /// As [`TransportProblem::solve`].
+    pub fn solve_in(
+        &self,
+        scratch: &mut SolveScratch,
+        solver: Solver,
+    ) -> Result<TransportSolution, EmdError> {
         self.validate()?;
+        scratch.note_use();
         match solver {
-            Solver::Flow => self.solve_flow(),
-            Solver::Simplex => simplex::solve(&self.supplies, &self.demands, &self.costs),
+            Solver::Flow => self.solve_flow_in(scratch),
+            Solver::Simplex => simplex::solve_in(
+                &mut scratch.simplex,
+                &self.supplies,
+                &self.demands,
+                |i, j| self.costs[i][j],
+            ),
         }
     }
 
-    fn solve_flow(&self) -> Result<TransportSolution, EmdError> {
+    fn solve_flow_in(&self, scratch: &mut SolveScratch) -> Result<TransportSolution, EmdError> {
         let (nl, nr) = (self.supplies.len(), self.demands.len());
         // Node layout: 0 = source, 1..=nl supplies, nl+1..=nl+nr demands, last = sink.
         let source = 0;
         let sink = nl + nr + 1;
-        let mut g = MinCostFlow::new(nl + nr + 2);
+        let SolveScratch {
+            flow: g, edge_ids, ..
+        } = scratch;
+        g.reset(nl + nr + 2);
         let mut want = 0.0;
         for (i, &s) in self.supplies.iter().enumerate() {
             if s > MASS_EPS {
@@ -117,7 +152,7 @@ impl TransportProblem {
                 g.add_edge(1 + nl + j, sink, d, 0.0);
             }
         }
-        let mut edge_ids = Vec::new();
+        edge_ids.clear();
         for (i, &s) in self.supplies.iter().enumerate() {
             if s <= MASS_EPS {
                 continue;
@@ -137,8 +172,8 @@ impl TransportProblem {
             });
         }
         let mut flows = Vec::new();
-        for (i, j, id) in edge_ids {
-            let f = g.flow_on(id);
+        for &(i, j, id) in scratch.edge_ids.iter() {
+            let f = scratch.flow.flow_on(id);
             if f > MASS_EPS {
                 flows.push((i, j, f));
             }
@@ -147,6 +182,234 @@ impl TransportProblem {
             cost: r.cost,
             flows,
         })
+    }
+}
+
+/// Compact `a`/`b` onto their joint non-empty supports inside `scratch`,
+/// materialise the flat compacted cost view, and validate — mirroring
+/// [`TransportProblem::validate`] on the compacted instance, except that
+/// the O(m·n) cost walk is skipped for grounds that guarantee their costs
+/// up front ([`GroundDistance::prevalidated`]). Returns the compacted
+/// dimensions plus whether the instance matches the previous solve's
+/// supports and costs exactly (the warm-start precondition).
+fn prepare_compacted<G: GroundDistance + ?Sized>(
+    scratch: &mut SolveScratch,
+    a: &[f64],
+    b: &[f64],
+    ground: &G,
+) -> Result<(usize, usize, bool), EmdError> {
+    if a.len() != b.len() {
+        return Err(EmdError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    if a.len() != ground.size() {
+        return Err(EmdError::LengthMismatch {
+            left: a.len(),
+            right: ground.size(),
+        });
+    }
+    scratch.note_use();
+    let had_warm = scratch.warm_valid;
+    scratch.warm_valid = false;
+    // Retire the previous instance into the warm-start comparands; the
+    // swapped-out buffers become this solve's scratch space.
+    mem::swap(&mut scratch.srcs, &mut scratch.prev_srcs);
+    mem::swap(&mut scratch.dsts, &mut scratch.prev_dsts);
+    mem::swap(&mut scratch.costs, &mut scratch.prev_costs);
+    // Restrict to non-empty bins to keep instances small: typical score
+    // histograms are sparse for small partitions.
+    scratch.srcs.clear();
+    scratch.supplies.clear();
+    for (i, &x) in a.iter().enumerate() {
+        if x > MASS_EPS {
+            scratch.srcs.push(i);
+            scratch.supplies.push(x);
+        }
+    }
+    scratch.dsts.clear();
+    scratch.demands.clear();
+    for (j, &x) in b.iter().enumerate() {
+        if x > MASS_EPS {
+            scratch.dsts.push(j);
+            scratch.demands.push(x);
+        }
+    }
+    if scratch.srcs.is_empty() || scratch.dsts.is_empty() {
+        crate::validate_masses(a)?;
+        crate::validate_masses(b)?;
+        return Err(EmdError::ZeroMass);
+    }
+    crate::validate_masses(&scratch.supplies)?;
+    crate::validate_masses(&scratch.demands)?;
+    let (m, n) = (scratch.srcs.len(), scratch.dsts.len());
+    {
+        let SolveScratch {
+            srcs, dsts, costs, ..
+        } = &mut *scratch;
+        costs.clear();
+        costs.reserve(m * n);
+        for &i in srcs.iter() {
+            for &j in dsts.iter() {
+                costs.push(ground.cost(i, j));
+            }
+        }
+    }
+    if !ground.prevalidated() {
+        for (k, &c) in scratch.costs.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(EmdError::NonFinite {
+                    index: k % n,
+                    value: c,
+                });
+            }
+            if c < 0.0 {
+                return Err(EmdError::Negative {
+                    index: k % n,
+                    value: c,
+                });
+            }
+        }
+    }
+    let (ts, td) = (
+        crate::total(&scratch.supplies),
+        crate::total(&scratch.demands),
+    );
+    if (ts - td).abs() > MASS_EPS * ts.max(td).max(1.0) {
+        return Err(EmdError::MassMismatch {
+            left: ts,
+            right: td,
+        });
+    }
+    let warm = had_warm
+        && scratch.srcs == scratch.prev_srcs
+        && scratch.dsts == scratch.prev_dsts
+        && scratch.costs == scratch.prev_costs;
+    Ok((m, n, warm))
+}
+
+/// Solve the compacted instance in `scratch` with the transport-
+/// specialised flow kernel, replaying the previous round-1 Dijkstra when
+/// `warm` holds. Leaves the kernel's flow matrix populated so callers
+/// can read flows back.
+fn flow_solve_compacted(
+    scratch: &mut SolveScratch,
+    _m: usize,
+    _n: usize,
+    warm: bool,
+) -> Result<f64, EmdError> {
+    let cost = {
+        let SolveScratch {
+            bip,
+            supplies,
+            demands,
+            costs,
+            stats,
+            ..
+        } = scratch;
+        if warm {
+            stats.warm_starts += 1;
+        }
+        let mut want = 0.0;
+        for &s in supplies.iter() {
+            want += s;
+        }
+        let r = bip.solve(supplies, demands, costs, want, warm)?;
+        if (r.flow - want).abs() > 1e-6 * want.max(1.0) {
+            return Err(EmdError::SolverStalled {
+                solver: "min-cost-flow (unbalanced)",
+            });
+        }
+        r.cost
+    };
+    // The kernel's round-1 cache now describes this instance, whose
+    // supports and costs will be swapped into `prev_*` at the next
+    // prepare.
+    scratch.warm_valid = true;
+    Ok(cost)
+}
+
+/// Solve the EMD between two equal-length mass vectors under `ground`,
+/// reusing a caller-owned workspace. Bit-identical to [`solve_emd`];
+/// allocation-free at steady state apart from the returned flow list
+/// (use [`emd_cost_in`] when only the cost is needed).
+///
+/// # Errors
+///
+/// Validation failures as in [`TransportProblem::validate`].
+pub fn solve_emd_in<G: GroundDistance + ?Sized>(
+    scratch: &mut SolveScratch,
+    a: &[f64],
+    b: &[f64],
+    ground: &G,
+    solver: Solver,
+) -> Result<TransportSolution, EmdError> {
+    let (m, n, warm) = prepare_compacted(scratch, a, b, ground)?;
+    match solver {
+        Solver::Flow => {
+            let cost = flow_solve_compacted(scratch, m, n, warm)?;
+            let mut flows = Vec::new();
+            for si in 0..m {
+                for dj in 0..n {
+                    let f = scratch.bip.flow_at(si, dj);
+                    if f > MASS_EPS {
+                        flows.push((scratch.srcs[si], scratch.dsts[dj], f));
+                    }
+                }
+            }
+            Ok(TransportSolution { cost, flows })
+        }
+        Solver::Simplex => {
+            let sol = {
+                let SolveScratch {
+                    simplex,
+                    supplies,
+                    demands,
+                    costs,
+                    ..
+                } = scratch;
+                simplex::solve_in(simplex, supplies, demands, |si, dj| costs[si * n + dj])?
+            };
+            Ok(TransportSolution {
+                cost: sol.cost,
+                flows: sol
+                    .flows
+                    .into_iter()
+                    .map(|(si, dj, f)| (scratch.srcs[si], scratch.dsts[dj], f))
+                    .collect(),
+            })
+        }
+    }
+}
+
+/// The cost-only hot path: [`solve_emd_in`] without materialising the
+/// flow list. Zero heap traffic once the scratch has reached its
+/// steady-state size.
+///
+/// # Errors
+///
+/// Validation failures as in [`TransportProblem::validate`].
+pub fn emd_cost_in<G: GroundDistance + ?Sized>(
+    scratch: &mut SolveScratch,
+    a: &[f64],
+    b: &[f64],
+    ground: &G,
+    solver: Solver,
+) -> Result<f64, EmdError> {
+    let (m, n, warm) = prepare_compacted(scratch, a, b, ground)?;
+    match solver {
+        Solver::Flow => flow_solve_compacted(scratch, m, n, warm),
+        Solver::Simplex => {
+            let SolveScratch {
+                simplex,
+                supplies,
+                demands,
+                costs,
+                ..
+            } = scratch;
+            simplex::solve_cost_in(simplex, supplies, demands, |si, dj| costs[si * n + dj])
+        }
     }
 }
 
@@ -164,44 +427,7 @@ pub fn solve_emd<G: GroundDistance>(
     ground: &G,
     solver: Solver,
 ) -> Result<TransportSolution, EmdError> {
-    if a.len() != b.len() {
-        return Err(EmdError::LengthMismatch {
-            left: a.len(),
-            right: b.len(),
-        });
-    }
-    if a.len() != ground.size() {
-        return Err(EmdError::LengthMismatch {
-            left: a.len(),
-            right: ground.size(),
-        });
-    }
-    // Restrict to non-empty bins to keep instances small: typical score
-    // histograms are sparse for small partitions.
-    let srcs: Vec<usize> = (0..a.len()).filter(|&i| a[i] > MASS_EPS).collect();
-    let dsts: Vec<usize> = (0..b.len()).filter(|&j| b[j] > MASS_EPS).collect();
-    if srcs.is_empty() || dsts.is_empty() {
-        crate::validate_masses(a)?;
-        crate::validate_masses(b)?;
-        return Err(EmdError::ZeroMass);
-    }
-    let problem = TransportProblem {
-        supplies: srcs.iter().map(|&i| a[i]).collect(),
-        demands: dsts.iter().map(|&j| b[j]).collect(),
-        costs: srcs
-            .iter()
-            .map(|&i| dsts.iter().map(|&j| ground.cost(i, j)).collect())
-            .collect(),
-    };
-    let sol = problem.solve(solver)?;
-    Ok(TransportSolution {
-        cost: sol.cost,
-        flows: sol
-            .flows
-            .into_iter()
-            .map(|(i, j, f)| (srcs[i], dsts[j], f))
-            .collect(),
-    })
+    solve_emd_in(&mut SolveScratch::new(), a, b, ground, solver)
 }
 
 #[cfg(test)]

@@ -4,12 +4,28 @@
 use fairjob_emd::bounds::{
     cdf_l1_grid, cdf_l1_positions, projection_lower, tv_lower, tv_upper, PrefixCdf,
 };
-use fairjob_emd::{emd_1d_grid, emd_1d_samples, emd_between, normalise, EmdConfig, GridL1, Solver};
+use fairjob_emd::{
+    emd_1d_grid, emd_1d_samples, emd_between, emd_cost_in, normalise, solve_emd, solve_emd_in,
+    EmdConfig, GridL1, GroundDistance, PositionsL1, SolveScratch, Solver, TransportProblem,
+};
 use proptest::prelude::*;
 
 /// Strategy: a mass vector of length `n` with at least one positive entry.
 fn masses(n: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(0.0f64..10.0, n)
+        .prop_filter("non-zero total", |v| v.iter().sum::<f64>() > 1e-6)
+}
+
+/// Strategy: a sparse mass vector — each bin is either exactly empty or
+/// substantial, so support compaction and degenerate (zero-mass-row)
+/// handling both get exercised, including single-bin instances.
+fn sparse_masses(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((0.0f64..1.0, 0.5f64..10.0), n)
+        .prop_map(|v| {
+            v.into_iter()
+                .map(|(gate, x)| if gate < 0.6 { 0.0 } else { x })
+                .collect::<Vec<f64>>()
+        })
         .prop_filter("non-zero total", |v| v.iter().sum::<f64>() > 1e-6)
 }
 
@@ -231,6 +247,109 @@ proptest! {
         let d_max = 5.0f64.powf(1.5);
         prop_assert!(tv_lower(&pa, &pb, 1.0).unwrap() <= matrix + 1e-9);
         prop_assert!(matrix <= tv_upper(&pa, &pb, d_max).unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn flow_and_simplex_agree_on_sparse_degenerate_instances(
+        a in sparse_masses(7),
+        b in sparse_masses(7),
+        pos_idx in prop::collection::vec(0usize..4, 7),
+    ) {
+        // Positions drawn from only four distinct values: duplicates give
+        // zero-cost edges and massively degenerate optimal plans, the
+        // worst case for solver agreement.
+        let levels = [0.0, 0.25, 0.5, 1.0];
+        let pos: Vec<f64> = pos_idx.iter().map(|&i| levels[i]).collect();
+        let g = PositionsL1::new(pos);
+        let na = normalise(&a).unwrap();
+        let nb = normalise(&b).unwrap();
+        let f = solve_emd(&na, &nb, &g, Solver::Flow).unwrap();
+        let s = solve_emd(&na, &nb, &g, Solver::Simplex).unwrap();
+        prop_assert!((f.cost - s.cost).abs() < 1e-9, "flow={} simplex={}", f.cost, s.cost);
+    }
+
+    #[test]
+    fn compacted_solve_matches_uncompacted_problem(
+        a in sparse_masses(6),
+        b in sparse_masses(6),
+    ) {
+        // solve_emd compacts onto the non-empty supports; a raw
+        // TransportProblem keeps the zero-mass rows/columns. The optimum
+        // must not depend on which formulation ran.
+        let na = normalise(&a).unwrap();
+        let nb = normalise(&b).unwrap();
+        let g = GridL1::new(0.0, 1.0, 6).unwrap();
+        let p = TransportProblem {
+            supplies: na.clone(),
+            demands: nb.clone(),
+            costs: (0..6)
+                .map(|i| (0..6).map(|j| g.cost(i, j)).collect())
+                .collect(),
+        };
+        for solver in [Solver::Flow, Solver::Simplex] {
+            let compacted = solve_emd(&na, &nb, &g, solver).unwrap();
+            let full = p.solve(solver).unwrap();
+            prop_assert!(
+                (compacted.cost - full.cost).abs() < 1e-9,
+                "{solver:?}: compacted={} full={}", compacted.cost, full.cost
+            );
+        }
+    }
+
+    #[test]
+    fn arena_scratch_is_bit_identical_to_legacy_path(
+        pairs in prop::collection::vec((sparse_masses(6), sparse_masses(6)), 1..5),
+    ) {
+        // One long-lived scratch across pairs and solver switches must
+        // reproduce the fresh-scratch path bit for bit, flows included.
+        let g = GridL1::new(0.0, 1.0, 6).unwrap();
+        let mut scratch = SolveScratch::new();
+        for (a, b) in &pairs {
+            let na = normalise(a).unwrap();
+            let nb = normalise(b).unwrap();
+            for solver in [Solver::Flow, Solver::Simplex] {
+                let fresh = solve_emd(&na, &nb, &g, solver).unwrap();
+                let reused = solve_emd_in(&mut scratch, &na, &nb, &g, solver).unwrap();
+                prop_assert_eq!(fresh.cost.to_bits(), reused.cost.to_bits(),
+                    "{:?}: fresh={} reused={}", solver, fresh.cost, reused.cost);
+                prop_assert_eq!(&fresh.flows, &reused.flows);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_replay_is_bit_identical_to_cold(
+        mask in prop::collection::vec(0.0f64..1.0, 6)
+            .prop_map(|v| v.into_iter().map(|g| g < 0.5).collect::<Vec<bool>>()),
+        vals in prop::collection::vec(prop::collection::vec(0.5f64..10.0, 6), 2..6),
+    ) {
+        // Every histogram shares one support pattern, so each solve after
+        // the first replays the previous round-1 Dijkstra — and must
+        // still match a cold solve bit for bit.
+        prop_assume!(mask.iter().any(|&m| m));
+        let g = GridL1::new(0.0, 1.0, 6).unwrap();
+        let hists: Vec<Vec<f64>> = vals
+            .iter()
+            .map(|v| {
+                let raw: Vec<f64> = v
+                    .iter()
+                    .zip(&mask)
+                    .map(|(&x, &m)| if m { x } else { 0.0 })
+                    .collect();
+                normalise(&raw).unwrap()
+            })
+            .collect();
+        let mut warm = SolveScratch::new();
+        warm.begin_chunk();
+        for w in hists.windows(2) {
+            let hot = emd_cost_in(&mut warm, &w[0], &w[1], &g, Solver::Flow).unwrap();
+            let cold = emd_cost_in(&mut SolveScratch::new(), &w[0], &w[1], &g, Solver::Flow)
+                .unwrap();
+            prop_assert_eq!(hot.to_bits(), cold.to_bits(), "hot={} cold={}", hot, cold);
+        }
+        // Solves 2..k share supports and costs with their predecessor.
+        prop_assert_eq!(warm.stats().warm_starts as usize, hists.len() - 2);
+        prop_assert_eq!(warm.stats().scratch_reuses as usize, hists.len() - 2);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 
 use crate::histogram::Histogram;
 use fairjob_emd::bounds;
-use fairjob_emd::{EmdError, GridL1, Solver, Thresholded};
+use fairjob_emd::{
+    EmdError, GridL1, GroundCache, GroundMatrix, PositionsL1, SolveScratch, Solver, Thresholded,
+};
 use std::fmt;
 
 /// Errors from distance computation.
@@ -80,6 +82,66 @@ pub trait HistogramDistance: Send + Sync {
         let _ = (a, b);
         None
     }
+
+    /// [`HistogramDistance::distance`] on a caller-owned solver
+    /// workspace. The default ignores the scratch; the exact-EMD
+    /// implementations override it to reuse solver buffers, the shared
+    /// ground-matrix cache, and warm-started duals. The returned value is
+    /// always bit-identical to `distance`.
+    fn distance_with(
+        &self,
+        a: &Histogram,
+        b: &Histogram,
+        scratch: &mut SolveScratch,
+    ) -> Result<f64, DistanceError> {
+        let _ = scratch;
+        self.distance(a, b)
+    }
+
+    /// Pre-build any process-wide cached state for histograms laid out
+    /// like `h` (the exact solvers' ground matrix), so that workers
+    /// solving afterwards — possibly in parallel — only ever hit the
+    /// cache. The default does nothing.
+    ///
+    /// # Errors
+    ///
+    /// Implementations surface ground-construction failures here instead
+    /// of at the first solve.
+    fn prime(&self, h: &Histogram) -> Result<(), DistanceError> {
+        let _ = h;
+        Ok(())
+    }
+}
+
+// Ground-cache signature tags. A signature is the exact bit-level
+// fingerprint of the data a ground matrix is built from, so equal
+// signatures guarantee equal matrices (no hashing, no collisions).
+const SIG_POSITIONS: u64 = 0x706f_7331; // centres, L1
+const SIG_THR_GRID: u64 = 0x7468_6731; // uniform grid, thresholded
+const SIG_THR_POSITIONS: u64 = 0x7468_7031; // centres, thresholded
+
+fn positions_sig(spec: &crate::bins::BinSpec, out: &mut Vec<u64>) {
+    out.push(SIG_POSITIONS);
+    out.push(spec.len() as u64);
+    for i in 0..spec.len() {
+        out.push(spec.centre(i).to_bits());
+    }
+}
+
+fn thresholded_sig(spec: &crate::bins::BinSpec, threshold: f64, out: &mut Vec<u64>) {
+    if spec.is_uniform() {
+        out.push(SIG_THR_GRID);
+        out.push(spec.len() as u64);
+        out.push(spec.lo().to_bits());
+        out.push(spec.hi().to_bits());
+    } else {
+        out.push(SIG_THR_POSITIONS);
+        out.push(spec.len() as u64);
+        for i in 0..spec.len() {
+            out.push(spec.centre(i).to_bits());
+        }
+    }
+    out.push(threshold.to_bits());
 }
 
 fn frequencies(a: &Histogram, b: &Histogram) -> Result<(Vec<f64>, Vec<f64>), DistanceError> {
@@ -179,6 +241,41 @@ impl HistogramDistance for EmdExact {
             exact: false,
         })
     }
+
+    /// Solve on the workspace: cached ground matrix (no per-pair centre
+    /// walk or validation), reused solver buffers, and — for the flow
+    /// backend — warm-started duals between consecutive pairs sharing a
+    /// support set. Bit-identical to `distance`.
+    fn distance_with(
+        &self,
+        a: &Histogram,
+        b: &Histogram,
+        scratch: &mut SolveScratch,
+    ) -> Result<f64, DistanceError> {
+        let (fa, fb) = frequencies(a, b)?;
+        let spec = a.spec();
+        let ground = scratch.ground_for(
+            |sig| positions_sig(spec, sig),
+            || GroundMatrix::build(&PositionsL1::new(spec.centres())),
+        )?;
+        Ok(fairjob_emd::emd_cost_in(
+            scratch,
+            &fa,
+            &fb,
+            &ground,
+            self.solver,
+        )?)
+    }
+
+    fn prime(&self, h: &Histogram) -> Result<(), DistanceError> {
+        let spec = h.spec();
+        let mut sig = Vec::new();
+        positions_sig(spec, &mut sig);
+        GroundCache::global().get_or_build(&sig, || {
+            GroundMatrix::build(&PositionsL1::new(spec.centres()))
+        })?;
+        Ok(())
+    }
 }
 
 /// EMD with a saturated (thresholded) ground distance, after Pele &
@@ -239,6 +336,54 @@ impl HistogramDistance for EmdThresholded {
             upper: tv * span.min(self.threshold).max(0.0),
             exact: false,
         })
+    }
+
+    fn distance_with(
+        &self,
+        a: &Histogram,
+        b: &Histogram,
+        scratch: &mut SolveScratch,
+    ) -> Result<f64, DistanceError> {
+        let (fa, fb) = frequencies(a, b)?;
+        let spec = a.spec();
+        let threshold = self.threshold;
+        let ground = scratch.ground_for(
+            |sig| thresholded_sig(spec, threshold, sig),
+            || build_thresholded_matrix(spec, threshold),
+        )?;
+        Ok(fairjob_emd::emd_cost_in(
+            scratch,
+            &fa,
+            &fb,
+            &ground,
+            Solver::Flow,
+        )?)
+    }
+
+    fn prime(&self, h: &Histogram) -> Result<(), DistanceError> {
+        let spec = h.spec();
+        let mut sig = Vec::new();
+        thresholded_sig(spec, self.threshold, &mut sig);
+        GroundCache::global()
+            .get_or_build(&sig, || build_thresholded_matrix(spec, self.threshold))?;
+        Ok(())
+    }
+}
+
+/// Snapshot the thresholded ground for `spec` into a validated matrix,
+/// mirroring the ground construction in [`EmdThresholded::distance`].
+fn build_thresholded_matrix(
+    spec: &crate::bins::BinSpec,
+    threshold: f64,
+) -> Result<GroundMatrix, EmdError> {
+    if spec.is_uniform() {
+        let g = GridL1::new(spec.lo(), spec.hi(), spec.len())?;
+        GroundMatrix::build(&Thresholded::new(g, threshold))
+    } else {
+        GroundMatrix::build(&Thresholded::new(
+            PositionsL1::new(spec.centres()),
+            threshold,
+        ))
     }
 }
 
@@ -574,6 +719,82 @@ mod tests {
         assert!(Emd1d.bounds(&a, &Histogram::empty(spec())).is_none());
         // Distances without screening support keep the default.
         assert!(TotalVariation.bounds(&a, &a).is_none());
+    }
+
+    #[test]
+    fn distance_with_is_bit_identical_to_distance() {
+        let hists = [
+            h(&[0.12, 0.34, 0.55, 0.9]),
+            h(&[0.2, 0.21, 0.8]),
+            h(&[0.05, 0.5, 0.95]),
+        ];
+        let exact_flow = EmdExact {
+            solver: Solver::Flow,
+        };
+        let exact_simplex = EmdExact {
+            solver: Solver::Simplex,
+        };
+        let thresholded = EmdThresholded { threshold: 0.25 };
+        let mut scratch = SolveScratch::new();
+        for a in &hists {
+            for b in &hists {
+                for dist in [
+                    &exact_flow as &dyn HistogramDistance,
+                    &exact_simplex,
+                    &thresholded,
+                    &Emd1d, // default impl must also agree
+                ] {
+                    let plain = dist.distance(a, b).unwrap();
+                    let scratched = dist.distance_with(a, b, &mut scratch).unwrap();
+                    assert_eq!(
+                        plain.to_bits(),
+                        scratched.to_bits(),
+                        "{}: plain={plain} scratched={scratched}",
+                        dist.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prime_makes_every_scratch_solve_a_cache_hit() {
+        // A spec unlikely to collide with other tests' cache entries.
+        let s = BinSpec::equal_width(0.0, 0.731, 9).unwrap();
+        let a = Histogram::from_values(s.clone(), [0.1, 0.3].iter().copied());
+        let b = Histogram::from_values(s, [0.5, 0.7].iter().copied());
+        let dist = EmdExact {
+            solver: Solver::Flow,
+        };
+        dist.prime(&a).unwrap();
+        let mut scratch = SolveScratch::new();
+        scratch.begin_chunk();
+        dist.distance_with(&a, &b, &mut scratch).unwrap();
+        dist.distance_with(&b, &a, &mut scratch).unwrap();
+        // Primed: both solves hit a cache tier, never build.
+        assert_eq!(scratch.stats().ground_cache_hits, 2);
+        assert_eq!(scratch.stats().scratch_reuses, 1);
+    }
+
+    #[test]
+    fn warm_starts_fire_on_shared_supports() {
+        let s = BinSpec::equal_width(0.0, 1.0, 8).unwrap();
+        let mk = |vals: &[f64]| Histogram::from_values(s.clone(), vals.iter().copied());
+        // Same support bins, different masses.
+        let a = mk(&[0.1, 0.1, 0.4, 0.9]);
+        let b = mk(&[0.1, 0.4, 0.4, 0.9]);
+        let c = mk(&[0.1, 0.4, 0.9, 0.9]);
+        let dist = EmdExact {
+            solver: Solver::Flow,
+        };
+        let mut scratch = SolveScratch::new();
+        scratch.begin_chunk();
+        let d1 = dist.distance_with(&a, &b, &mut scratch).unwrap();
+        let d2 = dist.distance_with(&a, &c, &mut scratch).unwrap();
+        assert_eq!(scratch.stats().warm_starts, 1);
+        // Warm-started values still match the cold path bit for bit.
+        assert_eq!(d1.to_bits(), dist.distance(&a, &b).unwrap().to_bits());
+        assert_eq!(d2.to_bits(), dist.distance(&a, &c).unwrap().to_bits());
     }
 
     #[test]

@@ -36,4 +36,5 @@ pub mod sketch;
 
 pub use bins::BinSpec;
 pub use distance::{DistanceBounds, DistanceError, HistogramDistance};
+pub use fairjob_emd::{ScratchStats, SolveScratch};
 pub use histogram::{CdfStats, Histogram};
