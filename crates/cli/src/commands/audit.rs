@@ -13,7 +13,10 @@ use fairjob_hist::distance as hd;
 use fairjob_hist::HistogramDistance;
 use std::sync::Arc;
 
-pub(crate) fn resolve_algorithm(name: &str, seed: u64) -> Result<Box<dyn Algorithm>, CliError> {
+pub(crate) fn resolve_algorithm(
+    name: &str,
+    seed: u64,
+) -> Result<Box<dyn Algorithm + Send + Sync>, CliError> {
     Ok(match name {
         "balanced" => Box::new(Balanced::new(AttributeChoice::Worst)),
         "r-balanced" => Box::new(Balanced::new(AttributeChoice::Random { seed })),

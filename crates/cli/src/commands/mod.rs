@@ -5,6 +5,7 @@ pub mod describe;
 pub mod generate;
 pub mod repair;
 pub mod rerank;
+pub mod serve;
 pub mod stream;
 
 use crate::CliError;

@@ -1,0 +1,184 @@
+//! `fairjob serve` — start the resident audit daemon.
+//!
+//! Loads and scores a population exactly like `fairjob stream`, then
+//! hands the [`fairjob_stream::StreamView`] to a
+//! [`fairjob_serve::Server`] and blocks until the daemon drains
+//! (`SHUTDOWN` from the wire, `--max-sessions` reached, or a listener
+//! failure — which still drains every in-flight session before this
+//! command returns an error, instead of aborting mid-request).
+//!
+//! The bound address is printed to stdout as soon as the listener is
+//! up (port 0 resolves to an ephemeral port) and, with `--addr-file`,
+//! also written to a file so scripts can discover it without parsing
+//! output.
+
+use crate::args::Args;
+use crate::CliError;
+use fairjob_core::AuditConfig;
+use fairjob_serve::{ServeConfig, Server};
+use fairjob_stream::StreamView;
+use std::io::Write;
+use std::sync::Arc;
+
+/// Run the subcommand; blocks while the daemon serves and returns the
+/// drain summary.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] on bad flags, [`CliError::Io`] on unreadable
+/// input, [`CliError::Run`] when the daemon stops on a listener
+/// failure (after draining in-flight sessions).
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(argv)?;
+    let workers =
+        crate::commands::load_workers(args.required("workers")?, args.optional("schema"))?;
+    let seed: u64 = args.parsed_or("seed", 0xBEEF)?;
+    let scorer =
+        crate::commands::resolve_scorer(args.optional("function"), args.optional("alpha"), seed)?;
+    let algorithm: Arc<dyn fairjob_core::algorithms::Algorithm + Send + Sync> =
+        crate::commands::audit::resolve_algorithm(
+            args.optional("algorithm").unwrap_or("balanced"),
+            seed,
+        )?
+        .into();
+    let bins: usize = args.parsed_or("bins", 10)?;
+    let metric = crate::commands::audit::resolve_metric(args.optional("metric").unwrap_or("emd"))?;
+    let addr = args.optional("addr").unwrap_or("127.0.0.1:0").to_string();
+    let max_inflight: usize = args.parsed_or("max-inflight", 4)?;
+    let max_sessions: Option<u64> = match args.optional("max-sessions") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| CliError::Usage(format!("cannot parse `--max-sessions {raw}`")))?,
+        ),
+    };
+    let addr_file = args.optional("addr-file").map(str::to_string);
+
+    let scores = scorer
+        .score_all(&workers)
+        .map_err(|e| CliError::Run(format!("scoring with {}: {e}", scorer.name())))?;
+    let config = AuditConfig {
+        bins,
+        distance: metric,
+        ..Default::default()
+    };
+    let view = StreamView::new(workers, scores, bins)
+        .map_err(|e| CliError::Run(format!("serve setup: {e}")))?;
+    let live = view.live_count();
+
+    let server = Server::start(
+        view,
+        algorithm,
+        config,
+        ServeConfig {
+            addr,
+            max_inflight,
+            max_sessions,
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| CliError::Run(format!("serve start: {e}")))?;
+
+    // Announce the bound address eagerly — the summary string below is
+    // only printed after the daemon drains.
+    let bound = server.addr();
+    println!("fairjob-serve listening on {bound} ({live} live workers)");
+    let _ = std::io::stdout().flush();
+    if let Some(path) = addr_file {
+        std::fs::write(&path, format!("{bound}\n"))?;
+    }
+
+    let sessions = server
+        .join()
+        .map_err(|e| CliError::Run(format!("serve: {e}")))?;
+    Ok(format!("serve: drained after {sessions} sessions\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::testutil::{argv, TempFile};
+    use fairjob_serve::{protocol, ServeClient};
+    use std::time::Duration;
+
+    fn population(size: &str) -> TempFile {
+        let csv = TempFile::new("serve.csv");
+        crate::commands::generate::run(&argv(&[
+            "--size",
+            size,
+            "--seed",
+            "17",
+            "--out",
+            &csv.path_str(),
+        ]))
+        .unwrap();
+        csv
+    }
+
+    #[test]
+    fn serves_a_bounded_session_workload_end_to_end() {
+        let csv = population("50");
+        let addr_file = TempFile::new("serve.addr");
+        let (csv_path, addr_path) = (csv.path_str(), addr_file.path_str());
+        let daemon = std::thread::spawn(move || {
+            run(&argv(&[
+                "--workers",
+                &csv_path,
+                "--function",
+                "f1",
+                "--max-sessions",
+                "1",
+                "--addr-file",
+                &addr_path,
+            ]))
+        });
+        let addr = {
+            let mut waited = 0;
+            loop {
+                if let Ok(text) = std::fs::read_to_string(&addr_file.0) {
+                    if text.trim().parse::<std::net::SocketAddr>().is_ok() {
+                        break text.trim().parse().unwrap();
+                    }
+                }
+                waited += 1;
+                assert!(waited < 500, "daemon never wrote its address");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        };
+        let mut client = ServeClient::connect(addr).unwrap();
+        let audit = client.audit().unwrap();
+        assert_eq!(protocol::kv(&audit, "epoch"), Some("0"));
+        assert_eq!(protocol::kv(&audit, "live"), Some("50"));
+        client.quit();
+        let summary = daemon.join().unwrap().unwrap();
+        assert!(summary.contains("drained after 1 sessions"), "{summary}");
+        let _ = (csv, addr_file);
+    }
+
+    #[test]
+    fn rejects_bad_flags_as_usage() {
+        assert!(matches!(
+            run(&argv(&[
+                "--workers",
+                "x.csv",
+                "--function",
+                "f1",
+                "--max-sessions",
+                "many"
+            ])),
+            Err(CliError::Io(_) | CliError::Usage(_))
+        ));
+        let csv = population("30");
+        assert!(matches!(
+            run(&argv(&[
+                "--workers",
+                &csv.path_str(),
+                "--function",
+                "f1",
+                "--max-sessions",
+                "many"
+            ])),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

@@ -6,6 +6,7 @@
 //! * `describe` — per-attribute summary of a population CSV.
 //! * `audit` — find the most-unfair partitioning for a scoring function.
 //! * `stream` — replay an event file, re-auditing incrementally each epoch.
+//! * `serve` — resident audit daemon over TCP (`fairjob-serve v1`).
 //! * `repair` — quantile-align scores against the audited partitioning.
 //!
 //! Run `fairjob help` (or any subcommand with `--help`) for usage. The
@@ -27,6 +28,19 @@ pub enum CliError {
     Io(std::io::Error),
     /// Any library-level failure, stringified with context.
     Run(String),
+}
+
+impl CliError {
+    /// The process exit code for this failure class, so scripts can
+    /// tell a typo (`2`) from a missing file (`3`) from a failed audit
+    /// or serve run (`4`) without parsing stderr.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Run(_) => 4,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -62,6 +76,10 @@ USAGE:
   fairjob stream   --workers FILE.csv --events FILE (--function f1..f9 | --alpha A)
                    [--algorithm ...] [--bins N] [--metric ...]
                    [--cold-check] [--json] [--seed S]
+  fairjob serve    --workers FILE.csv (--function f1..f9 | --alpha A)
+                   [--algorithm ...] [--bins N] [--metric ...]
+                   [--addr HOST:PORT] [--addr-file FILE]
+                   [--max-inflight N] [--max-sessions N] [--seed S]
   fairjob repair   --workers FILE.csv (--function f1..f9 | --alpha A)
                    [--lambda L] [--target median|pooled] --out SCORES.csv [--seed S]
   fairjob rerank   --workers FILE.csv (--function f1..f9 | --alpha A)
@@ -77,6 +95,17 @@ Every command reading --workers also accepts --schema FILE: a schema
 descriptor (see fairjob_store::schema_text) describing a non-default
 population layout; numeric protected attributes are auto-bucketised
 into 5 bands. Without --schema the paper's AMT worker schema is assumed.
+
+`serve` starts the resident audit daemon: a TCP server speaking the
+line-delimited fairjob-serve v1 protocol (AUDIT, EPOCH, METRICS,
+HEALTH, STATS, PING, QUIT, SHUTDOWN). One writer session appends
+epochs; concurrent readers audit the published snapshot; --max-inflight
+bounds concurrent audits (excess gets `ERR overloaded`). --addr
+defaults to 127.0.0.1:0; the bound address is printed on startup and,
+with --addr-file, written to a file for scripts. --max-sessions serves
+a bounded number of sessions then drains and exits.
+
+Exit codes: 0 success, 2 usage error, 3 I/O error, 4 run failure.
 
 `stream` replays a fairjob-events v1 file (generate one alongside a
 population with `generate --events N --events-out FILE`): it audits the
@@ -102,6 +131,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "describe" => commands::describe::run(rest),
         "audit" => commands::audit::run(rest),
         "stream" => commands::stream::run(rest),
+        "serve" => commands::serve::run(rest),
         "repair" => commands::repair::run(rest),
         "rerank" => commands::rerank::run(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -124,6 +154,27 @@ mod tests {
     #[test]
     fn missing_subcommand_is_usage_error() {
         assert!(matches!(dispatch(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn exit_codes_distinguish_failure_classes() {
+        assert_eq!(CliError::Usage("bad flag".into()).exit_code(), 2);
+        assert_eq!(
+            CliError::Io(std::io::Error::from(std::io::ErrorKind::NotFound)).exit_code(),
+            3
+        );
+        assert_eq!(CliError::Run("audit failed".into()).exit_code(), 4);
+    }
+
+    #[test]
+    fn missing_input_file_maps_to_io_exit_code() {
+        let err = dispatch(&[
+            "describe".to_string(),
+            "--workers".to_string(),
+            "/nonexistent/workers.csv".to_string(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3);
     }
 
     #[test]

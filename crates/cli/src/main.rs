@@ -6,7 +6,7 @@ fn main() {
         Ok(output) => print!("{output}"),
         Err(err) => {
             eprintln!("fairjob: {err}");
-            std::process::exit(2);
+            std::process::exit(err.exit_code());
         }
     }
 }

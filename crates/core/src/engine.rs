@@ -492,6 +492,27 @@ impl EngineStats {
     pub fn split_lookups(&self) -> u64 {
         self.splits_computed + self.split_cache_hits
     }
+
+    /// Accumulate another run's counters into this one — the
+    /// aggregation a resident server's `METRICS` endpoint reports
+    /// across every audit and epoch it has executed.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.distances_computed += other.distances_computed;
+        self.cache_hits += other.cache_hits;
+        self.cache_bypasses += other.cache_bypasses;
+        self.splits_computed += other.splits_computed;
+        self.split_cache_hits += other.split_cache_hits;
+        self.rows_scanned += other.rows_scanned;
+        self.histograms_built += other.histograms_built;
+        self.cache_evictions += other.cache_evictions;
+        self.split_evictions += other.split_evictions;
+        self.bounds_screened += other.bounds_screened;
+        self.exact_solves += other.exact_solves;
+        self.pool_tasks += other.pool_tasks;
+        self.ground_cache_hits += other.ground_cache_hits;
+        self.scratch_reuses += other.scratch_reuses;
+        self.warm_starts += other.warm_starts;
+    }
 }
 
 /// The shared evaluation engine: a fingerprint-keyed distance memo

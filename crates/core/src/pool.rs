@@ -26,10 +26,24 @@
 //! and re-raised on the calling thread after the batch drains — the
 //! same observable behaviour as `std::thread::scope`, without poisoning
 //! the long-lived workers.
+//!
+//! Completion signalling is unwind-proof: each claimed invocation holds
+//! a [`TicketGuard`] whose `Drop` marks the ticket finished and wakes
+//! the submitter, so a panic anywhere on the worker's execution path —
+//! the closure itself, a poisoned lock, even a panic payload whose own
+//! `Drop` panics — can never leave [`WorkerPool::run`] waiting forever
+//! on a ticket that will not complete. That matters doubly because the
+//! submitter's stack frame owns the erased `*const dyn Fn`: a submitter
+//! that returned early while a worker still ran would turn the pointer
+//! into a dangling reference. Should a worker thread die outright
+//! (double panic while unwinding), a scope guard hands its slot back so
+//! the next batch respawns a replacement — [`WorkerPool::threads_spawned`]
+//! keeps counting every spawn, replacements included, so the lifetime
+//! counter stays honest.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Ceiling on global pool workers; matches the engine's default thread
 /// cap so `available_parallelism` boxes never oversubscribe.
@@ -67,9 +81,64 @@ struct JobState {
     panicked: bool,
 }
 
+/// A claimed worker invocation. Dropping the guard — normally or while
+/// unwinding — marks the ticket finished and wakes the submitter; a
+/// guard dropped before [`TicketGuard::complete`] records the job as
+/// panicked. This is the deadlock fix: completion no longer depends on
+/// the worker's happy path reaching the bookkeeping code.
+struct TicketGuard {
+    shared: Arc<JobShared>,
+    completed: bool,
+}
+
+impl TicketGuard {
+    fn complete(&mut self) {
+        self.completed = true;
+    }
+}
+
+impl Drop for TicketGuard {
+    fn drop(&mut self) {
+        let mut state = lock_ignore_poison(&self.shared.state);
+        state.finished += 1;
+        if !self.completed {
+            state.panicked = true;
+        }
+        drop(state);
+        self.shared.done.notify_all();
+    }
+}
+
+/// Lock a mutex whose protected data stays valid across a panic (plain
+/// counters and queues here — no invariant is half-updated when an
+/// unwind happens outside the critical section). Poison must not turn
+/// into a second panic on the completion path, or the submitter waits
+/// forever.
+fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 struct PoolInner {
     queue: Mutex<Vec<Job>>,
     available: Condvar,
+    /// Workers currently alive. Decremented by a worker's scope guard
+    /// if its thread dies (it can only die to a double panic while
+    /// unwinding); [`WorkerPool::ensure_spawned`] compares against this,
+    /// so the next batch replaces the casualty instead of silently
+    /// running under-provisioned forever.
+    live: Mutex<usize>,
+}
+
+/// Scope guard on each worker thread: gives the worker's slot back on
+/// thread death so `ensure_spawned` can account for (and replace) it.
+struct WorkerSlot {
+    inner: Arc<PoolInner>,
+}
+
+impl Drop for WorkerSlot {
+    fn drop(&mut self) {
+        *lock_ignore_poison(&self.inner.live) -= 1;
+    }
 }
 
 /// The persistent pool. Use [`WorkerPool::global`] rather than
@@ -77,9 +146,8 @@ struct PoolInner {
 pub struct WorkerPool {
     inner: Arc<PoolInner>,
     max_workers: usize,
-    /// Guards spawning; holds the number of workers spawned so far.
-    spawn: Mutex<usize>,
-    /// Lifetime spawn counter, readable without the lock.
+    /// Lifetime spawn counter (original spawns + replacements for dead
+    /// workers), readable without a lock.
     threads_spawned: AtomicUsize,
 }
 
@@ -90,9 +158,9 @@ impl WorkerPool {
             inner: Arc::new(PoolInner {
                 queue: Mutex::new(Vec::new()),
                 available: Condvar::new(),
+                live: Mutex::new(0),
             }),
             max_workers,
-            spawn: Mutex::new(0),
             threads_spawned: AtomicUsize::new(0),
         }
     }
@@ -124,15 +192,22 @@ impl WorkerPool {
 
     fn ensure_spawned(&self, wanted: usize) {
         let wanted = wanted.min(self.max_workers);
-        let mut spawned = self.spawn.lock().expect("pool spawn lock");
-        while *spawned < wanted {
+        let mut live = lock_ignore_poison(&self.inner.live);
+        while *live < wanted {
             let inner = Arc::clone(&self.inner);
+            let serial = self.threads_spawned.fetch_add(1, Ordering::Relaxed);
             std::thread::Builder::new()
-                .name(format!("fairjob-pool-{spawned}"))
-                .spawn(move || worker_loop(&inner))
+                .name(format!("fairjob-pool-{serial}"))
+                .spawn(move || {
+                    // Returns the slot (decrements `live`) if this
+                    // thread ever dies, so it gets replaced.
+                    let _slot = WorkerSlot {
+                        inner: Arc::clone(&inner),
+                    };
+                    worker_loop(&inner);
+                })
                 .expect("spawn pool worker");
-            *spawned += 1;
-            self.threads_spawned.fetch_add(1, Ordering::Relaxed);
+            *live += 1;
         }
     }
 
@@ -151,7 +226,7 @@ impl WorkerPool {
             // is never dereferenced after this call returns.
             let work: *const (dyn Fn() + Sync) =
                 unsafe { std::mem::transmute(work as *const (dyn Fn() + Sync + '_)) };
-            self.inner.queue.lock().expect("pool queue").push(Job {
+            lock_ignore_poison(&self.inner.queue).push(Job {
                 work,
                 tickets: helpers,
                 shared: Arc::clone(&shared),
@@ -162,15 +237,16 @@ impl WorkerPool {
         if helpers > 0 {
             // Remove any unclaimed tickets — no new claims can start
             // once the job is off the queue — then wait out the claimed
-            // invocations.
-            self.inner
-                .queue
-                .lock()
-                .expect("pool queue")
-                .retain(|job| !Arc::ptr_eq(&job.shared, &shared));
-            let mut state = shared.state.lock().expect("pool job state");
+            // invocations. Every claimed ticket is finished by a
+            // `TicketGuard` even if the worker unwinds, so this wait
+            // always terminates.
+            lock_ignore_poison(&self.inner.queue).retain(|job| !Arc::ptr_eq(&job.shared, &shared));
+            let mut state = lock_ignore_poison(&shared.state);
             while state.finished < state.taken {
-                state = shared.done.wait(state).expect("pool job state");
+                state = shared
+                    .done
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             if state.panicked && caller.is_ok() {
                 drop(state);
@@ -222,34 +298,53 @@ impl WorkerPool {
 
 fn worker_loop(inner: &PoolInner) {
     loop {
-        let (work, shared) = {
-            let mut queue = inner.queue.lock().expect("pool queue");
+        let (work, mut guard) = {
+            let mut queue = lock_ignore_poison(&inner.queue);
             loop {
                 if let Some(pos) = queue.iter().position(|job| job.tickets > 0) {
                     let job = &mut queue[pos];
                     job.tickets -= 1;
-                    job.shared.state.lock().expect("pool job state").taken += 1;
-                    let claimed = (job.work, Arc::clone(&job.shared));
+                    lock_ignore_poison(&job.shared.state).taken += 1;
+                    // The guard is armed here, under the queue lock —
+                    // from this point on the ticket is finished (and
+                    // the submitter woken) no matter how this
+                    // invocation ends.
+                    let guard = TicketGuard {
+                        shared: Arc::clone(&job.shared),
+                        completed: false,
+                    };
+                    let claimed = (job.work, guard);
                     if job.tickets == 0 {
                         queue.remove(pos);
                     }
                     break claimed;
                 }
-                queue = inner.available.wait(queue).expect("pool queue");
+                queue = inner
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         // SAFETY: the claim above happened under the queue lock, before
         // the submitter could remove the job, so the submitter is still
         // blocked in `run` and the pointee is alive (see `Job::work`).
+        // The submitter cannot stop waiting early: its wait condition
+        // is `finished == taken`, and this invocation's `finished`
+        // increment only happens in the guard drop below, after the
+        // last dereference of `work`.
         let work = unsafe { &*work };
-        let outcome = catch_unwind(AssertUnwindSafe(work));
-        let mut state = shared.state.lock().expect("pool job state");
-        state.finished += 1;
-        if outcome.is_err() {
-            state.panicked = true;
+        // Run the closure AND dispose of any panic payload inside the
+        // same catch: a payload whose own `Drop` panics must not unwind
+        // through the loop and kill the worker.
+        let ok = catch_unwind(AssertUnwindSafe(|| {
+            let outcome = catch_unwind(AssertUnwindSafe(work));
+            outcome.is_ok()
+        }))
+        .unwrap_or(false);
+        if ok {
+            guard.complete();
         }
-        drop(state);
-        shared.done.notify_all();
+        drop(guard);
     }
 }
 
@@ -321,5 +416,106 @@ mod tests {
         let b = WorkerPool::global();
         assert!(std::ptr::eq(a, b));
         assert!(a.max_workers() <= MAX_GLOBAL_WORKERS);
+    }
+
+    /// The deadlock regression: a job that panics on a pool worker (and
+    /// only there) used to leave `finished < taken` forever, hanging
+    /// the submitting thread. `run` must now return (by panicking) well
+    /// within the timeout, and the pool must keep serving afterwards.
+    #[test]
+    fn panicking_worker_job_does_not_deadlock_run() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::mpsc;
+        use std::time::{Duration, Instant};
+
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let pool = WorkerPool::new(2);
+            let caller = std::thread::current().id();
+            let worker_panicked = AtomicBool::new(false);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.run(2, &|| {
+                    if std::thread::current().id() != caller {
+                        worker_panicked.store(true, Ordering::SeqCst);
+                        panic!("deliberate worker panic");
+                    }
+                    // Caller invocation: hold the batch open until a
+                    // worker has actually claimed a ticket and blown
+                    // up, so the panic provably happened off-caller.
+                    let start = Instant::now();
+                    while !worker_panicked.load(Ordering::SeqCst)
+                        && start.elapsed() < Duration::from_secs(10)
+                    {
+                        std::thread::yield_now();
+                    }
+                })
+            }));
+            assert!(
+                worker_panicked.load(Ordering::SeqCst),
+                "test never exercised the worker path"
+            );
+            // The pool is still alive and usable after the panic.
+            let out = pool.run_chunks(3, 8, |i| i + 1);
+            tx.send((result.is_err(), out)).ok();
+        });
+        let (propagated, out) = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("WorkerPool::run deadlocked on a panicking worker job");
+        assert!(propagated, "worker panic must propagate to the caller");
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    /// A panic on the *calling* invocation resumes on the caller — the
+    /// `std::thread::scope`-equivalent contract, spelled as the
+    /// `#[should_panic]` face of the regression above.
+    #[test]
+    #[should_panic(expected = "caller boom")]
+    fn panicking_caller_job_resumes_on_caller() {
+        let pool = WorkerPool::new(1);
+        pool.run(1, &|| {
+            panic!("caller boom");
+        });
+    }
+
+    /// A panic payload whose own `Drop` panics must not kill the worker
+    /// or hang the submitter.
+    #[test]
+    fn panicking_payload_drop_is_contained() {
+        use std::sync::mpsc;
+        use std::time::Duration;
+
+        struct Grenade;
+        impl Drop for Grenade {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    return; // avoid double-panic aborts while unwinding
+                }
+                panic!("payload drop panic");
+            }
+        }
+
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let pool = WorkerPool::new(2);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.run_chunks(3, 32, |i| {
+                    if i % 7 == 3 {
+                        std::panic::panic_any(Grenade);
+                    }
+                    i
+                })
+            }));
+            assert!(result.is_err());
+            // Dispose of the caught grenade under its own catch — its
+            // drop panics too.
+            let _ = catch_unwind(AssertUnwindSafe(move || drop(result)));
+            // Workers survived (or were replaced); the pool still runs.
+            let out = pool.run_chunks(3, 4, |i| i * 3);
+            tx.send(out).ok();
+        });
+        let out = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("pool hung after a panicking panic payload");
+        assert_eq!(out, vec![0, 3, 6, 9]);
     }
 }

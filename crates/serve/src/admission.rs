@@ -1,0 +1,145 @@
+//! Bounded admission of concurrent audits.
+//!
+//! A resident daemon under heavy read traffic must refuse work it
+//! cannot start, not queue it unboundedly: a queued audit holds a
+//! session thread, and a deep queue turns overload into unbounded
+//! latency for every client. [`AdmissionGate::try_acquire`] either
+//! grants a permit immediately or returns the typed
+//! [`ServeError::Overloaded`] rejection that the protocol maps to
+//! `ERR overloaded …` — clients back off and retry.
+
+use crate::error::ServeError;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A counting gate over in-flight audits. `max == 0` admits nothing
+/// (useful to drain or to test rejection); permits release on drop.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    max: usize,
+    inflight: AtomicUsize,
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `max` concurrent holders.
+    pub fn new(max: usize) -> Self {
+        AdmissionGate {
+            max,
+            inflight: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configured bound.
+    pub fn max(&self) -> usize {
+        self.max
+    }
+
+    /// Holders right now.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Admit or reject, without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when `max` permits are already out.
+    pub fn try_acquire(&self) -> Result<AdmissionPermit<'_>, ServeError> {
+        let mut current = self.inflight.load(Ordering::SeqCst);
+        loop {
+            if current >= self.max {
+                return Err(ServeError::Overloaded {
+                    inflight: current,
+                    max: self.max,
+                });
+            }
+            match self.inflight.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Ok(AdmissionPermit { gate: self }),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+/// An admitted slot; dropping it frees the slot (also on unwind, so a
+/// panicking audit cannot leak budget).
+#[derive(Debug)]
+pub struct AdmissionPermit<'g> {
+    gate: &'g AdmissionGate,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.gate.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_max_then_rejects_typed() {
+        let gate = AdmissionGate::new(2);
+        let a = gate.try_acquire().unwrap();
+        let b = gate.try_acquire().unwrap();
+        assert_eq!(gate.inflight(), 2);
+        match gate.try_acquire() {
+            Err(ServeError::Overloaded {
+                inflight: 2,
+                max: 2,
+            }) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        drop(a);
+        let c = gate.try_acquire().expect("slot freed on drop");
+        drop(b);
+        drop(c);
+        assert_eq!(gate.inflight(), 0);
+    }
+
+    #[test]
+    fn zero_budget_rejects_everything() {
+        let gate = AdmissionGate::new(0);
+        assert!(matches!(
+            gate.try_acquire(),
+            Err(ServeError::Overloaded {
+                inflight: 0,
+                max: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn contended_acquires_never_exceed_max() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let gate = Arc::new(AdmissionGate::new(3));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (gate, peak, admitted) = (gate.clone(), peak.clone(), admitted.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        if let Ok(_permit) = gate.try_acquire() {
+                            admitted.fetch_add(1, Ordering::SeqCst);
+                            peak.fetch_max(gate.inflight(), Ordering::SeqCst);
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+        assert!(admitted.load(Ordering::SeqCst) > 0);
+        assert_eq!(gate.inflight(), 0);
+    }
+}

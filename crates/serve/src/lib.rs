@@ -1,0 +1,35 @@
+//! `fairjob-serve`: a resident audit daemon for the streaming fairness
+//! auditor.
+//!
+//! The offline pipeline answers one audit per process; a marketplace
+//! wants the audit *resident*: events keep arriving, and analysts ask
+//! "how unfair is ranking right now?" without paying a cold rebuild.
+//! This crate keeps a [`fairjob_stream::StreamAuditor`] alive behind a
+//! dependency-free TCP daemon speaking the line-delimited
+//! [`protocol::PROTOCOL_HEADER`] protocol:
+//!
+//! - a single **writer** session appends epochs through the warm
+//!   incremental path (`EPOCH <k>` + `k` record lines in the
+//!   `fairjob-events v1` grammar);
+//! - concurrent **reader** sessions audit a consistent published
+//!   [`fairjob_stream::StreamSnapshot`] (`AUDIT`), never blocking
+//!   ingest and never observing a half-applied epoch — results are
+//!   bit-identical to a cold offline audit of the same epoch;
+//! - [`AdmissionGate`] bounds in-flight audits with a typed
+//!   `ERR overloaded` rejection instead of unbounded queueing;
+//! - `METRICS`/`HEALTH` expose server counters and
+//!   [`fairjob_core::EngineStats`] totals.
+//!
+//! Start one with [`Server::start`]; drive it with [`ServeClient`] or
+//! `fairjob serve` from the CLI.
+
+pub mod admission;
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{AdmissionGate, AdmissionPermit};
+pub use client::ServeClient;
+pub use error::ServeError;
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,216 @@
+//! The `fairjob-serve v1` wire protocol.
+//!
+//! Newline-framed text, versioned like `fairjob-events v1`: the server
+//! greets each connection with [`PROTOCOL_HEADER`], then answers every
+//! request line with exactly one response line — `OK key=value …` or
+//! `ERR <code> <detail>`. Verbs:
+//!
+//! | request            | meaning                                              |
+//! |--------------------|------------------------------------------------------|
+//! | `AUDIT`            | run the configured audit on the published snapshot   |
+//! | `EPOCH <k>`        | writer-only: apply the next `k` event record lines as one epoch, re-audit warm, publish the new snapshot |
+//! | `METRICS`          | server-wide counters (sessions, audits, `EngineStats` totals, epoch lag, pool spawns) |
+//! | `HEALTH`           | liveness probe: epoch, live rows, admission state    |
+//! | `STATS`            | this session's request/audit/epoch/error counts      |
+//! | `PING`             | `OK pong`                                            |
+//! | `QUIT`             | close the session                                    |
+//! | `SHUTDOWN`         | drain and stop the server                            |
+//!
+//! `EPOCH` payload lines use the *record* grammar of
+//! `fairjob-events v1` (`add,…`, `score,…`, `set,…`, `remove,…`) —
+//! the same CSV-quoted format `fairjob generate --events-out` writes,
+//! minus the file header and `epoch` terminator, which the framing
+//! already provides.
+
+use fairjob_marketplace::stream::{Event, EventLog, EVENT_FILE_HEADER};
+use fairjob_store::schema::Schema;
+
+/// Version greeting; the first line a client reads after connecting.
+pub const PROTOCOL_HEADER: &str = "fairjob-serve v1";
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run an audit against the currently published snapshot.
+    Audit,
+    /// Apply one epoch; the operand is the number of event record lines
+    /// that follow the request line.
+    Epoch(usize),
+    /// Server-wide counters.
+    Metrics,
+    /// Liveness probe.
+    Health,
+    /// Per-session counters.
+    Stats,
+    /// No-op round trip.
+    Ping,
+    /// Close this session.
+    Quit,
+    /// Drain in-flight sessions and stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// Parse one request line (already stripped of its newline).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason for unknown verbs or malformed operands.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let mut parts = line.split_whitespace();
+        let verb = parts.next().unwrap_or("");
+        let arg = parts.next();
+        if parts.next().is_some() {
+            return Err(format!("too many operands in `{line}`"));
+        }
+        match (verb.to_ascii_uppercase().as_str(), arg) {
+            ("AUDIT", None) => Ok(Request::Audit),
+            ("EPOCH", Some(k)) => k
+                .parse::<usize>()
+                .map(Request::Epoch)
+                .map_err(|_| format!("EPOCH needs an event count, got `{k}`")),
+            ("EPOCH", None) => Err("EPOCH needs an event count".to_string()),
+            ("METRICS", None) => Ok(Request::Metrics),
+            ("HEALTH", None) => Ok(Request::Health),
+            ("STATS", None) => Ok(Request::Stats),
+            ("PING", None) => Ok(Request::Ping),
+            ("QUIT", None) => Ok(Request::Quit),
+            ("SHUTDOWN", None) => Ok(Request::Shutdown),
+            ("", _) => Err("empty request".to_string()),
+            (v, Some(_)) => Err(format!("verb `{v}` takes no operand")),
+            (v, None) => Err(format!("unknown verb `{v}`")),
+        }
+    }
+}
+
+/// Render one epoch's events as protocol payload lines — the
+/// `fairjob-events v1` record grammar without header or `epoch`
+/// terminator.
+pub fn render_epoch_records(events: &[Event], schema: &Schema) -> Vec<String> {
+    let log = EventLog::from_epochs(vec![events.to_vec()]);
+    let rendered = log.render(schema);
+    rendered
+        .lines()
+        .filter(|l| *l != EVENT_FILE_HEADER && *l != "epoch")
+        .map(str::to_string)
+        .collect()
+}
+
+/// Parse protocol payload lines back into events.
+///
+/// # Errors
+///
+/// A human-readable reason with the 1-based payload line number.
+pub fn parse_epoch_records(lines: &[String], schema: &Schema) -> Result<Vec<Event>, String> {
+    let mut text = String::from(EVENT_FILE_HEADER);
+    text.push('\n');
+    for line in lines {
+        text.push_str(line);
+        text.push('\n');
+    }
+    text.push_str("epoch\n");
+    let log = EventLog::parse(&text, schema).map_err(|e| {
+        // Line 1 of the synthesised file is the header; shift to
+        // payload-relative numbering.
+        format!("payload line {}: {}", e.line.saturating_sub(1), e.reason)
+    })?;
+    Ok(log.epochs().first().cloned().unwrap_or_default())
+}
+
+/// Extract `key=value` from a response line (`OK a=1 b=2 …`).
+pub fn kv<'a>(response: &'a str, key: &str) -> Option<&'a str> {
+    response
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key)?.strip_prefix('='))
+}
+
+/// Render an `f64` for the wire twice over: human-readable decimal and
+/// exact bits, so clients can assert bit-identity.
+pub fn render_f64(key: &str, value: f64) -> String {
+    format!("{key}={value} {key}_bits={:016x}", value.to_bits())
+}
+
+/// Recover the exact `f64` from a `…_bits` value rendered by
+/// [`render_f64`].
+pub fn parse_f64_bits(hex: &str) -> Option<f64> {
+    u64::from_str_radix(hex, 16).ok().map(f64::from_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(Request::parse("AUDIT"), Ok(Request::Audit));
+        assert_eq!(Request::parse("audit"), Ok(Request::Audit));
+        assert_eq!(Request::parse("EPOCH 12"), Ok(Request::Epoch(12)));
+        assert_eq!(Request::parse("METRICS"), Ok(Request::Metrics));
+        assert_eq!(Request::parse("HEALTH"), Ok(Request::Health));
+        assert_eq!(Request::parse("STATS"), Ok(Request::Stats));
+        assert_eq!(Request::parse("PING"), Ok(Request::Ping));
+        assert_eq!(Request::parse("QUIT"), Ok(Request::Quit));
+        assert_eq!(Request::parse("SHUTDOWN"), Ok(Request::Shutdown));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Request::parse("").is_err());
+        assert!(Request::parse("FROB").is_err());
+        assert!(Request::parse("EPOCH").is_err());
+        assert!(Request::parse("EPOCH twelve").is_err());
+        assert!(Request::parse("AUDIT now").is_err());
+        assert!(Request::parse("EPOCH 3 4").is_err());
+    }
+
+    #[test]
+    fn kv_extracts_values() {
+        let line = "OK epoch=7 live=120 unfairness=0.25 unfairness_bits=3fd0000000000000";
+        assert_eq!(kv(line, "epoch"), Some("7"));
+        assert_eq!(kv(line, "live"), Some("120"));
+        assert_eq!(kv(line, "unfairness_bits"), Some("3fd0000000000000"));
+        assert_eq!(kv(line, "missing"), None);
+    }
+
+    #[test]
+    fn f64_bits_round_trip() {
+        let v = 0.123_456_789_f64;
+        let rendered = format!("OK {}", render_f64("unfairness", v));
+        let bits = kv(&rendered, "unfairness_bits").unwrap();
+        assert_eq!(parse_f64_bits(bits).unwrap().to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn epoch_records_round_trip() {
+        use fairjob_marketplace::stream::{generate_stream, StreamConfig};
+        let scenario = generate_stream(&StreamConfig {
+            initial: 30,
+            epochs: 2,
+            events_per_epoch: 10,
+            seed: 5,
+            alpha: 0.5,
+        });
+        let schema = scenario.initial.schema();
+        for events in scenario.events.epochs() {
+            let lines = render_epoch_records(events, schema);
+            assert_eq!(lines.len(), events.len());
+            let parsed = parse_epoch_records(&lines, schema).unwrap();
+            assert_eq!(&parsed, events);
+        }
+    }
+
+    #[test]
+    fn bad_epoch_records_report_payload_line() {
+        use fairjob_marketplace::stream::{generate_stream, StreamConfig};
+        let scenario = generate_stream(&StreamConfig {
+            initial: 5,
+            epochs: 0,
+            events_per_epoch: 0,
+            seed: 1,
+            alpha: 0.5,
+        });
+        let err = parse_epoch_records(&["not-a-record".to_string()], scenario.initial.schema())
+            .unwrap_err();
+        assert!(err.contains("payload line 1"), "got: {err}");
+    }
+}

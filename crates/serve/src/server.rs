@@ -1,0 +1,611 @@
+//! The resident audit daemon.
+//!
+//! [`Server::start`] binds a TCP listener and serves the
+//! `fairjob-serve v1` protocol ([`crate::protocol`]) until shut down.
+//! Concurrency model:
+//!
+//! - **One writer, many readers.** The first session to send `EPOCH`
+//!   claims the writer role for its lifetime; it owns the
+//!   [`StreamAuditor`] and appends epochs through the warm incremental
+//!   path. Everyone else gets `ERR writer-busy`.
+//! - **Snapshot publication.** After each applied epoch the writer
+//!   swaps a fresh [`StreamSnapshot`] behind an `Arc`; reader `AUDIT`s
+//!   clone that `Arc` and audit off-lock, so a long audit never blocks
+//!   ingest and an epoch application never blocks audits. Reader
+//!   results are bit-identical to a cold offline audit of the same
+//!   epoch (copy-on-write isolation: later writer mutations cannot
+//!   reach a published snapshot).
+//! - **Admission control.** At most `max_inflight` audits run at once;
+//!   excess requests are rejected with `ERR overloaded` immediately
+//!   instead of queueing ([`AdmissionGate`]).
+//! - **Clean shutdown.** `SHUTDOWN`, [`Server::shutdown`], or a
+//!   listener error set the drain flag; sessions notice within one
+//!   poll interval, finish their current request, and the accept loop
+//!   joins every session thread before returning — no `process::exit`
+//!   mid-request.
+
+use crate::admission::AdmissionGate;
+use crate::error::ServeError;
+use crate::protocol::{self, Request, PROTOCOL_HEADER};
+use fairjob_core::algorithms::Algorithm;
+use fairjob_core::pool::WorkerPool;
+use fairjob_core::{AuditConfig, EngineStats};
+use fairjob_stream::{StreamAuditor, StreamSnapshot, StreamView};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a [`Server`] is run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Concurrent-audit budget; further `AUDIT`s get `ERR overloaded`.
+    pub max_inflight: usize,
+    /// Accept at most this many sessions, then stop listening and
+    /// drain — `None` serves until [`Server::shutdown`]. Lets a CLI
+    /// invocation serve a bounded workload and exit cleanly.
+    pub max_sessions: Option<u64>,
+    /// How often a blocked session read re-checks the drain flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_inflight: 4,
+            max_sessions: None,
+            poll_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Monotonic server-wide counters behind `METRICS`.
+#[derive(Debug, Default)]
+struct Metrics {
+    sessions_opened: AtomicU64,
+    audits_ok: AtomicU64,
+    audits_rejected: AtomicU64,
+    epochs_applied: AtomicU64,
+    errors: AtomicU64,
+    /// Worst observed audit staleness: published epoch at audit
+    /// completion minus the epoch the audit ran against.
+    max_epoch_lag: AtomicU64,
+    /// [`EngineStats`] totals across every audit and epoch.
+    engine: Mutex<EngineStats>,
+}
+
+/// The writer role: whichever session holds `owner` may append epochs.
+/// A failed epoch retires the auditor (`None` = poisoned): the view may
+/// hold a partial epoch, so appending stops while readers keep serving
+/// the last published snapshot.
+#[derive(Debug)]
+struct WriterState {
+    auditor: Option<StreamAuditor>,
+    owner: Option<u64>,
+}
+
+struct Shared {
+    snapshot: Mutex<Arc<StreamSnapshot>>,
+    writer: Mutex<WriterState>,
+    gate: AdmissionGate,
+    algorithm: Arc<dyn Algorithm + Send + Sync>,
+    config: AuditConfig,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    poll_interval: Duration,
+    addr: SocketAddr,
+}
+
+fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn published(&self) -> Arc<StreamSnapshot> {
+        Arc::clone(&lock_ignore_poison(&self.snapshot))
+    }
+
+    /// Set the drain flag and unblock a listener parked in `accept`.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+}
+
+/// A running daemon. Dropping it shuts down and joins the accept loop.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<Result<u64, ServeError>>>,
+}
+
+impl Server {
+    /// Bind `serve.addr` and start serving `view` with `algorithm`
+    /// under `config`. The initial snapshot (the view's current epoch)
+    /// is published immediately, before any writer connects.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the bind fails, or
+    /// [`ServeError::Stream`] on a bin-layout mismatch between `view`
+    /// and `config`.
+    pub fn start(
+        view: StreamView,
+        algorithm: Arc<dyn Algorithm + Send + Sync>,
+        config: AuditConfig,
+        serve: ServeConfig,
+    ) -> Result<Server, ServeError> {
+        let snapshot = view.snapshot();
+        let auditor = StreamAuditor::new(view, config.clone())?;
+        let listener = TcpListener::bind(&serve.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            snapshot: Mutex::new(Arc::new(snapshot)),
+            writer: Mutex::new(WriterState {
+                auditor: Some(auditor),
+                owner: None,
+            }),
+            gate: AdmissionGate::new(serve.max_inflight),
+            algorithm,
+            config,
+            metrics: Metrics::default(),
+            shutdown: AtomicBool::new(false),
+            poll_interval: serve.poll_interval,
+            addr,
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let max_sessions = serve.max_sessions;
+            std::thread::Builder::new()
+                .name("fairjob-serve-accept".to_string())
+                .spawn(move || accept_loop(&shared, &listener, max_sessions))
+                .map_err(ServeError::Io)?
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The epoch of the currently published snapshot.
+    pub fn published_epoch(&self) -> u64 {
+        self.shared.published().epoch()
+    }
+
+    /// Begin draining: stop admitting work, wake the accept loop.
+    /// Idempotent; returns immediately — use [`Server::join`] to wait.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Wait for the accept loop to finish draining every session.
+    ///
+    /// Returns the number of sessions served, or the listener error
+    /// that forced the drain (in-flight sessions were still joined
+    /// before returning — the daemon never aborts mid-request).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the accept loop stopped on a listener
+    /// failure rather than a requested shutdown.
+    pub fn join(mut self) -> Result<u64, ServeError> {
+        let handle = self.accept.take().expect("accept loop joined once");
+        match handle.join() {
+            Ok(result) => result,
+            Err(_) => Err(ServeError::Protocol("accept loop panicked".to_string())),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            self.shutdown();
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    max_sessions: Option<u64>,
+) -> Result<u64, ServeError> {
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+    let mut accepted = 0u64;
+    let mut failure: Option<ServeError> = None;
+    loop {
+        if shared.draining() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.draining() {
+                    // The shutdown wake-up connection (or a client that
+                    // raced the drain flag): close it unanswered.
+                    drop(stream);
+                    break;
+                }
+                accepted += 1;
+                let id = accepted;
+                shared
+                    .metrics
+                    .sessions_opened
+                    .fetch_add(1, Ordering::SeqCst);
+                let shared = Arc::clone(shared);
+                match std::thread::Builder::new()
+                    .name(format!("fairjob-serve-session-{id}"))
+                    .spawn(move || session(&shared, stream, id))
+                {
+                    Ok(handle) => sessions.push(handle),
+                    Err(e) => {
+                        failure = Some(ServeError::Io(e));
+                        break;
+                    }
+                }
+                if max_sessions.is_some_and(|max| accepted >= max) {
+                    // Bounded workload served: stop listening, let the
+                    // live sessions run to completion below.
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => {
+                // Listener failure: drain in-flight sessions cleanly
+                // instead of aborting mid-request.
+                failure = Some(ServeError::Io(e));
+                break;
+            }
+        }
+    }
+    if failure.is_some() {
+        shared.shutdown.store(true, Ordering::SeqCst);
+    }
+    for handle in sessions {
+        let _ = handle.join();
+    }
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(accepted),
+    }
+}
+
+/// Per-session counters behind `STATS`.
+#[derive(Debug, Default)]
+struct SessionStats {
+    requests: u64,
+    audits: u64,
+    epochs: u64,
+    errors: u64,
+}
+
+fn session(shared: &Arc<Shared>, stream: TcpStream, id: u64) {
+    // I/O failures end the session; everything protocol-visible is
+    // already answered inline.
+    let _ = session_inner(shared, stream, id);
+    // Release the writer role so a successor session can append (the
+    // auditor itself survives unless an epoch failed mid-application).
+    let mut writer = lock_ignore_poison(&shared.writer);
+    if writer.owner == Some(id) {
+        writer.owner = None;
+    }
+}
+
+fn session_inner(shared: &Arc<Shared>, stream: TcpStream, id: u64) -> Result<(), ServeError> {
+    stream.set_read_timeout(Some(shared.poll_interval))?;
+    let _ = stream.set_nodelay(true);
+    let mut out = stream.try_clone()?;
+    out.write_all(PROTOCOL_HEADER.as_bytes())?;
+    out.write_all(b"\n")?;
+    out.flush()?;
+    let mut lines = LineReader::new(stream);
+    let mut stats = SessionStats::default();
+    while let Some(line) = lines.next_line(|| shared.draining())? {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        stats.requests += 1;
+        let (response, close) = handle(shared, id, &mut lines, line, &mut stats);
+        out.write_all(response.as_bytes())?;
+        out.write_all(b"\n")?;
+        out.flush()?;
+        if close {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn err_line(shared: &Shared, stats: &mut SessionStats, e: &ServeError) -> String {
+    stats.errors += 1;
+    shared.metrics.errors.fetch_add(1, Ordering::SeqCst);
+    format!("ERR {} {}", e.code(), e)
+}
+
+fn handle(
+    shared: &Arc<Shared>,
+    id: u64,
+    lines: &mut LineReader,
+    line: &str,
+    stats: &mut SessionStats,
+) -> (String, bool) {
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err(reason) => {
+            return (
+                err_line(shared, stats, &ServeError::Protocol(reason)),
+                false,
+            )
+        }
+    };
+    match request {
+        Request::Audit => match do_audit(shared) {
+            Ok(response) => {
+                stats.audits += 1;
+                (response, false)
+            }
+            Err(e) => (err_line(shared, stats, &e), false),
+        },
+        Request::Epoch(count) => match do_epoch(shared, id, lines, count) {
+            Ok(response) => {
+                stats.epochs += 1;
+                (response, false)
+            }
+            // An I/O failure while reading the payload leaves the
+            // stream mid-record: close the session.
+            Err(e @ ServeError::Io(_)) => (err_line(shared, stats, &e), true),
+            Err(e) => (err_line(shared, stats, &e), false),
+        },
+        Request::Metrics => (render_metrics(shared), false),
+        Request::Health => (render_health(shared), false),
+        Request::Stats => (
+            format!(
+                "OK requests={} audits={} epochs={} errors={}",
+                stats.requests, stats.audits, stats.epochs, stats.errors
+            ),
+            false,
+        ),
+        Request::Ping => ("OK pong".to_string(), false),
+        Request::Quit => ("OK bye".to_string(), true),
+        Request::Shutdown => {
+            shared.begin_shutdown();
+            ("OK draining".to_string(), true)
+        }
+    }
+}
+
+fn do_audit(shared: &Shared) -> Result<String, ServeError> {
+    if shared.draining() {
+        return Err(ServeError::ShuttingDown);
+    }
+    let _permit = shared.gate.try_acquire().inspect_err(|_| {
+        shared
+            .metrics
+            .audits_rejected
+            .fetch_add(1, Ordering::SeqCst);
+    })?;
+    let snapshot = shared.published();
+    let started = Instant::now();
+    let ctx = snapshot.context(shared.config.clone())?;
+    let result = shared.algorithm.run(&ctx).map_err(ServeError::Audit)?;
+    let elapsed = started.elapsed();
+    // Staleness at completion: how far the published state moved while
+    // this audit ran off its snapshot.
+    let lag = shared.published().epoch().saturating_sub(snapshot.epoch());
+    shared
+        .metrics
+        .max_epoch_lag
+        .fetch_max(lag, Ordering::SeqCst);
+    lock_ignore_poison(&shared.metrics.engine).merge(&result.engine);
+    shared.metrics.audits_ok.fetch_add(1, Ordering::SeqCst);
+    Ok(format!(
+        "OK epoch={} live={} partitions={} {} elapsed_us={} lag={}",
+        snapshot.epoch(),
+        snapshot.live_count(),
+        result.partitioning.partitions().len(),
+        protocol::render_f64("unfairness", result.unfairness),
+        elapsed.as_micros(),
+        lag,
+    ))
+}
+
+fn do_epoch(
+    shared: &Arc<Shared>,
+    id: u64,
+    lines: &mut LineReader,
+    count: usize,
+) -> Result<String, ServeError> {
+    // Always consume the promised payload first, even when the epoch
+    // will be rejected: leaving record lines unread would desynchronise
+    // the session — they would be parsed as request lines. Reading
+    // before taking the writer lock also keeps a slow writer's payload
+    // I/O from blocking the `writer-busy` answer to a rival session.
+    let mut payload = Vec::with_capacity(count);
+    while payload.len() < count {
+        match lines.next_line(|| false)? {
+            Some(line) => payload.push(line),
+            None => {
+                return Err(ServeError::Protocol(format!(
+                    "EPOCH payload truncated: got {} of {count} record lines",
+                    payload.len()
+                )))
+            }
+        }
+    }
+    if shared.draining() {
+        return Err(ServeError::ShuttingDown);
+    }
+    let mut writer = lock_ignore_poison(&shared.writer);
+    match writer.owner {
+        Some(owner) if owner != id => return Err(ServeError::WriterBusy { owner }),
+        _ => writer.owner = Some(id),
+    }
+    let mut auditor = writer.auditor.take().ok_or(ServeError::WriterPoisoned)?;
+    let result = apply_epoch(shared, &mut auditor, &payload);
+    match result {
+        Ok(response) => {
+            writer.auditor = Some(auditor);
+            Ok(response)
+        }
+        Err(e @ ServeError::Protocol(_)) => {
+            // The payload never reached the view; the auditor is intact.
+            writer.auditor = Some(auditor);
+            Err(e)
+        }
+        Err(e) => {
+            // Event application or the audit failed: the view may hold
+            // a partial epoch. Retire the auditor (writer poisoned);
+            // readers keep the last published snapshot.
+            Err(e)
+        }
+    }
+}
+
+fn apply_epoch(
+    shared: &Shared,
+    auditor: &mut StreamAuditor,
+    payload: &[String],
+) -> Result<String, ServeError> {
+    let events = protocol::parse_epoch_records(payload, auditor.view().table().schema())
+        .map_err(ServeError::Protocol)?;
+    let report = auditor.run_epoch(&events, &*shared.algorithm)?;
+    *lock_ignore_poison(&shared.snapshot) = Arc::new(auditor.view().snapshot());
+    shared.metrics.epochs_applied.fetch_add(1, Ordering::SeqCst);
+    lock_ignore_poison(&shared.metrics.engine).merge(&report.audit.engine);
+    Ok(format!(
+        "OK epoch={} live={} events={} changes={} {}",
+        report.epoch,
+        report.live_workers,
+        report.events,
+        report.changes,
+        protocol::render_f64("unfairness", report.audit.unfairness),
+    ))
+}
+
+fn render_metrics(shared: &Shared) -> String {
+    let snapshot = shared.published();
+    let engine = *lock_ignore_poison(&shared.metrics.engine);
+    let m = &shared.metrics;
+    format!(
+        "OK sessions={} audits_ok={} audits_rejected={} epochs_applied={} errors={} \
+         max_epoch_lag={} epoch={} live={} pool_threads={} distances_computed={} \
+         cache_hits={} rows_scanned={} bounds_screened={} exact_solves={} pool_tasks={} \
+         ground_cache_hits={} scratch_reuses={} warm_starts={}",
+        m.sessions_opened.load(Ordering::SeqCst),
+        m.audits_ok.load(Ordering::SeqCst),
+        m.audits_rejected.load(Ordering::SeqCst),
+        m.epochs_applied.load(Ordering::SeqCst),
+        m.errors.load(Ordering::SeqCst),
+        m.max_epoch_lag.load(Ordering::SeqCst),
+        snapshot.epoch(),
+        snapshot.live_count(),
+        WorkerPool::global().threads_spawned(),
+        engine.distances_computed,
+        engine.cache_hits,
+        engine.rows_scanned,
+        engine.bounds_screened,
+        engine.exact_solves,
+        engine.pool_tasks,
+        engine.ground_cache_hits,
+        engine.scratch_reuses,
+        engine.warm_starts,
+    )
+}
+
+fn render_health(shared: &Shared) -> String {
+    let snapshot = shared.published();
+    let writer = lock_ignore_poison(&shared.writer);
+    format!(
+        "OK status={} epoch={} live={} inflight={} max_inflight={} writer={}",
+        if shared.draining() { "draining" } else { "ok" },
+        snapshot.epoch(),
+        snapshot.live_count(),
+        shared.gate.inflight(),
+        shared.gate.max(),
+        if writer.auditor.is_some() {
+            "ok"
+        } else {
+            "poisoned"
+        },
+    )
+}
+
+/// A newline framer over a [`TcpStream`] with a read timeout:
+/// `BufReader::read_line` would lose buffered bytes on a timeout, so
+/// this keeps its own buffer and re-checks `draining` between polls.
+#[derive(Debug)]
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    start: usize,
+    eof: bool,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> Self {
+        LineReader {
+            stream,
+            buf: Vec::new(),
+            start: 0,
+            eof: false,
+        }
+    }
+
+    /// The next line (without its terminator), `None` on EOF or when
+    /// `draining()` turns true while idle.
+    fn next_line(&mut self, draining: impl Fn() -> bool) -> Result<Option<String>, ServeError> {
+        loop {
+            if let Some(nl) = self.buf[self.start..].iter().position(|&b| b == b'\n') {
+                let end = self.start + nl;
+                let line = String::from_utf8_lossy(&self.buf[self.start..end])
+                    .trim_end_matches('\r')
+                    .to_string();
+                self.start = end + 1;
+                if self.start == self.buf.len() {
+                    self.buf.clear();
+                    self.start = 0;
+                }
+                return Ok(Some(line));
+            }
+            if self.eof {
+                // Trailing bytes without a newline: surface them once.
+                if self.start < self.buf.len() {
+                    let line = String::from_utf8_lossy(&self.buf[self.start..]).to_string();
+                    self.buf.clear();
+                    self.start = 0;
+                    return Ok(Some(line));
+                }
+                return Ok(None);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if draining() {
+                        return Ok(None);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(ServeError::Io(e)),
+            }
+        }
+    }
+}

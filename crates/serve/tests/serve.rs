@@ -1,0 +1,343 @@
+//! End-to-end tests of the resident daemon: protocol round trips,
+//! concurrent-reader determinism against offline cold audits,
+//! admission control, writer exclusivity/poisoning, and clean drain.
+
+use fairjob_core::algorithms::balanced::Balanced;
+use fairjob_core::algorithms::{Algorithm, AttributeChoice};
+use fairjob_core::{AuditConfig, AuditContext};
+use fairjob_marketplace::stream::{generate_stream, Event, StreamConfig};
+use fairjob_serve::{protocol, ServeClient, ServeConfig, Server};
+use fairjob_store::schema::Schema;
+use fairjob_stream::StreamView;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const BINS: usize = 10;
+
+struct Scenario {
+    view: StreamView,
+    epochs: Vec<Vec<Event>>,
+    schema: Schema,
+}
+
+fn scenario(initial: usize, epochs: usize, seed: u64) -> Scenario {
+    let generated = generate_stream(&StreamConfig {
+        initial,
+        epochs,
+        events_per_epoch: 8,
+        seed,
+        alpha: 0.5,
+    });
+    let schema = generated.initial.schema().clone();
+    let view = StreamView::new(generated.initial, generated.scores, BINS).unwrap();
+    Scenario {
+        view,
+        epochs: generated.events.epochs().to_vec(),
+        schema,
+    }
+}
+
+fn algorithm() -> Arc<dyn Algorithm + Send + Sync> {
+    Arc::new(Balanced::new(AttributeChoice::Worst))
+}
+
+fn config() -> AuditConfig {
+    AuditConfig::with_bins(BINS)
+}
+
+/// Offline cold-audit unfairness bits for epoch 0 and after each of
+/// `epochs` — the ground truth readers must match bit-for-bit.
+fn cold_bits_per_epoch(scn: &Scenario) -> Vec<u64> {
+    let algorithm = algorithm();
+    let mut view = scn.view.clone();
+    let mut expected = Vec::with_capacity(scn.epochs.len() + 1);
+    let cold = |view: &StreamView| {
+        let (table, scores) = view.compact().unwrap();
+        let ctx = AuditContext::new(&table, &scores, config()).unwrap();
+        algorithm.run(&ctx).unwrap().unfairness.to_bits()
+    };
+    expected.push(cold(&view));
+    for events in &scn.epochs {
+        view.apply_epoch(events).unwrap();
+        expected.push(cold(&view));
+    }
+    expected
+}
+
+fn start(scn: &Scenario, serve: ServeConfig) -> Server {
+    Server::start(scn.view.clone(), algorithm(), config(), serve).unwrap()
+}
+
+#[test]
+fn end_to_end_session_round_trip() {
+    let scn = scenario(60, 2, 11);
+    let expected = cold_bits_per_epoch(&scn);
+    let server = start(&scn, ServeConfig::default());
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    assert_eq!(client.request("PING").unwrap(), "OK pong");
+
+    let health = client.request("HEALTH").unwrap();
+    assert_eq!(protocol::kv(&health, "status"), Some("ok"));
+    assert_eq!(protocol::kv(&health, "epoch"), Some("0"));
+    assert_eq!(protocol::kv(&health, "writer"), Some("ok"));
+
+    let audit = client.audit().unwrap();
+    assert_eq!(protocol::kv(&audit, "epoch"), Some("0"));
+    let bits = protocol::kv(&audit, "unfairness_bits").unwrap();
+    assert_eq!(
+        protocol::parse_f64_bits(bits).unwrap().to_bits(),
+        expected[0],
+        "epoch-0 audit must match the offline cold audit bit-for-bit"
+    );
+
+    for (k, events) in scn.epochs.iter().enumerate() {
+        let reply = client.epoch(events, &scn.schema).unwrap();
+        assert_eq!(
+            protocol::kv(&reply, "epoch"),
+            Some(format!("{}", k + 1).as_str())
+        );
+        let audit = client.audit().unwrap();
+        let bits = protocol::kv(&audit, "unfairness_bits").unwrap();
+        assert_eq!(
+            protocol::parse_f64_bits(bits).unwrap().to_bits(),
+            expected[k + 1],
+            "epoch-{} audit diverges from the cold rebuild",
+            k + 1
+        );
+    }
+
+    let metrics = client.request("METRICS").unwrap();
+    assert_eq!(protocol::kv(&metrics, "epochs_applied"), Some("2"));
+    assert_eq!(protocol::kv(&metrics, "epoch"), Some("2"));
+    let audits_ok: u64 = protocol::kv(&metrics, "audits_ok")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(audits_ok >= 3);
+
+    let stats = client.request("STATS").unwrap();
+    assert_eq!(protocol::kv(&stats, "epochs"), Some("2"));
+
+    let err = client.request("FROB").unwrap_err();
+    assert!(err.to_string().starts_with("ERR usage"), "got {err}");
+
+    assert_eq!(client.request("QUIT").unwrap(), "OK bye");
+    server.shutdown();
+    assert_eq!(server.join().unwrap(), 1);
+}
+
+#[test]
+fn concurrent_readers_observe_some_published_epoch_exactly() {
+    let scn = scenario(80, 3, 23);
+    let expected = Arc::new(cold_bits_per_epoch(&scn));
+    let server = start(
+        &scn,
+        ServeConfig {
+            max_inflight: 8,
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.addr();
+    let done = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let (expected, done) = (Arc::clone(&expected), Arc::clone(&done));
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).unwrap();
+                let mut observed = 0usize;
+                while !done.load(Ordering::SeqCst) {
+                    match client.audit() {
+                        Ok(reply) => {
+                            observed += 1;
+                            let epoch: usize =
+                                protocol::kv(&reply, "epoch").unwrap().parse().unwrap();
+                            let bits = protocol::kv(&reply, "unfairness_bits").unwrap();
+                            assert_eq!(
+                                protocol::parse_f64_bits(bits).unwrap().to_bits(),
+                                expected[epoch],
+                                "reader saw epoch {epoch} with non-cold-identical bits"
+                            );
+                        }
+                        Err(e) if ServeClient::is_overloaded(&e) => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(e) => panic!("reader failed: {e}"),
+                    }
+                }
+                client.quit();
+                observed
+            })
+        })
+        .collect();
+
+    let mut writer = ServeClient::connect(addr).unwrap();
+    for events in &scn.epochs {
+        writer.epoch(events, &scn.schema).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    done.store(true, Ordering::SeqCst);
+    writer.quit();
+
+    let mut total = 0;
+    for handle in readers {
+        total += handle.join().unwrap();
+    }
+    assert!(total > 0, "no reader completed a single audit");
+    server.shutdown();
+    server.join().unwrap();
+}
+
+#[test]
+fn admission_control_rejects_instead_of_queueing() {
+    let scn = scenario(40, 0, 5);
+    let server = start(
+        &scn,
+        ServeConfig {
+            max_inflight: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    for _ in 0..3 {
+        let err = client.audit().unwrap_err();
+        assert!(
+            ServeClient::is_overloaded(&err),
+            "zero-budget gate must reject with ERR overloaded, got {err}"
+        );
+    }
+    // Rejections are immediate and typed, never queued: the session
+    // still answers other verbs right away.
+    assert_eq!(client.request("PING").unwrap(), "OK pong");
+    let metrics = client.request("METRICS").unwrap();
+    assert_eq!(protocol::kv(&metrics, "audits_rejected"), Some("3"));
+    assert_eq!(protocol::kv(&metrics, "audits_ok"), Some("0"));
+    client.quit();
+    server.shutdown();
+    server.join().unwrap();
+}
+
+#[test]
+fn writer_role_is_exclusive_until_release() {
+    let scn = scenario(50, 2, 9);
+    let server = start(&scn, ServeConfig::default());
+
+    let mut a = ServeClient::connect(server.addr()).unwrap();
+    a.epoch(&scn.epochs[0], &scn.schema).unwrap();
+
+    let mut b = ServeClient::connect(server.addr()).unwrap();
+    let err = b.epoch(&scn.epochs[1], &scn.schema).unwrap_err();
+    assert!(
+        err.to_string().starts_with("ERR writer-busy"),
+        "second writer must be refused, got {err}"
+    );
+    // Readers are unaffected by writer exclusivity.
+    b.audit().unwrap();
+
+    a.quit();
+    // The role releases with the session; poll until the successor
+    // can append.
+    let mut appended = false;
+    for _ in 0..100 {
+        match b.epoch(&scn.epochs[1], &scn.schema) {
+            Ok(reply) => {
+                assert_eq!(protocol::kv(&reply, "epoch"), Some("2"));
+                appended = true;
+                break;
+            }
+            Err(e) if e.to_string().starts_with("ERR writer-busy") => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    assert!(appended, "writer role never released after QUIT");
+    b.quit();
+    server.shutdown();
+    server.join().unwrap();
+}
+
+#[test]
+fn failed_epoch_poisons_writer_but_readers_keep_serving() {
+    let scn = scenario(40, 1, 3);
+    let server = start(&scn, ServeConfig::default());
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    // A malformed payload record is caught before application: the
+    // writer survives.
+    let err = client.request("EPOCH 1\nnot-a-record").unwrap_err();
+    assert!(err.to_string().starts_with("ERR usage"), "got {err}");
+    let health = client.request("HEALTH").unwrap();
+    assert_eq!(protocol::kv(&health, "writer"), Some("ok"));
+
+    // A well-formed event that fails mid-application poisons the
+    // writer: the view may hold a partial epoch.
+    let ghost = vec![Event::ScoreUpdated {
+        worker: 9_999,
+        score: 0.5,
+    }];
+    let err = client.epoch(&ghost, &scn.schema).unwrap_err();
+    assert!(err.to_string().starts_with("ERR stream"), "got {err}");
+
+    let err = client.epoch(&scn.epochs[0], &scn.schema).unwrap_err();
+    assert!(
+        err.to_string().starts_with("ERR writer-poisoned"),
+        "poisoned writer must refuse further epochs, got {err}"
+    );
+    let health = client.request("HEALTH").unwrap();
+    assert_eq!(protocol::kv(&health, "writer"), Some("poisoned"));
+
+    // Readers still audit the last published snapshot (epoch 0).
+    let audit = client.audit().unwrap();
+    assert_eq!(protocol::kv(&audit, "epoch"), Some("0"));
+
+    client.quit();
+    server.shutdown();
+    server.join().unwrap();
+}
+
+#[test]
+fn shutdown_drains_sessions_and_reports_count() {
+    let scn = scenario(30, 0, 7);
+    let server = start(&scn, ServeConfig::default());
+    for _ in 0..3 {
+        let mut client = ServeClient::connect(server.addr()).unwrap();
+        assert_eq!(client.request("PING").unwrap(), "OK pong");
+        client.quit();
+    }
+    // An idle session (no QUIT) must not wedge the drain: the poll
+    // interval bounds how long it lingers.
+    let idle = ServeClient::connect(server.addr()).unwrap();
+    server.shutdown();
+    assert_eq!(server.join().unwrap(), 4);
+    drop(idle);
+}
+
+#[test]
+fn shutdown_verb_drains_from_the_wire() {
+    let scn = scenario(30, 0, 13);
+    let server = start(&scn, ServeConfig::default());
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    assert_eq!(client.request("SHUTDOWN").unwrap(), "OK draining");
+    assert_eq!(server.join().unwrap(), 1);
+}
+
+#[test]
+fn max_sessions_bounds_the_accept_loop() {
+    let scn = scenario(30, 0, 17);
+    let server = start(
+        &scn,
+        ServeConfig {
+            max_sessions: Some(2),
+            ..ServeConfig::default()
+        },
+    );
+    for _ in 0..2 {
+        let mut client = ServeClient::connect(server.addr()).unwrap();
+        assert_eq!(client.request("PING").unwrap(), "OK pong");
+        client.quit();
+    }
+    assert_eq!(server.join().unwrap(), 2);
+}

@@ -27,6 +27,15 @@ pub enum StreamError {
         /// Bins the config asks for.
         config: usize,
     },
+    /// The live bitmap references a row the table does not have — the
+    /// view's internal invariants are broken (e.g. a corrupted tombstone
+    /// bitmap) and it must be discarded.
+    Corrupt {
+        /// The offending row id.
+        row: u32,
+        /// Rows the table actually holds.
+        rows: usize,
+    },
     /// Underlying store error (bad attribute, unknown label, …).
     Store(StoreError),
     /// Underlying audit error.
@@ -46,6 +55,12 @@ impl fmt::Display for StreamError {
                 write!(
                     f,
                     "view maintains {view} histogram bins but the audit config asks for {config}"
+                )
+            }
+            StreamError::Corrupt { row, rows } => {
+                write!(
+                    f,
+                    "live bitmap references row {row} but the table has {rows} rows: view is corrupt"
                 )
             }
             StreamError::Store(e) => write!(f, "store: {e}"),

@@ -19,10 +19,12 @@
 
 pub mod auditor;
 pub mod error;
+pub mod snapshot;
 pub mod view;
 
 pub use auditor::{EpochReport, StreamAuditor};
 pub use error::StreamError;
+pub use snapshot::StreamSnapshot;
 pub use view::{EpochDelta, StreamView};
 
 use fairjob_core::Partitioning;

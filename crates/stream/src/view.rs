@@ -1,13 +1,14 @@
 //! The mutable, epoch-versioned view over a worker population.
 
 use crate::error::StreamError;
+use crate::snapshot::StreamSnapshot;
 use fairjob_core::{AuditConfig, AuditContext, AuditError, RowChange, RowFacts};
 use fairjob_hist::BinSpec;
 use fairjob_marketplace::stream::Event;
 use fairjob_store::bitmap::Bitmap;
 use fairjob_store::index::IndexSet;
 use fairjob_store::schema::DataType;
-use fairjob_store::table::{Table, Value};
+use fairjob_store::table::Table;
 use fairjob_store::RowSet;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -41,14 +42,21 @@ pub struct EpochDelta {
 /// [`AuditContext`] restricted to the live rows; results over it are
 /// bit-identical to a cold audit of the compacted live population
 /// ([`StreamView::compact`]).
-#[derive(Debug)]
+///
+/// Every column of state is behind an `Arc` so
+/// [`StreamView::snapshot`] can publish an immutable
+/// [`crate::StreamSnapshot`] in O(live): concurrent readers audit the
+/// published snapshot while the writer keeps applying epochs — the
+/// first in-place mutation after a publication copies the touched
+/// structure via `Arc::make_mut` (copy-on-write), never the reader's.
+#[derive(Debug, Clone)]
 pub struct StreamView {
-    table: Table,
-    scores: Vec<f64>,
+    table: Arc<Table>,
+    scores: Arc<Vec<f64>>,
     live: Bitmap,
-    /// Shared with per-epoch contexts (`Arc` hand-off, no rebuild);
-    /// mutated via `Arc::make_mut` between audits, when no context is
-    /// borrowing them.
+    /// Shared with per-epoch contexts and published snapshots (`Arc`
+    /// hand-off, no rebuild); mutated via `Arc::make_mut` between
+    /// audits, when no context of *this* view is borrowing them.
     indexes: Arc<IndexSet>,
     bin_of: Arc<Vec<u32>>,
     spec: BinSpec,
@@ -84,8 +92,8 @@ impl StreamView {
             Arc::new(scores.iter().map(|&s| spec.bin_index(s) as u32).collect());
         let live = Bitmap::full(table.len());
         Ok(StreamView {
-            table,
-            scores,
+            table: Arc::new(table),
+            scores: Arc::new(scores),
             live,
             indexes,
             bin_of,
@@ -96,12 +104,12 @@ impl StreamView {
 
     /// The underlying (append-only) table, tombstoned rows included.
     pub fn table(&self) -> &Table {
-        &self.table
+        self.table.as_ref()
     }
 
     /// Per-row scores, aligned with [`StreamView::table`].
     pub fn scores(&self) -> &[f64] {
-        &self.scores
+        self.scores.as_slice()
     }
 
     /// The histogram bin layout of this view.
@@ -148,10 +156,11 @@ impl StreamView {
                 Event::WorkerAdded { values, score } => {
                     let row = self.table.len() as u32;
                     validate_score(row, *score)?;
-                    self.table.push_row(values)?;
-                    Arc::make_mut(&mut self.indexes).push_row(&self.table)?;
+                    Arc::make_mut(&mut self.table).push_row(values)?;
+                    let table = Arc::clone(&self.table);
+                    Arc::make_mut(&mut self.indexes).push_row(table.as_ref())?;
                     Arc::make_mut(&mut self.bin_of).push(self.spec.bin_index(*score) as u32);
-                    self.scores.push(*score);
+                    Arc::make_mut(&mut self.scores).push(*score);
                     self.live.grow(self.table.len());
                     self.live.insert(row);
                     touched.entry(row).or_insert(None);
@@ -159,8 +168,8 @@ impl StreamView {
                 Event::ScoreUpdated { worker, score } => {
                     self.ensure_live(*worker)?;
                     validate_score(*worker, *score)?;
-                    self.record_before(&mut touched, *worker);
-                    self.scores[*worker as usize] = *score;
+                    self.record_before(&mut touched, *worker)?;
+                    Arc::make_mut(&mut self.scores)[*worker as usize] = *score;
                     Arc::make_mut(&mut self.bin_of)[*worker as usize] =
                         self.spec.bin_index(*score) as u32;
                 }
@@ -171,8 +180,9 @@ impl StreamView {
                 } => {
                     self.ensure_live(*worker)?;
                     let attr = self.table.schema().index_of(attribute)?;
-                    self.record_before(&mut touched, *worker);
-                    let (old, new) = self.table.set_cat(attr, *worker as usize, value)?;
+                    self.record_before(&mut touched, *worker)?;
+                    let (old, new) =
+                        Arc::make_mut(&mut self.table).set_cat(attr, *worker as usize, value)?;
                     if old != new {
                         let name = self.table.schema().attribute(attr).name.clone();
                         Arc::make_mut(&mut self.indexes).set_code(attr, *worker, new, &name)?;
@@ -180,24 +190,26 @@ impl StreamView {
                 }
                 Event::WorkerRemoved { worker } => {
                     self.ensure_live(*worker)?;
-                    self.record_before(&mut touched, *worker);
+                    self.record_before(&mut touched, *worker)?;
                     self.live.remove(*worker);
                 }
             }
         }
         self.epoch += 1;
-        let changes = touched
-            .into_iter()
-            .filter_map(|(row, before)| {
-                let after = self.live.contains(row).then(|| self.facts(row));
-                // Net no-ops: added-and-removed within the epoch, or
-                // mutated back to the starting state.
-                if before == after {
-                    return None;
-                }
-                Some(RowChange { row, before, after })
-            })
-            .collect();
+        let mut changes = Vec::new();
+        for (row, before) in touched {
+            let after = if self.live.contains(row) {
+                Some(self.facts(row)?)
+            } else {
+                None
+            };
+            // Net no-ops: added-and-removed within the epoch, or
+            // mutated back to the starting state.
+            if before == after {
+                continue;
+            }
+            changes.push(RowChange { row, before, after });
+        }
         Ok(EpochDelta {
             epoch: self.epoch,
             changes,
@@ -220,8 +232,8 @@ impl StreamView {
             });
         }
         AuditContext::from_parts(
-            &self.table,
-            &self.scores,
+            self.table.as_ref(),
+            self.scores.as_slice(),
             config,
             Arc::clone(&self.indexes),
             Arc::clone(&self.bin_of),
@@ -231,56 +243,75 @@ impl StreamView {
         .map_err(StreamError::Audit)
     }
 
+    /// Publish the current state as an immutable, cheaply-cloneable
+    /// [`StreamSnapshot`]: `Arc` handles on the table, scores, indexes
+    /// and bin array plus a materialised live row set. Concurrent
+    /// readers audit the snapshot while this view keeps mutating — the
+    /// writer's next in-place change copies the shared structure, never
+    /// the snapshot's.
+    pub fn snapshot(&self) -> StreamSnapshot {
+        StreamSnapshot::from_parts(
+            Arc::clone(&self.table),
+            Arc::clone(&self.scores),
+            self.live.to_rowset(),
+            Arc::clone(&self.indexes),
+            Arc::clone(&self.bin_of),
+            self.spec.clone(),
+            self.epoch,
+        )
+    }
+
     /// Materialise the live population as a fresh, compacted table (row
     /// ids renumbered to `0..live_count`) with aligned scores — what a
     /// cold batch audit of the current state would load.
     ///
     /// # Errors
     ///
-    /// [`StreamError::Store`] — cannot occur for rows the view itself
-    /// maintains.
+    /// [`StreamError::Corrupt`] when the live bitmap references a row
+    /// the table does not have (cannot occur for rows the view itself
+    /// maintains); [`StreamError::Store`] from re-ingesting rows.
     pub fn compact(&self) -> Result<(Table, Vec<f64>), StreamError> {
-        let mut table = Table::new(self.table.schema().clone());
-        let rows: Vec<Vec<Value>> = self
-            .live
-            .iter()
-            .map(|row| self.table.row(row as usize).expect("live row in range"))
-            .collect();
-        table.push_rows(&rows)?;
-        let scores = self
-            .live
-            .iter()
-            .map(|row| self.scores[row as usize])
-            .collect();
-        Ok((table, scores))
+        self.snapshot().compact()
     }
 
     /// The row's current facts, as predicates and histograms see it.
-    fn facts(&self, row: u32) -> RowFacts {
-        let codes = self
-            .table
-            .schema()
-            .attributes()
-            .iter()
-            .enumerate()
-            .map(|(attr, def)| match def.dtype {
-                DataType::Categorical { .. } => self
-                    .table
-                    .code_at(attr, row as usize)
-                    .expect("categorical code in range"),
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Corrupt`] for a row id beyond the table (a
+    /// corrupted live bitmap); [`StreamError::Store`] from the column
+    /// accessors.
+    fn facts(&self, row: u32) -> Result<RowFacts, StreamError> {
+        if row as usize >= self.table.len() || row as usize >= self.bin_of.len() {
+            return Err(StreamError::Corrupt {
+                row,
+                rows: self.table.len().min(self.bin_of.len()),
+            });
+        }
+        let mut codes = Vec::with_capacity(self.table.schema().width());
+        for (attr, def) in self.table.schema().attributes().iter().enumerate() {
+            codes.push(match def.dtype {
+                DataType::Categorical { .. } => self.table.code_at(attr, row as usize)?,
                 // Predicates never constrain non-categorical attributes;
                 // a sentinel no real dictionary code reaches.
                 _ => u32::MAX,
-            })
-            .collect();
-        RowFacts {
+            });
+        }
+        Ok(RowFacts {
             codes,
             bin: self.bin_of[row as usize],
-        }
+        })
     }
 
-    fn record_before(&self, touched: &mut BTreeMap<u32, Option<RowFacts>>, row: u32) {
-        touched.entry(row).or_insert_with(|| Some(self.facts(row)));
+    fn record_before(
+        &self,
+        touched: &mut BTreeMap<u32, Option<RowFacts>>,
+        row: u32,
+    ) -> Result<(), StreamError> {
+        if let std::collections::btree_map::Entry::Vacant(entry) = touched.entry(row) {
+            entry.insert(Some(self.facts(row)?));
+        }
+        Ok(())
     }
 
     fn ensure_live(&self, worker: u32) -> Result<(), StreamError> {
@@ -497,6 +528,31 @@ mod tests {
                 value: "Nope".into(),
             }])
             .is_err());
+    }
+
+    /// The panic regression: a corrupted live bitmap (row ids beyond
+    /// the table) must surface as [`StreamError::Corrupt`] through the
+    /// documented `Result` paths — `compact` and the facts collection —
+    /// never as a panic. Fatal in a resident daemon, where a panic on a
+    /// session thread kills the session (or poisons shared state).
+    #[test]
+    fn corrupted_live_bitmap_errors_instead_of_panicking() {
+        let mut v = view(5, 9);
+        v.live.grow(64);
+        v.live.insert(50); // no row 50 in the 5-row table
+        assert!(matches!(
+            v.compact(),
+            Err(StreamError::Corrupt { row: 50, rows: 5 })
+        ));
+        // The facts path (record_before on a "live" ghost row) errors
+        // the same way instead of indexing out of bounds.
+        assert!(matches!(
+            v.apply_epoch(&[Event::ScoreUpdated {
+                worker: 50,
+                score: 0.5
+            }]),
+            Err(StreamError::Corrupt { row: 50, .. })
+        ));
     }
 
     #[test]

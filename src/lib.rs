@@ -55,5 +55,6 @@ pub use fairjob_emd as emd;
 pub use fairjob_hist as hist;
 pub use fairjob_marketplace as marketplace;
 pub use fairjob_repair as repair;
+pub use fairjob_serve as serve;
 pub use fairjob_store as store;
 pub use fairjob_stream as stream;
