@@ -1,0 +1,245 @@
+//! FairQL planner bench: pushdown scan cost versus the naive plan.
+//!
+//! Beyond timing, this bench *asserts* the planner's contract:
+//!
+//! - with predicate pushdown the scan examines **at most half** the
+//!   rows the unpushed naive plan examines (on this workload the real
+//!   ratio is far better — postings bound the work);
+//! - pushed and naive plans return **identical** results — the
+//!   optimisation never changes an answer;
+//! - a FairQL `AUDIT` reports exactly the engine counters of the
+//!   equivalent direct [`fairjob_core`] audit run (`EXPLAIN ANALYZE`
+//!   attribution is truthful).
+//!
+//! It also extends the machine-readable perf trajectory: a
+//! `BENCH_fairql.json` next to the workspace root with the examined-row
+//! counts, the pushdown ratio, and plan/execute timings, uploaded as a
+//! CI artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fairjob_core::algorithms;
+use fairjob_core::{AuditConfig, AuditContext};
+use fairjob_fairql::physical::{PhysicalPlan, ScanKind};
+use fairjob_fairql::{
+    analyze_statement, parse, Defaults, PlannerOptions, QueryOutput, Session, Source,
+};
+use fairjob_marketplace::scoring::{LinearScore, ScoringFunction};
+use fairjob_marketplace::{bucketise_numeric_protected, generate_uniform};
+use fairjob_store::Table;
+use std::hint::black_box;
+use std::time::Instant;
+
+const WORKERS: usize = 4000;
+const SEED: u64 = 0xFA12;
+/// Selects roughly a third of the population; the index scan examines
+/// one posting list instead of the whole table.
+const FILTERED: &str = "SELECT COUNT(*) FROM workers WHERE country = 'India'";
+/// Two conjuncts: the planner must order the postings smallest-first
+/// before intersecting.
+const CONJUNCTIVE: &str =
+    "SELECT COUNT(*) FROM workers WHERE country = 'India' AND gender = 'Female'";
+const AUDIT: &str = "AUDIT workers";
+
+fn population() -> (Table, Vec<f64>) {
+    let mut table = generate_uniform(WORKERS, SEED);
+    bucketise_numeric_protected(&mut table).expect("bucketise");
+    let scores = LinearScore::alpha("f1", 0.5)
+        .score_all(&table)
+        .expect("score");
+    (table, scores)
+}
+
+fn session<'a>(table: &'a Table, scores: &'a [f64], push: bool) -> Session<'a> {
+    Session::new(Source::Batch { table, scores }, Defaults::default())
+        .expect("session")
+        .with_planner_options(PlannerOptions {
+            push_predicates: push,
+        })
+}
+
+/// Pull `examined=N` out of an `EXPLAIN ANALYZE` scan-actual line.
+fn actual_examined(explain: &str) -> usize {
+    explain
+        .lines()
+        .find_map(|line| {
+            let line = line.trim_start();
+            line.strip_prefix("actual: matched=")?
+                .split_once("examined=")
+                .map(|(_, n)| n.trim().parse().expect("examined count"))
+        })
+        .expect("no scan actuals in plan")
+}
+
+fn explain_analyze(session: &mut Session<'_>, query: &str) -> String {
+    let outputs = session
+        .execute(&format!("EXPLAIN ANALYZE {query}"))
+        .expect("explain analyze");
+    match outputs.into_iter().next() {
+        Some(QueryOutput::Explain { text }) => text,
+        other => panic!("unexpected output {other:?}"),
+    }
+}
+
+struct PushdownReport {
+    pushed_examined: usize,
+    naive_examined: usize,
+}
+
+/// The pushdown contract: index-backed scan, ≥2× fewer rows examined,
+/// identical results.
+fn assert_pushdown_contract(table: &Table, scores: &[f64]) -> PushdownReport {
+    let mut pushed = session(table, scores, true);
+    let mut naive = session(table, scores, false);
+
+    let analyzed =
+        analyze_statement(&parse(FILTERED).expect("parse")[0], table.schema()).expect("analyze");
+    let plan = pushed.plan_of(&analyzed);
+    let PhysicalPlan::Select { scan, .. } = &plan else {
+        panic!("not a select plan")
+    };
+    assert!(
+        matches!(scan.kind, ScanKind::Index(_)),
+        "pushdown did not choose an index scan"
+    );
+
+    let pushed_examined = actual_examined(&explain_analyze(&mut pushed, FILTERED));
+    let naive_examined = actual_examined(&explain_analyze(&mut naive, FILTERED));
+    assert!(
+        pushed_examined * 2 <= naive_examined,
+        "pushdown examined {pushed_examined} rows, naive examined {naive_examined} — \
+         expected at least a 2x reduction"
+    );
+
+    let a = pushed.execute(FILTERED).expect("pushed run");
+    let b = naive.execute(FILTERED).expect("naive run");
+    let (Some(QueryOutput::Rows(ra)), Some(QueryOutput::Rows(rb))) = (a.first(), b.first()) else {
+        panic!("not row outputs")
+    };
+    assert_eq!(ra, rb, "pushdown changed the query result");
+
+    // Conjunctions: postings come smallest-first so the intersection
+    // starts from the cheapest list, and the answer still matches.
+    let analyzed =
+        analyze_statement(&parse(CONJUNCTIVE).expect("parse")[0], table.schema()).expect("analyze");
+    let plan = pushed.plan_of(&analyzed);
+    let PhysicalPlan::Select { scan, .. } = &plan else {
+        panic!("not a select plan")
+    };
+    let ScanKind::Index(postings) = &scan.kind else {
+        panic!("conjunction did not push to an index scan")
+    };
+    assert!(
+        postings.windows(2).all(|w| w[0].2 <= w[1].2),
+        "postings are not ordered smallest-first: {postings:?}"
+    );
+    let a = pushed.execute(CONJUNCTIVE).expect("pushed run");
+    let b = naive.execute(CONJUNCTIVE).expect("naive run");
+    let (Some(QueryOutput::Rows(ra)), Some(QueryOutput::Rows(rb))) = (a.first(), b.first()) else {
+        panic!("not row outputs")
+    };
+    assert_eq!(ra, rb, "pushdown changed the conjunctive query result");
+
+    PushdownReport {
+        pushed_examined,
+        naive_examined,
+    }
+}
+
+/// The attribution contract: a FairQL audit's counters are exactly the
+/// direct engine run's counters, and the unfairness is bit-identical.
+fn assert_attribution_contract(table: &Table, scores: &[f64]) {
+    let ctx = AuditContext::new(table, scores, AuditConfig::default()).expect("ctx");
+    let direct = algorithms::by_name("balanced", 0xBEEF)
+        .expect("algorithm")
+        .run(&ctx)
+        .expect("direct audit");
+
+    let mut session = session(table, scores, true);
+    let outputs = session.execute(AUDIT).expect("query audit");
+    let Some(QueryOutput::Audit { summary, .. }) = outputs.first() else {
+        panic!("not an audit output")
+    };
+    assert_eq!(
+        summary.unfairness_bits(),
+        direct.unfairness.to_bits(),
+        "FairQL audit is not bit-identical to the direct run"
+    );
+    for ((name, ours), (_, theirs)) in summary
+        .engine
+        .as_pairs()
+        .iter()
+        .zip(direct.engine.as_pairs().iter())
+    {
+        assert_eq!(ours, theirs, "engine counter {name} diverged");
+    }
+}
+
+/// Write the machine-readable trajectory next to the workspace root.
+fn write_bench_json(report: &PushdownReport, plan_us: u128, pushed_us: u128, naive_us: u128) {
+    let ratio = report.naive_examined as f64 / report.pushed_examined.max(1) as f64;
+    let json = format!(
+        "{{\"bench\":\"query_plan\",\"workers\":{WORKERS},\
+\"query\":\"{FILTERED}\",\"pushed_examined\":{},\"naive_examined\":{},\
+\"pushdown_ratio\":{:.1},\"plan_us\":{plan_us},\"pushed_exec_us\":{pushed_us},\
+\"naive_exec_us\":{naive_us}}}\n",
+        report.pushed_examined, report.naive_examined, ratio,
+    );
+    // `cargo bench` runs with the package directory as cwd; BENCH_*.json
+    // lands at the workspace root either way.
+    let path = if std::path::Path::new("../../Cargo.toml").exists() {
+        "../../BENCH_fairql.json"
+    } else {
+        "BENCH_fairql.json"
+    };
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("query_plan: could not write {path}: {e}");
+    }
+    println!("query_plan trajectory: {json}");
+}
+
+fn time_us(mut f: impl FnMut()) -> u128 {
+    let started = Instant::now();
+    f();
+    started.elapsed().as_micros()
+}
+
+fn bench_query_plan(c: &mut Criterion) {
+    let (table, scores) = population();
+    let report = assert_pushdown_contract(&table, &scores);
+    assert_attribution_contract(&table, &scores);
+
+    let statements = parse(FILTERED).expect("parse");
+    let plan_us = time_us(|| {
+        let analyzed = analyze_statement(&statements[0], table.schema()).expect("analyze");
+        black_box(session(&table, &scores, true).plan_of(&analyzed));
+    });
+    let mut pushed = session(&table, &scores, true);
+    let mut naive = session(&table, &scores, false);
+    let pushed_us = time_us(|| {
+        black_box(pushed.execute(FILTERED).expect("pushed"));
+    });
+    let naive_us = time_us(|| {
+        black_box(naive.execute(FILTERED).expect("naive"));
+    });
+    write_bench_json(&report, plan_us, pushed_us, naive_us);
+
+    let mut group = c.benchmark_group("query_plan");
+    group.sample_size(10);
+    group.bench_function("parse_analyze_plan", |b| {
+        b.iter(|| {
+            let statements = parse(black_box(FILTERED)).expect("parse");
+            let analyzed = analyze_statement(&statements[0], table.schema()).expect("analyze");
+            black_box(session(&table, &scores, true).plan_of(&analyzed))
+        })
+    });
+    group.bench_function("select_pushed", |b| {
+        b.iter(|| black_box(pushed.execute(FILTERED).expect("pushed")))
+    });
+    group.bench_function("select_naive", |b| {
+        b.iter(|| black_box(naive.execute(FILTERED).expect("naive")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_plan);
+criterion_main!(benches);

@@ -3,10 +3,7 @@
 
 use crate::args::Args;
 use crate::CliError;
-use fairjob_core::algorithms::{
-    all_attributes::AllAttributes, balanced::Balanced, subsets::SubsetExact,
-    unbalanced::Unbalanced, Algorithm, AttributeChoice,
-};
+use fairjob_core::algorithms::{self, Algorithm};
 use fairjob_core::stats::permutation_test;
 use fairjob_core::{AuditConfig, AuditContext};
 use fairjob_hist::distance as hd;
@@ -17,37 +14,20 @@ pub(crate) fn resolve_algorithm(
     name: &str,
     seed: u64,
 ) -> Result<Box<dyn Algorithm + Send + Sync>, CliError> {
-    Ok(match name {
-        "balanced" => Box::new(Balanced::new(AttributeChoice::Worst)),
-        "r-balanced" => Box::new(Balanced::new(AttributeChoice::Random { seed })),
-        "unbalanced" => Box::new(Unbalanced::new(AttributeChoice::Worst)),
-        "r-unbalanced" => Box::new(Unbalanced::new(AttributeChoice::Random { seed })),
-        "all-attributes" => Box::new(AllAttributes),
-        "subset-exact" => Box::new(SubsetExact::default()),
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown algorithm `{other}` (balanced | r-balanced | unbalanced | r-unbalanced | all-attributes | subset-exact)"
-            )))
-        }
+    algorithms::by_name(name, seed).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown algorithm `{name}` ({})",
+            algorithms::ALGORITHM_NAMES.join(" | ")
+        ))
     })
 }
 
 pub(crate) fn resolve_metric(name: &str) -> Result<Arc<dyn HistogramDistance>, CliError> {
-    Ok(match name {
-        "emd" => Arc::new(hd::Emd1d),
-        "emd-exact" => Arc::new(hd::EmdExact {
-            solver: fairjob_emd::Solver::Flow,
-        }),
-        "tv" => Arc::new(hd::TotalVariation),
-        "ks" => Arc::new(hd::KolmogorovSmirnov),
-        "jsd" => Arc::new(hd::JensenShannon),
-        "hellinger" => Arc::new(hd::Hellinger),
-        "chi2" => Arc::new(hd::ChiSquare),
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown metric `{other}` (emd | emd-exact | tv | ks | jsd | hellinger | chi2)"
-            )))
-        }
+    hd::by_name(name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown metric `{name}` ({})",
+            hd::METRIC_NAMES.join(" | ")
+        ))
     })
 }
 

@@ -3,6 +3,7 @@
 pub mod audit;
 pub mod describe;
 pub mod generate;
+pub mod query;
 pub mod repair;
 pub mod rerank;
 pub mod serve;

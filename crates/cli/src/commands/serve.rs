@@ -74,6 +74,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             addr,
             max_inflight,
             max_sessions,
+            seed,
             ..ServeConfig::default()
         },
     )

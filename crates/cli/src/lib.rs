@@ -5,6 +5,7 @@
 //! * `generate` — create a worker population CSV (uniform or correlated).
 //! * `describe` — per-attribute summary of a population CSV.
 //! * `audit` — find the most-unfair partitioning for a scoring function.
+//! * `query` — run FairQL statements (AUDIT/SELECT/DESCRIBE/EXPLAIN).
 //! * `stream` — replay an event file, re-auditing incrementally each epoch.
 //! * `serve` — resident audit daemon over TCP (`fairjob-serve v1`).
 //! * `repair` — quantile-align scores against the audited partitioning.
@@ -73,6 +74,10 @@ USAGE:
                    [--algorithm balanced|unbalanced|r-balanced|r-unbalanced|all-attributes|subset-exact]
                    [--bins N] [--metric emd|emd-exact|tv|ks|jsd|hellinger|chi2]
                    [--permutations N] [--histograms] [--json] [--seed S]
+  fairjob query    --workers FILE.csv (--function f1..f9 | --alpha A)
+                   [-e QUERY | --query QUERY | --file FILE.fql]
+                   [--algorithm ...] [--metric ...] [--bins N]
+                   [--threads N] [--seed S]
   fairjob stream   --workers FILE.csv --events FILE (--function f1..f9 | --alpha A)
                    [--algorithm ...] [--bins N] [--metric ...]
                    [--cold-check] [--json] [--seed S]
@@ -105,7 +110,16 @@ defaults to 127.0.0.1:0; the bound address is printed on startup and,
 with --addr-file, written to a file for scripts. --max-sessions serves
 a bounded number of sessions then drains and exits.
 
-Exit codes: 0 success, 2 usage error, 3 I/O error, 4 run failure.
+`query` runs FairQL: `AUDIT workers [WHERE a = 'v' ...] [PROTECT cols]
+[USING alg] [METRIC m] [BINS n]`, `SELECT ... FROM workers [GROUP BY
+col] [LIMIT n]`, `DESCRIBE [col]`, and `EXPLAIN [ANALYZE] <stmt>`.
+Statements come from -e/--query, --file, or stdin; defaults for
+omitted USING/METRIC/BINS are the audit flags, so `query -e 'AUDIT
+workers'` is bit-identical to `audit` with the same flags.
+
+Exit codes: 0 success, 2 usage error (including FairQL parse and
+analysis errors, reported with their byte offset), 3 I/O error,
+4 run failure (including query execution failures).
 
 `stream` replays a fairjob-events v1 file (generate one alongside a
 population with `generate --events N --events-out FILE`): it audits the
@@ -130,6 +144,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "generate" => commands::generate::run(rest),
         "describe" => commands::describe::run(rest),
         "audit" => commands::audit::run(rest),
+        "query" => commands::query::run(rest),
         "stream" => commands::stream::run(rest),
         "serve" => commands::serve::run(rest),
         "repair" => commands::repair::run(rest),

@@ -79,6 +79,34 @@ pub fn paper_algorithms(seed: u64) -> Vec<Box<dyn Algorithm>> {
     ]
 }
 
+/// Resolve an algorithm by its short CLI/query name (`balanced`,
+/// `r-balanced`, `unbalanced`, `r-unbalanced`, `all-attributes`,
+/// `subset-exact`). Random variants are seeded with `seed`; `None`
+/// means the name is unknown.
+pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn Algorithm + Send + Sync>> {
+    Some(match name {
+        "balanced" => Box::new(balanced::Balanced::new(AttributeChoice::Worst)),
+        "r-balanced" => Box::new(balanced::Balanced::new(AttributeChoice::Random { seed })),
+        "unbalanced" => Box::new(unbalanced::Unbalanced::new(AttributeChoice::Worst)),
+        "r-unbalanced" => Box::new(unbalanced::Unbalanced::new(AttributeChoice::Random {
+            seed,
+        })),
+        "all-attributes" => Box::new(all_attributes::AllAttributes),
+        "subset-exact" => Box::new(subsets::SubsetExact::default()),
+        _ => return None,
+    })
+}
+
+/// The names [`by_name`] accepts, for error messages.
+pub const ALGORITHM_NAMES: &[&str] = &[
+    "balanced",
+    "r-balanced",
+    "unbalanced",
+    "r-unbalanced",
+    "all-attributes",
+    "subset-exact",
+];
+
 /// Per-partition candidate splits: `(partition index, children)` pairs,
 /// indexed ascending. Children are shared out of the engine's split
 /// cache, never cloned.

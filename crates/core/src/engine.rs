@@ -513,6 +513,29 @@ impl EngineStats {
         self.scratch_reuses += other.scratch_reuses;
         self.warm_starts += other.warm_starts;
     }
+
+    /// The ordered `(name, value)` view of every counter, the single
+    /// source of truth for anything that renders stats (reports, serve
+    /// responses, `EXPLAIN ANALYZE`). Order is the field order above.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 15] {
+        [
+            ("distances_computed", self.distances_computed),
+            ("cache_hits", self.cache_hits),
+            ("cache_bypasses", self.cache_bypasses),
+            ("splits_computed", self.splits_computed),
+            ("split_cache_hits", self.split_cache_hits),
+            ("rows_scanned", self.rows_scanned),
+            ("histograms_built", self.histograms_built),
+            ("cache_evictions", self.cache_evictions),
+            ("split_evictions", self.split_evictions),
+            ("bounds_screened", self.bounds_screened),
+            ("exact_solves", self.exact_solves),
+            ("pool_tasks", self.pool_tasks),
+            ("ground_cache_hits", self.ground_cache_hits),
+            ("scratch_reuses", self.scratch_reuses),
+            ("warm_starts", self.warm_starts),
+        ]
+    }
 }
 
 /// The shared evaluation engine: a fingerprint-keyed distance memo

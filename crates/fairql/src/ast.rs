@@ -1,0 +1,237 @@
+//! The FairQL abstract syntax tree and its canonical pretty-printer.
+//!
+//! The pretty-printer is total and canonical: for every AST the printed
+//! text re-parses to an equal AST (property-tested in
+//! `tests/proptests.rs`). Equality on [`Ident`] ignores source offsets
+//! so a printed-then-reparsed tree compares equal even though its
+//! tokens moved.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// An identifier with the byte offset it was parsed at. Offsets are
+/// carried for error reporting only — they do not participate in
+/// equality or hashing.
+#[derive(Debug, Clone, Eq)]
+pub struct Ident {
+    /// The identifier text.
+    pub text: String,
+    /// Byte offset in the query text (0 for synthesised idents).
+    pub at: usize,
+}
+
+impl Ident {
+    /// An identifier with no source position (for programmatic ASTs).
+    pub fn new(text: impl Into<String>) -> Self {
+        Ident {
+            text: text.into(),
+            at: 0,
+        }
+    }
+}
+
+impl PartialEq for Ident {
+    fn eq(&self, other: &Self) -> bool {
+        self.text == other.text
+    }
+}
+
+impl Hash for Ident {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.text.hash(state);
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// One `attribute = 'value'` equality in a `WHERE` conjunction.
+#[derive(Debug, Clone)]
+pub struct Condition {
+    /// The attribute name.
+    pub attr: Ident,
+    /// The value it must equal (always printed quoted).
+    pub value: String,
+    /// Byte offset of the value token (for analyzer errors).
+    pub value_at: usize,
+}
+
+impl PartialEq for Condition {
+    /// Offset-blind, like [`Ident`]: only the attribute and value
+    /// matter.
+    fn eq(&self, other: &Self) -> bool {
+        self.attr == other.attr && self.value == other.value
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = '{}'", self.attr, self.value)
+    }
+}
+
+/// `AUDIT <source> [WHERE ...] [PROTECT a, b] [USING alg] [METRIC m]
+/// [BINS n]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditStmt {
+    /// The audited source (the session's table, named `workers`).
+    pub source: Ident,
+    /// `WHERE` conjunction (empty = audit everyone).
+    pub filter: Vec<Condition>,
+    /// `PROTECT` attribute list (empty = every splittable protected
+    /// attribute, in schema order).
+    pub protect: Vec<Ident>,
+    /// `USING` algorithm name (session default when absent).
+    pub algorithm: Option<Ident>,
+    /// `METRIC` distance name (session default when absent).
+    pub metric: Option<Ident>,
+    /// `BINS` histogram bin count (session default when absent).
+    pub bins: Option<usize>,
+}
+
+/// One projection item in a `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — every column.
+    Star,
+    /// A plain column reference.
+    Column(Ident),
+    /// `COUNT(*)`.
+    Count,
+    /// `MEAN(col)` over a numeric column.
+    Mean(Ident),
+    /// `MIN(col)` over a numeric column.
+    Min(Ident),
+    /// `MAX(col)` over a numeric column.
+    Max(Ident),
+}
+
+impl SelectItem {
+    /// True for aggregate items (`COUNT`/`MEAN`/`MIN`/`MAX`).
+    pub fn is_aggregate(&self) -> bool {
+        !matches!(self, SelectItem::Star | SelectItem::Column(_))
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Star => f.write_str("*"),
+            SelectItem::Column(c) => write!(f, "{c}"),
+            SelectItem::Count => f.write_str("COUNT(*)"),
+            SelectItem::Mean(c) => write!(f, "MEAN({c})"),
+            SelectItem::Min(c) => write!(f, "MIN({c})"),
+            SelectItem::Max(c) => write!(f, "MAX({c})"),
+        }
+    }
+}
+
+/// `SELECT items FROM <source> [WHERE ...] [GROUP BY col] [LIMIT n]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// The projection list (never empty).
+    pub items: Vec<SelectItem>,
+    /// The source table.
+    pub from: Ident,
+    /// `WHERE` conjunction (empty = all rows).
+    pub filter: Vec<Condition>,
+    /// `GROUP BY` column.
+    pub group_by: Option<Ident>,
+    /// `LIMIT` row cap.
+    pub limit: Option<usize>,
+}
+
+/// A FairQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// An audit.
+    Audit(AuditStmt),
+    /// A row query.
+    Select(SelectStmt),
+    /// `DESCRIBE [column]` — schema and summary statistics.
+    Describe(Option<Ident>),
+    /// `EXPLAIN [ANALYZE] <audit|select>`.
+    Explain {
+        /// When true, execute the inner statement and annotate the plan
+        /// with actual counters.
+        analyze: bool,
+        /// The explained statement (never itself an `EXPLAIN`).
+        inner: Box<Statement>,
+    },
+}
+
+impl fmt::Display for AuditStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AUDIT {}", self.source)?;
+        write_filter(f, &self.filter)?;
+        if !self.protect.is_empty() {
+            f.write_str(" PROTECT ")?;
+            write_list(f, &self.protect)?;
+        }
+        if let Some(a) = &self.algorithm {
+            write!(f, " USING {a}")?;
+        }
+        if let Some(m) = &self.metric {
+            write!(f, " METRIC {m}")?;
+        }
+        if let Some(b) = self.bins {
+            write!(f, " BINS {b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        write_list(f, &self.items)?;
+        write!(f, " FROM {}", self.from)?;
+        write_filter(f, &self.filter)?;
+        if let Some(g) = &self.group_by {
+            write!(f, " GROUP BY {g}")?;
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Audit(a) => write!(f, "{a}"),
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::Describe(None) => f.write_str("DESCRIBE"),
+            Statement::Describe(Some(c)) => write!(f, "DESCRIBE {c}"),
+            Statement::Explain { analyze, inner } => {
+                if *analyze {
+                    write!(f, "EXPLAIN ANALYZE {inner}")
+                } else {
+                    write!(f, "EXPLAIN {inner}")
+                }
+            }
+        }
+    }
+}
+
+fn write_filter(f: &mut fmt::Formatter<'_>, filter: &[Condition]) -> fmt::Result {
+    for (i, cond) in filter.iter().enumerate() {
+        f.write_str(if i == 0 { " WHERE " } else { " AND " })?;
+        write!(f, "{cond}")?;
+    }
+    Ok(())
+}
+
+fn write_list<T: fmt::Display>(f: &mut fmt::Formatter<'_>, items: &[T]) -> fmt::Result {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        write!(f, "{item}")?;
+    }
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Query-pipeline errors.
+
+use std::fmt;
+
+/// An error from any stage of the FairQL pipeline.
+///
+/// Parse-time errors (lexing, parsing, *and* analysis — anything
+/// detectable before touching data) carry the byte offset of the
+/// offending token in the original query text, so clients can point at
+/// the exact spot. Execution errors carry only a message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The query text is malformed or names something the schema does
+    /// not have. `offset` is a byte offset into the query string.
+    Parse {
+        /// Byte offset of the offending token in the query text.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The query was well-formed but running it failed.
+    Exec(String),
+}
+
+impl QueryError {
+    /// Shorthand constructor for parse-class errors.
+    pub fn parse(offset: usize, message: impl Into<String>) -> Self {
+        QueryError::Parse {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            QueryError::Exec(message) => write!(f, "execution error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

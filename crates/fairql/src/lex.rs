@@ -1,0 +1,223 @@
+//! The FairQL lexer: query text → tokens with byte offsets.
+//!
+//! Tokens carry the byte offset they start at so every later stage
+//! (parser *and* analyzer) can report machine-actionable positions —
+//! the serve protocol's `ERR parse <position> <message>` class depends
+//! on this.
+
+use crate::error::QueryError;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text. For [`TokenKind::Str`] this is the *unquoted*
+    /// content.
+    pub text: String,
+    /// Byte offset of the token's first character in the query text.
+    pub at: usize,
+}
+
+/// Token kinds. Keywords are not distinguished here — the parser
+/// matches [`TokenKind::Word`] case-insensitively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword: `[A-Za-z_][A-Za-z0-9_-]*`. Hyphens are
+    /// word characters so metric and algorithm names (`emd-exact`,
+    /// `r-balanced`, `all-attributes`) lex as single words.
+    Word,
+    /// Quoted string literal (single or double quotes, no escapes).
+    Str,
+    /// Unsigned integer literal.
+    Num,
+    /// `,`
+    Comma,
+    /// `=`
+    Equals,
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semicolon,
+}
+
+fn is_word_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_word_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'-'
+}
+
+/// Lex `text` into tokens.
+///
+/// Whitespace separates tokens; `--` starts a comment running to end of
+/// line (a lone `-` only continues a word, it never starts one).
+///
+/// # Errors
+///
+/// [`QueryError::Parse`] on an unterminated string or a character no
+/// token can start with, positioned at the offending byte.
+pub fn lex(text: &str) -> Result<Vec<Token>, QueryError> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == b'-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let at = i;
+        let simple = match c {
+            b',' => Some(TokenKind::Comma),
+            b'=' => Some(TokenKind::Equals),
+            b'*' => Some(TokenKind::Star),
+            b'(' => Some(TokenKind::LParen),
+            b')' => Some(TokenKind::RParen),
+            b';' => Some(TokenKind::Semicolon),
+            _ => None,
+        };
+        if let Some(kind) = simple {
+            tokens.push(Token {
+                kind,
+                text: (c as char).to_string(),
+                at,
+            });
+            i += 1;
+            continue;
+        }
+        if c == b'\'' || c == b'"' {
+            let quote = c;
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] != quote {
+                j += 1;
+            }
+            if j >= bytes.len() {
+                return Err(QueryError::parse(at, "unterminated string literal"));
+            }
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                text: text[i + 1..j].to_string(),
+                at,
+            });
+            i = j + 1;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Num,
+                text: text[i..j].to_string(),
+                at,
+            });
+            i = j;
+            continue;
+        }
+        if is_word_start(c) {
+            let mut j = i;
+            while j < bytes.len() && is_word_char(bytes[j]) {
+                j += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Word,
+                text: text[i..j].to_string(),
+                at,
+            });
+            i = j;
+            continue;
+        }
+        return Err(QueryError::parse(
+            at,
+            format!("unexpected character `{}`", c as char),
+        ));
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<TokenKind> {
+        lex(text).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_numbers_punctuation() {
+        assert_eq!(
+            kinds("AUDIT workers WHERE x = 'y', 10 (*);"),
+            vec![
+                TokenKind::Word,
+                TokenKind::Word,
+                TokenKind::Word,
+                TokenKind::Word,
+                TokenKind::Equals,
+                TokenKind::Str,
+                TokenKind::Comma,
+                TokenKind::Num,
+                TokenKind::LParen,
+                TokenKind::Star,
+                TokenKind::RParen,
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphenated_words_are_single_tokens() {
+        let toks = lex("emd-exact r-balanced all-attributes").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].text, "r-balanced");
+    }
+
+    #[test]
+    fn comments_run_to_end_of_line() {
+        let toks = lex("a -- rest is ignored\nb").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].text, "b");
+        assert_eq!(toks[1].at, 21);
+    }
+
+    #[test]
+    fn offsets_are_byte_positions() {
+        let toks = lex("ab  cd").unwrap();
+        assert_eq!(toks[0].at, 0);
+        assert_eq!(toks[1].at, 4);
+    }
+
+    #[test]
+    fn unterminated_string_reports_open_quote() {
+        let err = lex("x = 'oops").unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::parse(4, "unterminated string literal".to_string())
+        );
+    }
+
+    #[test]
+    fn double_quotes_accepted() {
+        let toks = lex("\"America\"").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Str);
+        assert_eq!(toks[0].text, "America");
+    }
+
+    #[test]
+    fn stray_character_rejected_with_offset() {
+        let err = lex("a ? b").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { offset: 2, .. }));
+    }
+}

@@ -1,0 +1,67 @@
+//! The logical plan: what to compute, free of access-path choices.
+//!
+//! The logical layer is deliberately thin — FairQL's statements are
+//! simple enough that each maps to a two-node tree — but it is a real
+//! stage: the physical planner consumes *this*, never the AST, so
+//! access-path decisions (index vs full scan, screen selection) stay
+//! isolated from name resolution.
+
+use crate::analyze::{Analyzed, AnalyzedAudit, OutItem};
+use fairjob_store::Predicate;
+
+/// A logical plan node.
+#[derive(Debug, Clone)]
+pub enum LogicalPlan {
+    /// Produce the rows matching `filter` (⊤ = the whole live
+    /// population).
+    Scan {
+        /// The compiled `WHERE` conjunction.
+        filter: Predicate,
+    },
+    /// Run a partitioning-search audit over the input rows.
+    Audit {
+        /// The scanned input.
+        input: Box<LogicalPlan>,
+        /// The resolved audit spec.
+        audit: AnalyzedAudit,
+    },
+    /// Project columns / compute aggregates over the input rows.
+    Project {
+        /// The scanned input.
+        input: Box<LogicalPlan>,
+        /// Output items.
+        items: Vec<OutItem>,
+        /// Optional grouping column.
+        group_by: Option<usize>,
+        /// Optional output-row cap.
+        limit: Option<usize>,
+    },
+    /// Schema + summary statistics.
+    Describe {
+        /// Restrict to one column.
+        attr: Option<usize>,
+    },
+}
+
+/// Lower a resolved statement to a logical plan. `EXPLAIN` is not a
+/// plan node — the session unwraps it and renders the inner plan.
+pub fn build(analyzed: &Analyzed) -> LogicalPlan {
+    match analyzed {
+        Analyzed::Audit(a) => LogicalPlan::Audit {
+            input: Box::new(LogicalPlan::Scan {
+                filter: a.filter.clone(),
+            }),
+            audit: a.clone(),
+        },
+        Analyzed::Select(s) => LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Scan {
+                filter: s.filter.clone(),
+            }),
+            items: s.items.clone(),
+            group_by: s.group_by,
+            limit: s.limit,
+        },
+        Analyzed::Describe(attr) => LogicalPlan::Describe { attr: *attr },
+        Analyzed::Explain { inner, .. } => build(inner),
+    }
+}

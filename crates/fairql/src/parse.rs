@@ -1,0 +1,372 @@
+//! The FairQL recursive-descent parser: tokens → [`Statement`]s.
+//!
+//! Keywords are case-insensitive; identifiers are case-sensitive.
+//! Statements are separated by `;` (a trailing one is allowed). Every
+//! error carries the byte offset of the token it tripped on.
+
+use crate::ast::{AuditStmt, Condition, Ident, SelectItem, SelectStmt, Statement};
+use crate::error::QueryError;
+use crate::lex::{lex, Token, TokenKind};
+
+/// Parse a FairQL script (one or more `;`-separated statements).
+///
+/// # Errors
+///
+/// [`QueryError::Parse`] with the byte offset of the offending token.
+pub fn parse(text: &str) -> Result<Vec<Statement>, QueryError> {
+    let tokens = lex(text)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        end: text.len(),
+    };
+    let mut statements = Vec::new();
+    loop {
+        while parser.eat_kind(TokenKind::Semicolon) {}
+        if parser.peek().is_none() {
+            break;
+        }
+        statements.push(parser.statement()?);
+        if parser.peek().is_some() {
+            parser.expect_kind(TokenKind::Semicolon, "`;` between statements")?;
+        }
+    }
+    if statements.is_empty() {
+        return Err(QueryError::parse(0, "empty query"));
+    }
+    Ok(statements)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Byte length of the source, used as the offset for
+    /// unexpected-end-of-input errors.
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn here(&self) -> usize {
+        self.peek().map_or(self.end, |t| t.at)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let tok = self.tokens.get(self.pos).cloned();
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    /// Consume the next token if it is the given keyword
+    /// (case-insensitive).
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        let matches = self
+            .peek()
+            .is_some_and(|t| t.kind == TokenKind::Word && t.text.eq_ignore_ascii_case(kw));
+        if matches {
+            self.pos += 1;
+        }
+        matches
+    }
+
+    fn eat_kind(&mut self, kind: TokenKind) -> bool {
+        let matches = self.peek().is_some_and(|t| t.kind == kind);
+        if matches {
+            self.pos += 1;
+        }
+        matches
+    }
+
+    fn expect_kind(&mut self, kind: TokenKind, what: &str) -> Result<Token, QueryError> {
+        match self.peek() {
+            Some(t) if t.kind == kind => Ok(self.advance().expect("peeked")),
+            Some(t) => Err(QueryError::parse(
+                t.at,
+                format!("expected {what}, found `{}`", t.text),
+            )),
+            None => Err(QueryError::parse(
+                self.end,
+                format!("expected {what}, found end of query"),
+            )),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), QueryError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("`{kw}`")))
+        }
+    }
+
+    fn unexpected(&self, what: &str) -> QueryError {
+        match self.peek() {
+            Some(t) => QueryError::parse(t.at, format!("expected {what}, found `{}`", t.text)),
+            None => QueryError::parse(self.end, format!("expected {what}, found end of query")),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<Ident, QueryError> {
+        let tok = self.expect_kind(TokenKind::Word, what)?;
+        Ok(Ident {
+            text: tok.text,
+            at: tok.at,
+        })
+    }
+
+    fn number(&mut self, what: &str) -> Result<usize, QueryError> {
+        let tok = self.expect_kind(TokenKind::Num, what)?;
+        tok.text
+            .parse()
+            .map_err(|_| QueryError::parse(tok.at, format!("number `{}` out of range", tok.text)))
+    }
+
+    fn statement(&mut self) -> Result<Statement, QueryError> {
+        if self.eat_keyword("EXPLAIN") {
+            let analyze = self.eat_keyword("ANALYZE");
+            let at = self.here();
+            let inner = self.statement()?;
+            if matches!(inner, Statement::Explain { .. }) {
+                return Err(QueryError::parse(at, "EXPLAIN cannot be nested"));
+            }
+            return Ok(Statement::Explain {
+                analyze,
+                inner: Box::new(inner),
+            });
+        }
+        if self.eat_keyword("AUDIT") {
+            return self.audit();
+        }
+        if self.eat_keyword("SELECT") {
+            return self.select();
+        }
+        if self.eat_keyword("DESCRIBE") {
+            let column = match self.peek() {
+                Some(t) if t.kind == TokenKind::Word => Some(self.ident("column")?),
+                _ => None,
+            };
+            return Ok(Statement::Describe(column));
+        }
+        Err(self.unexpected("`AUDIT`, `SELECT`, `DESCRIBE` or `EXPLAIN`"))
+    }
+
+    fn filter(&mut self) -> Result<Vec<Condition>, QueryError> {
+        let mut conditions = Vec::new();
+        if !self.eat_keyword("WHERE") {
+            return Ok(conditions);
+        }
+        loop {
+            let attr = self.ident("attribute name")?;
+            self.expect_kind(TokenKind::Equals, "`=`")?;
+            let value = match self.peek() {
+                Some(t) if matches!(t.kind, TokenKind::Str | TokenKind::Word | TokenKind::Num) => {
+                    self.advance().expect("peeked")
+                }
+                _ => return Err(self.unexpected("a value")),
+            };
+            conditions.push(Condition {
+                attr,
+                value: value.text,
+                value_at: value.at,
+            });
+            if !self.eat_keyword("AND") {
+                break;
+            }
+        }
+        Ok(conditions)
+    }
+
+    fn audit(&mut self) -> Result<Statement, QueryError> {
+        let source = self.ident("source name")?;
+        let filter = self.filter()?;
+        let mut protect = Vec::new();
+        if self.eat_keyword("PROTECT") {
+            loop {
+                protect.push(self.ident("protected attribute")?);
+                if !self.eat_kind(TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let algorithm = if self.eat_keyword("USING") {
+            Some(self.ident("algorithm name")?)
+        } else {
+            None
+        };
+        let metric = if self.eat_keyword("METRIC") {
+            Some(self.ident("metric name")?)
+        } else {
+            None
+        };
+        let bins = if self.eat_keyword("BINS") {
+            Some(self.number("bin count")?)
+        } else {
+            None
+        };
+        Ok(Statement::Audit(AuditStmt {
+            source,
+            filter,
+            protect,
+            algorithm,
+            metric,
+            bins,
+        }))
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, QueryError> {
+        if self.eat_kind(TokenKind::Star) {
+            return Ok(SelectItem::Star);
+        }
+        let name = self.ident("a column or aggregate")?;
+        // `word(` is an aggregate call; a bare word is a column.
+        if !self.peek().is_some_and(|t| t.kind == TokenKind::LParen) {
+            return Ok(SelectItem::Column(name));
+        }
+        self.expect_kind(TokenKind::LParen, "`(`")?;
+        let item = if name.text.eq_ignore_ascii_case("COUNT") {
+            self.expect_kind(TokenKind::Star, "`*`")?;
+            SelectItem::Count
+        } else {
+            let arg = self.ident("column name")?;
+            match name.text.to_ascii_uppercase().as_str() {
+                "MEAN" => SelectItem::Mean(arg),
+                "MIN" => SelectItem::Min(arg),
+                "MAX" => SelectItem::Max(arg),
+                _ => {
+                    return Err(QueryError::parse(
+                        name.at,
+                        format!(
+                            "unknown aggregate `{}` (COUNT | MEAN | MIN | MAX)",
+                            name.text
+                        ),
+                    ))
+                }
+            }
+        };
+        self.expect_kind(TokenKind::RParen, "`)`")?;
+        Ok(item)
+    }
+
+    fn select(&mut self) -> Result<Statement, QueryError> {
+        let mut items = vec![self.select_item()?];
+        while self.eat_kind(TokenKind::Comma) {
+            items.push(self.select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let from = self.ident("source name")?;
+        let filter = self.filter()?;
+        let group_by = if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            Some(self.ident("grouping column")?)
+        } else {
+            None
+        };
+        let limit = if self.eat_keyword("LIMIT") {
+            Some(self.number("row limit")?)
+        } else {
+            None
+        };
+        Ok(Statement::Select(SelectStmt {
+            items,
+            from,
+            filter,
+            group_by,
+            limit,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(text: &str) -> Statement {
+        let mut stmts = parse(text).unwrap();
+        assert_eq!(stmts.len(), 1);
+        stmts.pop().unwrap()
+    }
+
+    #[test]
+    fn parses_full_audit() {
+        let s = one("AUDIT workers WHERE country = 'America' AND gender = Male \
+             PROTECT gender, country USING unbalanced METRIC emd-exact BINS 8");
+        let Statement::Audit(a) = s else {
+            panic!("not an audit")
+        };
+        assert_eq!(a.filter.len(), 2);
+        assert_eq!(a.filter[1].value, "Male");
+        assert_eq!(a.protect.len(), 2);
+        assert_eq!(a.algorithm.as_ref().unwrap().text, "unbalanced");
+        assert_eq!(a.metric.as_ref().unwrap().text, "emd-exact");
+        assert_eq!(a.bins, Some(8));
+    }
+
+    #[test]
+    fn parses_select_with_aggregates() {
+        let s = one("SELECT gender, COUNT(*), MEAN(approval_rate) FROM workers GROUP BY gender");
+        let Statement::Select(sel) = s else {
+            panic!("not a select")
+        };
+        assert_eq!(sel.items.len(), 3);
+        assert!(sel.items[1].is_aggregate());
+        assert_eq!(sel.group_by.as_ref().unwrap().text, "gender");
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let a = one("audit workers where gender = 'Male'");
+        let b = one("AUDIT workers WHERE gender = 'Male'");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explain_analyze_wraps_statement() {
+        let s = one("EXPLAIN ANALYZE AUDIT workers");
+        assert!(matches!(s, Statement::Explain { analyze: true, .. }));
+    }
+
+    #[test]
+    fn explain_cannot_nest() {
+        assert!(matches!(
+            parse("EXPLAIN EXPLAIN AUDIT workers"),
+            Err(QueryError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_statements_split_on_semicolons() {
+        let stmts = parse("DESCRIBE; AUDIT workers;").unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn error_offset_points_at_bad_token() {
+        let err = parse("AUDIT workers BOGUS x").unwrap_err();
+        assert!(
+            matches!(err, QueryError::Parse { offset: 14, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn eof_errors_use_text_length() {
+        let err = parse("SELECT gender FROM").unwrap_err();
+        assert!(
+            matches!(err, QueryError::Parse { offset: 18, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let text = "AUDIT workers WHERE country = 'America' PROTECT gender USING balanced METRIC emd BINS 10";
+        let stmt = one(text);
+        assert_eq!(stmt.to_string(), text);
+        assert_eq!(one(&stmt.to_string()), stmt);
+    }
+}

@@ -1,0 +1,152 @@
+//! Typed query results.
+
+use fairjob_core::EngineStats;
+use std::fmt;
+
+/// One cell of a result row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent (e.g. `mean` over an empty group).
+    Null,
+    /// A string (categorical labels, partition predicates, names).
+    Str(String),
+    /// An integer (counts, sizes, integer columns).
+    Int(i64),
+    /// A float. Rendered with Rust's shortest round-trip formatting so
+    /// the wire form is lossless and deterministic.
+    Float(f64),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str(""),
+            Value::Str(s) => f.write_str(s),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// A typed result table: column headers plus rows of [`Value`]s.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows; every row has `columns.len()` cells.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    /// Render as tab-separated text: one header line, one line per row.
+    pub fn render(&self) -> String {
+        let mut out = self.columns.join("\t");
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(Value::to_string).collect();
+            out.push_str(&cells.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Headline numbers of an executed `AUDIT`.
+#[derive(Debug, Clone)]
+pub struct AuditSummary {
+    /// Algorithm that ran (its own reported name).
+    pub algorithm: String,
+    /// Metric name as resolved by the planner (query spelling).
+    pub metric: String,
+    /// Histogram bin count used.
+    pub bins: usize,
+    /// Rows audited (after the `WHERE` filter).
+    pub population: usize,
+    /// Source epoch (0 for batch sources).
+    pub epoch: u64,
+    /// Partitions in the winning partitioning.
+    pub partitions: usize,
+    /// `unfairness(P, f)` of the winner.
+    pub unfairness: f64,
+    /// Candidate partitionings the algorithm evaluated.
+    pub candidates_evaluated: usize,
+    /// Wall-clock microseconds of the audit run.
+    pub elapsed_us: u128,
+    /// Evaluation-engine counters for the run.
+    pub engine: EngineStats,
+}
+
+impl AuditSummary {
+    /// The unfairness value's IEEE-754 bit pattern — the
+    /// bit-exactness token used across the CLI, serve protocol, and
+    /// tests.
+    pub fn unfairness_bits(&self) -> u64 {
+        self.unfairness.to_bits()
+    }
+
+    /// One-line `key=value` rendering (same keys as the serve
+    /// protocol's audit responses, plus the engine counters).
+    pub fn render_line(&self) -> String {
+        let mut out = format!(
+            "audit algorithm={} metric={} bins={} population={} epoch={} partitions={} \
+             unfairness={} unfairness_bits={:016x} candidates={} elapsed_us={}",
+            self.algorithm,
+            self.metric,
+            self.bins,
+            self.population,
+            self.epoch,
+            self.partitions,
+            self.unfairness,
+            self.unfairness_bits(),
+            self.candidates_evaluated,
+            self.elapsed_us,
+        );
+        for (name, value) in self.engine.as_pairs() {
+            out.push_str(&format!(" {name}={value}"));
+        }
+        out
+    }
+}
+
+/// The output of one executed statement.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // outputs are few and short-lived
+pub enum QueryOutput {
+    /// A row query (`SELECT`, `DESCRIBE`).
+    Rows(QueryResult),
+    /// An audit: headline summary plus one row per partition.
+    Audit {
+        /// Headline numbers and engine counters.
+        summary: AuditSummary,
+        /// One row per partition of the winning partitioning
+        /// (`partition`, `size`).
+        rows: QueryResult,
+    },
+    /// An `EXPLAIN [ANALYZE]` plan rendering.
+    Explain {
+        /// The plan tree text.
+        text: String,
+    },
+}
+
+impl QueryOutput {
+    /// Render for humans / the wire.
+    pub fn render(&self) -> String {
+        match self {
+            QueryOutput::Rows(rows) => rows.render(),
+            QueryOutput::Audit { summary, rows } => {
+                format!("{}\n{}", summary.render_line(), rows.render())
+            }
+            QueryOutput::Explain { text } => text.clone(),
+        }
+    }
+
+    /// The result table (partition rows for audits; empty for
+    /// `EXPLAIN`).
+    pub fn result(&self) -> Option<&QueryResult> {
+        match self {
+            QueryOutput::Rows(rows) | QueryOutput::Audit { rows, .. } => Some(rows),
+            QueryOutput::Explain { .. } => None,
+        }
+    }
+}

@@ -523,6 +523,27 @@ impl HistogramDistance for ChiSquare {
     }
 }
 
+/// Resolve a metric by its short CLI/query name. These are the stable
+/// user-facing spellings (`tv`, not `total-variation`); `None` means the
+/// name is unknown. The accepted set matches `fairjob audit --metric`.
+pub fn by_name(name: &str) -> Option<std::sync::Arc<dyn HistogramDistance>> {
+    Some(match name {
+        "emd" => std::sync::Arc::new(Emd1d),
+        "emd-exact" => std::sync::Arc::new(EmdExact {
+            solver: Solver::Flow,
+        }),
+        "tv" => std::sync::Arc::new(TotalVariation),
+        "ks" => std::sync::Arc::new(KolmogorovSmirnov),
+        "jsd" => std::sync::Arc::new(JensenShannon),
+        "hellinger" => std::sync::Arc::new(Hellinger),
+        "chi2" => std::sync::Arc::new(ChiSquare),
+        _ => return None,
+    })
+}
+
+/// The names [`by_name`] accepts, for error messages.
+pub const METRIC_NAMES: &[&str] = &["emd", "emd-exact", "tv", "ks", "jsd", "hellinger", "chi2"];
+
 /// All bounded symmetric distances, for metric-sweep ablations.
 pub fn all_symmetric_distances() -> Vec<Box<dyn HistogramDistance>> {
     vec![

@@ -84,6 +84,34 @@ impl ServeClient {
         self.request("AUDIT")
     }
 
+    /// Run FairQL statement text (one line; `;`-separate statements)
+    /// against the published snapshot. Returns the `OK results=…
+    /// lines=…` header and the payload lines that follow it.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::request`]; FairQL errors surface as
+    /// [`ServeError::Protocol`] carrying the server's
+    /// `ERR parse <offset> <message>` or `ERR query <message>` line.
+    pub fn query(&mut self, text: &str) -> Result<(String, Vec<String>), ServeError> {
+        let header = self.request(&format!("QUERY {text}"))?;
+        let count: usize = protocol::kv(&header, "lines")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ServeError::Protocol(format!("malformed QUERY header `{header}`")))?;
+        let mut lines = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(ServeError::Protocol(
+                    "server closed the connection mid-payload".to_string(),
+                ));
+            }
+            lines.push(line.trim_end().to_string());
+        }
+        Ok((header, lines))
+    }
+
     /// Append one epoch of `events` (writer sessions only).
     ///
     /// # Errors

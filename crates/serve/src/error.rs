@@ -34,6 +34,17 @@ pub enum ServeError {
     WriterPoisoned,
     /// A malformed request line or epoch payload.
     Protocol(String),
+    /// A FairQL parse or analysis failure; `position` is the byte
+    /// offset in the query text. Renders as
+    /// `ERR parse <position> <message>`.
+    Parse {
+        /// Byte offset of the offending token in the query text.
+        position: usize,
+        /// What went wrong there.
+        message: String,
+    },
+    /// A FairQL execution failure (the query was well-formed).
+    Query(String),
     /// The server is draining; no new work is admitted.
     ShuttingDown,
     /// Underlying stream-layer failure (event application, snapshots).
@@ -51,6 +62,8 @@ impl ServeError {
             ServeError::WriterBusy { .. } => "writer-busy",
             ServeError::WriterPoisoned => "writer-poisoned",
             ServeError::Protocol(_) => "usage",
+            ServeError::Parse { .. } => "parse",
+            ServeError::Query(_) => "query",
             ServeError::ShuttingDown => "shutting-down",
             ServeError::Stream(_) => "stream",
             ServeError::Audit(_) => "audit",
@@ -75,6 +88,8 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::Protocol(msg) => write!(f, "{msg}"),
+            ServeError::Parse { position, message } => write!(f, "{position} {message}"),
+            ServeError::Query(msg) => write!(f, "{msg}"),
             ServeError::ShuttingDown => write!(f, "server is draining"),
             ServeError::Stream(e) => write!(f, "stream: {e}"),
             ServeError::Audit(e) => write!(f, "audit: {e}"),

@@ -15,6 +15,10 @@
 //!   [`fairjob_stream::StreamSnapshot`] (`AUDIT`), never blocking
 //!   ingest and never observing a half-applied epoch — results are
 //!   bit-identical to a cold offline audit of the same epoch;
+//! - `QUERY <fairql>` runs FairQL statements (`AUDIT`/`SELECT`/
+//!   `DESCRIBE`/`EXPLAIN`) against the published snapshot, with FairQL
+//!   caches held per session and parse failures answered as
+//!   `ERR parse <byte-offset> <message>`;
 //! - [`AdmissionGate`] bounds in-flight audits with a typed
 //!   `ERR overloaded` rejection instead of unbounded queueing;
 //! - `METRICS`/`HEALTH` expose server counters and

@@ -8,6 +8,7 @@
 //! | request            | meaning                                              |
 //! |--------------------|------------------------------------------------------|
 //! | `AUDIT`            | run the configured audit on the published snapshot   |
+//! | `QUERY <fairql>`   | run FairQL statements against the published snapshot; multi-line framed response (`OK results=… lines=n` + `n` payload lines) |
 //! | `EPOCH <k>`        | writer-only: apply the next `k` event record lines as one epoch, re-audit warm, publish the new snapshot |
 //! | `METRICS`          | server-wide counters (sessions, audits, `EngineStats` totals, epoch lag, pool spawns) |
 //! | `HEALTH`           | liveness probe: epoch, live rows, admission state    |
@@ -33,6 +34,10 @@ pub const PROTOCOL_HEADER: &str = "fairjob-serve v1";
 pub enum Request {
     /// Run an audit against the currently published snapshot.
     Audit,
+    /// Run FairQL statement text against the published snapshot. A
+    /// FairQL parse/analysis failure answers
+    /// `ERR parse <byte-offset> <message>`.
+    Query(String),
     /// Apply one epoch; the operand is the number of event record lines
     /// that follow the request line.
     Epoch(usize),
@@ -57,6 +62,18 @@ impl Request {
     ///
     /// A human-readable reason for unknown verbs or malformed operands.
     pub fn parse(line: &str) -> Result<Request, String> {
+        // QUERY carries free-form statement text (spaces, quotes, `;`):
+        // split off the verb only, before the whitespace tokenisation
+        // that every other verb goes through.
+        let trimmed = line.trim();
+        let verb_end = trimmed.find(char::is_whitespace).unwrap_or(trimmed.len());
+        if trimmed[..verb_end].eq_ignore_ascii_case("QUERY") {
+            let text = trimmed[verb_end..].trim();
+            if text.is_empty() {
+                return Err("QUERY needs statement text".to_string());
+            }
+            return Ok(Request::Query(text.to_string()));
+        }
         let mut parts = line.split_whitespace();
         let verb = parts.next().unwrap_or("");
         let arg = parts.next();
@@ -144,6 +161,16 @@ mod tests {
     fn parses_every_verb() {
         assert_eq!(Request::parse("AUDIT"), Ok(Request::Audit));
         assert_eq!(Request::parse("audit"), Ok(Request::Audit));
+        assert_eq!(
+            Request::parse("QUERY AUDIT workers WHERE country = 'India'; DESCRIBE"),
+            Ok(Request::Query(
+                "AUDIT workers WHERE country = 'India'; DESCRIBE".to_string()
+            ))
+        );
+        assert_eq!(
+            Request::parse("query SELECT * FROM workers"),
+            Ok(Request::Query("SELECT * FROM workers".to_string()))
+        );
         assert_eq!(Request::parse("EPOCH 12"), Ok(Request::Epoch(12)));
         assert_eq!(Request::parse("METRICS"), Ok(Request::Metrics));
         assert_eq!(Request::parse("HEALTH"), Ok(Request::Health));
@@ -161,6 +188,8 @@ mod tests {
         assert!(Request::parse("EPOCH twelve").is_err());
         assert!(Request::parse("AUDIT now").is_err());
         assert!(Request::parse("EPOCH 3 4").is_err());
+        assert!(Request::parse("QUERY").is_err());
+        assert!(Request::parse("QUERY   ").is_err());
     }
 
     #[test]

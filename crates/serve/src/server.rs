@@ -30,6 +30,7 @@ use crate::protocol::{self, Request, PROTOCOL_HEADER};
 use fairjob_core::algorithms::Algorithm;
 use fairjob_core::pool::WorkerPool;
 use fairjob_core::{AuditConfig, EngineStats};
+use fairjob_fairql::{Defaults, QueryError, QueryOutput, Session, Source, WarmCache};
 use fairjob_stream::{StreamAuditor, StreamSnapshot, StreamView};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -52,6 +53,9 @@ pub struct ServeConfig {
     pub max_sessions: Option<u64>,
     /// How often a blocked session read re-checks the drain flag.
     pub poll_interval: Duration,
+    /// Seed handed to `QUERY` sessions for randomised algorithms named
+    /// in `USING` clauses (the CLI threads its `--seed` through).
+    pub seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +65,7 @@ impl Default for ServeConfig {
             max_inflight: 4,
             max_sessions: None,
             poll_interval: Duration::from_millis(100),
+            seed: 0xBEEF,
         }
     }
 }
@@ -71,6 +76,7 @@ struct Metrics {
     sessions_opened: AtomicU64,
     audits_ok: AtomicU64,
     audits_rejected: AtomicU64,
+    queries_ok: AtomicU64,
     epochs_applied: AtomicU64,
     errors: AtomicU64,
     /// Worst observed audit staleness: published epoch at audit
@@ -99,6 +105,7 @@ struct Shared {
     metrics: Metrics,
     shutdown: AtomicBool,
     poll_interval: Duration,
+    seed: u64,
     addr: SocketAddr,
 }
 
@@ -161,6 +168,7 @@ impl Server {
             metrics: Metrics::default(),
             shutdown: AtomicBool::new(false),
             poll_interval: serve.poll_interval,
+            seed: serve.seed,
             addr,
         });
         let accept = {
@@ -292,6 +300,7 @@ struct SessionStats {
     requests: u64,
     audits: u64,
     epochs: u64,
+    queries: u64,
     errors: u64,
 }
 
@@ -316,13 +325,17 @@ fn session_inner(shared: &Arc<Shared>, stream: TcpStream, id: u64) -> Result<(),
     out.flush()?;
     let mut lines = LineReader::new(stream);
     let mut stats = SessionStats::default();
+    // FairQL caches survive across this session's QUERY requests, so a
+    // repeated audit query reuses the previous run's split/distance
+    // caches (invalidated automatically when the snapshot moves on).
+    let mut warm = WarmCache::default();
     while let Some(line) = lines.next_line(|| shared.draining())? {
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
         stats.requests += 1;
-        let (response, close) = handle(shared, id, &mut lines, line, &mut stats);
+        let (response, close) = handle(shared, id, &mut lines, line, &mut stats, &mut warm);
         out.write_all(response.as_bytes())?;
         out.write_all(b"\n")?;
         out.flush()?;
@@ -345,6 +358,7 @@ fn handle(
     lines: &mut LineReader,
     line: &str,
     stats: &mut SessionStats,
+    warm: &mut WarmCache,
 ) -> (String, bool) {
     let request = match Request::parse(line) {
         Ok(request) => request,
@@ -363,6 +377,13 @@ fn handle(
             }
             Err(e) => (err_line(shared, stats, &e), false),
         },
+        Request::Query(text) => match do_query(shared, warm, &text) {
+            Ok(response) => {
+                stats.queries += 1;
+                (response, false)
+            }
+            Err(e) => (err_line(shared, stats, &e), false),
+        },
         Request::Epoch(count) => match do_epoch(shared, id, lines, count) {
             Ok(response) => {
                 stats.epochs += 1;
@@ -377,8 +398,8 @@ fn handle(
         Request::Health => (render_health(shared), false),
         Request::Stats => (
             format!(
-                "OK requests={} audits={} epochs={} errors={}",
-                stats.requests, stats.audits, stats.epochs, stats.errors
+                "OK requests={} audits={} epochs={} queries={} errors={}",
+                stats.requests, stats.audits, stats.epochs, stats.queries, stats.errors
             ),
             false,
         ),
@@ -424,6 +445,70 @@ fn do_audit(shared: &Shared) -> Result<String, ServeError> {
         elapsed.as_micros(),
         lag,
     ))
+}
+
+fn map_query_error(e: QueryError) -> ServeError {
+    match e {
+        QueryError::Parse { offset, message } => ServeError::Parse {
+            position: offset,
+            message,
+        },
+        QueryError::Exec(message) => ServeError::Query(message),
+    }
+}
+
+fn do_query(shared: &Shared, warm: &mut WarmCache, text: &str) -> Result<String, ServeError> {
+    if shared.draining() {
+        return Err(ServeError::ShuttingDown);
+    }
+    // Queries can run audits, so they draw from the same admission
+    // budget as the AUDIT verb.
+    let _permit = shared.gate.try_acquire().inspect_err(|_| {
+        shared
+            .metrics
+            .audits_rejected
+            .fetch_add(1, Ordering::SeqCst);
+    })?;
+    let snapshot = shared.published();
+    let defaults = Defaults {
+        algorithm: Arc::clone(&shared.algorithm),
+        metric: Arc::clone(&shared.config.distance),
+        bins: shared.config.bins,
+        seed: shared.seed,
+        threads: shared.config.threads,
+        min_partition_size: shared.config.min_partition_size,
+    };
+    let mut session = Session::new(Source::Snapshot(&snapshot), defaults)
+        .map_err(map_query_error)?
+        .with_warm(std::mem::take(warm));
+    let executed = session.execute(text);
+    // Hand the caches back before error mapping so a failed statement
+    // in a script doesn't throw away warmth earlier statements built.
+    let outputs = match executed {
+        Ok(outputs) => {
+            *warm = session.into_warm();
+            outputs
+        }
+        Err(e) => {
+            *warm = session.into_warm();
+            return Err(map_query_error(e));
+        }
+    };
+    let mut payload: Vec<String> = Vec::new();
+    for output in &outputs {
+        if let QueryOutput::Audit { summary, .. } = output {
+            lock_ignore_poison(&shared.metrics.engine).merge(&summary.engine);
+            shared.metrics.audits_ok.fetch_add(1, Ordering::SeqCst);
+        }
+        payload.extend(output.render().lines().map(str::to_string));
+    }
+    shared.metrics.queries_ok.fetch_add(1, Ordering::SeqCst);
+    let mut response = format!("OK results={} lines={}", outputs.len(), payload.len());
+    for line in &payload {
+        response.push('\n');
+        response.push_str(line);
+    }
+    Ok(response)
 }
 
 fn do_epoch(
@@ -504,13 +589,14 @@ fn render_metrics(shared: &Shared) -> String {
     let engine = *lock_ignore_poison(&shared.metrics.engine);
     let m = &shared.metrics;
     format!(
-        "OK sessions={} audits_ok={} audits_rejected={} epochs_applied={} errors={} \
-         max_epoch_lag={} epoch={} live={} pool_threads={} distances_computed={} \
+        "OK sessions={} audits_ok={} audits_rejected={} queries_ok={} epochs_applied={} \
+         errors={} max_epoch_lag={} epoch={} live={} pool_threads={} distances_computed={} \
          cache_hits={} rows_scanned={} bounds_screened={} exact_solves={} pool_tasks={} \
          ground_cache_hits={} scratch_reuses={} warm_starts={}",
         m.sessions_opened.load(Ordering::SeqCst),
         m.audits_ok.load(Ordering::SeqCst),
         m.audits_rejected.load(Ordering::SeqCst),
+        m.queries_ok.load(Ordering::SeqCst),
         m.epochs_applied.load(Ordering::SeqCst),
         m.errors.load(Ordering::SeqCst),
         m.max_epoch_lag.load(Ordering::SeqCst),

@@ -341,3 +341,110 @@ fn max_sessions_bounds_the_accept_loop() {
     }
     assert_eq!(server.join().unwrap(), 2);
 }
+
+#[test]
+fn query_audit_is_bit_identical_to_the_audit_verb() {
+    let scn = scenario(90, 0, 31);
+    let server = start(&scn, ServeConfig::default());
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    let audit = client.audit().unwrap();
+    let bits = protocol::kv(&audit, "unfairness_bits").unwrap().to_string();
+
+    let (header, lines) = client.query("AUDIT workers").unwrap();
+    assert_eq!(protocol::kv(&header, "results"), Some("1"));
+    assert_eq!(
+        protocol::kv(&lines[0], "unfairness_bits"),
+        Some(bits.as_str()),
+        "QUERY audit diverged from the AUDIT verb:\n{}",
+        lines.join("\n")
+    );
+
+    // A repeated audit in the same session reuses the warm FairQL
+    // caches without changing the answer.
+    let (_, warm_lines) = client.query("AUDIT workers").unwrap();
+    assert_eq!(
+        protocol::kv(&warm_lines[0], "unfairness_bits"),
+        Some(bits.as_str())
+    );
+    assert_eq!(protocol::kv(&warm_lines[0], "splits_computed"), Some("0"));
+
+    client.quit();
+    server.shutdown();
+    server.join().unwrap();
+}
+
+#[test]
+fn query_explain_analyze_reports_the_cold_runs_counters() {
+    let scn = scenario(80, 0, 37);
+    // The ground truth: a cold audit through the exact path the server
+    // uses for the AUDIT verb.
+    let snapshot = scn.view.snapshot();
+    let ctx = snapshot.context(config()).unwrap();
+    let expected = algorithm().run(&ctx).unwrap();
+
+    let server = start(&scn, ServeConfig::default());
+    // A fresh session, so the query runs against cold caches.
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    let (_, lines) = client.query("EXPLAIN ANALYZE AUDIT workers").unwrap();
+    let text = lines.join("\n");
+    assert!(
+        text.contains(&format!(
+            "unfairness_bits={:016x}",
+            expected.unfairness.to_bits()
+        )),
+        "bits missing from plan:\n{text}"
+    );
+    for (name, value) in expected.engine.as_pairs() {
+        assert!(
+            text.contains(&format!(" {name}={value}")),
+            "{name}={value} missing from plan:\n{text}"
+        );
+    }
+    client.quit();
+    server.shutdown();
+    server.join().unwrap();
+}
+
+#[test]
+fn query_parse_errors_carry_byte_offsets() {
+    let scn = scenario(40, 0, 41);
+    let server = start(&scn, ServeConfig::default());
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    let err = client.query("FROB workers").unwrap_err();
+    assert!(err.to_string().starts_with("ERR parse 0 "), "got: {err}");
+
+    // The offset is relative to the query text, pointing at the
+    // offending value token.
+    let err = client
+        .query("AUDIT workers WHERE gender = 'Robot'")
+        .unwrap_err();
+    assert!(err.to_string().starts_with("ERR parse 29 "), "got: {err}");
+
+    client.quit();
+    server.shutdown();
+    server.join().unwrap();
+}
+
+#[test]
+fn stats_count_queries_served() {
+    let scn = scenario(50, 0, 43);
+    let server = start(&scn, ServeConfig::default());
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    client.query("DESCRIBE").unwrap();
+    client.query("SELECT COUNT(*) FROM workers").unwrap();
+    let _ = client.query("FROB").unwrap_err(); // errors are not served queries
+
+    let stats = client.request("STATS").unwrap();
+    assert_eq!(protocol::kv(&stats, "queries"), Some("2"));
+    assert_eq!(protocol::kv(&stats, "errors"), Some("1"));
+
+    let metrics = client.request("METRICS").unwrap();
+    assert_eq!(protocol::kv(&metrics, "queries_ok"), Some("2"));
+
+    client.quit();
+    server.shutdown();
+    server.join().unwrap();
+}

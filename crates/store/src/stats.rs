@@ -83,7 +83,32 @@ fn numeric_summary(values: impl Iterator<Item = f64> + Clone) -> ColumnSummary {
     }
 }
 
+/// Domain cardinality and number of distinct values actually present
+/// for a categorical column. The present count is the number of
+/// children a split on this attribute yields (its *bin count*), which
+/// is what the query analyzer costs audit candidates with. `None` for
+/// non-categorical columns.
+pub fn cardinality_present(table: &Table, attr: usize) -> Option<(usize, usize)> {
+    let Column::Categorical(codes) = table.column(attr) else {
+        return None;
+    };
+    let cardinality = table
+        .schema()
+        .attribute(attr)
+        .cardinality()
+        .expect("categorical has cardinality");
+    let mut seen = vec![false; cardinality];
+    for &c in codes {
+        seen[c as usize] = true;
+    }
+    Some((cardinality, seen.iter().filter(|&&s| s).count()))
+}
+
 /// Render a full-table description: one block per attribute.
+///
+/// Protected categorical columns additionally report their domain
+/// cardinality and the number of split bins (distinct values present),
+/// the metadata the FairQL analyzer uses to cost audit candidates.
 pub fn describe(table: &Table) -> String {
     let mut out = String::new();
     out.push_str(&format!(
@@ -110,6 +135,13 @@ pub fn describe(table: &Table) -> String {
                 ));
             }
             ColumnSummary::Categorical { counts } => {
+                if attr.kind == crate::schema::AttributeKind::Protected {
+                    let (cardinality, present) =
+                        cardinality_present(table, idx).expect("categorical");
+                    out.push_str(&format!(
+                        "  cardinality {cardinality}  split bins {present}\n"
+                    ));
+                }
                 for (label, n) in counts {
                     out.push_str(&format!("  {label:<20} {n}\n"));
                 }
@@ -189,6 +221,19 @@ mod tests {
     fn empty_table() {
         let t = Table::new(table().schema().clone());
         assert_eq!(summarise(&t, 0), ColumnSummary::Empty);
+    }
+
+    #[test]
+    fn cardinality_present_counts_distinct_codes() {
+        let t = table();
+        assert_eq!(cardinality_present(&t, 0), Some((2, 2)));
+        assert_eq!(cardinality_present(&t, 1), None);
+    }
+
+    #[test]
+    fn describe_reports_protected_cardinality() {
+        let text = describe(&table());
+        assert!(text.contains("cardinality 2  split bins 2"));
     }
 
     #[test]

@@ -110,6 +110,50 @@ impl StreamSnapshot {
         .map_err(StreamError::Audit)
     }
 
+    /// Like [`context`](Self::context), but restricted to `live` — a
+    /// subset of the snapshot's live rows (typically the live set
+    /// intersected with a query predicate's row set). The snapshot's
+    /// shared indexes and bin assignments are reused; only the
+    /// population changes.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::BinMismatch`] when `config.bins` differs from the
+    /// snapshot's bin layout; [`StreamError::Audit`] from context
+    /// assembly.
+    pub fn context_over(
+        &self,
+        config: AuditConfig,
+        live: fairjob_store::rowset::RowSet,
+    ) -> Result<AuditContext<'_>, StreamError> {
+        if config.bins != self.spec.len() {
+            return Err(StreamError::BinMismatch {
+                view: self.spec.len(),
+                config: config.bins,
+            });
+        }
+        AuditContext::from_parts(
+            self.table.as_ref(),
+            self.scores.as_slice(),
+            config,
+            Arc::clone(&self.indexes),
+            Arc::clone(&self.bin_of),
+            Some(live),
+            self.epoch,
+        )
+        .map_err(StreamError::Audit)
+    }
+
+    /// The live row set (rows not tombstoned at snapshot time).
+    pub fn live_rows(&self) -> &fairjob_store::rowset::RowSet {
+        &self.live
+    }
+
+    /// The shared inverted indexes over the snapshot's table.
+    pub fn indexes(&self) -> &fairjob_store::index::IndexSet {
+        &self.indexes
+    }
+
     /// Materialise the snapshot's live population as a fresh, compacted
     /// table (row ids renumbered to `0..live_count`) with aligned
     /// scores — what a cold batch audit of this epoch would load.
