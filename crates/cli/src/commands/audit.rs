@@ -54,6 +54,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let config = AuditConfig {
         bins,
         distance: metric,
+        shards: crate::commands::parse_shards(&args)?,
         ..Default::default()
     };
     let ctx = AuditContext::new(&workers, &scores, config)

@@ -9,9 +9,10 @@ pub mod rerank;
 pub mod serve;
 pub mod stream;
 
+use crate::args::Args;
 use crate::CliError;
 use fairjob_marketplace::scoring::{LinearScore, RuleBasedScore, ScoringFunction};
-use fairjob_store::Table;
+use fairjob_store::{ShardPolicy, Table};
 
 /// Load a worker population CSV and bucketise its numeric protected
 /// attributes so they are splittable. With `schema_path = None` the
@@ -42,6 +43,21 @@ pub(crate) fn load_workers(path: &str, schema_path: Option<&str>) -> Result<Tabl
         }
     }
     Ok(table)
+}
+
+/// Resolve the `--shards` flag (`auto` | `off` | a positive count;
+/// default `auto`). Audit results are bit-identical under every
+/// setting — the flag only chooses how the context's split/classify
+/// kernels execute.
+pub(crate) fn parse_shards(args: &Args) -> Result<ShardPolicy, CliError> {
+    match args.optional("shards") {
+        None => Ok(ShardPolicy::default()),
+        Some(raw) => ShardPolicy::parse(raw).ok_or_else(|| {
+            CliError::Usage(format!(
+                "cannot parse `--shards {raw}` (auto | off | count)"
+            ))
+        }),
+    }
 }
 
 /// Resolve `--function`/`--alpha` into a scoring function.

@@ -86,6 +86,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             None => None,
             Some(_) => Some(args.parsed_or("threads", 0usize)?),
         },
+        shards: crate::commands::parse_shards(&args)?,
         ..Defaults::default()
     };
     let mut session = Session::new(

@@ -74,17 +74,19 @@ USAGE:
                    [--algorithm balanced|unbalanced|r-balanced|r-unbalanced|all-attributes|subset-exact]
                    [--bins N] [--metric emd|emd-exact|tv|ks|jsd|hellinger|chi2]
                    [--permutations N] [--histograms] [--json] [--seed S]
+                   [--shards auto|off|N]
   fairjob query    --workers FILE.csv (--function f1..f9 | --alpha A)
                    [-e QUERY | --query QUERY | --file FILE.fql]
                    [--algorithm ...] [--metric ...] [--bins N]
-                   [--threads N] [--seed S]
+                   [--threads N] [--seed S] [--shards auto|off|N]
   fairjob stream   --workers FILE.csv --events FILE (--function f1..f9 | --alpha A)
                    [--algorithm ...] [--bins N] [--metric ...]
-                   [--cold-check] [--json] [--seed S]
+                   [--cold-check] [--json] [--seed S] [--shards auto|off|N]
   fairjob serve    --workers FILE.csv (--function f1..f9 | --alpha A)
                    [--algorithm ...] [--bins N] [--metric ...]
                    [--addr HOST:PORT] [--addr-file FILE]
                    [--max-inflight N] [--max-sessions N] [--seed S]
+                   [--shards auto|off|N]
   fairjob repair   --workers FILE.csv (--function f1..f9 | --alpha A)
                    [--lambda L] [--target median|pooled] --out SCORES.csv [--seed S]
   fairjob rerank   --workers FILE.csv (--function f1..f9 | --alpha A)
@@ -95,6 +97,11 @@ Scoring functions: f1..f5 are the paper's linear blends of the two
 observed attributes (alpha = 0.5, 0.3, 0.7, 1.0, 0.0); f6..f9 are the
 biased-by-design rule scorers of the qualitative experiment; --alpha A
 builds a custom blend a*language_test + (1-a)*approval_rate.
+
+--shards picks the shard layout for the audit context's data-parallel
+split/classify kernels (auto = from row count and thread budget, off =
+the legacy scalar path, N = exactly N row-range shards). Results are
+bit-identical under every setting; only speed changes.
 
 Every command reading --workers also accepts --schema FILE: a schema
 descriptor (see fairjob_store::schema_text) describing a non-default

@@ -3,11 +3,20 @@
 use crate::engine::EngineCaches;
 use crate::error::AuditError;
 use crate::partition::Partition;
+use crate::pool::WorkerPool;
 use fairjob_hist::distance::Emd1d;
 use fairjob_hist::{BinSpec, Histogram, HistogramDistance};
-use fairjob_store::index::IndexSet;
-use fairjob_store::{Predicate, RowSet, Table};
+use fairjob_store::index::{CategoricalIndex, IndexSet};
+use fairjob_store::{Predicate, RowSet, ShardPlan, ShardPolicy, Table};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Row-count floor below which a sharded split/classify runs its shards
+/// inline instead of dispatching them to the worker pool: small
+/// partitions are dominated by per-task overhead, and audits split far
+/// more small partitions than large ones. The choice affects scheduling
+/// only — results and counters are identical either way.
+const SHARD_DISPATCH_MIN_ROWS: usize = 65_536;
 
 /// Configuration of an audit.
 #[derive(Clone)]
@@ -32,6 +41,14 @@ pub struct AuditConfig {
     /// thread count; this knob exists for reproducible benchmarking
     /// and resource capping.
     pub threads: Option<usize>,
+    /// Row-range sharding of the per-row kernels (classification,
+    /// splits, index build). [`ShardPolicy::Auto`] (the default) picks
+    /// a shard count from the row count and thread budget;
+    /// [`ShardPolicy::Disabled`] runs the legacy scalar kernels — the
+    /// baseline the `shard_scale` bench gates against. Audit results
+    /// are bit-identical under every policy; only the `shard_tasks` /
+    /// `rows_classified_parallel` counters (and wall-clock) change.
+    pub shards: ShardPolicy,
 }
 
 impl Default for AuditConfig {
@@ -42,6 +59,7 @@ impl Default for AuditConfig {
             attributes: None,
             min_partition_size: 1,
             threads: None,
+            shards: ShardPolicy::Auto,
         }
     }
 }
@@ -54,6 +72,7 @@ impl std::fmt::Debug for AuditConfig {
             .field("attributes", &self.attributes)
             .field("min_partition_size", &self.min_partition_size)
             .field("threads", &self.threads)
+            .field("shards", &self.shards)
             .finish()
     }
 }
@@ -95,12 +114,30 @@ pub struct AuditContext<'a> {
     /// built during the search reads this array instead of re-binning
     /// floats. Shared for the same reason as `indexes`.
     bin_of: Arc<Vec<u32>>,
+    /// Byte-narrowed copy of `bin_of`, built once for sharded batch
+    /// contexts when the layout fits a byte (bins ≤ 256 — always, for
+    /// the paper's configurations). The serial split fast path reads 1
+    /// byte per row instead of 4; `None` on legacy and streaming
+    /// contexts (the stream view patches `bin_of` in place and a second
+    /// maintained array would double its write traffic).
+    bin8: Option<Arc<Vec<u8>>>,
     /// The audited rows. `None` = every table row (the batch case);
     /// `Some` = the live subset of a streaming view whose table keeps
     /// tombstoned rows in place.
     live: Option<RowSet>,
     /// Epoch stamp of the underlying data version (0 for batch audits).
     epoch: u64,
+    /// Resolved shard layout (`None` = [`ShardPolicy::Disabled`]: the
+    /// legacy scalar kernels). Fixed at build from `(rows, policy,
+    /// thread budget)`, so every split of this context shards the same
+    /// way.
+    shard_plan: Option<ShardPlan>,
+    /// Data-parallel work counters, accumulated across the context's
+    /// lifetime and folded into [`crate::EngineStats`] by
+    /// [`crate::EvalEngine::stats`]. Relaxed atomics: every increment
+    /// is a fixed amount per kernel invocation, so totals are exact and
+    /// thread-schedule independent.
+    shard_counters: ShardCounters,
     /// Warm engine caches handed across engine lifetimes: seeded before
     /// a run via [`AuditContext::seed_engine_caches`], adopted by the
     /// next [`crate::EvalEngine`], returned here when it drops. A
@@ -108,6 +145,21 @@ pub struct AuditContext<'a> {
     /// engine's scoped worker threads; it is only locked at engine
     /// construction and drop.
     engine_caches: Mutex<Option<EngineCaches>>,
+}
+
+/// See [`AuditContext`]'s `shard_counters` field.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    shard_tasks: AtomicU64,
+    rows_classified_parallel: AtomicU64,
+}
+
+impl ShardCounters {
+    fn note(&self, tasks: usize, rows: usize) {
+        self.shard_tasks.fetch_add(tasks as u64, Ordering::Relaxed);
+        self.rows_classified_parallel
+            .fetch_add(rows as u64, Ordering::Relaxed);
+    }
 }
 
 impl std::fmt::Debug for AuditContext<'_> {
@@ -118,6 +170,7 @@ impl std::fmt::Debug for AuditContext<'_> {
             .field("distance", &self.distance.name())
             .field("attributes", &self.attributes)
             .field("min_partition_size", &self.min_partition_size)
+            .field("shards", &self.shard_plan.as_ref().map(ShardPlan::shards))
             .finish()
     }
 }
@@ -144,17 +197,59 @@ impl<'a> AuditContext<'a> {
                 scores: scores.len(),
             });
         }
-        for (row, &s) in scores.iter().enumerate() {
-            if !s.is_finite() || !(0.0..=1.0).contains(&s) {
-                return Err(AuditError::BadScore { row, value: s });
+        let parallelism = Self::parallelism_for(config.threads);
+        let shard_plan = config.shards.plan(table.len(), parallelism);
+        if shard_plan.is_none() {
+            // Legacy path: upfront branchless bulk validation the
+            // compiler can vectorize — the bounds test alone rejects
+            // every bad value (NaN and +inf fail `<= 1`, -inf fails
+            // `>= 0`). The sharded path fuses this fold into the
+            // classification pass instead (scores are read once);
+            // [`AuditContext::first_bad_score`] keeps the error
+            // precedence identical between the two paths.
+            if let Some((row, value)) = Self::first_bad_score(scores) {
+                return Err(AuditError::BadScore { row, value });
             }
         }
-        let spec = BinSpec::equal_width(0.0, 1.0, config.bins)
-            .map_err(|e| AuditError::Bins(e.to_string()))?;
-        let attributes = Self::resolve_attributes(table, &config)?;
-        let indexes = Arc::new(IndexSet::build(table)?);
-        let bin_of: Arc<Vec<u32>> =
-            Arc::new(scores.iter().map(|&s| spec.bin_index(s) as u32).collect());
+        let spec = match BinSpec::equal_width(0.0, 1.0, config.bins) {
+            Ok(spec) => spec,
+            Err(e) => {
+                // Sharded path: a bad score still outranks a bad bin
+                // count, exactly as the legacy upfront validation had it.
+                if let Some((row, value)) = Self::first_bad_score(scores) {
+                    return Err(AuditError::BadScore { row, value });
+                }
+                return Err(AuditError::Bins(e.to_string()));
+            }
+        };
+        let attributes = match Self::resolve_attributes(table, &config) {
+            Ok(attributes) => attributes,
+            Err(e) => {
+                // Same precedence guard as for the bin spec above.
+                if let Some((row, value)) = Self::first_bad_score(scores) {
+                    return Err(AuditError::BadScore { row, value });
+                }
+                return Err(e);
+            }
+        };
+        let shard_counters = ShardCounters::default();
+        let (indexes, bin_of, bin8) = match &shard_plan {
+            None => (
+                Arc::new(IndexSet::build(table)?),
+                Arc::new(scores.iter().map(|&s| spec.bin_index(s) as u32).collect()),
+                None,
+            ),
+            Some(plan) => {
+                let (bin_of, bin8) =
+                    Self::classify_validated(&spec, scores, plan, parallelism, &shard_counters)?;
+                // Sharded contexts index exactly the audited attributes
+                // (splits only ever touch those); the legacy path keeps
+                // building every splittable attribute.
+                let indexes = Arc::new(IndexSet::build_sharded_subset(table, &attributes, plan)?);
+                shard_counters.note(plan.shards() * attributes.len(), 0);
+                (indexes, Arc::new(bin_of), bin8.map(Arc::new))
+            }
+        };
         Ok(AuditContext {
             table,
             scores,
@@ -165,10 +260,102 @@ impl<'a> AuditContext<'a> {
             min_partition_size: config.min_partition_size.max(1),
             threads: config.threads,
             bin_of,
+            bin8,
             live: None,
             epoch: 0,
+            shard_plan,
+            shard_counters,
             engine_caches: Mutex::new(None),
         })
+    }
+
+    /// The thread budget the sharded kernels (and the auto shard
+    /// policy) work with — the same resolution [`crate::EvalEngine`]
+    /// applies to `config.threads`.
+    fn parallelism_for(threads: Option<usize>) -> usize {
+        threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map_or(1, |n| n.get())
+                    .min(8)
+            })
+            .max(1)
+    }
+
+    /// First `(row, value)` outside `[0, 1]` (NaN and infinities
+    /// included), if any — the scalar rescan behind every `BadScore`
+    /// error.
+    fn first_bad_score(scores: &[f64]) -> Option<(usize, f64)> {
+        scores
+            .iter()
+            .enumerate()
+            .find(|&(_, &s)| !(0.0..=1.0).contains(&s))
+            .map(|(row, &value)| (row, value))
+    }
+
+    /// Classify every score through the chunked [`BinSpec::bin_indices`]
+    /// kernel — one task per shard on the worker pool when parallel,
+    /// merged in shard order — **fused** with the `[0, 1]` validation
+    /// fold (each chunk is validated while it is still cache-hot, so
+    /// the scores are read once instead of twice) and, when the layout
+    /// fits a byte (bins ≤ 256), with the byte-narrowed bin array the
+    /// serial split kernels read. Shards are contiguous score ranges
+    /// and classification is elementwise, so the concatenation equals
+    /// the serial `bin_index`-per-row loop exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::BadScore`] with the **first** offending row — the
+    /// same error the legacy upfront validation produces.
+    fn classify_validated(
+        spec: &BinSpec,
+        scores: &[f64],
+        plan: &ShardPlan,
+        parallelism: usize,
+        counters: &ShardCounters,
+    ) -> Result<(Vec<u32>, Option<Vec<u8>>), AuditError> {
+        counters.note(plan.shards(), scores.len());
+        let narrow = spec.len() <= 256;
+        let mut bin_of = Vec::with_capacity(scores.len());
+        let mut bin8 = Vec::with_capacity(if narrow { scores.len() } else { 0 });
+        let mut all_valid = true;
+        if scores.len() < SHARD_DISPATCH_MIN_ROWS || parallelism <= 1 {
+            // Serial execution: chunked so the validity fold and the
+            // byte narrowing re-read each chunk from L1, not from DRAM.
+            // `bin_indices` is elementwise, so per-chunk calls equal the
+            // whole-slice call exactly.
+            for chunk in scores.chunks(4096) {
+                all_valid &= chunk
+                    .iter()
+                    .fold(true, |ok, &s| ok & (0.0..=1.0).contains(&s));
+                let bins = spec.bin_indices(chunk);
+                if narrow {
+                    bin8.extend(bins.iter().map(|&b| b as u8));
+                }
+                bin_of.extend_from_slice(&bins);
+            }
+        } else {
+            let per_shard: Vec<(Vec<u32>, bool)> =
+                WorkerPool::global().run_chunks(parallelism, plan.shards(), |s| {
+                    let slice = &scores[plan.range(s)];
+                    let ok = slice
+                        .iter()
+                        .fold(true, |ok, &v| ok & (0.0..=1.0).contains(&v));
+                    (spec.bin_indices(slice), ok)
+                });
+            for (shard, shard_ok) in per_shard {
+                if narrow {
+                    bin8.extend(shard.iter().map(|&b| b as u8));
+                }
+                bin_of.extend_from_slice(&shard);
+                all_valid &= shard_ok;
+            }
+        }
+        if !all_valid {
+            let (row, value) = Self::first_bad_score(scores).expect("a failing score exists");
+            return Err(AuditError::BadScore { row, value });
+        }
+        Ok((bin_of, narrow.then_some(bin8)))
     }
 
     /// Build a context from pre-maintained parts — the streaming fast
@@ -227,6 +414,9 @@ impl<'a> AuditContext<'a> {
             }
         }
         let attributes = Self::resolve_attributes(table, &config)?;
+        let shard_plan = config
+            .shards
+            .plan(table.len(), Self::parallelism_for(config.threads));
         Ok(AuditContext {
             table,
             scores,
@@ -237,8 +427,11 @@ impl<'a> AuditContext<'a> {
             min_partition_size: config.min_partition_size.max(1),
             threads: config.threads,
             bin_of,
+            bin8: None,
             live,
             epoch,
+            shard_plan,
+            shard_counters: ShardCounters::default(),
             engine_caches: Mutex::new(None),
         })
     }
@@ -349,13 +542,32 @@ impl<'a> AuditContext<'a> {
         self.epoch
     }
 
+    /// The resolved shard layout, when sharding is enabled.
+    pub fn shard_plan(&self) -> Option<&ShardPlan> {
+        self.shard_plan.as_ref()
+    }
+
+    /// Per-shard kernel executions dispatched so far (layout-dependent:
+    /// scales with the shard count; independent of thread count).
+    pub fn shard_tasks(&self) -> u64 {
+        self.shard_counters.shard_tasks.load(Ordering::Relaxed)
+    }
+
+    /// Rows pushed through the sharded classify/split kernels so far
+    /// (0 when sharding is disabled; otherwise independent of both the
+    /// shard count and the thread count).
+    pub fn rows_classified_parallel(&self) -> u64 {
+        self.shard_counters
+            .rows_classified_parallel
+            .load(Ordering::Relaxed)
+    }
+
     /// Histogram of the scores of `rows`, built from the precomputed
-    /// bin-index array (no per-value float binning).
+    /// bin-index array with integer counting (no per-value float
+    /// binning, no float accumulation — bit-identical to the float
+    /// path, see [`Histogram::from_bin_indices_u32`]).
     pub fn histogram(&self, rows: &RowSet) -> Histogram {
-        Histogram::from_bin_indices(
-            self.spec.clone(),
-            rows.iter().map(|row| self.bin_of[row] as usize),
-        )
+        Histogram::from_bin_indices_u32(self.spec.clone(), rows.iter().map(|row| self.bin_of[row]))
     }
 
     /// Build a [`Partition`] from a predicate and its rows.
@@ -386,13 +598,49 @@ impl<'a> AuditContext<'a> {
     /// Runs the single-pass split kernel: one walk over the partition's
     /// rows produces all child row sets and child histograms at once
     /// (O(|partition|) instead of the legacy O(table) posting
-    /// intersections — see [`AuditContext::split_legacy`]).
+    /// intersections — see [`AuditContext::split_legacy`]). With
+    /// sharding enabled the walk runs as one two-pass task per shard —
+    /// on the worker pool for large partitions — merged in shard order,
+    /// which is bit-identical to the serial kernel.
     pub fn split(&self, part: &Partition, attr: usize) -> Option<Vec<Partition>> {
         if part.predicate.constrains(attr) {
             return None;
         }
         let index = self.indexes.get(attr)?;
-        let groups = index.split_with_bins(&part.rows, &self.bin_of, self.spec.len());
+        let bins = self.spec.len();
+        let groups = match &self.shard_plan {
+            None => index.split_with_bins(&part.rows, &self.bin_of, bins),
+            Some(plan) => {
+                self.shard_counters.note(plan.shards(), part.rows.len());
+                let parallelism = Self::parallelism_for(self.threads);
+                if part.rows.len() == self.table.len() {
+                    // Root split: the children's row sets are exactly
+                    // the index postings — only bin counting remains.
+                    match &self.bin8 {
+                        Some(bin8) => index.split_full_with_bins8(bin8, bins),
+                        None => index.split_full_with_bins(&self.bin_of, bins),
+                    }
+                } else if part.rows.len() >= SHARD_DISPATCH_MIN_ROWS && parallelism > 1 {
+                    let sharded = plan.shard_rows(&part.rows);
+                    let partials =
+                        WorkerPool::global().run_chunks(parallelism, sharded.shards(), |s| {
+                            index.split_shard(sharded.shard(s), &self.bin_of, bins)
+                        });
+                    CategoricalIndex::merge_shard_splits(partials, bins)
+                } else {
+                    // Serial execution: the one-pass byte kernel when
+                    // the layout fits (narrow forward column + narrow
+                    // bin array), else the same two-pass kernel over
+                    // the whole row slice — bit-identical either way.
+                    self.bin8
+                        .as_ref()
+                        .and_then(|bin8| index.split_onepass(part.rows.rows(), bin8, bins))
+                        .unwrap_or_else(|| {
+                            index.split_with_bins_two_pass(part.rows.rows(), &self.bin_of, bins)
+                        })
+                }
+            }
+        };
         if groups.len() <= 1 {
             return None;
         }

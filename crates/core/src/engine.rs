@@ -480,6 +480,21 @@ pub struct EngineStats {
     /// Exact flow solves warm-started from the previous pair's round-1
     /// Dijkstra (consecutive chunk pairs sharing a support set).
     pub warm_starts: u64,
+    /// Per-shard kernel executions dispatched through the sharded
+    /// split/classify path (0 with `shards = off`). **Layout-dependent**:
+    /// scales with the shard count, so it is excluded from the
+    /// layout-independence parity the other counters guarantee; it is
+    /// still thread-count independent. Unlike the engine-local counters
+    /// above, the shard counters are **context-cumulative**: they live on
+    /// the [`crate::AuditContext`] (shard work starts at context build,
+    /// before any engine exists) and cover everything sharded on that
+    /// context up to the `stats()` call.
+    pub shard_tasks: u64,
+    /// Rows pushed through the sharded classify/split kernels (0 with
+    /// `shards = off`; otherwise independent of both shard count and
+    /// thread count, but still layout-dependent in the on/off sense).
+    /// Context-cumulative, like [`Self::shard_tasks`].
+    pub rows_classified_parallel: u64,
 }
 
 impl EngineStats {
@@ -512,28 +527,54 @@ impl EngineStats {
         self.ground_cache_hits += other.ground_cache_hits;
         self.scratch_reuses += other.scratch_reuses;
         self.warm_starts += other.warm_starts;
+        self.shard_tasks += other.shard_tasks;
+        self.rows_classified_parallel += other.rows_classified_parallel;
     }
 
     /// The ordered `(name, value)` view of every counter, the single
     /// source of truth for anything that renders stats (reports, serve
     /// responses, `EXPLAIN ANALYZE`). Order is the field order above.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 15] {
+    /// The exhaustive destructuring makes this function — and through
+    /// it every renderer — fail to compile when a counter is added to
+    /// the struct but not listed here.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 17] {
+        let EngineStats {
+            distances_computed,
+            cache_hits,
+            cache_bypasses,
+            splits_computed,
+            split_cache_hits,
+            rows_scanned,
+            histograms_built,
+            cache_evictions,
+            split_evictions,
+            bounds_screened,
+            exact_solves,
+            pool_tasks,
+            ground_cache_hits,
+            scratch_reuses,
+            warm_starts,
+            shard_tasks,
+            rows_classified_parallel,
+        } = *self;
         [
-            ("distances_computed", self.distances_computed),
-            ("cache_hits", self.cache_hits),
-            ("cache_bypasses", self.cache_bypasses),
-            ("splits_computed", self.splits_computed),
-            ("split_cache_hits", self.split_cache_hits),
-            ("rows_scanned", self.rows_scanned),
-            ("histograms_built", self.histograms_built),
-            ("cache_evictions", self.cache_evictions),
-            ("split_evictions", self.split_evictions),
-            ("bounds_screened", self.bounds_screened),
-            ("exact_solves", self.exact_solves),
-            ("pool_tasks", self.pool_tasks),
-            ("ground_cache_hits", self.ground_cache_hits),
-            ("scratch_reuses", self.scratch_reuses),
-            ("warm_starts", self.warm_starts),
+            ("distances_computed", distances_computed),
+            ("cache_hits", cache_hits),
+            ("cache_bypasses", cache_bypasses),
+            ("splits_computed", splits_computed),
+            ("split_cache_hits", split_cache_hits),
+            ("rows_scanned", rows_scanned),
+            ("histograms_built", histograms_built),
+            ("cache_evictions", cache_evictions),
+            ("split_evictions", split_evictions),
+            ("bounds_screened", bounds_screened),
+            ("exact_solves", exact_solves),
+            ("pool_tasks", pool_tasks),
+            ("ground_cache_hits", ground_cache_hits),
+            ("scratch_reuses", scratch_reuses),
+            ("warm_starts", warm_starts),
+            ("shard_tasks", shard_tasks),
+            ("rows_classified_parallel", rows_classified_parallel),
         ]
     }
 }
@@ -677,6 +718,8 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
             ground_cache_hits: self.ground_cache_hits.get(),
             scratch_reuses: self.scratch_reuses.get(),
             warm_starts: self.warm_starts.get(),
+            shard_tasks: self.ctx.shard_tasks(),
+            rows_classified_parallel: self.ctx.rows_classified_parallel(),
         }
     }
 
@@ -1315,6 +1358,53 @@ mod tests {
         AuditContext::new(table, scores, AuditConfig::default()).unwrap()
     }
 
+    /// Completeness contract for [`EngineStats`]: the full-field struct
+    /// literal below fails to compile the moment a counter is added to
+    /// the struct, forcing whoever adds it to also register it here —
+    /// and the distinct per-field values then verify that `merge` and
+    /// `as_pairs` each cover the new field (a counter dropped by `merge`
+    /// fails the doubling check; one dropped or mismapped by `as_pairs`
+    /// fails the name/value checks, which every renderer inherits).
+    #[test]
+    fn stats_merge_and_pairs_cover_every_field() {
+        let a = EngineStats {
+            distances_computed: 1,
+            cache_hits: 2,
+            cache_bypasses: 3,
+            splits_computed: 4,
+            split_cache_hits: 5,
+            rows_scanned: 6,
+            histograms_built: 7,
+            cache_evictions: 8,
+            split_evictions: 9,
+            bounds_screened: 10,
+            exact_solves: 11,
+            pool_tasks: 12,
+            ground_cache_hits: 13,
+            scratch_reuses: 14,
+            warm_starts: 15,
+            shard_tasks: 16,
+            rows_classified_parallel: 17,
+        };
+        let pairs = a.as_pairs();
+        // Every field value is distinct and present exactly once.
+        let mut values: Vec<u64> = pairs.iter().map(|&(_, v)| v).collect();
+        values.sort_unstable();
+        assert_eq!(values, (1..=pairs.len() as u64).collect::<Vec<_>>());
+        // Names are unique and non-empty.
+        let mut names: Vec<&str> = pairs.iter().map(|&(n, _)| n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), pairs.len());
+        assert!(names.iter().all(|n| !n.is_empty()));
+        // Merging a stats value into itself doubles every counter.
+        let mut merged = a;
+        merged.merge(&a);
+        for ((name, single), (_, double)) in pairs.iter().zip(merged.as_pairs().iter()) {
+            assert_eq!(*double, single * 2, "merge dropped counter {name}");
+        }
+    }
+
     #[test]
     fn cached_evaluation_is_bit_identical_to_naive() {
         let (t, scores) = toy_workers();
@@ -1532,14 +1622,21 @@ mod tests {
 
     #[test]
     fn split_batch_is_thread_count_independent() {
+        // Each thread count gets its own context: the shard counters are
+        // context-cumulative, so sharing one context across engines would
+        // conflate the runs being compared.
         let (t, scores) = toy_workers();
-        let ctx = toy_ctx(&t, &scores);
-        let root = ctx.root();
-        let reference = EvalEngine::new(&ctx).with_threads(1);
-        let requests: Vec<(&Partition, usize)> = vec![(&root, 0), (&root, 1), (&root, 0)];
+        let ref_ctx = toy_ctx(&t, &scores);
+        let ref_root = ref_ctx.root();
+        let reference = EvalEngine::new(&ref_ctx).with_threads(1);
+        let requests: Vec<(&Partition, usize)> =
+            vec![(&ref_root, 0), (&ref_root, 1), (&ref_root, 0)];
         let expected = reference.split_batch(&requests);
         let expected_stats = reference.stats();
         for threads in [2, 3, 8] {
+            let ctx = toy_ctx(&t, &scores);
+            let root = ctx.root();
+            let requests: Vec<(&Partition, usize)> = vec![(&root, 0), (&root, 1), (&root, 0)];
             let engine = EvalEngine::new(&ctx).with_threads(threads);
             let got = engine.split_batch(&requests);
             assert_eq!(engine.stats(), expected_stats, "{threads} threads");

@@ -100,6 +100,12 @@ impl AuditResult {
                 self.engine.ground_cache_hits, self.engine.scratch_reuses, self.engine.warm_starts,
             ));
         }
+        if self.engine.shard_tasks > 0 {
+            out.push_str(&format!(
+                "shards: {} shard tasks, {} rows classified in parallel\n",
+                self.engine.shard_tasks, self.engine.rows_classified_parallel,
+            ));
+        }
         let mut parts: Vec<&crate::Partition> = self.partitioning.partitions().iter().collect();
         parts.sort_by_key(|p| std::cmp::Reverse(p.len()));
         for p in parts {
@@ -165,28 +171,22 @@ impl AuditResult {
                 )
             })
             .collect();
+        // Engine counters come from `EngineStats::as_pairs` so a counter
+        // added to the struct appears here without touching this file.
+        let engine: Vec<String> = self
+            .engine
+            .as_pairs()
+            .iter()
+            .map(|(name, value)| format!("\"{name}\":{value}"))
+            .collect();
         format!(
-            "{{\"algorithm\":\"{}\",\"distance\":\"{}\",\"unfairness\":{:.6},\"elapsed_ms\":{:.3},\"candidates_evaluated\":{},\"engine\":{{\"distances_computed\":{},\"cache_hits\":{},\"cache_bypasses\":{},\"splits_computed\":{},\"split_cache_hits\":{},\"rows_scanned\":{},\"histograms_built\":{},\"cache_evictions\":{},\"split_evictions\":{},\"bounds_screened\":{},\"exact_solves\":{},\"pool_tasks\":{},\"ground_cache_hits\":{},\"scratch_reuses\":{},\"warm_starts\":{}}},\"attributes_used\":[{}],\"partitions\":[{}]}}",
+            "{{\"algorithm\":\"{}\",\"distance\":\"{}\",\"unfairness\":{:.6},\"elapsed_ms\":{:.3},\"candidates_evaluated\":{},\"engine\":{{{}}},\"attributes_used\":[{}],\"partitions\":[{}]}}",
             json_escape(&self.algorithm),
             json_escape(ctx.distance().name()),
             self.unfairness,
             self.elapsed.as_secs_f64() * 1000.0,
             self.candidates_evaluated,
-            self.engine.distances_computed,
-            self.engine.cache_hits,
-            self.engine.cache_bypasses,
-            self.engine.splits_computed,
-            self.engine.split_cache_hits,
-            self.engine.rows_scanned,
-            self.engine.histograms_built,
-            self.engine.cache_evictions,
-            self.engine.split_evictions,
-            self.engine.bounds_screened,
-            self.engine.exact_solves,
-            self.engine.pool_tasks,
-            self.engine.ground_cache_hits,
-            self.engine.scratch_reuses,
-            self.engine.warm_starts,
+            engine.join(","),
             attributes.join(","),
             partitions.join(",")
         )
@@ -227,6 +227,8 @@ mod tests {
                 ground_cache_hits: 14,
                 scratch_reuses: 13,
                 warm_starts: 7,
+                shard_tasks: 6,
+                rows_classified_parallel: 320,
             },
         };
         let text = result.render(&ctx, false);
@@ -237,6 +239,7 @@ mod tests {
         assert!(text.contains("evictions: 2 distance entries, 0 split entries"));
         assert!(text.contains("bounds: 40 pairs screened, 6 exact solves, 3 pool tasks"));
         assert!(text.contains("solver: 14 ground cache hits, 13 scratch reuses, 7 warm starts"));
+        assert!(text.contains("shards: 6 shard tasks, 320 rows classified in parallel"));
         assert!(text.contains("0.5000"));
         assert!(text.contains("gender=Male"));
         assert!(text.contains("gender=Female"));
@@ -273,6 +276,8 @@ mod tests {
                 ground_cache_hits: 12,
                 scratch_reuses: 10,
                 warm_starts: 4,
+                shard_tasks: 6,
+                rows_classified_parallel: 250,
             },
         };
         let json = result.to_json(&ctx);
@@ -285,8 +290,13 @@ mod tests {
         assert!(json.contains("\"value\":\"Male\""));
         assert!(json.contains("\"candidates_evaluated\":3"));
         assert!(json.contains(
-            "\"engine\":{\"distances_computed\":7,\"cache_hits\":2,\"cache_bypasses\":1,\"splits_computed\":4,\"split_cache_hits\":9,\"rows_scanned\":250,\"histograms_built\":8,\"cache_evictions\":0,\"split_evictions\":3,\"bounds_screened\":20,\"exact_solves\":5,\"pool_tasks\":2,\"ground_cache_hits\":12,\"scratch_reuses\":10,\"warm_starts\":4}"
+            "\"engine\":{\"distances_computed\":7,\"cache_hits\":2,\"cache_bypasses\":1,\"splits_computed\":4,\"split_cache_hits\":9,\"rows_scanned\":250,\"histograms_built\":8,\"cache_evictions\":0,\"split_evictions\":3,\"bounds_screened\":20,\"exact_solves\":5,\"pool_tasks\":2,\"ground_cache_hits\":12,\"scratch_reuses\":10,\"warm_starts\":4,\"shard_tasks\":6,\"rows_classified_parallel\":250}"
         ));
+        // Structural completeness: every counter as_pairs knows about is
+        // present in the JSON by name.
+        for (name, _) in result.engine.as_pairs() {
+            assert!(json.contains(&format!("\"{name}\":")), "missing {name}");
+        }
         assert!(json.starts_with('{') && json.ends_with('}'));
     }
 

@@ -25,6 +25,31 @@ pub const PRUNE_MARGIN: f64 = 1e-7;
 /// matter how many workers execute the chunks.
 pub(crate) const PAIR_CHUNK: usize = 1024;
 
+/// What the screen pass decided about one pair. Computed independently
+/// per pair (parallelisable) and merged serially in pair order, so the
+/// screen's accumulations are bit-identical for every thread count.
+#[derive(Clone, Copy)]
+enum ScreenVerdict {
+    /// The bound is exact: this value IS the distance.
+    Exact(f64),
+    /// Inexact bound: the pair must be solved; carry its upper bound.
+    Bounded(f64),
+    /// No bound available: the pair must be solved blind.
+    Unbounded,
+}
+
+/// Screen one pair. Pure per-pair work — the only screen state
+/// (`upper_sum`, `misses`, `all_bounded`) is accumulated by the caller
+/// in serial pair order, which is what keeps the parallel screen
+/// bit-identical to the serial one.
+fn screen_pair(distance: &dyn HistogramDistance, a: &Histogram, b: &Histogram) -> ScreenVerdict {
+    match distance.bounds(a, b) {
+        Some(bd) if bd.exact => ScreenVerdict::Exact(bd.lower),
+        Some(bd) => ScreenVerdict::Bounded(bd.upper),
+        None => ScreenVerdict::Unbounded,
+    }
+}
+
 /// Counters from one [`pairwise_emd_batch`] evaluation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BatchStats {
@@ -127,23 +152,51 @@ pub fn pairwise_emd_batch(
     stats.pairs = pair_count as u64;
 
     // Screen pass: settle what the cached-CDF bounds can, keep an upper
-    // bound on the whole sum, and collect the survivors.
+    // bound on the whole sum, and collect the survivors. Per-pair
+    // verdicts are independent, so batches larger than one chunk compute
+    // them on the worker pool; the accumulation below is always serial
+    // in pair order, making the screen bit-identical across thread
+    // counts (and to the single-threaded loop it replaced). The chunk
+    // count depends only on the pair count, so `pool_tasks` stays
+    // thread-count independent.
+    let verdicts: Vec<ScreenVerdict> = if pair_count > PAIR_CHUNK {
+        let n_chunks = pair_count.div_ceil(PAIR_CHUNK);
+        stats.pool_tasks += n_chunks as u64;
+        let chunked: Vec<Vec<ScreenVerdict>> =
+            WorkerPool::global().run_chunks(threads.max(1), n_chunks, |c| {
+                let lo = c * PAIR_CHUNK;
+                let hi = (lo + PAIR_CHUNK).min(pair_count);
+                (lo..hi)
+                    .map(|k| {
+                        let (a, b) = (live[pair_i[k] as usize], live[pair_j[k] as usize]);
+                        screen_pair(distance, a, b)
+                    })
+                    .collect()
+            });
+        chunked.into_iter().flatten().collect()
+    } else {
+        (0..pair_count)
+            .map(|k| {
+                let (a, b) = (live[pair_i[k] as usize], live[pair_j[k] as usize]);
+                screen_pair(distance, a, b)
+            })
+            .collect()
+    };
     let mut vals: Vec<f64> = vec![f64::NAN; pair_count];
     let mut misses: Vec<usize> = Vec::new();
     let mut upper_sum = 0.0;
     let mut all_bounded = true;
-    for k in 0..pair_count {
-        let (a, b) = (live[pair_i[k] as usize], live[pair_j[k] as usize]);
-        match distance.bounds(a, b) {
-            Some(bd) if bd.exact => {
-                vals[k] = bd.lower;
-                upper_sum += bd.lower;
+    for (k, verdict) in verdicts.into_iter().enumerate() {
+        match verdict {
+            ScreenVerdict::Exact(d) => {
+                vals[k] = d;
+                upper_sum += d;
             }
-            Some(bd) => {
+            ScreenVerdict::Bounded(upper) => {
                 misses.push(k);
-                upper_sum += bd.upper;
+                upper_sum += upper;
             }
-            None => {
+            ScreenVerdict::Unbounded => {
                 misses.push(k);
                 all_bounded = false;
             }
@@ -172,7 +225,7 @@ pub fn pairwise_emd_batch(
     if !misses.is_empty() {
         distance.prime(live[pair_i[misses[0]] as usize])?;
         let chunks: Vec<&[usize]> = misses.chunks(PAIR_CHUNK).collect();
-        stats.pool_tasks = chunks.len() as u64;
+        stats.pool_tasks += chunks.len() as u64;
         let results: Vec<Result<(Vec<f64>, ScratchStats), AuditError>> = WorkerPool::global()
             .run_chunks(threads.max(1), chunks.len(), |c| {
                 with_scratch(|scratch| {
@@ -657,6 +710,29 @@ mod tests {
             assert_eq!(out.stats.bounds_screened, 0);
             assert_eq!(out.stats.exact_solves, 45);
             assert_eq!(out.stats.pool_tasks, 1);
+        }
+    }
+
+    #[test]
+    fn batch_kernel_parallel_screen_is_bit_identical() {
+        // 48 histograms -> 1128 pairs > PAIR_CHUNK, so the screen phase
+        // itself goes through the worker pool; the result must stay
+        // bit-identical to the serial reference for every thread count,
+        // and the screen chunk count must be thread-independent.
+        let hists: Vec<Histogram> = (0..48)
+            .map(|i| h(&[i as f64 / 48.0, (i as f64 / 48.0 + 0.25).min(1.0)]))
+            .collect();
+        let refs: Vec<&Histogram> = hists.iter().collect();
+        let serial = average_pairwise(&refs, &Emd1d).unwrap();
+        let pairs: usize = 48 * 47 / 2;
+        let screen_chunks = pairs.div_ceil(PAIR_CHUNK) as u64;
+        for threads in [1usize, 2, 7] {
+            let out = pairwise_emd_batch(&refs, &Emd1d, threads, None).unwrap();
+            assert_eq!(out.value, BatchValue::Average(serial), "threads={threads}");
+            assert_eq!(out.stats.pairs, pairs as u64);
+            assert_eq!(out.stats.bounds_screened, pairs as u64);
+            assert_eq!(out.stats.exact_solves, 0);
+            assert_eq!(out.stats.pool_tasks, screen_chunks, "threads={threads}");
         }
     }
 

@@ -27,6 +27,22 @@
 //!
 //! Every bound is validated against the exact solvers by proptest
 //! (`tests/properties.rs`).
+//!
+//! # Floating-point order policy
+//!
+//! Two classes of reduction live here, with different guarantees:
+//!
+//! * **Exact closed forms** ([`PrefixCdf::build`]'s prefix sum,
+//!   [`cdf_l1_grid`], [`cdf_l1_positions`]) accumulate serially in
+//!   index order — the *same* operation order as the exact solvers —
+//!   and are asserted bit-identical to them.
+//! * **Screening bounds** ([`tv_between`], [`PrefixCdf::mean`] and so
+//!   [`projection_lower`], [`tv_upper`], [`tv_lower`]) are restructured
+//!   into fixed-width lanes for instruction-level parallelism. They are
+//!   deterministic (grouping depends only on bin count, never thread
+//!   count) but **not** bit-identical to a serial sum; consumers treat
+//!   them strictly as bounds with a pruning margin, so audit results
+//!   remain bit-identical anyway.
 
 use crate::EmdError;
 
@@ -57,13 +73,18 @@ impl PrefixCdf {
         crate::validate_masses(masses)?;
         let t = crate::total(masses);
         crate::validate_total(t)?;
-        let mut norm = Vec::with_capacity(masses.len());
+        // Two passes instead of one interleaved loop: the normalisation
+        // is elementwise (`m / t`, vectorizable), while the prefix sum
+        // stays a serial dependency chain. Each value still undergoes
+        // exactly `m / t` then `acc += f` in index order, so the split
+        // is bit-identical to the interleaved build — and therefore to
+        // [`crate::emd_1d_grid`]'s internal accumulation (asserted by
+        // the `*_bit_identical_to_exact` tests below).
+        let norm: Vec<f64> = masses.iter().map(|&m| m / t).collect();
         let mut cdf = Vec::with_capacity(masses.len());
         let mut acc = 0.0;
-        for &m in masses {
-            let f = m / t;
+        for &f in &norm {
             acc += f;
-            norm.push(f);
             cdf.push(acc);
         }
         Ok(PrefixCdf { norm, cdf })
@@ -90,13 +111,36 @@ impl PrefixCdf {
     }
 
     /// Mass-weighted mean position, given one position per bin.
+    ///
+    /// Accumulated in [`LANES`] independent lanes (see the module note
+    /// on lane-restructured reductions): deterministic for a given
+    /// input, but *not* bit-identical to a serial left-to-right sum.
+    /// Feeds only the projection *bound*, never an exact distance.
     pub fn mean(&self, positions: &[f64]) -> f64 {
-        self.norm
-            .iter()
-            .zip(positions)
-            .map(|(f, x)| f * x)
-            .sum::<f64>()
+        lane_sum(self.norm.iter().zip(positions).map(|(f, x)| f * x))
     }
+}
+
+/// Lane width of the restructured bound reductions. Four independent
+/// accumulators break the serial add dependency chain so the compiler
+/// can keep multiple FMAs in flight (and vectorize where profitable).
+const LANES: usize = 4;
+
+/// Sum an iterator in [`LANES`] round-robin lanes, combining the lanes
+/// pairwise at the end. The grouping depends only on the element count,
+/// so the result is **deterministic** (same inputs ⇒ same bits, at any
+/// thread count) but differs from the serial sum by normal rounding
+/// reassociation. Only the inexact screening bounds use this; the exact
+/// closed forms ([`cdf_l1_grid`] / [`cdf_l1_positions`]) keep their
+/// serial order, which bit-identity tests assert.
+fn lane_sum(values: impl Iterator<Item = f64>) -> f64 {
+    let mut lanes = [0.0f64; LANES];
+    let mut lane = 0usize;
+    for v in values {
+        lanes[lane] += v;
+        lane = (lane + 1) % LANES;
+    }
+    (lanes[0] + lanes[2]) + (lanes[1] + lanes[3])
 }
 
 fn check_pair(a: &PrefixCdf, b: &PrefixCdf) -> Result<(), EmdError> {
@@ -171,14 +215,15 @@ pub fn cdf_l1_positions(a: &PrefixCdf, b: &PrefixCdf, positions: &[f64]) -> Resu
 
 /// Total variation distance `0.5 * sum_i |a_i - b_i|` between two
 /// normalised mass vectors.
+///
+/// Lane-restructured (see [`lane_sum`]): deterministic but not
+/// order-identical to a serial sum. TV feeds only the sandwich
+/// *bounds*; screening decisions downstream carry an explicit pruning
+/// margin, so a last-ulp difference in a bound never changes which
+/// pairs get solved exactly.
 pub fn tv_between(a: &PrefixCdf, b: &PrefixCdf) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    0.5 * a
-        .norm
-        .iter()
-        .zip(&b.norm)
-        .map(|(x, y)| (x - y).abs())
-        .sum::<f64>()
+    0.5 * lane_sum(a.norm.iter().zip(&b.norm).map(|(x, y)| (x - y).abs()))
 }
 
 /// Mean-difference (projection) lower bound on the EMD with ground

@@ -27,7 +27,7 @@ use crate::logical::LogicalPlan;
 use fairjob_core::EngineStats;
 use fairjob_store::index::IndexSet;
 use fairjob_store::schema::Schema;
-use fairjob_store::{Predicate, RowSet, Table};
+use fairjob_store::{Predicate, RowSet, ShardPolicy, Table};
 
 /// What the planner knows about the data it plans over.
 pub struct Catalog<'a> {
@@ -78,6 +78,8 @@ pub struct PlanDefaults {
     pub bins: usize,
     /// Engine thread cap (`None` = auto).
     pub threads: Option<usize>,
+    /// Shard layout for the context's split/classify kernels.
+    pub shards: ShardPolicy,
 }
 
 /// How the scan will produce its rows.
@@ -154,6 +156,9 @@ pub struct AuditNode {
     pub screen: ScreenKind,
     /// Engine thread cap.
     pub threads: Option<usize>,
+    /// Shard layout (audit results do not depend on it; surfaced so
+    /// `EXPLAIN` shows how the context will execute).
+    pub shards: ShardPolicy,
     /// Estimated split children across one round of candidate
     /// attributes (distinct present values summed over attributes).
     pub est_split_children: usize,
@@ -249,6 +254,7 @@ pub fn plan(
                     attributes: audit.attributes.clone(),
                     attr_indexes: audit.attr_indexes.clone(),
                     threads: defaults.threads,
+                    shards: defaults.shards,
                     est_split_children,
                 },
             }
@@ -285,10 +291,8 @@ fn scan_filter(input: &LogicalPlan) -> &Predicate {
 /// the estimate; otherwise fall back to the domain cardinality).
 fn present_values(catalog: &Catalog<'_>, attr: usize) -> usize {
     if let Some(index) = catalog.indexes.and_then(|set| set.get(attr)) {
-        return index
-            .codes()
-            .iter()
-            .filter(|&&code| !index.rows_with_code(code).is_empty())
+        return (0..index.cardinality() as u32)
+            .filter(|&code| !index.rows_with_code(code).is_empty())
             .count();
     }
     catalog
@@ -358,7 +362,7 @@ impl PhysicalPlan {
         match self {
             PhysicalPlan::Audit { scan, audit } => {
                 out.push_str(&format!(
-                    "Audit algorithm={} metric={} bins={} protect=[{}] screen={} threads={}\n",
+                    "Audit algorithm={} metric={} bins={} protect=[{}] screen={} threads={} shards={}\n",
                     audit.algorithm,
                     audit.metric,
                     audit.bins,
@@ -372,6 +376,7 @@ impl PhysicalPlan {
                     audit
                         .threads
                         .map_or_else(|| "auto".to_string(), |t| t.to_string()),
+                    audit.shards,
                 ));
                 out.push_str(&format!(
                     "  est: split-children≈{}\n",

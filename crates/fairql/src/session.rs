@@ -33,7 +33,7 @@ use fairjob_hist::BinSpec;
 use fairjob_store::column::Column;
 use fairjob_store::index::IndexSet;
 use fairjob_store::stats::{cardinality_present, summarise, ColumnSummary};
-use fairjob_store::{RowSet, Table};
+use fairjob_store::{RowSet, ShardPolicy, Table};
 use fairjob_stream::StreamSnapshot;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -100,6 +100,10 @@ pub struct Defaults {
     pub threads: Option<usize>,
     /// Minimum split-child size.
     pub min_partition_size: usize,
+    /// Shard layout for the context's split/classify kernels. Results
+    /// are bit-identical under every policy, so — like `threads` — it
+    /// is not part of [`CacheKey`].
+    pub shards: ShardPolicy,
 }
 
 impl Default for Defaults {
@@ -114,6 +118,7 @@ impl Default for Defaults {
             seed: 0xBEEF,
             threads: config.threads,
             min_partition_size: config.min_partition_size,
+            shards: config.shards,
         }
     }
 }
@@ -256,6 +261,7 @@ impl<'a> Session<'a> {
             metric: self.defaults.metric.name().to_string(),
             bins: self.defaults.bins,
             threads: self.defaults.threads,
+            shards: self.defaults.shards,
         };
         plan(&logical, &catalog, &defaults, self.options)
     }
@@ -406,13 +412,7 @@ impl<'a> Session<'a> {
         }
         let spec = BinSpec::equal_width(0.0, 1.0, bins)
             .map_err(|e| QueryError::Exec(format!("bins: {e}")))?;
-        let bin_of: Arc<Vec<u32>> = Arc::new(
-            self.source
-                .scores()
-                .iter()
-                .map(|&s| spec.bin_index(s) as u32)
-                .collect(),
-        );
+        let bin_of: Arc<Vec<u32>> = Arc::new(spec.bin_indices(self.source.scores()));
         self.batch_bin_of.insert(bins, Arc::clone(&bin_of));
         Ok(bin_of)
     }
@@ -441,6 +441,7 @@ impl<'a> Session<'a> {
             attributes: audit.attributes.clone(),
             min_partition_size: self.defaults.min_partition_size,
             threads: self.defaults.threads,
+            shards: self.defaults.shards,
         };
 
         let trivial = scan.filter.is_always();

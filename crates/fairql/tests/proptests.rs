@@ -6,6 +6,7 @@ use fairjob_fairql::ast::{AuditStmt, Condition, Ident, SelectItem, SelectStmt, S
 use fairjob_fairql::{parse, Defaults, QueryOutput, Session, Source, Value};
 use fairjob_marketplace::scoring::{LinearScore, ScoringFunction};
 use fairjob_marketplace::{bucketise_numeric_protected, generate_uniform};
+use fairjob_store::ShardPolicy;
 use proptest::prelude::*;
 use proptest::test_runner::ProptestConfig;
 use rand::rngs::StdRng;
@@ -204,6 +205,87 @@ proptest! {
         for threads in [2usize, 3] {
             let other = run_with_threads(query, size, threads);
             prop_assert_eq!(&baseline, &other, "threads={} diverged", threads);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shard-layout parity through the whole query pipeline: EXPLAIN ANALYZE
+// must report identical actual counters under every shard policy, save
+// for the two shard-work meters (which are layout-dependent by
+// definition) and the plan's own `shards=` label.
+// ---------------------------------------------------------------------
+
+/// Run EXPLAIN ANALYZE and strip the tokens allowed to differ between
+/// shard layouts (the `shards=`/`threads=` plan labels and the two
+/// shard-work counters) or between any two runs (`elapsed_us=`).
+fn explain_analyze_lines(
+    query: &str,
+    size: usize,
+    shards: ShardPolicy,
+    threads: usize,
+) -> Vec<String> {
+    let mut table = generate_uniform(size, 23);
+    bucketise_numeric_protected(&mut table).unwrap();
+    let scores = LinearScore::alpha("f1", 0.5).score_all(&table).unwrap();
+    let defaults = Defaults {
+        threads: Some(threads),
+        shards,
+        ..Defaults::default()
+    };
+    let mut session = Session::new(
+        Source::Batch {
+            table: &table,
+            scores: &scores,
+        },
+        defaults,
+    )
+    .unwrap();
+    let outputs = session.execute(query).unwrap();
+    let [QueryOutput::Explain { text }] = outputs.as_slice() else {
+        panic!("expected one EXPLAIN output");
+    };
+    const VARIABLE: &[&str] = &[
+        "shards=",
+        "threads=",
+        "shard_tasks=",
+        "rows_classified_parallel=",
+        "elapsed_us=",
+    ];
+    text.lines()
+        .map(|line| {
+            line.split(' ')
+                .filter(|tok| !VARIABLE.iter().any(|p| tok.starts_with(p)))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// EXPLAIN ANALYZE counter parity: every actual counter except the
+    /// shard-work meters is identical across shard policies and thread
+    /// counts.
+    #[test]
+    fn explain_analyze_counters_are_shard_layout_independent(
+        size in 120usize..240,
+        which in 0usize..2,
+    ) {
+        let query = match which {
+            0 => "EXPLAIN ANALYZE AUDIT workers PROTECT gender, country",
+            _ => "EXPLAIN ANALYZE AUDIT workers WHERE country = 'India' BINS 8",
+        };
+        let baseline = explain_analyze_lines(query, size, ShardPolicy::Disabled, 1);
+        for shards in [ShardPolicy::Fixed(1), ShardPolicy::Fixed(3), ShardPolicy::Fixed(7), ShardPolicy::Auto] {
+            for threads in [1usize, 2, 8] {
+                let other = explain_analyze_lines(query, size, shards, threads);
+                prop_assert_eq!(
+                    &baseline, &other,
+                    "EXPLAIN ANALYZE diverged at shards={} threads={}", shards, threads
+                );
+            }
         }
     }
 }

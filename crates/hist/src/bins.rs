@@ -253,6 +253,41 @@ impl BinSpec {
             }
         }
     }
+
+    /// Bulk form of [`BinSpec::bin_index`]: classify a whole slice in
+    /// fixed-width chunks. On the uniform layout the per-value branches
+    /// collapse into the clamp arithmetic itself — `v <= lo` (and `NaN`)
+    /// land at 0 via the saturating float→int cast, `v >= hi` lands at
+    /// `n - 1` via the `min` — so the loop is a straight
+    /// subtract/divide/scale/clamp the compiler can vectorize. The
+    /// division keeps the exact `(v - lo) / (hi - lo) * n` operation
+    /// order of [`BinSpec::bin_index`], so the returned indices are
+    /// **identical** to the scalar path for every input (asserted by a
+    /// differential test); non-uniform layouts fall back to the scalar
+    /// binary search per value.
+    pub fn bin_indices(&self, values: &[f64]) -> Vec<u32> {
+        const CHUNK: usize = 4096;
+        let n = self.len();
+        let (lo, hi) = (self.lo(), self.hi());
+        let mut out = Vec::with_capacity(values.len());
+        if self.uniform && hi > lo {
+            let width = hi - lo;
+            let scale = n as f64;
+            let top = n - 1;
+            for chunk in values.chunks(CHUNK) {
+                out.extend(
+                    chunk
+                        .iter()
+                        .map(|&v| (((v - lo) / width * scale) as usize).min(top) as u32),
+                );
+            }
+        } else {
+            for chunk in values.chunks(CHUNK) {
+                out.extend(chunk.iter().map(|&v| self.bin_index(v) as u32));
+            }
+        }
+        out
+    }
 }
 
 fn finite_range(values: &[f64]) -> Result<(f64, f64, usize), BinError> {
@@ -271,6 +306,42 @@ fn finite_range(values: &[f64]) -> Result<(f64, f64, usize), BinError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bulk_bin_indices_match_scalar_bin_index() {
+        let uniform = BinSpec::equal_width(-2.0, 3.0, 7).unwrap();
+        let skewed = BinSpec::from_edges(vec![0.0, 0.1, 0.5, 0.55, 2.0]).unwrap();
+        let mut values = vec![
+            f64::NAN,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            -3.0,
+            -2.0,
+            3.0,
+            4.0,
+            0.0,
+            0.1,
+            0.5,
+            0.55,
+            2.0,
+        ];
+        // Dense sweep across and past both ranges, hitting edges exactly.
+        for i in 0..=600 {
+            values.push(-3.0 + i as f64 * 0.0125);
+        }
+        for spec in [&uniform, &skewed] {
+            let bulk = spec.bin_indices(&values);
+            assert_eq!(bulk.len(), values.len());
+            for (&v, &idx) in values.iter().zip(&bulk) {
+                assert_eq!(
+                    idx as usize,
+                    spec.bin_index(v),
+                    "bulk kernel diverged at v={v} (uniform={})",
+                    spec.is_uniform()
+                );
+            }
+        }
+    }
 
     #[test]
     fn equal_width_layout() {

@@ -111,6 +111,25 @@ impl Histogram {
         }
     }
 
+    /// [`Histogram::from_bin_indices`] over a precomputed `u32` bin
+    /// array (the audit layer's `bin_of` representation): counts
+    /// accumulate as integers and convert to `f64` once at the end.
+    /// Both the per-bin counts and the total are whole numbers far
+    /// below 2^53, so the integer accumulation is **exactly** the value
+    /// the float path produces — per-shard counts from this kernel can
+    /// be merged by integer addition without any rounding concern.
+    ///
+    /// # Panics
+    ///
+    /// As [`Histogram::from_bin_indices`], when an index `>= len()`.
+    pub fn from_bin_indices_u32(spec: BinSpec, indices: impl IntoIterator<Item = u32>) -> Self {
+        let mut counts = vec![0u32; spec.len()];
+        for i in indices {
+            counts[i as usize] += 1;
+        }
+        Self::from_counts(spec, counts.into_iter().map(f64::from).collect())
+    }
+
     /// Add one observation with weight 1. Non-finite values are ignored.
     pub fn add(&mut self, value: f64) {
         self.add_weighted(value, 1.0);
@@ -270,6 +289,17 @@ mod tests {
 
     fn spec10() -> BinSpec {
         BinSpec::equal_width(0.0, 1.0, 10).unwrap()
+    }
+
+    #[test]
+    fn u32_bin_index_constructor_is_bit_identical() {
+        let indices: Vec<u32> = (0..500).map(|i| (i * 7) % 10).collect();
+        let float_path = Histogram::from_bin_indices(spec10(), indices.iter().map(|&i| i as usize));
+        let int_path = Histogram::from_bin_indices_u32(spec10(), indices.iter().copied());
+        assert_eq!(float_path.total().to_bits(), int_path.total().to_bits());
+        for (a, b) in float_path.counts().iter().zip(int_path.counts()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

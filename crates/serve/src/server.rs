@@ -477,6 +477,7 @@ fn do_query(shared: &Shared, warm: &mut WarmCache, text: &str) -> Result<String,
         seed: shared.seed,
         threads: shared.config.threads,
         min_partition_size: shared.config.min_partition_size,
+        shards: shared.config.shards,
     };
     let mut session = Session::new(Source::Snapshot(&snapshot), defaults)
         .map_err(map_query_error)?
@@ -588,11 +589,9 @@ fn render_metrics(shared: &Shared) -> String {
     let snapshot = shared.published();
     let engine = *lock_ignore_poison(&shared.metrics.engine);
     let m = &shared.metrics;
-    format!(
+    let mut out = format!(
         "OK sessions={} audits_ok={} audits_rejected={} queries_ok={} epochs_applied={} \
-         errors={} max_epoch_lag={} epoch={} live={} pool_threads={} distances_computed={} \
-         cache_hits={} rows_scanned={} bounds_screened={} exact_solves={} pool_tasks={} \
-         ground_cache_hits={} scratch_reuses={} warm_starts={}",
+         errors={} max_epoch_lag={} epoch={} live={} pool_threads={}",
         m.sessions_opened.load(Ordering::SeqCst),
         m.audits_ok.load(Ordering::SeqCst),
         m.audits_rejected.load(Ordering::SeqCst),
@@ -603,16 +602,13 @@ fn render_metrics(shared: &Shared) -> String {
         snapshot.epoch(),
         snapshot.live_count(),
         WorkerPool::global().threads_spawned(),
-        engine.distances_computed,
-        engine.cache_hits,
-        engine.rows_scanned,
-        engine.bounds_screened,
-        engine.exact_solves,
-        engine.pool_tasks,
-        engine.ground_cache_hits,
-        engine.scratch_reuses,
-        engine.warm_starts,
-    )
+    );
+    // Every engine counter, driven by `as_pairs` so a counter added to
+    // `EngineStats` shows up here without touching this function.
+    for (name, value) in engine.as_pairs() {
+        out.push_str(&format!(" {name}={value}"));
+    }
+    out
 }
 
 fn render_health(shared: &Shared) -> String {

@@ -116,6 +116,15 @@ fn end_to_end_session_round_trip() {
         .parse()
         .unwrap();
     assert!(audits_ok >= 3);
+    // METRICS must expose every EngineStats counter by name — the
+    // formatter iterates `as_pairs`, so a counter added to the struct
+    // but dropped from the reply fails here.
+    for (name, _) in fairjob_core::EngineStats::default().as_pairs() {
+        assert!(
+            protocol::kv(&metrics, name).is_some(),
+            "METRICS reply is missing engine counter {name}: {metrics}"
+        );
+    }
 
     let stats = client.request("STATS").unwrap();
     assert_eq!(protocol::kv(&stats, "epochs"), Some("2"));

@@ -19,6 +19,9 @@
 //! * [`bucketize`] — derive categorical columns from numeric ones (year
 //!   of birth → age bands etc.), since only categorical attributes can be
 //!   split on.
+//! * [`sharded`] — deterministic fixed row-range shards: the layout the
+//!   data-parallel split/classify kernels slice their input by, merged
+//!   in shard order so results stay bit-identical at any thread count.
 //! * [`csv`] — dependency-free CSV import/export for persistence.
 //!
 //! # Example
@@ -49,6 +52,7 @@ pub mod predicate;
 pub mod rowset;
 pub mod schema;
 pub mod schema_text;
+pub mod sharded;
 pub mod stats;
 pub mod table;
 
@@ -56,4 +60,5 @@ pub use error::StoreError;
 pub use predicate::{EqConstraint, Predicate};
 pub use rowset::RowSet;
 pub use schema::{AttributeDef, AttributeKind, DataType, Schema};
+pub use sharded::{ShardPlan, ShardPolicy, ShardedRows};
 pub use table::{Table, Value};

@@ -1,0 +1,249 @@
+//! Deterministic row-range sharding.
+//!
+//! Every data-parallel kernel in the workspace slices its input by
+//! **fixed row-id ranges** — shard `s` of a [`ShardPlan`] owns the rows
+//! whose ids fall in `[bounds[s], bounds[s+1])`, regardless of which
+//! rows a particular partition actually contains. Because row sets are
+//! sorted, a partition sliced by such ranges decomposes into contiguous
+//! subslices whose concatenation *in shard order* reproduces the serial
+//! walk exactly; per-shard results merged in that order are therefore
+//! bit-identical to the unsharded kernels for every shard count and
+//! every thread count. Counts are merged by integer addition (exact),
+//! and row vectors by concatenation (order-preserving) — no
+//! floating-point reassociation happens in any sharded merge.
+//!
+//! The plan itself is pure layout: dispatching shards onto worker
+//! threads is the caller's business (`fairjob-core` runs them on its
+//! `WorkerPool`), which keeps this crate dependency-free and the layout
+//! testable in isolation.
+
+use crate::RowSet;
+use std::ops::Range;
+
+/// Row-count granule the auto policy aims at per shard: small enough to
+/// expose parallelism on large audits, large enough that per-shard
+/// bookkeeping (one count array per code) stays negligible.
+pub const AUTO_ROWS_PER_SHARD: usize = 65_536;
+
+/// Upper bound the auto policy puts on the shard count, as a multiple
+/// of the advertised parallelism (over-subscription evens out skewed
+/// shards without drowning the pool in tiny tasks).
+pub const AUTO_OVERSUBSCRIPTION: usize = 4;
+
+/// How a store consumer wants its row-parallel kernels sharded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ShardPolicy {
+    /// Pick a shard count from the row count and available parallelism
+    /// (the default).
+    #[default]
+    Auto,
+    /// Exactly this many shards (clamped to the row count).
+    Fixed(usize),
+    /// No sharding: run the legacy scalar kernels unchanged. This is
+    /// the baseline the `shard_scale` bench gates against.
+    Disabled,
+}
+
+impl ShardPolicy {
+    /// Resolve the policy into a plan over `n_rows` rows, or `None`
+    /// when sharding is disabled. `parallelism` is the caller's thread
+    /// budget (only consulted by [`ShardPolicy::Auto`]).
+    pub fn plan(self, n_rows: usize, parallelism: usize) -> Option<ShardPlan> {
+        match self {
+            ShardPolicy::Disabled => None,
+            ShardPolicy::Fixed(shards) => Some(ShardPlan::new(n_rows, shards)),
+            ShardPolicy::Auto => {
+                let want = n_rows.div_ceil(AUTO_ROWS_PER_SHARD).max(1);
+                let cap = parallelism.max(1) * AUTO_OVERSUBSCRIPTION;
+                Some(ShardPlan::new(n_rows, want.min(cap)))
+            }
+        }
+    }
+
+    /// Parse the CLI / FairQL surface form: `auto`, `off`, or a count.
+    pub fn parse(text: &str) -> Option<ShardPolicy> {
+        match text {
+            "auto" => Some(ShardPolicy::Auto),
+            "off" | "disabled" | "0" => Some(ShardPolicy::Disabled),
+            n => n
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .map(ShardPolicy::Fixed),
+        }
+    }
+}
+
+impl std::fmt::Display for ShardPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardPolicy::Auto => write!(f, "auto"),
+            ShardPolicy::Fixed(n) => write!(f, "{n}"),
+            ShardPolicy::Disabled => write!(f, "off"),
+        }
+    }
+}
+
+/// Fixed row-range shards over row ids `0..n_rows`.
+///
+/// Ranges are ceil-division even: the first `n_rows % shards` shards
+/// hold one extra row. The layout depends only on `(n_rows, shards)` —
+/// never on thread count or data — so every run of the same audit
+/// produces the same shard boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    n_rows: usize,
+    /// `shards + 1` boundaries; shard `s` owns rows `bounds[s]..bounds[s+1]`.
+    bounds: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// Plan `shards` row ranges over `0..n_rows` (clamped to at least 1
+    /// shard and at most one shard per row, so no shard is empty unless
+    /// the table is).
+    pub fn new(n_rows: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, n_rows.max(1));
+        let base = n_rows / shards;
+        let extra = n_rows % shards;
+        let mut bounds = Vec::with_capacity(shards + 1);
+        let mut at = 0usize;
+        bounds.push(0);
+        for s in 0..shards {
+            at += base + usize::from(s < extra);
+            bounds.push(at as u32);
+        }
+        debug_assert_eq!(at, n_rows);
+        ShardPlan { n_rows, bounds }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Total rows the plan covers.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The row-id range owned by shard `s`.
+    pub fn range(&self, s: usize) -> Range<usize> {
+        self.bounds[s] as usize..self.bounds[s + 1] as usize
+    }
+
+    /// Slice a **sorted** row-id slice into per-shard subslices. The
+    /// concatenation of the returned slices in order is exactly `rows`.
+    pub fn shard_slices<'a>(&self, rows: &'a [u32]) -> ShardedRows<'a> {
+        let mut cuts = Vec::with_capacity(self.bounds.len());
+        let mut from = 0usize;
+        cuts.push(0u32);
+        for &bound in &self.bounds[1..] {
+            from += rows[from..].partition_point(|&r| r < bound);
+            cuts.push(from as u32);
+        }
+        ShardedRows { rows, cuts }
+    }
+
+    /// Slice a [`RowSet`] into per-shard subslices (see
+    /// [`ShardPlan::shard_slices`]).
+    pub fn shard_rows<'a>(&self, rows: &'a RowSet) -> ShardedRows<'a> {
+        self.shard_slices(rows.rows())
+    }
+}
+
+/// A sorted row slice decomposed into per-shard contiguous subslices —
+/// the `ShardedRows` layout every data-parallel kernel consumes. Built
+/// by [`ShardPlan::shard_rows`]; zero-copy over the parent set.
+#[derive(Debug, Clone)]
+pub struct ShardedRows<'a> {
+    rows: &'a [u32],
+    /// `shards + 1` cut points into `rows`.
+    cuts: Vec<u32>,
+}
+
+impl<'a> ShardedRows<'a> {
+    /// Number of shards (including empty ones).
+    pub fn shards(&self) -> usize {
+        self.cuts.len() - 1
+    }
+
+    /// The rows of shard `s` (possibly empty).
+    pub fn shard(&self, s: usize) -> &'a [u32] {
+        &self.rows[self.cuts[s] as usize..self.cuts[s + 1] as usize]
+    }
+
+    /// Total rows across all shards.
+    pub fn total_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Iterate the per-shard slices in shard order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a [u32]> + '_ {
+        (0..self.shards()).map(move |s| self.shard(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_covers_rows_evenly() {
+        let plan = ShardPlan::new(10, 3);
+        assert_eq!(plan.shards(), 3);
+        assert_eq!(plan.range(0), 0..4);
+        assert_eq!(plan.range(1), 4..7);
+        assert_eq!(plan.range(2), 7..10);
+    }
+
+    #[test]
+    fn plan_clamps_shard_count() {
+        assert_eq!(ShardPlan::new(2, 7).shards(), 2);
+        assert_eq!(ShardPlan::new(5, 0).shards(), 1);
+        // An empty table still yields one (empty) shard.
+        let empty = ShardPlan::new(0, 4);
+        assert_eq!(empty.shards(), 1);
+        assert_eq!(empty.range(0), 0..0);
+    }
+
+    #[test]
+    fn shard_rows_concatenate_to_parent() {
+        let rows = RowSet::from_rows(vec![0, 3, 4, 6, 7, 9, 11]);
+        for shards in 1..6 {
+            let plan = ShardPlan::new(12, shards);
+            let sharded = plan.shard_rows(&rows);
+            let mut rebuilt: Vec<u32> = Vec::new();
+            for s in 0..sharded.shards() {
+                for &r in sharded.shard(s) {
+                    let range = plan.range(s);
+                    assert!(range.contains(&(r as usize)), "row {r} outside shard {s}");
+                    rebuilt.push(r);
+                }
+            }
+            assert_eq!(rebuilt, rows.rows());
+            assert_eq!(sharded.total_rows(), rows.len());
+        }
+    }
+
+    #[test]
+    fn policy_resolution() {
+        assert!(ShardPolicy::Disabled.plan(100, 4).is_none());
+        assert_eq!(ShardPolicy::Fixed(3).plan(100, 1).unwrap().shards(), 3);
+        // Auto: one shard per granule, capped by parallelism.
+        let auto = ShardPolicy::Auto.plan(AUTO_ROWS_PER_SHARD * 10, 2).unwrap();
+        assert_eq!(auto.shards(), 2 * AUTO_OVERSUBSCRIPTION);
+        assert_eq!(ShardPolicy::Auto.plan(100, 8).unwrap().shards(), 1);
+    }
+
+    #[test]
+    fn policy_parses_surface_forms() {
+        assert_eq!(ShardPolicy::parse("auto"), Some(ShardPolicy::Auto));
+        assert_eq!(ShardPolicy::parse("off"), Some(ShardPolicy::Disabled));
+        assert_eq!(ShardPolicy::parse("0"), Some(ShardPolicy::Disabled));
+        assert_eq!(ShardPolicy::parse("5"), Some(ShardPolicy::Fixed(5)));
+        assert_eq!(ShardPolicy::parse("nope"), None);
+        assert_eq!(ShardPolicy::Auto.to_string(), "auto");
+        assert_eq!(ShardPolicy::Fixed(5).to_string(), "5");
+        assert_eq!(ShardPolicy::Disabled.to_string(), "off");
+    }
+}

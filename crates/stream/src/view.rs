@@ -88,8 +88,12 @@ impl StreamView {
         let spec = BinSpec::equal_width(0.0, 1.0, bins)
             .map_err(|e| StreamError::Audit(AuditError::Bins(e.to_string())))?;
         let indexes = Arc::new(IndexSet::build(&table)?);
-        let bin_of: Arc<Vec<u32>> =
-            Arc::new(scores.iter().map(|&s| spec.bin_index(s) as u32).collect());
+        // Bulk classification through the chunked kernel (identical
+        // indices to per-row `bin_index`; asserted in the hist crate).
+        // Epoch patching below stays per-row: deltas are small relative
+        // to the initial population, so per-event updates beat
+        // reclassifying the column.
+        let bin_of: Arc<Vec<u32>> = Arc::new(spec.bin_indices(&scores));
         let live = Bitmap::full(table.len());
         Ok(StreamView {
             table: Arc::new(table),

@@ -8,6 +8,7 @@
 use fairjob_core::algorithms::{balanced::Balanced, unbalanced::Unbalanced, AttributeChoice};
 use fairjob_core::AuditConfig;
 use fairjob_marketplace::stream::{generate_stream, StreamConfig};
+use fairjob_store::ShardPolicy;
 use fairjob_stream::{same_partitioning, StreamAuditor, StreamView};
 use proptest::prelude::*;
 
@@ -100,6 +101,57 @@ proptest! {
     ) {
         for threads in [1usize, 3] {
             assert_replay_parity(initial, 3, events_per_epoch, seed, threads, false);
+        }
+    }
+
+    /// The warm-cache replay path is shard-layout independent: the same
+    /// event stream driven through auditors configured with `shards =
+    /// off`, fixed counts, and `auto` produces bit-identical unfairness
+    /// at every epoch, across thread counts.
+    #[test]
+    fn warm_replay_is_bit_identical_across_shard_layouts(
+        initial in 40usize..120,
+        seed in 0u64..1_000,
+        events_per_epoch in 3usize..10,
+    ) {
+        let scenario = generate_stream(&StreamConfig {
+            initial,
+            epochs: 3,
+            events_per_epoch,
+            seed,
+            alpha: 0.5,
+        });
+        let algorithm = Balanced::new(AttributeChoice::Worst);
+        let run = |shards: ShardPolicy, threads: usize| -> Vec<u64> {
+            let config = AuditConfig {
+                shards,
+                threads: Some(threads),
+                ..AuditConfig::default()
+            };
+            let view = StreamView::new(
+                scenario.initial.clone(),
+                scenario.scores.clone(),
+                config.bins,
+            )
+            .unwrap();
+            let mut auditor = StreamAuditor::new(view, config).unwrap();
+            let mut bits = vec![auditor.audit(&algorithm).unwrap().audit.unfairness.to_bits()];
+            for events in scenario.events.epochs() {
+                bits.push(auditor.run_epoch(events, &algorithm).unwrap().audit.unfairness.to_bits());
+            }
+            bits
+        };
+        let baseline = run(ShardPolicy::Disabled, 1);
+        for shards in [ShardPolicy::Fixed(2), ShardPolicy::Fixed(7), ShardPolicy::Auto] {
+            for threads in [1usize, 2, 8] {
+                prop_assert_eq!(
+                    run(shards, threads),
+                    baseline.clone(),
+                    "warm replay diverged at shards={} threads={}",
+                    shards,
+                    threads
+                );
+            }
         }
     }
 }
