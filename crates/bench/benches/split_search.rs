@@ -78,7 +78,7 @@ fn workload<'a>(workers: &'a fairjob_store::table::Table, scores: &'a [f64]) -> 
 /// every posting entry of the attribute (`table_len` in total) plus the
 /// partition's rows once per distinct code.
 fn naive_search(w: &Workload<'_>) -> (Vec<Partition>, u64, u64) {
-    let table_len = w.ctx.table().len() as u64;
+    let table_len = w.ctx.rows() as u64;
     let mut current = w.base.clone();
     let (mut splits, mut rows) = (0u64, 0u64);
     for _ in 0..ROUNDS {

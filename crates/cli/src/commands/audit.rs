@@ -38,6 +38,9 @@ pub(crate) fn resolve_metric(name: &str) -> Result<Arc<dyn HistogramDistance>, C
 /// [`CliError`] on bad flags, unreadable input, or audit failure.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
     let args = Args::parse(argv)?;
+    if let Some(path) = args.optional("paged") {
+        return run_paged(&args, path);
+    }
     let workers =
         crate::commands::load_workers(args.required("workers")?, args.optional("schema"))?;
     let seed: u64 = args.parsed_or("seed", 0xBEEF)?;
@@ -76,6 +79,36 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             test.replicates, test.null_mean, test.null_max, test.p_value
         ));
     }
+    Ok(out)
+}
+
+/// The out-of-core path: stream the audit off a paged snapshot file
+/// through a bounded page cache instead of loading the population.
+/// Scores come from the file, so `--function`/`--alpha` do not apply;
+/// results are bit-identical to the in-memory audit of the same
+/// population at every `--mem-budget`.
+fn run_paged(args: &Args, path: &str) -> Result<String, CliError> {
+    let seed: u64 = args.parsed_or("seed", 0xBEEF)?;
+    let algorithm = resolve_algorithm(args.optional("algorithm").unwrap_or("balanced"), seed)?;
+    let bins: usize = args.parsed_or("bins", 10)?;
+    let metric = resolve_metric(args.optional("metric").unwrap_or("emd"))?;
+    let store = crate::commands::open_paged(path, crate::commands::parse_mem_budget(args)?)?;
+    let config = AuditConfig {
+        bins,
+        distance: metric,
+        shards: crate::commands::parse_shards(args)?,
+        ..Default::default()
+    };
+    let ctx = AuditContext::from_paged(&store, config, None, None)
+        .map_err(|e| CliError::Run(format!("audit setup: {e}")))?;
+    let result = algorithm
+        .run(&ctx)
+        .map_err(|e| CliError::Run(format!("{}: {e}", algorithm.name())))?;
+    if args.switch("json") {
+        return Ok(format!("{}\n", result.to_json(&ctx)));
+    }
+    let mut out = format!("paged store: {path} ({} rows)\n", ctx.rows());
+    out.push_str(&result.render(&ctx, args.switch("histograms")));
     Ok(out)
 }
 

@@ -7,6 +7,7 @@ pub mod query;
 pub mod repair;
 pub mod rerank;
 pub mod serve;
+pub mod snapshot;
 pub mod stream;
 
 use crate::args::Args;
@@ -58,6 +59,44 @@ pub(crate) fn parse_shards(args: &Args) -> Result<ShardPolicy, CliError> {
             ))
         }),
     }
+}
+
+/// Parse a byte count with an optional binary `k`/`m`/`g` suffix
+/// (`64m` = 64 MiB).
+pub(crate) fn parse_bytes(raw: &str) -> Option<usize> {
+    let lower = raw.trim().to_ascii_lowercase();
+    let (digits, unit) = match lower.chars().last()? {
+        'k' => (&lower[..lower.len() - 1], 1usize << 10),
+        'm' => (&lower[..lower.len() - 1], 1 << 20),
+        'g' => (&lower[..lower.len() - 1], 1 << 30),
+        _ => (lower.as_str(), 1),
+    };
+    digits.parse::<usize>().ok()?.checked_mul(unit)
+}
+
+/// Resolve `--mem-budget` — the paged buffer manager's cache cap in
+/// bytes, `k`/`m`/`g` suffixes accepted. Default 64 MiB. Audits stay
+/// bit-identical under every budget; the knob only trades memory for
+/// page re-reads.
+pub(crate) fn parse_mem_budget(args: &Args) -> Result<usize, CliError> {
+    match args.optional("mem-budget") {
+        None => Ok(64 << 20),
+        Some(raw) => parse_bytes(raw).ok_or_else(|| {
+            CliError::Usage(format!(
+                "cannot parse `--mem-budget {raw}` (bytes, with k/m/g suffixes)"
+            ))
+        }),
+    }
+}
+
+/// Open a paged store file, mapping failures to the CLI's exit
+/// classes: unreadable file → I/O (exit 3), corrupt file → run
+/// failure (exit 4).
+pub(crate) fn open_paged(path: &str, budget: usize) -> Result<fairjob_store::PagedStore, CliError> {
+    fairjob_store::PagedStore::open(std::path::Path::new(path), budget).map_err(|e| match e {
+        fairjob_store::paged::PagedError::Io(io) => CliError::Io(io),
+        other => CliError::Run(format!("{path}: {other}")),
+    })
 }
 
 /// Resolve `--function`/`--alpha` into a scoring function.

@@ -50,14 +50,36 @@ fn expand_short_flags(argv: &[String]) -> Vec<String> {
 /// [`CliError::Run`] (exit 4) on execution failures.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
     let args = Args::parse(&expand_short_flags(argv))?;
-    let workers =
-        crate::commands::load_workers(args.required("workers")?, args.optional("schema"))?;
     let seed: u64 = args.parsed_or("seed", 0xBEEF)?;
-    let scorer =
-        crate::commands::resolve_scorer(args.optional("function"), args.optional("alpha"), seed)?;
-    let scores = scorer
-        .score_all(&workers)
-        .map_err(|e| CliError::Run(format!("scoring with {}: {e}", scorer.name())))?;
+    // Paged sources bring their own scores; batch sources load + score.
+    let paged = match args.optional("paged") {
+        Some(path) => Some(crate::commands::open_paged(
+            path,
+            crate::commands::parse_mem_budget(&args)?,
+        )?),
+        None => None,
+    };
+    let workers;
+    let scores;
+    let source = match &paged {
+        Some(store) => Source::Paged(store),
+        None => {
+            workers =
+                crate::commands::load_workers(args.required("workers")?, args.optional("schema"))?;
+            let scorer = crate::commands::resolve_scorer(
+                args.optional("function"),
+                args.optional("alpha"),
+                seed,
+            )?;
+            scores = scorer
+                .score_all(&workers)
+                .map_err(|e| CliError::Run(format!("scoring with {}: {e}", scorer.name())))?;
+            Source::Batch {
+                table: &workers,
+                scores: &scores,
+            }
+        }
+    };
 
     let text = match (args.optional("query"), args.optional("file")) {
         (Some(_), Some(_)) => {
@@ -89,14 +111,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         shards: crate::commands::parse_shards(&args)?,
         ..Defaults::default()
     };
-    let mut session = Session::new(
-        Source::Batch {
-            table: &workers,
-            scores: &scores,
-        },
-        defaults,
-    )
-    .map_err(map_query_error)?;
+    let mut session = Session::new(source, defaults).map_err(map_query_error)?;
 
     let outputs = session.execute(&text).map_err(map_query_error)?;
     let mut out = String::new();

@@ -30,18 +30,13 @@ use std::sync::Arc;
 /// failure (after draining in-flight sessions).
 pub fn run(argv: &[String]) -> Result<String, CliError> {
     let args = Args::parse(argv)?;
-    let workers =
-        crate::commands::load_workers(args.required("workers")?, args.optional("schema"))?;
     let seed: u64 = args.parsed_or("seed", 0xBEEF)?;
-    let scorer =
-        crate::commands::resolve_scorer(args.optional("function"), args.optional("alpha"), seed)?;
     let algorithm: Arc<dyn fairjob_core::algorithms::Algorithm + Send + Sync> =
         crate::commands::audit::resolve_algorithm(
             args.optional("algorithm").unwrap_or("balanced"),
             seed,
         )?
         .into();
-    let bins: usize = args.parsed_or("bins", 10)?;
     let metric = crate::commands::audit::resolve_metric(args.optional("metric").unwrap_or("emd"))?;
     let addr = args.optional("addr").unwrap_or("127.0.0.1:0").to_string();
     let max_inflight: usize = args.parsed_or("max-inflight", 4)?;
@@ -54,18 +49,42 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     };
     let addr_file = args.optional("addr-file").map(str::to_string);
 
-    let scores = scorer
-        .score_all(&workers)
-        .map_err(|e| CliError::Run(format!("scoring with {}: {e}", scorer.name())))?;
+    // Cold-start from a paged snapshot file (the recorded epoch, no
+    // event-log replay) or load + score a fresh population.
+    let view = match args.optional("snapshot") {
+        Some(path) => {
+            let store =
+                crate::commands::open_paged(path, crate::commands::parse_mem_budget(&args)?)?;
+            StreamView::from_paged(&store)
+                .map_err(|e| CliError::Run(format!("snapshot restore: {e}")))?
+        }
+        None => {
+            let workers =
+                crate::commands::load_workers(args.required("workers")?, args.optional("schema"))?;
+            let scorer = crate::commands::resolve_scorer(
+                args.optional("function"),
+                args.optional("alpha"),
+                seed,
+            )?;
+            let bins: usize = args.parsed_or("bins", 10)?;
+            let scores = scorer
+                .score_all(&workers)
+                .map_err(|e| CliError::Run(format!("scoring with {}: {e}", scorer.name())))?;
+            StreamView::new(workers, scores, bins)
+                .map_err(|e| CliError::Run(format!("serve setup: {e}")))?
+        }
+    };
+    // The daemon's audit config must match the view's maintained bin
+    // layout — for a restored snapshot that is the writer's bin count,
+    // not the `--bins` flag.
     let config = AuditConfig {
-        bins,
+        bins: view.spec().len(),
         distance: metric,
         shards: crate::commands::parse_shards(&args)?,
         ..Default::default()
     };
-    let view = StreamView::new(workers, scores, bins)
-        .map_err(|e| CliError::Run(format!("serve setup: {e}")))?;
     let live = view.live_count();
+    let epoch = view.epoch();
 
     let server = Server::start(
         view,
@@ -84,7 +103,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     // Announce the bound address eagerly — the summary string below is
     // only printed after the daemon drains.
     let bound = server.addr();
-    println!("fairjob-serve listening on {bound} ({live} live workers)");
+    println!("fairjob-serve listening on {bound} ({live} live workers, epoch {epoch})");
     let _ = std::io::stdout().flush();
     if let Some(path) = addr_file {
         std::fs::write(&path, format!("{bound}\n"))?;
@@ -155,6 +174,79 @@ mod tests {
         let summary = daemon.join().unwrap().unwrap();
         assert!(summary.contains("drained after 1 sessions"), "{summary}");
         let _ = (csv, addr_file);
+    }
+
+    /// Spawn a one-session daemon with `extra` flags appended, wait for
+    /// its address file, and return (daemon handle, bound address).
+    fn spawn_daemon(
+        extra: Vec<String>,
+        addr_file: &TempFile,
+    ) -> (
+        std::thread::JoinHandle<Result<String, CliError>>,
+        std::net::SocketAddr,
+    ) {
+        let addr_path = addr_file.path_str();
+        let daemon = std::thread::spawn(move || {
+            let mut full = extra;
+            full.extend(["--max-sessions".into(), "1".into()]);
+            full.extend(["--addr-file".into(), addr_path]);
+            run(&full)
+        });
+        let addr = {
+            let mut waited = 0;
+            loop {
+                if let Ok(text) = std::fs::read_to_string(&addr_file.0) {
+                    if let Ok(addr) = text.trim().parse::<std::net::SocketAddr>() {
+                        break addr;
+                    }
+                }
+                waited += 1;
+                assert!(waited < 500, "daemon never wrote its address");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        };
+        (daemon, addr)
+    }
+
+    /// Cold-starting from a paged snapshot is indistinguishable from a
+    /// fresh boot over the same population: same epoch, same live
+    /// count, and the first AUDIT returns the same unfairness bits —
+    /// with no event replay and no CSV anywhere near the restored
+    /// daemon.
+    #[test]
+    fn snapshot_restore_audits_bit_identically_to_fresh_boot() {
+        let csv = population("60");
+        let snapshot = TempFile::new("serve.fjp");
+        crate::commands::snapshot::run(&argv(&[
+            "--workers",
+            &csv.path_str(),
+            "--function",
+            "f1",
+            "--out",
+            &snapshot.path_str(),
+        ]))
+        .unwrap();
+
+        let audit_of = |extra: Vec<String>| {
+            let addr_file = TempFile::new("serve.addr");
+            let (daemon, addr) = spawn_daemon(extra, &addr_file);
+            let mut client = ServeClient::connect(addr).unwrap();
+            let audit = client.audit().unwrap();
+            client.quit();
+            daemon.join().unwrap().unwrap();
+            audit
+        };
+        let fresh = audit_of(argv(&["--workers", &csv.path_str(), "--function", "f1"]));
+        let restored = audit_of(argv(&["--snapshot", &snapshot.path_str()]));
+
+        for key in ["epoch", "live", "unfairness_bits"] {
+            assert_eq!(
+                protocol::kv(&restored, key),
+                protocol::kv(&fresh, key),
+                "{key} diverged after snapshot restore:\nfresh:    {fresh}\nrestored: {restored}"
+            );
+        }
+        assert_eq!(protocol::kv(&restored, "live"), Some("60"));
     }
 
     #[test]

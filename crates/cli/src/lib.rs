@@ -70,19 +70,25 @@ USAGE:
   fairjob generate --size N [--seed S] [--correlated] --out FILE.csv
                    [--events N --events-out FILE [--epochs E] [--alpha A]]
   fairjob describe --workers FILE.csv [--schema FILE]
-  fairjob audit    --workers FILE.csv (--function f1..f9 | --alpha A)
+  fairjob audit    (--workers FILE.csv (--function f1..f9 | --alpha A)
+                    | --paged FILE.fjp [--mem-budget BYTES])
                    [--algorithm balanced|unbalanced|r-balanced|r-unbalanced|all-attributes|subset-exact]
                    [--bins N] [--metric emd|emd-exact|tv|ks|jsd|hellinger|chi2]
                    [--permutations N] [--histograms] [--json] [--seed S]
                    [--shards auto|off|N]
-  fairjob query    --workers FILE.csv (--function f1..f9 | --alpha A)
+  fairjob query    (--workers FILE.csv (--function f1..f9 | --alpha A)
+                    | --paged FILE.fjp [--mem-budget BYTES])
                    [-e QUERY | --query QUERY | --file FILE.fql]
                    [--algorithm ...] [--metric ...] [--bins N]
                    [--threads N] [--seed S] [--shards auto|off|N]
+  fairjob snapshot --workers FILE.csv (--function f1..f9 | --alpha A)
+                   [--bins N] [--seed S] --out FILE.fjp
+  fairjob snapshot --info FILE.fjp
   fairjob stream   --workers FILE.csv --events FILE (--function f1..f9 | --alpha A)
                    [--algorithm ...] [--bins N] [--metric ...]
                    [--cold-check] [--json] [--seed S] [--shards auto|off|N]
-  fairjob serve    --workers FILE.csv (--function f1..f9 | --alpha A)
+  fairjob serve    (--workers FILE.csv (--function f1..f9 | --alpha A)
+                    | --snapshot FILE.fjp [--mem-budget BYTES])
                    [--algorithm ...] [--bins N] [--metric ...]
                    [--addr HOST:PORT] [--addr-file FILE]
                    [--max-inflight N] [--max-sessions N] [--seed S]
@@ -97,6 +103,14 @@ Scoring functions: f1..f5 are the paper's linear blends of the two
 observed attributes (alpha = 0.5, 0.3, 0.7, 1.0, 0.0); f6..f9 are the
 biased-by-design rule scorers of the qualitative experiment; --alpha A
 builds a custom blend a*language_test + (1-a)*approval_rate.
+
+`snapshot` persists a scored population to the paged columnar format
+(64 KiB pages, per-page zone maps, buffer-managed reads). `audit
+--paged` and `query --paged` stream audits through a bounded page
+cache (--mem-budget, k/m/g suffixes, default 64m) — bit-identical to
+the in-memory audit at every budget — and `serve --snapshot`
+cold-starts the daemon from the file at its recorded epoch, no event
+replay. `snapshot --info` prints a file's header facts.
 
 --shards picks the shard layout for the audit context's data-parallel
 split/classify kernels (auto = from row count and thread budget, off =
@@ -154,6 +168,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "query" => commands::query::run(rest),
         "stream" => commands::stream::run(rest),
         "serve" => commands::serve::run(rest),
+        "snapshot" => commands::snapshot::run(rest),
         "repair" => commands::repair::run(rest),
         "rerank" => commands::rerank::run(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),

@@ -21,9 +21,12 @@ impl Algorithm for AllAttributes {
 
     fn run(&self, ctx: &AuditContext<'_>) -> Result<AuditResult, AuditError> {
         let start = Instant::now();
+        let table = ctx.table().ok_or(AuditError::OutOfCore {
+            what: "the all-attributes cartesian group-by",
+        })?;
         let groups = fairjob_store::groupby::group_by_many(
-            ctx.table(),
-            &fairjob_store::RowSet::all(ctx.table().len()),
+            table,
+            &fairjob_store::RowSet::all(table.len()),
             ctx.attributes(),
         )?;
         let partitions: Vec<Partition> = groups

@@ -187,11 +187,11 @@ pub fn exhaustive_cells(
     ctx: &AuditContext<'_>,
     budget: usize,
 ) -> Result<CellSearchOutcome, AuditError> {
-    let groups = fairjob_store::groupby::group_by_many(
-        ctx.table(),
-        &RowSet::all(ctx.table().len()),
-        ctx.attributes(),
-    )?;
+    let table = ctx.table().ok_or(AuditError::OutOfCore {
+        what: "the exhaustive cell enumeration",
+    })?;
+    let groups =
+        fairjob_store::groupby::group_by_many(table, &RowSet::all(table.len()), ctx.attributes())?;
     let histograms: Vec<Histogram> = groups.iter().map(|(_, rows)| ctx.histogram(rows)).collect();
 
     // Enumerate set partitions by assigning each cell to an existing

@@ -59,9 +59,12 @@ impl Algorithm for SubsetExact {
                 .filter(|(i, _)| mask & (1 << i) != 0)
                 .map(|(_, &a)| a)
                 .collect();
+            let table = ctx.table().ok_or(AuditError::OutOfCore {
+                what: "the subset search's cartesian group-by",
+            })?;
             let groups = fairjob_store::groupby::group_by_many(
-                ctx.table(),
-                &fairjob_store::RowSet::all(ctx.table().len()),
+                table,
+                &fairjob_store::RowSet::all(table.len()),
                 &selection,
             )?;
             let partitions: Vec<Partition> = groups

@@ -7,7 +7,8 @@ use crate::pool::WorkerPool;
 use fairjob_hist::distance::Emd1d;
 use fairjob_hist::{BinSpec, Histogram, HistogramDistance};
 use fairjob_store::index::{CategoricalIndex, IndexSet};
-use fairjob_store::{Predicate, RowSet, ShardPlan, ShardPolicy, Table};
+use fairjob_store::paged::{PageCacheStats, PageCounters, PageData, PagedColumn, PAGE_ALIGN_ROWS};
+use fairjob_store::{PagedStore, Predicate, RowSet, Schema, ShardPlan, ShardPolicy, Table};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -95,12 +96,25 @@ impl AuditConfig {
     }
 }
 
+/// Where an audit's underlying data lives. The split/histogram kernels
+/// never read it after the context is built — they run entirely on the
+/// derived arrays (`bin_of`, indexes) — so the paged variant audits
+/// datasets whose raw columns never fit in memory.
+enum DataSource<'a> {
+    /// An in-memory table (batch and streaming audits).
+    Mem(&'a Table),
+    /// An out-of-core paged store (audits beyond RAM).
+    Paged(&'a PagedStore),
+}
+
 /// Everything an algorithm needs to evaluate candidate partitionings:
-/// the table, the scores, the bin layout, the distance, the candidate
-/// attributes and their inverted indexes.
+/// the data source, the scores, the bin layout, the distance, the
+/// candidate attributes and their inverted indexes.
 pub struct AuditContext<'a> {
-    table: &'a Table,
-    scores: &'a [f64],
+    source: DataSource<'a>,
+    /// The raw score vector, when resident. Paged contexts bin scores
+    /// page-by-page at build and never hold the full vector.
+    scores: Option<&'a [f64]>,
     spec: BinSpec,
     distance: Arc<dyn HistogramDistance>,
     attributes: Vec<usize>,
@@ -145,6 +159,10 @@ pub struct AuditContext<'a> {
     /// engine's scoped worker threads; it is only locked at engine
     /// construction and drop.
     engine_caches: Mutex<Option<EngineCaches>>,
+    /// The paged store's shared traffic counters plus the baseline
+    /// snapshot this context measures from (see
+    /// [`AuditContext::page_counters`]). `None` on in-memory contexts.
+    page_stats: Option<(Arc<PageCacheStats>, PageCounters)>,
 }
 
 /// See [`AuditContext`]'s `shard_counters` field.
@@ -165,7 +183,7 @@ impl ShardCounters {
 impl std::fmt::Debug for AuditContext<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AuditContext")
-            .field("rows", &self.table.len())
+            .field("rows", &self.rows())
             .field("bins", &self.spec.len())
             .field("distance", &self.distance.name())
             .field("attributes", &self.attributes)
@@ -222,7 +240,7 @@ impl<'a> AuditContext<'a> {
                 return Err(AuditError::Bins(e.to_string()));
             }
         };
-        let attributes = match Self::resolve_attributes(table, &config) {
+        let attributes = match Self::resolve_attributes_in(table.schema(), &config) {
             Ok(attributes) => attributes,
             Err(e) => {
                 // Same precedence guard as for the bin spec above.
@@ -251,8 +269,8 @@ impl<'a> AuditContext<'a> {
             }
         };
         Ok(AuditContext {
-            table,
-            scores,
+            source: DataSource::Mem(table),
+            scores: Some(scores),
             spec,
             distance: config.distance,
             attributes,
@@ -266,6 +284,7 @@ impl<'a> AuditContext<'a> {
             shard_plan,
             shard_counters,
             engine_caches: Mutex::new(None),
+            page_stats: None,
         })
     }
 
@@ -413,13 +432,13 @@ impl<'a> AuditContext<'a> {
                 }
             }
         }
-        let attributes = Self::resolve_attributes(table, &config)?;
+        let attributes = Self::resolve_attributes_in(table.schema(), &config)?;
         let shard_plan = config
             .shards
             .plan(table.len(), Self::parallelism_for(config.threads));
         Ok(AuditContext {
-            table,
-            scores,
+            source: DataSource::Mem(table),
+            scores: Some(scores),
             spec,
             distance: config.distance,
             attributes,
@@ -433,34 +452,272 @@ impl<'a> AuditContext<'a> {
             shard_plan,
             shard_counters: ShardCounters::default(),
             engine_caches: Mutex::new(None),
+            page_stats: None,
         })
     }
 
-    fn resolve_attributes(table: &Table, config: &AuditConfig) -> Result<Vec<usize>, AuditError> {
-        let attributes =
-            match &config.attributes {
-                None => table.schema().splittable(),
-                Some(names) => {
-                    let splittable = table.schema().splittable();
-                    let mut attrs = Vec::with_capacity(names.len());
-                    for name in names {
-                        let idx = table.schema().index_of(name).map_err(|_| {
-                            AuditError::BadAttribute {
-                                name: name.clone(),
-                                reason: "unknown",
-                            }
-                        })?;
-                        if !splittable.contains(&idx) {
-                            return Err(AuditError::BadAttribute {
-                                name: name.clone(),
-                                reason: "not a categorical protected attribute",
-                            });
-                        }
-                        attrs.push(idx);
-                    }
-                    attrs
+    /// Build a context directly over an out-of-core [`PagedStore`] —
+    /// the audit never materializes the table. Scores are validated and
+    /// binned page-by-page (fused with the read, so the score pages are
+    /// streamed once), and one inverted index is built per audited
+    /// attribute in a single page-ordered pass, so the peak resident
+    /// footprint is the derived per-row arrays plus the buffer-manager
+    /// budget — never the raw columns. Sharding aligns its interior
+    /// boundaries to page boundaries ([`ShardPlan::new_aligned`] with
+    /// granule [`PAGE_ALIGN_ROWS`]); results stay bit-identical to the
+    /// in-memory audit of the materialized table under every layout,
+    /// because classification is elementwise per page, postings are
+    /// emitted in row order, and the split kernels never read raw data
+    /// after the build.
+    ///
+    /// `live` restricts the audit to a row subset (a FairQL `WHERE`
+    /// filter, already within the store's own live set); `None` audits
+    /// the store's live set. `baseline` is the page-counter snapshot
+    /// this context's [`AuditContext::page_counters`] measures from —
+    /// callers that ran their own pre-scans (e.g. the zone-mapped
+    /// `WHERE` filter) pass the snapshot taken before those scans so
+    /// the filter's page traffic is attributed to the audit; `None`
+    /// snapshots at entry.
+    ///
+    /// Unlike [`AuditContext::new`], configuration errors (bins,
+    /// attributes) are reported before score errors: validating scores
+    /// first would cost an extra streaming pass over the score pages.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError`] for empty stores or live sets, stores without a
+    /// score column, unusable attribute selections, bad bin counts,
+    /// out-of-range scores, or unreadable/corrupt page files.
+    pub fn from_paged(
+        store: &'a PagedStore,
+        config: AuditConfig,
+        live: Option<RowSet>,
+        baseline: Option<PageCounters>,
+    ) -> Result<Self, AuditError> {
+        let baseline = baseline.unwrap_or_else(|| store.stats().snapshot());
+        let rows = store.rows();
+        if rows == 0 {
+            return Err(AuditError::EmptyTable);
+        }
+        if !store.has_scores() {
+            return Err(AuditError::ScoreLength { rows, scores: 0 });
+        }
+        let spec = BinSpec::equal_width(0.0, 1.0, config.bins)
+            .map_err(|e| AuditError::Bins(e.to_string()))?;
+        let attributes = Self::resolve_attributes_in(store.schema(), &config)?;
+        let live = live.or_else(|| store.live().cloned());
+        if let Some(live) = &live {
+            if live.is_empty() {
+                return Err(AuditError::EmptyTable);
+            }
+            if let Some(&last) = live.rows().last() {
+                if last as usize >= rows {
+                    return Err(AuditError::ScoreLength {
+                        rows,
+                        scores: last as usize + 1,
+                    });
                 }
+            }
+        }
+        let parallelism = Self::parallelism_for(config.threads);
+        let shard_plan = config
+            .shards
+            .plan(rows, parallelism)
+            .map(|plan| ShardPlan::new_aligned(rows, plan.shards(), PAGE_ALIGN_ROWS));
+        let shard_counters = ShardCounters::default();
+        let (bin_of, bin8) = Self::classify_paged(store, &spec, live.as_ref(), &shard_counters)?;
+        let indexes = Arc::new(Self::index_paged(
+            store,
+            &attributes,
+            live.as_ref(),
+            &shard_counters,
+        )?);
+        Ok(AuditContext {
+            source: DataSource::Paged(store),
+            scores: None,
+            spec,
+            distance: config.distance,
+            attributes,
+            indexes,
+            min_partition_size: config.min_partition_size.max(1),
+            threads: config.threads,
+            bin_of: Arc::new(bin_of),
+            bin8: bin8.map(Arc::new),
+            live,
+            epoch: store.epoch(),
+            shard_plan,
+            shard_counters,
+            engine_caches: Mutex::new(None),
+            page_stats: Some((Arc::clone(store.stats()), baseline)),
+        })
+    }
+
+    /// Fused paged classification: stream the score pages once,
+    /// validating and binning each page while it is cache-hot and
+    /// writing the results into pre-zeroed whole-table arrays. Pages
+    /// with no audited row are skipped and keep their zeros — those
+    /// rows are outside every partition, so the histogram kernels never
+    /// read them. Per-page [`BinSpec::bin_indices`] calls are
+    /// elementwise, so the concatenation equals the serial whole-slice
+    /// classification exactly.
+    fn classify_paged(
+        store: &PagedStore,
+        spec: &BinSpec,
+        live: Option<&RowSet>,
+        counters: &ShardCounters,
+    ) -> Result<(Vec<u32>, Option<Vec<u8>>), AuditError> {
+        let rows = store.rows();
+        let narrow = spec.len() <= 256;
+        let mut bin_of = vec![0u32; rows];
+        let mut bin8 = narrow.then(|| vec![0u8; rows]);
+        let mut first_bad: Option<(usize, f64)> = None;
+        let mut classified = 0usize;
+        let summary = store.scan_column(PagedColumn::Scores, live, None, |first_row, data| {
+            let PageData::F64(values) = data else {
+                return; // score pages are always F64; `open` validated kinds
             };
+            if first_bad.is_none() {
+                if let Some((i, &value)) = values
+                    .iter()
+                    .enumerate()
+                    .find(|&(_, &s)| !(0.0..=1.0).contains(&s))
+                {
+                    first_bad = Some((first_row + i, value));
+                }
+            }
+            let bins = spec.bin_indices(values);
+            if let Some(bin8) = bin8.as_mut() {
+                for (dst, &bin) in bin8[first_row..first_row + bins.len()]
+                    .iter_mut()
+                    .zip(&bins)
+                {
+                    *dst = bin as u8;
+                }
+            }
+            bin_of[first_row..first_row + bins.len()].copy_from_slice(&bins);
+            classified += values.len();
+        })?;
+        counters.note(summary.pages_scanned, classified);
+        if let Some((row, value)) = first_bad {
+            return Err(AuditError::BadScore { row, value });
+        }
+        Ok((bin_of, bin8))
+    }
+
+    /// Single-pass paged index build: for each audited attribute,
+    /// stream its code pages once, filling the forward column (rows on
+    /// candidate-skipped pages keep zero placeholders — the split
+    /// kernels consult the forward column only at audited rows) and
+    /// pushing every audited row onto its code's posting list. Pages
+    /// arrive in row order, so postings come out sorted without a sort
+    /// pass — exactly the in-memory index build's output over the same
+    /// rows.
+    fn index_paged(
+        store: &PagedStore,
+        attributes: &[usize],
+        live: Option<&RowSet>,
+        counters: &ShardCounters,
+    ) -> Result<IndexSet, AuditError> {
+        let rows = store.rows();
+        let mut built = Vec::with_capacity(attributes.len());
+        for &attr in attributes {
+            let def = store.schema().attribute(attr);
+            // Audited attributes are categorical (resolve checked).
+            let cardinality = def.cardinality().unwrap_or(0);
+            let narrow = cardinality <= 256;
+            let mut postings: Vec<Vec<u32>> = vec![Vec::new(); cardinality];
+            let mut codes8 = narrow.then(|| vec![0u8; rows]);
+            let mut codes = if narrow { Vec::new() } else { vec![0u32; rows] };
+            let mut corrupt: Option<String> = None;
+            let live_rows = live.map(RowSet::rows);
+            let mut cursor = 0usize;
+            let summary =
+                store.scan_column(PagedColumn::Attribute(attr), live, None, |first_row, data| {
+                    if corrupt.is_some() {
+                        return;
+                    }
+                    if !matches!(data, PageData::Code8(_) | PageData::Code32(_)) {
+                        corrupt = Some(format!(
+                            "attribute `{}` page at row {first_row} is not a code page",
+                            def.name
+                        ));
+                        return;
+                    }
+                    let page_rows = data.rows();
+                    // Forward column: every row of the page. A code out
+                    // of the dictionary's range means a corrupt file —
+                    // report it instead of panicking downstream.
+                    for i in 0..page_rows {
+                        let code = data.code_at(i);
+                        if code as usize >= cardinality {
+                            corrupt = Some(format!(
+                                "attribute `{}` code {code} at row {} exceeds cardinality {cardinality}",
+                                def.name,
+                                first_row + i
+                            ));
+                            return;
+                        }
+                        match codes8.as_mut() {
+                            Some(fwd) => fwd[first_row + i] = code as u8,
+                            None => codes[first_row + i] = code,
+                        }
+                    }
+                    // Postings: audited rows only, in row order.
+                    match live_rows {
+                        None => {
+                            for i in 0..page_rows {
+                                postings[data.code_at(i) as usize].push((first_row + i) as u32);
+                            }
+                        }
+                        Some(rows) => {
+                            cursor += rows[cursor..].partition_point(|&r| (r as usize) < first_row);
+                            while cursor < rows.len()
+                                && (rows[cursor] as usize) < first_row + page_rows
+                            {
+                                let row = rows[cursor] as usize;
+                                postings[data.code_at(row - first_row) as usize].push(rows[cursor]);
+                                cursor += 1;
+                            }
+                        }
+                    }
+                })?;
+            if let Some(reason) = corrupt {
+                return Err(AuditError::Paged(reason));
+            }
+            counters.note(summary.pages_scanned, 0);
+            let postings: Vec<RowSet> = postings.into_iter().map(RowSet::from_sorted).collect();
+            built.push(CategoricalIndex::from_parts(attr, postings, codes8, codes));
+        }
+        Ok(IndexSet::from_indexes(store.schema().width(), built))
+    }
+
+    fn resolve_attributes_in(
+        schema: &Schema,
+        config: &AuditConfig,
+    ) -> Result<Vec<usize>, AuditError> {
+        let attributes = match &config.attributes {
+            None => schema.splittable(),
+            Some(names) => {
+                let splittable = schema.splittable();
+                let mut attrs = Vec::with_capacity(names.len());
+                for name in names {
+                    let idx = schema
+                        .index_of(name)
+                        .map_err(|_| AuditError::BadAttribute {
+                            name: name.clone(),
+                            reason: "unknown",
+                        })?;
+                    if !splittable.contains(&idx) {
+                        return Err(AuditError::BadAttribute {
+                            name: name.clone(),
+                            reason: "not a categorical protected attribute",
+                        });
+                    }
+                    attrs.push(idx);
+                }
+                attrs
+            }
+        };
         if attributes.is_empty() {
             return Err(AuditError::NoAttributes);
         }
@@ -490,14 +747,48 @@ impl<'a> AuditContext<'a> {
         self.seed_engine_caches(caches);
     }
 
-    /// The audited table.
-    pub fn table(&self) -> &Table {
-        self.table
+    /// The audited table, when the context holds one in memory (`None`
+    /// for paged out-of-core contexts).
+    pub fn table(&self) -> Option<&'a Table> {
+        match self.source {
+            DataSource::Mem(table) => Some(table),
+            DataSource::Paged(_) => None,
+        }
     }
 
-    /// The per-row scores.
-    pub fn scores(&self) -> &[f64] {
+    /// The raw per-row scores, when resident (`None` for paged
+    /// contexts, which bin scores page-by-page and never hold the
+    /// vector).
+    pub fn scores(&self) -> Option<&'a [f64]> {
         self.scores
+    }
+
+    /// The schema of the audited data (available on every context).
+    pub fn schema(&self) -> &'a Schema {
+        match self.source {
+            DataSource::Mem(table) => table.schema(),
+            DataSource::Paged(store) => store.schema(),
+        }
+    }
+
+    /// Total rows of the underlying data, tombstoned rows included
+    /// (the audited-row count is [`AuditContext::root`]'s length).
+    pub fn rows(&self) -> usize {
+        match self.source {
+            DataSource::Mem(table) => table.len(),
+            DataSource::Paged(store) => store.rows(),
+        }
+    }
+
+    /// Page-cache traffic attributable to this context: the paged
+    /// store's shared counters minus the baseline snapshot taken at
+    /// build (or the caller-supplied one). All zeros for in-memory
+    /// contexts.
+    pub fn page_counters(&self) -> PageCounters {
+        match &self.page_stats {
+            Some((stats, baseline)) => stats.snapshot().since(baseline),
+            None => PageCounters::default(),
+        }
     }
 
     /// The histogram bin layout.
@@ -585,7 +876,7 @@ impl<'a> AuditContext<'a> {
     pub fn root(&self) -> Partition {
         let rows = match &self.live {
             Some(live) => live.clone(),
-            None => RowSet::all(self.table.len()),
+            None => RowSet::all(self.rows()),
         };
         self.partition(Predicate::always(), rows)
     }
@@ -613,7 +904,7 @@ impl<'a> AuditContext<'a> {
             Some(plan) => {
                 self.shard_counters.note(plan.shards(), part.rows.len());
                 let parallelism = Self::parallelism_for(self.threads);
-                if part.rows.len() == self.table.len() {
+                if part.rows.len() == self.rows() {
                     // Root split: the children's row sets are exactly
                     // the index postings — only bin counting remains.
                     match &self.bin8 {

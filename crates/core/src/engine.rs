@@ -495,6 +495,25 @@ pub struct EngineStats {
     /// thread count, but still layout-dependent in the on/off sense).
     /// Context-cumulative, like [`Self::shard_tasks`].
     pub rows_classified_parallel: u64,
+    /// Page requests served from the paged store's buffer cache (0 for
+    /// in-memory contexts). Like the shard counters, the page counters
+    /// are context-cumulative and **layout-dependent**: they vary with
+    /// the `--mem-budget` cache size and page layout, never with the
+    /// audit's results.
+    pub page_hits: u64,
+    /// Page requests that went to disk (context-cumulative).
+    pub page_misses: u64,
+    /// Cached pages evicted to respect the memory budget
+    /// (context-cumulative).
+    pub page_evictions: u64,
+    /// Pages scans skipped via zone maps or candidate pruning without
+    /// reading them (context-cumulative; `pages_skipped +
+    /// pages_scanned` over one full-column scan equals that column's
+    /// page count).
+    pub pages_skipped: u64,
+    /// Pages scans actually consumed, cache hit or miss alike
+    /// (context-cumulative).
+    pub pages_scanned: u64,
 }
 
 impl EngineStats {
@@ -529,6 +548,11 @@ impl EngineStats {
         self.warm_starts += other.warm_starts;
         self.shard_tasks += other.shard_tasks;
         self.rows_classified_parallel += other.rows_classified_parallel;
+        self.page_hits += other.page_hits;
+        self.page_misses += other.page_misses;
+        self.page_evictions += other.page_evictions;
+        self.pages_skipped += other.pages_skipped;
+        self.pages_scanned += other.pages_scanned;
     }
 
     /// The ordered `(name, value)` view of every counter, the single
@@ -537,7 +561,7 @@ impl EngineStats {
     /// The exhaustive destructuring makes this function — and through
     /// it every renderer — fail to compile when a counter is added to
     /// the struct but not listed here.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 17] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 22] {
         let EngineStats {
             distances_computed,
             cache_hits,
@@ -556,6 +580,11 @@ impl EngineStats {
             warm_starts,
             shard_tasks,
             rows_classified_parallel,
+            page_hits,
+            page_misses,
+            page_evictions,
+            pages_skipped,
+            pages_scanned,
         } = *self;
         [
             ("distances_computed", distances_computed),
@@ -575,6 +604,11 @@ impl EngineStats {
             ("warm_starts", warm_starts),
             ("shard_tasks", shard_tasks),
             ("rows_classified_parallel", rows_classified_parallel),
+            ("page_hits", page_hits),
+            ("page_misses", page_misses),
+            ("page_evictions", page_evictions),
+            ("pages_skipped", pages_skipped),
+            ("pages_scanned", pages_scanned),
         ]
     }
 }
@@ -702,6 +736,7 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
 
     /// Current counter values.
     pub fn stats(&self) -> EngineStats {
+        let pages = self.ctx.page_counters();
         EngineStats {
             distances_computed: self.distances_computed.get(),
             cache_hits: self.cache_hits.get(),
@@ -720,6 +755,11 @@ impl<'c, 'a> EvalEngine<'c, 'a> {
             warm_starts: self.warm_starts.get(),
             shard_tasks: self.ctx.shard_tasks(),
             rows_classified_parallel: self.ctx.rows_classified_parallel(),
+            page_hits: pages.hits,
+            page_misses: pages.misses,
+            page_evictions: pages.evictions,
+            pages_skipped: pages.pages_skipped,
+            pages_scanned: pages.pages_scanned,
         }
     }
 
@@ -1385,6 +1425,11 @@ mod tests {
             warm_starts: 15,
             shard_tasks: 16,
             rows_classified_parallel: 17,
+            page_hits: 18,
+            page_misses: 19,
+            page_evictions: 20,
+            pages_skipped: 21,
+            pages_scanned: 22,
         };
         let pairs = a.as_pairs();
         // Every field value is distinct and present exactly once.

@@ -42,6 +42,14 @@ pub enum AuditError {
         /// The configured budget (number of candidate partitionings).
         budget: usize,
     },
+    /// The operation needs in-memory table data (raw columns or the raw
+    /// score vector) that a paged out-of-core context does not hold.
+    OutOfCore {
+        /// What was attempted.
+        what: &'static str,
+    },
+    /// Reading the paged store failed (I/O or a corrupt page file).
+    Paged(String),
 }
 
 impl fmt::Display for AuditError {
@@ -67,6 +75,14 @@ impl fmt::Display for AuditError {
                     "exhaustive search exceeded its budget of {budget} partitionings"
                 )
             }
+            AuditError::OutOfCore { what } => {
+                write!(
+                    f,
+                    "{what} needs in-memory data; materialize the paged store first \
+                     (e.g. restart from the snapshot without --mem-budget)"
+                )
+            }
+            AuditError::Paged(reason) => write!(f, "paged store: {reason}"),
         }
     }
 }
@@ -82,6 +98,12 @@ impl From<fairjob_store::StoreError> for AuditError {
 impl From<fairjob_hist::DistanceError> for AuditError {
     fn from(e: fairjob_hist::DistanceError) -> Self {
         AuditError::Distance(e)
+    }
+}
+
+impl From<fairjob_store::paged::PagedError> for AuditError {
+    fn from(e: fairjob_store::paged::PagedError) -> Self {
+        AuditError::Paged(e.to_string())
     }
 }
 

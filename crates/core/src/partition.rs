@@ -6,7 +6,7 @@
 //! Definition 1: `pᵢ ∩ pⱼ = ∅`, `⋃ pᵢ = W`).
 
 use fairjob_hist::Histogram;
-use fairjob_store::{Predicate, RowSet, Table};
+use fairjob_store::{Predicate, RowSet, Schema, Table};
 
 /// One group of workers: its defining predicate, its rows, and the
 /// histogram of its members' scores (precomputed — every algorithm
@@ -35,7 +35,13 @@ impl Partition {
 
     /// Human-readable description against a table's schema.
     pub fn describe(&self, table: &Table) -> String {
-        format!("{} (n={})", self.predicate.describe(table), self.len())
+        self.describe_in(table.schema())
+    }
+
+    /// Schema-only variant of [`Partition::describe`] (paged contexts
+    /// hold a schema but no table).
+    pub fn describe_in(&self, schema: &Schema) -> String {
+        format!("{} (n={})", self.predicate.describe_in(schema), self.len())
     }
 }
 
@@ -104,11 +110,16 @@ impl Partitioning {
 
     /// Render the partitioning one line per partition, largest first.
     pub fn describe(&self, table: &Table) -> String {
+        self.describe_in(table.schema())
+    }
+
+    /// Schema-only variant of [`Partitioning::describe`].
+    pub fn describe_in(&self, schema: &Schema) -> String {
         let mut parts: Vec<&Partition> = self.partitions.iter().collect();
         parts.sort_by_key(|p| std::cmp::Reverse(p.len()));
         parts
             .iter()
-            .map(|p| p.describe(table))
+            .map(|p| p.describe_in(schema))
             .collect::<Vec<_>>()
             .join("\n")
     }

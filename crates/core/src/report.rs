@@ -61,7 +61,7 @@ impl AuditResult {
             self.partitioning
                 .attributes_used()
                 .iter()
-                .map(|&a| ctx.table().schema().attribute(a).name.clone())
+                .map(|&a| ctx.schema().attribute(a).name.clone())
                 .collect::<Vec<_>>()
                 .join(", "),
             self.elapsed,
@@ -106,6 +106,16 @@ impl AuditResult {
                 self.engine.shard_tasks, self.engine.rows_classified_parallel,
             ));
         }
+        if self.engine.page_hits + self.engine.page_misses + self.engine.pages_skipped > 0 {
+            out.push_str(&format!(
+                "pages: {} scanned, {} skipped, {} cache hits, {} misses, {} evictions\n",
+                self.engine.pages_scanned,
+                self.engine.pages_skipped,
+                self.engine.page_hits,
+                self.engine.page_misses,
+                self.engine.page_evictions,
+            ));
+        }
         let mut parts: Vec<&crate::Partition> = self.partitioning.partitions().iter().collect();
         parts.sort_by_key(|p| std::cmp::Reverse(p.len()));
         for p in parts {
@@ -116,7 +126,7 @@ impl AuditResult {
                 .unwrap_or_else(|| "-".into());
             out.push_str(&format!(
                 "  {:<60} mean score {}\n",
-                p.describe(ctx.table()),
+                p.describe_in(ctx.schema()),
                 mean
             ));
             if with_histograms {
@@ -133,7 +143,7 @@ impl AuditResult {
     /// Machine-readable JSON rendering of the result (stable field
     /// names; one object, no trailing newline).
     pub fn to_json(&self, ctx: &AuditContext<'_>) -> String {
-        let schema = ctx.table().schema();
+        let schema = ctx.schema();
         let attributes: Vec<String> = self
             .partitioning
             .attributes_used()
@@ -229,6 +239,11 @@ mod tests {
                 warm_starts: 7,
                 shard_tasks: 6,
                 rows_classified_parallel: 320,
+                page_hits: 9,
+                page_misses: 4,
+                page_evictions: 1,
+                pages_skipped: 8,
+                pages_scanned: 13,
             },
         };
         let text = result.render(&ctx, false);
@@ -240,6 +255,7 @@ mod tests {
         assert!(text.contains("bounds: 40 pairs screened, 6 exact solves, 3 pool tasks"));
         assert!(text.contains("solver: 14 ground cache hits, 13 scratch reuses, 7 warm starts"));
         assert!(text.contains("shards: 6 shard tasks, 320 rows classified in parallel"));
+        assert!(text.contains("pages: 13 scanned, 8 skipped, 9 cache hits, 4 misses, 1 evictions"));
         assert!(text.contains("0.5000"));
         assert!(text.contains("gender=Male"));
         assert!(text.contains("gender=Female"));
@@ -278,6 +294,11 @@ mod tests {
                 warm_starts: 4,
                 shard_tasks: 6,
                 rows_classified_parallel: 250,
+                page_hits: 21,
+                page_misses: 7,
+                page_evictions: 2,
+                pages_skipped: 11,
+                pages_scanned: 17,
             },
         };
         let json = result.to_json(&ctx);
@@ -290,7 +311,7 @@ mod tests {
         assert!(json.contains("\"value\":\"Male\""));
         assert!(json.contains("\"candidates_evaluated\":3"));
         assert!(json.contains(
-            "\"engine\":{\"distances_computed\":7,\"cache_hits\":2,\"cache_bypasses\":1,\"splits_computed\":4,\"split_cache_hits\":9,\"rows_scanned\":250,\"histograms_built\":8,\"cache_evictions\":0,\"split_evictions\":3,\"bounds_screened\":20,\"exact_solves\":5,\"pool_tasks\":2,\"ground_cache_hits\":12,\"scratch_reuses\":10,\"warm_starts\":4,\"shard_tasks\":6,\"rows_classified_parallel\":250}"
+            "\"engine\":{\"distances_computed\":7,\"cache_hits\":2,\"cache_bypasses\":1,\"splits_computed\":4,\"split_cache_hits\":9,\"rows_scanned\":250,\"histograms_built\":8,\"cache_evictions\":0,\"split_evictions\":3,\"bounds_screened\":20,\"exact_solves\":5,\"pool_tasks\":2,\"ground_cache_hits\":12,\"scratch_reuses\":10,\"warm_starts\":4,\"shard_tasks\":6,\"rows_classified_parallel\":250,\"page_hits\":21,\"page_misses\":7,\"page_evictions\":2,\"pages_skipped\":11,\"pages_scanned\":17}"
         ));
         // Structural completeness: every counter as_pairs knows about is
         // present in the JSON by name.

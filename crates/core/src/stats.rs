@@ -47,7 +47,12 @@ pub fn permutation_test(
 ) -> Result<PermutationOutcome, AuditError> {
     let observed = ctx.unfairness(partitioning.partitions())?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut shuffled: Vec<f64> = ctx.scores().to_vec();
+    let mut shuffled: Vec<f64> = ctx
+        .scores()
+        .ok_or(AuditError::OutOfCore {
+            what: "the permutation test's score shuffling",
+        })?
+        .to_vec();
     let mut at_least = 0usize;
     let mut sum = 0.0;
     let mut max = f64::NEG_INFINITY;

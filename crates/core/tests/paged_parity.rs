@@ -1,0 +1,241 @@
+//! Out-of-core parity: an audit streamed off the paged store through a
+//! bounded page cache must reproduce the in-memory audit bit for bit —
+//! same unfairness bits, same partitioning, same engine-local counters
+//! — at every (memory budget × shard policy × thread count) layout.
+//! The page-cache meters themselves are layout-dependent by definition
+//! (a smaller budget re-reads more pages) but must stay truthful:
+//! every audited page is either scanned or zone-skipped.
+
+use fairjob_core::algorithms::{
+    balanced::Balanced, unbalanced::Unbalanced, Algorithm, AttributeChoice,
+};
+use fairjob_core::{AuditConfig, AuditContext, AuditResult, EngineStats};
+use fairjob_marketplace::scoring::{LinearScore, RuleBasedScore, ScoringFunction};
+use fairjob_marketplace::{bucketise_numeric_protected, generate_uniform};
+use fairjob_store::paged::write_paged;
+use fairjob_store::{PagedStore, RowSet, ShardPolicy};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn population(size: usize, seed: u64, rule: bool) -> (fairjob_store::table::Table, Vec<f64>) {
+    let mut workers = generate_uniform(size, seed);
+    bucketise_numeric_protected(&mut workers).unwrap();
+    let scores = if rule {
+        RuleBasedScore::f7(5).score_all(&workers).unwrap()
+    } else {
+        LinearScore::alpha("f1", 0.5).score_all(&workers).unwrap()
+    };
+    (workers, scores)
+}
+
+/// A scratch paged file, removed on drop. Named by test + params so
+/// concurrent proptest cases never collide.
+struct TempPaged(PathBuf);
+
+impl TempPaged {
+    fn write(
+        tag: &str,
+        workers: &fairjob_store::table::Table,
+        scores: &[f64],
+        live: Option<&RowSet>,
+    ) -> Self {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "fairjob-paged-parity-{}-{tag}.fjp",
+            std::process::id()
+        ));
+        write_paged(&path, workers, Some(scores), live, 0, 10).unwrap();
+        TempPaged(path)
+    }
+}
+
+impl Drop for TempPaged {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn run_mem(
+    workers: &fairjob_store::table::Table,
+    scores: &[f64],
+    shards: ShardPolicy,
+    threads: usize,
+    balanced: bool,
+) -> AuditResult {
+    let config = AuditConfig {
+        shards,
+        threads: Some(threads),
+        ..AuditConfig::default()
+    };
+    let ctx = AuditContext::new(workers, scores, config).unwrap();
+    if balanced {
+        Balanced::new(AttributeChoice::Worst).run(&ctx).unwrap()
+    } else {
+        Unbalanced::new(AttributeChoice::Worst).run(&ctx).unwrap()
+    }
+}
+
+fn run_paged(
+    store: &PagedStore,
+    shards: ShardPolicy,
+    threads: usize,
+    balanced: bool,
+) -> AuditResult {
+    let config = AuditConfig {
+        shards,
+        threads: Some(threads),
+        ..AuditConfig::default()
+    };
+    let ctx = AuditContext::from_paged(store, config, None, None).unwrap();
+    if balanced {
+        Balanced::new(AttributeChoice::Worst).run(&ctx).unwrap()
+    } else {
+        Unbalanced::new(AttributeChoice::Worst).run(&ctx).unwrap()
+    }
+}
+
+/// The engine-local counters: everything except the shard-work meters
+/// and the page-cache meters, both layout-dependent by definition.
+fn engine_local(stats: &EngineStats) -> Vec<(&'static str, u64)> {
+    const LAYOUT_DEPENDENT: &[&str] = &[
+        "shard_tasks",
+        "rows_classified_parallel",
+        "page_hits",
+        "page_misses",
+        "page_evictions",
+        "pages_skipped",
+        "pages_scanned",
+    ];
+    stats
+        .as_pairs()
+        .into_iter()
+        .filter(|(name, _)| !LAYOUT_DEPENDENT.contains(name))
+        .collect()
+}
+
+#[test]
+fn roundtrip_materializes_the_exact_population() {
+    let (workers, scores) = population(700, 42, false);
+    let tmp = TempPaged::write("roundtrip", &workers, &scores, None);
+    let store = PagedStore::open(&tmp.0, 1 << 20).unwrap();
+    assert_eq!(store.rows(), workers.len());
+    assert_eq!(store.schema(), workers.schema());
+    assert!(store.live().is_none(), "full population stores no bitmap");
+    let (back, back_scores) = store.materialize().unwrap();
+    assert_eq!(&back, &workers);
+    assert_eq!(back_scores.as_deref(), Some(scores.as_slice()));
+}
+
+#[test]
+fn live_subset_roundtrips_and_audits_identically() {
+    let (workers, scores) = population(500, 9, true);
+    // An arbitrary-but-deterministic subset: drop every 7th row.
+    let live = RowSet::from_sorted(
+        (0..workers.len() as u32)
+            .filter(|row| row % 7 != 0)
+            .collect(),
+    );
+    let tmp = TempPaged::write("live", &workers, &scores, Some(&live));
+    let store = PagedStore::open(&tmp.0, 1 << 20).unwrap();
+    assert_eq!(store.live(), Some(&live));
+
+    // In-memory baseline over the same subset, through the stream
+    // layer's validated parts path.
+    let indexes = std::sync::Arc::new(fairjob_store::index::IndexSet::build(&workers).unwrap());
+    let bin_of = std::sync::Arc::new(
+        fairjob_hist::BinSpec::equal_width(0.0, 1.0, 10)
+            .unwrap()
+            .bin_indices(&scores),
+    );
+    let ctx_mem = AuditContext::from_parts(
+        &workers,
+        &scores,
+        AuditConfig::default(),
+        indexes,
+        bin_of,
+        Some(live.clone()),
+        0,
+    )
+    .unwrap();
+    let algorithm = Balanced::new(AttributeChoice::Worst);
+    let mem = algorithm.run(&ctx_mem).unwrap();
+
+    let ctx_paged = AuditContext::from_paged(&store, AuditConfig::default(), None, None).unwrap();
+    let paged = algorithm.run(&ctx_paged).unwrap();
+    assert_eq!(paged.unfairness.to_bits(), mem.unfairness.to_bits());
+    assert_eq!(paged.partitioning.len(), mem.partitioning.len());
+    assert_eq!(engine_local(&paged.engine), engine_local(&mem.engine));
+}
+
+#[test]
+fn tight_budgets_evict_but_do_not_change_bits() {
+    // Big enough that every column spans several pages — a one-page
+    // budget can only make progress by evicting (a single-page column
+    // set can sit fully pinned during the index build and never evict).
+    let (workers, scores) = population(20_000, 77, false);
+    let tmp = TempPaged::write("evict", &workers, &scores, None);
+    let baseline = run_mem(&workers, &scores, ShardPolicy::Auto, 2, false);
+
+    // One-page budget: every column scan cycles the cache.
+    let tight = PagedStore::open(&tmp.0, 1).unwrap();
+    let result = run_paged(&tight, ShardPolicy::Auto, 2, false);
+    assert_eq!(result.unfairness.to_bits(), baseline.unfairness.to_bits());
+    assert_eq!(engine_local(&result.engine), engine_local(&baseline.engine));
+    assert!(
+        result.engine.page_evictions > 0,
+        "a one-page budget over a multi-page file must evict (counters: {:?})",
+        result.engine
+    );
+    assert!(result.engine.page_misses > 0);
+    assert!(result.engine.pages_scanned > 0);
+
+    // Roomy budget: the same audit re-reads nothing after first touch.
+    let roomy = PagedStore::open(&tmp.0, 1 << 30).unwrap();
+    let result = run_paged(&roomy, ShardPolicy::Auto, 2, false);
+    assert_eq!(result.unfairness.to_bits(), baseline.unfairness.to_bits());
+    assert_eq!(result.engine.page_evictions, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The full grid: every (budget × shard policy × thread count)
+    /// reproduces the in-memory audit bit for bit, engine-local
+    /// counters included.
+    #[test]
+    fn paged_audits_are_bit_identical_across_layouts(
+        size in 250usize..700,
+        seed in 0u64..1_000,
+    ) {
+        let balanced = seed % 2 == 0;
+        let (workers, scores) = population(size, seed, !balanced);
+        let tmp = TempPaged::write(
+            &format!("grid-{size}-{seed}"),
+            &workers,
+            &scores,
+            None,
+        );
+        let baseline = run_mem(&workers, &scores, ShardPolicy::Disabled, 1, balanced);
+        for budget in [1usize, 1 << 17, 1 << 30] {
+            let store = PagedStore::open(&tmp.0, budget).unwrap();
+            for shards in [ShardPolicy::Disabled, ShardPolicy::Fixed(3), ShardPolicy::Auto] {
+                for threads in [1usize, 4] {
+                    let got = run_paged(&store, shards, threads, balanced);
+                    prop_assert_eq!(
+                        got.unfairness.to_bits(),
+                        baseline.unfairness.to_bits(),
+                        "budget={} shards={} threads={}",
+                        budget, shards, threads
+                    );
+                    prop_assert_eq!(got.partitioning.len(), baseline.partitioning.len());
+                    prop_assert_eq!(
+                        engine_local(&got.engine),
+                        engine_local(&baseline.engine),
+                        "engine-local counters diverged at budget={} shards={} threads={}",
+                        budget, shards, threads
+                    );
+                }
+            }
+        }
+    }
+}

@@ -27,7 +27,7 @@ use crate::logical::LogicalPlan;
 use fairjob_core::EngineStats;
 use fairjob_store::index::IndexSet;
 use fairjob_store::schema::Schema;
-use fairjob_store::{Predicate, RowSet, ShardPolicy, Table};
+use fairjob_store::{PagedStore, Predicate, RowSet, ShardPolicy};
 
 /// What the planner knows about the data it plans over.
 pub struct Catalog<'a> {
@@ -40,6 +40,11 @@ pub struct Catalog<'a> {
     pub table_rows: usize,
     /// The live row set, when the source is a snapshot.
     pub live: Option<&'a RowSet>,
+    /// The paged store, when the source is out-of-core. Non-trivial
+    /// predicates then compile to zone-mapped page scans instead of
+    /// posting intersections, and split-children estimates come from
+    /// the zone-map code bitsets (no page reads either way).
+    pub paged: Option<&'a PagedStore>,
 }
 
 impl Catalog<'_> {
@@ -92,6 +97,11 @@ pub enum ScanKind {
     Index(Vec<(usize, u32, usize)>),
     /// Walk every live row and test the predicate (the naive path).
     Full,
+    /// Paged source: stream each constrained column's pages, skipping
+    /// pages whose zone map rules the wanted code out or that hold no
+    /// surviving candidate row. Entries are `(attr, code)` in
+    /// application order.
+    ZoneMap(Vec<(usize, u32)>),
 }
 
 /// The scan node.
@@ -295,6 +305,9 @@ fn present_values(catalog: &Catalog<'_>, attr: usize) -> usize {
             .filter(|&code| !index.rows_with_code(code).is_empty())
             .count();
     }
+    if let Some(codes) = catalog.paged.and_then(|store| store.present_codes(attr)) {
+        return codes.len();
+    }
     catalog
         .schema
         .attribute(attr)
@@ -336,6 +349,31 @@ fn plan_scan(filter: &Predicate, catalog: &Catalog<'_>, options: PlannerOptions)
         est_matched *= selectivity;
     }
     let est_matched = est_matched.round() as usize;
+    if let Some(store) = catalog.paged {
+        // Zone-mapped paged scan: the only access path on an
+        // out-of-core source (no resident rows to walk, no posting
+        // lists until an audit builds them). Examined rows are bounded
+        // by the pages that survive zone-map + candidate pruning.
+        let constraints: Vec<(usize, u32)> = filter
+            .constraints()
+            .iter()
+            .map(|c| (c.attr, c.code))
+            .collect();
+        let zone_prunable = constraints
+            .iter()
+            .filter(|&&(attr, code)| {
+                store
+                    .present_codes(attr)
+                    .is_some_and(|codes| !codes.contains(&code))
+            })
+            .count();
+        return ScanNode {
+            filter: filter.clone(),
+            kind: ScanKind::ZoneMap(constraints),
+            est_matched: if zone_prunable > 0 { 0 } else { est_matched },
+            est_examined: if zone_prunable > 0 { 0 } else { base },
+        };
+    }
     if options.push_predicates && catalog.indexes.is_some() {
         let est_examined = postings.iter().map(|&(_, _, len)| len).sum();
         ScanNode {
@@ -355,9 +393,11 @@ fn plan_scan(filter: &Predicate, catalog: &Catalog<'_>, options: PlannerOptions)
 }
 
 impl PhysicalPlan {
-    /// Render the plan tree. With `actuals`, every node gets an
-    /// `actual:` line under its `est:` line (`EXPLAIN ANALYZE`).
-    pub fn render(&self, table: &Table, actuals: Option<&Actuals>) -> String {
+    /// Render the plan tree against the source schema (no row data is
+    /// consulted, so paged sources render identically). With `actuals`,
+    /// every node gets an `actual:` line under its `est:` line
+    /// (`EXPLAIN ANALYZE`).
+    pub fn render(&self, schema: &Schema, actuals: Option<&Actuals>) -> String {
         let mut out = String::new();
         match self {
             PhysicalPlan::Audit { scan, audit } => {
@@ -369,7 +409,7 @@ impl PhysicalPlan {
                     audit
                         .attr_indexes
                         .iter()
-                        .map(|&i| table.schema().attribute(i).name.clone())
+                        .map(|&i| schema.attribute(i).name.clone())
                         .collect::<Vec<_>>()
                         .join(", "),
                     audit.screen.label(),
@@ -398,7 +438,7 @@ impl PhysicalPlan {
                     }
                     out.push('\n');
                 }
-                render_scan(&mut out, scan, table, actuals, "  ");
+                render_scan(&mut out, scan, schema, actuals, "  ");
             }
             PhysicalPlan::Select {
                 scan,
@@ -414,22 +454,19 @@ impl PhysicalPlan {
                     items.len(),
                     group_by.map_or(String::new(), |g| format!(
                         " group_by={}",
-                        table.schema().attribute(g).name
+                        schema.attribute(g).name
                     )),
                     limit.map_or(String::new(), |n| format!(" limit={n}")),
                 ));
                 if let Some(a) = actuals {
                     out.push_str(&format!("  actual: rows_out={}\n", a.rows_out));
                 }
-                render_scan(&mut out, scan, table, actuals, "  ");
+                render_scan(&mut out, scan, schema, actuals, "  ");
             }
             PhysicalPlan::Describe { attr } => {
                 out.push_str(&format!(
                     "Describe column={}\n",
-                    attr.map_or_else(
-                        || "*".to_string(),
-                        |i| table.schema().attribute(i).name.clone()
-                    )
+                    attr.map_or_else(|| "*".to_string(), |i| schema.attribute(i).name.clone())
                 ));
             }
         }
@@ -440,7 +477,7 @@ impl PhysicalPlan {
 fn render_scan(
     out: &mut String,
     scan: &ScanNode,
-    table: &Table,
+    schema: &Schema,
     actuals: Option<&Actuals>,
     indent: &str,
 ) {
@@ -452,8 +489,19 @@ fn render_scan(
             postings
                 .iter()
                 .map(|&(attr, code, len)| {
-                    let def = table.schema().attribute(attr);
+                    let def = schema.attribute(attr);
                     format!("{}={}:{len}", def.name, def.label_of(code).unwrap_or("?"))
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        ScanKind::ZoneMap(constraints) => format!(
+            "ZoneMapScan constraints=[{}]",
+            constraints
+                .iter()
+                .map(|&(attr, code)| {
+                    let def = schema.attribute(attr);
+                    format!("{}={}", def.name, def.label_of(code).unwrap_or("?"))
                 })
                 .collect::<Vec<_>>()
                 .join(", ")
@@ -461,7 +509,7 @@ fn render_scan(
     };
     out.push_str(&format!(
         "{indent}{path} workers filter=({})\n",
-        scan.filter.describe(table)
+        scan.filter.describe_in(schema)
     ));
     out.push_str(&format!(
         "{indent}  est: matched≈{} examined≈{}\n",

@@ -33,7 +33,7 @@ use fairjob_hist::BinSpec;
 use fairjob_store::column::Column;
 use fairjob_store::index::IndexSet;
 use fairjob_store::stats::{cardinality_present, summarise, ColumnSummary};
-use fairjob_store::{RowSet, ShardPolicy, Table};
+use fairjob_store::{PagedStore, RowSet, Schema, ShardPolicy, Table};
 use fairjob_stream::StreamSnapshot;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -50,13 +50,39 @@ pub enum Source<'a> {
     },
     /// A published stream snapshot (the serve daemon's path).
     Snapshot(&'a StreamSnapshot),
+    /// An out-of-core paged store (the `--paged` path). Audits stream
+    /// pages through the buffer manager; `WHERE` clauses run as
+    /// zone-map scans. Row-materializing statements (`SELECT`,
+    /// `DESCRIBE`) are rejected with a clean error rather than paging
+    /// the whole table in.
+    Paged(&'a PagedStore),
 }
 
 impl Source<'_> {
-    fn table(&self) -> &Table {
+    /// The in-memory table, when the source has one. Paged sources do
+    /// not — callers that need row data go through
+    /// [`Session::require_table`].
+    fn table(&self) -> Option<&Table> {
         match self {
-            Source::Batch { table, .. } => table,
-            Source::Snapshot(snap) => snap.table(),
+            Source::Batch { table, .. } => Some(table),
+            Source::Snapshot(snap) => Some(snap.table()),
+            Source::Paged(_) => None,
+        }
+    }
+
+    fn schema(&self) -> &Schema {
+        match self {
+            Source::Batch { table, .. } => table.schema(),
+            Source::Snapshot(snap) => snap.table().schema(),
+            Source::Paged(store) => store.schema(),
+        }
+    }
+
+    fn rows(&self) -> usize {
+        match self {
+            Source::Batch { table, .. } => table.len(),
+            Source::Snapshot(snap) => snap.table().len(),
+            Source::Paged(store) => store.rows(),
         }
     }
 
@@ -64,6 +90,7 @@ impl Source<'_> {
         match self {
             Source::Batch { .. } => 0,
             Source::Snapshot(snap) => snap.epoch(),
+            Source::Paged(store) => store.epoch(),
         }
     }
 
@@ -71,13 +98,15 @@ impl Source<'_> {
         match self {
             Source::Batch { .. } => None,
             Source::Snapshot(snap) => Some(snap.live_rows()),
+            Source::Paged(store) => store.live(),
         }
     }
 
-    fn scores(&self) -> &[f64] {
+    fn scores(&self) -> Option<&[f64]> {
         match self {
-            Source::Batch { scores, .. } => scores,
-            Source::Snapshot(snap) => snap.scores(),
+            Source::Batch { scores, .. } => Some(scores),
+            Source::Snapshot(snap) => Some(snap.scores()),
+            Source::Paged(_) => None,
         }
     }
 }
@@ -229,7 +258,7 @@ impl<'a> Session<'a> {
     /// the pipeline, [`QueryError::Exec`] from execution.
     pub fn execute(&mut self, text: &str) -> Result<Vec<QueryOutput>, QueryError> {
         let statements = parse(text)?;
-        let schema = self.source.table().schema().clone();
+        let schema = self.source.schema().clone();
         let mut outputs = Vec::with_capacity(statements.len());
         for statement in &statements {
             let analyzed = analyze(statement, &schema)?;
@@ -248,13 +277,18 @@ impl<'a> Session<'a> {
             self.ensure_batch_indexes();
         }
         let catalog = Catalog {
-            schema: self.source.table().schema(),
+            schema: self.source.schema(),
             indexes: match &self.source {
                 Source::Batch { .. } => self.batch_indexes.as_deref(),
                 Source::Snapshot(snap) => Some(snap.indexes()),
+                Source::Paged(_) => None,
             },
-            table_rows: self.source.table().len(),
+            table_rows: self.source.rows(),
             live: self.source.live(),
+            paged: match &self.source {
+                Source::Paged(store) => Some(store),
+                _ => None,
+            },
         };
         let defaults = PlanDefaults {
             algorithm: self.defaults.algorithm.name(),
@@ -283,9 +317,19 @@ impl<'a> Session<'a> {
         }
     }
 
+    /// The in-memory table, or a clean error naming the statement that
+    /// needed it (paged sources hold no row data).
+    fn require_table(&self, what: &str) -> Result<&Table, QueryError> {
+        self.source.table().ok_or_else(|| {
+            QueryError::Exec(format!(
+                "{what} needs row data in memory; paged sources support AUDIT and EXPLAIN only"
+            ))
+        })
+    }
+
     fn run(&mut self, analyzed: &Analyzed) -> Result<QueryOutput, QueryError> {
         match analyzed {
-            Analyzed::Describe(attr) => Ok(QueryOutput::Rows(self.describe(*attr))),
+            Analyzed::Describe(attr) => Ok(QueryOutput::Rows(self.describe(*attr)?)),
             Analyzed::Select(select) => {
                 let physical = self.plan_of(analyzed);
                 let PhysicalPlan::Select { scan, .. } = &physical else {
@@ -307,7 +351,7 @@ impl<'a> Session<'a> {
                 let physical = self.plan_of(inner);
                 if !*analyze {
                     return Ok(QueryOutput::Explain {
-                        text: physical.render(self.source.table(), None),
+                        text: physical.render(self.source.schema(), None),
                     });
                 }
                 let actuals = match (&physical, inner.as_ref()) {
@@ -338,7 +382,7 @@ impl<'a> Session<'a> {
                         }
                     }
                     (PhysicalPlan::Describe { .. }, Analyzed::Describe(attr)) => {
-                        let result = self.describe(*attr);
+                        let result = self.describe(*attr)?;
                         Actuals {
                             rows_out: result.rows.len(),
                             ..Actuals::default()
@@ -347,7 +391,7 @@ impl<'a> Session<'a> {
                     _ => unreachable!("plan shape mirrors the statement"),
                 };
                 Ok(QueryOutput::Explain {
-                    text: physical.render(self.source.table(), Some(&actuals)),
+                    text: physical.render(self.source.schema(), Some(&actuals)),
                 })
             }
         }
@@ -356,16 +400,16 @@ impl<'a> Session<'a> {
     /// Execute a scan: the matching rows plus the number of rows
     /// examined to find them.
     fn run_scan(&self, scan: &ScanNode) -> Result<(RowSet, usize), QueryError> {
-        let table = self.source.table();
         let base = || {
             self.source
                 .live()
                 .cloned()
-                .unwrap_or_else(|| RowSet::all(table.len()))
+                .unwrap_or_else(|| RowSet::all(self.source.rows()))
         };
         match &scan.kind {
             ScanKind::All => Ok((base(), 0)),
             ScanKind::Full => {
+                let table = self.require_table("a row-walk filter")?;
                 let within = base();
                 let examined = within.len();
                 let rows = scan
@@ -374,6 +418,15 @@ impl<'a> Session<'a> {
                     .map_err(|e| QueryError::Exec(e.to_string()))?;
                 Ok((rows, examined))
             }
+            ScanKind::ZoneMap(constraints) => {
+                let Source::Paged(store) = &self.source else {
+                    unreachable!("zone-map scans are planned only for paged sources")
+                };
+                let (rows, summary) = store
+                    .scan_matching(constraints)
+                    .map_err(|e| QueryError::Exec(e.to_string()))?;
+                Ok((rows, summary.rows_examined))
+            }
             ScanKind::Index(postings) => {
                 let indexes = match &self.source {
                     Source::Batch { .. } => self
@@ -381,6 +434,9 @@ impl<'a> Session<'a> {
                         .as_deref()
                         .expect("planner built indexes for a pushed scan"),
                     Source::Snapshot(snap) => snap.indexes(),
+                    Source::Paged(_) => {
+                        unreachable!("paged sources plan zone-map scans, never index scans")
+                    }
                 };
                 let mut examined = 0;
                 let mut acc: Option<RowSet> = None;
@@ -412,7 +468,8 @@ impl<'a> Session<'a> {
         }
         let spec = BinSpec::equal_width(0.0, 1.0, bins)
             .map_err(|e| QueryError::Exec(format!("bins: {e}")))?;
-        let bin_of: Arc<Vec<u32>> = Arc::new(spec.bin_indices(self.source.scores()));
+        let scores = self.source.scores().expect("bin arrays are batch-only");
+        let bin_of: Arc<Vec<u32>> = Arc::new(spec.bin_indices(scores));
         self.batch_bin_of.insert(bins, Arc::clone(&bin_of));
         Ok(bin_of)
     }
@@ -445,15 +502,38 @@ impl<'a> Session<'a> {
         };
 
         let trivial = scan.filter.is_always();
+        // Snapshot the page-cache counters *before* the WHERE scan so
+        // `EXPLAIN ANALYZE` attributes the filter's page traffic (zone
+        // skips included) to this audit.
+        let paged_baseline = match &self.source {
+            Source::Paged(store) => Some(store.stats().snapshot()),
+            _ => None,
+        };
         let (rows, examined) = self.run_scan(scan)?;
         let matched = rows.len();
         if matched == 0 {
             return Err(QueryError::Exec("WHERE matches no rows".to_string()));
         }
 
+        // Identity of the backing memory: for paged sources the store
+        // address stands in for both (its pages and scores live behind
+        // one allocation).
+        let (table_id, scores_id) = match &self.source {
+            Source::Batch { table, scores } => {
+                (*table as *const Table as usize, scores.as_ptr() as usize)
+            }
+            Source::Snapshot(snap) => (
+                snap.table() as *const Table as usize,
+                snap.scores().as_ptr() as usize,
+            ),
+            Source::Paged(store) => {
+                let id = *store as *const PagedStore as usize;
+                (id, id)
+            }
+        };
         let key = CacheKey {
-            table: self.source.table() as *const Table as usize,
-            scores: self.source.scores().as_ptr() as usize,
+            table: table_id,
+            scores: scores_id,
             epoch: self.source.epoch(),
             filter: scan.filter.fingerprint(),
             bins: node.bins,
@@ -507,6 +587,14 @@ impl<'a> Session<'a> {
                 let ctx = snap.context_over(config, rows).map_err(stream_setup)?;
                 finish_audit(&algorithm, &ctx, seeded)?
             }
+            // The paged paths: same streaming context either way —
+            // trivial filters let the store's own live set stand.
+            (Source::Paged(store), trivial) => {
+                let live = if trivial { None } else { Some(rows) };
+                let ctx =
+                    AuditContext::from_paged(store, config, live, paged_baseline).map_err(setup)?;
+                finish_audit(&algorithm, &ctx, seeded)?
+            }
         };
         if let Some(caches) = caches {
             self.warm = WarmCache {
@@ -537,8 +625,7 @@ impl<'a> Session<'a> {
         ))
     }
 
-    fn cell(&self, attr: usize, row: usize) -> Value {
-        let table = self.source.table();
+    fn cell(table: &Table, attr: usize, row: usize) -> Value {
         match table.column(attr) {
             Column::Categorical(codes) => Value::Str(
                 table
@@ -558,7 +645,7 @@ impl<'a> Session<'a> {
         select: &AnalyzedSelect,
         rows: &RowSet,
     ) -> Result<(QueryResult, usize), QueryError> {
-        let table = self.source.table();
+        let table = self.require_table("SELECT")?;
         let schema = table.schema();
         let columns: Vec<String> = select.items.iter().map(|i| i.header(schema)).collect();
         let limit = select.limit.unwrap_or(usize::MAX);
@@ -625,7 +712,7 @@ impl<'a> Session<'a> {
                         .items
                         .iter()
                         .map(|item| match item {
-                            OutItem::Column(attr) => self.cell(*attr, row),
+                            OutItem::Column(attr) => Self::cell(table, *attr, row),
                             _ => unreachable!("no aggregates on this path"),
                         })
                         .collect()
@@ -641,8 +728,8 @@ impl<'a> Session<'a> {
         ))
     }
 
-    fn describe(&self, only: Option<usize>) -> QueryResult {
-        let table = self.source.table();
+    fn describe(&self, only: Option<usize>) -> Result<QueryResult, QueryError> {
+        let table = self.require_table("DESCRIBE")?;
         let schema = table.schema();
         let columns = [
             "column",
@@ -700,7 +787,7 @@ impl<'a> Session<'a> {
                 row
             })
             .collect();
-        QueryResult { columns, rows }
+        Ok(QueryResult { columns, rows })
     }
 }
 
@@ -725,14 +812,14 @@ fn finish_audit(
         .run(ctx)
         .map_err(|e| QueryError::Exec(format!("{}: {e}", algorithm.name())))?;
     let caches = ctx.take_engine_caches();
-    let table = ctx.table();
+    let schema = ctx.schema();
     let rows: Vec<Vec<Value>> = result
         .partitioning
         .partitions()
         .iter()
         .map(|p| {
             vec![
-                Value::Str(p.predicate.describe(table)),
+                Value::Str(p.predicate.describe_in(schema)),
                 Value::Int(p.len() as i64),
             ]
         })

@@ -99,6 +99,40 @@ impl CategoricalIndex {
         })
     }
 
+    /// Assemble an index from externally-built parts — the paged context
+    /// build streams a column's pages once, producing the postings and
+    /// the forward column in the same pass, then hands them here.
+    ///
+    /// Invariants are the caller's to guarantee: `postings[code]` holds
+    /// exactly the rows whose forward-column entry is `code`, sorted
+    /// ascending; exactly one of `codes8` / `codes` is populated (the
+    /// byte column when the dictionary has ≤ 256 entries, mirroring
+    /// [`CategoricalIndex::build_sharded`]'s narrowing).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the posting row total does not exceed the forward
+    /// column length (paged live-subset builds index only the live rows,
+    /// leaving skipped pages as zero-filled forward placeholders).
+    pub fn from_parts(
+        attr: usize,
+        postings: Vec<RowSet>,
+        codes8: Option<Vec<u8>>,
+        codes: Vec<u32>,
+    ) -> Self {
+        debug_assert!(
+            postings.iter().map(RowSet::len).sum::<usize>()
+                <= codes8.as_ref().map_or(codes.len(), Vec::len),
+            "postings must cover a subset of the forward column"
+        );
+        CategoricalIndex {
+            attr,
+            postings,
+            codes,
+            codes8,
+        }
+    }
+
     /// The indexed attribute.
     pub fn attribute(&self) -> usize {
         self.attr
@@ -720,6 +754,19 @@ impl IndexSet {
             indexes[attr] = Some(CategoricalIndex::build_sharded(table, attr, plan)?);
         }
         Ok(IndexSet { indexes })
+    }
+
+    /// Assemble a set from externally-built indexes (see
+    /// [`CategoricalIndex::from_parts`]); `width` is the schema width.
+    /// Attributes without an entry carry no index.
+    pub fn from_indexes(width: usize, built: Vec<CategoricalIndex>) -> Self {
+        let mut indexes: Vec<Option<CategoricalIndex>> = Vec::new();
+        indexes.resize_with(width, || None);
+        for index in built {
+            let attr = index.attribute();
+            indexes[attr] = Some(index);
+        }
+        IndexSet { indexes }
     }
 
     /// The index for attribute `attr`, if one was built.

@@ -22,6 +22,9 @@
 //! * [`sharded`] — deterministic fixed row-range shards: the layout the
 //!   data-parallel split/classify kernels slice their input by, merged
 //!   in shard order so results stay bit-identical at any thread count.
+//! * [`paged`] — out-of-core paged columnar format with zone maps and a
+//!   budgeted buffer manager, for audits beyond RAM and fast snapshot
+//!   restarts.
 //! * [`csv`] — dependency-free CSV import/export for persistence.
 //!
 //! # Example
@@ -48,6 +51,7 @@ pub mod csv;
 pub mod error;
 pub mod groupby;
 pub mod index;
+pub mod paged;
 pub mod predicate;
 pub mod rowset;
 pub mod schema;
@@ -57,6 +61,7 @@ pub mod stats;
 pub mod table;
 
 pub use error::StoreError;
+pub use paged::{BufferManager, PageCacheStats, PageCounters, PagedError, PagedStore};
 pub use predicate::{EqConstraint, Predicate};
 pub use rowset::RowSet;
 pub use schema::{AttributeDef, AttributeKind, DataType, Schema};

@@ -135,13 +135,20 @@ impl Predicate {
     /// Render the predicate with attribute and value names from `table`'s
     /// schema (e.g. `gender=Male ∧ language=English`).
     pub fn describe(&self, table: &Table) -> String {
+        self.describe_in(table.schema())
+    }
+
+    /// Schema-only variant of [`Predicate::describe`] — rendering needs
+    /// no row data, so paged (out-of-core) callers hand the schema
+    /// directly.
+    pub fn describe_in(&self, schema: &crate::Schema) -> String {
         if self.is_always() {
             return "⊤".to_string();
         }
         self.constraints
             .iter()
             .map(|c| {
-                let attr = table.schema().attribute(c.attr);
+                let attr = schema.attribute(c.attr);
                 let label = attr.label_of(c.code).unwrap_or("?");
                 format!("{}={}", attr.name, label)
             })

@@ -116,6 +116,31 @@ impl ShardPlan {
         ShardPlan { n_rows, bounds }
     }
 
+    /// Plan up to `shards` row ranges whose **interior boundaries fall
+    /// on multiples of `granule`** — the paged store shards on page
+    /// boundaries (granule = rows per page) so no shard ever splits a
+    /// page. Boundaries are spread evenly in granule units; with fewer
+    /// granules than requested shards the plan degrades to fewer
+    /// (larger) shards. Results stay bit-identical under any plan — the
+    /// alignment is purely an I/O-locality layout choice.
+    pub fn new_aligned(n_rows: usize, shards: usize, granule: usize) -> Self {
+        let granule = granule.max(1);
+        let granules = n_rows / granule;
+        let shards = shards.clamp(1, n_rows.max(1));
+        let mut bounds = Vec::with_capacity(shards + 1);
+        bounds.push(0u32);
+        let mut last = 0usize;
+        for s in 1..shards {
+            let b = (s * granules / shards) * granule;
+            if b > last && b < n_rows {
+                bounds.push(b as u32);
+                last = b;
+            }
+        }
+        bounds.push(n_rows as u32);
+        ShardPlan { n_rows, bounds }
+    }
+
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.bounds.len() - 1

@@ -59,6 +59,51 @@ impl Table {
         }
     }
 
+    /// Assemble a table from pre-validated columns (the paged-store
+    /// materialisation path). Column types and lengths are checked
+    /// against the schema; cell values are trusted — callers hold data
+    /// that already passed ingestion validation once.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::RowArity`] when column lengths disagree,
+    /// [`StoreError::TypeMismatch`] when a column's type does not match
+    /// its attribute.
+    pub fn from_columns(schema: Schema, columns: Vec<Column>) -> Result<Self, StoreError> {
+        if columns.len() != schema.width() {
+            return Err(StoreError::RowArity {
+                expected: schema.width(),
+                got: columns.len(),
+            });
+        }
+        let len = columns.first().map_or(0, Column::len);
+        for (attr, column) in schema.attributes().iter().zip(&columns) {
+            let matches = matches!(
+                (&attr.dtype, column),
+                (DataType::Categorical { .. }, Column::Categorical(_))
+                    | (DataType::Numeric { .. }, Column::Numeric(_))
+                    | (DataType::Integer { .. }, Column::Integer(_))
+            );
+            if !matches {
+                return Err(StoreError::TypeMismatch {
+                    attribute: attr.name.clone(),
+                    expected: attr.dtype.type_name(),
+                });
+            }
+            if column.len() != len {
+                return Err(StoreError::RowArity {
+                    expected: len,
+                    got: column.len(),
+                });
+            }
+        }
+        Ok(Table {
+            schema,
+            columns,
+            len,
+        })
+    }
+
     /// The schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

@@ -1,6 +1,7 @@
 //! Errors of the streaming layer.
 
 use fairjob_core::AuditError;
+use fairjob_store::paged::PagedError;
 use fairjob_store::StoreError;
 use std::fmt;
 
@@ -40,6 +41,8 @@ pub enum StreamError {
     Store(StoreError),
     /// Underlying audit error.
     Audit(AuditError),
+    /// Paged persistence failure (writing or reloading a snapshot).
+    Paged(PagedError),
 }
 
 impl fmt::Display for StreamError {
@@ -65,6 +68,7 @@ impl fmt::Display for StreamError {
             }
             StreamError::Store(e) => write!(f, "store: {e}"),
             StreamError::Audit(e) => write!(f, "audit: {e}"),
+            StreamError::Paged(e) => write!(f, "paged snapshot: {e}"),
         }
     }
 }
@@ -80,5 +84,11 @@ impl From<StoreError> for StreamError {
 impl From<AuditError> for StreamError {
     fn from(e: AuditError) -> Self {
         StreamError::Audit(e)
+    }
+}
+
+impl From<PagedError> for StreamError {
+    fn from(e: PagedError) -> Self {
+        StreamError::Paged(e)
     }
 }

@@ -16,8 +16,10 @@ use crate::error::StreamError;
 use fairjob_core::{AuditConfig, AuditContext};
 use fairjob_hist::BinSpec;
 use fairjob_store::index::IndexSet;
+use fairjob_store::paged::{self, PagedWriteSummary};
 use fairjob_store::table::Table;
 use fairjob_store::RowSet;
+use std::path::Path;
 use std::sync::Arc;
 
 /// One epoch's published state: everything a reader needs to run an
@@ -152,6 +154,27 @@ impl StreamSnapshot {
     /// The shared inverted indexes over the snapshot's table.
     pub fn indexes(&self) -> &fairjob_store::index::IndexSet {
         &self.indexes
+    }
+
+    /// Persist the snapshot to the paged columnar format: the full
+    /// (uncompacted) table, row-aligned scores, the live bitmap, the
+    /// epoch stamp and the bin count. Row ids are preserved, so a
+    /// server restarted from the file ([`crate::StreamView::from_paged`])
+    /// resumes at this epoch with the same worker ids — no event-log
+    /// replay — and audits bit-identically to the writer.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Paged`] on write failures.
+    pub fn write_paged(&self, path: &Path) -> Result<PagedWriteSummary, StreamError> {
+        Ok(paged::write_paged(
+            path,
+            self.table.as_ref(),
+            Some(self.scores.as_slice()),
+            Some(&self.live),
+            self.epoch,
+            self.spec.len(),
+        )?)
     }
 
     /// Materialise the snapshot's live population as a fresh, compacted

@@ -73,6 +73,32 @@ impl StreamView {
     /// [`StreamError`] for an empty table, misaligned or out-of-range
     /// scores, or a bad bin count.
     pub fn new(table: Table, scores: Vec<f64>, bins: usize) -> Result<Self, StreamError> {
+        Self::from_state(table, scores, None, 0, bins)
+    }
+
+    /// Reconstruct a view from persisted state — the snapshot-restart
+    /// path ([`crate::StreamSnapshot::write_paged`] → `fairjob serve
+    /// --snapshot`). `live` restricts to the non-tombstoned rows
+    /// (`None` = all live); `epoch` resumes the writer's stamp.
+    ///
+    /// The derived structures (dictionary indexes, score-bin array) are
+    /// rebuilt from the columns. The stream layer maintains them
+    /// incrementally to exactly the from-scratch values (departures
+    /// only tombstone; in-place index edits mirror a rebuild — asserted
+    /// in tests), so audits over the reloaded view are bit-identical to
+    /// the writer's audits at the same epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError`] for an empty table, misaligned or out-of-range
+    /// scores, a bad bin count, or a live row beyond the table.
+    pub fn from_state(
+        table: Table,
+        scores: Vec<f64>,
+        live: Option<fairjob_store::RowSet>,
+        epoch: u64,
+        bins: usize,
+    ) -> Result<Self, StreamError> {
         if table.is_empty() {
             return Err(StreamError::Audit(AuditError::EmptyTable));
         }
@@ -94,7 +120,20 @@ impl StreamView {
         // to the initial population, so per-event updates beat
         // reclassifying the column.
         let bin_of: Arc<Vec<u32>> = Arc::new(spec.bin_indices(&scores));
-        let live = Bitmap::full(table.len());
+        let live = match live {
+            Some(rows) => {
+                if let Some(&last) = rows.rows().last() {
+                    if last as usize >= table.len() {
+                        return Err(StreamError::Corrupt {
+                            row: last,
+                            rows: table.len(),
+                        });
+                    }
+                }
+                Bitmap::from_rowset(&rows, table.len())
+            }
+            None => Bitmap::full(table.len()),
+        };
         Ok(StreamView {
             table: Arc::new(table),
             scores: Arc::new(scores),
@@ -102,8 +141,33 @@ impl StreamView {
             indexes,
             bin_of,
             spec,
-            epoch: 0,
+            epoch,
         })
+    }
+
+    /// Cold-start a view from an opened paged snapshot file: pages are
+    /// materialised back into memory, the live bitmap, epoch and bin
+    /// layout carried over, and the derived structures rebuilt (see
+    /// [`StreamView::from_state`] for why that is exact).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Paged`] from page reads, or when the file was
+    /// written without scores; [`StreamError`] from state validation.
+    pub fn from_paged(store: &fairjob_store::PagedStore) -> Result<Self, StreamError> {
+        let (table, scores) = store.materialize()?;
+        let scores = scores.ok_or_else(|| {
+            StreamError::Paged(fairjob_store::paged::PagedError::Corrupt(
+                "paged file carries no scores; a stream view needs them".to_string(),
+            ))
+        })?;
+        Self::from_state(
+            table,
+            scores,
+            store.live().cloned(),
+            store.epoch(),
+            store.bins(),
+        )
     }
 
     /// The underlying (append-only) table, tombstoned rows included.
